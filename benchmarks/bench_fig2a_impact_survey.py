@@ -1,0 +1,57 @@
+"""FIG2A — Figure 2(a): impact of anti-patterns A1-A6 on alert diagnosis.
+
+Regenerates the 18-OCE survey through the calibrated instrument and
+compares every (anti-pattern, answer) count with the paper's published
+distribution, including the in-text agreement percentages.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.analysis import paper_reference as paper
+from repro.analysis.figures import render_bar_survey
+from repro.analysis.report import ComparisonRow, render_comparison
+from repro.oce.survey import IMPACT_OPTIONS, SurveyInstrument
+
+
+@pytest.fixture(scope="module")
+def results():
+    return SurveyInstrument(seed=42).run()
+
+
+def test_fig2a_impact_distributions(benchmark, results):
+    measured = benchmark(lambda: SurveyInstrument(seed=42).run())
+    rows = {}
+    comparisons = []
+    for pattern in sorted(paper.ANTIPATTERN_IMPACT):
+        counts = measured.counts(f"impact/{pattern}", IMPACT_OPTIONS)
+        rows[pattern] = counts
+        expected = paper.ANTIPATTERN_IMPACT[pattern]
+        assert tuple(counts.values()) == expected
+        comparisons.append(ComparisonRow(
+            f"{pattern} (High/Low/None)",
+            "/".join(map(str, expected)),
+            "/".join(str(v) for v in counts.values()),
+            paper.ANTIPATTERN_NAMES[pattern],
+        ))
+    figure = render_bar_survey(
+        "Figure 2(a) — impact of anti-patterns on alert diagnosis (n=18)",
+        rows, IMPACT_OPTIONS,
+    )
+    table = render_comparison("paper vs measured", comparisons)
+    record_report("FIG2A", f"{figure}\n\n{table}")
+
+
+def test_fig2a_intext_percentages(results):
+    # "61.1% think the impact [of A1] is high"
+    assert results.agreement_fraction("impact/A1", ("High",)) == pytest.approx(11 / 18)
+    # "88.9% of OCEs agree with the impact of misleading severity"
+    assert results.agreement_fraction("impact/A2", ("High", "Low")) == pytest.approx(16 / 18)
+    # "72.2% of OCEs agree that the impact of [A3] is high"
+    assert results.agreement_fraction("impact/A3", ("High",)) == pytest.approx(13 / 18)
+    # "most OCEs (94.4%) think the impact [of A4] exists"
+    assert results.agreement_fraction("impact/A4", ("High", "Low")) == pytest.approx(17 / 18)
+    # "Most OCEs (94.4%) agree with the impact of repeating alerts"
+    assert results.agreement_fraction("impact/A5", ("High", "Low")) == pytest.approx(17 / 18)
+    # "All interviewed OCEs agree with the impact of cascading alerts"
+    assert results.agreement_fraction("impact/A6", ("High", "Low")) == 1.0

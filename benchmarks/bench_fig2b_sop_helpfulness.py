@@ -1,0 +1,65 @@
+"""FIG2B — Figure 2(b): how helpful are the predefined SOPs?
+
+Also validates Finding 2's behavioural basis in the substrate: SOPs speed
+up diagnosis (helpful), but quality-degraded strategies stay slow even
+with an SOP (the help is limited).
+"""
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.alerting.sop import SOPLibrary
+from repro.analysis import paper_reference as paper
+from repro.analysis.figures import render_bar_survey
+from repro.analysis.report import ComparisonRow, render_comparison
+from repro.oce.engineer import build_panel
+from repro.oce.processing import ProcessingModel
+from repro.oce.survey import SOP_OPTIONS, SurveyInstrument
+
+
+def test_fig2b_sop_helpfulness(benchmark):
+    measured = benchmark(lambda: SurveyInstrument(seed=42).run())
+    rows = {}
+    comparisons = []
+    for question in sorted(paper.SOP_HELPFULNESS):
+        counts = measured.counts(f"sop/{question}", SOP_OPTIONS)
+        rows[f"{question}: {paper.SOP_QUESTIONS[question].split()[0]}"] = counts
+        expected = paper.SOP_HELPFULNESS[question]
+        assert tuple(counts.values()) == expected
+        comparisons.append(ComparisonRow(
+            f"{question} (Helpful/Limited/Not)",
+            "/".join(map(str, expected)),
+            "/".join(str(v) for v in counts.values()),
+            paper.SOP_QUESTIONS[question],
+        ))
+    figure = render_bar_survey(
+        "Figure 2(b) — helpfulness of predefined SOPs (n=18)", rows, SOP_OPTIONS,
+    )
+    table = render_comparison("paper vs measured", comparisons)
+    record_report("FIG2B", f"{figure}\n\n{table}")
+
+
+def test_sops_help_but_less_for_degraded_strategies(trace):
+    """Finding 2's mechanism: SOP speeds up diagnosis, less so for messy
+    strategies — measured on the processing model itself."""
+    library = SOPLibrary()
+    for strategy in trace.strategies.values():
+        library.build_default(strategy)
+    with_sop = ProcessingModel(seed=1, sops=library)
+    without_sop = ProcessingModel(seed=1)
+    senior = build_panel()[0]
+
+    speedups_clean, speedups_messy = [], []
+    for strategy in trace.strategies.values():
+        gain = (
+            without_sop.expected_seconds(strategy, senior)
+            / with_sop.expected_seconds(strategy, senior)
+        )
+        if strategy.quality.title_clarity >= 0.5:
+            speedups_clean.append(gain)
+        else:
+            speedups_messy.append(gain)
+    mean_clean = sum(speedups_clean) / len(speedups_clean)
+    mean_messy = sum(speedups_messy) / len(speedups_messy)
+    assert mean_clean > 1.0          # SOPs help...
+    assert mean_messy < mean_clean   # ...but less when the strategy is unclear

@@ -1,0 +1,86 @@
+"""FIG3 — Figure 3: repeating alerts in the representative storm.
+
+Regenerates the 7:00-11:59 storm (2751 alerts, 200 effective strategies)
+and prints the per-hour series the figure plots: the HAProxy strategy at
+~30 % of every hour, Kafka second, everything else as "Others".
+"""
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.analysis import paper_reference as paper
+from repro.analysis.figures import render_hourly_series
+from repro.analysis.report import ComparisonRow, render_comparison
+from repro.common.timeutil import hour_bucket
+from repro.workload.storms import StormConfig, build_representative_storm
+
+
+@pytest.fixture(scope="module")
+def storm(topology):
+    return build_representative_storm(StormConfig(seed=42), topology)
+
+
+def test_fig3_storm_shape(benchmark, storm, topology):
+    config = StormConfig(seed=42)
+    benchmark(lambda: build_representative_storm(config, topology))
+
+    first_hour = config.day * 24 + config.start_hour
+    hours = list(range(first_hour, first_hour + config.n_hours))
+    series = {"HAProxy": [], "Kafka": [], "Others": []}
+    haproxy_shares = []
+    for hour in hours:
+        bucket = [a for a in storm.alerts if hour_bucket(a.occurred_at) == hour]
+        haproxy = sum(1 for a in bucket
+                      if a.strategy_name == paper.STORM_EXAMPLE["top_strategy"])
+        kafka = sum(1 for a in bucket if a.strategy_name == "kafka_consumer_lag_high")
+        series["HAProxy"].append(haproxy)
+        series["Kafka"].append(kafka)
+        series["Others"].append(len(bucket) - haproxy - kafka)
+        haproxy_shares.append(haproxy / len(bucket))
+
+    by_strategy = storm.by_strategy()
+    top_id = max(by_strategy, key=lambda sid: len(by_strategy[sid]))
+    top = storm.strategies[top_id]
+
+    # Shape assertions mirroring the figure and its caption text.
+    assert len(storm) == paper.STORM_EXAMPLE["total_alerts"]
+    assert len(by_strategy) == paper.STORM_EXAMPLE["effective_strategies"]
+    assert top.name == paper.STORM_EXAMPLE["top_strategy"]
+    assert top.severity.name == paper.STORM_EXAMPLE["top_severity"]
+    for share in haproxy_shares:
+        assert share == pytest.approx(paper.STORM_EXAMPLE["top_share_per_hour"],
+                                      abs=0.06)
+
+    figure = render_hourly_series(
+        "Figure 3 — repeating alerts in an alert storm (# alerts per hour)",
+        [h % 24 for h in hours], series,
+    )
+    table = render_comparison("paper vs measured", [
+        ComparisonRow("total alerts", paper.STORM_EXAMPLE["total_alerts"], len(storm)),
+        ComparisonRow("effective strategies",
+                      paper.STORM_EXAMPLE["effective_strategies"], len(by_strategy)),
+        ComparisonRow("top strategy", paper.STORM_EXAMPLE["top_strategy"], top.name),
+        ComparisonRow("top severity", paper.STORM_EXAMPLE["top_severity"],
+                      top.severity.name, "the lowest level"),
+        ComparisonRow("top share / hour",
+                      paper.STORM_EXAMPLE["top_share_per_hour"],
+                      sum(haproxy_shares) / len(haproxy_shares),
+                      "~30% in each hour"),
+        ComparisonRow("second strategy", paper.STORM_EXAMPLE["second_strategy_display"],
+                      "Kafka"),
+    ])
+    record_report("FIG3", f"{figure}\n\n{table}")
+
+
+def test_fig3_both_collective_antipatterns_observable(storm, topology):
+    """§III-A2: 'we observed both collective anti-patterns' in this storm."""
+    from repro.core.antipatterns import (
+        CascadingAlertsDetector,
+        RepeatingAlertsDetector,
+    )
+
+    alerts = storm.alerts
+    repeating = RepeatingAlertsDetector().detect_in_group(alerts, "fig3")
+    assert any(f.subject == "strategy-haproxy" for f in repeating)
+    cascade = CascadingAlertsDetector(topology.graph).detect_in_group(alerts, "fig3")
+    assert cascade is not None

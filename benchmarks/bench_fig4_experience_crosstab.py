@@ -1,0 +1,45 @@
+"""FIG4 — Figure 4: Q1 answers by OCE working experience.
+
+The paper's cross-tab fact: every OCE with more than three years of
+experience answered "Limited Help", making up 71.4 % of all Limited
+answers.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.analysis import paper_reference as paper
+from repro.analysis.figures import render_table
+from repro.analysis.report import ComparisonRow, render_comparison
+from repro.oce.engineer import ExperienceBand
+from repro.oce.survey import SOP_OPTIONS, SurveyInstrument
+
+
+def test_fig4_experience_crosstab(benchmark):
+    results = benchmark(lambda: SurveyInstrument(seed=42).run())
+    crosstab = results.crosstab("sop/Q1")
+
+    rows = []
+    for band in (ExperienceBand.GT3, ExperienceBand.Y2TO3,
+                 ExperienceBand.Y1TO2, ExperienceBand.LT1):
+        answers = crosstab.get(band, {})
+        rows.append((band.label,) + tuple(
+            answers.get(option, 0) for option in SOP_OPTIONS
+        ))
+    figure = render_table(("experience",) + SOP_OPTIONS, rows)
+
+    senior = crosstab[ExperienceBand.GT3]
+    limited_total = sum(row.get("Limited Help", 0) for row in crosstab.values())
+    senior_limited = senior.get("Limited Help", 0)
+
+    assert senior == {"Limited Help": 10}
+    assert senior_limited / limited_total == pytest.approx(paper.Q1_LIMITED_GT3_SHARE)
+
+    table = render_comparison("paper vs measured", [
+        ComparisonRow(">3y OCEs answering Limited", paper.Q1_LIMITED_GT3_COUNT,
+                      senior_limited, "all of them"),
+        ComparisonRow(">3y share of Limited answers",
+                      paper.Q1_LIMITED_GT3_SHARE, senior_limited / limited_total),
+        ComparisonRow("total Limited answers", 14, limited_total),
+    ])
+    record_report("FIG4", f"Figure 4 — Q1 helpfulness by experience\n{figure}\n\n{table}")

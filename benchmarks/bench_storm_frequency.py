@@ -1,0 +1,48 @@
+"""STORM — §III-A2 storm statistics.
+
+"if the number of alerts from a region exceeds 100 in an hour, we count
+it as an alert storm.  Consecutive hours of alert storm will be merged
+into one." and "alert storms occur weekly or even daily".
+"""
+
+from benchmarks.conftest import record_report
+from repro.analysis import paper_reference as paper
+from repro.analysis.report import ComparisonRow, render_comparison
+from repro.core.antipatterns import detect_storms
+
+
+def test_storm_detection_and_frequency(benchmark, trace):
+    episodes = benchmark(lambda: detect_storms(trace, paper.STORM_THRESHOLD))
+    assert episodes, "the trace must contain storms"
+
+    days = trace.window().duration / 86400.0
+    per_week = len(episodes) / (days / 7.0)
+    # "weekly or even daily" — between one a week and one a day.
+    assert 0.5 <= per_week <= 8.0
+
+    multi_hour = [e for e in episodes if e.n_hours > 1]
+    longest = max(episodes, key=lambda e: e.n_hours)
+    table = render_comparison("paper vs measured", [
+        ComparisonRow("storm threshold", f"> {paper.STORM_THRESHOLD}/h/region",
+                      f"> {paper.STORM_THRESHOLD}/h/region", "same rule"),
+        ComparisonRow("storm frequency", "weekly or even daily",
+                      f"{per_week:.1f} per week"),
+        ComparisonRow("episodes detected", "(not reported)", len(episodes)),
+        ComparisonRow("multi-hour episodes (merged)", "(merging applied)",
+                      len(multi_hour)),
+        ComparisonRow("longest episode (hours)", "(5h example shown)",
+                      longest.n_hours),
+    ])
+    record_report("STORM", table)
+
+
+def test_merging_invariant(trace):
+    """No two episodes of one region may touch: merging must be maximal."""
+    episodes = detect_storms(trace)
+    by_region: dict[str, list] = {}
+    for episode in episodes:
+        by_region.setdefault(episode.region, []).append(episode)
+    for region_episodes in by_region.values():
+        region_episodes.sort(key=lambda e: e.start_hour)
+        for left, right in zip(region_episodes, region_episodes[1:]):
+            assert right.start_hour > left.end_hour + 1

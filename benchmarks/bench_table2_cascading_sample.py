@@ -1,0 +1,92 @@
+"""TAB2 — Table II: sample reliability alerts of a cascading failure.
+
+Runs the telemetry-driven path end to end: a disk-full fault on block
+storage cascades into the database ("Failed to commit changes") and
+beyond; the monitoring engine turns the perturbed telemetry into alerts
+whose rows reproduce the table's shape — storage alert first, database
+commit alerts minutes later, same region.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.alerting import AlertBook, MonitoringEngine
+from repro.analysis.figures import render_table
+from repro.analysis.report import ComparisonRow, render_comparison
+from repro.common.timeutil import HOUR, MINUTE, format_timestamp
+from repro.faults import CascadeModel, FaultInjector, disk_full_cascade
+from repro.sim import SimulationEngine
+from repro.telemetry import TelemetryHub
+from repro.workload import StrategyFactory
+from repro.workload.strategies import StrategyMixConfig
+
+
+@pytest.fixture(scope="module")
+def cascade_run(topology):
+    hub = TelemetryHub(topology, seed=42)
+    injector = FaultInjector(hub)
+    cascade = CascadeModel(topology, injector, seed=42)
+    root, children = disk_full_cascade(topology, injector, cascade, start=2 * HOUR)
+    factory = StrategyFactory(topology, seed=42,
+                              mix=StrategyMixConfig(a4_rate=0.0, a5_rate=0.0))
+    strategies = []
+    for micro in [root.microservice] + [c.microservice for c in children]:
+        strategies.extend(factory.build_for(micro, count=2))
+    book = AlertBook()
+    engine = MonitoringEngine(hub, book, fault_attribution=injector.fault_at)
+    engine.register_all(strategies)
+    sim = SimulationEngine()
+    engine.attach(sim, end_time=root.window.end + HOUR)
+    sim.run_until(root.window.end + HOUR)
+    return topology, root, children, book
+
+
+def test_table2_cascading_sample(benchmark, cascade_run):
+    topology, root, children, book = cascade_run
+    regional = sorted(
+        (a for a in book.alerts if a.region == root.region),
+        key=lambda a: a.occurred_at,
+    )
+    benchmark(lambda: sorted(
+        (a for a in book.alerts if a.region == root.region),
+        key=lambda a: a.occurred_at,
+    ))
+    assert regional, "the cascade must generate alerts"
+
+    storage_alerts = [a for a in regional if a.service == "block-storage"]
+    database_alerts = [a for a in regional if a.service == "database"]
+    assert storage_alerts, "block storage itself must alert"
+    assert database_alerts, "the dependent database must alert"
+
+    first_storage = min(a.occurred_at for a in storage_alerts)
+    first_database = min(a.occurred_at for a in database_alerts)
+    gap_minutes = (first_database - first_storage) / MINUTE
+    # Table II: the database commit failures follow the storage alert by
+    # a couple of minutes; give the simulated path a generous bound.
+    assert gap_minutes > 0, "storage must alert before the database"
+    assert gap_minutes < 30
+
+    rows = []
+    for index, alert in enumerate(regional[:6], start=1):
+        rows.append((
+            index, alert.severity.label, format_timestamp(alert.occurred_at),
+            alert.service, alert.title[:46],
+            "-" if alert.cleared_at is None
+            else f"{(alert.cleared_at - alert.occurred_at) / 60:.0f} min",
+            f"Region={alert.region};DC={alert.datacenter}",
+        ))
+    figure = render_table(
+        ("No.", "Severity", "Time", "Service", "Alert Title", "Duration", "Location"),
+        rows,
+    )
+    table = render_comparison("paper vs measured", [
+        ComparisonRow("storage alerts before database", "yes",
+                      "yes" if gap_minutes > 0 else "no"),
+        ComparisonRow("storage -> database onset gap", "2-3 min",
+                      f"{gap_minutes:.1f} min"),
+        ComparisonRow("services in cascade", ">= 2",
+                      len({a.service for a in regional})),
+        ComparisonRow("same region", "yes",
+                      "yes" if len({a.region for a in regional}) == 1 else "no"),
+    ])
+    record_report("TAB2", f"Table II — sample cascading alerts\n{figure}\n\n{table}")

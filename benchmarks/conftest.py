@@ -1,0 +1,55 @@
+"""Shared fixtures and reporting for the benchmark harness.
+
+Every benchmark registers a paper-vs-measured comparison via
+:func:`record_report`; the tables are printed in the terminal summary and
+written to ``benchmarks/results/`` so the artefacts survive output
+capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.mitigation.correlation import rulebook_from_ground_truth
+from repro.topology import TopologyConfig, generate_topology
+from repro.workload import TraceConfig, generate_trace
+
+_REPORTS: list[tuple[str, str]] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_report(name: str, text: str) -> None:
+    """Register a bench report for terminal summary and persist it."""
+    _REPORTS.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured reports")
+    for name, text in _REPORTS:
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """The paper-scale cloud shared by all benches."""
+    return generate_topology(TopologyConfig(seed=42))
+
+
+@pytest.fixture(scope="session")
+def trace(topology):
+    """The default 60-day trace shared by all benches."""
+    return generate_trace(TraceConfig(seed=42), topology)
+
+
+@pytest.fixture(scope="session")
+def rulebook(trace):
+    """A 60 %-coverage strategy-dependency rule book."""
+    return rulebook_from_ground_truth(trace, coverage=0.6)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Telemetry-driven monitoring: the Table II cascade, live.
+
+Injects a disk-full fault on block storage, lets it cascade through the
+dependency graph (database commit failures and onward), runs the
+monitoring engine against the perturbed telemetry on the discrete-event
+kernel, and prints the resulting alerts in the paper's Table II format —
+then lets R4's emerging-alert detector and R3's correlator explain them.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro import generate_topology
+from repro.alerting import AlertBook, MonitoringEngine, NotificationRouter
+from repro.common.timeutil import HOUR
+from repro.core.mitigation import CorrelationAnalyzer
+from repro.faults import CascadeModel, FaultInjector, disk_full_cascade
+from repro.sim import SimulationEngine
+from repro.telemetry import TelemetryHub
+from repro.workload import StrategyFactory
+from repro.workload.strategies import StrategyMixConfig
+
+
+def main() -> None:
+    topology = generate_topology()
+    hub = TelemetryHub(topology, seed=42)
+    injector = FaultInjector(hub)
+    cascade = CascadeModel(topology, injector, seed=42)
+
+    root, children = disk_full_cascade(topology, injector, cascade, start=2 * HOUR)
+    print(f"injected: {root.kind.value} on {root.microservice} "
+          f"({len(children)} propagated faults)")
+
+    factory = StrategyFactory(topology, seed=42,
+                              mix=StrategyMixConfig(a4_rate=0.0, a5_rate=0.0))
+    strategies = []
+    for micro in [root.microservice] + [c.microservice for c in children]:
+        strategies.extend(factory.build_for(micro, count=2))
+
+    book = AlertBook()
+    router = NotificationRouter()
+    engine = MonitoringEngine(hub, book, fault_attribution=injector.fault_at,
+                              router=router)
+    engine.register_all(strategies)
+    sim = SimulationEngine()
+    end = root.window.end + HOUR
+    engine.attach(sim, end_time=end)
+    sim.run_until(end)
+
+    regional = sorted(
+        (a for a in book.alerts if a.region == root.region),
+        key=lambda a: a.occurred_at,
+    )
+    print(f"\n{len(regional)} alerts generated in {root.region} "
+          f"({engine.checks_performed} rule evaluations):")
+    for alert in regional[:12]:
+        print("  " + alert.render_row())
+    if len(regional) > 12:
+        print(f"  ... and {len(regional) - 12} more")
+
+    clusters = CorrelationAnalyzer(topology.graph).correlate(regional)
+    biggest = max(clusters, key=lambda c: c.size)
+    print(f"\nR3 correlation: {len(clusters)} clusters; biggest has "
+          f"{biggest.size} alerts, inferred root {biggest.root_microservice}")
+    print(f"ground-truth root: {root.microservice} "
+          f"({'HIT' if biggest.root_microservice == root.microservice else 'miss'})")
+    print(f"\nnotifications by team: {router.interrupts_per_team()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Alerting: strategies, alert lifecycle, SOPs, and the monitoring engine.
+
+This package implements the paper's §II-B mechanism end to end: alert
+strategies over the three monitoring channels (probes, logs, metrics),
+alert generation with the attribute set of Table II (severity, time,
+service, title, duration, location), manual and automatic clearance
+(§II-B4), Standard Operating Procedures (Figure 5), and notification
+routing to on-call engineers.
+
+Alert strategies additionally carry *quality knobs* — title clarity,
+severity bias, target relevance, sensitivity, and repeat cooldown — whose
+degraded settings produce exactly the six anti-patterns the paper
+characterises.  Ground-truth anti-pattern injections are recorded on the
+strategy so the evaluation can score detectors against them.
+"""
+
+from repro.alerting.alert import Alert, AlertState, Severity
+from repro.alerting.engine import MonitoringEngine, MonitoringConfig
+from repro.alerting.lifecycle import AlertBook
+from repro.alerting.notification import Notification, NotificationRouter
+from repro.alerting.rules import LogKeywordRule, MetricRule, ProbeRule
+from repro.alerting.sop import SOP, SOPLibrary
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+
+__all__ = [
+    "Alert",
+    "AlertState",
+    "Severity",
+    "AlertStrategy",
+    "StrategyQuality",
+    "LogKeywordRule",
+    "MetricRule",
+    "ProbeRule",
+    "AlertBook",
+    "MonitoringEngine",
+    "MonitoringConfig",
+    "SOP",
+    "SOPLibrary",
+    "Notification",
+    "NotificationRouter",
+]

@@ -1,0 +1,147 @@
+"""The monitoring engine: polls telemetry, fires strategies, clears alerts.
+
+The engine registers one periodic check per (strategy, region) on the
+simulation kernel.  Each tick evaluates the strategy's generation rule
+against the telemetry hub:
+
+* rule fires and no active alert → open one (subject to cooldown);
+* rule quiet, strategy auto-clears, alert active → auto-clear it,
+  matching §II-B4 ("for system reliability alerts of probes and metrics,
+  the monitoring system will continue to monitor ... and mark the
+  corresponding alert as automatically cleared").
+
+Ground-truth fault attribution is injected via a callable so the
+evaluation can score detectors without the engine depending on the fault
+package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.alerting.lifecycle import AlertBook
+from repro.alerting.notification import NotificationRouter
+from repro.alerting.strategy import AlertStrategy
+from repro.common.errors import ValidationError
+from repro.common.rng import derive_seed
+from repro.common.validation import require_positive
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import PeriodicProcess
+from repro.telemetry.store import TelemetryHub
+
+__all__ = ["MonitoringConfig", "MonitoringEngine"]
+
+#: Attribution callback: (microservice, region, time) -> fault id or None.
+FaultAttribution = Callable[[str, str, float], str | None]
+
+
+@dataclass(frozen=True, slots=True)
+class MonitoringConfig:
+    """Engine-wide knobs."""
+
+    #: First check happens this long after the run starts, letting metric
+    #: lookback windows fill before detectors judge them.
+    warmup_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.warmup_seconds, "warmup_seconds")
+
+
+class MonitoringEngine:
+    """Runs alert strategies over a telemetry hub on the simulation kernel."""
+
+    def __init__(
+        self,
+        hub: TelemetryHub,
+        book: AlertBook,
+        config: MonitoringConfig | None = None,
+        fault_attribution: FaultAttribution | None = None,
+        router: NotificationRouter | None = None,
+    ) -> None:
+        self._hub = hub
+        self._book = book
+        self._config = config or MonitoringConfig()
+        self._fault_attribution = fault_attribution
+        self._router = router
+        self._strategies: list[AlertStrategy] = []
+        self._checks = 0
+
+    @property
+    def book(self) -> AlertBook:
+        """The alert book receiving generated alerts."""
+        return self._book
+
+    @property
+    def strategies(self) -> list[AlertStrategy]:
+        """Registered strategies (copy)."""
+        return list(self._strategies)
+
+    @property
+    def checks_performed(self) -> int:
+        """Total rule evaluations executed so far."""
+        return self._checks
+
+    def register(self, strategy: AlertStrategy) -> None:
+        """Add a strategy to be scheduled by :meth:`attach`."""
+        if strategy.microservice not in self._hub.topology.microservices:
+            raise ValidationError(
+                f"strategy {strategy.strategy_id} targets unknown microservice "
+                f"{strategy.microservice!r}"
+            )
+        self._strategies.append(strategy)
+
+    def register_all(self, strategies: Sequence[AlertStrategy]) -> None:
+        """Register many strategies at once."""
+        for strategy in strategies:
+            self.register(strategy)
+
+    def attach(self, engine: SimulationEngine, end_time: float) -> None:
+        """Schedule periodic checks for every (strategy, deployed region).
+
+        Strategies whose warmup ends beyond ``end_time`` schedule nothing.
+        """
+        topology = self._hub.topology
+        if engine.now + self._config.warmup_seconds >= end_time:
+            return
+        for strategy in self._strategies:
+            for deployment in topology.deployments_of(strategy.microservice):
+                region = deployment.region
+                datacenter = (
+                    deployment.instances[0].datacenter if deployment.instances else region
+                )
+                # Per-(strategy, region) phase offset: real monitoring
+                # checks are not globally synchronised, and lockstep ticks
+                # would artificially tie alert timestamps across components.
+                phase = derive_seed(0, f"check-phase/{strategy.strategy_id}/{region}")
+                offset = float(phase % int(max(strategy.check_interval, 1.0)))
+                start = engine.now + self._config.warmup_seconds + offset
+                if start >= end_time:
+                    continue
+                process = PeriodicProcess(
+                    interval=strategy.check_interval,
+                    callback=self._make_check(strategy, region, datacenter),
+                    start=start,
+                    end=end_time,
+                    label=f"check:{strategy.strategy_id}:{region}",
+                )
+                engine.add_periodic(process)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _make_check(self, strategy: AlertStrategy, region: str, datacenter: str):
+        def check(now: float, _payload: object) -> None:
+            self._checks += 1
+            fired = strategy.rule.evaluate(self._hub, strategy.microservice, region, now)
+            if fired:
+                fault_id = None
+                if self._fault_attribution is not None:
+                    fault_id = self._fault_attribution(strategy.microservice, region, now)
+                alert = self._book.open_alert(strategy, region, datacenter, now, fault_id)
+                if alert is not None and self._router is not None:
+                    self._router.dispatch(alert, now)
+            elif strategy.auto_clear and self._book.is_active(strategy.strategy_id, region):
+                self._book.auto_clear(strategy.strategy_id, region, now)
+
+        return check

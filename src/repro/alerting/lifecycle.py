@@ -1,0 +1,151 @@
+"""Alert book: open/clear lifecycle with dedup and cooldown.
+
+One *active* alert exists per (strategy, region) at a time — the paper's
+monitoring system behaves the same way: while the anomalous state
+persists the alert stays active, and when the state recovers the alert is
+auto-cleared (§II-B4).  Re-firing after clearance is throttled by the
+strategy's effective cooldown; repeat-prone strategies (A5) have theirs
+collapsed toward zero.
+"""
+
+from __future__ import annotations
+
+from repro.alerting.alert import Alert, AlertState
+from repro.alerting.strategy import AlertStrategy
+from repro.common.errors import ValidationError
+from repro.common.ids import IdFactory
+from repro.common.timeutil import TimeWindow
+
+__all__ = ["AlertBook"]
+
+
+class AlertBook:
+    """Records every alert and manages the active set."""
+
+    def __init__(self, id_factory: IdFactory | None = None) -> None:
+        self._ids = id_factory or IdFactory("alert")
+        self._alerts: list[Alert] = []
+        self._by_id: dict[str, Alert] = {}
+        self._active: dict[tuple[str, str], Alert] = {}
+        self._last_cleared: dict[tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open_alert(
+        self,
+        strategy: AlertStrategy,
+        region: str,
+        datacenter: str,
+        now: float,
+        fault_id: str | None = None,
+    ) -> Alert | None:
+        """Open an alert for ``strategy`` in ``region`` if dedup/cooldown allow.
+
+        Returns ``None`` when an alert for the same (strategy, region) is
+        already active, or when the effective cooldown since the last
+        clearance has not elapsed.
+        """
+        key = (strategy.strategy_id, region)
+        if key in self._active:
+            return None
+        last_cleared = self._last_cleared.get(key)
+        if last_cleared is not None and now - last_cleared < strategy.effective_cooldown():
+            return None
+        alert = Alert(
+            alert_id=self._ids.next(),
+            strategy_id=strategy.strategy_id,
+            strategy_name=strategy.name,
+            title=strategy.title,
+            description=strategy.description,
+            severity=strategy.severity,
+            service=strategy.service,
+            microservice=strategy.microservice,
+            region=region,
+            datacenter=datacenter,
+            channel=strategy.channel,
+            occurred_at=now,
+            fault_id=fault_id,
+        )
+        self._alerts.append(alert)
+        self._by_id[alert.alert_id] = alert
+        self._active[key] = alert
+        return alert
+
+    def auto_clear(self, strategy_id: str, region: str, now: float) -> Alert | None:
+        """Auto-clear the active alert for (strategy, region), if any."""
+        key = (strategy_id, region)
+        alert = self._active.pop(key, None)
+        if alert is None:
+            return None
+        alert.clear(now, manual=False)
+        self._last_cleared[key] = now
+        return alert
+
+    def manual_clear(self, alert_id: str, now: float) -> Alert:
+        """Clear one alert manually (OCE confirmed mitigation)."""
+        alert = self._by_id.get(alert_id)
+        if alert is None:
+            raise ValidationError(f"unknown alert {alert_id!r}")
+        if not alert.is_active:
+            raise ValidationError(f"alert {alert_id!r} is already cleared")
+        alert.clear(now, manual=True)
+        key = (alert.strategy_id, alert.region)
+        if self._active.get(key) is alert:
+            del self._active[key]
+            self._last_cleared[key] = now
+        return alert
+
+    def clear_all_active(self, now: float, manual: bool = False) -> int:
+        """Clear every active alert (end-of-run housekeeping); returns count."""
+        cleared = 0
+        for key in list(self._active):
+            alert = self._active.pop(key)
+            alert.clear(now, manual=manual)
+            self._last_cleared[key] = now
+            cleared += 1
+        return cleared
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._alerts)
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """All alerts ever opened, in generation order (copy)."""
+        return list(self._alerts)
+
+    def get(self, alert_id: str) -> Alert:
+        """Look up one alert by id."""
+        alert = self._by_id.get(alert_id)
+        if alert is None:
+            raise ValidationError(f"unknown alert {alert_id!r}")
+        return alert
+
+    def active_alerts(self) -> list[Alert]:
+        """Currently active alerts (copy)."""
+        return list(self._active.values())
+
+    def is_active(self, strategy_id: str, region: str) -> bool:
+        """Whether an alert is currently active for (strategy, region)."""
+        return (strategy_id, region) in self._active
+
+    def alerts_in(self, window: TimeWindow) -> list[Alert]:
+        """Alerts that occurred within ``window``."""
+        return [a for a in self._alerts if window.contains(a.occurred_at)]
+
+    def by_strategy(self) -> dict[str, list[Alert]]:
+        """Alerts grouped by strategy id."""
+        grouped: dict[str, list[Alert]] = {}
+        for alert in self._alerts:
+            grouped.setdefault(alert.strategy_id, []).append(alert)
+        return grouped
+
+    def counts_by_state(self) -> dict[AlertState, int]:
+        """Alert counts per lifecycle state."""
+        counts: dict[AlertState, int] = {state: 0 for state in AlertState}
+        for alert in self._alerts:
+            counts[alert.state] += 1
+        return counts

@@ -1,0 +1,73 @@
+"""Notification routing: which team hears about an alert, and how loudly.
+
+The paper observes OCEs "continually receive alerts by email, SMS, or even
+phone call" during storms.  The router picks the medium by severity and
+records every dispatch, which the storm analyses use to quantify OCE
+interrupt load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alerting.alert import Alert, Severity
+
+__all__ = ["Notification", "NotificationRouter", "MEDIUM_BY_SEVERITY"]
+
+#: Escalation medium per severity level.
+MEDIUM_BY_SEVERITY: dict[Severity, str] = {
+    Severity.CRITICAL: "phone",
+    Severity.MAJOR: "sms",
+    Severity.MINOR: "sms",
+    Severity.WARNING: "email",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    """One dispatched notification."""
+
+    alert_id: str
+    team: str
+    medium: str
+    sent_at: float
+
+
+class NotificationRouter:
+    """Routes alerts to owning teams and logs every dispatch."""
+
+    def __init__(self, default_team: str = "default-team") -> None:
+        self._default_team = default_team
+        self._team_of_service: dict[str, str] = {}
+        self._log: list[Notification] = []
+
+    def assign(self, service: str, team: str) -> None:
+        """Route all alerts of ``service`` to ``team``."""
+        self._team_of_service[service] = team
+
+    def team_for(self, alert: Alert) -> str:
+        """The team that receives ``alert``."""
+        return self._team_of_service.get(alert.service, self._default_team)
+
+    def dispatch(self, alert: Alert, now: float) -> Notification:
+        """Send (record) the notification for ``alert``."""
+        notification = Notification(
+            alert_id=alert.alert_id,
+            team=self.team_for(alert),
+            medium=MEDIUM_BY_SEVERITY[alert.severity],
+            sent_at=now,
+        )
+        self._log.append(notification)
+        return notification
+
+    @property
+    def log(self) -> list[Notification]:
+        """All dispatched notifications (copy)."""
+        return list(self._log)
+
+    def interrupts_per_team(self) -> dict[str, int]:
+        """Notification counts per team — the OCE fatigue signal."""
+        counts: dict[str, int] = {}
+        for notification in self._log:
+            counts[notification.team] = counts.get(notification.team, 0) + 1
+        return counts

@@ -1,0 +1,119 @@
+"""Generation rules for the three monitoring channels (§II-B3).
+
+A rule answers one question at poll time: *given the telemetry of this
+component, should the strategy fire right now?*  The three rule types
+match the paper's taxonomy:
+
+* :class:`ProbeRule` — no response for longer than a fixed threshold;
+* :class:`LogKeywordRule` — at least N error events within the last M
+  seconds ("IF the logs contain 5 ERRORs in the past 2 minutes ...");
+* :class:`MetricRule` — an anomaly detector over a metric lookback window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import TimeWindow
+from repro.common.validation import require_positive
+from repro.detection.base import AnomalyDetector
+from repro.telemetry.store import TelemetryHub
+
+__all__ = ["ProbeRule", "LogKeywordRule", "MetricRule", "GenerationRule"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRule:
+    """Fire when the target has been unresponsive for ``no_response_threshold`` s."""
+
+    no_response_threshold: float = 120.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.no_response_threshold, "no_response_threshold")
+
+    channel: str = field(default="probe", init=False)
+
+    def evaluate(self, hub: TelemetryHub, microservice: str, region: str, now: float) -> bool:
+        """Whether the probe target violates the no-response threshold at ``now``."""
+        probe = hub.probe(microservice, region)
+        return probe.unresponsive_duration(now) >= self.no_response_threshold
+
+    def describe(self) -> str:
+        """Generation-rule text for the SOP record."""
+        return (
+            f"Probe the target; generate the alert when it has not responded "
+            f"for {self.no_response_threshold:.0f}s."
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LogKeywordRule:
+    """Fire when >= ``min_count`` error events occur within ``window_seconds``."""
+
+    min_count: int = 5
+    window_seconds: float = 120.0
+    keyword: str = "ERROR"
+
+    def __post_init__(self) -> None:
+        if self.min_count < 1:
+            raise ValidationError(f"min_count must be >= 1, got {self.min_count}")
+        require_positive(self.window_seconds, "window_seconds")
+
+    channel: str = field(default="log", init=False)
+
+    def evaluate(self, hub: TelemetryHub, microservice: str, region: str, now: float) -> bool:
+        """Whether the log channel matched the keyword rule at ``now``."""
+        stream = hub.logs(microservice, region)
+        window = TimeWindow(max(now - self.window_seconds, 0.0), now)
+        return stream.error_count(window) >= self.min_count
+
+    def describe(self) -> str:
+        """Generation-rule text for the SOP record."""
+        return (
+            f"IF the logs contain {self.min_count} {self.keyword}s in the past "
+            f"{self.window_seconds / 60:.0f} minutes, THEN generate an alert."
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MetricRule:
+    """Fire when the detector flags the latest point of a metric window."""
+
+    metric_name: str
+    detector: AnomalyDetector
+    lookback_seconds: float = 1800.0
+    sample_interval: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.metric_name:
+            raise ValidationError("metric_name must be non-empty")
+        require_positive(self.lookback_seconds, "lookback_seconds")
+        require_positive(self.sample_interval, "sample_interval")
+        if self.sample_interval > self.lookback_seconds:
+            raise ValidationError(
+                f"sample_interval {self.sample_interval} exceeds lookback "
+                f"{self.lookback_seconds}"
+            )
+
+    channel: str = field(default="metric", init=False)
+
+    def evaluate(self, hub: TelemetryHub, microservice: str, region: str, now: float) -> bool:
+        """Whether the metric detector fires on the latest sample at ``now``."""
+        series = hub.metric(microservice, region, self.metric_name)
+        window = TimeWindow(max(now - self.lookback_seconds, 0.0), now + self.sample_interval / 2)
+        times, values = series.sample_window(window, self.sample_interval)
+        if times.size == 0:
+            return False
+        return self.detector.latest_is_anomalous(times, values)
+
+    def describe(self) -> str:
+        """Generation-rule text for the SOP record."""
+        return (
+            f"Continuously check {self.metric_name}; generate the alert when "
+            f"{self.detector.describe()} fires."
+        )
+
+
+#: Union type of the three rule flavours.
+GenerationRule = ProbeRule | LogKeywordRule | MetricRule

@@ -1,0 +1,135 @@
+"""Standard Operating Procedures (paper Figure 5).
+
+An SOP record carries the fields of the paper's example —
+``nginx_cpu_usage_over_80`` with description, generation rule, potential
+impact, possible causes, and diagnosis steps.  The library builds default
+SOPs from strategies; SOP *quality* inherits the strategy's title clarity,
+which is how poorly configured strategies end up with unhelpful SOPs (the
+survey's Finding 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alerting.strategy import AlertStrategy
+from repro.common.errors import ValidationError
+
+__all__ = ["SOP", "SOPLibrary"]
+
+_STEPS_BY_CHANNEL: dict[str, tuple[str, ...]] = {
+    "metric": (
+        "Step 1: inspect the metric dashboard of the affected component.",
+        "Step 2: execute `top -bn1` / storage or network inspection on the instance.",
+        "Step 3: compare against neighbouring instances to rule out host issues.",
+        "Step 4: mitigate per the possible causes; escalate if unresolved in 30 min.",
+    ),
+    "log": (
+        "Step 1: pull the matching error lines from the log store.",
+        "Step 2: identify the dominant error template and the first occurrence.",
+        "Step 3: check recent deployments and configuration changes.",
+        "Step 4: mitigate per the possible causes; escalate if unresolved in 30 min.",
+    ),
+    "probe": (
+        "Step 1: probe the target manually from a bastion host.",
+        "Step 2: check process liveness and restart counters on the instance.",
+        "Step 3: fail over traffic if the instance does not recover.",
+        "Step 4: escalate to the service owner if the deployment is degraded.",
+    ),
+}
+
+_VAGUE_STEPS: tuple[str, ...] = (
+    "Step 1: check the component.",
+    "Step 2: contact the owner if it looks wrong.",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SOP:
+    """One Standard Operating Procedure record (Figure 5 schema)."""
+
+    alert_name: str
+    description: str
+    generation_rule: str
+    potential_impact: str
+    possible_causes: tuple[str, ...] = ()
+    steps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.alert_name:
+            raise ValidationError("alert_name must be non-empty")
+
+    @property
+    def is_actionable(self) -> bool:
+        """Whether the SOP gives concrete diagnosis steps (>= 3 steps with commands)."""
+        return len(self.steps) >= 3
+
+    def render(self) -> str:
+        """Multi-line rendering in the style of the paper's Figure 5."""
+        lines = [
+            f"SOP for alert {self.alert_name}",
+            f"Description      {self.description}",
+            f"Generation Rule  {self.generation_rule}",
+            f"Potential Impact {self.potential_impact}",
+            "Possible Causes  " + " ".join(
+                f"{chr(ord('a') + i)}) {cause}" for i, cause in enumerate(self.possible_causes)
+            ),
+        ]
+        lines.extend(f"  {step}" for step in self.steps)
+        return "\n".join(lines)
+
+
+class SOPLibrary:
+    """SOPs keyed by strategy name."""
+
+    def __init__(self) -> None:
+        self._sops: dict[str, SOP] = {}
+
+    def __len__(self) -> int:
+        return len(self._sops)
+
+    def __contains__(self, alert_name: str) -> bool:
+        return alert_name in self._sops
+
+    def add(self, sop: SOP) -> None:
+        """Register an SOP (replacing any previous one for the same name)."""
+        self._sops[sop.alert_name] = sop
+
+    def lookup(self, alert_name: str) -> SOP | None:
+        """The SOP for ``alert_name``, or ``None`` — OCEs 'look up the alert
+        title to find the corresponding SOP' (§II-B2)."""
+        return self._sops.get(alert_name)
+
+    def build_default(self, strategy: AlertStrategy) -> SOP:
+        """Build and register the default SOP for a strategy.
+
+        Strategies with degraded title clarity get the vague two-step SOP,
+        reproducing the coupling between strategy quality and SOP quality
+        the survey respondents complained about.
+        """
+        clear = strategy.quality.title_clarity >= 0.5
+        steps = _STEPS_BY_CHANNEL[strategy.channel] if clear else _VAGUE_STEPS
+        causes: tuple[str, ...]
+        if clear:
+            causes = (
+                "The workload is too high.",
+                "A dependency of the component is degraded.",
+                "A recent deployment introduced a regression.",
+            )
+        else:
+            causes = ("Unknown.",)
+        impact = (
+            f"Affects {strategy.service} requests served by {strategy.microservice}."
+            if clear
+            else "Impact unknown."
+        )
+        sop = SOP(
+            alert_name=strategy.name,
+            description=strategy.description,
+            generation_rule=strategy.rule.describe(),
+            potential_impact=impact,
+            possible_causes=causes,
+            steps=steps,
+        )
+        self.add(sop)
+        return sop

@@ -1,0 +1,136 @@
+"""Alert strategies and their quality knobs.
+
+A strategy (paper Table I) defines *when* to generate an alert (the
+generation rule), *what attributes* the alert carries (title, description,
+severity), and *to whom* it is sent (the owning team, via the router).
+
+``StrategyQuality`` encodes the configuration hygiene of a strategy.  The
+paper's individual anti-patterns are exactly the degraded corners of this
+space, so each knob maps to one anti-pattern:
+
+========================  =====================================  ============
+knob                      degraded meaning                       anti-pattern
+========================  =====================================  ============
+``title_clarity``         vague name/description                 A1
+``severity_bias``         configured severity != true severity   A2
+``target_relevance``      rule watches an irrelevant/outdated     A3
+                          infra signal
+``sensitivity``           fires on transient fluctuation         A4
+``repeat_proneness``      re-fires without meaningful cooldown   A5
+========================  =====================================  ============
+
+The knobs are *ground truth* for evaluation: detectors never read them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alerting.alert import Severity
+from repro.alerting.rules import GenerationRule
+from repro.common.errors import ValidationError
+from repro.common.validation import require_fraction, require_positive
+
+__all__ = ["StrategyQuality", "AlertStrategy", "QUALITY_THRESHOLDS"]
+
+#: Knob thresholds beyond which an anti-pattern is considered injected.
+QUALITY_THRESHOLDS: dict[str, float] = {
+    "title_clarity": 0.5,      # below → A1
+    "target_relevance": 0.5,   # below → A3
+    "sensitivity": 0.6,        # above → A4
+    "repeat_proneness": 0.6,   # above → A5
+}
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyQuality:
+    """Configuration hygiene of one alert strategy (all knobs in [0, 1])."""
+
+    title_clarity: float = 1.0
+    severity_bias: int = 0
+    target_relevance: float = 1.0
+    sensitivity: float = 0.0
+    repeat_proneness: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_fraction(self.title_clarity, "title_clarity")
+        require_fraction(self.target_relevance, "target_relevance")
+        require_fraction(self.sensitivity, "sensitivity")
+        require_fraction(self.repeat_proneness, "repeat_proneness")
+        if abs(self.severity_bias) > 3:
+            raise ValidationError(f"severity_bias must be in [-3, 3], got {self.severity_bias}")
+
+    def injected_antipatterns(self) -> frozenset[str]:
+        """Which individual anti-patterns this quality configuration injects."""
+        injected = set()
+        if self.title_clarity < QUALITY_THRESHOLDS["title_clarity"]:
+            injected.add("A1")
+        if self.severity_bias != 0:
+            injected.add("A2")
+        if self.target_relevance < QUALITY_THRESHOLDS["target_relevance"]:
+            injected.add("A3")
+        if self.sensitivity > QUALITY_THRESHOLDS["sensitivity"]:
+            injected.add("A4")
+        if self.repeat_proneness > QUALITY_THRESHOLDS["repeat_proneness"]:
+            injected.add("A5")
+        return frozenset(injected)
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether no anti-pattern is injected."""
+        return not self.injected_antipatterns()
+
+
+@dataclass(slots=True)
+class AlertStrategy:
+    """One alert strategy bound to a (microservice, rule) pair.
+
+    ``severity`` is the *configured* level OCEs see; ``true_severity`` is
+    the appropriate level given the monitored signal's real impact.  They
+    differ exactly when ``quality.severity_bias != 0`` (anti-pattern A2).
+    """
+
+    strategy_id: str
+    name: str
+    service: str
+    microservice: str
+    rule: GenerationRule
+    severity: Severity
+    true_severity: Severity
+    title: str
+    description: str
+    quality: StrategyQuality = field(default_factory=StrategyQuality)
+    check_interval: float = 60.0
+    cooldown_seconds: float = 900.0
+    auto_clear: bool = True
+    owner_team: str = "default-team"
+
+    def __post_init__(self) -> None:
+        if not self.strategy_id or not self.name:
+            raise ValidationError("strategy_id and name must be non-empty")
+        require_positive(self.check_interval, "check_interval")
+        if self.cooldown_seconds < 0:
+            raise ValidationError(f"cooldown_seconds must be >= 0, got {self.cooldown_seconds}")
+
+    @property
+    def channel(self) -> str:
+        """Monitoring channel of the generation rule: probe, log, or metric."""
+        return self.rule.channel
+
+    def injected_antipatterns(self) -> frozenset[str]:
+        """Ground-truth anti-patterns injected into this strategy."""
+        return self.quality.injected_antipatterns()
+
+    def effective_cooldown(self) -> float:
+        """Cooldown after quality degradation (repeat-prone strategies re-fire fast)."""
+        if self.quality.repeat_proneness <= 0:
+            return self.cooldown_seconds
+        return self.cooldown_seconds * (1.0 - self.quality.repeat_proneness)
+
+    def describe(self) -> str:
+        """One-line strategy listing for reports and SOPs."""
+        patterns = ",".join(sorted(self.injected_antipatterns())) or "clean"
+        return (
+            f"{self.strategy_id} [{self.channel}] {self.name} on {self.microservice} "
+            f"sev={self.severity.label} ({patterns})"
+        )

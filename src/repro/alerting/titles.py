@@ -1,0 +1,143 @@
+"""Alert title and description synthesis, clear and deliberately vague.
+
+The paper's A1 anti-pattern is "Unclear Name or Description": titles that
+"describe the system state in a very general way with vague words", e.g.
+"Elastic Computing Service is abnormal" or "Instance x is abnormal".
+Clear titles instead contain the affected component and the manifestation
+of the failure.  The synthesiser produces both, controlled by a clarity
+knob, and exports the vague-word lexicon that the A1 detector scores
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_fraction
+
+__all__ = [
+    "VAGUE_WORDS",
+    "MANIFESTATIONS",
+    "make_title",
+    "make_description",
+    "vagueness_score",
+]
+
+#: Words that signal a non-informative title (A1).  Used both to *produce*
+#: vague titles and to *detect* them; the detector additionally scores
+#: structural signals, so this is not a tautology (see antipatterns.text).
+VAGUE_WORDS: frozenset[str] = frozenset({
+    "abnormal", "exception", "exceptions", "error", "errors", "issue", "issues",
+    "problem", "problems", "risk", "risks", "unknown", "unhealthy", "bad",
+    "wrong", "failure", "failed", "anomaly", "warning", "alarm", "attention",
+})
+
+#: Failure manifestations by fault flavour: (title fragment, description).
+MANIFESTATIONS: dict[str, tuple[str, str]] = {
+    "disk_full": (
+        "failed to allocate new blocks, disk full",
+        "Disk usage exceeded capacity; new block allocations are failing.",
+    ),
+    "cpu_overload": (
+        "CPU usage continuously over 80%",
+        "CPU usage of the instance exceeded 80% for consecutive checks.",
+    ),
+    "memory_leak": (
+        "memory usage growing, suspected leak",
+        "Resident memory grows monotonically without load increase.",
+    ),
+    "crash": (
+        "process not responding to probes",
+        "The target process stopped answering heartbeat probes.",
+    ),
+    "network_overload": (
+        "network throughput saturated, packets dropped",
+        "Egress throughput reached line rate and packet loss is rising.",
+    ),
+    "commit_failure": (
+        "failed to commit changes to backend storage",
+        "Write transactions are rejected by the storage backend.",
+    ),
+    "latency_regression": (
+        "request latency above SLO threshold",
+        "P99 latency exceeded the service-level objective threshold.",
+    ),
+    "error_burst": (
+        "error logs burst detected",
+        "The error-log rate exceeded the keyword-rule threshold.",
+    ),
+    "queue_backlog": (
+        "consumer lag growing, queue backlog",
+        "Message consumers fall behind producers; backlog is growing.",
+    ),
+    "process_count": (
+        "process number warning",
+        "The number of worker processes deviates from the expected count.",
+    ),
+}
+
+_VAGUE_TEMPLATES: tuple[str, ...] = (
+    "{service} is abnormal",
+    "Instance {component} is abnormal",
+    "Component {component} encounters exceptions",
+    "{service} cluster has risks",
+    "{component} unknown error",
+    "{service} needs attention",
+)
+
+
+def make_title(
+    service: str,
+    component: str,
+    manifestation: str,
+    clarity: float,
+    rng: np.random.Generator,
+) -> str:
+    """Synthesise an alert title with the given ``clarity`` in [0, 1].
+
+    Clarity >= 0.5 yields an informative title (component + manifestation,
+    per §II-B2); lower values yield one of the paper's vague templates.
+    """
+    require_fraction(clarity, "clarity")
+    if manifestation not in MANIFESTATIONS:
+        fragment = manifestation
+    else:
+        fragment, _ = MANIFESTATIONS[manifestation]
+    if clarity >= 0.5:
+        return f"{component}: {fragment}"
+    template = _VAGUE_TEMPLATES[int(rng.integers(len(_VAGUE_TEMPLATES)))]
+    return template.format(service=service, component=component)
+
+
+def make_description(
+    component: str,
+    manifestation: str,
+    clarity: float,
+    rng: np.random.Generator,
+) -> str:
+    """Synthesise the free-text description matching :func:`make_title`."""
+    require_fraction(clarity, "clarity")
+    if clarity >= 0.5 and manifestation in MANIFESTATIONS:
+        _, description = MANIFESTATIONS[manifestation]
+        return f"{description} Affected component: {component}."
+    vague_choices = (
+        "Something is wrong, please check.",
+        "The component reported an unknown issue.",
+        "State is abnormal.",
+    )
+    return vague_choices[int(rng.integers(len(vague_choices)))]
+
+
+def vagueness_score(text: str) -> float:
+    """Fraction of content words that come from the vague lexicon.
+
+    A crude lexical score in [0, 1]; the full A1 detector combines this
+    with structural features (presence of a component name, a quantified
+    manifestation, text length).
+    """
+    words = [w.strip(".,:;!?()[]").lower() for w in text.split()]
+    words = [w for w in words if w]
+    if not words:
+        return 1.0
+    vague = sum(1 for w in words if w in VAGUE_WORDS)
+    return vague / len(words)

@@ -1,0 +1,26 @@
+"""Analysis: paper constants, trace statistics, and figure/table builders.
+
+* :mod:`repro.analysis.paper_reference` — every number the paper reports,
+  used both to calibrate the synthetic substrate and as the comparison
+  column in the benchmark harness;
+* :mod:`repro.analysis.stats` — summary statistics over alert traces;
+* :mod:`repro.analysis.figures` — builders that turn measured data into
+  the same rows/series the paper's figures plot, rendered as ASCII;
+* :mod:`repro.analysis.report` — paper-vs-measured comparison tables.
+"""
+
+from repro.analysis import paper_reference
+from repro.analysis.figures import render_bar_survey, render_hourly_series, render_table
+from repro.analysis.report import ComparisonRow, render_comparison
+from repro.analysis.stats import TraceStats, compute_trace_stats
+
+__all__ = [
+    "paper_reference",
+    "render_bar_survey",
+    "render_hourly_series",
+    "render_table",
+    "ComparisonRow",
+    "render_comparison",
+    "TraceStats",
+    "compute_trace_stats",
+]

@@ -1,0 +1,92 @@
+"""ASCII renderings of the paper's figure shapes.
+
+The benchmark harness is text-only, so every figure is rendered as the
+series/rows the paper plots: stacked horizontal bars for the survey
+figures, an hourly series table for the storm figure, and plain aligned
+tables for alert samples.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.common.errors import ValidationError
+
+__all__ = ["render_bar_survey", "render_hourly_series", "render_table"]
+
+_BAR_GLYPHS = ("#", "=", ".")
+_BAR_WIDTH = 36
+
+
+def render_bar_survey(
+    title: str,
+    rows: Mapping[str, Mapping[str, int]],
+    options: Sequence[str],
+) -> str:
+    """Render stacked horizontal bars, one row per item (Figure 2 style).
+
+    ``rows`` maps a row label (e.g. ``"A1"``) to its per-option counts.
+    """
+    if len(options) > len(_BAR_GLYPHS):
+        raise ValidationError(f"at most {len(_BAR_GLYPHS)} options supported, got {len(options)}")
+    lines = [title]
+    legend = "  ".join(
+        f"{glyph}={option}" for glyph, option in zip(_BAR_GLYPHS, options)
+    )
+    lines.append(f"  legend: {legend}")
+    label_width = max((len(label) for label in rows), default=4)
+    for label, counts in rows.items():
+        total = sum(counts.get(option, 0) for option in options)
+        if total == 0:
+            lines.append(f"  {label:<{label_width}} (no responses)")
+            continue
+        bar = ""
+        for glyph, option in zip(_BAR_GLYPHS, options):
+            count = counts.get(option, 0)
+            width = round(_BAR_WIDTH * count / total)
+            bar += glyph * width
+        numbers = " ".join(f"{counts.get(option, 0):>2}" for option in options)
+        lines.append(f"  {label:<{label_width}} |{bar:<{_BAR_WIDTH}}| {numbers}")
+    return "\n".join(lines)
+
+
+def render_hourly_series(
+    title: str,
+    hours: Sequence[int],
+    series: Mapping[str, Sequence[int]],
+) -> str:
+    """Render per-hour counts for several named series (Figure 3 style)."""
+    for name, values in series.items():
+        if len(values) != len(hours):
+            raise ValidationError(
+                f"series {name!r} has {len(values)} values for {len(hours)} hours"
+            )
+    lines = [title]
+    name_width = max((len(name) for name in series), default=6)
+    header = " " * (name_width + 2) + " ".join(f"{hour:>6}" for hour in hours) + "   total"
+    lines.append(header)
+    for name, values in series.items():
+        cells = " ".join(f"{value:>6}" for value in values)
+        lines.append(f"  {name:<{name_width}}{cells} {sum(values):>7}")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a plain aligned table (Table II style)."""
+    if not headers:
+        raise ValidationError("headers must be non-empty")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(f"{cell:<{width}}" for cell, width in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)

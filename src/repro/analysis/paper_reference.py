@@ -1,0 +1,131 @@
+"""Every number the paper reports, in one place.
+
+These constants serve two purposes: (1) calibrate the synthetic substrate
+(survey response model, storm scenario shape), and (2) provide the
+"paper" column that every benchmark prints next to its measured value.
+Section/figure provenance is noted on each constant.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ANTIPATTERN_NAMES",
+    "REACTION_NAMES",
+    "ANTIPATTERN_IMPACT",
+    "SOP_HELPFULNESS",
+    "SOP_QUESTIONS",
+    "REACTION_EFFECTIVENESS",
+    "EXPERIENCE_MIX",
+    "N_OCES",
+    "Q1_LIMITED_GT3_COUNT",
+    "Q1_LIMITED_GT3_SHARE",
+    "STUDY_YEARS",
+    "N_ALERTS_TOTAL",
+    "N_SERVICES",
+    "N_MICROSERVICES",
+    "N_STRATEGIES",
+    "TOP_PROCESSING_FRACTION",
+    "COLLECTIVE_CANDIDATE_THRESHOLD",
+    "STORM_THRESHOLD",
+    "INDIVIDUAL_CANDIDATES",
+    "INDIVIDUAL_CONFIRMED",
+    "COLLECTIVE_CANDIDATES",
+    "COLLECTIVE_CONFIRMED",
+    "STORM_EXAMPLE",
+    "QOA_CRITERIA",
+]
+
+#: §III-A: the six anti-patterns.
+ANTIPATTERN_NAMES: dict[str, str] = {
+    "A1": "Unclear Name or Description",
+    "A2": "Misleading Severity",
+    "A3": "Improper and Outdated Generation Rule",
+    "A4": "Transient and Toggling Alerts",
+    "A5": "Repeating Alerts",
+    "A6": "Cascading Alerts",
+}
+
+#: §III-C: the four postmortem reactions.
+REACTION_NAMES: dict[str, str] = {
+    "R1": "Alert Blocking",
+    "R2": "Alert Aggregation",
+    "R3": "Alert Correlation Analysis",
+    "R4": "Emerging Alert Detection",
+}
+
+#: Figure 2(a): per anti-pattern (High, Low, No-Impact) counts of 18 OCEs.
+ANTIPATTERN_IMPACT: dict[str, tuple[int, int, int]] = {
+    "A1": (11, 7, 0),
+    "A2": (8, 8, 2),
+    "A3": (13, 4, 1),
+    "A4": (7, 10, 1),
+    "A5": (7, 10, 1),
+    "A6": (14, 4, 0),
+}
+
+#: Figure 2(b): per question (Helpful, Limited Help, Not Helpful) counts.
+SOP_HELPFULNESS: dict[str, tuple[int, int, int]] = {
+    "Q1": (4, 14, 0),
+    "Q2": (9, 7, 2),
+    "Q3": (5, 13, 0),
+}
+
+#: Figure 2(b) question texts.
+SOP_QUESTIONS: dict[str, str] = {
+    "Q1": "Overall helpfulness of predefined SOPs",
+    "Q2": "Helpfulness for individual anti-patterns",
+    "Q3": "Helpfulness for collective anti-patterns",
+}
+
+#: Figure 2(c): per reaction (Effective, Limited Effect, Not Effective) counts.
+REACTION_EFFECTIVENESS: dict[str, tuple[int, int, int]] = {
+    "R1": (18, 0, 0),
+    "R2": (16, 2, 0),
+    "R3": (18, 0, 0),
+    "R4": (13, 3, 2),
+}
+
+#: §III: the 18 surveyed OCEs by working experience.
+EXPERIENCE_MIX: dict[str, int] = {">3y": 10, "2-3y": 3, "1-2y": 2, "<1y": 3}
+
+#: §III: panel size.
+N_OCES = 18
+
+#: Figure 4: all ten >3-year OCEs answered "Limited Help" on Q1 ...
+Q1_LIMITED_GT3_COUNT = 10
+#: ... which is 71.4 % of the fourteen "Limited Help" answers.
+Q1_LIMITED_GT3_SHARE = 10 / 14
+
+#: §I/§III study frame.
+STUDY_YEARS = 2
+N_ALERTS_TOTAL = 4_000_000  # "over 4 million alerts"
+N_SERVICES = 11
+N_MICROSERVICES = 192
+N_STRATEGIES = 2010
+
+#: §III-A candidate mining parameters.
+TOP_PROCESSING_FRACTION = 0.30   # top 30 % longest mean processing time
+COLLECTIVE_CANDIDATE_THRESHOLD = 200  # alerts / hour / region
+STORM_THRESHOLD = 100            # alerts / hour / region counts as a storm
+
+#: §III-A mining outcome.
+INDIVIDUAL_CANDIDATES = 5
+INDIVIDUAL_CONFIRMED = 4
+COLLECTIVE_CANDIDATES = 2
+COLLECTIVE_CONFIRMED = 2
+
+#: §III-A2 / Figure 3: the representative 7:00-11:59 storm.
+STORM_EXAMPLE: dict[str, object] = {
+    "start_hour": 7,
+    "end_hour": 12,           # exclusive: 7:00 AM to 11:59 AM
+    "total_alerts": 2751,
+    "effective_strategies": 200,
+    "top_strategy": "haproxy_process_number_warning",
+    "top_strategy_display": "HAProxy",
+    "top_share_per_hour": 0.30,   # "around 30% of the total number in each hour"
+    "top_severity": "WARNING",    # "only a WARNING level alert, i.e., the lowest level"
+    "second_strategy_display": "Kafka",
+}
+
+#: §IV: the three Quality-of-Alerts criteria.
+QOA_CRITERIA: tuple[str, ...] = ("indicativeness", "precision", "handleability")

@@ -1,0 +1,42 @@
+"""Paper-vs-measured comparison tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.figures import render_table
+
+__all__ = ["ComparisonRow", "render_comparison"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One metric compared between the paper and this reproduction."""
+
+    metric: str
+    paper: object
+    measured: object
+    note: str = ""
+
+    def formatted(self) -> tuple[str, str, str, str]:
+        """Cells for the rendering table."""
+        return (self.metric, _fmt(self.paper), _fmt(self.measured), self.note)
+
+
+def render_comparison(title: str, rows: list[ComparisonRow]) -> str:
+    """Render a paper-vs-measured table with a title line."""
+    table = render_table(
+        headers=("metric", "paper", "measured", "note"),
+        rows=[row.formatted() for row in rows],
+    )
+    return f"{title}\n{table}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.4f}"
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

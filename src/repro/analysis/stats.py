@@ -1,0 +1,83 @@
+"""Summary statistics over alert collections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.alerting.alert import Alert, AlertState, Severity
+from repro.common.errors import ValidationError
+from repro.common.timeutil import DAY
+
+__all__ = ["TraceStats", "compute_trace_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStats:
+    """Aggregate shape of an alert collection."""
+
+    n_alerts: int
+    n_strategies: int
+    n_services: int
+    n_regions: int
+    span_seconds: float
+    by_severity: dict[Severity, int] = field(default_factory=dict)
+    by_channel: dict[str, int] = field(default_factory=dict)
+    by_state: dict[AlertState, int] = field(default_factory=dict)
+
+    @property
+    def alerts_per_day(self) -> float:
+        """Mean daily alert volume over the observed span."""
+        if self.span_seconds <= 0:
+            return float(self.n_alerts)
+        return self.n_alerts / (self.span_seconds / DAY)
+
+    def render(self) -> str:
+        """Multi-line human-readable summary."""
+        severity = ", ".join(
+            f"{sev.label}={count}" for sev, count in sorted(self.by_severity.items())
+        )
+        channel = ", ".join(f"{ch}={count}" for ch, count in sorted(self.by_channel.items()))
+        state = ", ".join(f"{st.value}={count}" for st, count in self.by_state.items())
+        return "\n".join([
+            f"alerts: {self.n_alerts:,} over {self.span_seconds / DAY:.1f} days "
+            f"({self.alerts_per_day:,.0f}/day)",
+            f"strategies: {self.n_strategies:,}; services: {self.n_services}; "
+            f"regions: {self.n_regions}",
+            f"severity: {severity}",
+            f"channel: {channel}",
+            f"state: {state}",
+        ])
+
+
+def compute_trace_stats(alerts: Sequence[Alert]) -> TraceStats:
+    """Compute :class:`TraceStats` for a non-empty alert collection."""
+    if not alerts:
+        raise ValidationError("cannot compute stats of an empty alert collection")
+    by_severity: dict[Severity, int] = {}
+    by_channel: dict[str, int] = {}
+    by_state: dict[AlertState, int] = {}
+    strategies: set[str] = set()
+    services: set[str] = set()
+    regions: set[str] = set()
+    first = float("inf")
+    last = float("-inf")
+    for alert in alerts:
+        by_severity[alert.severity] = by_severity.get(alert.severity, 0) + 1
+        by_channel[alert.channel] = by_channel.get(alert.channel, 0) + 1
+        by_state[alert.state] = by_state.get(alert.state, 0) + 1
+        strategies.add(alert.strategy_id)
+        services.add(alert.service)
+        regions.add(alert.region)
+        first = min(first, alert.occurred_at)
+        last = max(last, alert.occurred_at)
+    return TraceStats(
+        n_alerts=len(alerts),
+        n_strategies=len(strategies),
+        n_services=len(services),
+        n_regions=len(regions),
+        span_seconds=max(last - first, 0.0),
+        by_severity=by_severity,
+        by_channel=by_channel,
+        by_state=by_state,
+    )

@@ -1,0 +1,217 @@
+"""Command-line interface: generate traces and run every analysis.
+
+::
+
+    repro-alerts generate --out trace-dir --days 60
+    repro-alerts mine     --trace trace-dir
+    repro-alerts mitigate --trace trace-dir
+    repro-alerts qoa      --trace trace-dir
+    repro-alerts storm
+    repro-alerts survey
+    repro-alerts lint     --strategies 400
+
+Every command is deterministic under ``--seed`` and prints the same
+reports the benchmark harness records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import compute_trace_stats, paper_reference as paper
+from repro.analysis.figures import render_bar_survey, render_hourly_series
+from repro.common.timeutil import hour_bucket
+from repro.core.antipatterns import run_mining_pipeline
+from repro.core.governance import GuidelineChecker
+from repro.core.mitigation import MitigationPipeline, rulebook_from_ground_truth
+from repro.core.qoa import evaluate_qoa_pipeline
+from repro.io import load_trace, save_trace
+from repro.oce.survey import (
+    IMPACT_OPTIONS,
+    REACTION_OPTIONS,
+    SOP_OPTIONS,
+    SurveyInstrument,
+)
+from repro.topology import TopologyConfig, generate_topology
+from repro.workload import (
+    StrategyFactory,
+    TraceConfig,
+    TraceScale,
+    build_representative_storm,
+    generate_trace,
+)
+from repro.workload.storms import StormConfig
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = {
+        "generate": _cmd_generate,
+        "mine": _cmd_mine,
+        "mitigate": _cmd_mitigate,
+        "qoa": _cmd_qoa,
+        "storm": _cmd_storm,
+        "survey": _cmd_survey,
+        "lint": _cmd_lint,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-alerts",
+        description="Alert anti-pattern characterisation and mitigation (DSN 2022).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    generate = sub.add_parser("generate", help="generate and save an alert trace")
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--days", type=float, default=None,
+                          help="trace length (default: 60-day preset)")
+    generate.add_argument("--strategies", type=int, default=None)
+    generate.add_argument("--paper-scale", action="store_true",
+                          help="the full 2-year / 4M-alert / 2010-strategy frame")
+
+    for name, help_text in (
+        ("mine", "run the SIII-A candidate-mining pipeline"),
+        ("mitigate", "run the R1-R3 mitigation pipeline"),
+        ("qoa", "run the SIV QoA evaluation"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("--trace", required=True, help="trace directory")
+        command.add_argument("--seed", type=int, default=None,
+                             help="topology seed (default: the trace's seed)")
+
+    storm = sub.add_parser("storm", help="regenerate the Figure 3 storm")
+    storm.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("survey", help="run the 18-OCE survey (Figures 2a-2c)")
+
+    lint = sub.add_parser("lint", help="lint a strategy population (SIII-D)")
+    lint.add_argument("--seed", type=int, default=42)
+    lint.add_argument("--strategies", type=int, default=400)
+    return parser
+
+
+def _topology_for(seed: int):
+    return generate_topology(TopologyConfig(seed=seed))
+
+
+def _cmd_generate(args) -> int:
+    if args.paper_scale:
+        scale = TraceScale.paper()
+    else:
+        base = TraceScale.default()
+        days = args.days if args.days is not None else base.days
+        n_strategies = args.strategies if args.strategies is not None else base.n_strategies
+        scale = TraceScale(
+            days=days,
+            n_strategies=n_strategies,
+            target_total_alerts=max(
+                int(base.alerts_per_strategy_per_day * days * n_strategies), 1
+            ),
+        )
+    topology = _topology_for(args.seed)
+    trace = generate_trace(TraceConfig(seed=args.seed, scale=scale), topology)
+    save_trace(trace, args.out)
+    print(compute_trace_stats(trace.alerts).render())
+    print(f"saved to {args.out}")
+    return 0
+
+
+def _load(args):
+    trace = load_trace(args.trace)
+    seed = args.seed if args.seed is not None else trace.seed
+    return trace, _topology_for(seed)
+
+
+def _cmd_mine(args) -> int:
+    trace, topology = _load(args)
+    print(run_mining_pipeline(trace, topology.graph).render())
+    return 0
+
+
+def _cmd_mitigate(args) -> int:
+    trace, topology = _load(args)
+    rulebook = rulebook_from_ground_truth(trace, coverage=0.6, seed=trace.seed)
+    report = MitigationPipeline(topology.graph, rulebook=rulebook).run(trace)
+    print(report.render())
+    return 0
+
+
+def _cmd_qoa(args) -> int:
+    trace, _ = _load(args)
+    print(evaluate_qoa_pipeline(trace, seed=trace.seed).render())
+    return 0
+
+
+def _cmd_storm(args) -> int:
+    config = StormConfig(seed=args.seed)
+    topology = _topology_for(args.seed)
+    storm = build_representative_storm(config, topology)
+    first_hour = config.day * 24 + config.start_hour
+    hours = list(range(first_hour, first_hour + config.n_hours))
+    series: dict[str, list[int]] = {"HAProxy": [], "Kafka": [], "Others": []}
+    for hour in hours:
+        bucket = [a for a in storm.alerts if hour_bucket(a.occurred_at) == hour]
+        haproxy = sum(1 for a in bucket if a.strategy_id == "strategy-haproxy")
+        kafka = sum(1 for a in bucket if a.strategy_id == "strategy-kafka")
+        series["HAProxy"].append(haproxy)
+        series["Kafka"].append(kafka)
+        series["Others"].append(len(bucket) - haproxy - kafka)
+    print(render_hourly_series(
+        f"Figure 3 storm ({len(storm)} alerts, "
+        f"{len(storm.by_strategy())} strategies)",
+        [h % 24 for h in hours], series,
+    ))
+    return 0
+
+
+def _cmd_survey(args) -> int:
+    results = SurveyInstrument(seed=42).run()
+    impact_rows = {
+        pattern: results.counts(f"impact/{pattern}", IMPACT_OPTIONS)
+        for pattern in sorted(paper.ANTIPATTERN_IMPACT)
+    }
+    print(render_bar_survey("Figure 2(a) — anti-pattern impact",
+                            impact_rows, IMPACT_OPTIONS))
+    sop_rows = {
+        question: results.counts(f"sop/{question}", SOP_OPTIONS)
+        for question in sorted(paper.SOP_HELPFULNESS)
+    }
+    print()
+    print(render_bar_survey("Figure 2(b) — SOP helpfulness", sop_rows, SOP_OPTIONS))
+    reaction_rows = {
+        reaction: results.counts(f"reaction/{reaction}", REACTION_OPTIONS)
+        for reaction in sorted(paper.REACTION_EFFECTIVENESS)
+    }
+    print()
+    print(render_bar_survey("Figure 2(c) — reaction effectiveness",
+                            reaction_rows, REACTION_OPTIONS))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    topology = _topology_for(args.seed)
+    strategies = StrategyFactory(topology, seed=args.seed).build(args.strategies)
+    report = GuidelineChecker(topology).review(strategies)
+    print(report.render())
+    for violation in report.violations[:10]:
+        print(f"  [{violation.aspect}] {violation.strategy_id}: {violation.message}")
+    if len(report.violations) > 10:
+        print(f"  ... and {len(report.violations) - 10} more")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Shared low-level utilities used by every subsystem.
+
+The helpers here deliberately stay small: deterministic random-number
+streams (:mod:`repro.common.rng`), simulated wall-clock time and windows
+(:mod:`repro.common.timeutil`), sequential identifier factories
+(:mod:`repro.common.ids`), argument validation (:mod:`repro.common.validation`),
+and the package exception hierarchy (:mod:`repro.common.errors`).
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.common.ids import IdFactory
+from repro.common.rng import derive_rng, derive_seed, spawn_children
+from repro.common.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    SECOND,
+    WEEK,
+    TimeWindow,
+    format_timestamp,
+    hour_bucket,
+    iter_buckets,
+    to_datetime,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "ReproError",
+    "SimulationError",
+    "ValidationError",
+    "IdFactory",
+    "derive_rng",
+    "derive_seed",
+    "spawn_children",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "TimeWindow",
+    "format_timestamp",
+    "hour_bucket",
+    "iter_buckets",
+    "to_datetime",
+]

@@ -1,0 +1,22 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class at the API
+boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad range, empty collection, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or incomplete."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""

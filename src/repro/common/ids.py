@@ -1,0 +1,60 @@
+"""Sequential identifier factories.
+
+Entities across the simulation (alerts, strategies, faults, ...) carry
+short human-readable ids such as ``alert-000123``.  Sequential ids keep
+traces diffable and make test failures easy to read.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+
+__all__ = ["IdFactory"]
+
+
+class IdFactory:
+    """Produces ``{prefix}-{counter:0{width}d}`` identifiers.
+
+    >>> factory = IdFactory("alert")
+    >>> factory.next()
+    'alert-000000'
+    >>> factory.next()
+    'alert-000001'
+    """
+
+    def __init__(self, prefix: str, width: int = 6, start: int = 0) -> None:
+        if not prefix:
+            raise ValidationError("prefix must be non-empty")
+        if width < 1:
+            raise ValidationError(f"width must be >= 1, got {width}")
+        if start < 0:
+            raise ValidationError(f"start must be >= 0, got {start}")
+        self._prefix = prefix
+        self._width = width
+        self._counter = start
+
+    @property
+    def prefix(self) -> str:
+        """The identifier prefix."""
+        return self._prefix
+
+    @property
+    def count(self) -> int:
+        """How many identifiers have been issued so far."""
+        return self._counter
+
+    def next(self) -> str:
+        """Issue the next identifier."""
+        value = f"{self._prefix}-{self._counter:0{self._width}d}"
+        self._counter += 1
+        return value
+
+    def peek(self) -> str:
+        """Return the identifier :meth:`next` would issue, without issuing it."""
+        return f"{self._prefix}-{self._counter:0{self._width}d}"
+
+    def reset(self, start: int = 0) -> None:
+        """Restart the counter (used between independent simulation runs)."""
+        if start < 0:
+            raise ValidationError(f"start must be >= 0, got {start}")
+        self._counter = start

@@ -1,0 +1,58 @@
+"""Deterministic random-number streams.
+
+Every stochastic component in the library receives its randomness from a
+named substream derived from a single root seed.  Substreams are
+independent of each other and of the order in which they are created, so
+adding a new component never perturbs the random draws of existing ones —
+a property the calibrated benchmarks rely on.
+
+Example
+-------
+>>> rng_topology = derive_rng(42, "topology")
+>>> rng_faults = derive_rng(42, "faults")
+>>> float(rng_topology.random()) != float(rng_faults.random())
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+__all__ = ["derive_seed", "derive_rng", "spawn_children"]
+
+_HASH_BYTES = 8
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a child seed from ``root_seed`` and a stream ``name``.
+
+    The derivation hashes the name, so two distinct names virtually never
+    collide and the result does not depend on creation order.
+    """
+    if not isinstance(root_seed, (int, np.integer)):
+        raise ValidationError(f"root_seed must be an int, got {type(root_seed).__name__}")
+    if not name:
+        raise ValidationError("stream name must be a non-empty string")
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    name_part = int.from_bytes(digest[:_HASH_BYTES], "big")
+    return (int(root_seed) * 0x9E3779B97F4A7C15 + name_part) % (2**63)
+
+
+def derive_rng(root_seed: int, name: str) -> np.random.Generator:
+    """Return an independent :class:`numpy.random.Generator` for ``name``."""
+    return np.random.default_rng(derive_seed(root_seed, name))
+
+
+def spawn_children(root_seed: int, name: str, count: int) -> list[np.random.Generator]:
+    """Return ``count`` independent generators under one stream name.
+
+    Useful for per-entity randomness (one generator per microservice, per
+    OCE, ...) where entities must not share a stream.
+    """
+    if count < 0:
+        raise ValidationError(f"count must be >= 0, got {count}")
+    return [derive_rng(derive_seed(root_seed, name), f"{name}/{index}") for index in range(count)]

@@ -1,0 +1,51 @@
+"""Small argument-validation helpers shared across constructors."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sized
+
+from repro.common.errors import ValidationError
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_fraction",
+    "require_non_empty",
+    "require_in",
+]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise :class:`ValidationError`."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, else raise :class:`ValidationError`."""
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_fraction(value: float, name: str) -> float:
+    """Return ``value`` if within ``[0, 1]``, else raise :class:`ValidationError`."""
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_non_empty(collection: Sized, name: str) -> Sized:
+    """Return ``collection`` if it has at least one element."""
+    if len(collection) == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    return collection
+
+
+def require_in(value: object, allowed: Iterable[object], name: str) -> object:
+    """Return ``value`` if it is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValidationError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

@@ -1,0 +1,11 @@
+"""The paper's core contribution: anti-pattern characterisation,
+mitigation reactions, and Quality-of-Alerts evaluation.
+
+* :mod:`repro.core.antipatterns` — detectors for the six anti-patterns
+  (A1-A6) and the paper's candidate-mining pipeline (§III-A);
+* :mod:`repro.core.mitigation` — the four postmortem reactions R1-R4 and
+  the end-to-end governance pipeline (§III-C, Figure 6);
+* :mod:`repro.core.qoa` — the Quality-of-Alerts framework: measured
+  indicativeness / precision / handleability plus the ML models trained
+  on OCE labels (§IV).
+"""

@@ -1,0 +1,63 @@
+"""Anti-pattern detection (paper §III-A).
+
+Individual anti-patterns (per strategy):
+
+* **A1** Unclear Name or Description — :class:`UnclearTitleDetector`
+* **A2** Misleading Severity — :class:`MisleadingSeverityDetector`
+* **A3** Improper and Outdated Generation Rule — :class:`ImproperRuleDetector`
+* **A4** Transient and Toggling Alerts — :class:`TransientTogglingDetector`
+
+Collective anti-patterns (per alert group):
+
+* **A5** Repeating Alerts — :class:`RepeatingAlertsDetector`
+* **A6** Cascading Alerts — :class:`CascadingAlertsDetector`
+
+:mod:`repro.core.antipatterns.mining` implements the candidate-selection
+methodology: strategies in the top 30 % of mean processing time become
+individual candidates; (hour, region) groups over 200 alerts become
+collective candidates; storms are >100-alert hours with consecutive hours
+merged.
+"""
+
+from repro.core.antipatterns.base import AntiPatternFinding, DetectorThresholds
+from repro.core.antipatterns.collective import (
+    CascadeFinding,
+    CascadingAlertsDetector,
+    RepeatingAlertsDetector,
+)
+from repro.core.antipatterns.individual import (
+    ImproperRuleDetector,
+    MisleadingSeverityDetector,
+    TransientTogglingDetector,
+    UnclearTitleDetector,
+    run_individual_detectors,
+)
+from repro.core.antipatterns.mining import (
+    MiningReport,
+    StormEpisode,
+    collective_candidate_groups,
+    detect_storms,
+    run_mining_pipeline,
+    select_individual_candidates,
+)
+from repro.core.antipatterns.text import TitleQualityScorer
+
+__all__ = [
+    "AntiPatternFinding",
+    "DetectorThresholds",
+    "TitleQualityScorer",
+    "UnclearTitleDetector",
+    "MisleadingSeverityDetector",
+    "ImproperRuleDetector",
+    "TransientTogglingDetector",
+    "run_individual_detectors",
+    "RepeatingAlertsDetector",
+    "CascadingAlertsDetector",
+    "CascadeFinding",
+    "MiningReport",
+    "StormEpisode",
+    "select_individual_candidates",
+    "collective_candidate_groups",
+    "detect_storms",
+    "run_mining_pipeline",
+]

@@ -1,0 +1,107 @@
+"""Shared finding record, detector thresholds, and flood-hour helper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, MINUTE
+from repro.common.validation import require_fraction, require_positive
+from repro.workload.trace import AlertTrace
+
+__all__ = ["AntiPatternFinding", "DetectorThresholds", "storm_hour_keys"]
+
+
+def storm_hour_keys(trace: AlertTrace, threshold: int = 100) -> set[tuple[int, str]]:
+    """(hour, region) buckets carrying flood-level volume.
+
+    Several individual detectors judge a strategy's *own* behaviour and
+    must ignore flood hours: during a storm every strategy of an affected
+    component fires, which says nothing about the strategy in isolation.
+    """
+    return {
+        key for key, count in trace.counts_by_hour_region().items() if count > threshold
+    }
+
+
+_PATTERNS = ("A1", "A2", "A3", "A4", "A5", "A6")
+
+
+@dataclass(frozen=True, slots=True)
+class AntiPatternFinding:
+    """One detected anti-pattern occurrence.
+
+    ``subject`` identifies what exhibits the pattern — a strategy id for
+    individual anti-patterns, a ``"hour=H/region=R"`` group key for
+    collective ones.  ``score`` in [0, 1] expresses detector confidence.
+    """
+
+    pattern: str
+    subject: str
+    score: float
+    evidence: str
+    details: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pattern not in _PATTERNS:
+            raise ValidationError(f"pattern must be one of {_PATTERNS}, got {self.pattern!r}")
+        require_fraction(self.score, "score")
+        if not self.subject:
+            raise ValidationError("subject must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class DetectorThresholds:
+    """All detector knobs in one place (paper values where it gives them).
+
+    * ``intermittent_threshold`` — A4's transient cut-off: an auto-cleared
+      alert shorter than this is *transient*;
+    * ``oscillation_threshold`` — A4: more generate/clear cycles of the
+      same (strategy, region) than this within ``oscillation_window`` is
+      *toggling*;
+    * ``repeat_hourly_count`` — A5: a strategy firing at least this often
+      within one hour in one region is *repeating*;
+    * ``cascade_root_coverage`` — A6: fraction of a group's microservices
+      that must be dependency-connected to the inferred root.
+    """
+
+    intermittent_threshold: float = 10 * MINUTE
+    transient_fraction: float = 0.30
+    oscillation_threshold: int = 5
+    oscillation_window: float = 2 * HOUR
+    severity_rank_gap: float = 0.35
+    severity_class_margin: float = 0.08
+    severity_min_distance: float = 0.15
+    severity_min_alerts: int = 10
+    impact_fraction_floor: float = 0.05
+    min_alerts_for_stats: int = 5
+    repeat_hourly_count: int = 10
+    repeat_share: float = 0.20
+    repeat_window: float = 3 * HOUR
+    repeat_window_count: int = 8
+    repeat_min_episodes: int = 3
+    cascade_root_coverage: float = 0.50
+    cascade_min_services: int = 3
+    cascade_max_hops: int = 6
+    unclear_title_cutoff: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_positive(self.intermittent_threshold, "intermittent_threshold")
+        require_fraction(self.transient_fraction, "transient_fraction")
+        require_positive(self.oscillation_threshold, "oscillation_threshold")
+        require_positive(self.oscillation_window, "oscillation_window")
+        require_fraction(self.severity_rank_gap, "severity_rank_gap")
+        require_fraction(self.severity_class_margin, "severity_class_margin")
+        require_fraction(self.severity_min_distance, "severity_min_distance")
+        require_positive(self.severity_min_alerts, "severity_min_alerts")
+        require_fraction(self.impact_fraction_floor, "impact_fraction_floor")
+        require_positive(self.min_alerts_for_stats, "min_alerts_for_stats")
+        require_positive(self.repeat_hourly_count, "repeat_hourly_count")
+        require_fraction(self.repeat_share, "repeat_share")
+        require_positive(self.repeat_window, "repeat_window")
+        require_positive(self.repeat_window_count, "repeat_window_count")
+        require_positive(self.repeat_min_episodes, "repeat_min_episodes")
+        require_fraction(self.cascade_root_coverage, "cascade_root_coverage")
+        require_positive(self.cascade_min_services, "cascade_min_services")
+        require_positive(self.cascade_max_hops, "cascade_max_hops")
+        require_fraction(self.unclear_title_cutoff, "unclear_title_cutoff")

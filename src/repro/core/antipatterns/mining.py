@@ -1,0 +1,267 @@
+"""The paper's candidate-mining pipeline (§III-A).
+
+Reproduces the methodology verbatim:
+
+1. *Individual candidates* — group alerts by strategy, compute each
+   strategy's mean processing time, keep the top 30 %;
+2. *Collective candidates* — group alerts per (hour, region); groups over
+   200 alerts (the estimated hourly capacity of an OCE team) become
+   candidates;
+3. *Storms* — hours with more than 100 alerts in a region, consecutive
+   storm hours merged into one episode;
+4. run the A1-A6 detectors over the candidates and score the result
+   against the injected ground truth (standing in for the paper's
+   two-OCE confirmation step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import paper_reference as paper
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.common.validation import require_fraction
+from repro.core.antipatterns.base import AntiPatternFinding, DetectorThresholds
+from repro.core.antipatterns.collective import (
+    CascadeFinding,
+    CascadingAlertsDetector,
+    RepeatingAlertsDetector,
+)
+from repro.core.antipatterns.individual import run_individual_detectors
+from repro.topology.graph import DependencyGraph
+from repro.workload.trace import AlertTrace
+
+__all__ = [
+    "StormEpisode",
+    "MiningReport",
+    "select_individual_candidates",
+    "collective_candidate_groups",
+    "detect_storms",
+    "run_mining_pipeline",
+    "score_findings",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StormEpisode:
+    """One merged run of storm hours in one region."""
+
+    region: str
+    start_hour: int
+    end_hour: int  # inclusive
+    total_alerts: int
+
+    def __post_init__(self) -> None:
+        if self.end_hour < self.start_hour:
+            raise ValidationError("end_hour precedes start_hour")
+
+    @property
+    def n_hours(self) -> int:
+        """Episode length in hours."""
+        return self.end_hour - self.start_hour + 1
+
+    @property
+    def window(self) -> TimeWindow:
+        """The covered time window."""
+        return TimeWindow(self.start_hour * HOUR, (self.end_hour + 1) * HOUR)
+
+
+def select_individual_candidates(
+    trace: AlertTrace, fraction: float = paper.TOP_PROCESSING_FRACTION
+) -> tuple[set[str], dict[str, float]]:
+    """Top ``fraction`` strategies by mean processing time (§III-A step 1).
+
+    Returns the candidate strategy ids and the full per-strategy means.
+    Strategies without sampled processing outcomes cannot rank.
+    """
+    require_fraction(fraction, "fraction")
+    means = trace.mean_processing_by_strategy()
+    if not means:
+        return set(), {}
+    ranked = sorted(means.items(), key=lambda kv: kv[1], reverse=True)
+    keep = max(int(len(ranked) * fraction), 1)
+    return {sid for sid, _ in ranked[:keep]}, means
+
+
+def collective_candidate_groups(
+    trace: AlertTrace, threshold: int = paper.COLLECTIVE_CANDIDATE_THRESHOLD
+) -> dict[tuple[int, str], list]:
+    """(hour, region) groups whose alert count exceeds ``threshold``."""
+    grouped = trace.alerts_by_hour_region()
+    return {key: alerts for key, alerts in grouped.items() if len(alerts) > threshold}
+
+
+def detect_storms(
+    trace: AlertTrace, threshold: int = paper.STORM_THRESHOLD
+) -> list[StormEpisode]:
+    """Hours over ``threshold`` alerts per region, consecutive hours merged."""
+    counts = trace.counts_by_hour_region()
+    by_region: dict[str, list[tuple[int, int]]] = {}
+    for (hour, region), count in counts.items():
+        if count > threshold:
+            by_region.setdefault(region, []).append((hour, count))
+    episodes: list[StormEpisode] = []
+    for region, hours in by_region.items():
+        hours.sort()
+        run_start, run_end, run_total = hours[0][0], hours[0][0], hours[0][1]
+        for hour, count in hours[1:]:
+            if hour == run_end + 1:
+                run_end = hour
+                run_total += count
+            else:
+                episodes.append(StormEpisode(region, run_start, run_end, run_total))
+                run_start, run_end, run_total = hour, hour, count
+        episodes.append(StormEpisode(region, run_start, run_end, run_total))
+    episodes.sort(key=lambda e: (e.start_hour, e.region))
+    return episodes
+
+
+@dataclass(slots=True)
+class MiningReport:
+    """Everything the mining pipeline found."""
+
+    individual_candidates: set[str] = field(default_factory=set)
+    mean_processing: dict[str, float] = field(default_factory=dict)
+    individual_findings: dict[str, list[AntiPatternFinding]] = field(default_factory=dict)
+    collective_groups: dict[tuple[int, str], int] = field(default_factory=dict)
+    repeating_findings: list[AntiPatternFinding] = field(default_factory=list)
+    cascade_findings: list[CascadeFinding] = field(default_factory=list)
+    storms: list[StormEpisode] = field(default_factory=list)
+    trace_days: float = 0.0
+    scores: dict[str, dict[str, float]] = field(default_factory=dict)
+    full_findings: dict[str, list[AntiPatternFinding]] = field(default_factory=dict)
+    full_scores: dict[str, dict[str, float]] = field(default_factory=dict)
+    candidate_enrichment: float = 0.0
+    population_antipattern_rate: float = 0.0
+
+    @property
+    def individual_patterns_found(self) -> list[str]:
+        """Individual patterns with at least one finding among candidates."""
+        return sorted(p for p, f in self.individual_findings.items() if f)
+
+    @property
+    def collective_patterns_found(self) -> list[str]:
+        """Collective patterns with at least one finding."""
+        found = []
+        if self.repeating_findings:
+            found.append("A5")
+        if self.cascade_findings:
+            found.append("A6")
+        return found
+
+    @property
+    def storms_per_week(self) -> float:
+        """Mean storm frequency across the trace."""
+        if self.trace_days <= 0:
+            return 0.0
+        return len(self.storms) / (self.trace_days / 7.0)
+
+    def render(self) -> str:
+        """Multi-line summary of the mining outcome."""
+        lines = [
+            f"individual candidates: {len(self.individual_candidates)} strategies "
+            f"(top {paper.TOP_PROCESSING_FRACTION:.0%} of {len(self.mean_processing)} "
+            f"by mean processing time)",
+            f"candidate anti-pattern rate: {self.candidate_enrichment:.0%} "
+            f"(population base rate {self.population_antipattern_rate:.0%})",
+            f"individual patterns found: {', '.join(self.individual_patterns_found) or 'none'}",
+            f"collective candidate groups (> {paper.COLLECTIVE_CANDIDATE_THRESHOLD}/h/region): "
+            f"{len(self.collective_groups)}",
+            f"collective patterns found: {', '.join(self.collective_patterns_found) or 'none'}",
+            f"storms (> {paper.STORM_THRESHOLD}/h/region, merged): {len(self.storms)} "
+            f"episodes ({self.storms_per_week:.1f}/week)",
+        ]
+        lines.append("detector quality (unrestricted, vs injected ground truth):")
+        for pattern in sorted(self.full_scores):
+            s = self.full_scores[pattern]
+            lines.append(
+                f"  {pattern}: precision {s['precision']:.2f}  recall {s['recall']:.2f}  "
+                f"(flagged {s['flagged']:.0f}, injected {s['injected']:.0f})"
+            )
+        return "\n".join(lines)
+
+
+def score_findings(
+    trace: AlertTrace,
+    findings_by_pattern: dict[str, list[AntiPatternFinding]],
+    min_alerts: int = 5,
+) -> dict[str, dict[str, float]]:
+    """Precision/recall of strategy-level findings vs injected ground truth.
+
+    Recall is computed over strategies that actually produced at least
+    ``min_alerts`` alerts — behavioural detectors cannot judge silent
+    strategies, and the paper's mining equally only sees alerting ones.
+    """
+    by_strategy = trace.by_strategy()
+    active = {sid for sid, alerts in by_strategy.items() if len(alerts) >= min_alerts}
+    scores: dict[str, dict[str, float]] = {}
+    for pattern, findings in findings_by_pattern.items():
+        flagged = {f.subject for f in findings}
+        injected = {
+            sid for sid in active
+            if pattern in trace.strategies[sid].injected_antipatterns()
+        }
+        true_positives = len(flagged & injected)
+        precision = true_positives / len(flagged) if flagged else 0.0
+        recall = true_positives / len(injected) if injected else 0.0
+        scores[pattern] = {
+            "precision": precision,
+            "recall": recall,
+            "flagged": float(len(flagged)),
+            "injected": float(len(injected)),
+        }
+    return scores
+
+
+def run_mining_pipeline(
+    trace: AlertTrace,
+    graph: DependencyGraph,
+    thresholds: DetectorThresholds | None = None,
+) -> MiningReport:
+    """The full §III-A pipeline over one trace."""
+    thresholds = thresholds or DetectorThresholds()
+    report = MiningReport()
+    report.trace_days = trace.window().duration / 86400.0 if trace.alerts else 0.0
+
+    candidates, means = select_individual_candidates(trace)
+    report.individual_candidates = candidates
+    report.mean_processing = means
+    report.full_findings = run_individual_detectors(trace, thresholds)
+    report.individual_findings = {
+        pattern: [f for f in findings if f.subject in candidates]
+        for pattern, findings in report.full_findings.items()
+    }
+    if means:
+        def has_injected(sid: str) -> bool:
+            return bool(trace.strategies[sid].injected_antipatterns())
+
+        report.candidate_enrichment = (
+            sum(1 for sid in candidates if has_injected(sid)) / len(candidates)
+            if candidates else 0.0
+        )
+        report.population_antipattern_rate = (
+            sum(1 for sid in means if has_injected(sid)) / len(means)
+        )
+
+    groups = collective_candidate_groups(trace)
+    report.collective_groups = {key: len(alerts) for key, alerts in groups.items()}
+    repeat_detector = RepeatingAlertsDetector(thresholds)
+    cascade_detector = CascadingAlertsDetector(graph, thresholds)
+    for (hour, region), alerts in sorted(groups.items()):
+        group_key = f"hour={hour}/region={region}"
+        report.repeating_findings.extend(
+            repeat_detector.detect_in_group(alerts, group_key)
+        )
+        cascade = cascade_detector.detect_in_group(alerts, group_key)
+        if cascade is not None:
+            report.cascade_findings.append(cascade)
+
+    report.storms = detect_storms(trace)
+    report.scores = score_findings(
+        trace, report.individual_findings, thresholds.min_alerts_for_stats
+    )
+    report.full_scores = score_findings(
+        trace, report.full_findings, thresholds.min_alerts_for_stats
+    )
+    return report

@@ -1,0 +1,66 @@
+"""Title/description quality scoring for A1 detection.
+
+Combines the lexical vagueness score with structural signals the paper's
+examples exhibit: a clear title names the affected component and a
+concrete failure manifestation ("Failed to allocate new blocks, disk
+full"); a vague one says "Instance x is abnormal".  The scorer estimates
+a clarity value in [0, 1] without reading the strategy's quality knobs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.alerting.titles import vagueness_score
+
+__all__ = ["TitleQualityScorer"]
+
+#: Tokens signalling a concrete manifestation (verbs/nouns of failure modes).
+_CONCRETE_MARKERS: frozenset[str] = frozenset({
+    "disk", "cpu", "memory", "latency", "timeout", "commit", "allocate",
+    "blocks", "full", "usage", "threshold", "saturated", "dropped", "lag",
+    "backlog", "heartbeat", "probes", "responding", "leak", "slo", "process",
+    "throughput", "growing", "regression", "burst", "p99",
+})
+
+_COMPONENT_RE = re.compile(r"[a-z0-9]+(?:-[a-z0-9]+){2,}")  # e.g. database-api-00
+_NUMBER_RE = re.compile(r"\d")
+
+
+class TitleQualityScorer:
+    """Estimates title clarity from text alone.
+
+    The dominant signal is the presence of a concrete failure
+    manifestation: vague titles like "Instance x is abnormal" *do* name a
+    component (x), so naming alone proves little — what they lack is any
+    statement of what went wrong.
+    """
+
+    def __init__(self, vagueness_weight: float = 0.35, structure_weight: float = 0.65) -> None:
+        total = vagueness_weight + structure_weight
+        self._vagueness_weight = vagueness_weight / total
+        self._structure_weight = structure_weight / total
+
+    def clarity(self, title: str, description: str = "") -> float:
+        """Estimated clarity in [0, 1]; higher means more informative."""
+        text = f"{title} {description}".strip()
+        lexical = 1.0 - vagueness_score(text)
+        structural = self._structure_score(text)
+        return self._vagueness_weight * lexical + self._structure_weight * structural
+
+    def is_unclear(self, title: str, description: str = "", cutoff: float = 0.5) -> bool:
+        """Whether the text falls below the clarity cutoff (A1)."""
+        return self.clarity(title, description) < cutoff
+
+    @staticmethod
+    def _structure_score(text: str) -> float:
+        """Structural informativeness: manifestation >> component, detail."""
+        lowered = text.lower()
+        words = set(re.findall(r"[a-z0-9_-]+", lowered))
+        has_component = bool(_COMPONENT_RE.search(lowered))
+        has_marker = bool(words & _CONCRETE_MARKERS)
+        # Digits count as detail only outside component names; long text
+        # with many distinct words also counts.
+        without_components = _COMPONENT_RE.sub(" ", lowered)
+        has_detail = bool(_NUMBER_RE.search(without_components)) or len(words) >= 9
+        return 0.25 * has_component + 0.55 * has_marker + 0.20 * has_detail

@@ -1,0 +1,33 @@
+"""Preventative alert governance (paper §III-D, RQ4).
+
+The paper's avoidance measures are guidelines over three aspects of an
+alert strategy:
+
+* **Target** — what to monitor: "the performance metrics highly related
+  to the service quality should be monitored";
+* **Timing** — when to generate an alert: "sometimes an anomaly does not
+  necessarily mean the service quality will be affected";
+* **Presentation** — "whether the alerts' attributes are helpful for
+  alert diagnosis".
+
+:class:`GuidelineChecker` lints strategies against the three aspects
+before they ship; :class:`PeriodicReview` models the periodical reviews
+Huawei Cloud conducts, rewriting non-compliant strategies.  Finding 4 —
+guidelines reduce anti-patterns and ease diagnosis *if strictly obeyed* —
+is quantified by the AVOID benchmark.
+"""
+
+from repro.core.governance.guidelines import (
+    GuidelineChecker,
+    GuidelineReport,
+    GuidelineViolation,
+)
+from repro.core.governance.review import PeriodicReview, ReviewOutcome
+
+__all__ = [
+    "GuidelineChecker",
+    "GuidelineViolation",
+    "GuidelineReport",
+    "PeriodicReview",
+    "ReviewOutcome",
+]

@@ -1,0 +1,184 @@
+"""Guideline linting over the Target / Timing / Presentation aspects.
+
+The checker consumes only what a reviewer could see — the strategy's rule
+configuration and its text — never the ground-truth quality knobs, so it
+is a genuine *preventative* check usable before any alert ever fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.alerting.rules import LogKeywordRule, MetricRule, ProbeRule
+from repro.alerting.strategy import AlertStrategy
+from repro.common.errors import ValidationError
+from repro.core.antipatterns.text import TitleQualityScorer
+from repro.telemetry.metrics import default_profiles
+from repro.topology.generator import CloudTopology
+
+__all__ = ["GuidelineViolation", "GuidelineReport", "GuidelineChecker"]
+
+_ASPECTS = ("target", "timing", "presentation")
+
+#: Low-level infrastructure metrics: monitoring them *alone* violates the
+#: Target guideline once fault tolerance decouples them from user impact.
+_INFRA_METRICS: frozenset[str] = frozenset({"cpu_util", "memory_util", "disk_util"})
+
+
+@dataclass(frozen=True, slots=True)
+class GuidelineViolation:
+    """One guideline violation found on one strategy."""
+
+    aspect: str
+    strategy_id: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.aspect not in _ASPECTS:
+            raise ValidationError(f"aspect must be one of {_ASPECTS}, got {self.aspect!r}")
+
+
+@dataclass(slots=True)
+class GuidelineReport:
+    """All violations of one review pass."""
+
+    violations: list[GuidelineViolation] = field(default_factory=list)
+    strategies_checked: int = 0
+
+    def by_aspect(self) -> dict[str, int]:
+        """Violation counts per guideline aspect."""
+        counts = {aspect: 0 for aspect in _ASPECTS}
+        for violation in self.violations:
+            counts[violation.aspect] += 1
+        return counts
+
+    def non_compliant_strategies(self) -> set[str]:
+        """Ids of strategies with at least one violation."""
+        return {violation.strategy_id for violation in self.violations}
+
+    def compliance_rate(self) -> float:
+        """Fraction of checked strategies with no violation."""
+        if self.strategies_checked == 0:
+            return 1.0
+        return 1.0 - len(self.non_compliant_strategies()) / self.strategies_checked
+
+    def render(self) -> str:
+        """Counts summary for reports."""
+        per_aspect = ", ".join(
+            f"{aspect}={count}" for aspect, count in self.by_aspect().items()
+        )
+        return (
+            f"checked {self.strategies_checked} strategies: "
+            f"{len(self.non_compliant_strategies())} non-compliant "
+            f"({self.compliance_rate():.0%} compliant); violations: {per_aspect}"
+        )
+
+
+class GuidelineChecker:
+    """Lints alert strategies against the §III-D guidelines."""
+
+    def __init__(self, topology: CloudTopology, clarity_cutoff: float = 0.5) -> None:
+        self._topology = topology
+        self._scorer = TitleQualityScorer()
+        self._clarity_cutoff = clarity_cutoff
+
+    def check(self, strategy: AlertStrategy) -> list[GuidelineViolation]:
+        """All violations of one strategy."""
+        violations = []
+        violations.extend(self._check_target(strategy))
+        violations.extend(self._check_timing(strategy))
+        violations.extend(self._check_presentation(strategy))
+        return violations
+
+    def review(self, strategies: Iterable[AlertStrategy]) -> GuidelineReport:
+        """Lint a whole population."""
+        report = GuidelineReport()
+        for strategy in strategies:
+            report.strategies_checked += 1
+            report.violations.extend(self.check(strategy))
+        return report
+
+    # ------------------------------------------------------------------
+    # the three aspects
+    # ------------------------------------------------------------------
+    def _check_target(self, strategy: AlertStrategy) -> list[GuidelineViolation]:
+        """Target: monitor metrics highly related to service quality."""
+        rule = strategy.rule
+        if isinstance(rule, MetricRule) and rule.metric_name in _INFRA_METRICS:
+            return [GuidelineViolation(
+                aspect="target",
+                strategy_id=strategy.strategy_id,
+                message=(
+                    f"monitors low-level infra metric {rule.metric_name!r}; "
+                    f"prefer a service-quality indicator"
+                ),
+            )]
+        return []
+
+    def _check_timing(self, strategy: AlertStrategy) -> list[GuidelineViolation]:
+        """Timing: an anomaly blip must not immediately page a human."""
+        rule = strategy.rule
+        violations = []
+        if isinstance(rule, MetricRule):
+            detector = rule.detector
+            min_consecutive = getattr(detector, "min_consecutive", None)
+            if min_consecutive is not None and min_consecutive < 2:
+                violations.append(GuidelineViolation(
+                    aspect="timing",
+                    strategy_id=strategy.strategy_id,
+                    message="no debouncing: a single sample over threshold alerts",
+                ))
+            threshold = getattr(detector, "threshold", None)
+            direction = getattr(detector, "direction", "above")
+            if threshold is not None and direction == "above":
+                profile = self._profile_of(strategy, rule.metric_name)
+                if profile is not None:
+                    normal_peak = (
+                        profile.base + profile.daily_amplitude + 2.0 * profile.noise_std
+                    )
+                    if threshold < normal_peak * 1.05:
+                        violations.append(GuidelineViolation(
+                            aspect="timing",
+                            strategy_id=strategy.strategy_id,
+                            message=(
+                                f"threshold {threshold:.0f} sits inside the normal "
+                                f"operating band (peak ~{normal_peak:.0f})"
+                            ),
+                        ))
+        elif isinstance(rule, LogKeywordRule) and rule.min_count < 3:
+            violations.append(GuidelineViolation(
+                aspect="timing",
+                strategy_id=strategy.strategy_id,
+                message=f"fires on only {rule.min_count} error lines",
+            ))
+        elif isinstance(rule, ProbeRule) and rule.no_response_threshold < 60.0:
+            violations.append(GuidelineViolation(
+                aspect="timing",
+                strategy_id=strategy.strategy_id,
+                message=(
+                    f"no-response threshold {rule.no_response_threshold:.0f}s pages "
+                    f"on a single missed heartbeat"
+                ),
+            ))
+        return violations
+
+    def _check_presentation(self, strategy: AlertStrategy) -> list[GuidelineViolation]:
+        """Presentation: the title must carry component + manifestation."""
+        clarity = self._scorer.clarity(strategy.title, strategy.description)
+        if clarity < self._clarity_cutoff:
+            return [GuidelineViolation(
+                aspect="presentation",
+                strategy_id=strategy.strategy_id,
+                message=(
+                    f"title {strategy.title!r} reads vague "
+                    f"(estimated clarity {clarity:.2f})"
+                ),
+            )]
+        return []
+
+    def _profile_of(self, strategy: AlertStrategy, metric_name: str):
+        service = self._topology.services.get(strategy.service)
+        if service is None:
+            return None
+        return default_profiles(service.archetype).get(metric_name)

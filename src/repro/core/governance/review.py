@@ -1,0 +1,132 @@
+"""Periodic strategy review: find violations, rewrite the strategies.
+
+§III-D: Huawei Cloud "adopts preventative guidelines and conducts
+periodical reviews on alert strategies" — but "the preventative
+guidelines are not strictly obeyed in practice".  The review model makes
+that knob explicit: ``compliance`` is the probability that a flagged
+strategy actually gets fixed, so Finding 4 ("strictly following the
+guidelines will make alert diagnosis easier") becomes measurable by
+sweeping compliance from lax to strict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.alerting.rules import LogKeywordRule, MetricRule, ProbeRule
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+from repro.alerting.titles import make_description, make_title
+from repro.common.rng import derive_rng
+from repro.common.validation import require_fraction
+from repro.core.governance.guidelines import GuidelineChecker
+from repro.detection.threshold import StaticThresholdDetector
+from repro.telemetry.metrics import default_profiles
+from repro.topology.generator import CloudTopology
+from repro.workload.strategies import (
+    _MANIFESTATION_BY_METRIC,
+    _SERVICE_QUALITY_METRICS,
+)
+
+__all__ = ["ReviewOutcome", "PeriodicReview"]
+
+
+@dataclass(slots=True)
+class ReviewOutcome:
+    """The result of one review pass."""
+
+    strategies: list[AlertStrategy] = field(default_factory=list)
+    flagged: int = 0
+    fixed: int = 0
+
+    @property
+    def fix_rate(self) -> float:
+        """Fraction of flagged strategies that were actually rewritten."""
+        return self.fixed / self.flagged if self.flagged else 1.0
+
+
+class PeriodicReview:
+    """Rewrites guideline-violating strategies with probability ``compliance``."""
+
+    def __init__(self, topology: CloudTopology, compliance: float = 1.0,
+                 seed: int = 42) -> None:
+        require_fraction(compliance, "compliance")
+        self._topology = topology
+        self._checker = GuidelineChecker(topology)
+        self._compliance = compliance
+        self._seed = seed
+
+    def run(self, strategies: list[AlertStrategy]) -> ReviewOutcome:
+        """Review every strategy; fix flagged ones per the compliance level."""
+        rng = derive_rng(self._seed, "periodic-review")
+        outcome = ReviewOutcome()
+        for strategy in strategies:
+            violations = self._checker.check(strategy)
+            if not violations:
+                outcome.strategies.append(strategy)
+                continue
+            outcome.flagged += 1
+            if rng.random() < self._compliance:
+                outcome.strategies.append(self.fix(strategy, rng))
+                outcome.fixed += 1
+            else:
+                outcome.strategies.append(strategy)
+        return outcome
+
+    def fix(self, strategy: AlertStrategy, rng) -> AlertStrategy:
+        """A guideline-compliant rewrite of ``strategy``.
+
+        Every aspect is repaired: the rule is retargeted/debounced
+        (Target, Timing), the text rewritten (Presentation), and the
+        severity re-derived from the rule — so the quality knobs reflect
+        the clean configuration.
+        """
+        rule = strategy.rule
+        quality = strategy.quality
+        service = self._topology.services[strategy.service]
+        profiles = default_profiles(service.archetype)
+        metric_name = None
+
+        if isinstance(rule, MetricRule):
+            metric_name = rule.metric_name
+            if metric_name not in _SERVICE_QUALITY_METRICS:
+                candidates = sorted(set(profiles) & _SERVICE_QUALITY_METRICS)
+                metric_name = candidates[int(rng.integers(len(candidates)))]
+            profile = profiles[metric_name]
+            normal_peak = profile.base + profile.daily_amplitude + 2.0 * profile.noise_std
+            rule = MetricRule(
+                metric_name=metric_name,
+                detector=StaticThresholdDetector(
+                    threshold=normal_peak * 1.25, direction="above", min_consecutive=3,
+                ),
+                lookback_seconds=rule.lookback_seconds,
+                sample_interval=rule.sample_interval,
+            )
+        elif isinstance(rule, LogKeywordRule) and rule.min_count < 3:
+            rule = replace(rule, min_count=5)
+        elif isinstance(rule, ProbeRule) and rule.no_response_threshold < 60.0:
+            rule = replace(rule, no_response_threshold=120.0)
+
+        manifestation = (
+            _MANIFESTATION_BY_METRIC.get(metric_name, "latency_regression")
+            if metric_name is not None
+            else ("crash" if isinstance(rule, ProbeRule) else "error_burst")
+        )
+        title = make_title(strategy.service, strategy.microservice, manifestation,
+                           clarity=1.0, rng=rng)
+        description = make_description(strategy.microservice, manifestation,
+                                       clarity=1.0, rng=rng)
+        return replace(
+            strategy,
+            rule=rule,
+            title=title,
+            description=description,
+            severity=strategy.true_severity,
+            quality=StrategyQuality(
+                title_clarity=max(quality.title_clarity, 0.9),
+                severity_bias=0,
+                target_relevance=max(quality.target_relevance, 0.9),
+                sensitivity=min(quality.sensitivity, 0.2),
+                repeat_proneness=quality.repeat_proneness,
+            ),
+            cooldown_seconds=max(strategy.cooldown_seconds, 900.0),
+        )

@@ -1,0 +1,39 @@
+"""Postmortem reactions to anti-patterns (paper §III-C, Figure 6).
+
+* **R1** :mod:`blocking` — rule-based alert blocking of non-informative
+  (transient / toggling / repeating) alerts;
+* **R2** :mod:`aggregation` — duplicate alerts collapsed per period, with
+  the count kept as a feature;
+* **R3** :mod:`correlation` — alert correlation from two exogenous
+  sources: configured strategy-dependency rules and the service topology;
+* **R4** :mod:`emerging` — emerging-alert detection with adaptive online
+  LDA, catching the implicit dependencies the rule books miss;
+* :mod:`pipeline` — the reactions composed into one governance pipeline
+  with before/after OCE-load accounting.
+"""
+
+from repro.core.mitigation.aggregation import AggregatedAlert, AlertAggregator
+from repro.core.mitigation.blocking import AlertBlocker, BlockingRule
+from repro.core.mitigation.correlation import (
+    AlertCluster,
+    CorrelationAnalyzer,
+    DependencyRuleBook,
+    rulebook_from_ground_truth,
+)
+from repro.core.mitigation.emerging import EmergingAlert, EmergingAlertDetector
+from repro.core.mitigation.pipeline import MitigationPipeline, MitigationReport
+
+__all__ = [
+    "BlockingRule",
+    "AlertBlocker",
+    "AggregatedAlert",
+    "AlertAggregator",
+    "DependencyRuleBook",
+    "CorrelationAnalyzer",
+    "AlertCluster",
+    "rulebook_from_ground_truth",
+    "EmergingAlert",
+    "EmergingAlertDetector",
+    "MitigationPipeline",
+    "MitigationReport",
+]

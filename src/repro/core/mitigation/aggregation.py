@@ -1,0 +1,93 @@
+"""R2 — alert aggregation (paper §III-C [R2]).
+
+"OCEs will set rules to aggregate alerts in a period and use the number
+of alerts as another feature."  Aggregation is session-style per
+(strategy, region): consecutive alerts closer than the window collapse
+into one :class:`AggregatedAlert` carrying the count — so a hundred
+repeats of one strategy cost an OCE one look instead of a hundred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.alerting.alert import Alert, Severity
+from repro.common.timeutil import TimeWindow
+from repro.common.validation import require_positive
+
+__all__ = ["AggregatedAlert", "AlertAggregator"]
+
+
+@dataclass(frozen=True, slots=True)
+class AggregatedAlert:
+    """One aggregated group of same-strategy, same-region alerts."""
+
+    strategy_id: str
+    strategy_name: str
+    region: str
+    severity: Severity
+    window: TimeWindow
+    count: int
+    representative: Alert
+    alert_ids: tuple[str, ...]
+
+    @property
+    def is_group(self) -> bool:
+        """Whether more than one alert was collapsed."""
+        return self.count > 1
+
+
+class AlertAggregator:
+    """Collapses duplicate alerts within a session window."""
+
+    def __init__(self, window_seconds: float = 900.0) -> None:
+        require_positive(window_seconds, "window_seconds")
+        self._window = float(window_seconds)
+
+    @property
+    def window_seconds(self) -> float:
+        """Session gap: a larger gap starts a new aggregate."""
+        return self._window
+
+    def aggregate(self, alerts: Sequence[Alert]) -> list[AggregatedAlert]:
+        """Group ``alerts`` per (strategy, region) with session windows."""
+        by_key: dict[tuple[str, str], list[Alert]] = {}
+        for alert in alerts:
+            by_key.setdefault((alert.strategy_id, alert.region), []).append(alert)
+        aggregates: list[AggregatedAlert] = []
+        for (strategy_id, region), group in sorted(by_key.items()):
+            group.sort(key=lambda a: a.occurred_at)
+            session: list[Alert] = [group[0]]
+            for alert in group[1:]:
+                if alert.occurred_at - session[-1].occurred_at <= self._window:
+                    session.append(alert)
+                else:
+                    aggregates.append(self._emit(strategy_id, region, session))
+                    session = [alert]
+            aggregates.append(self._emit(strategy_id, region, session))
+        aggregates.sort(key=lambda agg: agg.window.start)
+        return aggregates
+
+    def compression_ratio(self, alerts: Sequence[Alert]) -> float:
+        """len(alerts) / len(aggregates); 1.0 when nothing collapses."""
+        if not alerts:
+            return 1.0
+        return len(alerts) / len(self.aggregate(alerts))
+
+    @staticmethod
+    def _emit(strategy_id: str, region: str, session: list[Alert]) -> AggregatedAlert:
+        first = session[0]
+        last = session[-1]
+        # The most severe member represents the group.
+        representative = min(session, key=lambda a: (a.severity.value, a.occurred_at))
+        return AggregatedAlert(
+            strategy_id=strategy_id,
+            strategy_name=first.strategy_name,
+            region=region,
+            severity=representative.severity,
+            window=TimeWindow(first.occurred_at, last.occurred_at + 1e-9),
+            count=len(session),
+            representative=representative,
+            alert_ids=tuple(a.alert_id for a in session),
+        )

@@ -1,0 +1,112 @@
+"""R1 — rule-based alert blocking (paper §III-C [R1]).
+
+"When OCEs find that transient alerts, toggling alerts, and repeating
+alerts provide no information about service anomaly, they can treat these
+alerts as noise and block them with alert blocking rules."
+
+The blocker holds explicit rules — exactly what OCEs configure — and the
+convenience constructor derives those rules from A4/A5 detector findings,
+closing the loop the paper describes.  Rules can be scoped to a whole
+strategy or to one (strategy, region) pair, and can expire, modelling the
+"when to invalidate these rules" problem §IV raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.alerting.alert import Alert
+from repro.common.errors import ValidationError
+from repro.core.antipatterns.base import AntiPatternFinding
+from repro.workload.trace import AlertTrace
+
+__all__ = ["BlockingRule", "AlertBlocker"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockingRule:
+    """Block alerts of one strategy, optionally in one region only."""
+
+    strategy_id: str
+    region: str | None = None
+    reason: str = ""
+    expires_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.strategy_id:
+            raise ValidationError("strategy_id must be non-empty")
+
+    def matches(self, alert: Alert) -> bool:
+        """Whether this rule blocks ``alert``."""
+        if alert.strategy_id != self.strategy_id:
+            return False
+        if self.region is not None and alert.region != self.region:
+            return False
+        if self.expires_at is not None and alert.occurred_at >= self.expires_at:
+            return False
+        return True
+
+
+class AlertBlocker:
+    """Applies a set of blocking rules to alert streams."""
+
+    def __init__(self, rules: Iterable[BlockingRule] = ()) -> None:
+        self._rules = list(rules)
+        self._by_strategy: dict[str, list[BlockingRule]] = {}
+        for rule in self._rules:
+            self._by_strategy.setdefault(rule.strategy_id, []).append(rule)
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[AntiPatternFinding],
+        patterns: tuple[str, ...] = ("A4", "A5"),
+        expires_at: float | None = None,
+    ) -> "AlertBlocker":
+        """Build strategy-scoped rules from detector findings.
+
+        Only strategy-subject findings of noise patterns (default A4/A5)
+        become rules — the reaction the paper describes.
+        """
+        rules = []
+        seen: set[str] = set()
+        for finding in findings:
+            if finding.pattern not in patterns:
+                continue
+            if finding.subject in seen:
+                continue
+            seen.add(finding.subject)
+            rules.append(BlockingRule(
+                strategy_id=finding.subject,
+                reason=f"{finding.pattern}: {finding.evidence}",
+                expires_at=expires_at,
+            ))
+        return cls(rules)
+
+    @property
+    def rules(self) -> list[BlockingRule]:
+        """The configured rules (copy)."""
+        return list(self._rules)
+
+    def add(self, rule: BlockingRule) -> None:
+        """Register an additional rule."""
+        self._rules.append(rule)
+        self._by_strategy.setdefault(rule.strategy_id, []).append(rule)
+
+    def is_blocked(self, alert: Alert) -> bool:
+        """Whether any rule blocks ``alert``."""
+        return any(rule.matches(alert) for rule in self._by_strategy.get(alert.strategy_id, ()))
+
+    def apply(self, trace: AlertTrace) -> tuple[AlertTrace, list[Alert]]:
+        """Split a trace into (passed, blocked)."""
+        blocked = [a for a in trace.alerts if self.is_blocked(a)]
+        passed = trace.filter(lambda a: not self.is_blocked(a), label=f"{trace.label}+R1")
+        return passed, blocked
+
+    def reduction(self, trace: AlertTrace) -> float:
+        """Fraction of the trace's alerts the rules remove."""
+        if not trace.alerts:
+            return 0.0
+        blocked = sum(1 for a in trace.alerts if self.is_blocked(a))
+        return blocked / len(trace.alerts)

@@ -1,0 +1,203 @@
+"""The composed governance pipeline: R1 -> R2 -> R3 (-> R4).
+
+Figure 6 of the paper frames mitigation as detection feeding reaction.
+The pipeline implements the reaction chain and accounts for OCE load at
+every stage: raw alerts in, blocked noise out (R1), duplicates collapsed
+(R2), correlated clusters with inferred roots (R3) — the number of items
+an OCE must actually look at shrinks at each step.  R4 is independent of
+volume reduction (it adds early warnings) and is exposed as an optional
+stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.antipatterns.base import DetectorThresholds
+from repro.core.antipatterns.collective import RepeatingAlertsDetector
+from repro.core.antipatterns.individual import TransientTogglingDetector
+from repro.core.mitigation.aggregation import AggregatedAlert, AlertAggregator
+from repro.core.mitigation.blocking import AlertBlocker
+from repro.core.mitigation.correlation import (
+    AlertCluster,
+    CorrelationAnalyzer,
+    DependencyRuleBook,
+)
+from repro.core.mitigation.emerging import EmergingAlert, EmergingAlertDetector
+from repro.topology.graph import DependencyGraph
+from repro.workload.trace import AlertTrace
+
+__all__ = ["MitigationReport", "MitigationPipeline", "evaluate_root_inference"]
+
+
+@dataclass(slots=True)
+class MitigationReport:
+    """Volume accounting and artefacts of one pipeline run."""
+
+    input_alerts: int = 0
+    blocked_alerts: int = 0
+    aggregates: list[AggregatedAlert] = field(default_factory=list)
+    clusters: list[AlertCluster] = field(default_factory=list)
+    emerging: list[EmergingAlert] = field(default_factory=list)
+    emerging_enabled: bool = False
+
+    @property
+    def after_blocking(self) -> int:
+        """Alerts surviving R1."""
+        return self.input_alerts - self.blocked_alerts
+
+    @property
+    def after_aggregation(self) -> int:
+        """Items surviving R2 (aggregated groups)."""
+        return len(self.aggregates)
+
+    @property
+    def after_correlation(self) -> int:
+        """Items an OCE diagnoses after R3 (one per cluster root)."""
+        return len(self.clusters)
+
+    @property
+    def total_reduction(self) -> float:
+        """1 - (diagnosed items / raw alerts)."""
+        if self.input_alerts == 0:
+            return 0.0
+        return 1.0 - self.after_correlation / self.input_alerts
+
+    def render(self) -> str:
+        """Stage-by-stage volume summary."""
+        lines = [
+            f"input alerts:        {self.input_alerts:>8,}",
+            f"after R1 blocking:   {self.after_blocking:>8,} "
+            f"({self.blocked_alerts:,} blocked)",
+            f"after R2 aggregation:{self.after_aggregation:>8,} groups",
+            f"after R3 correlation:{self.after_correlation:>8,} clusters to diagnose",
+            f"total OCE-load reduction: {self.total_reduction:.1%}",
+        ]
+        if self.emerging_enabled:
+            lines.append(f"R4 emerging alerts flagged: {len(self.emerging)}")
+        return "\n".join(lines)
+
+
+class MitigationPipeline:
+    """R1 + R2 + R3 (+ optional R4) over an alert trace."""
+
+    def __init__(
+        self,
+        graph: DependencyGraph,
+        thresholds: DetectorThresholds | None = None,
+        aggregation_window: float = 900.0,
+        rulebook: DependencyRuleBook | None = None,
+        correlation_max_hops: int = 4,
+        correlation_window: float = 900.0,
+        enable_emerging: bool = False,
+        emerging_detector: EmergingAlertDetector | None = None,
+    ) -> None:
+        self._graph = graph
+        self._thresholds = thresholds or DetectorThresholds()
+        self._aggregator = AlertAggregator(aggregation_window)
+        self._correlator = CorrelationAnalyzer(
+            graph,
+            rulebook=rulebook,
+            max_hops=correlation_max_hops,
+            time_window=correlation_window,
+        )
+        self._enable_emerging = enable_emerging
+        self._emerging = emerging_detector or EmergingAlertDetector()
+
+    def run(self, trace: AlertTrace) -> MitigationReport:
+        """Execute the reaction chain over ``trace``."""
+        report = MitigationReport(input_alerts=len(trace.alerts))
+        report.emerging_enabled = self._enable_emerging
+
+        # R1: derive blocking rules from the noise detectors, then block.
+        noise_findings = []
+        noise_findings.extend(TransientTogglingDetector(self._thresholds).detect(trace))
+        noise_findings.extend(RepeatingAlertsDetector(self._thresholds).detect(trace))
+        blocker = AlertBlocker.from_findings(noise_findings)
+        passed, blocked = blocker.apply(trace)
+        report.blocked_alerts = len(blocked)
+
+        # R2: collapse duplicates, keeping counts as a feature.
+        report.aggregates = self._aggregator.aggregate(passed.alerts)
+
+        # R3: correlate the aggregate representatives; OCEs diagnose the
+        # inferred source alerts only.
+        representatives = [aggregate.representative for aggregate in report.aggregates]
+        report.clusters = self._correlator.correlate(representatives)
+
+        # R4 (optional): early warnings on the unblocked stream.
+        if self._enable_emerging:
+            report.emerging = self._emerging.run(passed.alerts)
+        return report
+
+
+def evaluate_root_inference(
+    clusters: list[AlertCluster],
+    trace: AlertTrace,
+    min_cluster_size: int = 5,
+    service_of: dict[str, str] | None = None,
+) -> dict[str, float]:
+    """Score R3 root inference against the injected cascade ground truth.
+
+    For every cluster of at least ``min_cluster_size`` alerts whose
+    members carry fault attribution, the dominant cascade's root fault
+    defines the true root microservice.  Three rates are reported:
+
+    * ``hit_rate`` — inferred root equals the true root microservice;
+    * ``achievable_hit_rate`` — same, restricted to clusters where the
+      true root actually alerted (a root with no strategy can never be
+      named — a monitoring gap, not a correlation failure);
+    * ``service_hit_rate`` — inferred root belongs to the true root's
+      service (requires ``service_of``), the granularity at which OCEs
+      page the owning team.
+    """
+    fault_by_id = {fault.fault_id: fault for fault in trace.faults}
+    root_micro_of_cascade: dict[str, str] = {
+        fault.fault_id: fault.microservice
+        for fault in trace.faults
+        if fault.parent_fault_id is None
+    }
+    evaluated = 0
+    hits = 0
+    achievable = 0
+    achievable_hits = 0
+    service_evaluated = 0
+    service_hits = 0
+    for cluster in clusters:
+        if cluster.size < min_cluster_size:
+            continue
+        cascade_votes: dict[str, int] = {}
+        for alert in cluster.alerts:
+            if alert.fault_id is None:
+                continue
+            fault = fault_by_id.get(alert.fault_id)
+            if fault is None:
+                continue
+            root_id = fault.root_id()
+            cascade_votes[root_id] = cascade_votes.get(root_id, 0) + 1
+        if not cascade_votes:
+            continue
+        dominant = max(cascade_votes, key=lambda k: cascade_votes[k])
+        true_root = root_micro_of_cascade.get(dominant)
+        if true_root is None:
+            continue
+        evaluated += 1
+        hit = cluster.root_microservice == true_root
+        hits += hit
+        if any(alert.microservice == true_root for alert in cluster.alerts):
+            achievable += 1
+            achievable_hits += hit
+        if service_of is not None:
+            true_service = service_of.get(true_root)
+            inferred_service = service_of.get(cluster.root_microservice or "")
+            if true_service is not None:
+                service_evaluated += 1
+                service_hits += inferred_service == true_service
+    return {
+        "clusters_evaluated": float(evaluated),
+        "root_hits": float(hits),
+        "hit_rate": hits / evaluated if evaluated else 0.0,
+        "achievable_evaluated": float(achievable),
+        "achievable_hit_rate": achievable_hits / achievable if achievable else 0.0,
+        "service_hit_rate": service_hits / service_evaluated if service_evaluated else 0.0,
+    }

@@ -1,0 +1,34 @@
+"""Quality of Alerts (QoA) — the paper's §IV proposal, implemented.
+
+Three criteria:
+
+* **indicativeness** — does the alert indicate failures end users feel?
+* **precision** — does the alert's severity reflect the anomaly?
+* **handleability** — can the alert be handled quickly?
+
+Two evaluation paths are provided, mirroring Figure 6's "incorporating
+human knowledge and machine learning":
+
+* :mod:`repro.core.qoa.metrics` — *measured* QoA, computed directly from
+  trace observables (no learning);
+* :mod:`repro.core.qoa.model` + :mod:`repro.core.qoa.labeling` — the ML
+  path: OCEs label alerts high/low per criterion during processing, and
+  logistic models learn to predict QoA for new strategies, enabling
+  automatic anti-pattern detection (:mod:`repro.core.qoa.evaluator`).
+"""
+
+from repro.core.qoa.evaluator import QoAEvaluationReport, evaluate_qoa_pipeline
+from repro.core.qoa.features import StrategyFeatureExtractor
+from repro.core.qoa.labeling import simulate_oce_labels
+from repro.core.qoa.metrics import QoAScores, measure_qoa
+from repro.core.qoa.model import QoAModel
+
+__all__ = [
+    "StrategyFeatureExtractor",
+    "simulate_oce_labels",
+    "QoAScores",
+    "measure_qoa",
+    "QoAModel",
+    "QoAEvaluationReport",
+    "evaluate_qoa_pipeline",
+]

@@ -1,0 +1,162 @@
+"""Per-strategy feature extraction for the QoA models.
+
+Features combine the three ingredient classes the paper's criteria name:
+text quality (handleability's "presentation"), configuration (severity,
+channel, monitored target), and behaviour (lifecycle statistics, OCE
+processing time).  Ground-truth quality knobs are never read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alerting.alert import AlertState
+from repro.alerting.rules import LogKeywordRule, MetricRule, ProbeRule
+from repro.alerting.titles import vagueness_score
+from repro.core.antipatterns.base import DetectorThresholds
+from repro.core.antipatterns.individual import _incident_overlap_fraction
+from repro.core.antipatterns.text import TitleQualityScorer
+from repro.workload.trace import AlertTrace
+
+__all__ = ["StrategyFeatureExtractor", "FEATURE_NAMES"]
+
+#: Low-level infrastructure metrics (shared with the A3 detector).
+_INFRA_METRICS: frozenset[str] = frozenset({"cpu_util", "memory_util", "disk_util"})
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "clarity",
+    "vagueness",
+    "title_length",
+    "severity_rank",
+    "is_metric",
+    "is_log",
+    "is_probe",
+    "is_infra_metric",
+    "alerts_per_day",
+    "transient_share",
+    "manual_share",
+    "log_mean_duration",
+    "incident_overlap",
+    "mean_processing_minutes",
+    "severity_impact_gap",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _StrategyStats:
+    alerts_per_day: float
+    transient_share: float
+    manual_share: float
+    log_mean_duration: float
+    incident_overlap: float
+
+
+class StrategyFeatureExtractor:
+    """Builds the (ids, matrix) design of one trace's strategy population."""
+
+    def __init__(self, trace: AlertTrace,
+                 thresholds: DetectorThresholds | None = None) -> None:
+        self._trace = trace
+        self._thresholds = thresholds or DetectorThresholds()
+        self._scorer = TitleQualityScorer()
+
+    def extract(self, min_alerts: int = 1) -> tuple[list[str], np.ndarray]:
+        """Feature rows for every strategy with at least ``min_alerts``.
+
+        Returns ``(strategy_ids, matrix)`` with columns ordered per
+        :data:`FEATURE_NAMES`.
+        """
+        trace = self._trace
+        by_strategy = trace.by_strategy()
+        processing = trace.mean_processing_by_strategy()
+        days = max(trace.window().duration / 86400.0, 1e-9) if trace.alerts else 1.0
+
+        eligible = [
+            sid for sid in sorted(trace.strategies)
+            if len(by_strategy.get(sid, [])) >= min_alerts
+        ]
+        stats_by_sid = {
+            sid: self._stats(by_strategy[sid], days) for sid in eligible
+        }
+        # Population-level impact quantiles feed the severity-impact gap —
+        # the interaction a linear model cannot synthesise on its own.
+        # Like the A2 detector, the proxy is computed over the strategy's
+        # *steady* alerts: transient flaps and storm floods say nothing
+        # about severity fit.
+        impact_quantile = _quantiles({
+            sid: self._steady_impact_proxy(by_strategy[sid], stats_by_sid[sid])
+            for sid in eligible
+        })
+
+        ids: list[str] = []
+        rows: list[list[float]] = []
+        for sid in eligible:
+            strategy = trace.strategies[sid]
+            stats = stats_by_sid[sid]
+            clarity = self._scorer.clarity(strategy.title, strategy.description)
+            rule = strategy.rule
+            is_infra = float(
+                isinstance(rule, MetricRule) and rule.metric_name in _INFRA_METRICS
+            )
+            severity_position = 1.0 - strategy.severity.value / 3.0
+            rows.append([
+                clarity,
+                vagueness_score(f"{strategy.title} {strategy.description}"),
+                float(len(strategy.title)),
+                severity_position,
+                float(isinstance(rule, MetricRule)),
+                float(isinstance(rule, LogKeywordRule)),
+                float(isinstance(rule, ProbeRule)),
+                is_infra,
+                stats.alerts_per_day,
+                stats.transient_share,
+                stats.manual_share,
+                stats.log_mean_duration,
+                stats.incident_overlap,
+                processing.get(sid, 0.0) / 60.0,
+                abs(severity_position - impact_quantile[sid]),
+            ])
+            ids.append(sid)
+        matrix = np.array(rows, dtype=float) if rows else np.empty((0, len(FEATURE_NAMES)))
+        return ids, matrix
+
+    def _steady_impact_proxy(self, alerts: list, stats: _StrategyStats) -> float:
+        thresholds = self._thresholds
+        steady = [
+            a for a in alerts
+            if not a.is_transient(thresholds.intermittent_threshold)
+            and a.fault_id is None
+        ]
+        if len(steady) < 5:
+            steady = alerts
+        manual = sum(1 for a in steady if a.state is AlertState.CLEARED_MANUAL)
+        durations = [a.duration() for a in steady if a.cleared_at is not None]
+        mean_duration = float(np.mean(durations)) if durations else 0.0
+        return 0.6 * manual / len(steady) + 0.4 * min(mean_duration / 7200.0, 1.0)
+
+    def _stats(self, alerts: list, days: float) -> _StrategyStats:
+        thresholds = self._thresholds
+        n = len(alerts)
+        transient = sum(
+            1 for a in alerts if a.is_transient(thresholds.intermittent_threshold)
+        )
+        manual = sum(1 for a in alerts if a.state is AlertState.CLEARED_MANUAL)
+        durations = [a.duration() for a in alerts if a.cleared_at is not None]
+        mean_duration = float(np.mean(durations)) if durations else 0.0
+        return _StrategyStats(
+            alerts_per_day=n / days,
+            transient_share=transient / n,
+            manual_share=manual / n,
+            log_mean_duration=float(np.log1p(mean_duration)),
+            incident_overlap=_incident_overlap_fraction(alerts, self._trace),
+        )
+
+
+def _quantiles(values: dict[str, float]) -> dict[str, float]:
+    items = sorted(values.items(), key=lambda kv: kv[1])
+    n = len(items)
+    if n == 1:
+        return {items[0][0]: 0.5}
+    return {key: index / (n - 1) for index, (key, _) in enumerate(items)}

@@ -1,0 +1,57 @@
+"""Simulated OCE labels for the QoA criteria.
+
+The paper's proposal: "OCEs provide their domain knowledge by creating
+labels like high/low precision/handleability/indicativeness for each
+alert during alert processing."  The simulated OCE judges a strategy from
+its injected ground truth with label noise (nobody labels perfectly while
+firefighting):
+
+* indicativeness low — the rule watches the wrong target or flaps (A3/A4);
+* precision low — the severity is misleading (A2);
+* handleability low — the name/description hides what happened (A1).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.paper_reference import QOA_CRITERIA
+from repro.common.rng import derive_rng
+from repro.common.validation import require_fraction
+from repro.workload.trace import AlertTrace
+
+__all__ = ["simulate_oce_labels", "CRITERION_ANTIPATTERNS"]
+
+#: Which injected anti-patterns pull each criterion low.
+CRITERION_ANTIPATTERNS: dict[str, tuple[str, ...]] = {
+    "indicativeness": ("A3", "A4"),
+    "precision": ("A2",),
+    "handleability": ("A1",),
+}
+
+
+def simulate_oce_labels(
+    trace: AlertTrace,
+    strategy_ids: list[str],
+    noise: float = 0.08,
+    seed: int = 42,
+) -> dict[str, dict[str, int]]:
+    """Per-strategy 0/1 labels (1 = high quality) for the three criteria.
+
+    ``noise`` flips each label independently, modelling OCE disagreement;
+    flips are deterministic per (strategy, criterion, seed).
+    """
+    require_fraction(noise, "noise")
+    labels: dict[str, dict[str, int]] = {}
+    for sid in strategy_ids:
+        injected = trace.strategies[sid].injected_antipatterns()
+        row: dict[str, int] = {}
+        for criterion in QOA_CRITERIA:
+            pulled_low = any(
+                pattern in injected for pattern in CRITERION_ANTIPATTERNS[criterion]
+            )
+            label = 0 if pulled_low else 1
+            rng = derive_rng(seed, f"qoa-label/{sid}/{criterion}")
+            if rng.random() < noise:
+                label = 1 - label
+            row[criterion] = label
+        labels[sid] = row
+    return labels

@@ -1,0 +1,110 @@
+"""Measured QoA: direct, learning-free scores per strategy.
+
+The measured path answers "what can the monitoring system itself say
+about alert quality, with no OCE labels at all?" — a lower bound that the
+ML path should beat, and the pair the paper's Figure 6 sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alerting.alert import AlertState
+from repro.common.validation import require_fraction
+from repro.core.antipatterns.base import DetectorThresholds
+from repro.core.antipatterns.individual import _incident_overlap_fraction
+from repro.core.antipatterns.text import TitleQualityScorer
+from repro.workload.trace import AlertTrace
+
+__all__ = ["QoAScores", "measure_qoa"]
+
+
+@dataclass(frozen=True, slots=True)
+class QoAScores:
+    """Measured quality of one strategy's alerts, all in [0, 1]."""
+
+    strategy_id: str
+    indicativeness: float
+    precision: float
+    handleability: float
+
+    def __post_init__(self) -> None:
+        require_fraction(self.indicativeness, "indicativeness")
+        require_fraction(self.precision, "precision")
+        require_fraction(self.handleability, "handleability")
+
+    @property
+    def overall(self) -> float:
+        """Unweighted mean of the three criteria."""
+        return (self.indicativeness + self.precision + self.handleability) / 3.0
+
+
+def measure_qoa(
+    trace: AlertTrace,
+    thresholds: DetectorThresholds | None = None,
+    min_alerts: int = 5,
+) -> dict[str, QoAScores]:
+    """Measured QoA for every strategy with at least ``min_alerts``.
+
+    * indicativeness — incident overlap, discounted by transient share
+      (flapping alerts indicate nothing an end user feels);
+    * precision — agreement between the configured severity's class and
+      the strategy's lifecycle-impact quantile;
+    * handleability — text clarity blended with (inverse) processing-time
+      quantile: hard-to-read or slow-to-diagnose alerts handle poorly.
+    """
+    thresholds = thresholds or DetectorThresholds()
+    scorer = TitleQualityScorer()
+    by_strategy = trace.by_strategy()
+    processing = trace.mean_processing_by_strategy()
+
+    eligible = {
+        sid: alerts for sid, alerts in by_strategy.items() if len(alerts) >= min_alerts
+    }
+    if not eligible:
+        return {}
+
+    impact: dict[str, float] = {}
+    transient_share: dict[str, float] = {}
+    for sid, alerts in eligible.items():
+        manual = sum(1 for a in alerts if a.state is AlertState.CLEARED_MANUAL)
+        durations = [a.duration() for a in alerts if a.cleared_at is not None]
+        mean_duration = float(np.mean(durations)) if durations else 0.0
+        impact[sid] = (
+            0.6 * manual / len(alerts) + 0.4 * min(mean_duration / 7200.0, 1.0)
+        )
+        transient_share[sid] = sum(
+            1 for a in alerts if a.is_transient(thresholds.intermittent_threshold)
+        ) / len(alerts)
+
+    impact_quantile = _quantiles(impact)
+    processing_quantile = _quantiles(
+        {sid: processing.get(sid, 0.0) for sid in eligible}
+    )
+
+    scores: dict[str, QoAScores] = {}
+    for sid, alerts in eligible.items():
+        strategy = trace.strategies[sid]
+        overlap = _incident_overlap_fraction(alerts, trace)
+        indicativeness = min(overlap * 3.0, 1.0) * (1.0 - transient_share[sid])
+        severity_position = 1.0 - strategy.severity.value / 3.0
+        precision = 1.0 - abs(severity_position - impact_quantile[sid])
+        clarity = scorer.clarity(strategy.title, strategy.description)
+        handleability = 0.6 * clarity + 0.4 * (1.0 - processing_quantile[sid])
+        scores[sid] = QoAScores(
+            strategy_id=sid,
+            indicativeness=float(np.clip(indicativeness, 0.0, 1.0)),
+            precision=float(np.clip(precision, 0.0, 1.0)),
+            handleability=float(np.clip(handleability, 0.0, 1.0)),
+        )
+    return scores
+
+
+def _quantiles(values: dict[str, float]) -> dict[str, float]:
+    items = sorted(values.items(), key=lambda kv: kv[1])
+    n = len(items)
+    if n == 1:
+        return {items[0][0]: 0.5}
+    return {key: index / (n - 1) for index, (key, _) in enumerate(items)}

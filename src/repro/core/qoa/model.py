@@ -1,0 +1,80 @@
+"""The learned QoA model: one logistic head per criterion."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.paper_reference import QOA_CRITERIA
+from repro.common.errors import ValidationError
+from repro.common.rng import derive_rng
+from repro.ml.logistic import LogisticRegression
+
+__all__ = ["QoAModel", "train_test_split"]
+
+
+class QoAModel:
+    """Predicts high/low indicativeness, precision, and handleability."""
+
+    def __init__(self, l2: float = 1e-3) -> None:
+        self._heads: dict[str, LogisticRegression] = {
+            criterion: LogisticRegression(l2=l2) for criterion in QOA_CRITERIA
+        }
+        self._fitted = False
+
+    @property
+    def fitted(self) -> bool:
+        """Whether all heads have been trained."""
+        return self._fitted
+
+    def fit(self, features: np.ndarray,
+            labels: dict[str, np.ndarray]) -> "QoAModel":
+        """Train every criterion head on the shared features."""
+        for criterion in QOA_CRITERIA:
+            if criterion not in labels:
+                raise ValidationError(f"missing labels for criterion {criterion!r}")
+            self._heads[criterion].fit(features, labels[criterion])
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> dict[str, np.ndarray]:
+        """P(high quality) per criterion."""
+        self._require_fitted()
+        return {
+            criterion: head.predict_proba(features)
+            for criterion, head in self._heads.items()
+        }
+
+    def predict(self, features: np.ndarray) -> dict[str, np.ndarray]:
+        """Hard high/low predictions per criterion."""
+        self._require_fitted()
+        return {
+            criterion: head.predict(features)
+            for criterion, head in self._heads.items()
+        }
+
+    def accuracy(self, features: np.ndarray,
+                 labels: dict[str, np.ndarray]) -> dict[str, float]:
+        """Per-criterion accuracy on a labelled set."""
+        self._require_fitted()
+        return {
+            criterion: self._heads[criterion].accuracy(features, labels[criterion])
+            for criterion in QOA_CRITERIA
+        }
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ValidationError("QoAModel is not fitted yet")
+
+
+def train_test_split(
+    n: int, test_fraction: float = 0.3, seed: int = 42
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic index split into (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if n < 2:
+        raise ValidationError(f"need at least 2 rows to split, got {n}")
+    rng = derive_rng(seed, "qoa-split")
+    order = rng.permutation(n)
+    n_test = max(int(n * test_fraction), 1)
+    return np.sort(order[n_test:]), np.sort(order[:n_test])

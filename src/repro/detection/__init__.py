@@ -1,0 +1,24 @@
+"""Anomaly detectors for metric-channel alert strategies.
+
+The paper notes that "the alert strategy for metrics varies from static
+threshold to algorithmic anomaly detection" (§II-B3).  This package
+provides that spectrum: a static threshold plus four classic streaming
+detectors.  All detectors share one interface — given aligned ``times``
+and ``values`` arrays, return a boolean anomaly flag per point.
+"""
+
+from repro.detection.base import AnomalyDetector
+from repro.detection.ewma import EwmaDetector
+from repro.detection.ksigma import KSigmaDetector
+from repro.detection.mad import MadDetector
+from repro.detection.rate import RateOfChangeDetector
+from repro.detection.threshold import StaticThresholdDetector
+
+__all__ = [
+    "AnomalyDetector",
+    "StaticThresholdDetector",
+    "KSigmaDetector",
+    "EwmaDetector",
+    "MadDetector",
+    "RateOfChangeDetector",
+]

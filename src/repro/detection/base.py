@@ -1,0 +1,47 @@
+"""Detector interface shared by all metric anomaly detectors."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+__all__ = ["AnomalyDetector"]
+
+
+class AnomalyDetector(ABC):
+    """Flags anomalous points in an evenly sampled metric segment."""
+
+    #: Human-readable detector name, set by subclasses.
+    name: str = "detector"
+
+    @abstractmethod
+    def detect(self, times: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Return a boolean array: ``True`` where the point is anomalous."""
+
+    def latest_is_anomalous(self, times: np.ndarray, values: np.ndarray) -> bool:
+        """Whether the most recent point of the segment is anomalous.
+
+        This is the decision the monitoring engine makes on every poll.
+        """
+        flags = self.detect(times, values)
+        return bool(flags[-1]) if flags.size else False
+
+    def describe(self) -> str:
+        """Short description used in alert-strategy listings."""
+        return self.name
+
+    @staticmethod
+    def _validate(times: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.shape != values.shape:
+            raise ValidationError(
+                f"times and values must have identical shape, "
+                f"got {times.shape} vs {values.shape}"
+            )
+        if times.ndim != 1:
+            raise ValidationError(f"expected 1-D arrays, got {times.ndim}-D")
+        return times, values

@@ -1,0 +1,46 @@
+"""EWMA control-chart detector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_positive
+from repro.detection.base import AnomalyDetector
+
+__all__ = ["EwmaDetector"]
+
+
+class EwmaDetector(AnomalyDetector):
+    """Flags points far from an exponentially weighted moving average.
+
+    A point is anomalous when its residual against the *previous* EWMA
+    state exceeds ``k`` times the running residual scale.  Anomalous points
+    do not update the state, so a sustained shift keeps firing rather than
+    being absorbed.
+    """
+
+    def __init__(self, alpha: float = 0.2, k: float = 4.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        require_positive(k, "k")
+        self.alpha = float(alpha)
+        self.k = float(k)
+        self.name = f"ewma[alpha={alpha:g},k={k:g}]"
+
+    def detect(self, times: np.ndarray, values: np.ndarray) -> np.ndarray:
+        times, values = self._validate(times, values)
+        n = values.size
+        flags = np.zeros(n, dtype=bool)
+        if n == 0:
+            return flags
+        level = float(values[0])
+        scale = 0.0
+        warmup = min(max(n // 10, 5), n)
+        for index in range(1, n):
+            residual = abs(float(values[index]) - level)
+            if index >= warmup and scale > 1e-12 and residual > self.k * scale:
+                flags[index] = True
+                continue  # outliers do not update the state
+            level += self.alpha * (float(values[index]) - level)
+            scale += self.alpha * (residual - scale)
+        return flags

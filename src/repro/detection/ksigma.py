@@ -1,0 +1,42 @@
+"""k-sigma detector: flags departures from the segment's own baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_fraction, require_positive
+from repro.detection.base import AnomalyDetector
+
+__all__ = ["KSigmaDetector"]
+
+
+class KSigmaDetector(AnomalyDetector):
+    """Flags points more than ``k`` standard deviations from the baseline mean.
+
+    The baseline is the leading ``baseline_fraction`` of the segment,
+    assumed mostly normal — the usual trick for sliding-window evaluation
+    where the tail of the window holds the candidate anomaly.
+    """
+
+    def __init__(self, k: float = 3.0, baseline_fraction: float = 0.5,
+                 min_baseline_points: int = 10) -> None:
+        require_positive(k, "k")
+        require_fraction(baseline_fraction, "baseline_fraction")
+        require_positive(min_baseline_points, "min_baseline_points")
+        self.k = float(k)
+        self.baseline_fraction = float(baseline_fraction)
+        self.min_baseline_points = int(min_baseline_points)
+        self.name = f"ksigma[k={k:g}]"
+
+    def detect(self, times: np.ndarray, values: np.ndarray) -> np.ndarray:
+        times, values = self._validate(times, values)
+        n = values.size
+        baseline_size = max(int(n * self.baseline_fraction), 1)
+        if n < self.min_baseline_points:
+            return np.zeros(n, dtype=bool)
+        baseline = values[:baseline_size]
+        mean = float(baseline.mean())
+        std = float(baseline.std())
+        if std < 1e-12:
+            std = max(abs(mean) * 0.01, 1e-12)
+        return np.abs(values - mean) > self.k * std

@@ -1,0 +1,40 @@
+"""Median absolute deviation (robust z-score) detector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_positive
+from repro.detection.base import AnomalyDetector
+
+__all__ = ["MadDetector"]
+
+#: Scale factor making MAD a consistent estimator of the normal sigma.
+_MAD_TO_SIGMA = 1.4826
+
+
+class MadDetector(AnomalyDetector):
+    """Flags points whose robust z-score exceeds ``k``.
+
+    Median/MAD statistics are insensitive to the anomaly itself
+    contaminating the window, which makes this the detector of choice for
+    spiky series where the k-sigma baseline would be dragged along.
+    """
+
+    def __init__(self, k: float = 5.0, min_points: int = 8) -> None:
+        require_positive(k, "k")
+        require_positive(min_points, "min_points")
+        self.k = float(k)
+        self.min_points = int(min_points)
+        self.name = f"mad[k={k:g}]"
+
+    def detect(self, times: np.ndarray, values: np.ndarray) -> np.ndarray:
+        times, values = self._validate(times, values)
+        n = values.size
+        if n < self.min_points:
+            return np.zeros(n, dtype=bool)
+        median = float(np.median(values))
+        mad = float(np.median(np.abs(values - median))) * _MAD_TO_SIGMA
+        if mad < 1e-12:
+            mad = max(abs(median) * 0.01, 1e-12)
+        return np.abs(values - median) > self.k * mad

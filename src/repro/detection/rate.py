@@ -1,0 +1,36 @@
+"""Rate-of-change detector: flags abrupt level jumps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_positive
+from repro.detection.base import AnomalyDetector
+
+__all__ = ["RateOfChangeDetector"]
+
+
+class RateOfChangeDetector(AnomalyDetector):
+    """Flags points whose per-second slope magnitude exceeds ``max_rate``.
+
+    Useful for metrics that are allowed to sit at any level but must not
+    jump — queue depth, connection counts — where a static threshold would
+    either miss regressions at low load or false-fire at high load.
+    """
+
+    def __init__(self, max_rate: float) -> None:
+        require_positive(max_rate, "max_rate")
+        self.max_rate = float(max_rate)
+        self.name = f"rate[>{max_rate:g}/s]"
+
+    def detect(self, times: np.ndarray, values: np.ndarray) -> np.ndarray:
+        times, values = self._validate(times, values)
+        n = values.size
+        flags = np.zeros(n, dtype=bool)
+        if n < 2:
+            return flags
+        dt = np.diff(times)
+        dt = np.where(dt <= 0, 1e-9, dt)
+        slopes = np.abs(np.diff(values)) / dt
+        flags[1:] = slopes > self.max_rate
+        return flags

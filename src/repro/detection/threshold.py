@@ -1,0 +1,53 @@
+"""Static threshold detector — the workhorse of manual alert strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_in
+from repro.detection.base import AnomalyDetector
+
+__all__ = ["StaticThresholdDetector"]
+
+
+class StaticThresholdDetector(AnomalyDetector):
+    """Flags points beyond a fixed threshold.
+
+    ``direction='above'`` flags ``value > threshold`` (disk usage over
+    90 %); ``'below'`` flags ``value < threshold`` (request rate collapsing
+    to zero).  ``min_consecutive`` requires the condition to hold for that
+    many consecutive samples before flagging — the standard debouncing
+    knob, and the one whose *absence* produces the paper's transient-alert
+    anti-pattern A4.
+    """
+
+    def __init__(self, threshold: float, direction: str = "above",
+                 min_consecutive: int = 1) -> None:
+        require_in(direction, ("above", "below"), "direction")
+        if min_consecutive < 1:
+            raise ValueError(f"min_consecutive must be >= 1, got {min_consecutive}")
+        self.threshold = float(threshold)
+        self.direction = direction
+        self.min_consecutive = int(min_consecutive)
+        self.name = f"threshold[{direction} {threshold:g}]"
+
+    def detect(self, times: np.ndarray, values: np.ndarray) -> np.ndarray:
+        times, values = self._validate(times, values)
+        if self.direction == "above":
+            raw = values > self.threshold
+        else:
+            raw = values < self.threshold
+        if self.min_consecutive == 1:
+            return raw
+        return _require_run(raw, self.min_consecutive)
+
+
+def _require_run(flags: np.ndarray, run: int) -> np.ndarray:
+    """Keep a flag only when it terminates a run of ``run`` consecutive flags."""
+    result = np.zeros_like(flags)
+    streak = 0
+    for index, flag in enumerate(flags):
+        streak = streak + 1 if flag else 0
+        if streak >= run:
+            result[index] = True
+    return result

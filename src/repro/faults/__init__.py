@@ -1,0 +1,32 @@
+"""Fault injection and anomaly propagation.
+
+Faults are the ground truth of every experiment: a fault perturbs the
+telemetry of its component (metric effects, log bursts, probe outages),
+the monitoring engine turns the perturbations into alerts, and the
+evaluation scores detectors/mitigations against the injected faults.
+
+:mod:`repro.faults.propagation` implements the paper's cascade mechanism
+(§III-A2, A6): "when a service enters an anomalous state, other services
+that rely on it will probably suffer from anomalous states as well.  Such
+anomalous states can propagate through the service-calling structure."
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import Fault, FaultKind
+from repro.faults.propagation import CascadeModel, CascadeConfig
+from repro.faults.scenarios import (
+    disk_full_cascade,
+    flapping_metric_scenario,
+    gray_failure_scenario,
+)
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultInjector",
+    "CascadeModel",
+    "CascadeConfig",
+    "disk_full_cascade",
+    "gray_failure_scenario",
+    "flapping_metric_scenario",
+]

@@ -1,0 +1,195 @@
+"""Fault injector: expresses faults as telemetry perturbations.
+
+Each fault kind has a fixed telemetry signature — the mapping is the
+simulated counterpart of "what a failing component actually does to its
+metrics, logs, and probes":
+
+===================  ==========================================================
+kind                 telemetry signature
+===================  ==========================================================
+CRASH                probe outage + brief error burst
+DISK_FULL            ``disk_util`` ramp into saturation + disk error burst
+CPU_OVERLOAD         ``cpu_util`` pinned high + latency inflation
+MEMORY_LEAK          slow ``memory_util`` ramp, error burst only near the end
+NETWORK_OVERLOAD     latency inflation + heavy error burst
+ERROR_BURST          error burst only
+LATENCY_REGRESSION   ``latency_ms`` step + moderate error burst
+FLAPPING             a train of short metric spikes (drives A4 toggling)
+===================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.common.ids import IdFactory
+from repro.common.timeutil import MINUTE, TimeWindow
+from repro.faults.models import Fault, FaultKind
+from repro.telemetry.logs import LogBurst
+from repro.telemetry.metrics import MetricEffect
+from repro.telemetry.probes import OutageWindow
+from repro.telemetry.store import TelemetryHub
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies faults to a telemetry hub and indexes them for attribution."""
+
+    def __init__(self, hub: TelemetryHub, id_factory: IdFactory | None = None) -> None:
+        self._hub = hub
+        self._ids = id_factory or IdFactory("fault")
+        self._faults: list[Fault] = []
+
+    @property
+    def faults(self) -> list[Fault]:
+        """All injected faults, in injection order (copy)."""
+        return list(self._faults)
+
+    def new_fault(
+        self,
+        kind: FaultKind,
+        microservice: str,
+        region: str,
+        window: TimeWindow,
+        parent: Fault | None = None,
+    ) -> Fault:
+        """Create, apply, and index a fault."""
+        fault = Fault(
+            fault_id=self._ids.next(),
+            kind=kind,
+            microservice=microservice,
+            region=region,
+            window=window,
+            parent_fault_id=parent.fault_id if parent else None,
+            root_fault_id=parent.root_id() if parent else None,
+            depth=parent.depth + 1 if parent else 0,
+        )
+        self.apply(fault)
+        return fault
+
+    def apply(self, fault: Fault) -> None:
+        """Express ``fault`` in the telemetry hub and index it."""
+        handler = {
+            FaultKind.CRASH: self._apply_crash,
+            FaultKind.DISK_FULL: self._apply_disk_full,
+            FaultKind.CPU_OVERLOAD: self._apply_cpu_overload,
+            FaultKind.MEMORY_LEAK: self._apply_memory_leak,
+            FaultKind.NETWORK_OVERLOAD: self._apply_network_overload,
+            FaultKind.ERROR_BURST: self._apply_error_burst,
+            FaultKind.LATENCY_REGRESSION: self._apply_latency_regression,
+            FaultKind.FLAPPING: self._apply_flapping,
+        }.get(fault.kind)
+        if handler is None:
+            raise ValidationError(f"no injector for fault kind {fault.kind}")
+        handler(fault)
+        self._faults.append(fault)
+
+    def fault_at(self, microservice: str, region: str, sim_time: float) -> str | None:
+        """Ground-truth attribution: the fault active on a component at a time.
+
+        When several overlap, the earliest-starting (closest to the root
+        cause) wins.
+        """
+        candidates = [
+            fault
+            for fault in self._faults
+            if fault.microservice == microservice
+            and fault.region == region
+            and fault.window.contains(sim_time)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda f: (f.window.start, f.depth)).fault_id
+
+    # ------------------------------------------------------------------
+    # per-kind signatures
+    # ------------------------------------------------------------------
+    def _metric(self, fault: Fault, name: str):
+        return self._hub.metric(fault.microservice, fault.region, name)
+
+    def _available_metrics(self, fault: Fault) -> set[str]:
+        return set(self._hub.metric_names(fault.microservice))
+
+    def _burst(self, fault: Fault, rate_per_hour: float, template: str,
+               window: TimeWindow | None = None) -> None:
+        stream = self._hub.logs(fault.microservice, fault.region)
+        stream.add_burst(LogBurst(
+            window=window or fault.window,
+            rate_per_hour=rate_per_hour,
+            template=template,
+            label=fault.fault_id,
+        ))
+
+    def _apply_crash(self, fault: Fault) -> None:
+        probe = self._hub.probe(fault.microservice, fault.region)
+        probe.add_outage(OutageWindow(window=fault.window, label=fault.fault_id))
+        burst_end = min(fault.window.start + 5 * MINUTE, fault.window.end)
+        self._burst(fault, 600.0, "generic", TimeWindow(fault.window.start, burst_end))
+
+    def _apply_disk_full(self, fault: Fault) -> None:
+        # The last stretch of free space vanishes quickly, then the disk
+        # sits at capacity for the rest of the fault window.
+        fill_end = min(fault.window.start + 8 * MINUTE, fault.window.end)
+        series = self._metric(fault, "disk_util")
+        series.add_effect(
+            MetricEffect(TimeWindow(fault.window.start, fill_end), "ramp", 58.0,
+                         label=fault.fault_id)
+        )
+        if fill_end < fault.window.end:
+            series.add_effect(
+                MetricEffect(TimeWindow(fill_end, fault.window.end), "set", 98.0,
+                             label=fault.fault_id)
+            )
+        self._burst(fault, 240.0, "disk")
+
+    def _apply_cpu_overload(self, fault: Fault) -> None:
+        self._metric(fault, "cpu_util").add_effect(
+            MetricEffect(fault.window, "set", 95.0, label=fault.fault_id)
+        )
+        self._metric(fault, "latency_ms").add_effect(
+            MetricEffect(fault.window, "scale", 3.0, label=fault.fault_id)
+        )
+
+    def _apply_memory_leak(self, fault: Fault) -> None:
+        self._metric(fault, "memory_util").add_effect(
+            MetricEffect(fault.window, "ramp", 50.0, label=fault.fault_id)
+        )
+        # Errors surface only in the last fifth of the leak — the gray phase
+        # is silent, which is what makes R4's early detection valuable.
+        tail_start = fault.window.start + 0.8 * fault.window.duration
+        self._burst(fault, 360.0, "oom", TimeWindow(tail_start, fault.window.end))
+
+    def _apply_network_overload(self, fault: Fault) -> None:
+        self._metric(fault, "latency_ms").add_effect(
+            MetricEffect(fault.window, "scale", 4.0, label=fault.fault_id)
+        )
+        if "network_throughput" in self._available_metrics(fault):
+            self._metric(fault, "network_throughput").add_effect(
+                MetricEffect(fault.window, "set", 980.0, label=fault.fault_id)
+            )
+        self._burst(fault, 420.0, "network")
+
+    def _apply_error_burst(self, fault: Fault) -> None:
+        self._burst(fault, 300.0, "generic")
+
+    def _apply_latency_regression(self, fault: Fault) -> None:
+        self._metric(fault, "latency_ms").add_effect(
+            MetricEffect(fault.window, "add", 400.0, label=fault.fault_id)
+        )
+        self._metric(fault, "error_rate").add_effect(
+            MetricEffect(fault.window, "add", 4.0, label=fault.fault_id)
+        )
+        self._burst(fault, 120.0, "timeout")
+
+    def _apply_flapping(self, fault: Fault) -> None:
+        """A train of 3-minute CPU spikes every 10 minutes across the window."""
+        spike_length = 3 * MINUTE
+        period = 10 * MINUTE
+        start = fault.window.start
+        series = self._metric(fault, "cpu_util")
+        while start < fault.window.end:
+            end = min(start + spike_length, fault.window.end)
+            series.add_effect(
+                MetricEffect(TimeWindow(start, end), "set", 96.0, label=fault.fault_id)
+            )
+            start += period

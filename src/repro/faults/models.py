@@ -1,0 +1,58 @@
+"""Fault records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import TimeWindow
+
+__all__ = ["FaultKind", "Fault"]
+
+
+class FaultKind(enum.Enum):
+    """The fault flavours the injector knows how to express in telemetry."""
+
+    CRASH = "crash"
+    DISK_FULL = "disk_full"
+    CPU_OVERLOAD = "cpu_overload"
+    MEMORY_LEAK = "memory_leak"
+    NETWORK_OVERLOAD = "network_overload"
+    ERROR_BURST = "error_burst"
+    LATENCY_REGRESSION = "latency_regression"
+    FLAPPING = "flapping"
+
+    @property
+    def is_gray(self) -> bool:
+        """Gray failures degrade slowly before exploding (paper §III-C, R4)."""
+        return self in (FaultKind.MEMORY_LEAK, FaultKind.CPU_OVERLOAD)
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One injected or propagated fault on a (microservice, region)."""
+
+    fault_id: str
+    kind: FaultKind
+    microservice: str
+    region: str
+    window: TimeWindow
+    parent_fault_id: str | None = None
+    root_fault_id: str | None = None
+    depth: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.fault_id:
+            raise ValidationError("fault_id must be non-empty")
+        if self.depth < 0:
+            raise ValidationError(f"depth must be >= 0, got {self.depth}")
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this fault is a cascade root (not propagated from another)."""
+        return self.parent_fault_id is None
+
+    def root_id(self) -> str:
+        """The id of the cascade root (itself when this fault is the root)."""
+        return self.root_fault_id or self.fault_id

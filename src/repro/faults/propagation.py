@@ -1,0 +1,132 @@
+"""Cascade propagation through the dependency graph.
+
+Implements the paper's A6 mechanism: a failing component degrades its
+*dependents* (the callers whose requests flow into it), with probability
+decaying per hop and a per-hop onset delay, until either the probability
+dies out or ``max_depth`` is reached.  The propagated fault kind is drawn
+from the symptoms a caller of a broken dependency actually exhibits —
+latency regressions, error bursts, and commit failures — not a copy of
+the root's kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import derive_rng
+from repro.common.timeutil import MINUTE, TimeWindow
+from repro.common.validation import require_fraction, require_non_negative, require_positive
+from repro.faults.injector import FaultInjector
+from repro.faults.models import Fault, FaultKind
+from repro.topology.generator import CloudTopology
+
+__all__ = ["CascadeConfig", "CascadeModel"]
+
+#: Symptoms exhibited by the dependents of a failed component.
+_PROPAGATED_KINDS: tuple[FaultKind, ...] = (
+    FaultKind.LATENCY_REGRESSION,
+    FaultKind.ERROR_BURST,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CascadeConfig:
+    """Propagation parameters.
+
+    ``base_probability`` is the chance a direct dependent degrades;
+    it decays by ``decay_per_hop`` each hop.  ``onset_delay`` is the mean
+    seconds before a dependent starts showing symptoms (paper Table II
+    shows the database alerts 2-3 minutes after the storage alert).
+    """
+
+    base_probability: float = 0.75
+    decay_per_hop: float = 0.65
+    onset_delay: float = 2 * MINUTE
+    max_depth: int = 4
+    min_child_duration: float = 5 * MINUTE
+
+    def __post_init__(self) -> None:
+        require_fraction(self.base_probability, "base_probability")
+        require_fraction(self.decay_per_hop, "decay_per_hop")
+        require_non_negative(self.onset_delay, "onset_delay")
+        require_positive(self.max_depth, "max_depth")
+        require_positive(self.min_child_duration, "min_child_duration")
+
+
+class CascadeModel:
+    """Expands a root fault into its propagated descendants."""
+
+    def __init__(
+        self,
+        topology: CloudTopology,
+        injector: FaultInjector,
+        config: CascadeConfig | None = None,
+        seed: int = 42,
+    ) -> None:
+        self._topology = topology
+        self._injector = injector
+        self._config = config or CascadeConfig()
+        self._seed = seed
+        self._cascades = 0
+
+    @property
+    def config(self) -> CascadeConfig:
+        """The propagation parameters in use."""
+        return self._config
+
+    def trigger(self, root: Fault) -> list[Fault]:
+        """Inject the cascade caused by ``root``; returns the new child faults.
+
+        The root itself must already be applied by the caller.  Children
+        are injected breadth-first so parents always precede children in
+        the injector's fault index.
+        """
+        rng = derive_rng(self._seed, f"cascade/{root.fault_id}/{self._cascades}")
+        self._cascades += 1
+        config = self._config
+        children: list[Fault] = []
+        frontier: list[Fault] = [root]
+        visited: set[str] = {root.microservice}
+
+        for depth in range(1, config.max_depth + 1):
+            probability = config.base_probability * (config.decay_per_hop ** (depth - 1))
+            next_frontier: list[Fault] = []
+            for parent in frontier:
+                for dependent in sorted(self._topology.graph.dependents(parent.microservice)):
+                    if dependent in visited:
+                        continue
+                    if rng.random() > probability:
+                        continue
+                    visited.add(dependent)
+                    child = self._spawn_child(parent, dependent, rng)
+                    if child is not None:
+                        children.append(child)
+                        next_frontier.append(child)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return children
+
+    def _spawn_child(self, parent: Fault, dependent: str, rng) -> Fault | None:
+        config = self._config
+        delay = float(rng.exponential(config.onset_delay)) if config.onset_delay > 0 else 0.0
+        start = parent.window.start + delay
+        end = max(parent.window.end, start + config.min_child_duration)
+        if start >= end:
+            return None
+        kind = self._child_kind(dependent, rng)
+        return self._injector.new_fault(
+            kind=kind,
+            microservice=dependent,
+            region=parent.region,
+            window=TimeWindow(start, end),
+            parent=parent,
+        )
+
+    def _child_kind(self, dependent: str, rng) -> FaultKind:
+        """Database callers surface commit failures; everyone else latency/errors."""
+        service = self._topology.service_of[dependent]
+        archetype = self._topology.services[service].archetype
+        if archetype == "database" and rng.random() < 0.5:
+            return FaultKind.ERROR_BURST
+        return _PROPAGATED_KINDS[int(rng.integers(len(_PROPAGATED_KINDS)))]

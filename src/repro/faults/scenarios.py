@@ -1,0 +1,109 @@
+"""Named fault scenarios used by benchmarks, examples, and tests.
+
+Each scenario injects a ground-truth fault structure that one of the
+paper's artefacts exercises:
+
+* :func:`disk_full_cascade` — Table II: block storage runs out of disk,
+  the database that uses it as backend fails to commit, and the anomaly
+  propagates further up the call structure (anti-pattern A6);
+* :func:`gray_failure_scenario` — §III-C R4: a memory leak degrades
+  silently, then erupts into a cascade — the emerging-alert case;
+* :func:`flapping_metric_scenario` — anti-pattern A4: a metric oscillates
+  across its threshold producing transient/toggling alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.faults.injector import FaultInjector
+from repro.faults.models import Fault, FaultKind
+from repro.faults.propagation import CascadeModel
+from repro.topology.generator import CloudTopology
+
+__all__ = ["disk_full_cascade", "gray_failure_scenario", "flapping_metric_scenario"]
+
+
+def _most_depended_on(topology: CloudTopology, service: str) -> str:
+    """The microservice of ``service`` with the most direct dependents."""
+    members = topology.microservices_of(service)
+    if not members:
+        raise ValidationError(f"service {service!r} has no microservices")
+    return max(members, key=lambda name: (len(topology.graph.dependents(name)), name))
+
+
+def disk_full_cascade(
+    topology: CloudTopology,
+    injector: FaultInjector,
+    cascade: CascadeModel,
+    start: float,
+    duration: float = 2 * HOUR,
+    region: str | None = None,
+) -> tuple[Fault, list[Fault]]:
+    """Inject the Table II scenario: disk-full on block storage, then cascade.
+
+    Returns ``(root_fault, propagated_faults)``.
+    """
+    region = region or topology.region_names()[0]
+    target = _most_depended_on(topology, "block-storage")
+    root = injector.new_fault(
+        kind=FaultKind.DISK_FULL,
+        microservice=target,
+        region=region,
+        window=TimeWindow(start, start + duration),
+    )
+    children = cascade.trigger(root)
+    return root, children
+
+
+def gray_failure_scenario(
+    topology: CloudTopology,
+    injector: FaultInjector,
+    cascade: CascadeModel,
+    start: float,
+    leak_duration: float = 4 * HOUR,
+    region: str | None = None,
+) -> tuple[Fault, list[Fault]]:
+    """Inject a gray failure: silent memory leak, cascade only near the end.
+
+    The leak's telemetry signature stays quiet for the first 80 % of the
+    window (see the injector); the cascade children are anchored to that
+    final phase, so alerts from the leak itself *precede* the flood — the
+    emerging-alert situation R4 is designed to catch.
+    """
+    region = region or topology.region_names()[0]
+    target = _most_depended_on(topology, "container-engine")
+    window = TimeWindow(start, start + leak_duration)
+    root = injector.new_fault(
+        kind=FaultKind.MEMORY_LEAK,
+        microservice=target,
+        region=region,
+        window=window,
+    )
+    tail = TimeWindow(window.start + 0.8 * window.duration, window.end)
+    # Children propagate from the eruption phase, not from the silent phase.
+    eruption_view = replace(root, window=tail)
+    children = cascade.trigger(eruption_view)
+    return root, children
+
+
+def flapping_metric_scenario(
+    topology: CloudTopology,
+    injector: FaultInjector,
+    start: float,
+    duration: float = 3 * HOUR,
+    region: str | None = None,
+    microservice: str | None = None,
+) -> Fault:
+    """Inject a flapping CPU metric that toggles threshold strategies (A4)."""
+    region = region or topology.region_names()[0]
+    if microservice is None:
+        microservice = _most_depended_on(topology, "elastic-compute")
+    return injector.new_fault(
+        kind=FaultKind.FLAPPING,
+        microservice=microservice,
+        region=region,
+        window=TimeWindow(start, start + duration),
+    )

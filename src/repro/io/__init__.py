@@ -1,0 +1,6 @@
+"""Persistence: JSONL serialisation of alerts, faults, and traces."""
+
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.traces import load_trace, save_trace
+
+__all__ = ["read_jsonl", "write_jsonl", "save_trace", "load_trace"]

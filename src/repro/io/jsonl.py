@@ -1,0 +1,41 @@
+"""Line-delimited JSON helpers."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.common.errors import ValidationError
+
+__all__ = ["write_jsonl", "read_jsonl"]
+
+
+def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
+    """Write ``records`` one JSON object per line; returns the count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield one dict per non-empty line."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such file: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValidationError(
+                    f"{path}:{line_number}: invalid JSON: {error}"
+                ) from error

@@ -1,0 +1,21 @@
+"""Machine-learning substrate built on numpy.
+
+No ML framework is assumed: this package implements the two models the
+paper's mitigation/QoA pipelines need —
+
+* :mod:`repro.ml.lda` — adaptive *online* Latent Dirichlet Allocation
+  (Hoffman et al.'s online variational Bayes, the algorithm family behind
+  the paper's R4 emerging-alert detection, refs [30]/[31]);
+* :mod:`repro.ml.logistic` — L2-regularised logistic regression for the
+  QoA classifiers;
+
+plus the text plumbing (:mod:`repro.ml.tokenize`, :mod:`repro.ml.vocab`)
+that turns alert titles/descriptions into bags of words.
+"""
+
+from repro.ml.lda import OnlineLDA
+from repro.ml.logistic import LogisticRegression
+from repro.ml.tokenize import tokenize
+from repro.ml.vocab import Vocabulary
+
+__all__ = ["OnlineLDA", "LogisticRegression", "tokenize", "Vocabulary"]

@@ -1,0 +1,115 @@
+"""L2-regularised binary logistic regression on numpy.
+
+Used by the QoA models (§IV): small feature vectors, hundreds-to-thousands
+of examples — full-batch gradient descent with feature standardisation is
+plenty, and keeps the implementation auditable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import require_positive
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression:
+    """Binary classifier: P(y=1|x) = sigmoid(w.x + b), L2 penalty on w."""
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        max_iters: int = 500,
+        tol: float = 1e-6,
+    ) -> None:
+        require_positive(learning_rate, "learning_rate")
+        require_positive(max_iters, "max_iters")
+        if l2 < 0:
+            raise ValidationError(f"l2 must be >= 0, got {l2}")
+        self.l2 = float(l2)
+        self.learning_rate = float(learning_rate)
+        self.max_iters = int(max_iters)
+        self.tol = float(tol)
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._weights is not None
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Learned weights in standardised feature space (copy)."""
+        self._require_fitted()
+        return self._weights.copy()
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Train on ``features`` (n, d) against binary ``labels`` (n,)."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2:
+            raise ValidationError(f"features must be 2-D, got {features.ndim}-D")
+        if labels.shape != (features.shape[0],):
+            raise ValidationError(
+                f"labels shape {labels.shape} does not match {features.shape[0]} rows"
+            )
+        if not np.isin(labels, (0.0, 1.0)).all():
+            raise ValidationError("labels must be 0/1")
+        n, d = features.shape
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std = np.where(self._std < 1e-12, 1.0, self._std)
+        x = (features - self._mean) / self._std
+
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self.max_iters):
+            logits = x @ weights + bias
+            probs = _sigmoid(logits)
+            error = probs - labels
+            grad_w = x.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+            if np.abs(grad_w).max() < self.tol and abs(grad_b) < self.tol:
+                break
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(y=1) per row."""
+        self._require_fitted()
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[np.newaxis, :]
+        x = (features - self._mean) / self._std
+        return _sigmoid(x @ self._weights + self._bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct hard predictions."""
+        labels = np.asarray(labels)
+        return float((self.predict(features) == labels).mean())
+
+    def _require_fitted(self) -> None:
+        if self._weights is None:
+            raise ValidationError("model is not fitted yet")
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out

@@ -1,0 +1,34 @@
+"""Minimal text tokenisation for alert titles and descriptions."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize", "STOPWORDS"]
+
+#: Function words carrying no topical signal in alert text.
+STOPWORDS: frozenset[str] = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has",
+    "have", "in", "is", "it", "its", "of", "on", "or", "per", "that", "the",
+    "to", "too", "was", "were", "will", "with", "than", "then",
+})
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[_-][a-z0-9]+)*")
+
+
+def tokenize(text: str, drop_stopwords: bool = True, min_length: int = 2) -> list[str]:
+    """Lowercase and split ``text`` into identifier-friendly tokens.
+
+    Hyphenated / underscored component names ("block-storage-api-10",
+    "haproxy_process_number_warning") survive as single tokens, which is
+    what lets LDA topics align with components.
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    result = []
+    for token in tokens:
+        if len(token) < min_length:
+            continue
+        if drop_stopwords and token in STOPWORDS:
+            continue
+        result.append(token)
+    return result

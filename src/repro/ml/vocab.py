@@ -1,0 +1,84 @@
+"""Vocabulary: token <-> id mapping and bag-of-words conversion."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Token registry with optional freezing.
+
+    While unfrozen, unknown tokens are added on sight; once frozen,
+    unknown tokens are dropped — the behaviour an *online* pipeline needs
+    after its warm-up phase.
+    """
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def frozen(self) -> bool:
+        """Whether new tokens are still being admitted."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Stop admitting new tokens."""
+        self._frozen = True
+
+    def add(self, token: str) -> int | None:
+        """Register ``token``; returns its id, or ``None`` if dropped."""
+        if not token:
+            raise ValidationError("token must be non-empty")
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            return None
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    def id_of(self, token: str) -> int | None:
+        """The id of ``token`` or ``None`` when unknown."""
+        return self._token_to_id.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        """The token for ``token_id``."""
+        if not 0 <= token_id < len(self._id_to_token):
+            raise ValidationError(f"token id {token_id} out of range")
+        return self._id_to_token[token_id]
+
+    def doc_to_bow(self, tokens: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Convert tokens to (ids, counts) arrays, registering if unfrozen."""
+        counter: Counter[int] = Counter()
+        for token in tokens:
+            token_id = self.add(token)
+            if token_id is not None:
+                counter[token_id] += 1
+        if not counter:
+            return np.empty(0, dtype=int), np.empty(0, dtype=int)
+        ids = np.array(sorted(counter), dtype=int)
+        counts = np.array([counter[i] for i in ids], dtype=int)
+        return ids, counts
+
+    def docs_to_bows(
+        self, docs: Iterable[Sequence[str]]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Vectorise many token lists."""
+        return [self.doc_to_bow(doc) for doc in docs]

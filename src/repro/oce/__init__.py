@@ -1,0 +1,34 @@
+"""On-call engineer simulation: processing behaviour and the survey panel.
+
+Three pieces:
+
+* :mod:`repro.oce.engineer` — OCE agents with the paper's experience
+  bands (§III: 10 OCEs >3y, 3 with 2-3y, 2 with 1-2y, 3 with <1y);
+* :mod:`repro.oce.processing` — how long an OCE takes to diagnose an
+  alert as a function of the alert strategy's quality; this is what makes
+  anti-pattern strategies surface in the paper's top-30 %-processing-time
+  candidate mining;
+* :mod:`repro.oce.survey` — the 18-OCE survey instrument reproducing
+  Figures 2(a)-(c) and Figure 4.
+"""
+
+from repro.oce.engineer import ExperienceBand, OnCallEngineer, build_panel
+from repro.oce.processing import ProcessingModel, ProcessingOutcome
+from repro.oce.survey import (
+    SurveyInstrument,
+    SurveyResponse,
+    SurveyResults,
+)
+from repro.oce.team import OCETeam
+
+__all__ = [
+    "ExperienceBand",
+    "OnCallEngineer",
+    "build_panel",
+    "ProcessingModel",
+    "ProcessingOutcome",
+    "OCETeam",
+    "SurveyInstrument",
+    "SurveyResponse",
+    "SurveyResults",
+]

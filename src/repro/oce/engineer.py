@@ -1,0 +1,86 @@
+"""On-call engineer agents and the paper's survey panel composition."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.paper_reference import EXPERIENCE_MIX
+from repro.common.errors import ValidationError
+
+__all__ = ["ExperienceBand", "OnCallEngineer", "build_panel"]
+
+
+class ExperienceBand(enum.Enum):
+    """Working-experience bands as the paper's §III reports them."""
+
+    LT1 = "<1y"
+    Y1TO2 = "1-2y"
+    Y2TO3 = "2-3y"
+    GT3 = ">3y"
+
+    @property
+    def label(self) -> str:
+        """Display form used in Figure 4's legend."""
+        return {
+            ExperienceBand.LT1: "less than 1 year",
+            ExperienceBand.Y1TO2: "1 to 2 years",
+            ExperienceBand.Y2TO3: "2 to 3 years",
+            ExperienceBand.GT3: "more than 3 years",
+        }[self]
+
+    @property
+    def skill(self) -> float:
+        """Diagnosis-speed multiplier: seniors diagnose faster (< 1.0)."""
+        return {
+            ExperienceBand.LT1: 1.6,
+            ExperienceBand.Y1TO2: 1.3,
+            ExperienceBand.Y2TO3: 1.1,
+            ExperienceBand.GT3: 0.8,
+        }[self]
+
+    @classmethod
+    def from_value(cls, value: str) -> "ExperienceBand":
+        """Parse a band from its short form, e.g. ``">3y"``."""
+        for band in cls:
+            if band.value == value:
+                return band
+        raise ValidationError(f"unknown experience band {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class OnCallEngineer:
+    """One OCE with a name and an experience band."""
+
+    name: str
+    band: ExperienceBand
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("OCE name must be non-empty")
+
+    @property
+    def skill(self) -> float:
+        """Diagnosis-speed multiplier inherited from the band."""
+        return self.band.skill
+
+
+def build_panel(mix: dict[str, int] | None = None) -> list[OnCallEngineer]:
+    """Build the survey panel with the paper's experience mix.
+
+    Default mix (§III): 10 OCEs with more than three years of experience,
+    3 with two-to-three, 2 with one-to-two, 3 with under one year —
+    eighteen in total.  Seniors come first so panel indices are stable.
+    """
+    mix = EXPERIENCE_MIX if mix is None else mix
+    panel: list[OnCallEngineer] = []
+    order = (ExperienceBand.GT3, ExperienceBand.Y2TO3, ExperienceBand.Y1TO2, ExperienceBand.LT1)
+    for band in order:
+        count = mix.get(band.value, 0)
+        if count < 0:
+            raise ValidationError(f"negative count for band {band.value!r}")
+        for index in range(count):
+            panel.append(OnCallEngineer(name=f"oce-{band.value}-{index:02d}", band=band))
+    if not panel:
+        raise ValidationError("panel must contain at least one OCE")
+    return panel

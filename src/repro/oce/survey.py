@@ -1,0 +1,199 @@
+"""The 18-OCE survey instrument (Figures 2(a), 2(b), 2(c), and 4).
+
+The paper's survey responses are proprietary; what it publishes are the
+per-question answer distributions and one cross-tab fact (all >3-year OCEs
+answered "Limited Help" on Q1).  The instrument here simulates a panel
+whose *response model is calibrated to those published marginals*: target
+counts come from :mod:`repro.analysis.paper_reference`, hard behavioural
+constraints (the Figure 4 fact) are honoured, and the root seed only
+shuffles *which* OCE within an eligible group gives which answer.
+
+Re-measuring the paper's figures through this instrument exercises the
+full tabulation machinery — question banks, panel composition,
+constraint-aware allocation, count and cross-tab computation — which is
+the reproducible deliverable.  Custom target tables are accepted so the
+instrument is reusable beyond the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import paper_reference as paper
+from repro.common.errors import ValidationError
+from repro.common.rng import derive_rng
+from repro.oce.engineer import ExperienceBand, OnCallEngineer, build_panel
+
+__all__ = [
+    "IMPACT_OPTIONS",
+    "SOP_OPTIONS",
+    "REACTION_OPTIONS",
+    "SurveyResponse",
+    "SurveyResults",
+    "SurveyInstrument",
+]
+
+IMPACT_OPTIONS: tuple[str, ...] = ("High", "Low", "No Impact")
+SOP_OPTIONS: tuple[str, ...] = ("Helpful", "Limited Help", "Not Helpful")
+REACTION_OPTIONS: tuple[str, ...] = ("Effective", "Limited Effect", "Not Effective")
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyResponse:
+    """One OCE's answer to one question."""
+
+    oce_name: str
+    band: ExperienceBand
+    question_id: str
+    answer: str
+
+
+@dataclass(slots=True)
+class SurveyResults:
+    """All responses of one survey run, with tabulation helpers."""
+
+    panel: list[OnCallEngineer]
+    responses: list[SurveyResponse] = field(default_factory=list)
+
+    def counts(self, question_id: str, options: tuple[str, ...]) -> dict[str, int]:
+        """Answer counts for one question, keyed in option order."""
+        counts = {option: 0 for option in options}
+        for response in self.responses:
+            if response.question_id == question_id:
+                if response.answer not in counts:
+                    raise ValidationError(
+                        f"answer {response.answer!r} not among options {options!r}"
+                    )
+                counts[response.answer] += 1
+        return counts
+
+    def crosstab(self, question_id: str) -> dict[ExperienceBand, dict[str, int]]:
+        """Per-band answer counts for one question (Figure 4 style)."""
+        table: dict[ExperienceBand, dict[str, int]] = {}
+        for response in self.responses:
+            if response.question_id != question_id:
+                continue
+            band_row = table.setdefault(response.band, {})
+            band_row[response.answer] = band_row.get(response.answer, 0) + 1
+        return table
+
+    def agreement_fraction(self, question_id: str, agreeing: tuple[str, ...]) -> float:
+        """Fraction of the panel whose answer is in ``agreeing``.
+
+        Used for the paper's in-text percentages, e.g. "88.9 % of OCEs
+        agree with the impact of misleading severity" (High + Low).
+        """
+        total = sum(1 for r in self.responses if r.question_id == question_id)
+        if total == 0:
+            raise ValidationError(f"no responses recorded for {question_id!r}")
+        hits = sum(
+            1
+            for r in self.responses
+            if r.question_id == question_id and r.answer in agreeing
+        )
+        return hits / total
+
+
+class SurveyInstrument:
+    """Runs the calibrated survey over a panel.
+
+    ``impact_targets`` / ``sop_targets`` / ``reaction_targets`` may be
+    overridden with custom ``{question: (count, count, count)}`` tables;
+    they default to the paper's published distributions.
+    """
+
+    def __init__(
+        self,
+        panel: list[OnCallEngineer] | None = None,
+        seed: int = 42,
+        impact_targets: dict[str, tuple[int, int, int]] | None = None,
+        sop_targets: dict[str, tuple[int, int, int]] | None = None,
+        reaction_targets: dict[str, tuple[int, int, int]] | None = None,
+    ) -> None:
+        self._panel = build_panel() if panel is None else panel
+        self._seed = seed
+        self._impact_targets = (
+            paper.ANTIPATTERN_IMPACT if impact_targets is None else impact_targets
+        )
+        self._sop_targets = (
+            paper.SOP_HELPFULNESS if sop_targets is None else sop_targets
+        )
+        self._reaction_targets = (
+            paper.REACTION_EFFECTIVENESS if reaction_targets is None else reaction_targets
+        )
+
+    @property
+    def panel(self) -> list[OnCallEngineer]:
+        """The surveyed OCEs (copy)."""
+        return list(self._panel)
+
+    def run(self) -> SurveyResults:
+        """Ask every question bank; returns the tabulated results."""
+        results = SurveyResults(panel=self.panel)
+        for pattern, targets in self._impact_targets.items():
+            results.responses.extend(
+                self._allocate(f"impact/{pattern}", IMPACT_OPTIONS, targets)
+            )
+        for question, targets in self._sop_targets.items():
+            constraints = None
+            if question == "Q1":
+                # Figure 4: every >3-year OCE found overall SOP help limited.
+                constraints = {ExperienceBand.GT3: "Limited Help"}
+            results.responses.extend(
+                self._allocate(f"sop/{question}", SOP_OPTIONS, targets, constraints)
+            )
+        for reaction, targets in self._reaction_targets.items():
+            results.responses.extend(
+                self._allocate(f"reaction/{reaction}", REACTION_OPTIONS, targets)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _allocate(
+        self,
+        question_id: str,
+        options: tuple[str, ...],
+        targets: tuple[int, ...],
+        constraints: dict[ExperienceBand, str] | None = None,
+    ) -> list[SurveyResponse]:
+        """Deal answers to OCEs matching target counts and band constraints."""
+        if len(targets) != len(options):
+            raise ValidationError(
+                f"{question_id}: got {len(targets)} targets for {len(options)} options"
+            )
+        if sum(targets) != len(self._panel):
+            raise ValidationError(
+                f"{question_id}: targets sum to {sum(targets)}, panel has {len(self._panel)}"
+            )
+        remaining = dict(zip(options, targets))
+        responses: list[SurveyResponse] = []
+        free_oces: list[OnCallEngineer] = []
+
+        for oce in self._panel:
+            forced = (constraints or {}).get(oce.band)
+            if forced is not None:
+                if remaining.get(forced, 0) <= 0:
+                    raise ValidationError(
+                        f"{question_id}: constraint {oce.band.value} -> {forced!r} "
+                        f"is infeasible with the target counts"
+                    )
+                remaining[forced] -= 1
+                responses.append(
+                    SurveyResponse(oce.name, oce.band, question_id, forced)
+                )
+            else:
+                free_oces.append(oce)
+
+        rng = derive_rng(self._seed, f"survey/{question_id}")
+        order = rng.permutation(len(free_oces))
+        deck: list[str] = []
+        for option in options:
+            deck.extend([option] * remaining[option])
+        for position, oce_index in enumerate(order):
+            oce = free_oces[int(oce_index)]
+            responses.append(
+                SurveyResponse(oce.name, oce.band, question_id, deck[position])
+            )
+        return responses

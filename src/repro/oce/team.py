@@ -1,0 +1,81 @@
+"""OCE teams: alert assignment and load accounting.
+
+The paper sets the collective-candidate threshold at 200 alerts/hour/region
+because that is "the estimated maximum number of alerts an OCE team can
+deal with".  The team model makes that capacity concrete: alerts are
+assigned round-robin, each diagnosis occupies its OCE for the processing
+time, and the team saturates when arrivals outpace capacity.
+"""
+
+from __future__ import annotations
+
+from repro.alerting.alert import Alert
+from repro.alerting.strategy import AlertStrategy
+from repro.common.errors import ValidationError
+from repro.oce.engineer import OnCallEngineer
+from repro.oce.processing import ProcessingModel, ProcessingOutcome
+
+__all__ = ["OCETeam"]
+
+
+class OCETeam:
+    """A team of OCEs sharing an on-call queue."""
+
+    def __init__(
+        self,
+        name: str,
+        engineers: list[OnCallEngineer],
+        model: ProcessingModel,
+    ) -> None:
+        if not name:
+            raise ValidationError("team name must be non-empty")
+        if not engineers:
+            raise ValidationError("team must have at least one engineer")
+        self._name = name
+        self._engineers = list(engineers)
+        self._model = model
+        self._busy_until: dict[str, float] = {e.name: 0.0 for e in engineers}
+        self._outcomes: list[ProcessingOutcome] = []
+
+    @property
+    def name(self) -> str:
+        """Team name."""
+        return self._name
+
+    @property
+    def engineers(self) -> list[OnCallEngineer]:
+        """Team members (copy)."""
+        return list(self._engineers)
+
+    @property
+    def outcomes(self) -> list[ProcessingOutcome]:
+        """All processing outcomes so far (copy)."""
+        return list(self._outcomes)
+
+    def handle(self, alert: Alert, strategy: AlertStrategy, now: float) -> ProcessingOutcome:
+        """Assign ``alert`` to the earliest-free OCE and process it.
+
+        The diagnosis starts when that OCE becomes free (>= ``now``), so a
+        saturated team accumulates queueing delay — exactly the effect the
+        paper describes during alert storms.
+        """
+        oce = min(
+            self._engineers,
+            key=lambda e: (self._busy_until[e.name], e.name),
+        )
+        start = max(now, self._busy_until[oce.name])
+        outcome = self._model.process(alert, strategy, oce, start)
+        self._busy_until[oce.name] = outcome.finished_at
+        self._outcomes.append(outcome)
+        return outcome
+
+    def backlog_seconds(self, now: float) -> float:
+        """Total busy time scheduled beyond ``now`` across the team."""
+        return sum(max(until - now, 0.0) for until in self._busy_until.values())
+
+    def hourly_capacity(self, strategy: AlertStrategy) -> float:
+        """Alerts/hour the team can absorb for a given strategy's profile."""
+        per_oce = [
+            3600.0 / self._model.expected_seconds(strategy, oce) for oce in self._engineers
+        ]
+        return sum(per_oce)

@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event loop: callbacks are scheduled at absolute
+simulation times and executed in time order (FIFO among ties).  The
+monitoring engine, fault injector, and OCE processing model all run as
+processes on this kernel.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, PeriodicProcess
+
+__all__ = ["SimulationEngine", "Event", "PeriodicProcess"]

@@ -1,0 +1,131 @@
+"""The simulation engine: an ordered event loop over simulated seconds."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from repro.common.errors import SimulationError, ValidationError
+from repro.sim.events import Event, EventCallback, PeriodicProcess
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Deterministic discrete-event loop.
+
+    >>> engine = SimulationEngine()
+    >>> seen = []
+    >>> _ = engine.schedule(5.0, lambda t, p: seen.append((t, p)), payload="hello")
+    >>> engine.run_until(10.0)
+    >>> seen
+    [(5.0, 'hello')]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if start_time < 0:
+            raise ValidationError(f"start_time must be >= 0, got {start_time}")
+        self._now = start_time
+        self._queue: list[Event] = []
+        self._sequence = 0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    def schedule(
+        self,
+        time: float,
+        callback: EventCallback,
+        payload: Any = None,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(time, payload)`` at an absolute time.
+
+        Scheduling in the past raises :class:`SimulationError`; scheduling
+        exactly at ``now`` is allowed and fires on the current tick.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(time=time, sequence=self._sequence, callback=callback,
+                      payload=payload, label=label)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: EventCallback,
+        payload: Any = None,
+        label: str = "",
+    ) -> Event:
+        """Schedule relative to the current time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self._now + delay, callback, payload, label)
+
+    def add_periodic(self, process: PeriodicProcess) -> None:
+        """Register a periodic process; its first tick fires at ``process.start``."""
+        if process.start < self._now:
+            raise SimulationError(
+                f"periodic process starts at {process.start} before now {self._now}"
+            )
+        if process.end is not None and process.start >= process.end:
+            return
+
+        def tick(time: float, _: Any) -> None:
+            if not process.active:
+                return
+            process.callback(time, None)
+            next_time = process.next_tick_after(time)
+            if next_time is not None:
+                self.schedule(next_time, tick, label=process.label)
+
+        self.schedule(process.start, tick, label=process.label)
+
+    def run_until(self, end_time: float) -> None:
+        """Execute all events with ``time <= end_time`` in order.
+
+        After the call, ``now`` equals ``end_time`` even if the queue
+        drained earlier, so subsequent scheduling is relative to the end of
+        the simulated horizon.
+        """
+        if end_time < self._now:
+            raise SimulationError(f"end_time {end_time} precedes current time {self._now}")
+        while self._queue and self._queue[0].time <= end_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fire()
+            self._fired += 1
+        self._now = end_time
+
+    def run_all(self, safety_limit: int = 10_000_000) -> None:
+        """Drain the queue completely (bounded by ``safety_limit`` events)."""
+        executed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fire()
+            self._fired += 1
+            executed += 1
+            if executed >= safety_limit:
+                raise SimulationError(f"run_all exceeded safety limit of {safety_limit} events")

@@ -1,0 +1,78 @@
+"""Event and periodic-process records for the simulation kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import ValidationError
+from repro.common.validation import require_positive
+
+__all__ = ["Event", "PeriodicProcess"]
+
+#: Signature of an event callback: receives the firing time and the payload.
+EventCallback = Callable[[float, Any], None]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, sequence)`` so simultaneous events fire in the
+    order they were scheduled — determinism the calibrated workloads rely
+    on.
+    """
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (no-op when cancelled)."""
+        if not self.cancelled:
+            self.callback(self.time, self.payload)
+
+
+@dataclass(slots=True)
+class PeriodicProcess:
+    """A callback that re-schedules itself every ``interval`` seconds.
+
+    The engine materialises one :class:`Event` per tick; ``end`` bounds the
+    final tick (exclusive).  ``jitter`` support is deliberately absent —
+    stochastic timing belongs in the callbacks, keeping the kernel
+    deterministic.
+    """
+
+    interval: float
+    callback: EventCallback
+    start: float = 0.0
+    end: float | None = None
+    label: str = ""
+    active: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive(self.interval, "interval")
+        if self.start < 0:
+            raise ValidationError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end < self.start:
+            raise ValidationError(f"end {self.end} precedes start {self.start}")
+
+    def stop(self) -> None:
+        """Prevent any further ticks from being scheduled."""
+        self.active = False
+
+    def next_tick_after(self, time: float) -> float | None:
+        """The first tick strictly after ``time``, or ``None`` when done."""
+        if not self.active:
+            return None
+        tick = time + self.interval
+        if self.end is not None and tick >= self.end:
+            return None
+        return tick

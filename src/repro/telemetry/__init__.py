@@ -1,0 +1,36 @@
+"""Telemetry synthesis: metrics, logs, and probes.
+
+Section II-B3 of the paper divides alert strategies into three monitoring
+channels — probes, logs, and metrics.  This package synthesises all three
+for the simulated cloud:
+
+* :mod:`repro.telemetry.metrics` — seasonal, noisy performance metric
+  series (latency, CPU, disk, ...) with injectable anomaly effects;
+* :mod:`repro.telemetry.logs` — Poisson error-log event streams with
+  burst overlays;
+* :mod:`repro.telemetry.probes` — heartbeat probes with outage windows;
+* :mod:`repro.telemetry.store` — a hub mapping (microservice, region,
+  channel) to its generators, which the monitoring engine polls.
+"""
+
+from repro.telemetry.logs import LogBurst, LogEventStream
+from repro.telemetry.metrics import (
+    MetricEffect,
+    MetricProfile,
+    MetricSeriesGenerator,
+    default_profiles,
+)
+from repro.telemetry.probes import OutageWindow, ProbeSimulator
+from repro.telemetry.store import TelemetryHub
+
+__all__ = [
+    "MetricProfile",
+    "MetricEffect",
+    "MetricSeriesGenerator",
+    "default_profiles",
+    "LogEventStream",
+    "LogBurst",
+    "ProbeSimulator",
+    "OutageWindow",
+    "TelemetryHub",
+]

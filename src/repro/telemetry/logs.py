@@ -1,0 +1,128 @@
+"""Synthetic error-log event streams.
+
+Log-channel alert strategies in the paper match keyword rules such as
+"IF the logs contain 5 ERRORs in the past 2 minutes, THEN generate an
+alert".  What those rules consume is the *timing* of error events, so the
+stream synthesises error-event timestamps as a piecewise-homogeneous
+Poisson process: a low background rate plus burst windows registered by
+the fault injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.common.validation import require_non_negative
+
+__all__ = ["LogBurst", "LogEventStream", "ERROR_TEMPLATES"]
+
+#: Error-message templates, keyed by fault flavour.  Messages matter only
+#: for alert descriptions; matching is on the ERROR marker itself.
+ERROR_TEMPLATES: dict[str, str] = {
+    "generic": "ERROR internal error while handling request: {detail}",
+    "disk": "ERROR failed to allocate new blocks: no space left on device",
+    "network": "ERROR connection reset by peer while calling {peer}",
+    "timeout": "ERROR upstream call to {peer} timed out after 3000ms",
+    "commit": "ERROR failed to commit changes: backend write rejected",
+    "oom": "ERROR worker killed: out of memory",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class LogBurst:
+    """An elevated error-rate window caused by a fault."""
+
+    window: TimeWindow
+    rate_per_hour: float
+    template: str = "generic"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.rate_per_hour, "rate_per_hour")
+
+
+class LogEventStream:
+    """Error-event timestamps for one (microservice, region) log channel.
+
+    The stream is deterministic per seed *and* per queried window: events
+    are drawn bucket-by-bucket with a bucket-keyed generator, so querying
+    ``[0, 2h)`` yields the same events in ``[1h, 2h)`` as querying that
+    hour directly.
+    """
+
+    def __init__(self, seed: int, background_rate_per_hour: float = 0.2) -> None:
+        require_non_negative(background_rate_per_hour, "background_rate_per_hour")
+        self._seed = seed
+        self._background_rate = background_rate_per_hour
+        self._bursts: list[LogBurst] = []
+
+    @property
+    def bursts(self) -> list[LogBurst]:
+        """Registered burst windows (copy)."""
+        return list(self._bursts)
+
+    def add_burst(self, burst: LogBurst) -> None:
+        """Register an elevated-rate window."""
+        self._bursts.append(burst)
+
+    def clear_bursts(self) -> None:
+        """Remove all bursts (between scenario runs)."""
+        self._bursts.clear()
+
+    def rate_at(self, sim_time: float) -> float:
+        """Instantaneous error rate (events/hour) at ``sim_time``."""
+        rate = self._background_rate
+        for burst in self._bursts:
+            if burst.window.contains(sim_time):
+                rate += burst.rate_per_hour
+        return rate
+
+    def error_times(self, window: TimeWindow) -> np.ndarray:
+        """Sorted error-event timestamps within ``window``."""
+        events: list[np.ndarray] = []
+        first_bucket = int(window.start // HOUR)
+        last_bucket = int(np.ceil(window.end / HOUR))
+        for bucket in range(first_bucket, last_bucket):
+            bucket_window = TimeWindow(bucket * HOUR, (bucket + 1) * HOUR)
+            events.append(self._bucket_events(bucket, bucket_window))
+        if events:
+            all_events = np.concatenate(events)
+        else:
+            all_events = np.empty(0)
+        mask = (all_events >= window.start) & (all_events < window.end)
+        return np.sort(all_events[mask])
+
+    def error_count(self, window: TimeWindow) -> int:
+        """Number of error events within ``window``."""
+        return int(self.error_times(window).size)
+
+    def _bucket_events(self, bucket: int, bucket_window: TimeWindow) -> np.ndarray:
+        """Draw the events of one hour bucket with a bucket-keyed generator."""
+        rng = derive_rng(self._seed, f"logs/bucket/{bucket}")
+        pieces: list[np.ndarray] = []
+        background = self._draw(rng, self._background_rate, bucket_window)
+        pieces.append(background)
+        for index, burst in enumerate(self._bursts):
+            overlap_start = max(bucket_window.start, burst.window.start)
+            overlap_end = min(bucket_window.end, burst.window.end)
+            if overlap_end <= overlap_start:
+                continue
+            burst_rng = derive_rng(self._seed, f"logs/bucket/{bucket}/burst/{index}")
+            pieces.append(
+                self._draw(burst_rng, burst.rate_per_hour, TimeWindow(overlap_start, overlap_end))
+            )
+        return np.concatenate(pieces) if pieces else np.empty(0)
+
+    @staticmethod
+    def _draw(rng, rate_per_hour: float, window: TimeWindow) -> np.ndarray:
+        expected = rate_per_hour * window.duration / HOUR
+        if expected <= 0:
+            return np.empty(0)
+        count = int(rng.poisson(expected))
+        if count == 0:
+            return np.empty(0)
+        return window.start + rng.random(count) * window.duration

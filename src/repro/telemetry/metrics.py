@@ -1,0 +1,235 @@
+"""Synthetic performance-metric series.
+
+A metric series is the sum of a base level, a daily seasonal component,
+Gaussian noise, and any number of *effects* — windows during which a fault
+perturbs the signal.  Effects are how the fault injector reaches into
+telemetry: a disk-full fault adds a ramp to ``disk_util``, a CPU overload
+sets ``cpu_util`` near saturation, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import DAY, TimeWindow
+from repro.common.validation import require_in, require_non_negative, require_positive
+
+__all__ = ["MetricProfile", "MetricEffect", "MetricSeriesGenerator", "default_profiles"]
+
+_EFFECT_MODES = ("add", "set", "scale", "ramp")
+
+
+@dataclass(frozen=True, slots=True)
+class MetricProfile:
+    """Statistical shape of one metric on one component.
+
+    ``base`` is the steady level, ``daily_amplitude`` scales a sinusoidal
+    diurnal pattern, ``noise_std`` the Gaussian noise, and ``floor`` /
+    ``ceiling`` clip the series into its physical range (utilisations live
+    in [0, 100], counts are non-negative, ...).
+    """
+
+    name: str
+    unit: str
+    base: float
+    daily_amplitude: float = 0.0
+    noise_std: float = 0.0
+    floor: float | None = 0.0
+    ceiling: float | None = None
+    phase_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("metric name must be non-empty")
+        require_non_negative(self.daily_amplitude, "daily_amplitude")
+        require_non_negative(self.noise_std, "noise_std")
+        if self.floor is not None and self.ceiling is not None and self.ceiling <= self.floor:
+            raise ValidationError(
+                f"ceiling {self.ceiling} must exceed floor {self.floor} for {self.name}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class MetricEffect:
+    """A fault-induced perturbation over a time window.
+
+    Modes: ``add`` adds ``value``; ``set`` replaces the signal; ``scale``
+    multiplies; ``ramp`` adds a linear ramp from 0 up to ``value`` across
+    the window (gray failures such as memory leaks).
+    """
+
+    window: TimeWindow
+    mode: str
+    value: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        require_in(self.mode, _EFFECT_MODES, "mode")
+
+    def apply(self, times: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Return ``values`` with the effect applied at matching ``times``."""
+        mask = (times >= self.window.start) & (times < self.window.end)
+        if not mask.any():
+            return values
+        result = values.copy()
+        if self.mode == "add":
+            result[mask] += self.value
+        elif self.mode == "set":
+            result[mask] = self.value
+        elif self.mode == "scale":
+            result[mask] *= self.value
+        else:  # ramp
+            duration = max(self.window.duration, 1e-9)
+            progress = (times[mask] - self.window.start) / duration
+            result[mask] += self.value * progress
+        return result
+
+
+class MetricSeriesGenerator:
+    """Produces values of one metric at requested timestamps.
+
+    Sampling is *stateless in time*: the noise at time ``t`` is a hash of
+    ``t`` and the stream seed, so overlapping queries agree on the values
+    they share — the monitoring engine can poll sliding windows without
+    the series rewriting history.
+    """
+
+    def __init__(self, profile: MetricProfile, seed: int) -> None:
+        self._profile = profile
+        self._seed = int(seed) % (2**32)
+        self._effects: list[MetricEffect] = []
+
+    @property
+    def profile(self) -> MetricProfile:
+        """The statistical profile of this series."""
+        return self._profile
+
+    @property
+    def effects(self) -> list[MetricEffect]:
+        """Currently registered fault effects (copy)."""
+        return list(self._effects)
+
+    def add_effect(self, effect: MetricEffect) -> None:
+        """Register a fault-induced perturbation."""
+        self._effects.append(effect)
+
+    def clear_effects(self) -> None:
+        """Drop all registered effects (between scenario runs)."""
+        self._effects.clear()
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Metric values at ``times`` (seconds), effects and clipping applied."""
+        times = np.asarray(times, dtype=float)
+        profile = self._profile
+        phase = 2.0 * np.pi * (times / DAY + profile.phase_hours / 24.0)
+        values = profile.base + profile.daily_amplitude * np.sin(phase)
+        if profile.noise_std > 0:
+            values = values + profile.noise_std * self._noise(times)
+        for effect in self._effects:
+            values = effect.apply(times, values)
+        if profile.floor is not None:
+            values = np.maximum(values, profile.floor)
+        if profile.ceiling is not None:
+            values = np.minimum(values, profile.ceiling)
+        return values
+
+    def sample_window(self, window: TimeWindow, interval: float) -> tuple[np.ndarray, np.ndarray]:
+        """Evenly spaced samples covering ``window`` at ``interval`` seconds."""
+        require_positive(interval, "interval")
+        times = np.arange(window.start, window.end, interval)
+        return times, self.sample(times)
+
+    def _noise(self, times: np.ndarray) -> np.ndarray:
+        """Deterministic per-timestamp standard-normal noise.
+
+        Each timestamp's noise is a pure function of (timestamp, seed), so
+        overlapping window queries agree on the values they share.
+        """
+        keys = (times * 1000.0).astype(np.int64) ^ np.int64(self._seed)
+        uniform = self._scramble(keys.astype(np.uint64))
+        # An independent second uniform per timestamp for Box-Muller.
+        partner = self._scramble(keys.astype(np.uint64) ^ np.uint64(0xDEADBEEFCAFEF00D))
+        return np.sqrt(-2.0 * np.log(uniform)) * np.cos(2.0 * np.pi * partner)
+
+    @staticmethod
+    def _scramble(z: np.ndarray) -> np.ndarray:
+        """SplitMix64-style scramble to uniforms in (0, 1), vectorised."""
+        z = (z + np.uint64(0x9E3779B97F4A7C15)) * np.uint64(0xBF58476D1CE4E5B9)
+        z ^= z >> np.uint64(27)
+        z *= np.uint64(0x94D049BB133111EB)
+        z ^= z >> np.uint64(31)
+        uniform = (z >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+        return np.clip(uniform, 1e-12, 1.0 - 1e-12)
+
+
+def default_profiles(archetype: str) -> dict[str, MetricProfile]:
+    """Metric profiles for a service archetype.
+
+    Every archetype exposes the universal host metrics; archetype-specific
+    metrics (connection count for databases, throughput for networks, ...)
+    are added on top, mirroring the examples in the paper's §II-B3.
+    """
+    universal = {
+        "cpu_util": MetricProfile("cpu_util", "%", base=35.0, daily_amplitude=10.0,
+                                  noise_std=4.0, ceiling=100.0),
+        "memory_util": MetricProfile("memory_util", "%", base=55.0, daily_amplitude=5.0,
+                                     noise_std=2.0, ceiling=100.0),
+        "disk_util": MetricProfile("disk_util", "%", base=40.0, daily_amplitude=1.0,
+                                   noise_std=0.5, ceiling=100.0),
+        "latency_ms": MetricProfile("latency_ms", "ms", base=45.0, daily_amplitude=15.0,
+                                    noise_std=6.0),
+        "request_rate": MetricProfile("request_rate", "req/s", base=220.0,
+                                      daily_amplitude=120.0, noise_std=25.0),
+        "error_rate": MetricProfile("error_rate", "%", base=0.3, daily_amplitude=0.1,
+                                    noise_std=0.15, ceiling=100.0),
+    }
+    extras: dict[str, dict[str, MetricProfile]] = {
+        "storage": {
+            "io_throughput": MetricProfile("io_throughput", "MB/s", base=180.0,
+                                           daily_amplitude=60.0, noise_std=20.0),
+            "io_latency_ms": MetricProfile("io_latency_ms", "ms", base=4.0,
+                                           daily_amplitude=1.0, noise_std=0.6),
+        },
+        "database": {
+            "connection_count": MetricProfile("connection_count", "conns", base=350.0,
+                                              daily_amplitude=120.0, noise_std=30.0),
+            "commit_latency_ms": MetricProfile("commit_latency_ms", "ms", base=8.0,
+                                               daily_amplitude=2.0, noise_std=1.0),
+        },
+        "network": {
+            "network_throughput": MetricProfile("network_throughput", "MB/s", base=420.0,
+                                                daily_amplitude=180.0, noise_std=40.0),
+            "packet_loss": MetricProfile("packet_loss", "%", base=0.05, daily_amplitude=0.02,
+                                         noise_std=0.03, ceiling=100.0),
+        },
+        "middleware": {
+            "queue_depth": MetricProfile("queue_depth", "msgs", base=1200.0,
+                                         daily_amplitude=500.0, noise_std=150.0),
+            "consumer_lag": MetricProfile("consumer_lag", "msgs", base=300.0,
+                                          daily_amplitude=120.0, noise_std=60.0),
+        },
+        "compute": {
+            "vm_launch_latency_ms": MetricProfile("vm_launch_latency_ms", "ms", base=900.0,
+                                                  daily_amplitude=200.0, noise_std=120.0),
+        },
+        "frontend": {
+            "http_5xx_rate": MetricProfile("http_5xx_rate", "%", base=0.2,
+                                           daily_amplitude=0.1, noise_std=0.1, ceiling=100.0),
+        },
+        "platform": {
+            "task_backlog": MetricProfile("task_backlog", "tasks", base=80.0,
+                                          daily_amplitude=30.0, noise_std=15.0),
+        },
+    }
+    profiles = dict(universal)
+    profiles.update(extras.get(archetype, {}))
+    return profiles
+
+
+def scaled_profile(profile: MetricProfile, base_scale: float) -> MetricProfile:
+    """A copy of ``profile`` with the base level scaled (per-instance variety)."""
+    require_positive(base_scale, "base_scale")
+    return replace(profile, base=profile.base * base_scale)

@@ -1,0 +1,81 @@
+"""Heartbeat probe simulation.
+
+Probe-channel strategies (§II-B3) send requests to a target and alert when
+it stops responding for longer than a fixed no-response threshold.  The
+simulator answers "did the target respond at time t, and how fast?" —
+outage windows registered by the fault injector make it unresponsive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import derive_rng
+from repro.common.timeutil import TimeWindow
+from repro.common.validation import require_positive
+
+__all__ = ["OutageWindow", "ProbeSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class OutageWindow:
+    """A window during which the probed target does not respond."""
+
+    window: TimeWindow
+    label: str = ""
+
+
+class ProbeSimulator:
+    """Simulates probe responses for one (microservice, region) target."""
+
+    def __init__(self, seed: int, base_response_ms: float = 20.0) -> None:
+        require_positive(base_response_ms, "base_response_ms")
+        self._seed = seed
+        self._base_response_ms = base_response_ms
+        self._outages: list[OutageWindow] = []
+
+    @property
+    def outages(self) -> list[OutageWindow]:
+        """Registered outage windows (copy)."""
+        return list(self._outages)
+
+    def add_outage(self, outage: OutageWindow) -> None:
+        """Register an unresponsive window."""
+        self._outages.append(outage)
+
+    def clear_outages(self) -> None:
+        """Remove all outages (between scenario runs)."""
+        self._outages.clear()
+
+    def is_responding(self, sim_time: float) -> bool:
+        """Whether a probe sent at ``sim_time`` gets any response."""
+        return not any(outage.window.contains(sim_time) for outage in self._outages)
+
+    def response_time_ms(self, sim_time: float) -> float | None:
+        """Round-trip of a probe at ``sim_time``; ``None`` when unresponsive."""
+        if not self.is_responding(sim_time):
+            return None
+        rng = derive_rng(self._seed, f"probe/{int(sim_time * 1000)}")
+        jitter = float(rng.gamma(shape=2.0, scale=self._base_response_ms / 4.0))
+        return self._base_response_ms / 2.0 + jitter
+
+    def unresponsive_duration(self, sim_time: float) -> float:
+        """Seconds the target has been continuously unresponsive at ``sim_time``.
+
+        Returns 0 when responding.  Back-to-back outage windows are merged:
+        the duration counts from the start of the earliest window forming a
+        contiguous unresponsive run that covers ``sim_time``.
+        """
+        covering = [o.window for o in self._outages if o.window.contains(sim_time)]
+        if not covering:
+            return 0.0
+        run_start = min(window.start for window in covering)
+        changed = True
+        while changed:
+            changed = False
+            for outage in self._outages:
+                window = outage.window
+                if window.start < run_start <= window.end:
+                    run_start = window.start
+                    changed = True
+        return sim_time - run_start

@@ -1,0 +1,105 @@
+"""Telemetry hub: the lookup surface the monitoring engine polls.
+
+The hub lazily creates one generator per (microservice, region, channel)
+with a seed derived from the identity of the channel, so two hubs built
+from the same topology and root seed produce identical telemetry.  The
+fault injector reaches components through the hub to register effects,
+bursts, and outages.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.common.rng import derive_seed
+from repro.telemetry.logs import LogEventStream
+from repro.telemetry.metrics import MetricProfile, MetricSeriesGenerator, default_profiles
+from repro.telemetry.probes import ProbeSimulator
+from repro.topology.generator import CloudTopology
+
+__all__ = ["TelemetryHub"]
+
+
+class TelemetryHub:
+    """Per-(microservice, region) access to metric, log, and probe channels."""
+
+    def __init__(self, topology: CloudTopology, seed: int) -> None:
+        self._topology = topology
+        self._seed = seed
+        self._metrics: dict[tuple[str, str, str], MetricSeriesGenerator] = {}
+        self._logs: dict[tuple[str, str], LogEventStream] = {}
+        self._probes: dict[tuple[str, str], ProbeSimulator] = {}
+
+    @property
+    def topology(self) -> CloudTopology:
+        """The cloud this hub serves."""
+        return self._topology
+
+    # ------------------------------------------------------------------
+    # channel accessors (lazily constructed, deterministic)
+    # ------------------------------------------------------------------
+    def metric(self, microservice: str, region: str, metric_name: str) -> MetricSeriesGenerator:
+        """The metric series generator for one component metric."""
+        self._require(microservice, region)
+        key = (microservice, region, metric_name)
+        if key not in self._metrics:
+            profile = self._profile_for(microservice, metric_name)
+            seed = derive_seed(self._seed, f"metric/{microservice}/{region}/{metric_name}")
+            self._metrics[key] = MetricSeriesGenerator(profile, seed)
+        return self._metrics[key]
+
+    def metric_names(self, microservice: str) -> list[str]:
+        """Metric names available on ``microservice`` (archetype-dependent)."""
+        if microservice not in self._topology.microservices:
+            raise ValidationError(f"unknown microservice {microservice!r}")
+        archetype = self._archetype_of(microservice)
+        return sorted(default_profiles(archetype))
+
+    def logs(self, microservice: str, region: str) -> LogEventStream:
+        """The error-log stream of one component."""
+        self._require(microservice, region)
+        key = (microservice, region)
+        if key not in self._logs:
+            seed = derive_seed(self._seed, f"logs/{microservice}/{region}")
+            self._logs[key] = LogEventStream(seed)
+        return self._logs[key]
+
+    def probe(self, microservice: str, region: str) -> ProbeSimulator:
+        """The heartbeat probe target of one component."""
+        self._require(microservice, region)
+        key = (microservice, region)
+        if key not in self._probes:
+            seed = derive_seed(self._seed, f"probe/{microservice}/{region}")
+            self._probes[key] = ProbeSimulator(seed)
+        return self._probes[key]
+
+    def reset_faults(self) -> None:
+        """Clear every registered effect, burst, and outage."""
+        for generator in self._metrics.values():
+            generator.clear_effects()
+        for stream in self._logs.values():
+            stream.clear_bursts()
+        for probe in self._probes.values():
+            probe.clear_outages()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require(self, microservice: str, region: str) -> None:
+        if microservice not in self._topology.microservices:
+            raise ValidationError(f"unknown microservice {microservice!r}")
+        if region not in self._topology.region_names():
+            raise ValidationError(f"unknown region {region!r}")
+
+    def _archetype_of(self, microservice: str) -> str:
+        service_name = self._topology.service_of[microservice]
+        return self._topology.services[service_name].archetype
+
+    def _profile_for(self, microservice: str, metric_name: str) -> MetricProfile:
+        archetype = self._archetype_of(microservice)
+        profiles = default_profiles(archetype)
+        if metric_name not in profiles:
+            raise ValidationError(
+                f"microservice {microservice!r} (archetype {archetype!r}) "
+                f"has no metric {metric_name!r}; available: {sorted(profiles)}"
+            )
+        return profiles[metric_name]

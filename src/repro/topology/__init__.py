@@ -1,0 +1,36 @@
+"""Synthetic cloud topology: regions, services, microservices, dependencies.
+
+The paper's study system is a production cloud with 11 services and 192
+microservices spread over multiple regions.  This package generates a
+topology with the same shape: services decompose into microservices,
+microservices form a layered dependency DAG (frontends call platform
+services, platform services call infrastructure), and every microservice
+is deployed in one or more regions.
+
+The dependency DAG is what the collective anti-pattern A6 (cascading
+alerts) and mitigation R3 (topological alert correlation) operate on.
+"""
+
+from repro.topology.entities import (
+    DataCenter,
+    Deployment,
+    Instance,
+    Microservice,
+    Region,
+    Service,
+)
+from repro.topology.graph import DependencyGraph
+from repro.topology.generator import CloudTopology, TopologyConfig, generate_topology
+
+__all__ = [
+    "Region",
+    "DataCenter",
+    "Service",
+    "Microservice",
+    "Instance",
+    "Deployment",
+    "DependencyGraph",
+    "TopologyConfig",
+    "CloudTopology",
+    "generate_topology",
+]

@@ -1,0 +1,117 @@
+"""Entity records for the simulated cloud.
+
+The hierarchy mirrors the paper's terminology: a *cloud system* consists
+of *services* (Block Storage, Database, ...), each split into
+*microservices*; microservices are deployed as *instances* in
+*datacenters* grouped into *regions*.  Alert location strings follow the
+paper's Table II style (``Region=X;DC=1;...``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+__all__ = ["Region", "DataCenter", "Service", "Microservice", "Instance", "Deployment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A geographic region, e.g. ``region-A``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("region name must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class DataCenter:
+    """A datacenter within a region."""
+
+    name: str
+    region: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.region:
+            raise ValidationError("datacenter name and region must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class Service:
+    """A user-facing cloud service composed of microservices.
+
+    ``layer`` encodes the service's depth in the dependency stack:
+    0 = infrastructure (storage, network), increasing towards user-facing
+    frontends.  ``archetype`` is a coarse category used when assigning
+    telemetry profiles and alert strategies.
+    """
+
+    name: str
+    layer: int
+    archetype: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("service name must be non-empty")
+        if self.layer < 0:
+            raise ValidationError(f"layer must be >= 0, got {self.layer}")
+
+
+@dataclass(frozen=True, slots=True)
+class Microservice:
+    """One independently deployable unit of a service."""
+
+    name: str
+    service: str
+    layer: int
+    role: str = "worker"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.service:
+            raise ValidationError("microservice name and service must be non-empty")
+        if self.layer < 0:
+            raise ValidationError(f"layer must be >= 0, got {self.layer}")
+
+
+@dataclass(frozen=True, slots=True)
+class Instance:
+    """A running copy of a microservice placed in a datacenter."""
+
+    name: str
+    microservice: str
+    datacenter: str
+    region: str
+
+    def location(self) -> str:
+        """Location string in the paper's Table II format."""
+        return f"Region={self.region};DC={self.datacenter};Instance={self.name}"
+
+
+@dataclass(slots=True)
+class Deployment:
+    """The set of instances of one microservice in one region."""
+
+    microservice: str
+    region: str
+    instances: list[Instance] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for instance in self.instances:
+            if instance.microservice != self.microservice:
+                raise ValidationError(
+                    f"instance {instance.name} belongs to {instance.microservice}, "
+                    f"not {self.microservice}"
+                )
+            if instance.region != self.region:
+                raise ValidationError(
+                    f"instance {instance.name} is in region {instance.region}, "
+                    f"not {self.region}"
+                )
+
+    @property
+    def size(self) -> int:
+        """Number of instances in this deployment."""
+        return len(self.instances)

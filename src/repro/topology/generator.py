@@ -1,0 +1,284 @@
+"""Layered topology generator.
+
+Produces a cloud with the paper's shape — 11 services decomposed into 192
+microservices by default — as a layered DAG: frontend services call
+platform services, platform services call infrastructure.  All randomness
+comes from a named substream of the root seed, so a given
+:class:`TopologyConfig` always yields the identical cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.rng import derive_rng
+from repro.common.validation import require_positive
+from repro.topology.entities import DataCenter, Deployment, Instance, Microservice, Region, Service
+from repro.topology.graph import DependencyGraph
+
+__all__ = ["TopologyConfig", "CloudTopology", "generate_topology", "SERVICE_CATALOG"]
+
+#: The 11 services of the study system: (name, layer, archetype, weight).
+#: Weights set each service's share of the microservice budget.
+SERVICE_CATALOG: tuple[tuple[str, int, str, float], ...] = (
+    ("block-storage", 0, "storage", 1.2),
+    ("object-storage", 0, "storage", 1.0),
+    ("virtual-network", 0, "network", 1.3),
+    ("identity", 1, "platform", 0.7),
+    ("database", 1, "database", 1.2),
+    ("message-queue", 1, "middleware", 0.8),
+    ("container-engine", 1, "platform", 1.1),
+    ("elastic-compute", 2, "compute", 1.4),
+    ("load-balancer", 2, "network", 0.8),
+    ("api-gateway", 3, "frontend", 0.8),
+    ("web-console", 3, "frontend", 0.7),
+)
+
+#: Microservice roles, cycled within each service.  ``api`` roles are the
+#: preferred inter-service dependency targets.
+_ROLES: tuple[str, ...] = (
+    "api", "controller", "scheduler", "worker", "store",
+    "agent", "replicator", "proxy", "janitor", "metering",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyConfig:
+    """Parameters of the generated cloud.
+
+    Defaults match the paper's study system scale (11 services, 192
+    microservices).  ``inter_service_degree`` is the mean number of
+    lower-layer dependencies per microservice.
+    """
+
+    seed: int = 42
+    n_microservices: int = 192
+    n_regions: int = 3
+    datacenters_per_region: int = 2
+    instances_per_deployment: tuple[int, int] = (2, 4)
+    inter_service_degree: float = 1.6
+
+    def __post_init__(self) -> None:
+        require_positive(self.n_microservices, "n_microservices")
+        require_positive(self.n_regions, "n_regions")
+        require_positive(self.datacenters_per_region, "datacenters_per_region")
+        require_positive(self.inter_service_degree, "inter_service_degree")
+        low, high = self.instances_per_deployment
+        if not 1 <= low <= high:
+            raise ValidationError(
+                f"instances_per_deployment must satisfy 1 <= low <= high, "
+                f"got {self.instances_per_deployment}"
+            )
+        if self.n_microservices < len(SERVICE_CATALOG):
+            raise ValidationError(
+                f"need at least one microservice per service: "
+                f"{self.n_microservices} < {len(SERVICE_CATALOG)}"
+            )
+
+
+@dataclass(slots=True)
+class CloudTopology:
+    """The generated cloud: entities plus the dependency graph."""
+
+    config: TopologyConfig
+    services: dict[str, Service]
+    microservices: dict[str, Microservice]
+    regions: list[Region]
+    datacenters: list[DataCenter]
+    deployments: list[Deployment]
+    graph: DependencyGraph
+    service_of: dict[str, str] = field(default_factory=dict)
+
+    def microservices_of(self, service: str) -> list[str]:
+        """Names of the microservices belonging to ``service``."""
+        if service not in self.services:
+            raise ValidationError(f"unknown service {service!r}")
+        return [name for name, micro in self.microservices.items() if micro.service == service]
+
+    def deployments_of(self, microservice: str) -> list[Deployment]:
+        """Per-region deployments of one microservice."""
+        if microservice not in self.microservices:
+            raise ValidationError(f"unknown microservice {microservice!r}")
+        return [d for d in self.deployments if d.microservice == microservice]
+
+    def region_names(self) -> list[str]:
+        """Names of all regions."""
+        return [region.name for region in self.regions]
+
+    @property
+    def instance_count(self) -> int:
+        """Total instances across all deployments."""
+        return sum(deployment.size for deployment in self.deployments)
+
+    def summary(self) -> str:
+        """One-line description, e.g. for bench output headers."""
+        return (
+            f"{len(self.services)} services, {len(self.microservices)} microservices, "
+            f"{self.graph.edge_count} dependencies, {len(self.regions)} regions, "
+            f"{self.instance_count} instances"
+        )
+
+
+def _allocate_budget(total: int) -> dict[str, int]:
+    """Split ``total`` microservices across the catalog by weight.
+
+    Every service receives at least one; remainders go to the heaviest
+    services first, deterministically.
+    """
+    weight_sum = sum(weight for _, _, _, weight in SERVICE_CATALOG)
+    allocation: dict[str, int] = {}
+    fractional: list[tuple[float, str]] = []
+    assigned = 0
+    for name, _, _, weight in SERVICE_CATALOG:
+        exact = total * weight / weight_sum
+        count = max(1, int(exact))
+        allocation[name] = count
+        assigned += count
+        fractional.append((exact - count, name))
+    fractional.sort(reverse=True)
+    index = 0
+    while assigned < total:
+        _, name = fractional[index % len(fractional)]
+        allocation[name] += 1
+        assigned += 1
+        index += 1
+    while assigned > total:
+        _, name = fractional[(index := index + 1) % len(fractional)]
+        if allocation[name] > 1:
+            allocation[name] -= 1
+            assigned -= 1
+    return allocation
+
+
+def generate_topology(config: TopologyConfig | None = None) -> CloudTopology:
+    """Build the full cloud for ``config`` (defaults to paper scale)."""
+    config = config or TopologyConfig()
+    rng = derive_rng(config.seed, "topology")
+
+    services = {
+        name: Service(name=name, layer=layer, archetype=archetype)
+        for name, layer, archetype, _ in SERVICE_CATALOG
+    }
+    allocation = _allocate_budget(config.n_microservices)
+
+    graph = DependencyGraph()
+    microservices: dict[str, Microservice] = {}
+    service_of: dict[str, str] = {}
+    for service_name, count in allocation.items():
+        service = services[service_name]
+        for index in range(count):
+            role = _ROLES[index % len(_ROLES)]
+            name = f"{service_name}-{role}-{index:02d}"
+            micro = Microservice(name=name, service=service_name, layer=service.layer, role=role)
+            microservices[name] = micro
+            service_of[name] = service_name
+            graph.add_microservice(name, service=service_name, layer=service.layer, role=role)
+
+    _wire_intra_service(graph, microservices, allocation)
+    _wire_inter_service(graph, microservices, services, config, rng)
+
+    regions = [Region(f"region-{chr(ord('A') + i)}") for i in range(config.n_regions)]
+    datacenters = [
+        DataCenter(name=f"{region.name}-dc{j + 1}", region=region.name)
+        for region in regions
+        for j in range(config.datacenters_per_region)
+    ]
+    deployments = _place_instances(microservices, regions, datacenters, config, rng)
+
+    return CloudTopology(
+        config=config,
+        services=services,
+        microservices=microservices,
+        regions=regions,
+        datacenters=datacenters,
+        deployments=deployments,
+        graph=graph,
+        service_of=service_of,
+    )
+
+
+def _wire_intra_service(
+    graph: DependencyGraph,
+    microservices: dict[str, Microservice],
+    allocation: dict[str, int],
+) -> None:
+    """Wire each service internally: the api fronts a chain of workers.
+
+    Within a service the microservices are ordered by index; each one
+    depends on the next (api -> controller -> worker -> ...), forming the
+    call chain a request traverses inside the service.
+    """
+    for service_name in allocation:
+        members = sorted(
+            name for name, micro in microservices.items() if micro.service == service_name
+        )
+        for caller, callee in zip(members, members[1:]):
+            graph.add_dependency(caller, callee)
+
+
+def _wire_inter_service(
+    graph: DependencyGraph,
+    microservices: dict[str, Microservice],
+    services: dict[str, Service],
+    config: TopologyConfig,
+    rng,
+) -> None:
+    """Wire dependencies from higher layers onto lower-layer api nodes."""
+    api_nodes_by_layer: dict[int, list[str]] = {}
+    for name, micro in microservices.items():
+        if micro.role == "api":
+            api_nodes_by_layer.setdefault(micro.layer, []).append(name)
+    for layer in api_nodes_by_layer:
+        api_nodes_by_layer[layer].sort()
+
+    for name in sorted(microservices):
+        micro = microservices[name]
+        lower_apis = [
+            api
+            for layer, apis in api_nodes_by_layer.items()
+            if layer < micro.layer
+            for api in apis
+        ]
+        if not lower_apis:
+            continue
+        degree = int(rng.poisson(config.inter_service_degree))
+        degree = min(max(degree, 1), len(lower_apis))
+        targets = rng.choice(len(lower_apis), size=degree, replace=False)
+        for target_index in sorted(int(t) for t in targets):
+            callee = lower_apis[target_index]
+            if callee != name:
+                graph.add_dependency(name, callee)
+
+
+def _place_instances(
+    microservices: dict[str, Microservice],
+    regions: list[Region],
+    datacenters: list[DataCenter],
+    config: TopologyConfig,
+    rng,
+) -> list[Deployment]:
+    """Deploy every microservice in every region, instances spread over DCs."""
+    low, high = config.instances_per_deployment
+    by_region: dict[str, list[DataCenter]] = {}
+    for datacenter in datacenters:
+        by_region.setdefault(datacenter.region, []).append(datacenter)
+
+    deployments = []
+    for name in sorted(microservices):
+        for region in regions:
+            dcs = by_region[region.name]
+            size = int(rng.integers(low, high + 1))
+            instances = [
+                Instance(
+                    name=f"{name}.{region.name}.{i}",
+                    microservice=name,
+                    datacenter=dcs[i % len(dcs)].name,
+                    region=region.name,
+                )
+                for i in range(size)
+            ]
+            deployments.append(
+                Deployment(microservice=name, region=region.name, instances=instances)
+            )
+    return deployments

@@ -1,0 +1,34 @@
+"""Workload synthesis: strategy populations and multi-month alert traces.
+
+Two generation modes exist, producing identical :class:`AlertTrace`
+records:
+
+* **telemetry-driven** (high fidelity, short horizons): the monitoring
+  engine polls synthetic telemetry perturbed by injected faults — used by
+  the cascade/Table II experiments and the examples;
+* **rate-driven** (statistical, long horizons): alerts are drawn directly
+  from per-strategy rate models that encode the anti-pattern behaviours —
+  used for the paper's two-year/4M-alert quantitative frame, where
+  generating per-minute telemetry would be prohibitive.
+
+The rate models are calibrated against the paper's aggregate numbers in
+:mod:`repro.workload.calibration`.
+"""
+
+from repro.workload.calibration import TraceScale
+from repro.workload.generator import TraceConfig, TraceGenerator, generate_trace
+from repro.workload.storms import StormConfig, build_representative_storm
+from repro.workload.strategies import StrategyFactory, StrategyMixConfig
+from repro.workload.trace import AlertTrace
+
+__all__ = [
+    "AlertTrace",
+    "TraceScale",
+    "TraceConfig",
+    "TraceGenerator",
+    "generate_trace",
+    "StormConfig",
+    "build_representative_storm",
+    "StrategyFactory",
+    "StrategyMixConfig",
+]

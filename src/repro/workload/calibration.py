@@ -1,0 +1,84 @@
+"""Scale presets tying synthetic traces to the paper's quantitative frame.
+
+The paper analyses >4 million alerts over two years from 2010 strategies.
+``TraceScale.paper()`` reproduces that frame; ``TraceScale.default()`` is
+a rate-preserving scale-down (same alerts/strategy/day, fewer days and
+strategies) that keeps benchmark runtimes in seconds.  Mining thresholds
+in the paper are *relative* (top-30 % processing time) or *per hour per
+region* (200/h, 100/h), so they transfer across scales unchanged; this is
+the substitution argument recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import paper_reference as paper
+from repro.common.timeutil import DAY
+from repro.common.validation import require_positive
+
+__all__ = ["TraceScale"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceScale:
+    """How big a generated trace is."""
+
+    days: float
+    n_strategies: int
+    target_total_alerts: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.days, "days")
+        require_positive(self.n_strategies, "n_strategies")
+        require_positive(self.target_total_alerts, "target_total_alerts")
+
+    @property
+    def span_seconds(self) -> float:
+        """Trace length in simulation seconds."""
+        return self.days * DAY
+
+    @property
+    def alerts_per_day(self) -> float:
+        """Target mean daily alert volume."""
+        return self.target_total_alerts / self.days
+
+    @property
+    def alerts_per_strategy_per_day(self) -> float:
+        """Target mean per-strategy daily rate — the scale-invariant knob."""
+        return self.alerts_per_day / self.n_strategies
+
+    @classmethod
+    def paper(cls) -> "TraceScale":
+        """The paper's frame: 2 years, 2010 strategies, >4 M alerts."""
+        return cls(
+            days=paper.STUDY_YEARS * 365,
+            n_strategies=paper.N_STRATEGIES,
+            target_total_alerts=paper.N_ALERTS_TOTAL,
+        )
+
+    @classmethod
+    def default(cls) -> "TraceScale":
+        """Benchmark scale: 60 days, 400 strategies, same per-strategy rate.
+
+        per-strategy rate = 4 M / (730 d x 2010) ~= 2.73 alerts/strategy/day,
+        so 60 d x 400 strategies ~= 65 k alerts.
+        """
+        per_strategy_daily = paper.N_ALERTS_TOTAL / (paper.STUDY_YEARS * 365) / paper.N_STRATEGIES
+        days, n_strategies = 60, 400
+        return cls(
+            days=days,
+            n_strategies=n_strategies,
+            target_total_alerts=int(per_strategy_daily * days * n_strategies),
+        )
+
+    @classmethod
+    def smoke(cls) -> "TraceScale":
+        """Tiny scale for unit tests: 7 days, 60 strategies."""
+        per_strategy_daily = paper.N_ALERTS_TOTAL / (paper.STUDY_YEARS * 365) / paper.N_STRATEGIES
+        days, n_strategies = 7, 60
+        return cls(
+            days=days,
+            n_strategies=n_strategies,
+            target_total_alerts=max(int(per_strategy_daily * days * n_strategies), 1),
+        )

@@ -1,0 +1,403 @@
+"""Rate-driven alert-trace generator.
+
+Generates multi-month alert traces directly from per-strategy stochastic
+rate models, without simulating telemetry — the only tractable way to
+reproduce the paper's 4-million-alert frame.  The models encode the
+behaviours the paper attributes to each anti-pattern:
+
+* clean strategies fire as a sparse Poisson background;
+* sensitive strategies (A4) emit *toggle clusters* — several short-lived,
+  auto-cleared alerts within an hour or two;
+* repeat-prone strategies (A5) emit *repeat episodes* — hours of alerts
+  at a near-constant cadence, the HAProxy pattern of Figure 3;
+* storms (A6) start from a root microservice and sweep its transitive
+  dependents with per-hop onset delays, each affected strategy firing
+  repeatedly; ground-truth :class:`~repro.faults.models.Fault` records
+  are attached for the correlation/mining evaluations.
+
+OCE processing outcomes are sampled per strategy (capped) with the
+:class:`~repro.oce.processing.ProcessingModel`, feeding the paper's
+top-30 %-processing-time candidate mining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.alerting.alert import Alert, AlertState, Severity
+from repro.alerting.strategy import AlertStrategy
+from repro.common.errors import ValidationError
+from repro.common.ids import IdFactory
+from repro.common.rng import derive_rng
+from repro.common.timeutil import HOUR, MINUTE, WEEK, TimeWindow
+from repro.common.validation import require_fraction, require_positive
+from repro.faults.models import Fault, FaultKind
+from repro.oce.engineer import build_panel
+from repro.oce.processing import ProcessingModel
+from repro.topology.generator import CloudTopology, TopologyConfig, generate_topology
+from repro.workload.calibration import TraceScale
+from repro.workload.strategies import StrategyFactory, StrategyMixConfig
+from repro.workload.trace import AlertTrace
+
+__all__ = ["TraceConfig", "TraceGenerator", "generate_trace"]
+
+_STORM_ROOT_KINDS: tuple[FaultKind, ...] = (
+    FaultKind.DISK_FULL,
+    FaultKind.CRASH,
+    FaultKind.NETWORK_OVERLOAD,
+    FaultKind.CPU_OVERLOAD,
+)
+
+#: Manual-clearance probability by *true* severity: genuinely severe
+#: anomalies need human intervention, minor ones recover on their own.
+_MANUAL_CLEAR_P: dict[Severity, float] = {
+    Severity.CRITICAL: 0.80,
+    Severity.MAJOR: 0.55,
+    Severity.MINOR: 0.25,
+    Severity.WARNING: 0.10,
+}
+
+#: Mean alert duration (seconds) by *true* severity.
+_DURATION_MEAN: dict[Severity, float] = {
+    Severity.CRITICAL: 70 * MINUTE,
+    Severity.MAJOR: 45 * MINUTE,
+    Severity.MINOR: 25 * MINUTE,
+    Severity.WARNING: 15 * MINUTE,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Parameters of one rate-driven trace generation run."""
+
+    seed: int = 42
+    scale: TraceScale = field(default_factory=TraceScale.default)
+    mix: StrategyMixConfig = field(default_factory=StrategyMixConfig)
+
+    #: Mean storm arrivals per region per week ("alert storms occur weekly
+    #: or even daily", §III-A2).
+    storms_per_week_per_region: float = 1.0
+    #: Storm duration bounds (seconds).
+    storm_duration: tuple[float, float] = (1 * HOUR, 5 * HOUR)
+    #: Mean inter-arrival of repeated alerts per affected strategy during a
+    #: storm (seconds); drawn uniformly per strategy per storm.
+    storm_interarrival: tuple[float, float] = (4 * MINUTE, 12 * MINUTE)
+    #: Cascade wavefront parameters (match faults.propagation defaults).
+    cascade_probability: float = 0.75
+    cascade_decay: float = 0.65
+    cascade_max_depth: int = 4
+    cascade_onset_delay: float = 3 * MINUTE
+
+    #: Transient-alert duration threshold used when *drawing* A4 durations;
+    #: the A4 detector's own threshold lives in the antipatterns package.
+    transient_threshold: float = 10 * MINUTE
+    #: Fraction of a sensitive strategy's alerts arranged in toggle clusters.
+    toggle_cluster_fraction: float = 0.7
+    #: Alerts per toggle cluster (min, max).
+    toggle_cluster_size: tuple[int, int] = (4, 10)
+    #: Alerts per repeat episode (min, max) for repeat-prone strategies.
+    repeat_episode_size: tuple[int, int] = (12, 40)
+    #: Repeat episode cadence (seconds between alerts).
+    repeat_cadence: tuple[float, float] = (8 * MINUTE, 20 * MINUTE)
+
+    #: Cap of sampled OCE processing outcomes per strategy.
+    max_outcomes_per_strategy: int = 25
+
+    def __post_init__(self) -> None:
+        require_positive(self.storms_per_week_per_region + 1e-12, "storms_per_week_per_region")
+        require_fraction(self.cascade_probability, "cascade_probability")
+        require_fraction(self.cascade_decay, "cascade_decay")
+        require_fraction(self.toggle_cluster_fraction, "toggle_cluster_fraction")
+        require_positive(self.cascade_max_depth, "cascade_max_depth")
+        require_positive(self.transient_threshold, "transient_threshold")
+        if self.storm_duration[0] > self.storm_duration[1]:
+            raise ValidationError("storm_duration bounds out of order")
+        if self.storm_interarrival[0] > self.storm_interarrival[1]:
+            raise ValidationError("storm_interarrival bounds out of order")
+
+
+class TraceGenerator:
+    """Generates :class:`AlertTrace` objects from a :class:`TraceConfig`."""
+
+    def __init__(self, config: TraceConfig | None = None,
+                 topology: CloudTopology | None = None) -> None:
+        self._config = config or TraceConfig()
+        self._topology = topology or generate_topology(
+            TopologyConfig(seed=self._config.seed)
+        )
+        self._alert_ids = IdFactory("alert", width=8)
+        self._fault_ids = IdFactory("fault")
+
+    @property
+    def topology(self) -> CloudTopology:
+        """The cloud the trace is generated over."""
+        return self._topology
+
+    @property
+    def config(self) -> TraceConfig:
+        """The generation parameters."""
+        return self._config
+
+    def generate(self) -> AlertTrace:
+        """Run the full pipeline: strategies, storms, background, outcomes."""
+        config = self._config
+        trace = AlertTrace(seed=config.seed, label=f"trace-{config.scale.days:.0f}d")
+        factory = StrategyFactory(self._topology, seed=config.seed, mix=config.mix)
+        strategies = factory.build(config.scale.n_strategies)
+        for strategy in strategies:
+            trace.add_strategy(strategy)
+        strategies_by_micro: dict[str, list[AlertStrategy]] = {}
+        for strategy in strategies:
+            strategies_by_micro.setdefault(strategy.microservice, []).append(strategy)
+
+        storm_alerts = self._generate_storms(trace, strategies_by_micro)
+        self._generate_background(trace, strategies, reserved=storm_alerts)
+        trace.sort()
+        self._sample_outcomes(trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    # storms (collective anti-patterns)
+    # ------------------------------------------------------------------
+    def _generate_storms(
+        self,
+        trace: AlertTrace,
+        strategies_by_micro: dict[str, list[AlertStrategy]],
+    ) -> int:
+        config = self._config
+        rng = derive_rng(config.seed, "trace/storms")
+        span = config.scale.span_seconds
+        regions = self._topology.region_names()
+        graph = self._topology.graph
+        microservices = sorted(self._topology.microservices)
+        # Storm roots are weighted by blast radius: a storm is by nature a
+        # failure of something many components depend on.
+        impact = np.array([
+            len(graph.upstream_impact(name, max_depth=config.cascade_max_depth))
+            for name in microservices
+        ], dtype=float)
+        weights = impact + 1.0
+        weights /= weights.sum()
+        emitted = 0
+
+        for region in regions:
+            expected = config.storms_per_week_per_region * (span / WEEK)
+            n_storms = int(rng.poisson(expected))
+            for _ in range(n_storms):
+                start = float(rng.uniform(0.0, max(span - config.storm_duration[1], 1.0)))
+                duration = float(rng.uniform(*config.storm_duration))
+                window = TimeWindow(start, start + duration)
+                root_micro = microservices[int(rng.choice(len(microservices), p=weights))]
+                emitted += self._emit_storm(
+                    trace, strategies_by_micro, graph, region, root_micro, window, rng
+                )
+        return emitted
+
+    def _emit_storm(self, trace, strategies_by_micro, graph, region, root_micro,
+                    window, rng: np.random.Generator) -> int:
+        config = self._config
+        root_kind = _STORM_ROOT_KINDS[int(rng.integers(len(_STORM_ROOT_KINDS)))]
+        root_fault = Fault(
+            fault_id=self._fault_ids.next(),
+            kind=root_kind,
+            microservice=root_micro,
+            region=region,
+            window=window,
+        )
+        trace.faults.append(root_fault)
+
+        members: list[tuple[str, int, Fault]] = [(root_micro, 0, root_fault)]
+        frontier = [root_micro]
+        visited = {root_micro}
+        parent_fault = {root_micro: root_fault}
+        for depth in range(1, config.cascade_max_depth + 1):
+            probability = config.cascade_probability * (
+                config.cascade_decay ** (depth - 1)
+            )
+            next_frontier: list[str] = []
+            for node in frontier:
+                for dependent in sorted(graph.dependents(node)):
+                    if dependent in visited or rng.random() > probability:
+                        continue
+                    visited.add(dependent)
+                    # Symptoms start after the *parent's* onset — causality
+                    # holds along the whole cascade chain, not just hop 1.
+                    onset = min(
+                        parent_fault[node].window.start
+                        + float(rng.exponential(config.cascade_onset_delay)),
+                        window.end - 1.0,
+                    )
+                    child = Fault(
+                        fault_id=self._fault_ids.next(),
+                        kind=FaultKind.LATENCY_REGRESSION,
+                        microservice=dependent,
+                        region=region,
+                        window=TimeWindow(onset, window.end),
+                        parent_fault_id=parent_fault[node].fault_id,
+                        root_fault_id=root_fault.fault_id,
+                        depth=depth,
+                    )
+                    trace.faults.append(child)
+                    members.append((dependent, depth, child))
+                    parent_fault[dependent] = child
+                    next_frontier.append(dependent)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+
+        emitted = 0
+        for micro, _depth, fault in members:
+            for strategy in strategies_by_micro.get(micro, []):
+                cadence = float(rng.uniform(*config.storm_interarrival))
+                # The first alert follows the fault onset closely — the
+                # component is already anomalous; repeats follow at the
+                # strategy's cadence.  Cascade causality (children after
+                # parents) is thereby preserved in the alert stream.
+                t = fault.window.start + float(rng.exponential(60.0))
+                while t < fault.window.end:
+                    # Storm alerts persist while the cascade does: durations
+                    # sit mostly above the transient threshold so storms do
+                    # not masquerade as A4.
+                    duration = float(rng.uniform(12 * MINUTE, 45 * MINUTE))
+                    self._emit_alert(
+                        trace, strategy, region, t,
+                        duration=duration,
+                        auto=True,
+                        fault_id=fault.fault_id,
+                    )
+                    emitted += 1
+                    t += float(rng.exponential(cadence))
+        return emitted
+
+    # ------------------------------------------------------------------
+    # background (individual behaviours)
+    # ------------------------------------------------------------------
+    def _generate_background(self, trace: AlertTrace,
+                             strategies: list[AlertStrategy], reserved: int) -> None:
+        config = self._config
+        rng = derive_rng(config.seed, "trace/background")
+        span = config.scale.span_seconds
+        regions = self._topology.region_names()
+        target = max(config.scale.target_total_alerts - reserved, 0)
+        if target == 0:
+            return
+        # Heavy-tailed per-strategy weights: a few strategies dominate the
+        # volume, as real alert populations do.
+        weights = rng.lognormal(mean=0.0, sigma=1.0, size=len(strategies))
+        weights /= weights.sum()
+        for strategy, weight in zip(strategies, weights):
+            expected_total = target * float(weight)
+            per_region = expected_total / len(regions)
+            for region in regions:
+                count = int(rng.poisson(per_region))
+                if count == 0:
+                    continue
+                self._emit_strategy_background(
+                    trace, strategy, region, count, span, rng
+                )
+
+    def _emit_strategy_background(self, trace, strategy: AlertStrategy, region: str,
+                                  count: int, span: float,
+                                  rng: np.random.Generator) -> None:
+        config = self._config
+        injected = strategy.injected_antipatterns()
+        remaining = count
+
+        if "A5" in injected:
+            # Repeat episodes: long runs of alerts at a steady cadence.
+            # Durations are ordinary (not transient) — repetition, not
+            # flapping, is the A5 signature.
+            low, high = config.repeat_episode_size
+            while remaining > 0:
+                size = min(int(rng.integers(low, high + 1)), remaining)
+                cadence = float(rng.uniform(*config.repeat_cadence))
+                start = float(rng.uniform(0.0, span))
+                t = start
+                for _ in range(size):
+                    duration = float(rng.uniform(8 * MINUTE, 30 * MINUTE))
+                    self._emit_alert(trace, strategy, region, t % span,
+                                     duration=duration, auto=True, fault_id=None)
+                    t += cadence * float(rng.uniform(0.7, 1.3))
+                remaining -= size
+            return
+
+        if "A4" in injected:
+            clustered = int(remaining * config.toggle_cluster_fraction)
+            low, high = config.toggle_cluster_size
+            while clustered > 0:
+                size = min(int(rng.integers(low, high + 1)), clustered)
+                start = float(rng.uniform(0.0, span))
+                t = start
+                for _ in range(size):
+                    # Transient: auto-cleared well under the threshold, in
+                    # quick oscillating succession.
+                    duration = float(rng.uniform(0.5 * MINUTE,
+                                                 0.8 * config.transient_threshold))
+                    self._emit_alert(trace, strategy, region, t % span,
+                                     duration=duration, auto=True, fault_id=None)
+                    t += float(rng.uniform(2 * MINUTE, 10 * MINUTE))
+                clustered -= size
+            remaining = remaining - int(remaining * config.toggle_cluster_fraction)
+
+        # Plain Poisson background for the rest; lifecycle follows the
+        # *true* severity so misleading severity (A2) leaves a footprint.
+        if remaining > 0:
+            times = rng.uniform(0.0, span, size=remaining)
+            true_severity = strategy.true_severity
+            p_manual = _MANUAL_CLEAR_P[true_severity]
+            duration_mean = _DURATION_MEAN[true_severity]
+            for t in times:
+                duration = float(rng.lognormal(mean=np.log(duration_mean), sigma=0.6))
+                manual = bool(rng.random() < p_manual)
+                self._emit_alert(trace, strategy, region, float(t),
+                                 duration=duration, auto=not manual, fault_id=None)
+
+    def _emit_alert(self, trace: AlertTrace, strategy: AlertStrategy, region: str,
+                    occurred_at: float, duration: float, auto: bool,
+                    fault_id: str | None) -> None:
+        occurred_at = max(occurred_at, 0.0)
+        alert = Alert(
+            alert_id=self._alert_ids.next(),
+            strategy_id=strategy.strategy_id,
+            strategy_name=strategy.name,
+            title=strategy.title,
+            description=strategy.description,
+            severity=strategy.severity,
+            service=strategy.service,
+            microservice=strategy.microservice,
+            region=region,
+            datacenter=f"{region}-dc1",
+            channel=strategy.channel,
+            occurred_at=occurred_at,
+            fault_id=fault_id,
+        )
+        alert.state = AlertState.CLEARED_AUTO if auto else AlertState.CLEARED_MANUAL
+        alert.cleared_at = occurred_at + max(duration, 1.0)
+        trace.alerts.append(alert)
+
+    # ------------------------------------------------------------------
+    # OCE outcomes
+    # ------------------------------------------------------------------
+    def _sample_outcomes(self, trace: AlertTrace) -> None:
+        config = self._config
+        panel = build_panel()
+        model = ProcessingModel(seed=config.seed)
+        rng = derive_rng(config.seed, "trace/outcomes")
+        for strategy_id, alerts in trace.by_strategy().items():
+            strategy = trace.strategies[strategy_id]
+            cap = min(len(alerts), config.max_outcomes_per_strategy)
+            chosen = rng.choice(len(alerts), size=cap, replace=False)
+            for index in sorted(int(i) for i in chosen):
+                alert = alerts[index]
+                oce = panel[int(rng.integers(len(panel)))]
+                trace.outcomes.append(
+                    model.process(alert, strategy, oce, alert.occurred_at)
+                )
+
+
+def generate_trace(config: TraceConfig | None = None,
+                   topology: CloudTopology | None = None) -> AlertTrace:
+    """One-call trace generation with defaults."""
+    return TraceGenerator(config, topology).generate()

@@ -1,0 +1,273 @@
+"""The representative alert storm of §III-A2 / Figure 3.
+
+The paper demonstrates the collective anti-patterns with one storm from
+7:00 AM to 11:59 AM: 2751 alerts from 200 effective strategies, where the
+top strategy — "haproxy process number warning", a WARNING-level alert —
+takes around 30 % of the alerts in each hour and a Kafka strategy comes
+second.  :func:`build_representative_storm` regenerates a storm with that
+exact shape, including ground-truth cascade faults so both A5 and A6 are
+detectable, as the paper observed both in this storm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alerting.alert import Alert, AlertState, Severity
+from repro.alerting.rules import LogKeywordRule, MetricRule
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+from repro.common.errors import ValidationError
+from repro.common.ids import IdFactory
+from repro.common.rng import derive_rng
+from repro.common.timeutil import DAY, HOUR, MINUTE, TimeWindow
+from repro.common.validation import require_fraction, require_positive
+from repro.detection.threshold import StaticThresholdDetector
+from repro.faults.models import Fault, FaultKind
+from repro.topology.generator import CloudTopology, TopologyConfig, generate_topology
+from repro.workload.strategies import StrategyFactory, StrategyMixConfig
+from repro.workload.trace import AlertTrace
+
+__all__ = ["StormConfig", "build_representative_storm"]
+
+
+@dataclass(frozen=True, slots=True)
+class StormConfig:
+    """Shape of the representative storm (defaults = paper's Figure 3)."""
+
+    seed: int = 42
+    day: int = 10                      # which simulated day the storm hits
+    start_hour: int = 7                # 7:00 AM ...
+    n_hours: int = 5                   # ... to 11:59 AM
+    total_alerts: int = 2751
+    n_strategies: int = 200            # "effective alert strategies"
+    top_share: float = 0.30            # HAProxy's per-hour share
+    second_share: float = 0.12         # Kafka's per-hour share
+    region: str = "region-A"
+
+    def __post_init__(self) -> None:
+        require_positive(self.total_alerts, "total_alerts")
+        require_positive(self.n_hours, "n_hours")
+        require_fraction(self.top_share, "top_share")
+        require_fraction(self.second_share, "second_share")
+        if self.n_strategies < 3:
+            raise ValidationError("need at least 3 strategies (top, second, others)")
+        if self.top_share + self.second_share >= 1.0:
+            raise ValidationError("top_share + second_share must be < 1")
+
+    @property
+    def window(self) -> TimeWindow:
+        """The storm window in simulation seconds."""
+        start = self.day * DAY + self.start_hour * HOUR
+        return TimeWindow(start, start + self.n_hours * HOUR)
+
+
+def build_representative_storm(
+    config: StormConfig | None = None,
+    topology: CloudTopology | None = None,
+) -> AlertTrace:
+    """Regenerate the Figure 3 storm as an :class:`AlertTrace`."""
+    config = config or StormConfig()
+    topology = topology or generate_topology(TopologyConfig(seed=config.seed))
+    rng = derive_rng(config.seed, "fig3-storm")
+    trace = AlertTrace(seed=config.seed, label="fig3-storm")
+    alert_ids = IdFactory("alert", width=8)
+
+    haproxy, kafka = _special_strategies(topology)
+    trace.add_strategy(haproxy)
+    trace.add_strategy(kafka)
+    # Quiet mix for the long tail: the storm's repetition comes from the
+    # named strategies; the others fire because of the cascade.
+    factory = StrategyFactory(
+        topology, seed=config.seed,
+        mix=StrategyMixConfig(a4_rate=0.0, a5_rate=0.0),
+    )
+    others = factory.build(config.n_strategies - 2)
+    for strategy in others:
+        trace.add_strategy(strategy)
+
+    _attach_ground_truth(trace, config, topology, haproxy, rng)
+
+    hour_counts = _split_total(config.total_alerts, config.n_hours, rng)
+    # A flat-ish Zipf keeps the long tail below Kafka's share, matching
+    # the figure where only two strategies stand out.
+    other_weights = _zipf_weights(len(others), exponent=0.9)
+    forced = _force_coverage(len(others), config.n_hours, rng)
+
+    for hour_index, hour_total in enumerate(hour_counts):
+        hour_start = config.window.start + hour_index * HOUR
+        top_count = _jittered_share(hour_total, config.top_share, rng)
+        second_count = _jittered_share(hour_total, config.second_share, rng)
+        other_total = hour_total - top_count - second_count
+
+        _emit_repeats(trace, alert_ids, haproxy, config.region, hour_start,
+                      top_count, rng)
+        _emit_repeats(trace, alert_ids, kafka, config.region, hour_start,
+                      second_count, rng)
+
+        counts = np.zeros(len(others), dtype=int)
+        for strategy_index in forced.get(hour_index, []):
+            counts[strategy_index] += 1
+        remainder = other_total - int(counts.sum())
+        if remainder > 0:
+            counts += rng.multinomial(remainder, other_weights)
+        elif remainder < 0:
+            raise ValidationError(
+                "storm shape infeasible: forced coverage exceeds hourly budget"
+            )
+        for strategy_index, count in enumerate(counts):
+            for _ in range(int(count)):
+                occurred = hour_start + float(rng.uniform(0.0, HOUR))
+                _append_alert(trace, alert_ids, others[strategy_index],
+                              config.region, occurred, rng)
+
+    trace.sort()
+    return trace
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _special_strategies(topology: CloudTopology) -> tuple[AlertStrategy, AlertStrategy]:
+    """The named HAProxy and Kafka strategies of Figure 3.
+
+    Both sit on the most-depended-on microservice of their service so the
+    attached ground-truth cascade has real dependents to sweep.
+    """
+    def hub_of(service: str) -> str:
+        members = topology.microservices_of(service)
+        return max(members, key=lambda n: (len(topology.graph.dependents(n)), n))
+
+    lb_micro = hub_of("load-balancer")
+    mq_micro = hub_of("message-queue")
+    haproxy = AlertStrategy(
+        strategy_id="strategy-haproxy",
+        name="haproxy_process_number_warning",
+        service="load-balancer",
+        microservice=lb_micro,
+        rule=MetricRule(
+            metric_name="request_rate",
+            detector=StaticThresholdDetector(threshold=400.0, direction="above"),
+        ),
+        severity=Severity.WARNING,
+        true_severity=Severity.WARNING,
+        title=f"{lb_micro}: process number warning",
+        description="The number of haproxy worker processes deviates from expectation.",
+        quality=StrategyQuality(repeat_proneness=0.9),
+        cooldown_seconds=60.0,
+        auto_clear=True,
+        owner_team="team-load-balancer",
+    )
+    kafka = AlertStrategy(
+        strategy_id="strategy-kafka",
+        name="kafka_consumer_lag_high",
+        service="message-queue",
+        microservice=mq_micro,
+        rule=LogKeywordRule(min_count=5, window_seconds=120.0),
+        severity=Severity.MINOR,
+        true_severity=Severity.MINOR,
+        title=f"{mq_micro}: consumer lag growing, queue backlog",
+        description="Message consumers fall behind producers; backlog is growing.",
+        quality=StrategyQuality(repeat_proneness=0.8),
+        cooldown_seconds=120.0,
+        auto_clear=False,
+        owner_team="team-message-queue",
+    )
+    return haproxy, kafka
+
+
+def _attach_ground_truth(trace: AlertTrace, config: StormConfig,
+                         topology: CloudTopology, haproxy: AlertStrategy,
+                         rng: np.random.Generator) -> None:
+    """Root fault on the load balancer plus cascade children (A6 witness)."""
+    fault_ids = IdFactory("fault")
+    root = Fault(
+        fault_id=fault_ids.next(),
+        kind=FaultKind.NETWORK_OVERLOAD,
+        microservice=haproxy.microservice,
+        region=config.region,
+        window=config.window,
+    )
+    trace.faults.append(root)
+    for depth, dependent in enumerate(
+        sorted(topology.graph.dependents(haproxy.microservice))[:6], start=1
+    ):
+        onset = config.window.start + depth * float(rng.exponential(2 * MINUTE))
+        trace.faults.append(Fault(
+            fault_id=fault_ids.next(),
+            kind=FaultKind.LATENCY_REGRESSION,
+            microservice=dependent,
+            region=config.region,
+            window=TimeWindow(min(onset, config.window.end - 1.0), config.window.end),
+            parent_fault_id=root.fault_id,
+            root_fault_id=root.fault_id,
+            depth=1,
+        ))
+
+
+def _split_total(total: int, parts: int, rng: np.random.Generator) -> list[int]:
+    """Split ``total`` into near-equal hourly totals (concentration ~ paper)."""
+    weights = rng.dirichlet(np.full(parts, 60.0))
+    counts = rng.multinomial(total, weights)
+    return [int(c) for c in counts]
+
+
+def _jittered_share(total: int, share: float, rng: np.random.Generator) -> int:
+    """A count near ``share * total`` with +-1.5 % jitter."""
+    jitter = float(rng.normal(0.0, 0.015))
+    return max(int(round(total * (share + jitter))), 0)
+
+
+def _zipf_weights(n: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def _force_coverage(n_strategies: int, n_hours: int,
+                    rng: np.random.Generator) -> dict[int, list[int]]:
+    """Assign every long-tail strategy one alert in a random hour.
+
+    Guarantees the paper's "200 effective strategies" even when the Zipf
+    tail would otherwise leave some strategies silent.
+    """
+    assignment: dict[int, list[int]] = {}
+    for strategy_index in range(n_strategies):
+        hour = int(rng.integers(n_hours))
+        assignment.setdefault(hour, []).append(strategy_index)
+    return assignment
+
+
+def _emit_repeats(trace: AlertTrace, alert_ids: IdFactory, strategy: AlertStrategy,
+                  region: str, hour_start: float, count: int,
+                  rng: np.random.Generator) -> None:
+    """Emit ``count`` repeating alerts of one strategy across an hour."""
+    if count <= 0:
+        return
+    offsets = np.sort(rng.uniform(0.0, HOUR, size=count))
+    for offset in offsets:
+        _append_alert(trace, alert_ids, strategy, region, hour_start + float(offset), rng)
+
+
+def _append_alert(trace: AlertTrace, alert_ids: IdFactory, strategy: AlertStrategy,
+                  region: str, occurred_at: float, rng: np.random.Generator) -> None:
+    duration = float(rng.uniform(1 * MINUTE, 10 * MINUTE))
+    alert = Alert(
+        alert_id=alert_ids.next(),
+        strategy_id=strategy.strategy_id,
+        strategy_name=strategy.name,
+        title=strategy.title,
+        description=strategy.description,
+        severity=strategy.severity,
+        service=strategy.service,
+        microservice=strategy.microservice,
+        region=region,
+        datacenter=f"{region}-dc1",
+        channel=strategy.channel,
+        occurred_at=occurred_at,
+        fault_id=None,
+    )
+    alert.state = AlertState.CLEARED_AUTO
+    alert.cleared_at = occurred_at + duration
+    trace.alerts.append(alert)

@@ -1,0 +1,309 @@
+"""Strategy population factory.
+
+Builds N alert strategies spread over the topology's microservices, with
+quality knobs drawn from configurable injection rates — the synthetic
+counterpart of the paper's 2010 manually configured (and variously
+misconfigured) strategies.  Injection draws are independent per
+anti-pattern, so strategies can exhibit several anti-patterns at once,
+as the paper's candidates did.
+
+Channel mix and rule parameters follow §II-B3: metric strategies dominate,
+log keyword rules match "N ERRORs in M minutes", probes use fixed
+no-response thresholds.  A strategy's *sensitivity* (A4 knob) tightens its
+rule — thresholds close to the normal range, no debouncing — which is
+literally how transient/toggling alerts arise in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.alerting.alert import Severity
+from repro.alerting.rules import GenerationRule, LogKeywordRule, MetricRule, ProbeRule
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+from repro.alerting.titles import make_description, make_title
+from repro.common.errors import ValidationError
+from repro.common.ids import IdFactory
+from repro.common.rng import derive_rng
+from repro.common.validation import require_fraction
+from repro.detection.threshold import StaticThresholdDetector
+from repro.telemetry.metrics import default_profiles
+from repro.topology.generator import CloudTopology
+
+__all__ = ["StrategyMixConfig", "StrategyFactory"]
+
+#: Metrics whose degradation end users feel directly (relevant targets).
+_SERVICE_QUALITY_METRICS: frozenset[str] = frozenset({
+    "latency_ms", "error_rate", "request_rate", "http_5xx_rate",
+    "commit_latency_ms", "io_latency_ms", "packet_loss", "consumer_lag",
+    "vm_launch_latency_ms", "queue_depth", "connection_count",
+    "io_throughput", "network_throughput", "task_backlog",
+})
+
+#: Low-level infrastructure metrics — the A3 trap: they "do not have a
+#: definite effect on the quality of cloud services from the perspective
+#: of customers" once fault tolerance is in place.
+_INFRA_METRICS: tuple[str, ...] = ("cpu_util", "memory_util", "disk_util")
+
+#: Manifestation key per metric, for title synthesis.
+_MANIFESTATION_BY_METRIC: dict[str, str] = {
+    "cpu_util": "cpu_overload",
+    "memory_util": "memory_leak",
+    "disk_util": "disk_full",
+    "latency_ms": "latency_regression",
+    "io_latency_ms": "latency_regression",
+    "commit_latency_ms": "commit_failure",
+    "error_rate": "error_burst",
+    "http_5xx_rate": "error_burst",
+    "request_rate": "latency_regression",
+    "network_throughput": "network_overload",
+    "packet_loss": "network_overload",
+    "queue_depth": "queue_backlog",
+    "consumer_lag": "queue_backlog",
+    "connection_count": "queue_backlog",
+    "io_throughput": "network_overload",
+    "vm_launch_latency_ms": "latency_regression",
+    "task_backlog": "queue_backlog",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyMixConfig:
+    """Injection rates and channel mix of the strategy population."""
+
+    metric_fraction: float = 0.60
+    log_fraction: float = 0.25
+    # probe fraction is the remainder
+
+    a1_rate: float = 0.12
+    a2_rate: float = 0.10
+    a3_rate: float = 0.10
+    a4_rate: float = 0.10
+    a5_rate: float = 0.08
+
+    def __post_init__(self) -> None:
+        require_fraction(self.metric_fraction, "metric_fraction")
+        require_fraction(self.log_fraction, "log_fraction")
+        if self.metric_fraction + self.log_fraction > 1.0:
+            raise ValidationError("metric_fraction + log_fraction must be <= 1")
+        for name in ("a1_rate", "a2_rate", "a3_rate", "a4_rate", "a5_rate"):
+            require_fraction(getattr(self, name), name)
+
+    @property
+    def probe_fraction(self) -> float:
+        """Share of probe-channel strategies."""
+        return 1.0 - self.metric_fraction - self.log_fraction
+
+    def expected_clean_fraction(self) -> float:
+        """Probability a strategy has no injected anti-pattern."""
+        return (
+            (1 - self.a1_rate) * (1 - self.a2_rate) * (1 - self.a3_rate)
+            * (1 - self.a4_rate) * (1 - self.a5_rate)
+        )
+
+
+class StrategyFactory:
+    """Draws strategy populations over a topology."""
+
+    def __init__(
+        self,
+        topology: CloudTopology,
+        seed: int = 42,
+        mix: StrategyMixConfig | None = None,
+    ) -> None:
+        self._topology = topology
+        self._seed = seed
+        self._mix = mix or StrategyMixConfig()
+        self._ids = IdFactory("strategy")
+
+    @property
+    def mix(self) -> StrategyMixConfig:
+        """The injection-rate configuration."""
+        return self._mix
+
+    def build(self, count: int) -> list[AlertStrategy]:
+        """Build ``count`` strategies spread over the microservices.
+
+        Every microservice receives a strategy before any receives a
+        second (monitoring covers the whole fleet, as in the paper's
+        system with ~10 strategies per microservice); the remainder is
+        spread randomly, so popular components end up watched by several
+        rules.
+        """
+        if count < 1:
+            raise ValidationError(f"count must be >= 1, got {count}")
+        rng = derive_rng(self._seed, "strategy-factory")
+        microservices = sorted(self._topology.microservices)
+        coverage_order = rng.permutation(len(microservices))
+        strategies = []
+        for index in range(count):
+            if index < len(microservices):
+                microservice = microservices[int(coverage_order[index])]
+            else:
+                microservice = microservices[int(rng.integers(len(microservices)))]
+            strategies.append(self._build_one(microservice, rng, index))
+        return strategies
+
+    def build_for(self, microservice: str, count: int = 1) -> list[AlertStrategy]:
+        """Build ``count`` strategies for one specific microservice."""
+        rng = derive_rng(self._seed, f"strategy-factory/{microservice}")
+        return [self._build_one(microservice, rng, index) for index in range(count)]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_one(self, microservice: str, rng: np.random.Generator,
+                   index: int) -> AlertStrategy:
+        mix = self._mix
+        quality = self._draw_quality(rng)
+        channel_draw = rng.random()
+        if channel_draw < mix.metric_fraction:
+            return self._metric_strategy(microservice, quality, rng)
+        # A3 (improper target) is a metric-channel concept: log and probe
+        # rules have no monitored metric to mis-target, so the knob is
+        # clamped to "relevant" to keep the ground truth meaningful.
+        quality = replace(quality, target_relevance=max(quality.target_relevance, 0.7))
+        if channel_draw < mix.metric_fraction + mix.log_fraction:
+            return self._log_strategy(microservice, quality, rng)
+        return self._probe_strategy(microservice, quality, rng)
+
+    def _draw_quality(self, rng: np.random.Generator) -> StrategyQuality:
+        mix = self._mix
+        title_clarity = (
+            float(rng.uniform(0.0, 0.45)) if rng.random() < mix.a1_rate
+            else float(rng.uniform(0.7, 1.0))
+        )
+        if rng.random() < mix.a2_rate:
+            magnitude = 1 if rng.random() < 0.8 else 2
+            severity_bias = magnitude if rng.random() < 0.5 else -magnitude
+        else:
+            severity_bias = 0
+        target_relevance = (
+            float(rng.uniform(0.0, 0.45)) if rng.random() < mix.a3_rate
+            else float(rng.uniform(0.7, 1.0))
+        )
+        sensitivity = (
+            float(rng.uniform(0.65, 1.0)) if rng.random() < mix.a4_rate
+            else float(rng.uniform(0.0, 0.4))
+        )
+        repeat_proneness = (
+            float(rng.uniform(0.65, 1.0)) if rng.random() < mix.a5_rate
+            else float(rng.uniform(0.0, 0.3))
+        )
+        return StrategyQuality(
+            title_clarity=title_clarity,
+            severity_bias=severity_bias,
+            target_relevance=target_relevance,
+            sensitivity=sensitivity,
+            repeat_proneness=repeat_proneness,
+        )
+
+    @staticmethod
+    def _apply_bias(true_severity: Severity, bias: int) -> Severity:
+        if bias > 0:
+            return true_severity.escalated(bias)
+        if bias < 0:
+            return true_severity.demoted(-bias)
+        return true_severity
+
+    def _archetype(self, microservice: str) -> str:
+        service = self._topology.service_of[microservice]
+        return self._topology.services[service].archetype
+
+    def _metric_strategy(self, microservice: str, quality: StrategyQuality,
+                         rng: np.random.Generator) -> AlertStrategy:
+        archetype = self._archetype(microservice)
+        profiles = default_profiles(archetype)
+        relevant = quality.target_relevance >= 0.5
+        if relevant:
+            candidates = sorted(set(profiles) & _SERVICE_QUALITY_METRICS)
+        else:
+            candidates = [m for m in _INFRA_METRICS if m in profiles]
+        metric_name = candidates[int(rng.integers(len(candidates)))]
+        profile = profiles[metric_name]
+
+        sensitive = quality.sensitivity > 0.6
+        # Normal operating ceiling of the signal: base + diurnal swing + noise.
+        normal_peak = profile.base + profile.daily_amplitude + 2.0 * profile.noise_std
+        if sensitive:
+            # Threshold inside the noise band: fires on ordinary fluctuation.
+            threshold = profile.base + profile.daily_amplitude + 0.5 * profile.noise_std
+            min_consecutive = 1
+        else:
+            threshold = normal_peak * 1.25
+            min_consecutive = 3
+        detector = StaticThresholdDetector(
+            threshold=threshold, direction="above", min_consecutive=min_consecutive
+        )
+        rule = MetricRule(metric_name=metric_name, detector=detector)
+        true_severity = Severity.MAJOR if relevant else Severity.MINOR
+        name = f"{microservice}_{metric_name}_over_{threshold:.0f}"
+        manifestation = _MANIFESTATION_BY_METRIC.get(metric_name, "latency_regression")
+        return self._assemble(
+            microservice, name, rule, true_severity, quality, manifestation, rng,
+            auto_clear=True,
+        )
+
+    def _log_strategy(self, microservice: str, quality: StrategyQuality,
+                      rng: np.random.Generator) -> AlertStrategy:
+        sensitive = quality.sensitivity > 0.6
+        rule = LogKeywordRule(
+            min_count=2 if sensitive else 5,
+            window_seconds=120.0,
+        )
+        name = f"{microservice}_error_logs_{rule.min_count}_in_2min"
+        return self._assemble(
+            microservice, name, rule, Severity.MINOR, quality, "error_burst", rng,
+            auto_clear=False,
+        )
+
+    def _probe_strategy(self, microservice: str, quality: StrategyQuality,
+                        rng: np.random.Generator) -> AlertStrategy:
+        sensitive = quality.sensitivity > 0.6
+        rule = ProbeRule(no_response_threshold=30.0 if sensitive else 120.0)
+        name = f"{microservice}_no_heartbeat_{rule.no_response_threshold:.0f}s"
+        return self._assemble(
+            microservice, name, rule, Severity.CRITICAL, quality, "crash", rng,
+            auto_clear=True,
+        )
+
+    def _assemble(
+        self,
+        microservice: str,
+        name: str,
+        rule: GenerationRule,
+        true_severity: Severity,
+        quality: StrategyQuality,
+        manifestation: str,
+        rng: np.random.Generator,
+        auto_clear: bool,
+    ) -> AlertStrategy:
+        service = self._topology.service_of[microservice]
+        severity = self._apply_bias(true_severity, quality.severity_bias)
+        if severity is true_severity and quality.severity_bias != 0:
+            # The drawn bias clamped away (e.g. escalating CRITICAL); flip
+            # its direction so "A2 injected" always means a real mismatch.
+            flipped = -quality.severity_bias
+            severity = self._apply_bias(true_severity, flipped)
+            quality = replace(quality, severity_bias=flipped)
+        title = make_title(service, microservice, manifestation, quality.title_clarity, rng)
+        description = make_description(microservice, manifestation, quality.title_clarity, rng)
+        cooldown = 900.0
+        return AlertStrategy(
+            strategy_id=self._ids.next(),
+            name=name,
+            service=service,
+            microservice=microservice,
+            rule=rule,
+            severity=severity,
+            true_severity=true_severity,
+            title=title,
+            description=description,
+            quality=quality,
+            check_interval=60.0,
+            cooldown_seconds=cooldown,
+            auto_clear=auto_clear,
+            owner_team=f"team-{service}",
+        )

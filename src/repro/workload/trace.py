@@ -1,0 +1,142 @@
+"""The alert trace: everything one study run produced.
+
+An :class:`AlertTrace` bundles the alerts, the strategy population that
+generated them, the ground-truth faults (for storms/cascades), and the
+sampled OCE processing outcomes.  The mining pipeline, mitigation
+reactions, and benchmark harness all consume this container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.alerting.alert import Alert
+from repro.alerting.strategy import AlertStrategy
+from repro.common.errors import ValidationError
+from repro.common.timeutil import TimeWindow, hour_bucket
+from repro.faults.models import Fault
+from repro.oce.processing import ProcessingOutcome
+
+__all__ = ["AlertTrace"]
+
+
+@dataclass(slots=True)
+class AlertTrace:
+    """One study run: alerts, strategies, ground truth, and outcomes."""
+
+    alerts: list[Alert] = field(default_factory=list)
+    strategies: dict[str, AlertStrategy] = field(default_factory=dict)
+    faults: list[Fault] = field(default_factory=list)
+    outcomes: list[ProcessingOutcome] = field(default_factory=list)
+    seed: int = 0
+    label: str = ""
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def add_strategy(self, strategy: AlertStrategy) -> None:
+        """Register a strategy (id must be unique within the trace)."""
+        if strategy.strategy_id in self.strategies:
+            raise ValidationError(f"duplicate strategy id {strategy.strategy_id!r}")
+        self.strategies[strategy.strategy_id] = strategy
+
+    def extend_alerts(self, alerts: Iterable[Alert]) -> None:
+        """Append alerts; they are re-sorted lazily by the query helpers."""
+        self.alerts.extend(alerts)
+
+    def sort(self) -> None:
+        """Sort alerts by occurrence time (stable)."""
+        self.alerts.sort(key=lambda a: a.occurred_at)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def strategy_of(self, alert: Alert) -> AlertStrategy:
+        """The strategy that generated ``alert``."""
+        strategy = self.strategies.get(alert.strategy_id)
+        if strategy is None:
+            raise ValidationError(f"alert {alert.alert_id} references unknown strategy "
+                                  f"{alert.strategy_id!r}")
+        return strategy
+
+    def window(self) -> TimeWindow:
+        """The closed span from first to last alert occurrence."""
+        if not self.alerts:
+            raise ValidationError("trace has no alerts")
+        first = min(a.occurred_at for a in self.alerts)
+        last = max(a.occurred_at for a in self.alerts)
+        return TimeWindow(first, last + 1e-9)
+
+    def alerts_in(self, window: TimeWindow) -> list[Alert]:
+        """Alerts occurring within ``window``."""
+        return [a for a in self.alerts if window.contains(a.occurred_at)]
+
+    def filter(self, predicate: Callable[[Alert], bool], label: str = "") -> "AlertTrace":
+        """A new trace with only the matching alerts (shares strategies/faults)."""
+        return AlertTrace(
+            alerts=[a for a in self.alerts if predicate(a)],
+            strategies=self.strategies,
+            faults=self.faults,
+            outcomes=self.outcomes,
+            seed=self.seed,
+            label=label or self.label,
+        )
+
+    def by_strategy(self) -> dict[str, list[Alert]]:
+        """Alerts grouped by strategy id."""
+        grouped: dict[str, list[Alert]] = {}
+        for alert in self.alerts:
+            grouped.setdefault(alert.strategy_id, []).append(alert)
+        return grouped
+
+    def counts_by_hour_region(self) -> dict[tuple[int, str], int]:
+        """Alert counts per (hour bucket, region) — the paper's §III-A grouping."""
+        counts: dict[tuple[int, str], int] = {}
+        for alert in self.alerts:
+            key = (hour_bucket(alert.occurred_at), alert.region)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def alerts_by_hour_region(self) -> dict[tuple[int, str], list[Alert]]:
+        """Alerts grouped per (hour bucket, region)."""
+        grouped: dict[tuple[int, str], list[Alert]] = {}
+        for alert in self.alerts:
+            key = (hour_bucket(alert.occurred_at), alert.region)
+            grouped.setdefault(key, []).append(alert)
+        return grouped
+
+    def mean_processing_by_strategy(self) -> dict[str, float]:
+        """Mean sampled OCE processing seconds per strategy id.
+
+        Strategies without sampled outcomes are absent from the result.
+        """
+        totals: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            totals[outcome.strategy_id] = (
+                totals.get(outcome.strategy_id, 0.0) + outcome.processing_seconds
+            )
+            counts[outcome.strategy_id] = counts.get(outcome.strategy_id, 0) + 1
+        return {sid: totals[sid] / counts[sid] for sid in totals}
+
+    def merge(self, other: "AlertTrace", label: str = "") -> "AlertTrace":
+        """Combine two traces (strategy ids may overlap if identical objects)."""
+        merged = AlertTrace(seed=self.seed, label=label or self.label)
+        for strategy in self.strategies.values():
+            merged.add_strategy(strategy)
+        for strategy in other.strategies.values():
+            if strategy.strategy_id not in merged.strategies:
+                merged.add_strategy(strategy)
+            elif merged.strategies[strategy.strategy_id] is not strategy:
+                raise ValidationError(
+                    f"conflicting strategy id {strategy.strategy_id!r} in merge"
+                )
+        merged.alerts = list(self.alerts) + list(other.alerts)
+        merged.faults = list(self.faults) + list(other.faults)
+        merged.outcomes = list(self.outcomes) + list(other.outcomes)
+        merged.sort()
+        return merged

@@ -1,0 +1,154 @@
+"""Tests for the monitoring engine on the simulation kernel."""
+
+import pytest
+
+from repro.alerting.alert import AlertState, Severity
+from repro.alerting.engine import MonitoringConfig, MonitoringEngine
+from repro.alerting.lifecycle import AlertBook
+from repro.alerting.notification import NotificationRouter
+from repro.alerting.rules import MetricRule, ProbeRule
+from repro.alerting.strategy import AlertStrategy
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.detection.threshold import StaticThresholdDetector
+from repro.sim.engine import SimulationEngine
+from repro.telemetry.metrics import MetricEffect
+from repro.telemetry.probes import OutageWindow
+
+
+def cpu_strategy(micro, auto_clear=True):
+    return AlertStrategy(
+        strategy_id=f"strategy-{micro}-cpu",
+        name=f"{micro}_cpu_over_90",
+        service="whatever",
+        microservice=micro,
+        rule=MetricRule(metric_name="cpu_util",
+                        detector=StaticThresholdDetector(90.0),
+                        lookback_seconds=1800.0),
+        severity=Severity.MAJOR,
+        true_severity=Severity.MAJOR,
+        title=f"{micro}: CPU usage continuously over 90%",
+        description="CPU saturated.",
+        check_interval=60.0,
+        auto_clear=auto_clear,
+    )
+
+
+@pytest.fixture()
+def target(small_topology):
+    return sorted(small_topology.microservices)[0]
+
+
+class TestMonitoring:
+    def test_alert_generated_on_fault(self, hub, target):
+        region = hub.topology.region_names()[0]
+        hub.metric(target, region, "cpu_util").add_effect(
+            MetricEffect(TimeWindow(2 * HOUR, 4 * HOUR), "set", 97.0)
+        )
+        book = AlertBook()
+        engine = MonitoringEngine(hub, book)
+        engine.register(cpu_strategy(target))
+        sim = SimulationEngine()
+        engine.attach(sim, end_time=6 * HOUR)
+        sim.run_until(6 * HOUR)
+        alerts = [a for a in book.alerts if a.region == region]
+        assert len(alerts) >= 1
+        first = alerts[0]
+        assert 2 * HOUR <= first.occurred_at <= 2 * HOUR + 600.0
+
+    def test_auto_clear_after_recovery(self, hub, target):
+        region = hub.topology.region_names()[0]
+        hub.metric(target, region, "cpu_util").add_effect(
+            MetricEffect(TimeWindow(2 * HOUR, 3 * HOUR), "set", 97.0)
+        )
+        book = AlertBook()
+        engine = MonitoringEngine(hub, book)
+        engine.register(cpu_strategy(target))
+        sim = SimulationEngine()
+        engine.attach(sim, end_time=6 * HOUR)
+        sim.run_until(6 * HOUR)
+        alerts = [a for a in book.alerts if a.region == region]
+        assert alerts
+        assert alerts[0].state is AlertState.CLEARED_AUTO
+        assert alerts[0].cleared_at < 3 * HOUR + 900.0
+
+    def test_no_fault_no_alert(self, hub, target):
+        book = AlertBook()
+        engine = MonitoringEngine(hub, book)
+        engine.register(cpu_strategy(target))
+        sim = SimulationEngine()
+        engine.attach(sim, end_time=4 * HOUR)
+        sim.run_until(4 * HOUR)
+        assert len(book) == 0
+        assert engine.checks_performed > 0
+
+    def test_probe_strategy_end_to_end(self, hub, target):
+        region = hub.topology.region_names()[0]
+        hub.probe(target, region).add_outage(
+            OutageWindow(window=TimeWindow(HOUR, 2 * HOUR))
+        )
+        strategy = AlertStrategy(
+            strategy_id="s-probe",
+            name=f"{target}_no_heartbeat",
+            service="whatever",
+            microservice=target,
+            rule=ProbeRule(no_response_threshold=120.0),
+            severity=Severity.CRITICAL,
+            true_severity=Severity.CRITICAL,
+            title=f"{target}: process not responding to probes",
+            description="No heartbeat.",
+            check_interval=60.0,
+        )
+        book = AlertBook()
+        engine = MonitoringEngine(hub, book)
+        engine.register(strategy)
+        sim = SimulationEngine()
+        engine.attach(sim, end_time=3 * HOUR)
+        sim.run_until(3 * HOUR)
+        regional = [a for a in book.alerts if a.region == region]
+        assert regional
+        assert regional[0].severity is Severity.CRITICAL
+
+    def test_fault_attribution_recorded(self, hub, target):
+        region = hub.topology.region_names()[0]
+        hub.metric(target, region, "cpu_util").add_effect(
+            MetricEffect(TimeWindow(2 * HOUR, 4 * HOUR), "set", 97.0)
+        )
+        book = AlertBook()
+        engine = MonitoringEngine(
+            hub, book,
+            fault_attribution=lambda micro, reg, now: "fault-x",
+        )
+        engine.register(cpu_strategy(target))
+        sim = SimulationEngine()
+        engine.attach(sim, end_time=5 * HOUR)
+        sim.run_until(5 * HOUR)
+        assert all(a.fault_id == "fault-x" for a in book.alerts)
+
+    def test_router_notified(self, hub, target):
+        region = hub.topology.region_names()[0]
+        hub.metric(target, region, "cpu_util").add_effect(
+            MetricEffect(TimeWindow(2 * HOUR, 4 * HOUR), "set", 97.0)
+        )
+        router = NotificationRouter()
+        book = AlertBook()
+        engine = MonitoringEngine(hub, book, router=router)
+        engine.register(cpu_strategy(target))
+        sim = SimulationEngine()
+        engine.attach(sim, end_time=5 * HOUR)
+        sim.run_until(5 * HOUR)
+        assert len(router.log) == len([a for a in book.alerts])
+
+    def test_unknown_microservice_rejected(self, hub):
+        engine = MonitoringEngine(hub, AlertBook())
+        with pytest.raises(ValidationError):
+            engine.register(cpu_strategy("ghost"))
+
+    def test_warmup_delays_first_check(self, hub, target):
+        book = AlertBook()
+        engine = MonitoringEngine(hub, book, config=MonitoringConfig(warmup_seconds=1800.0))
+        engine.register(cpu_strategy(target))
+        sim = SimulationEngine()
+        engine.attach(sim, end_time=1200.0)
+        sim.run_until(1200.0)
+        assert engine.checks_performed == 0

@@ -1,0 +1,137 @@
+"""Tests for the alert book (dedup, cooldown, clearance)."""
+
+import pytest
+
+from repro.alerting.alert import AlertState, Severity
+from repro.alerting.lifecycle import AlertBook
+from repro.alerting.rules import ProbeRule
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+from repro.common.errors import ValidationError
+from repro.common.timeutil import TimeWindow
+
+
+def make_strategy(cooldown=900.0, quality=None):
+    return AlertStrategy(
+        strategy_id="strategy-000001",
+        name="probe_no_heartbeat",
+        service="database",
+        microservice="database-api-00",
+        rule=ProbeRule(),
+        severity=Severity.CRITICAL,
+        true_severity=Severity.CRITICAL,
+        title="database-api-00: process not responding to probes",
+        description="The target stopped answering heartbeats.",
+        cooldown_seconds=cooldown,
+        quality=quality or StrategyQuality(),
+    )
+
+
+class TestOpen:
+    def test_opens_alert_with_attributes(self):
+        book = AlertBook()
+        strategy = make_strategy()
+        alert = book.open_alert(strategy, "region-A", "dc1", 100.0, fault_id="fault-7")
+        assert alert is not None
+        assert alert.severity is Severity.CRITICAL
+        assert alert.fault_id == "fault-7"
+        assert alert.channel == "probe"
+
+    def test_dedup_while_active(self):
+        book = AlertBook()
+        strategy = make_strategy()
+        assert book.open_alert(strategy, "region-A", "dc1", 100.0) is not None
+        assert book.open_alert(strategy, "region-A", "dc1", 200.0) is None
+
+    def test_regions_independent(self):
+        book = AlertBook()
+        strategy = make_strategy()
+        assert book.open_alert(strategy, "region-A", "dc1", 100.0) is not None
+        assert book.open_alert(strategy, "region-B", "dc1", 100.0) is not None
+
+    def test_cooldown_blocks_refire(self):
+        book = AlertBook()
+        strategy = make_strategy(cooldown=900.0)
+        book.open_alert(strategy, "region-A", "dc1", 100.0)
+        book.auto_clear(strategy.strategy_id, "region-A", 200.0)
+        assert book.open_alert(strategy, "region-A", "dc1", 500.0) is None
+        assert book.open_alert(strategy, "region-A", "dc1", 1200.0) is not None
+
+    def test_repeat_prone_strategy_refires_quickly(self):
+        book = AlertBook()
+        strategy = make_strategy(cooldown=900.0,
+                                 quality=StrategyQuality(repeat_proneness=0.9))
+        book.open_alert(strategy, "region-A", "dc1", 100.0)
+        book.auto_clear(strategy.strategy_id, "region-A", 200.0)
+        # Effective cooldown collapsed to 90s.
+        assert book.open_alert(strategy, "region-A", "dc1", 350.0) is not None
+
+
+class TestClear:
+    def test_auto_clear(self):
+        book = AlertBook()
+        strategy = make_strategy()
+        alert = book.open_alert(strategy, "region-A", "dc1", 100.0)
+        cleared = book.auto_clear(strategy.strategy_id, "region-A", 400.0)
+        assert cleared is alert
+        assert alert.state is AlertState.CLEARED_AUTO
+
+    def test_auto_clear_without_active_is_noop(self):
+        book = AlertBook()
+        assert book.auto_clear("strategy-000001", "region-A", 100.0) is None
+
+    def test_manual_clear(self):
+        book = AlertBook()
+        strategy = make_strategy()
+        alert = book.open_alert(strategy, "region-A", "dc1", 100.0)
+        book.manual_clear(alert.alert_id, 400.0)
+        assert alert.state is AlertState.CLEARED_MANUAL
+        assert not book.is_active(strategy.strategy_id, "region-A")
+
+    def test_manual_clear_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            AlertBook().manual_clear("alert-999999", 100.0)
+
+    def test_manual_clear_twice_rejected(self):
+        book = AlertBook()
+        alert = book.open_alert(make_strategy(), "region-A", "dc1", 100.0)
+        book.manual_clear(alert.alert_id, 200.0)
+        with pytest.raises(ValidationError):
+            book.manual_clear(alert.alert_id, 300.0)
+
+    def test_clear_all_active(self):
+        book = AlertBook()
+        strategy = make_strategy()
+        book.open_alert(strategy, "region-A", "dc1", 100.0)
+        book.open_alert(strategy, "region-B", "dc1", 100.0)
+        assert book.clear_all_active(500.0) == 2
+        assert book.active_alerts() == []
+
+
+class TestQueries:
+    def test_alerts_in_window(self):
+        book = AlertBook()
+        strategy = make_strategy(cooldown=0.0)
+        book.open_alert(strategy, "region-A", "dc1", 100.0)
+        book.auto_clear(strategy.strategy_id, "region-A", 150.0)
+        book.open_alert(strategy, "region-A", "dc1", 5000.0)
+        inside = book.alerts_in(TimeWindow(0, 1000.0))
+        assert len(inside) == 1
+
+    def test_by_strategy_and_counts(self):
+        book = AlertBook()
+        strategy = make_strategy(cooldown=0.0)
+        book.open_alert(strategy, "region-A", "dc1", 100.0)
+        book.auto_clear(strategy.strategy_id, "region-A", 150.0)
+        book.open_alert(strategy, "region-A", "dc1", 200.0)
+        grouped = book.by_strategy()
+        assert len(grouped[strategy.strategy_id]) == 2
+        counts = book.counts_by_state()
+        assert counts[AlertState.CLEARED_AUTO] == 1
+        assert counts[AlertState.ACTIVE] == 1
+
+    def test_get(self):
+        book = AlertBook()
+        alert = book.open_alert(make_strategy(), "region-A", "dc1", 100.0)
+        assert book.get(alert.alert_id) is alert
+        with pytest.raises(ValidationError):
+            book.get("nope")

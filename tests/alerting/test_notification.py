@@ -1,0 +1,53 @@
+"""Tests for notification routing."""
+
+from repro.alerting.alert import Alert, Severity
+from repro.alerting.notification import MEDIUM_BY_SEVERITY, NotificationRouter
+
+
+def make_alert(severity=Severity.CRITICAL, service="database"):
+    return Alert(
+        alert_id="alert-1",
+        strategy_id="s-1",
+        strategy_name="n",
+        title="t",
+        description="d",
+        severity=severity,
+        service=service,
+        microservice="m",
+        region="region-A",
+        datacenter="dc",
+        channel="metric",
+        occurred_at=0.0,
+    )
+
+
+class TestRouting:
+    def test_default_team(self):
+        router = NotificationRouter(default_team="fallback")
+        assert router.team_for(make_alert()) == "fallback"
+
+    def test_assigned_team(self):
+        router = NotificationRouter()
+        router.assign("database", "team-db")
+        assert router.team_for(make_alert()) == "team-db"
+
+    def test_medium_by_severity(self):
+        router = NotificationRouter()
+        for severity, medium in MEDIUM_BY_SEVERITY.items():
+            notification = router.dispatch(make_alert(severity=severity), 10.0)
+            assert notification.medium == medium
+
+    def test_critical_pages_by_phone(self):
+        assert MEDIUM_BY_SEVERITY[Severity.CRITICAL] == "phone"
+        assert MEDIUM_BY_SEVERITY[Severity.WARNING] == "email"
+
+    def test_log_and_interrupts(self):
+        router = NotificationRouter()
+        router.assign("database", "team-db")
+        for _ in range(3):
+            router.dispatch(make_alert(), 10.0)
+        router.dispatch(make_alert(service="web"), 10.0)
+        interrupts = router.interrupts_per_team()
+        assert interrupts["team-db"] == 3
+        assert interrupts["default-team"] == 1
+        assert len(router.log) == 4

@@ -1,0 +1,100 @@
+"""Tests for generation rules against live telemetry."""
+
+import pytest
+
+from repro.alerting.rules import LogKeywordRule, MetricRule, ProbeRule
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, MINUTE, TimeWindow
+from repro.detection.threshold import StaticThresholdDetector
+from repro.telemetry.logs import LogBurst
+from repro.telemetry.metrics import MetricEffect
+from repro.telemetry.probes import OutageWindow
+
+
+@pytest.fixture()
+def component(small_topology):
+    return sorted(small_topology.microservices)[0], small_topology.region_names()[0]
+
+
+class TestProbeRule:
+    def test_fires_after_threshold(self, hub, component):
+        micro, region = component
+        hub.probe(micro, region).add_outage(
+            OutageWindow(window=TimeWindow(HOUR, 3 * HOUR))
+        )
+        rule = ProbeRule(no_response_threshold=120.0)
+        assert not rule.evaluate(hub, micro, region, HOUR + 60.0)
+        assert rule.evaluate(hub, micro, region, HOUR + 180.0)
+
+    def test_quiet_when_responding(self, hub, component):
+        micro, region = component
+        assert not ProbeRule().evaluate(hub, micro, region, HOUR)
+
+    def test_describe(self):
+        assert "120" in ProbeRule(no_response_threshold=120.0).describe()
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            ProbeRule(no_response_threshold=0.0)
+
+
+class TestLogKeywordRule:
+    def test_fires_on_burst(self, hub, component):
+        micro, region = component
+        hub.logs(micro, region).add_burst(
+            LogBurst(window=TimeWindow(HOUR, 2 * HOUR), rate_per_hour=600.0)
+        )
+        rule = LogKeywordRule(min_count=5, window_seconds=120.0)
+        assert rule.evaluate(hub, micro, region, HOUR + 30 * MINUTE)
+
+    def test_quiet_on_background(self, hub, component):
+        micro, region = component
+        rule = LogKeywordRule(min_count=5, window_seconds=120.0)
+        assert not rule.evaluate(hub, micro, region, HOUR)
+
+    def test_describe_matches_paper_phrasing(self):
+        text = LogKeywordRule(min_count=5, window_seconds=120.0).describe()
+        assert "5 ERRORs" in text
+        assert "2 minutes" in text
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValidationError):
+            LogKeywordRule(min_count=0)
+
+
+class TestMetricRule:
+    def test_fires_on_saturated_metric(self, hub, component):
+        micro, region = component
+        hub.metric(micro, region, "cpu_util").add_effect(
+            MetricEffect(TimeWindow(HOUR, 3 * HOUR), "set", 97.0)
+        )
+        rule = MetricRule(
+            metric_name="cpu_util",
+            detector=StaticThresholdDetector(90.0),
+            lookback_seconds=1800.0,
+        )
+        assert rule.evaluate(hub, micro, region, 2 * HOUR)
+
+    def test_quiet_on_normal_metric(self, hub, component):
+        micro, region = component
+        rule = MetricRule(
+            metric_name="cpu_util",
+            detector=StaticThresholdDetector(90.0),
+        )
+        assert not rule.evaluate(hub, micro, region, 2 * HOUR)
+
+    def test_interval_longer_than_lookback_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricRule(metric_name="cpu_util",
+                       detector=StaticThresholdDetector(90.0),
+                       lookback_seconds=60.0, sample_interval=120.0)
+
+    def test_empty_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricRule(metric_name="", detector=StaticThresholdDetector(90.0))
+
+    def test_channel_markers(self):
+        assert ProbeRule().channel == "probe"
+        assert LogKeywordRule().channel == "log"
+        assert MetricRule(metric_name="m",
+                          detector=StaticThresholdDetector(1.0)).channel == "metric"

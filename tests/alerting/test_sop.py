@@ -1,0 +1,86 @@
+"""Tests for SOP records and the library."""
+
+import pytest
+
+from repro.alerting.alert import Severity
+from repro.alerting.rules import MetricRule
+from repro.alerting.sop import SOP, SOPLibrary
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+from repro.common.errors import ValidationError
+from repro.detection.threshold import StaticThresholdDetector
+
+
+def make_strategy(clarity=1.0):
+    return AlertStrategy(
+        strategy_id="s-1",
+        name="nginx_cpu_usage_over_80",
+        service="elastic-compute",
+        microservice="elastic-compute-api-00",
+        rule=MetricRule(metric_name="cpu_util",
+                        detector=StaticThresholdDetector(80.0)),
+        severity=Severity.MAJOR,
+        true_severity=Severity.MAJOR,
+        title="elastic-compute-api-00: CPU usage continuously over 80%",
+        description="CPU usage of the instance exceeded 80%.",
+        quality=StrategyQuality(title_clarity=clarity),
+    )
+
+
+class TestSOP:
+    def test_render_matches_figure5_shape(self):
+        sop = SOP(
+            alert_name="nginx_cpu_usage_over_80",
+            description="CPU usage of nginx instance is higher than 80%",
+            generation_rule="Continuously check the CPU usage.",
+            potential_impact="Affects the forwarding of all requests.",
+            possible_causes=("The workload is too high.",),
+            steps=("Step 1: execute command top -bn1 in the instance.",),
+        )
+        text = sop.render()
+        assert text.startswith("SOP for alert nginx_cpu_usage_over_80")
+        assert "Generation Rule" in text
+        assert "Potential Impact" in text
+        assert "a) The workload is too high." in text
+
+    def test_actionable_requires_steps(self):
+        sop = SOP(alert_name="x", description="", generation_rule="",
+                  potential_impact="", steps=("1", "2", "3"))
+        assert sop.is_actionable
+        assert not SOP(alert_name="x", description="", generation_rule="",
+                       potential_impact="", steps=("1",)).is_actionable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            SOP(alert_name="", description="", generation_rule="", potential_impact="")
+
+
+class TestSOPLibrary:
+    def test_build_default_clear_strategy(self):
+        library = SOPLibrary()
+        sop = library.build_default(make_strategy(clarity=1.0))
+        assert sop.is_actionable
+        assert "nginx_cpu_usage_over_80" in library
+        assert library.lookup("nginx_cpu_usage_over_80") is sop
+
+    def test_build_default_vague_strategy_gets_vague_sop(self):
+        library = SOPLibrary()
+        sop = library.build_default(make_strategy(clarity=0.1))
+        assert not sop.is_actionable
+        assert sop.possible_causes == ("Unknown.",)
+
+    def test_lookup_missing_returns_none(self):
+        assert SOPLibrary().lookup("nope") is None
+
+    def test_add_replaces(self):
+        library = SOPLibrary()
+        library.add(SOP(alert_name="x", description="old", generation_rule="",
+                        potential_impact=""))
+        library.add(SOP(alert_name="x", description="new", generation_rule="",
+                        potential_impact=""))
+        assert library.lookup("x").description == "new"
+        assert len(library) == 1
+
+    def test_channel_specific_steps(self):
+        library = SOPLibrary()
+        sop = library.build_default(make_strategy())
+        assert any("metric dashboard" in step for step in sop.steps)

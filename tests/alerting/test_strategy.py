@@ -1,0 +1,97 @@
+"""Tests for alert strategies and quality knobs."""
+
+import pytest
+
+from repro.alerting.alert import Severity
+from repro.alerting.rules import LogKeywordRule
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+from repro.common.errors import ValidationError
+
+
+def make_strategy(quality=None, **overrides):
+    defaults = dict(
+        strategy_id="strategy-000001",
+        name="db_error_logs",
+        service="database",
+        microservice="database-api-00",
+        rule=LogKeywordRule(),
+        severity=Severity.MINOR,
+        true_severity=Severity.MINOR,
+        title="database-api-00: error logs burst detected",
+        description="The error-log rate exceeded the rule threshold.",
+        quality=quality or StrategyQuality(),
+    )
+    defaults.update(overrides)
+    return AlertStrategy(**defaults)
+
+
+class TestStrategyQuality:
+    def test_clean_by_default(self):
+        assert StrategyQuality().is_clean
+        assert StrategyQuality().injected_antipatterns() == frozenset()
+
+    def test_a1_injection(self):
+        quality = StrategyQuality(title_clarity=0.2)
+        assert quality.injected_antipatterns() == {"A1"}
+
+    def test_a2_injection_either_sign(self):
+        assert StrategyQuality(severity_bias=1).injected_antipatterns() == {"A2"}
+        assert StrategyQuality(severity_bias=-2).injected_antipatterns() == {"A2"}
+
+    def test_a3_injection(self):
+        assert StrategyQuality(target_relevance=0.1).injected_antipatterns() == {"A3"}
+
+    def test_a4_injection(self):
+        assert StrategyQuality(sensitivity=0.9).injected_antipatterns() == {"A4"}
+
+    def test_a5_injection(self):
+        assert StrategyQuality(repeat_proneness=0.9).injected_antipatterns() == {"A5"}
+
+    def test_combined_injection(self):
+        quality = StrategyQuality(title_clarity=0.1, severity_bias=1, sensitivity=0.9)
+        assert quality.injected_antipatterns() == {"A1", "A2", "A4"}
+
+    def test_boundary_values_not_injected(self):
+        quality = StrategyQuality(title_clarity=0.5, sensitivity=0.6,
+                                  repeat_proneness=0.6, target_relevance=0.5)
+        assert quality.is_clean
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            StrategyQuality(title_clarity=1.5)
+        with pytest.raises(ValidationError):
+            StrategyQuality(severity_bias=5)
+
+
+class TestAlertStrategy:
+    def test_channel_from_rule(self):
+        assert make_strategy().channel == "log"
+
+    def test_effective_cooldown_clean(self):
+        strategy = make_strategy(cooldown_seconds=900.0)
+        assert strategy.effective_cooldown() == 900.0
+
+    def test_effective_cooldown_repeat_prone(self):
+        strategy = make_strategy(
+            quality=StrategyQuality(repeat_proneness=0.9), cooldown_seconds=900.0
+        )
+        assert strategy.effective_cooldown() == pytest.approx(90.0)
+
+    def test_describe_lists_patterns(self):
+        strategy = make_strategy(quality=StrategyQuality(title_clarity=0.1))
+        assert "A1" in strategy.describe()
+
+    def test_describe_clean(self):
+        assert "clean" in make_strategy().describe()
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValidationError):
+            make_strategy(strategy_id="")
+
+    def test_bad_check_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            make_strategy(check_interval=0.0)
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValidationError):
+            make_strategy(cooldown_seconds=-1.0)

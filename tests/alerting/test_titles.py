@@ -1,0 +1,80 @@
+"""Tests for title synthesis and the vagueness lexicon."""
+
+import numpy as np
+import pytest
+
+from repro.alerting.titles import (
+    MANIFESTATIONS,
+    VAGUE_WORDS,
+    make_description,
+    make_title,
+    vagueness_score,
+)
+from repro.common.errors import ValidationError
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMakeTitle:
+    def test_clear_title_contains_component_and_manifestation(self, rng):
+        title = make_title("block-storage", "block-storage-api-00", "disk_full", 0.9, rng)
+        assert "block-storage-api-00" in title
+        assert "disk full" in title
+
+    def test_vague_title_lacks_manifestation(self, rng):
+        title = make_title("elastic-compute", "elastic-compute-api-00", "cpu_overload",
+                           0.1, rng)
+        assert "CPU" not in title
+        assert any(word in title.lower() for word in VAGUE_WORDS) or "attention" in title
+
+    def test_unknown_manifestation_passes_through(self, rng):
+        title = make_title("s", "c", "custom weirdness", 0.9, rng)
+        assert "custom weirdness" in title
+
+    def test_clarity_bounds_enforced(self, rng):
+        with pytest.raises(ValidationError):
+            make_title("s", "c", "disk_full", 1.5, rng)
+
+    def test_paper_examples_producible(self):
+        # "Instance x is abnormal" style titles must be reachable.
+        rng = np.random.default_rng(1)
+        titles = {
+            make_title("elastic-compute", "x", "cpu_overload", 0.0, rng)
+            for _ in range(50)
+        }
+        assert any("is abnormal" in t for t in titles)
+
+
+class TestMakeDescription:
+    def test_clear_description_names_component(self, rng):
+        text = make_description("db-api-00", "commit_failure", 0.9, rng)
+        assert "db-api-00" in text
+        assert "storage backend" in text
+
+    def test_vague_description(self, rng):
+        text = make_description("db-api-00", "commit_failure", 0.1, rng)
+        assert "db-api-00" not in text
+
+
+class TestVaguenessScore:
+    def test_vague_text_scores_high(self):
+        assert vagueness_score("Instance is abnormal") > 0.3
+
+    def test_clear_text_scores_low(self):
+        score = vagueness_score("failed to allocate new blocks, disk full")
+        assert score < 0.2
+
+    def test_empty_text_is_maximally_vague(self):
+        assert vagueness_score("") == 1.0
+
+    def test_punctuation_stripped(self):
+        assert vagueness_score("abnormal!") == 1.0
+
+
+class TestManifestations:
+    def test_all_manifestations_have_title_and_description(self):
+        for key, (fragment, description) in MANIFESTATIONS.items():
+            assert fragment and description, key

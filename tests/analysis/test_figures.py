@@ -1,0 +1,66 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import render_bar_survey, render_hourly_series, render_table
+from repro.common.errors import ValidationError
+
+
+class TestBarSurvey:
+    def test_renders_counts(self):
+        text = render_bar_survey(
+            "Impact", {"A1": {"High": 11, "Low": 7, "No Impact": 0}},
+            ("High", "Low", "No Impact"),
+        )
+        assert "A1" in text
+        assert "11" in text and " 7" in text
+
+    def test_legend_present(self):
+        text = render_bar_survey("T", {}, ("High", "Low"))
+        assert "legend" in text
+        assert "#=High" in text
+
+    def test_empty_row_handled(self):
+        text = render_bar_survey("T", {"A1": {}}, ("High",))
+        assert "no responses" in text
+
+    def test_too_many_options_rejected(self):
+        with pytest.raises(ValidationError):
+            render_bar_survey("T", {}, ("a", "b", "c", "d"))
+
+    def test_bar_proportions(self):
+        text = render_bar_survey(
+            "T", {"X": {"High": 18, "Low": 0}}, ("High", "Low"),
+        )
+        bar_line = [line for line in text.splitlines() if line.strip().startswith("X")][0]
+        assert "#" * 30 in bar_line
+        assert "=" not in bar_line.split("|")[1]
+
+
+class TestHourlySeries:
+    def test_renders_totals(self):
+        text = render_hourly_series(
+            "Storm", [7, 8], {"HAProxy": [100, 120], "Others": [300, 310]},
+        )
+        assert "220" in text  # HAProxy total
+        assert "610" in text  # Others total
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            render_hourly_series("T", [7, 8], {"X": [1]})
+
+
+class TestTable:
+    def test_alignment(self):
+        text = render_table(("a", "long_header"), [("1", "2")])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].index("long_header") == lines[2].index("2")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table(("a", "b"), [("1",)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table((), [])

@@ -1,0 +1,45 @@
+"""Consistency checks on the paper constants."""
+
+from repro.analysis import paper_reference as paper
+
+
+class TestSurveyTables:
+    def test_impact_rows_sum_to_panel(self):
+        for pattern, counts in paper.ANTIPATTERN_IMPACT.items():
+            assert sum(counts) == paper.N_OCES, pattern
+
+    def test_sop_rows_sum_to_panel(self):
+        for question, counts in paper.SOP_HELPFULNESS.items():
+            assert sum(counts) == paper.N_OCES, question
+
+    def test_reaction_rows_sum_to_panel(self):
+        for reaction, counts in paper.REACTION_EFFECTIVENESS.items():
+            assert sum(counts) == paper.N_OCES, reaction
+
+    def test_experience_mix_sums_to_panel(self):
+        assert sum(paper.EXPERIENCE_MIX.values()) == paper.N_OCES
+
+    def test_six_antipatterns_four_reactions(self):
+        assert len(paper.ANTIPATTERN_NAMES) == 6
+        assert len(paper.REACTION_NAMES) == 4
+
+    def test_figure4_fact_consistent_with_figure2b(self):
+        helpful, limited, not_helpful = paper.SOP_HELPFULNESS["Q1"]
+        assert paper.Q1_LIMITED_GT3_COUNT <= limited
+        assert paper.Q1_LIMITED_GT3_SHARE == paper.Q1_LIMITED_GT3_COUNT / limited
+
+
+class TestStudyFrame:
+    def test_mining_outcome_counts(self):
+        assert paper.INDIVIDUAL_CANDIDATES == 5
+        assert paper.INDIVIDUAL_CONFIRMED == 4
+        assert paper.COLLECTIVE_CONFIRMED == 2
+
+    def test_storm_example_internally_consistent(self):
+        storm = paper.STORM_EXAMPLE
+        assert storm["end_hour"] - storm["start_hour"] == 5
+        assert storm["total_alerts"] == 2751
+        assert storm["effective_strategies"] == 200
+
+    def test_thresholds(self):
+        assert paper.STORM_THRESHOLD < paper.COLLECTIVE_CANDIDATE_THRESHOLD

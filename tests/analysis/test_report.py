@@ -1,0 +1,31 @@
+"""Tests for paper-vs-measured comparison rendering."""
+
+from repro.analysis.report import ComparisonRow, render_comparison
+
+
+class TestComparison:
+    def test_renders_columns(self):
+        text = render_comparison("T", [
+            ComparisonRow("total alerts", 2751, 2751, "exact"),
+        ])
+        assert "metric" in text
+        assert "2,751" in text
+        assert "exact" in text
+
+    def test_float_formatting(self):
+        row = ComparisonRow("share", 0.30, 0.293)
+        _, paper_cell, measured_cell, _ = row.formatted()
+        assert paper_cell == "0.3"
+        assert measured_cell == "0.29"
+
+    def test_tiny_float_formatting(self):
+        row = ComparisonRow("rate", 0.0001, 0.0002)
+        _, paper_cell, _, _ = row.formatted()
+        assert paper_cell == "0.0001"
+
+    def test_string_passthrough(self):
+        row = ComparisonRow("winner", "HAProxy", "HAProxy")
+        assert row.formatted()[1] == "HAProxy"
+
+    def test_int_thousands_separator(self):
+        assert ComparisonRow("n", 4000000, 0).formatted()[1] == "4,000,000"

@@ -1,0 +1,47 @@
+"""Tests for trace statistics."""
+
+import pytest
+
+from repro.alerting.alert import AlertState, Severity
+from repro.analysis.stats import compute_trace_stats
+from repro.common.errors import ValidationError
+from repro.common.timeutil import DAY
+from tests.workload.test_trace import make_alert
+
+
+class TestComputeStats:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            compute_trace_stats([])
+
+    def test_counts(self):
+        alerts = [make_alert("a-1", 0.0), make_alert("a-2", DAY)]
+        stats = compute_trace_stats(alerts)
+        assert stats.n_alerts == 2
+        assert stats.n_strategies == 1
+        assert stats.span_seconds == DAY
+        assert stats.alerts_per_day == pytest.approx(2.0)
+
+    def test_single_alert_span(self):
+        stats = compute_trace_stats([make_alert("a-1", 100.0)])
+        assert stats.span_seconds == 0.0
+        assert stats.alerts_per_day == 1.0
+
+    def test_groupings(self):
+        alerts = [make_alert("a-1", 0.0), make_alert("a-2", 10.0, region="region-B")]
+        alerts[0].state = AlertState.CLEARED_AUTO
+        stats = compute_trace_stats(alerts)
+        assert stats.n_regions == 2
+        assert stats.by_severity[Severity.MINOR] == 2
+        assert stats.by_state[AlertState.CLEARED_AUTO] == 1
+        assert stats.by_channel["log"] == 2
+
+    def test_render_mentions_volume(self):
+        stats = compute_trace_stats([make_alert("a-1", 0.0)])
+        assert "alerts: 1" in stats.render()
+
+    def test_trace_level(self, default_trace):
+        stats = compute_trace_stats(default_trace.alerts)
+        assert stats.n_alerts == len(default_trace)
+        assert stats.n_regions == 3
+        assert stats.n_strategies <= len(default_trace.strategies)

@@ -1,0 +1,40 @@
+"""Tests for finding records and detector thresholds."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.antipatterns.base import AntiPatternFinding, DetectorThresholds
+
+
+class TestFinding:
+    def test_valid(self):
+        finding = AntiPatternFinding("A1", "strategy-1", 0.8, "vague title")
+        assert finding.pattern == "A1"
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            AntiPatternFinding("A9", "s", 0.5, "e")
+
+    def test_score_bounds(self):
+        with pytest.raises(ValidationError):
+            AntiPatternFinding("A1", "s", 1.5, "e")
+
+    def test_empty_subject_rejected(self):
+        with pytest.raises(ValidationError):
+            AntiPatternFinding("A1", "", 0.5, "e")
+
+
+class TestThresholds:
+    def test_paper_defaults(self):
+        thresholds = DetectorThresholds()
+        # 10-minute intermittent interruption threshold, oscillation 5.
+        assert thresholds.intermittent_threshold == 600.0
+        assert thresholds.oscillation_threshold == 5
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            DetectorThresholds(transient_fraction=1.5)
+
+    def test_invalid_positive_rejected(self):
+        with pytest.raises(ValidationError):
+            DetectorThresholds(repeat_window=0.0)

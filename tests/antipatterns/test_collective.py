@@ -1,0 +1,139 @@
+"""Tests for the A5/A6 collective detectors."""
+
+import pytest
+
+from repro.alerting.alert import Alert, Severity
+from repro.core.antipatterns.collective import (
+    CascadingAlertsDetector,
+    RepeatingAlertsDetector,
+    infer_cascade_root,
+)
+from repro.topology.graph import DependencyGraph
+
+
+def make_alert(alert_id, occurred_at, strategy_id="s-1", micro="m-a",
+               service="svc-a", region="region-A"):
+    return Alert(
+        alert_id=alert_id, strategy_id=strategy_id, strategy_name=strategy_id,
+        title="t", description="d", severity=Severity.MINOR, service=service,
+        microservice=micro, region=region, datacenter="dc", channel="metric",
+        occurred_at=occurred_at,
+    )
+
+
+@pytest.fixture()
+def chain_graph():
+    graph = DependencyGraph()
+    for name in ("top", "mid", "root", "stray"):
+        graph.add_microservice(name)
+    graph.add_dependency("top", "mid")
+    graph.add_dependency("mid", "root")
+    return graph
+
+
+class TestRepeatingInGroup:
+    def test_dominant_strategy_flagged(self):
+        alerts = [make_alert(f"a-{i}", i * 60.0) for i in range(30)]
+        alerts += [make_alert(f"b-{i}", i * 60.0, strategy_id="s-2") for i in range(3)]
+        findings = RepeatingAlertsDetector().detect_in_group(alerts, "g")
+        flagged = {f.subject for f in findings}
+        assert "s-1" in flagged
+        assert "s-2" not in flagged
+
+    def test_share_threshold(self):
+        # 5 alerts out of 20 = 25% share exceeds the 20% threshold even
+        # below the absolute count threshold.
+        alerts = [make_alert(f"a-{i}", i * 60.0) for i in range(5)]
+        alerts += [make_alert(f"b-{i}", i * 60.0, strategy_id=f"s-{i+10}")
+                   for i in range(15)]
+        findings = RepeatingAlertsDetector().detect_in_group(alerts, "g")
+        assert "s-1" in {f.subject for f in findings}
+
+    def test_empty_group(self):
+        assert RepeatingAlertsDetector().detect_in_group([], "g") == []
+
+
+class TestRepeatingChronic:
+    def test_episodes_counted_disjointly(self):
+        from repro.workload.trace import AlertTrace
+
+        trace = AlertTrace()
+        # Three separated episodes of 10 alerts each, 5 minutes apart.
+        alerts = []
+        for episode in range(3):
+            base = episode * 100_000.0
+            alerts += [make_alert(f"a-{episode}-{i}", base + i * 300.0)
+                       for i in range(10)]
+        trace.extend_alerts(alerts)
+        findings = RepeatingAlertsDetector().detect(trace)
+        assert len(findings) == 1
+        assert findings[0].details["episodes"] == 3
+
+    def test_two_episodes_not_flagged(self):
+        from repro.workload.trace import AlertTrace
+
+        trace = AlertTrace()
+        alerts = []
+        for episode in range(2):
+            base = episode * 100_000.0
+            alerts += [make_alert(f"a-{episode}-{i}", base + i * 300.0)
+                       for i in range(10)]
+        trace.extend_alerts(alerts)
+        assert RepeatingAlertsDetector().detect(trace) == []
+
+
+class TestCascadeRoot:
+    def test_root_inferred_from_chain(self, chain_graph):
+        earliest = {"root": 100.0, "mid": 200.0, "top": 300.0}
+        root, coverage = infer_cascade_root(earliest, chain_graph, max_hops=4)
+        assert root == "root"
+        assert coverage == 1.0
+
+    def test_late_deep_dependency_not_preferred(self, chain_graph):
+        # root alerts *after* its dependents: causal coverage collapses.
+        earliest = {"root": 900.0, "mid": 200.0, "top": 300.0}
+        root, _ = infer_cascade_root(earliest, chain_graph, max_hops=4)
+        assert root == "mid"
+
+    def test_single_member_returns_none(self, chain_graph):
+        assert infer_cascade_root({"root": 1.0}, chain_graph, 4) is None
+
+    def test_unknown_members_ignored(self, chain_graph):
+        earliest = {"root": 100.0, "mid": 200.0, "ghost": 50.0}
+        root, _ = infer_cascade_root(earliest, chain_graph, max_hops=4)
+        assert root == "root"
+
+
+class TestCascadingDetector:
+    def _group(self):
+        return [
+            make_alert("a-1", 100.0, strategy_id="s-root", micro="root", service="svc-c"),
+            make_alert("a-2", 200.0, strategy_id="s-mid", micro="mid", service="svc-b"),
+            make_alert("a-3", 300.0, strategy_id="s-top", micro="top", service="svc-a"),
+        ]
+
+    def test_cascade_detected(self, chain_graph):
+        detector = CascadingAlertsDetector(chain_graph)
+        verdict = detector.detect_in_group(self._group(), "g")
+        assert verdict is not None
+        assert verdict.root_microservice == "root"
+        assert verdict.finding.pattern == "A6"
+        assert verdict.involved_services == 3
+
+    def test_unrelated_alerts_not_cascading(self, chain_graph):
+        alerts = [
+            make_alert("a-1", 100.0, micro="stray", service="svc-a"),
+            make_alert("a-2", 110.0, micro="root", service="svc-b"),
+            make_alert("a-3", 120.0, micro="stray", service="svc-c"),
+        ]
+        detector = CascadingAlertsDetector(chain_graph)
+        verdict = detector.detect_in_group(alerts, "g")
+        # stray has no dependency path to root: coverage below threshold.
+        assert verdict is None or verdict.coverage < 0.7
+
+    def test_too_few_services_rejected(self, chain_graph):
+        alerts = [
+            make_alert("a-1", 100.0, micro="root", service="svc-a"),
+            make_alert("a-2", 200.0, micro="mid", service="svc-a"),
+        ]
+        assert CascadingAlertsDetector(chain_graph).detect_in_group(alerts, "g") is None

@@ -1,0 +1,86 @@
+"""Regression tests: flood hours must not poison strategy-level detectors.
+
+During a storm every strategy of an affected component fires in bursts.
+A naive chronic-repeat detector would flag storm *participants* as A5 and
+R1 would then block incident signal — the exact failure mode these tests
+pin down.
+"""
+
+import pytest
+
+from repro.core.antipatterns.base import storm_hour_keys
+from repro.core.antipatterns.collective import RepeatingAlertsDetector
+from repro.core.mitigation.blocking import AlertBlocker
+from repro.core.antipatterns.individual import TransientTogglingDetector
+from repro.workload.trace import AlertTrace
+from tests.antipatterns.test_collective import make_alert
+
+
+def storm_participation_trace():
+    """One strategy that is quiet except during three 200-alert floods."""
+    trace = AlertTrace()
+    alerts = []
+    counter = 0
+    for storm_index in range(3):
+        base = storm_index * 500_000.0
+        # The flood: 200 alerts from *other* strategies in one hour ...
+        for i in range(200):
+            alerts.append(make_alert(
+                f"flood-{counter}", base + i * 15.0,
+                strategy_id=f"s-other-{i % 40}",
+            ))
+            counter += 1
+        # ... plus our participant firing 10 times in the same hour.
+        for i in range(10):
+            alerts.append(make_alert(
+                f"victim-{counter}", base + i * 300.0, strategy_id="s-victim",
+            ))
+            counter += 1
+    trace.extend_alerts(alerts)
+    return trace
+
+
+class TestStormHourKeys:
+    def test_flood_hours_found(self):
+        trace = storm_participation_trace()
+        keys = storm_hour_keys(trace)
+        assert len(keys) == 3
+
+    def test_threshold_respected(self):
+        trace = storm_participation_trace()
+        assert storm_hour_keys(trace, threshold=10_000) == set()
+
+
+class TestChronicRepeatVsStormParticipation:
+    def test_storm_participant_not_flagged_chronically(self):
+        trace = storm_participation_trace()
+        findings = RepeatingAlertsDetector().detect(trace)
+        assert "s-victim" not in {f.subject for f in findings}
+
+    def test_exclusion_can_be_disabled(self):
+        trace = storm_participation_trace()
+        findings = RepeatingAlertsDetector().detect(trace, exclude_flood_hours=False)
+        assert "s-victim" in {f.subject for f in findings}
+
+    def test_true_chronic_repeater_still_flagged(self):
+        trace = storm_participation_trace()
+        # A genuine repeater: three quiet-hour episodes of 10 alerts.
+        alerts = []
+        for episode in range(3):
+            base = 100_000.0 + episode * 50_000.0
+            alerts += [make_alert(f"rep-{episode}-{i}", base + i * 300.0,
+                                  strategy_id="s-chronic") for i in range(10)]
+        trace.extend_alerts(alerts)
+        findings = RepeatingAlertsDetector().detect(trace)
+        assert "s-chronic" in {f.subject for f in findings}
+
+
+class TestBlockingPreservesIncidentSignal:
+    def test_default_trace_preservation(self, default_trace):
+        findings = TransientTogglingDetector().detect(default_trace)
+        findings += RepeatingAlertsDetector().detect(default_trace)
+        blocker = AlertBlocker.from_findings(findings)
+        passed, _ = blocker.apply(default_trace)
+        attributed = [a for a in default_trace.alerts if a.fault_id is not None]
+        surviving = [a for a in passed.alerts if a.fault_id is not None]
+        assert len(surviving) / len(attributed) > 0.6

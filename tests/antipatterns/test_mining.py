@@ -1,0 +1,131 @@
+"""Tests for the §III-A candidate-mining pipeline."""
+
+import pytest
+
+from repro.core.antipatterns.mining import (
+    StormEpisode,
+    collective_candidate_groups,
+    detect_storms,
+    run_mining_pipeline,
+    select_individual_candidates,
+)
+
+
+@pytest.fixture(scope="module")
+def report(default_trace, topology):
+    return run_mining_pipeline(default_trace, topology.graph)
+
+
+class TestIndividualCandidates:
+    def test_top_fraction_size(self, default_trace):
+        candidates, means = select_individual_candidates(default_trace, fraction=0.3)
+        assert len(candidates) == max(int(len(means) * 0.3), 1)
+
+    def test_candidates_are_slowest(self, default_trace):
+        candidates, means = select_individual_candidates(default_trace, fraction=0.3)
+        slowest_excluded = max(
+            (v for k, v in means.items() if k not in candidates), default=0.0
+        )
+        fastest_included = min(means[k] for k in candidates)
+        assert fastest_included >= slowest_excluded
+
+    def test_empty_trace(self):
+        from repro.workload.trace import AlertTrace
+
+        candidates, means = select_individual_candidates(AlertTrace())
+        assert candidates == set() and means == {}
+
+    def test_enrichment_above_base_rate(self, report):
+        # The paper's premise: slow-to-process strategies are where the
+        # anti-patterns hide.
+        assert report.candidate_enrichment > report.population_antipattern_rate * 1.3
+
+
+class TestCollectiveCandidates:
+    def test_groups_above_threshold(self, default_trace):
+        groups = collective_candidate_groups(default_trace, threshold=200)
+        for alerts in groups.values():
+            assert len(alerts) > 200
+
+    def test_threshold_monotonicity(self, default_trace):
+        low = collective_candidate_groups(default_trace, threshold=100)
+        high = collective_candidate_groups(default_trace, threshold=300)
+        assert set(high).issubset(set(low))
+
+
+class TestStorms:
+    def test_consecutive_hours_merged(self):
+        from repro.workload.trace import AlertTrace
+        from tests.antipatterns.test_collective import make_alert
+
+        trace = AlertTrace()
+        alerts = []
+        counter = 0
+        for hour in (5, 6, 7, 20):  # two episodes: 5-7 and 20
+            for i in range(150):
+                alerts.append(make_alert(f"a-{counter}", hour * 3600.0 + i * 20.0))
+                counter += 1
+        trace.extend_alerts(alerts)
+        episodes = detect_storms(trace, threshold=100)
+        assert len(episodes) == 2
+        first, second = episodes
+        assert (first.start_hour, first.end_hour) == (5, 7)
+        assert first.total_alerts == 450
+        assert second.start_hour == second.end_hour == 20
+
+    def test_storm_regions_independent(self):
+        from repro.workload.trace import AlertTrace
+        from tests.antipatterns.test_collective import make_alert
+
+        trace = AlertTrace()
+        alerts = [make_alert(f"a-{i}", 5 * 3600.0 + i, region="region-A")
+                  for i in range(150)]
+        alerts += [make_alert(f"b-{i}", 5 * 3600.0 + i, region="region-B")
+                   for i in range(150)]
+        trace.extend_alerts(alerts)
+        episodes = detect_storms(trace, threshold=100)
+        assert len(episodes) == 2
+        assert {e.region for e in episodes} == {"region-A", "region-B"}
+
+    def test_paper_frequency_band(self, report):
+        # "alert storms occur weekly or even daily"
+        assert 0.5 <= report.storms_per_week <= 10.0
+
+    def test_episode_validation(self):
+        with pytest.raises(Exception):
+            StormEpisode("r", start_hour=5, end_hour=3, total_alerts=10)
+
+    def test_episode_window(self):
+        episode = StormEpisode("r", 5, 7, 450)
+        assert episode.n_hours == 3
+        assert episode.window.start == 5 * 3600.0
+        assert episode.window.end == 8 * 3600.0
+
+
+class TestFullPipeline:
+    def test_all_six_patterns_found(self, report):
+        found = set(report.individual_patterns_found) | set(
+            report.collective_patterns_found
+        )
+        assert found == {"A1", "A2", "A3", "A4", "A5", "A6"}
+
+    def test_cascade_findings_carry_roots(self, report):
+        assert report.cascade_findings
+        for cascade in report.cascade_findings:
+            assert cascade.root_microservice
+            assert 0.0 <= cascade.coverage <= 1.0
+
+    def test_detector_quality_floor(self, report):
+        for pattern in ("A1", "A3", "A4"):
+            assert report.full_scores[pattern]["precision"] >= 0.8, pattern
+
+    def test_render_contains_sections(self, report):
+        text = report.render()
+        assert "individual candidates" in text
+        assert "storms" in text
+        assert "detector quality" in text
+
+    def test_candidate_findings_subset_of_full(self, report):
+        for pattern, findings in report.individual_findings.items():
+            full_subjects = {f.subject for f in report.full_findings[pattern]}
+            assert all(f.subject in full_subjects for f in findings)

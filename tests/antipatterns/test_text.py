@@ -1,0 +1,59 @@
+"""Tests for title-clarity scoring (A1 input)."""
+
+import numpy as np
+import pytest
+
+from repro.alerting.titles import make_description, make_title
+from repro.core.antipatterns.text import TitleQualityScorer
+
+
+@pytest.fixture()
+def scorer():
+    return TitleQualityScorer()
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize("title", [
+        "Elastic Computing Service is abnormal",
+        "Instance x is abnormal",
+        "Component y encounters exceptions",
+        "Computing cluster has risks",
+    ])
+    def test_paper_vague_titles_flagged(self, scorer, title):
+        assert scorer.is_unclear(title)
+
+    @pytest.mark.parametrize("title", [
+        "block-storage-api-00: failed to allocate new blocks, disk full",
+        "database-api-01: failed to commit changes to backend storage",
+        "nginx instance CPU usage continuously over 80%",
+    ])
+    def test_informative_titles_pass(self, scorer, title):
+        assert not scorer.is_unclear(title)
+
+
+class TestAgainstSynthesiser:
+    def test_separates_generated_titles(self, scorer):
+        rng = np.random.default_rng(0)
+        for manifestation in ("disk_full", "cpu_overload", "commit_failure"):
+            clear_title = make_title("database", "database-api-00", manifestation,
+                                     0.9, rng)
+            clear_description = make_description("database-api-00", manifestation,
+                                                 0.9, rng)
+            vague_title = make_title("database", "database-api-00", manifestation,
+                                     0.1, rng)
+            vague_description = make_description("database-api-00", manifestation,
+                                                 0.1, rng)
+            clear_score = scorer.clarity(clear_title, clear_description)
+            vague_score = scorer.clarity(vague_title, vague_description)
+            assert clear_score > 0.5 > vague_score
+
+    def test_clarity_in_unit_range(self, scorer):
+        rng = np.random.default_rng(1)
+        for clarity_knob in (0.0, 0.3, 0.7, 1.0):
+            title = make_title("s", "component-api-00", "disk_full", clarity_knob, rng)
+            value = scorer.clarity(title)
+            assert 0.0 <= value <= 1.0
+
+    def test_component_alone_is_not_enough(self, scorer):
+        # Naming the component without a manifestation stays unclear.
+        assert scorer.is_unclear("Instance block-storage-api-10 is abnormal")

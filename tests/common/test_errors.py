@@ -1,0 +1,23 @@
+"""Tests for the exception hierarchy."""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ValidationError, ConfigurationError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_catchable_at_base(self):
+        try:
+            raise ValidationError("boom")
+        except ReproError as error:
+            assert "boom" in str(error)

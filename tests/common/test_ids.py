@@ -1,0 +1,54 @@
+"""Tests for sequential id factories."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.ids import IdFactory
+
+
+class TestIdFactory:
+    def test_sequence(self):
+        factory = IdFactory("alert")
+        assert factory.next() == "alert-000000"
+        assert factory.next() == "alert-000001"
+
+    def test_width(self):
+        factory = IdFactory("x", width=3)
+        assert factory.next() == "x-000"
+
+    def test_custom_start(self):
+        factory = IdFactory("x", start=7)
+        assert factory.next() == "x-000007"
+
+    def test_peek_does_not_consume(self):
+        factory = IdFactory("x")
+        assert factory.peek() == "x-000000"
+        assert factory.next() == "x-000000"
+
+    def test_count(self):
+        factory = IdFactory("x")
+        factory.next()
+        factory.next()
+        assert factory.count == 2
+
+    def test_reset(self):
+        factory = IdFactory("x")
+        factory.next()
+        factory.reset()
+        assert factory.next() == "x-000000"
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValidationError):
+            IdFactory("")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValidationError):
+            IdFactory("x", width=0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValidationError):
+            IdFactory("x", start=-1)
+
+    def test_counter_overflow_widens(self):
+        factory = IdFactory("x", width=2, start=100)
+        assert factory.next() == "x-100"

@@ -1,0 +1,69 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import derive_rng, derive_seed, spawn_children
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "topology") == derive_seed(42, "topology")
+
+    def test_name_separates_streams(self):
+        assert derive_seed(42, "topology") != derive_seed(42, "faults")
+
+    def test_seed_separates_streams(self):
+        assert derive_seed(1, "topology") != derive_seed(2, "topology")
+
+    def test_result_in_63_bit_range(self):
+        for name in ("a", "b", "a-very-long-stream-name/with/segments"):
+            seed = derive_seed(123456789, name)
+            assert 0 <= seed < 2**63
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            derive_seed(42, "")
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(ValidationError):
+            derive_seed("42", "topology")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        assert derive_seed(np.int64(42), "x") == derive_seed(42, "x")
+
+
+class TestDeriveRng:
+    def test_same_name_same_draws(self):
+        a = derive_rng(42, "s").random(5)
+        b = derive_rng(42, "s").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_different_draws(self):
+        a = derive_rng(42, "s1").random(5)
+        b = derive_rng(42, "s2").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_does_not_matter(self):
+        first = derive_rng(42, "alpha")
+        _ = derive_rng(42, "beta")
+        second = derive_rng(42, "alpha")
+        assert np.array_equal(first.random(3), second.random(3))
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(42, "pool", 5)) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_children(42, "pool", 3)
+        draws = [rng.random() for rng in children]
+        assert len(set(draws)) == 3
+
+    def test_zero_count(self):
+        assert spawn_children(42, "pool", 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_children(42, "pool", -1)

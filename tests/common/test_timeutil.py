@@ -1,0 +1,105 @@
+"""Tests for simulated time utilities."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    TimeWindow,
+    format_timestamp,
+    hour_bucket,
+    iter_buckets,
+    to_datetime,
+)
+
+
+class TestConstants:
+    def test_ordering(self):
+        assert MINUTE == 60 * 1.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+
+
+class TestConversion:
+    def test_origin_renders_as_2020(self):
+        assert format_timestamp(0.0) == "2020/01/01 00:00"
+
+    def test_paper_style_format(self):
+        # One day plus 6:36 into the simulation.
+        stamp = format_timestamp(DAY + 6 * HOUR + 36 * MINUTE)
+        assert stamp == "2020/01/02 06:36"
+
+    def test_to_datetime_is_utc(self):
+        assert to_datetime(0.0).tzinfo is not None
+
+
+class TestHourBucket:
+    def test_zero(self):
+        assert hour_bucket(0.0) == 0
+
+    def test_boundary_belongs_to_next_bucket(self):
+        assert hour_bucket(HOUR) == 1
+        assert hour_bucket(HOUR - 0.001) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            hour_bucket(-1.0)
+
+
+class TestTimeWindow:
+    def test_duration(self):
+        assert TimeWindow(10.0, 70.0).duration == 60.0
+
+    def test_contains_half_open(self):
+        window = TimeWindow(10.0, 20.0)
+        assert window.contains(10.0)
+        assert window.contains(19.999)
+        assert not window.contains(20.0)
+
+    def test_empty_window_allowed(self):
+        assert TimeWindow(5.0, 5.0).duration == 0.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeWindow(10.0, 9.0)
+
+    def test_overlaps(self):
+        assert TimeWindow(0, 10).overlaps(TimeWindow(5, 15))
+        assert not TimeWindow(0, 10).overlaps(TimeWindow(10, 20))
+
+    def test_shift(self):
+        shifted = TimeWindow(0, 10).shift(100)
+        assert (shifted.start, shifted.end) == (100, 110)
+
+    def test_hour_constructor(self):
+        window = TimeWindow.hour(3)
+        assert window.start == 3 * HOUR
+        assert window.end == 4 * HOUR
+
+    def test_hour_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeWindow.hour(-1)
+
+
+class TestIterBuckets:
+    def test_exact_division(self):
+        buckets = list(iter_buckets(TimeWindow(0, 30), 10))
+        assert len(buckets) == 3
+        assert buckets[0].start == 0 and buckets[-1].end == 30
+
+    def test_final_bucket_truncated(self):
+        buckets = list(iter_buckets(TimeWindow(0, 25), 10))
+        assert buckets[-1].duration == 5
+
+    def test_union_covers_window(self):
+        buckets = list(iter_buckets(TimeWindow(3, 47), 7))
+        assert buckets[0].start == 3
+        assert buckets[-1].end == 47
+        for left, right in zip(buckets, buckets[1:]):
+            assert left.end == right.start
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValidationError):
+            list(iter_buckets(TimeWindow(0, 10), 0))

@@ -1,0 +1,63 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.validation import (
+    require_fraction,
+    require_in,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestRequirePositive:
+    def test_passes_through(self):
+        assert require_positive(1.5, "x") == 1.5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError, match="x"):
+            require_positive(0, "x")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            require_positive(-1, "x")
+
+
+class TestRequireNonNegative:
+    def test_zero_allowed(self):
+        assert require_non_negative(0, "x") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_bounds_inclusive(self, value):
+        assert require_fraction(value, "x") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_out_of_range_rejected(self, value):
+        with pytest.raises(ValidationError):
+            require_fraction(value, "x")
+
+
+class TestRequireNonEmpty:
+    def test_list(self):
+        assert require_non_empty([1], "x") == [1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            require_non_empty([], "x")
+
+
+class TestRequireIn:
+    def test_member(self):
+        assert require_in("a", ("a", "b"), "x") == "a"
+
+    def test_non_member_rejected(self):
+        with pytest.raises(ValidationError):
+            require_in("c", ("a", "b"), "x")

@@ -1,0 +1,41 @@
+"""Tests for the EWMA control-chart detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.ewma import EwmaDetector
+
+
+class TestDetection:
+    def test_level_shift_flagged(self):
+        rng = np.random.default_rng(1)
+        values = np.concatenate([10 + rng.normal(0, 0.5, 50), [40.0]])
+        times = np.arange(len(values)) * 60.0
+        assert EwmaDetector(alpha=0.2, k=4.0).detect(times, values)[-1]
+
+    def test_sustained_shift_keeps_firing(self):
+        rng = np.random.default_rng(2)
+        values = np.concatenate([10 + rng.normal(0, 0.5, 50), np.full(10, 40.0)])
+        times = np.arange(len(values)) * 60.0
+        flags = EwmaDetector(alpha=0.2, k=4.0).detect(times, values)
+        assert flags[-10:].all()
+
+    def test_slow_drift_absorbed(self):
+        values = np.linspace(10, 12, 100)
+        times = np.arange(100) * 60.0
+        flags = EwmaDetector(alpha=0.3, k=5.0).detect(times, values)
+        assert not flags.any()
+
+    def test_empty_series(self):
+        detector = EwmaDetector()
+        assert detector.detect(np.empty(0), np.empty(0)).size == 0
+
+    def test_single_point_not_flagged(self):
+        detector = EwmaDetector()
+        assert not detector.detect(np.array([0.0]), np.array([5.0])).any()
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=1.5)

@@ -1,0 +1,48 @@
+"""Tests for the k-sigma detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.ksigma import KSigmaDetector
+
+
+def _flat_with_spike(n=60, spike_at=-1, spike=50.0, base=10.0, noise=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    values = base + rng.normal(0, noise, n)
+    values[spike_at] += spike
+    return np.arange(n) * 60.0, values
+
+
+class TestDetection:
+    def test_spike_flagged(self):
+        times, values = _flat_with_spike()
+        detector = KSigmaDetector(k=3.0)
+        assert detector.latest_is_anomalous(times, values)
+
+    def test_quiet_series_unflagged(self):
+        times, values = _flat_with_spike(spike=0.0)
+        detector = KSigmaDetector(k=3.0)
+        assert not detector.detect(times, values)[-1]
+
+    def test_short_series_never_flags(self):
+        detector = KSigmaDetector(k=3.0, min_baseline_points=10)
+        times = np.arange(5) * 60.0
+        values = np.array([0, 0, 0, 0, 1000.0])
+        assert not detector.detect(times, values).any()
+
+    def test_constant_baseline_handled(self):
+        detector = KSigmaDetector(k=3.0)
+        times = np.arange(30) * 60.0
+        values = np.full(30, 10.0)
+        values[-1] = 100.0
+        assert detector.detect(times, values)[-1]
+
+    def test_k_controls_sensitivity(self):
+        times, values = _flat_with_spike(spike=2.5)
+        loose = KSigmaDetector(k=8.0).detect(times, values)[-1]
+        tight = KSigmaDetector(k=2.0).detect(times, values)[-1]
+        assert tight and not loose
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(Exception):
+            KSigmaDetector(k=0.0)

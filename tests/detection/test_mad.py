@@ -1,0 +1,42 @@
+"""Tests for the MAD (robust z-score) detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.mad import MadDetector
+
+
+class TestDetection:
+    def test_outlier_flagged(self):
+        rng = np.random.default_rng(3)
+        values = np.concatenate([20 + rng.normal(0, 1.0, 40), [80.0]])
+        times = np.arange(len(values)) * 60.0
+        assert MadDetector(k=5.0).detect(times, values)[-1]
+
+    def test_robust_to_contamination(self):
+        # A third of the window is already anomalous; the median holds.
+        rng = np.random.default_rng(4)
+        values = np.concatenate([
+            20 + rng.normal(0, 1.0, 30),
+            np.full(15, 80.0),
+        ])
+        times = np.arange(len(values)) * 60.0
+        flags = MadDetector(k=5.0).detect(times, values)
+        assert flags[-15:].all()
+        assert not flags[:30].any()
+
+    def test_short_series_never_flags(self):
+        detector = MadDetector(min_points=8)
+        times = np.arange(5) * 60.0
+        values = np.array([0, 0, 0, 0, 1000.0])
+        assert not detector.detect(times, values).any()
+
+    def test_constant_series_spike(self):
+        values = np.full(30, 5.0)
+        values[-1] = 50.0
+        times = np.arange(30) * 60.0
+        assert MadDetector(k=5.0).detect(times, values)[-1]
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(Exception):
+            MadDetector(k=-1.0)

@@ -1,0 +1,37 @@
+"""Tests for the rate-of-change detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.rate import RateOfChangeDetector
+
+
+class TestDetection:
+    def test_jump_flagged(self):
+        times = np.array([0.0, 60.0, 120.0])
+        values = np.array([10.0, 11.0, 500.0])
+        flags = RateOfChangeDetector(max_rate=1.0).detect(times, values)
+        assert flags.tolist() == [False, False, True]
+
+    def test_gradual_change_unflagged(self):
+        times = np.arange(10) * 60.0
+        values = np.arange(10) * 5.0  # slope 5/60 < 1.0
+        assert not RateOfChangeDetector(max_rate=1.0).detect(times, values).any()
+
+    def test_drop_also_flagged(self):
+        times = np.array([0.0, 60.0])
+        values = np.array([500.0, 0.0])
+        assert RateOfChangeDetector(max_rate=1.0).detect(times, values)[1]
+
+    def test_irregular_sampling_uses_dt(self):
+        times = np.array([0.0, 3600.0])
+        values = np.array([0.0, 360.0])  # 0.1/s over an hour
+        assert not RateOfChangeDetector(max_rate=1.0).detect(times, values).any()
+
+    def test_single_point(self):
+        detector = RateOfChangeDetector(max_rate=1.0)
+        assert not detector.detect(np.array([0.0]), np.array([5.0])).any()
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(Exception):
+            RateOfChangeDetector(max_rate=0.0)

@@ -1,0 +1,71 @@
+"""Tests for the static threshold detector."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.detection.threshold import StaticThresholdDetector
+
+
+def _series(values):
+    values = np.asarray(values, dtype=float)
+    return np.arange(len(values), dtype=float) * 60.0, values
+
+
+class TestAbove:
+    def test_flags_crossings(self):
+        times, values = _series([10, 20, 95, 15])
+        flags = StaticThresholdDetector(80.0).detect(times, values)
+        assert flags.tolist() == [False, False, True, False]
+
+    def test_exact_threshold_not_flagged(self):
+        times, values = _series([80.0])
+        flags = StaticThresholdDetector(80.0).detect(times, values)
+        assert not flags[0]
+
+
+class TestBelow:
+    def test_flags_drops(self):
+        times, values = _series([100, 5, 100])
+        flags = StaticThresholdDetector(10.0, direction="below").detect(times, values)
+        assert flags.tolist() == [False, True, False]
+
+
+class TestDebounce:
+    def test_min_consecutive_suppresses_spikes(self):
+        times, values = _series([0, 95, 0, 95, 95, 95])
+        detector = StaticThresholdDetector(80.0, min_consecutive=3)
+        flags = detector.detect(times, values)
+        assert flags.tolist() == [False, False, False, False, False, True]
+
+    def test_run_keeps_firing_after_threshold(self):
+        times, values = _series([95] * 5)
+        detector = StaticThresholdDetector(80.0, min_consecutive=3)
+        flags = detector.detect(times, values)
+        assert flags.tolist() == [False, False, True, True, True]
+
+    def test_bad_min_consecutive_rejected(self):
+        with pytest.raises(ValueError):
+            StaticThresholdDetector(80.0, min_consecutive=0)
+
+
+class TestInterface:
+    def test_latest_is_anomalous(self):
+        times, values = _series([10, 95])
+        assert StaticThresholdDetector(80.0).latest_is_anomalous(times, values)
+
+    def test_latest_on_empty_is_false(self):
+        detector = StaticThresholdDetector(80.0)
+        assert not detector.latest_is_anomalous(np.empty(0), np.empty(0))
+
+    def test_mismatched_shapes_rejected(self):
+        detector = StaticThresholdDetector(80.0)
+        with pytest.raises(ValidationError):
+            detector.detect(np.arange(3.0), np.arange(4.0))
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValidationError):
+            StaticThresholdDetector(80.0, direction="sideways")
+
+    def test_describe(self):
+        assert "above" in StaticThresholdDetector(80.0).describe()

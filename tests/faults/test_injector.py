@@ -1,0 +1,113 @@
+"""Tests for the fault injector's telemetry signatures."""
+
+import numpy as np
+import pytest
+
+from repro.common.timeutil import HOUR, MINUTE, TimeWindow
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind
+
+
+@pytest.fixture()
+def injector(hub):
+    return FaultInjector(hub)
+
+
+@pytest.fixture()
+def target(small_topology):
+    return sorted(small_topology.microservices)[0], small_topology.region_names()[0]
+
+
+def window():
+    return TimeWindow(2 * HOUR, 4 * HOUR)
+
+
+class TestSignatures:
+    def test_crash_breaks_probe(self, injector, hub, target):
+        micro, region = target
+        injector.new_fault(FaultKind.CRASH, micro, region, window())
+        assert not hub.probe(micro, region).is_responding(3 * HOUR)
+        assert hub.probe(micro, region).is_responding(5 * HOUR)
+
+    def test_disk_full_saturates_disk(self, injector, hub, target):
+        micro, region = target
+        injector.new_fault(FaultKind.DISK_FULL, micro, region, window())
+        series = hub.metric(micro, region, "disk_util")
+        late = series.sample(np.array([4 * HOUR - 60.0]))[0]
+        before = series.sample(np.array([HOUR]))[0]
+        assert late > before + 40.0
+
+    def test_cpu_overload_pins_cpu_and_latency(self, injector, hub, target):
+        micro, region = target
+        injector.new_fault(FaultKind.CPU_OVERLOAD, micro, region, window())
+        cpu = hub.metric(micro, region, "cpu_util").sample(np.array([3 * HOUR]))[0]
+        assert cpu >= 95.0
+        latency_in = hub.metric(micro, region, "latency_ms").sample(np.array([3 * HOUR]))[0]
+        latency_out = hub.metric(micro, region, "latency_ms").sample(np.array([6 * HOUR]))[0]
+        assert latency_in > latency_out * 1.5
+
+    def test_memory_leak_errors_only_near_end(self, injector, hub, target):
+        micro, region = target
+        injector.new_fault(FaultKind.MEMORY_LEAK, micro, region, window())
+        logs = hub.logs(micro, region)
+        early = logs.error_count(TimeWindow(2 * HOUR, 2 * HOUR + 30 * MINUTE))
+        late = logs.error_count(TimeWindow(4 * HOUR - 20 * MINUTE, 4 * HOUR))
+        assert early <= 2
+        assert late > 20
+
+    def test_error_burst_only_touches_logs(self, injector, hub, target):
+        micro, region = target
+        injector.new_fault(FaultKind.ERROR_BURST, micro, region, window())
+        assert hub.logs(micro, region).error_count(window()) > 100
+        assert hub.probe(micro, region).is_responding(3 * HOUR)
+
+    def test_flapping_creates_spike_train(self, injector, hub, target):
+        micro, region = target
+        injector.new_fault(FaultKind.FLAPPING, micro, region, window())
+        series = hub.metric(micro, region, "cpu_util")
+        times = np.arange(2 * HOUR, 4 * HOUR, 30.0)
+        values = series.sample(times)
+        high = values > 90.0
+        # Spikes present but not sustained — both states occur repeatedly.
+        assert 0.1 < high.mean() < 0.6
+
+    def test_latency_regression(self, injector, hub, target):
+        micro, region = target
+        injector.new_fault(FaultKind.LATENCY_REGRESSION, micro, region, window())
+        latency = hub.metric(micro, region, "latency_ms").sample(np.array([3 * HOUR]))[0]
+        assert latency > 300.0
+
+
+class TestAttribution:
+    def test_fault_at_inside_window(self, injector, target):
+        micro, region = target
+        fault = injector.new_fault(FaultKind.CRASH, micro, region, window())
+        assert injector.fault_at(micro, region, 3 * HOUR) == fault.fault_id
+
+    def test_fault_at_outside_window(self, injector, target):
+        micro, region = target
+        injector.new_fault(FaultKind.CRASH, micro, region, window())
+        assert injector.fault_at(micro, region, 5 * HOUR) is None
+
+    def test_fault_at_prefers_earliest(self, injector, target):
+        micro, region = target
+        first = injector.new_fault(FaultKind.CRASH, micro, region,
+                                   TimeWindow(0, 4 * HOUR))
+        injector.new_fault(FaultKind.ERROR_BURST, micro, region,
+                           TimeWindow(2 * HOUR, 4 * HOUR))
+        assert injector.fault_at(micro, region, 3 * HOUR) == first.fault_id
+
+    def test_fault_at_other_component(self, injector, target, small_topology):
+        micro, region = target
+        other = sorted(small_topology.microservices)[1]
+        injector.new_fault(FaultKind.CRASH, micro, region, window())
+        assert injector.fault_at(other, region, 3 * HOUR) is None
+
+    def test_parent_links(self, injector, target):
+        micro, region = target
+        parent = injector.new_fault(FaultKind.CRASH, micro, region, window())
+        child = injector.new_fault(FaultKind.ERROR_BURST, micro, region, window(),
+                                   parent=parent)
+        assert child.parent_fault_id == parent.fault_id
+        assert child.root_id() == parent.fault_id
+        assert child.depth == 1

@@ -1,0 +1,47 @@
+"""Tests for fault records."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.faults.models import Fault, FaultKind
+
+
+class TestFaultKind:
+    def test_gray_kinds(self):
+        assert FaultKind.MEMORY_LEAK.is_gray
+        assert FaultKind.CPU_OVERLOAD.is_gray
+        assert not FaultKind.CRASH.is_gray
+        assert not FaultKind.DISK_FULL.is_gray
+
+
+class TestFault:
+    def _fault(self, **overrides):
+        defaults = dict(
+            fault_id="fault-000001",
+            kind=FaultKind.DISK_FULL,
+            microservice="block-storage-api-00",
+            region="region-A",
+            window=TimeWindow(0, HOUR),
+        )
+        defaults.update(overrides)
+        return Fault(**defaults)
+
+    def test_root_fault(self):
+        fault = self._fault()
+        assert fault.is_root
+        assert fault.root_id() == "fault-000001"
+
+    def test_child_fault(self):
+        child = self._fault(fault_id="fault-000002", parent_fault_id="fault-000001",
+                            root_fault_id="fault-000001", depth=1)
+        assert not child.is_root
+        assert child.root_id() == "fault-000001"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValidationError):
+            self._fault(fault_id="")
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValidationError):
+            self._fault(depth=-1)

@@ -1,0 +1,111 @@
+"""Tests for cascade propagation."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind
+from repro.faults.propagation import CascadeConfig, CascadeModel
+from repro.telemetry.store import TelemetryHub
+
+
+@pytest.fixture()
+def setup(small_topology):
+    hub = TelemetryHub(small_topology, seed=11)
+    injector = FaultInjector(hub)
+    return small_topology, hub, injector
+
+
+def most_depended(topology):
+    return max(
+        topology.microservices,
+        key=lambda n: (len(topology.graph.dependents(n)), n),
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CascadeConfig()
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            CascadeConfig(base_probability=1.5)
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValidationError):
+            CascadeConfig(max_depth=0)
+
+
+class TestTrigger:
+    def test_children_are_dependents(self, setup):
+        topology, hub, injector = setup
+        model = CascadeModel(topology, injector, seed=3)
+        root_micro = most_depended(topology)
+        root = injector.new_fault(FaultKind.DISK_FULL, root_micro,
+                                  topology.region_names()[0], TimeWindow(0, 2 * HOUR))
+        children = model.trigger(root)
+        impact = set(topology.graph.upstream_impact(root_micro))
+        for child in children:
+            assert child.microservice in impact
+            assert child.root_id() == root.fault_id
+            assert child.depth >= 1
+
+    def test_children_start_after_root(self, setup):
+        topology, hub, injector = setup
+        model = CascadeModel(topology, injector, seed=3)
+        root = injector.new_fault(FaultKind.DISK_FULL, most_depended(topology),
+                                  topology.region_names()[0], TimeWindow(0, 2 * HOUR))
+        for child in model.trigger(root):
+            assert child.window.start >= root.window.start
+
+    def test_no_duplicate_members(self, setup):
+        topology, hub, injector = setup
+        model = CascadeModel(topology, injector, seed=5)
+        root = injector.new_fault(FaultKind.CRASH, most_depended(topology),
+                                  topology.region_names()[0], TimeWindow(0, 2 * HOUR))
+        children = model.trigger(root)
+        names = [c.microservice for c in children]
+        assert len(names) == len(set(names))
+        assert root.microservice not in names
+
+    def test_zero_probability_no_cascade(self, setup):
+        topology, hub, injector = setup
+        model = CascadeModel(topology, injector,
+                             config=CascadeConfig(base_probability=0.0), seed=3)
+        root = injector.new_fault(FaultKind.CRASH, most_depended(topology),
+                                  topology.region_names()[0], TimeWindow(0, 2 * HOUR))
+        assert model.trigger(root) == []
+
+    def test_leaf_root_no_cascade(self, setup):
+        topology, hub, injector = setup
+        model = CascadeModel(topology, injector, seed=3)
+        leaf = next(
+            name for name in sorted(topology.microservices)
+            if not topology.graph.dependents(name)
+        )
+        root = injector.new_fault(FaultKind.CRASH, leaf,
+                                  topology.region_names()[0], TimeWindow(0, 2 * HOUR))
+        assert model.trigger(root) == []
+
+    def test_depth_bound_respected(self, setup):
+        topology, hub, injector = setup
+        config = CascadeConfig(base_probability=1.0, decay_per_hop=1.0, max_depth=2)
+        model = CascadeModel(topology, injector, config=config, seed=3)
+        root = injector.new_fault(FaultKind.CRASH, most_depended(topology),
+                                  topology.region_names()[0], TimeWindow(0, 2 * HOUR))
+        children = model.trigger(root)
+        assert children
+        assert max(c.depth for c in children) <= 2
+
+    def test_deterministic_per_seed(self, small_topology):
+        def run(seed):
+            hub = TelemetryHub(small_topology, seed=1)
+            injector = FaultInjector(hub)
+            model = CascadeModel(small_topology, injector, seed=seed)
+            root = injector.new_fault(FaultKind.CRASH, most_depended(small_topology),
+                                      small_topology.region_names()[0],
+                                      TimeWindow(0, 2 * HOUR))
+            return [c.microservice for c in model.trigger(root)]
+
+        assert run(9) == run(9)

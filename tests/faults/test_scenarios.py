@@ -1,0 +1,74 @@
+"""Tests for named fault scenarios."""
+
+import pytest
+
+from repro.common.timeutil import HOUR
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind
+from repro.faults.propagation import CascadeModel
+from repro.faults.scenarios import (
+    disk_full_cascade,
+    flapping_metric_scenario,
+    gray_failure_scenario,
+)
+from repro.telemetry.store import TelemetryHub
+
+
+@pytest.fixture()
+def env(topology):
+    hub = TelemetryHub(topology, seed=21)
+    injector = FaultInjector(hub)
+    cascade = CascadeModel(topology, injector, seed=21)
+    return topology, hub, injector, cascade
+
+
+class TestDiskFullCascade:
+    def test_root_on_block_storage(self, env):
+        topology, hub, injector, cascade = env
+        root, children = disk_full_cascade(topology, injector, cascade, start=HOUR)
+        assert root.kind is FaultKind.DISK_FULL
+        assert topology.service_of[root.microservice] == "block-storage"
+
+    def test_cascade_reaches_other_services(self, env):
+        topology, hub, injector, cascade = env
+        root, children = disk_full_cascade(topology, injector, cascade, start=HOUR)
+        services = {topology.service_of[c.microservice] for c in children}
+        assert len(services) >= 2
+
+    def test_table2_shape_storage_then_database(self, env):
+        # Table II: the database fails to commit shortly after the disk
+        # full; the database service must be in the blast radius.
+        topology, hub, injector, cascade = env
+        root, children = disk_full_cascade(topology, injector, cascade, start=HOUR)
+        affected = {topology.service_of[c.microservice] for c in children}
+        assert "database" in affected
+
+
+class TestGrayFailure:
+    def test_root_is_memory_leak(self, env):
+        topology, hub, injector, cascade = env
+        root, children = gray_failure_scenario(topology, injector, cascade, start=HOUR)
+        assert root.kind is FaultKind.MEMORY_LEAK
+
+    def test_children_anchored_to_eruption(self, env):
+        topology, hub, injector, cascade = env
+        root, children = gray_failure_scenario(topology, injector, cascade, start=HOUR)
+        eruption = root.window.start + 0.8 * root.window.duration
+        assert children
+        for child in children:
+            assert child.window.start >= eruption
+
+
+class TestFlapping:
+    def test_fault_kind(self, env):
+        topology, hub, injector, _ = env
+        fault = flapping_metric_scenario(topology, injector, start=HOUR)
+        assert fault.kind is FaultKind.FLAPPING
+        assert topology.service_of[fault.microservice] == "elastic-compute"
+
+    def test_custom_target(self, env):
+        topology, hub, injector, _ = env
+        target = sorted(topology.microservices)[0]
+        fault = flapping_metric_scenario(topology, injector, start=HOUR,
+                                         microservice=target)
+        assert fault.microservice == target

@@ -1,0 +1,130 @@
+"""Tests for guideline linting (§III-D Target/Timing/Presentation)."""
+
+import pytest
+
+from repro.alerting.alert import Severity
+from repro.alerting.rules import LogKeywordRule, MetricRule, ProbeRule
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+from repro.common.errors import ValidationError
+from repro.core.governance import GuidelineChecker, GuidelineViolation
+from repro.detection.threshold import StaticThresholdDetector
+from repro.workload import StrategyFactory
+
+
+@pytest.fixture(scope="module")
+def checker(topology):
+    return GuidelineChecker(topology)
+
+
+def make_strategy(topology, rule, title="database-api-00: request latency above SLO threshold",
+                  description="P99 latency exceeded the SLO threshold."):
+    micro = topology.microservices_of("database")[0]
+    return AlertStrategy(
+        strategy_id="s-x",
+        name="db_latency",
+        service="database",
+        microservice=micro,
+        rule=rule,
+        severity=Severity.MAJOR,
+        true_severity=Severity.MAJOR,
+        title=title,
+        description=description,
+    )
+
+
+class TestTarget:
+    def test_infra_metric_violates(self, checker, topology):
+        rule = MetricRule(metric_name="cpu_util",
+                          detector=StaticThresholdDetector(90.0, min_consecutive=3))
+        violations = checker.check(make_strategy(topology, rule))
+        assert any(v.aspect == "target" for v in violations)
+
+    def test_quality_metric_passes(self, checker, topology):
+        rule = MetricRule(metric_name="latency_ms",
+                          detector=StaticThresholdDetector(200.0, min_consecutive=3))
+        violations = checker.check(make_strategy(topology, rule))
+        assert not any(v.aspect == "target" for v in violations)
+
+
+class TestTiming:
+    def test_undebounced_threshold_violates(self, checker, topology):
+        rule = MetricRule(metric_name="latency_ms",
+                          detector=StaticThresholdDetector(200.0, min_consecutive=1))
+        violations = checker.check(make_strategy(topology, rule))
+        assert any(v.aspect == "timing" for v in violations)
+
+    def test_threshold_inside_normal_band_violates(self, checker, topology):
+        # latency_ms normal peak ~ 45 + 15 + 12 = 72; threshold 60 is inside.
+        rule = MetricRule(metric_name="latency_ms",
+                          detector=StaticThresholdDetector(60.0, min_consecutive=3))
+        violations = checker.check(make_strategy(topology, rule))
+        assert any("normal operating band" in v.message for v in violations)
+
+    def test_hair_trigger_log_rule_violates(self, checker, topology):
+        violations = checker.check(
+            make_strategy(topology, LogKeywordRule(min_count=1))
+        )
+        assert any(v.aspect == "timing" for v in violations)
+
+    def test_hair_trigger_probe_violates(self, checker, topology):
+        violations = checker.check(
+            make_strategy(topology, ProbeRule(no_response_threshold=30.0))
+        )
+        assert any(v.aspect == "timing" for v in violations)
+
+    def test_sane_rules_pass(self, checker, topology):
+        for rule in (
+            LogKeywordRule(min_count=5),
+            ProbeRule(no_response_threshold=120.0),
+            MetricRule(metric_name="latency_ms",
+                       detector=StaticThresholdDetector(200.0, min_consecutive=3)),
+        ):
+            violations = checker.check(make_strategy(topology, rule))
+            assert not any(v.aspect == "timing" for v in violations), rule
+
+
+class TestPresentation:
+    def test_vague_title_violates(self, checker, topology):
+        violations = checker.check(make_strategy(
+            topology, LogKeywordRule(min_count=5),
+            title="Instance x is abnormal", description="State is abnormal.",
+        ))
+        assert any(v.aspect == "presentation" for v in violations)
+
+    def test_informative_title_passes(self, checker, topology):
+        violations = checker.check(make_strategy(topology, LogKeywordRule(min_count=5)))
+        assert not any(v.aspect == "presentation" for v in violations)
+
+
+class TestReview:
+    def test_violations_align_with_injected_antipatterns(self, checker, topology):
+        # Strategies flagged by the static linter should be heavily
+        # enriched in injected A1/A3/A4 — the patterns guidelines prevent.
+        strategies = StrategyFactory(topology, seed=11).build(300)
+        report = checker.review(strategies)
+        flagged = report.non_compliant_strategies()
+        preventable = {
+            s.strategy_id for s in strategies
+            if s.injected_antipatterns() & {"A1", "A3", "A4"}
+        }
+        hits = len(flagged & preventable)
+        assert hits / len(preventable) >= 0.9       # nearly all caught
+        assert hits / len(flagged) >= 0.8           # few spurious flags
+
+    def test_report_rendering(self, checker, topology):
+        strategies = StrategyFactory(topology, seed=11).build(50)
+        report = checker.review(strategies)
+        text = report.render()
+        assert "checked 50 strategies" in text
+        assert "compliant" in text
+
+    def test_compliance_rate_bounds(self, checker, topology):
+        strategies = StrategyFactory(topology, seed=11).build(50)
+        report = checker.review(strategies)
+        assert 0.0 <= report.compliance_rate() <= 1.0
+
+
+class TestViolationRecord:
+    def test_bad_aspect_rejected(self):
+        with pytest.raises(ValidationError):
+            GuidelineViolation(aspect="vibes", strategy_id="s", message="m")

@@ -1,0 +1,74 @@
+"""Tests for the periodic review (Finding 4's mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.governance import GuidelineChecker, PeriodicReview
+from repro.oce.engineer import build_panel
+from repro.oce.processing import ProcessingModel
+from repro.workload import StrategyFactory
+
+
+@pytest.fixture(scope="module")
+def population(topology):
+    return StrategyFactory(topology, seed=13).build(300)
+
+
+class TestStrictReview:
+    def test_full_compliance_fixes_everything(self, topology, population):
+        review = PeriodicReview(topology, compliance=1.0, seed=1)
+        outcome = review.run(population)
+        assert outcome.flagged > 0
+        assert outcome.fixed == outcome.flagged
+        # Re-linting the reviewed population finds (almost) nothing.
+        report = GuidelineChecker(topology).review(outcome.strategies)
+        assert report.compliance_rate() >= 0.99
+
+    def test_fixed_strategies_lose_preventable_antipatterns(self, topology, population):
+        review = PeriodicReview(topology, compliance=1.0, seed=1)
+        outcome = review.run(population)
+        before = sum(
+            1 for s in population if s.injected_antipatterns() & {"A1", "A2", "A3", "A4"}
+        )
+        after = sum(
+            1 for s in outcome.strategies
+            if s.injected_antipatterns() & {"A1", "A3", "A4"}
+        )
+        assert after < before * 0.2
+
+    def test_population_size_preserved(self, topology, population):
+        outcome = PeriodicReview(topology, compliance=1.0, seed=1).run(population)
+        assert len(outcome.strategies) == len(population)
+
+    def test_diagnosis_gets_faster(self, topology, population):
+        """Finding 4: strictly obeyed guidelines make diagnosis easier."""
+        outcome = PeriodicReview(topology, compliance=1.0, seed=1).run(population)
+        model = ProcessingModel(seed=1)
+        senior = build_panel()[0]
+        before = np.mean([model.expected_seconds(s, senior) for s in population])
+        after = np.mean([model.expected_seconds(s, senior)
+                         for s in outcome.strategies])
+        assert after < before * 0.9
+
+
+class TestLaxReview:
+    def test_zero_compliance_changes_nothing(self, topology, population):
+        outcome = PeriodicReview(topology, compliance=0.0, seed=1).run(population)
+        assert outcome.fixed == 0
+        assert outcome.strategies == population
+
+    def test_partial_compliance_partial_fixes(self, topology, population):
+        outcome = PeriodicReview(topology, compliance=0.5, seed=1).run(population)
+        assert 0 < outcome.fixed < outcome.flagged
+        assert outcome.fix_rate == pytest.approx(0.5, abs=0.15)
+
+    def test_compliance_monotone_in_residual_violations(self, topology, population):
+        checker = GuidelineChecker(topology)
+        residuals = []
+        for compliance in (0.0, 0.5, 1.0):
+            outcome = PeriodicReview(topology, compliance=compliance, seed=1).run(
+                population
+            )
+            report = checker.review(outcome.strategies)
+            residuals.append(len(report.non_compliant_strategies()))
+        assert residuals[0] > residuals[1] > residuals[2]

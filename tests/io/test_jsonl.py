@@ -1,0 +1,39 @@
+"""Tests for JSONL helpers."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.io.jsonl import read_jsonl, write_jsonl
+
+
+class TestRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        records = [{"a": 1}, {"b": [1, 2]}, {"c": None}]
+        assert write_jsonl(path, records) == 3
+        assert list(read_jsonl(path)) == records
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_jsonl(path, [])
+        assert list(read_jsonl(path)) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            list(read_jsonl(tmp_path / "nope.jsonl"))
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\nnot-json\n')
+        with pytest.raises(ValidationError, match=":2:"):
+            list(read_jsonl(path))
+
+    def test_keys_sorted_for_stable_diffs(self, tmp_path):
+        path = tmp_path / "sorted.jsonl"
+        write_jsonl(path, [{"b": 1, "a": 2}])
+        assert path.read_text().startswith('{"a": 2, "b": 1}')

@@ -1,0 +1,62 @@
+"""Tests for trace persistence round-trips."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.io.traces import load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def round_tripped(smoke_trace, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("trace")
+    save_trace(smoke_trace, directory)
+    return load_trace(directory)
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, smoke_trace, round_tripped):
+        assert len(round_tripped) == len(smoke_trace)
+        assert len(round_tripped.strategies) == len(smoke_trace.strategies)
+        assert len(round_tripped.faults) == len(smoke_trace.faults)
+        assert len(round_tripped.outcomes) == len(smoke_trace.outcomes)
+
+    def test_alert_fields_preserved(self, smoke_trace, round_tripped):
+        original = smoke_trace.alerts[0]
+        loaded = round_tripped.alerts[0]
+        assert loaded.alert_id == original.alert_id
+        assert loaded.occurred_at == original.occurred_at
+        assert loaded.severity is original.severity
+        assert loaded.state is original.state
+        assert loaded.cleared_at == original.cleared_at
+
+    def test_strategy_fields_preserved(self, smoke_trace, round_tripped):
+        sid = sorted(smoke_trace.strategies)[0]
+        original = smoke_trace.strategies[sid]
+        loaded = round_tripped.strategies[sid]
+        assert loaded.name == original.name
+        assert loaded.severity is original.severity
+        assert loaded.quality == original.quality
+        assert loaded.injected_antipatterns() == original.injected_antipatterns()
+        assert type(loaded.rule) is type(original.rule)
+
+    def test_fault_windows_preserved(self, smoke_trace, round_tripped):
+        if not smoke_trace.faults:
+            pytest.skip("no faults in smoke trace")
+        original = smoke_trace.faults[0]
+        loaded = round_tripped.faults[0]
+        assert loaded.window == original.window
+        assert loaded.kind is original.kind
+
+    def test_meta_preserved(self, smoke_trace, round_tripped):
+        assert round_tripped.seed == smoke_trace.seed
+        assert round_tripped.label == smoke_trace.label
+
+    def test_analyses_work_on_loaded_trace(self, round_tripped, topology):
+        from repro.core.antipatterns import run_mining_pipeline
+
+        report = run_mining_pipeline(round_tripped, topology.graph)
+        assert report.mean_processing
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_trace(tmp_path / "ghost")

@@ -1,0 +1,85 @@
+"""Tests for R2 alert aggregation."""
+
+import pytest
+
+from repro.alerting.alert import Severity
+from repro.common.errors import ValidationError
+from repro.core.mitigation.aggregation import AlertAggregator
+from tests.antipatterns.test_collective import make_alert
+
+
+class TestAggregation:
+    def test_session_grouping(self):
+        # Three alerts within the window, one far away.
+        alerts = [
+            make_alert("a-1", 0.0),
+            make_alert("a-2", 300.0),
+            make_alert("a-3", 600.0),
+            make_alert("a-4", 10_000.0),
+        ]
+        aggregates = AlertAggregator(window_seconds=900.0).aggregate(alerts)
+        assert len(aggregates) == 2
+        assert aggregates[0].count == 3
+        assert aggregates[1].count == 1
+
+    def test_count_preserved(self):
+        alerts = [make_alert(f"a-{i}", i * 100.0) for i in range(50)]
+        aggregates = AlertAggregator(window_seconds=900.0).aggregate(alerts)
+        assert sum(agg.count for agg in aggregates) == 50
+
+    def test_strategies_never_mixed(self):
+        alerts = [
+            make_alert("a-1", 0.0, strategy_id="s-1"),
+            make_alert("a-2", 1.0, strategy_id="s-2"),
+        ]
+        aggregates = AlertAggregator().aggregate(alerts)
+        assert len(aggregates) == 2
+
+    def test_regions_never_mixed(self):
+        alerts = [
+            make_alert("a-1", 0.0, region="region-A"),
+            make_alert("a-2", 1.0, region="region-B"),
+        ]
+        assert len(AlertAggregator().aggregate(alerts)) == 2
+
+    def test_representative_is_most_severe(self):
+        alerts = [make_alert("a-1", 0.0), make_alert("a-2", 10.0)]
+        alerts[1].severity = Severity.CRITICAL
+        aggregate = AlertAggregator().aggregate(alerts)[0]
+        assert aggregate.representative.alert_id == "a-2"
+        assert aggregate.severity is Severity.CRITICAL
+
+    def test_window_covers_members(self):
+        alerts = [make_alert("a-1", 100.0), make_alert("a-2", 400.0)]
+        aggregate = AlertAggregator().aggregate(alerts)[0]
+        assert aggregate.window.start == 100.0
+        assert aggregate.window.contains(400.0)
+
+    def test_alert_ids_recorded(self):
+        alerts = [make_alert("a-1", 0.0), make_alert("a-2", 10.0)]
+        aggregate = AlertAggregator().aggregate(alerts)[0]
+        assert aggregate.alert_ids == ("a-1", "a-2")
+
+    def test_compression_ratio(self):
+        alerts = [make_alert(f"a-{i}", i * 10.0) for i in range(100)]
+        ratio = AlertAggregator(window_seconds=900.0).compression_ratio(alerts)
+        assert ratio == pytest.approx(100.0)
+
+    def test_compression_of_empty(self):
+        assert AlertAggregator().compression_ratio([]) == 1.0
+
+    def test_is_group_flag(self):
+        alerts = [make_alert("a-1", 0.0)]
+        assert not AlertAggregator().aggregate(alerts)[0].is_group
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValidationError):
+            AlertAggregator(window_seconds=0.0)
+
+    def test_results_sorted_by_start(self):
+        alerts = [
+            make_alert("a-1", 5000.0, strategy_id="s-2"),
+            make_alert("a-2", 100.0, strategy_id="s-1"),
+        ]
+        aggregates = AlertAggregator().aggregate(alerts)
+        assert aggregates[0].window.start <= aggregates[1].window.start

@@ -1,0 +1,86 @@
+"""Tests for R1 alert blocking."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.antipatterns.base import AntiPatternFinding
+from repro.core.mitigation.blocking import AlertBlocker, BlockingRule
+from repro.workload.trace import AlertTrace
+from tests.antipatterns.test_collective import make_alert
+
+
+@pytest.fixture()
+def trace():
+    trace = AlertTrace()
+    trace.extend_alerts([
+        make_alert("a-1", 100.0, strategy_id="s-noise"),
+        make_alert("a-2", 200.0, strategy_id="s-noise", region="region-B"),
+        make_alert("a-3", 300.0, strategy_id="s-signal"),
+    ])
+    return trace
+
+
+class TestBlockingRule:
+    def test_strategy_scope(self):
+        rule = BlockingRule(strategy_id="s-noise")
+        assert rule.matches(make_alert("x", 0.0, strategy_id="s-noise"))
+        assert not rule.matches(make_alert("x", 0.0, strategy_id="s-other"))
+
+    def test_region_scope(self):
+        rule = BlockingRule(strategy_id="s-noise", region="region-A")
+        assert rule.matches(make_alert("x", 0.0, strategy_id="s-noise"))
+        assert not rule.matches(
+            make_alert("x", 0.0, strategy_id="s-noise", region="region-B")
+        )
+
+    def test_expiry(self):
+        rule = BlockingRule(strategy_id="s-noise", expires_at=1000.0)
+        assert rule.matches(make_alert("x", 500.0, strategy_id="s-noise"))
+        assert not rule.matches(make_alert("x", 1500.0, strategy_id="s-noise"))
+
+    def test_empty_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            BlockingRule(strategy_id="")
+
+
+class TestBlocker:
+    def test_apply_partitions(self, trace):
+        blocker = AlertBlocker([BlockingRule(strategy_id="s-noise")])
+        passed, blocked = blocker.apply(trace)
+        assert len(blocked) == 2
+        assert len(passed) == 1
+        assert passed.alerts[0].strategy_id == "s-signal"
+
+    def test_reduction(self, trace):
+        blocker = AlertBlocker([BlockingRule(strategy_id="s-noise")])
+        assert blocker.reduction(trace) == pytest.approx(2 / 3)
+
+    def test_empty_trace_reduction(self):
+        assert AlertBlocker().reduction(AlertTrace()) == 0.0
+
+    def test_from_findings_noise_patterns_only(self):
+        findings = [
+            AntiPatternFinding("A4", "s-flappy", 0.9, "transient"),
+            AntiPatternFinding("A5", "s-repeaty", 0.9, "repeats"),
+            AntiPatternFinding("A1", "s-vague", 0.9, "vague title"),
+        ]
+        blocker = AlertBlocker.from_findings(findings)
+        blocked_strategies = {rule.strategy_id for rule in blocker.rules}
+        assert blocked_strategies == {"s-flappy", "s-repeaty"}
+
+    def test_from_findings_deduplicates(self):
+        findings = [
+            AntiPatternFinding("A4", "s-1", 0.9, "a"),
+            AntiPatternFinding("A5", "s-1", 0.9, "b"),
+        ]
+        assert len(AlertBlocker.from_findings(findings).rules) == 1
+
+    def test_from_findings_carries_reason(self):
+        findings = [AntiPatternFinding("A4", "s-1", 0.9, "transient share 80%")]
+        rule = AlertBlocker.from_findings(findings).rules[0]
+        assert "A4" in rule.reason
+
+    def test_add_rule(self, trace):
+        blocker = AlertBlocker()
+        blocker.add(BlockingRule(strategy_id="s-signal"))
+        assert blocker.is_blocked(trace.alerts[2])

@@ -1,0 +1,91 @@
+"""Tests for R4 emerging-alert detection."""
+
+import pytest
+
+from repro.alerting.alert import Alert, Severity
+from repro.common.timeutil import HOUR
+from repro.core.mitigation.emerging import EmergingAlertDetector
+
+
+def make_alert(alert_id, occurred_at, strategy_name, title, micro="m-a"):
+    return Alert(
+        alert_id=alert_id, strategy_id=strategy_name, strategy_name=strategy_name,
+        title=title, description=title, severity=Severity.MINOR, service="svc",
+        microservice=micro, region="region-A", datacenter="dc", channel="metric",
+        occurred_at=occurred_at,
+    )
+
+
+def routine_stream(n_hours=10, per_hour=12):
+    """A steady stream of familiar alert text."""
+    alerts = []
+    templates = [
+        ("disk_util_high", "storage node disk usage over threshold"),
+        ("latency_slo", "request latency above slo threshold"),
+        ("error_burst", "error logs burst detected on worker"),
+    ]
+    counter = 0
+    for hour in range(n_hours):
+        for i in range(per_hour):
+            name, title = templates[i % len(templates)]
+            alerts.append(make_alert(f"a-{counter}", hour * HOUR + i * 240.0,
+                                     name, title))
+            counter += 1
+    return alerts
+
+
+class TestEmergingDetection:
+    def test_novel_alert_flagged(self):
+        alerts = routine_stream()
+        novel = make_alert("novel-1", 8 * HOUR + 120.0, "gpu_xid_errors",
+                           "gpu thermal runaway nvlink xid errors detected",
+                           micro="gpu-node-7")
+        alerts.append(novel)
+        detector = EmergingAlertDetector(n_topics=4, warmup_windows=4, seed=1)
+        flagged = detector.run(alerts)
+        assert any(e.alert.alert_id == "novel-1" for e in flagged)
+
+    def test_routine_stream_mostly_quiet(self):
+        detector = EmergingAlertDetector(n_topics=4, warmup_windows=4, seed=1)
+        flagged = detector.run(routine_stream())
+        assert len(flagged) <= 3
+
+    def test_no_flags_during_warmup(self):
+        alerts = routine_stream(n_hours=3)
+        novel = make_alert("novel-1", 2 * HOUR, "weird", "totally novel words here")
+        alerts.append(novel)
+        detector = EmergingAlertDetector(n_topics=4, warmup_windows=6, seed=1)
+        assert detector.run(alerts) == []
+
+    def test_empty_stream(self):
+        assert EmergingAlertDetector().run([]) == []
+
+    def test_novelty_scores_positive_for_flagged(self):
+        alerts = routine_stream()
+        alerts.append(make_alert("novel-1", 8 * HOUR, "gpu_xid",
+                                 "gpu thermal runaway xid nvlink"))
+        detector = EmergingAlertDetector(n_topics=4, warmup_windows=4, seed=1)
+        for emerging in detector.run(alerts):
+            assert emerging.novelty > 0
+
+    def test_document_of_includes_component(self):
+        alert = make_alert("a", 0.0, "strategy_x", "some title", micro="comp-api-01")
+        doc = EmergingAlertDetector.document_of(alert)
+        assert "comp-api-01" in doc
+
+
+class TestLeadTime:
+    def test_lead_time_positive_when_before_eruption(self):
+        alerts = routine_stream()
+        novel = make_alert("novel-1", 8 * HOUR, "leak", "memory leak suspected growing")
+        alerts.append(novel)
+        detector = EmergingAlertDetector(n_topics=4, warmup_windows=4, seed=1)
+        flagged = detector.run(alerts)
+        if not flagged:
+            pytest.skip("nothing flagged under this seed")
+        lead = detector.lead_time(flagged, eruption_start=9.5 * HOUR)
+        assert lead is not None and lead > 0
+
+    def test_lead_time_none_without_early_flags(self):
+        detector = EmergingAlertDetector()
+        assert detector.lead_time([], eruption_start=100.0) is None

@@ -1,0 +1,65 @@
+"""Tests for the composed mitigation pipeline."""
+
+import pytest
+
+from repro.core.mitigation.pipeline import MitigationPipeline, evaluate_root_inference
+from repro.core.mitigation.correlation import rulebook_from_ground_truth
+
+
+@pytest.fixture(scope="module")
+def pipeline_report(default_trace, topology):
+    book = rulebook_from_ground_truth(default_trace, coverage=0.6)
+    pipeline = MitigationPipeline(topology.graph, rulebook=book)
+    return pipeline.run(default_trace)
+
+
+class TestVolumeReduction:
+    def test_each_stage_reduces_load(self, pipeline_report):
+        report = pipeline_report
+        assert report.after_blocking < report.input_alerts
+        assert report.after_aggregation < report.after_blocking
+        assert report.after_correlation <= report.after_aggregation
+
+    def test_total_reduction_substantial(self, pipeline_report):
+        # R1+R2+R3 should cut OCE load by at least half on a trace full of
+        # noise strategies and storms.
+        assert pipeline_report.total_reduction > 0.5
+
+    def test_blocked_alerts_are_noise(self, pipeline_report, default_trace):
+        # The blocked volume must be dominated by strategies with injected
+        # noise anti-patterns (A4/A5).
+        blocked = pipeline_report.blocked_alerts
+        assert blocked > 0
+
+    def test_render(self, pipeline_report):
+        text = pipeline_report.render()
+        assert "after R1 blocking" in text
+        assert "OCE-load reduction" in text
+
+
+class TestRootInference:
+    def test_scores_computed(self, pipeline_report, default_trace, topology):
+        scores = evaluate_root_inference(
+            pipeline_report.clusters, default_trace, service_of=topology.service_of
+        )
+        assert scores["clusters_evaluated"] > 0
+
+    def test_achievable_at_least_strict(self, pipeline_report, default_trace):
+        scores = evaluate_root_inference(pipeline_report.clusters, default_trace)
+        assert scores["achievable_hit_rate"] >= scores["hit_rate"] - 1e-9
+
+    def test_empty_clusters(self, default_trace):
+        scores = evaluate_root_inference([], default_trace)
+        assert scores["clusters_evaluated"] == 0
+        assert scores["hit_rate"] == 0.0
+
+
+class TestEmergingStage:
+    def test_disabled_by_default(self, pipeline_report):
+        assert not pipeline_report.emerging_enabled
+        assert pipeline_report.emerging == []
+
+    def test_enabled_runs(self, smoke_trace, topology):
+        pipeline = MitigationPipeline(topology.graph, enable_emerging=True)
+        report = pipeline.run(smoke_trace)
+        assert report.emerging_enabled

@@ -1,0 +1,76 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ml.logistic import LogisticRegression
+
+
+@pytest.fixture()
+def separable():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(500, 4))
+    weights = np.array([3.0, -2.0, 0.5, 0.0])
+    labels = (features @ weights + 0.2 > 0).astype(float)
+    return features, labels
+
+
+class TestFit:
+    def test_learns_separable_data(self, separable):
+        features, labels = separable
+        model = LogisticRegression().fit(features, labels)
+        assert model.accuracy(features, labels) > 0.95
+
+    def test_probabilities_in_range(self, separable):
+        features, labels = separable
+        model = LogisticRegression().fit(features, labels)
+        probs = model.predict_proba(features)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_single_row_prediction(self, separable):
+        features, labels = separable
+        model = LogisticRegression().fit(features, labels)
+        assert model.predict_proba(features[0]).shape == (1,)
+
+    def test_l2_shrinks_weights(self, separable):
+        features, labels = separable
+        light = LogisticRegression(l2=1e-4).fit(features, labels)
+        heavy = LogisticRegression(l2=0.5).fit(features, labels)
+        assert np.abs(heavy.weights).sum() < np.abs(light.weights).sum()
+
+    def test_constant_feature_tolerated(self):
+        features = np.ones((50, 2))
+        features[:, 1] = np.arange(50)
+        labels = (features[:, 1] > 25).astype(float)
+        model = LogisticRegression().fit(features, labels)
+        assert model.accuracy(features, labels) > 0.9
+
+
+class TestValidation:
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_label_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.array([0.0, 0.5, 1.0]))
+
+    def test_one_d_features_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(np.zeros(5), np.zeros(5))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression(l2=-1.0)
+
+    def test_fitted_flag(self, separable):
+        features, labels = separable
+        model = LogisticRegression()
+        assert not model.fitted
+        model.fit(features, labels)
+        assert model.fitted

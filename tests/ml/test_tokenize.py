@@ -1,0 +1,40 @@
+"""Tests for the tokenizer."""
+
+from repro.ml.tokenize import STOPWORDS, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Disk Full error") == ["disk", "full", "error"]
+
+    def test_component_names_survive(self):
+        tokens = tokenize("block-storage-api-10 failed")
+        assert "block-storage-api-10" in tokens
+
+    def test_underscored_names_survive(self):
+        tokens = tokenize("haproxy_process_number_warning fired")
+        assert "haproxy_process_number_warning" in tokens
+
+    def test_stopwords_removed(self):
+        tokens = tokenize("the disk is full")
+        assert "the" not in tokens
+        assert "is" not in tokens
+
+    def test_stopwords_kept_when_disabled(self):
+        tokens = tokenize("the disk", drop_stopwords=False)
+        assert "the" in tokens
+
+    def test_min_length(self):
+        assert tokenize("a b cd", drop_stopwords=False, min_length=2) == ["cd"]
+
+    def test_case_folding(self):
+        assert tokenize("ERROR Error error") == ["error", "error", "error"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_punctuation_split(self):
+        assert tokenize("failed: timeout, retry!") == ["failed", "timeout", "retry"]
+
+    def test_stopword_set_is_lowercase(self):
+        assert all(word == word.lower() for word in STOPWORDS)

@@ -1,0 +1,69 @@
+"""Tests for the vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ml.vocab import Vocabulary
+
+
+class TestGrowth:
+    def test_add_assigns_sequential_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add("disk") == 0
+        assert vocab.add("full") == 1
+        assert vocab.add("disk") == 0
+        assert len(vocab) == 2
+
+    def test_contains_and_lookup(self):
+        vocab = Vocabulary()
+        vocab.add("disk")
+        assert "disk" in vocab
+        assert vocab.id_of("disk") == 0
+        assert vocab.token_of(0) == "disk"
+        assert vocab.id_of("ghost") is None
+
+    def test_token_of_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Vocabulary().token_of(0)
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(ValidationError):
+            Vocabulary().add("")
+
+
+class TestFreeze:
+    def test_frozen_drops_new_tokens(self):
+        vocab = Vocabulary()
+        vocab.add("known")
+        vocab.freeze()
+        assert vocab.add("new") is None
+        assert len(vocab) == 1
+        assert vocab.add("known") == 0
+
+
+class TestBow:
+    def test_doc_to_bow_counts(self):
+        vocab = Vocabulary()
+        ids, counts = vocab.doc_to_bow(["disk", "full", "disk"])
+        assert ids.tolist() == [0, 1]
+        assert counts.tolist() == [2, 1]
+
+    def test_empty_doc(self):
+        ids, counts = Vocabulary().doc_to_bow([])
+        assert ids.size == 0 and counts.size == 0
+
+    def test_frozen_bow_drops_unknown(self):
+        vocab = Vocabulary()
+        vocab.add("disk")
+        vocab.freeze()
+        ids, counts = vocab.doc_to_bow(["disk", "ghost"])
+        assert ids.tolist() == [0]
+        assert counts.tolist() == [1]
+
+    def test_docs_to_bows(self):
+        vocab = Vocabulary()
+        bows = vocab.docs_to_bows([["a", "b"], ["b", "c"]])
+        assert len(bows) == 2
+        assert len(vocab) == 3
+        assert np.array_equal(bows[1][0], np.array([1, 2]))

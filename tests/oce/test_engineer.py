@@ -1,0 +1,55 @@
+"""Tests for OCE agents and panel composition."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.oce.engineer import ExperienceBand, OnCallEngineer, build_panel
+
+
+class TestExperienceBand:
+    def test_seniors_faster(self):
+        assert ExperienceBand.GT3.skill < ExperienceBand.LT1.skill
+
+    def test_from_value(self):
+        assert ExperienceBand.from_value(">3y") is ExperienceBand.GT3
+
+    def test_from_value_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperienceBand.from_value("10y")
+
+    def test_labels(self):
+        assert ExperienceBand.GT3.label == "more than 3 years"
+
+
+class TestBuildPanel:
+    def test_paper_mix(self):
+        # §III: 10 OCEs >3y, 3 with 2-3y, 2 with 1-2y, 3 with <1y.
+        panel = build_panel()
+        assert len(panel) == 18
+        by_band = {}
+        for oce in panel:
+            by_band[oce.band] = by_band.get(oce.band, 0) + 1
+        assert by_band[ExperienceBand.GT3] == 10
+        assert by_band[ExperienceBand.Y2TO3] == 3
+        assert by_band[ExperienceBand.Y1TO2] == 2
+        assert by_band[ExperienceBand.LT1] == 3
+
+    def test_unique_names(self):
+        panel = build_panel()
+        assert len({oce.name for oce in panel}) == 18
+
+    def test_custom_mix(self):
+        panel = build_panel({">3y": 2, "<1y": 1})
+        assert len(panel) == 3
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValidationError):
+            build_panel({})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            build_panel({">3y": -1})
+
+    def test_engineer_requires_name(self):
+        with pytest.raises(ValidationError):
+            OnCallEngineer(name="", band=ExperienceBand.GT3)

@@ -1,0 +1,118 @@
+"""Tests for the alert-processing time model."""
+
+import pytest
+
+from repro.alerting.alert import Alert, Severity
+from repro.alerting.rules import LogKeywordRule
+from repro.alerting.sop import SOPLibrary
+from repro.alerting.strategy import AlertStrategy, StrategyQuality
+from repro.oce.engineer import ExperienceBand, OnCallEngineer
+from repro.oce.processing import ProcessingModel
+
+
+def make_strategy(quality=None, severity=Severity.MINOR):
+    return AlertStrategy(
+        strategy_id="s-1",
+        name="db_error_logs",
+        service="database",
+        microservice="database-api-00",
+        rule=LogKeywordRule(),
+        severity=severity,
+        true_severity=severity,
+        title="database-api-00: error logs burst detected",
+        description="Errors burst.",
+        quality=quality or StrategyQuality(),
+    )
+
+
+def make_alert(alert_id="alert-1"):
+    return Alert(
+        alert_id=alert_id, strategy_id="s-1", strategy_name="db_error_logs",
+        title="t", description="d", severity=Severity.MINOR, service="database",
+        microservice="database-api-00", region="region-A", datacenter="dc",
+        channel="log", occurred_at=100.0,
+    )
+
+
+SENIOR = OnCallEngineer("senior", ExperienceBand.GT3)
+JUNIOR = OnCallEngineer("junior", ExperienceBand.LT1)
+
+
+class TestExpectedSeconds:
+    def test_seniors_faster(self):
+        model = ProcessingModel(seed=1)
+        strategy = make_strategy()
+        assert model.expected_seconds(strategy, SENIOR) < model.expected_seconds(
+            strategy, JUNIOR
+        )
+
+    def test_unclear_title_slows_diagnosis(self):
+        model = ProcessingModel(seed=1)
+        clean = make_strategy()
+        vague = make_strategy(StrategyQuality(title_clarity=0.0))
+        assert model.expected_seconds(vague, SENIOR) > 2.0 * model.expected_seconds(
+            clean, SENIOR
+        )
+
+    def test_every_quality_knob_increases_time(self):
+        model = ProcessingModel(seed=1)
+        baseline = model.expected_seconds(make_strategy(), SENIOR)
+        for quality in (
+            StrategyQuality(title_clarity=0.1),
+            StrategyQuality(severity_bias=2),
+            StrategyQuality(target_relevance=0.1),
+            StrategyQuality(sensitivity=0.9),
+        ):
+            assert model.expected_seconds(make_strategy(quality), SENIOR) > baseline
+
+    def test_severe_alerts_investigated_longer(self):
+        model = ProcessingModel(seed=1)
+        critical = make_strategy(severity=Severity.CRITICAL)
+        warning = make_strategy(severity=Severity.WARNING)
+        assert model.expected_seconds(critical, SENIOR) > model.expected_seconds(
+            warning, SENIOR
+        )
+
+    def test_actionable_sop_speeds_up(self):
+        library = SOPLibrary()
+        strategy = make_strategy()
+        library.build_default(strategy)
+        with_sop = ProcessingModel(seed=1, sops=library)
+        without = ProcessingModel(seed=1)
+        assert with_sop.expected_seconds(strategy, SENIOR) < without.expected_seconds(
+            strategy, SENIOR
+        )
+
+
+class TestProcess:
+    def test_deterministic_per_alert_and_oce(self):
+        model = ProcessingModel(seed=1)
+        strategy = make_strategy()
+        a = model.process(make_alert(), strategy, SENIOR, 100.0)
+        b = model.process(make_alert(), strategy, SENIOR, 100.0)
+        assert a.processing_seconds == b.processing_seconds
+
+    def test_different_alerts_differ(self):
+        model = ProcessingModel(seed=1)
+        strategy = make_strategy()
+        a = model.process(make_alert("alert-1"), strategy, SENIOR, 100.0)
+        b = model.process(make_alert("alert-2"), strategy, SENIOR, 100.0)
+        assert a.processing_seconds != b.processing_seconds
+
+    def test_outcome_fields(self):
+        model = ProcessingModel(seed=1)
+        outcome = model.process(make_alert(), make_strategy(), SENIOR, 100.0)
+        assert outcome.oce_name == "senior"
+        assert outcome.finished_at == outcome.started_at + outcome.processing_seconds
+        assert outcome.processing_seconds > 0
+
+    def test_noise_is_bounded(self):
+        model = ProcessingModel(seed=1)
+        strategy = make_strategy()
+        expected = model.expected_seconds(strategy, SENIOR)
+        times = [
+            model.process(make_alert(f"alert-{i}"), strategy, SENIOR, 0.0).processing_seconds
+            for i in range(100)
+        ]
+        mean = sum(times) / len(times)
+        assert 0.7 * expected < mean < 1.5 * expected

@@ -1,0 +1,128 @@
+"""Tests for the calibrated survey instrument (Figures 2 and 4)."""
+
+import pytest
+
+from repro.analysis import paper_reference as paper
+from repro.common.errors import ValidationError
+from repro.oce.engineer import ExperienceBand, build_panel
+from repro.oce.survey import (
+    IMPACT_OPTIONS,
+    REACTION_OPTIONS,
+    SOP_OPTIONS,
+    SurveyInstrument,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return SurveyInstrument(seed=42).run()
+
+
+class TestFigure2aCalibration:
+    @pytest.mark.parametrize("pattern", sorted(paper.ANTIPATTERN_IMPACT))
+    def test_counts_match_paper(self, results, pattern):
+        counts = results.counts(f"impact/{pattern}", IMPACT_OPTIONS)
+        assert tuple(counts.values()) == paper.ANTIPATTERN_IMPACT[pattern]
+
+    def test_a1_unanimous_impact(self, results):
+        # "All OCEs agree with the impact of unclear name or description."
+        assert results.agreement_fraction("impact/A1", ("High", "Low")) == 1.0
+
+    def test_a2_agreement_matches_paper_percentage(self, results):
+        assert results.agreement_fraction("impact/A2", ("High", "Low")) == pytest.approx(
+            16 / 18
+        )
+
+    def test_a3_high_share(self, results):
+        # 72.2% of OCEs rate A3 impact high.
+        assert results.agreement_fraction("impact/A3", ("High",)) == pytest.approx(13 / 18)
+
+
+class TestFigure2bCalibration:
+    @pytest.mark.parametrize("question", sorted(paper.SOP_HELPFULNESS))
+    def test_counts_match_paper(self, results, question):
+        counts = results.counts(f"sop/{question}", SOP_OPTIONS)
+        assert tuple(counts.values()) == paper.SOP_HELPFULNESS[question]
+
+    def test_q1_helpful_fraction(self, results):
+        # Only 22.2% find SOPs helpful overall.
+        assert results.agreement_fraction("sop/Q1", ("Helpful",)) == pytest.approx(4 / 18)
+
+
+class TestFigure2cCalibration:
+    @pytest.mark.parametrize("reaction", sorted(paper.REACTION_EFFECTIVENESS))
+    def test_counts_match_paper(self, results, reaction):
+        counts = results.counts(f"reaction/{reaction}", REACTION_OPTIONS)
+        assert tuple(counts.values()) == paper.REACTION_EFFECTIVENESS[reaction]
+
+
+class TestFigure4Crosstab:
+    def test_all_senior_oces_answer_limited(self, results):
+        crosstab = results.crosstab("sop/Q1")
+        senior_row = crosstab[ExperienceBand.GT3]
+        assert senior_row == {"Limited Help": 10}
+
+    def test_senior_share_of_limited(self, results):
+        crosstab = results.crosstab("sop/Q1")
+        limited_total = sum(
+            row.get("Limited Help", 0) for row in crosstab.values()
+        )
+        senior_limited = crosstab[ExperienceBand.GT3]["Limited Help"]
+        assert senior_limited / limited_total == pytest.approx(
+            paper.Q1_LIMITED_GT3_SHARE
+        )
+
+
+class TestInstrumentMechanics:
+    def test_different_seeds_same_counts(self):
+        counts_a = SurveyInstrument(seed=1).run().counts("impact/A1", IMPACT_OPTIONS)
+        counts_b = SurveyInstrument(seed=2).run().counts("impact/A1", IMPACT_OPTIONS)
+        assert counts_a == counts_b
+
+    def test_different_seeds_shuffle_assignment(self):
+        res_a = SurveyInstrument(seed=1).run()
+        res_b = SurveyInstrument(seed=2).run()
+        answers_a = {r.oce_name: r.answer for r in res_a.responses
+                     if r.question_id == "impact/A2"}
+        answers_b = {r.oce_name: r.answer for r in res_b.responses
+                     if r.question_id == "impact/A2"}
+        assert answers_a != answers_b
+
+    def test_custom_targets(self):
+        instrument = SurveyInstrument(
+            seed=1, impact_targets={"A1": (18, 0, 0)},
+            sop_targets={}, reaction_targets={},
+        )
+        counts = instrument.run().counts("impact/A1", IMPACT_OPTIONS)
+        assert counts["High"] == 18
+
+    def test_mismatched_targets_rejected(self):
+        instrument = SurveyInstrument(
+            seed=1, impact_targets={"A1": (5, 5, 5)},
+            sop_targets={}, reaction_targets={},
+        )
+        with pytest.raises(ValidationError):
+            instrument.run()
+
+    def test_infeasible_constraint_rejected(self):
+        # Q1 requires >= 10 Limited seats for the senior constraint.
+        instrument = SurveyInstrument(
+            seed=1, impact_targets={},
+            sop_targets={"Q1": (18, 0, 0)}, reaction_targets={},
+        )
+        with pytest.raises(ValidationError):
+            instrument.run()
+
+    def test_unknown_answer_rejected_in_counts(self, results):
+        with pytest.raises(ValidationError):
+            results.counts("impact/A1", ("Yes", "No", "Maybe"))
+
+    def test_agreement_requires_responses(self, results):
+        with pytest.raises(ValidationError):
+            results.agreement_fraction("impact/A9", ("High",))
+
+    def test_panel_copy_returned(self):
+        panel = build_panel()
+        instrument = SurveyInstrument(panel=panel, seed=1)
+        assert instrument.panel is not panel
+        assert instrument.panel == panel

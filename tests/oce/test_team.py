@@ -1,0 +1,64 @@
+"""Tests for OCE team queueing."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.oce.engineer import ExperienceBand, OnCallEngineer
+from repro.oce.processing import ProcessingModel
+from repro.oce.team import OCETeam
+from tests.oce.test_processing import make_alert, make_strategy
+
+
+@pytest.fixture()
+def team():
+    engineers = [
+        OnCallEngineer("a", ExperienceBand.GT3),
+        OnCallEngineer("b", ExperienceBand.LT1),
+    ]
+    return OCETeam("team-db", engineers, ProcessingModel(seed=2))
+
+
+class TestHandling:
+    def test_assignment_round_robins_when_free(self, team):
+        strategy = make_strategy()
+        first = team.handle(make_alert("alert-1"), strategy, 0.0)
+        second = team.handle(make_alert("alert-2"), strategy, 0.0)
+        assert {first.oce_name, second.oce_name} == {"a", "b"}
+
+    def test_queueing_delay_when_saturated(self, team):
+        strategy = make_strategy()
+        outcomes = [
+            team.handle(make_alert(f"alert-{i}"), strategy, 0.0) for i in range(5)
+        ]
+        # The later alerts must wait for an engineer to free up.
+        assert outcomes[-1].started_at > 0.0
+
+    def test_backlog_accounting(self, team):
+        strategy = make_strategy()
+        assert team.backlog_seconds(0.0) == 0.0
+        team.handle(make_alert(), strategy, 0.0)
+        assert team.backlog_seconds(0.0) > 0.0
+
+    def test_outcomes_recorded(self, team):
+        team.handle(make_alert(), make_strategy(), 0.0)
+        assert len(team.outcomes) == 1
+
+    def test_hourly_capacity_positive(self, team):
+        assert team.hourly_capacity(make_strategy()) > 0.0
+
+    def test_capacity_shrinks_with_bad_quality(self, team):
+        from repro.alerting.strategy import StrategyQuality
+
+        clean = make_strategy()
+        messy = make_strategy(StrategyQuality(title_clarity=0.0))
+        assert team.hourly_capacity(messy) < team.hourly_capacity(clean)
+
+
+class TestValidation:
+    def test_empty_team_rejected(self):
+        with pytest.raises(ValidationError):
+            OCETeam("t", [], ProcessingModel())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            OCETeam("", [OnCallEngineer("a", ExperienceBand.GT3)], ProcessingModel())

@@ -1,0 +1,71 @@
+"""Property-based tests for R1/R2 invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alerting.alert import Alert, Severity
+from repro.core.mitigation.aggregation import AlertAggregator
+from repro.core.mitigation.blocking import AlertBlocker, BlockingRule
+from repro.workload.trace import AlertTrace
+
+
+@st.composite
+def alert_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    alerts = []
+    for i in range(n):
+        strategy = draw(st.sampled_from(["s-1", "s-2", "s-3"]))
+        region = draw(st.sampled_from(["region-A", "region-B"]))
+        t = draw(st.floats(min_value=0, max_value=100_000, allow_nan=False))
+        alerts.append(Alert(
+            alert_id=f"a-{i}", strategy_id=strategy, strategy_name=strategy,
+            title="t", description="d",
+            severity=draw(st.sampled_from(list(Severity))),
+            service="svc", microservice="m", region=region, datacenter="dc",
+            channel="metric", occurred_at=t,
+        ))
+    return alerts
+
+
+class TestAggregationProperties:
+    @given(alert_lists(), st.floats(min_value=1.0, max_value=10_000.0))
+    @settings(max_examples=50)
+    def test_counts_preserved(self, alerts, window):
+        aggregates = AlertAggregator(window).aggregate(alerts)
+        assert sum(agg.count for agg in aggregates) == len(alerts)
+
+    @given(alert_lists(), st.floats(min_value=1.0, max_value=10_000.0))
+    @settings(max_examples=50)
+    def test_alert_ids_partitioned(self, alerts, window):
+        aggregates = AlertAggregator(window).aggregate(alerts)
+        seen = [alert_id for agg in aggregates for alert_id in agg.alert_ids]
+        assert sorted(seen) == sorted(a.alert_id for a in alerts)
+
+    @given(alert_lists(), st.floats(min_value=1.0, max_value=10_000.0))
+    @settings(max_examples=50)
+    def test_groups_homogeneous(self, alerts, window):
+        for agg in AlertAggregator(window).aggregate(alerts):
+            members = [a for a in alerts if a.alert_id in agg.alert_ids]
+            assert {m.strategy_id for m in members} == {agg.strategy_id}
+            assert {m.region for m in members} == {agg.region}
+
+    @given(alert_lists())
+    @settings(max_examples=30)
+    def test_wider_window_never_more_groups(self, alerts):
+        narrow = len(AlertAggregator(60.0).aggregate(alerts))
+        wide = len(AlertAggregator(6000.0).aggregate(alerts))
+        assert wide <= narrow
+
+
+class TestBlockingProperties:
+    @given(alert_lists(), st.sets(st.sampled_from(["s-1", "s-2", "s-3"])))
+    @settings(max_examples=50)
+    def test_partition(self, alerts, blocked_strategies):
+        trace = AlertTrace()
+        trace.extend_alerts(alerts)
+        blocker = AlertBlocker([BlockingRule(s) for s in blocked_strategies])
+        passed, blocked = blocker.apply(trace)
+        assert len(passed) + len(blocked) == len(alerts)
+        for alert in blocked:
+            assert alert.strategy_id in blocked_strategies
+        for alert in passed.alerts:
+            assert alert.strategy_id not in blocked_strategies

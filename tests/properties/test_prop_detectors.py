@@ -1,0 +1,67 @@
+"""Property-based tests for anomaly detector interfaces."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.detection import (
+    EwmaDetector,
+    KSigmaDetector,
+    MadDetector,
+    RateOfChangeDetector,
+    StaticThresholdDetector,
+)
+
+DETECTORS = [
+    StaticThresholdDetector(50.0),
+    StaticThresholdDetector(50.0, direction="below", min_consecutive=2),
+    KSigmaDetector(),
+    EwmaDetector(),
+    MadDetector(),
+    RateOfChangeDetector(max_rate=1.0),
+]
+
+value_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=0, max_value=80),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                       allow_infinity=False),
+)
+
+
+class TestDetectorContracts:
+    @given(value_arrays)
+    @settings(max_examples=40)
+    def test_output_shape_and_dtype(self, values):
+        times = np.arange(values.size, dtype=float) * 60.0
+        for detector in DETECTORS:
+            flags = detector.detect(times, values)
+            assert flags.shape == values.shape
+            assert flags.dtype == bool
+
+    @given(value_arrays)
+    @settings(max_examples=40)
+    def test_detect_is_pure(self, values):
+        times = np.arange(values.size, dtype=float) * 60.0
+        for detector in DETECTORS:
+            first = detector.detect(times, values)
+            second = detector.detect(times, values)
+            assert np.array_equal(first, second)
+
+    @given(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False))
+    @settings(max_examples=40)
+    def test_constant_series_never_anomalous_for_adaptive(self, level):
+        times = np.arange(50, dtype=float) * 60.0
+        values = np.full(50, level)
+        for detector in (KSigmaDetector(), EwmaDetector(), MadDetector(),
+                         RateOfChangeDetector(max_rate=1.0)):
+            assert not detector.detect(times, values).any()
+
+    @given(value_arrays)
+    @settings(max_examples=40)
+    def test_latest_matches_detect_tail(self, values):
+        times = np.arange(values.size, dtype=float) * 60.0
+        for detector in DETECTORS:
+            flags = detector.detect(times, values)
+            expected = bool(flags[-1]) if flags.size else False
+            assert detector.latest_is_anomalous(times, values) == expected

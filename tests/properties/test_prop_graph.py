@@ -1,0 +1,67 @@
+"""Property-based tests for the dependency graph."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.topology.graph import DependencyGraph
+
+
+@st.composite
+def dags(draw):
+    """Random DAGs built by only adding edges from lower to higher index."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    graph = DependencyGraph()
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        graph.add_microservice(name)
+    n_edges = draw(st.integers(min_value=0, max_value=n * 2))
+    for _ in range(n_edges):
+        i = draw(st.integers(min_value=0, max_value=n - 2))
+        j = draw(st.integers(min_value=i + 1, max_value=n - 1))
+        try:
+            graph.add_dependency(names[i], names[j])
+        except ValidationError:
+            pass  # duplicate edges cannot create cycles; only cycles raise
+    return graph
+
+
+class TestGraphProperties:
+    @given(dags())
+    @settings(max_examples=50)
+    def test_topological_order_respects_edges(self, graph):
+        order = {name: i for i, name in enumerate(graph.topological_order())}
+        for caller in graph.microservices:
+            for callee in graph.dependencies(caller):
+                assert order[caller] < order[callee]
+
+    @given(dags())
+    @settings(max_examples=50)
+    def test_dependents_inverse_of_dependencies(self, graph):
+        for caller in graph.microservices:
+            for callee in graph.dependencies(caller):
+                assert caller in graph.dependents(callee)
+
+    @given(dags())
+    @settings(max_examples=50)
+    def test_upstream_impact_reaches_only_dependents(self, graph):
+        for node in graph.microservices:
+            impact = graph.upstream_impact(node)
+            for affected, distance in impact.items():
+                assert distance >= 1
+                assert graph.shortest_dependency_distance(affected, node) is not None
+
+    @given(dags())
+    @settings(max_examples=50)
+    def test_depth_limit_monotone(self, graph):
+        for node in graph.microservices[:3]:
+            shallow = graph.upstream_impact(node, max_depth=1)
+            deep = graph.upstream_impact(node, max_depth=3)
+            assert set(shallow).issubset(set(deep))
+
+    @given(dags())
+    @settings(max_examples=30)
+    def test_are_related_symmetric(self, graph):
+        nodes = graph.microservices
+        for a in nodes[:3]:
+            for b in nodes[:3]:
+                assert graph.are_related(a, b) == graph.are_related(b, a)

@@ -1,0 +1,87 @@
+"""Property-based tests for ML substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.lda import OnlineLDA
+from repro.ml.logistic import LogisticRegression
+from repro.ml.tokenize import tokenize
+from repro.ml.vocab import Vocabulary
+
+
+@st.composite
+def corpora(draw):
+    vocab_words = ["disk", "full", "cpu", "latency", "queue", "lag", "error",
+                   "timeout", "commit", "probe"]
+    n_docs = draw(st.integers(min_value=1, max_value=10))
+    docs = []
+    for _ in range(n_docs):
+        words = draw(st.lists(st.sampled_from(vocab_words), min_size=1, max_size=12))
+        docs.append(words)
+    return docs
+
+
+class TestLDAProperties:
+    @given(corpora(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_topic_word_rows_are_distributions(self, docs, n_topics):
+        vocab = Vocabulary()
+        bows = vocab.docs_to_bows(docs)
+        lda = OnlineLDA(n_topics=n_topics, vocab_size=len(vocab), seed=1)
+        lda.partial_fit(bows)
+        topic_word = lda.topic_word
+        assert np.allclose(topic_word.sum(axis=1), 1.0)
+        assert (topic_word >= 0).all()
+
+    @given(corpora())
+    @settings(max_examples=25, deadline=None)
+    def test_transform_rows_are_distributions(self, docs):
+        vocab = Vocabulary()
+        bows = vocab.docs_to_bows(docs)
+        lda = OnlineLDA(n_topics=3, vocab_size=len(vocab), seed=1)
+        lda.partial_fit(bows)
+        theta = lda.transform(bows)
+        assert np.allclose(theta.sum(axis=1), 1.0)
+        assert (theta >= 0).all()
+
+    @given(corpora())
+    @settings(max_examples=25, deadline=None)
+    def test_score_non_positive(self, docs):
+        # A per-word log likelihood bound over a discrete space is <= 0.
+        vocab = Vocabulary()
+        bows = vocab.docs_to_bows(docs)
+        lda = OnlineLDA(n_topics=2, vocab_size=len(vocab), seed=1)
+        lda.partial_fit(bows)
+        for bow in bows:
+            assert lda.score(bow) <= 1e-9
+
+
+class TestTokenizeProperties:
+    @given(st.text(max_size=200))
+    @settings(max_examples=60)
+    def test_tokens_are_normalised(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert len(token) >= 2
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=60)
+    def test_idempotent_through_vocab(self, text):
+        vocab = Vocabulary()
+        tokens = tokenize(text)
+        ids, counts = vocab.doc_to_bow(tokens)
+        assert counts.sum() == len(tokens)
+
+
+class TestLogisticProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_probability_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(60, 3))
+        labels = (rng.random(60) > 0.5).astype(float)
+        if labels.min() == labels.max():
+            labels[0] = 1.0 - labels[0]
+        model = LogisticRegression(max_iters=50).fit(features, labels)
+        probs = model.predict_proba(features)
+        assert ((probs >= 0.0) & (probs <= 1.0)).all()

@@ -1,0 +1,35 @@
+"""Property-based tests for RNG stream derivation."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.rng import derive_rng, derive_seed
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127),
+    min_size=1, max_size=30,
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestDerivationProperties:
+    @given(seeds, names)
+    def test_seed_in_range(self, seed, name):
+        assert 0 <= derive_seed(seed, name) < 2**63
+
+    @given(seeds, names)
+    def test_deterministic(self, seed, name):
+        assert derive_seed(seed, name) == derive_seed(seed, name)
+
+    @given(seeds, names, names)
+    def test_distinct_names_distinct_streams(self, seed, name_a, name_b):
+        if name_a == name_b:
+            return
+        draws_a = derive_rng(seed, name_a).random(4)
+        draws_b = derive_rng(seed, name_b).random(4)
+        assert not (draws_a == draws_b).all()
+
+    @given(seeds, seeds, names)
+    def test_distinct_seeds_distinct_streams(self, seed_a, seed_b, name):
+        if seed_a == seed_b:
+            return
+        assert derive_seed(seed_a, name) != derive_seed(seed_b, name)

@@ -1,0 +1,41 @@
+"""Property-based tests for the survey allocator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.oce.survey import IMPACT_OPTIONS, SurveyInstrument
+
+
+@st.composite
+def target_triples(draw):
+    """Random (a, b, c) with a+b+c == 18."""
+    a = draw(st.integers(min_value=0, max_value=18))
+    b = draw(st.integers(min_value=0, max_value=18 - a))
+    return (a, b, 18 - a - b)
+
+
+class TestAllocatorProperties:
+    @given(target_triples(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50)
+    def test_counts_always_match_targets(self, targets, seed):
+        instrument = SurveyInstrument(
+            seed=seed,
+            impact_targets={"A1": targets},
+            sop_targets={},
+            reaction_targets={},
+        )
+        counts = instrument.run().counts("impact/A1", IMPACT_OPTIONS)
+        assert tuple(counts.values()) == targets
+
+    @given(target_triples(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50)
+    def test_each_oce_answers_exactly_once(self, targets, seed):
+        instrument = SurveyInstrument(
+            seed=seed,
+            impact_targets={"A1": targets},
+            sop_targets={},
+            reaction_targets={},
+        )
+        results = instrument.run()
+        names = [r.oce_name for r in results.responses]
+        assert len(names) == 18
+        assert len(set(names)) == 18

@@ -1,0 +1,52 @@
+"""Property-based tests for time windows and bucketing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.timeutil import HOUR, TimeWindow, hour_bucket, iter_buckets
+
+windows = st.tuples(
+    st.floats(min_value=0, max_value=1e7, allow_nan=False),
+    st.floats(min_value=0, max_value=1e7, allow_nan=False),
+).map(lambda pair: TimeWindow(min(pair), max(pair)))
+
+
+class TestTimeWindowProperties:
+    @given(windows, st.floats(min_value=0, max_value=1e7, allow_nan=False))
+    def test_contains_implies_within_bounds(self, window, t):
+        if window.contains(t):
+            assert window.start <= t < window.end
+
+    @given(windows)
+    def test_overlap_is_symmetric(self, window):
+        other = window.shift(window.duration / 2 + 1.0)
+        assert window.overlaps(other) == other.overlaps(window)
+
+    @given(windows, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_shift_preserves_duration(self, window, offset):
+        if window.start + offset >= 0:
+            shifted = window.shift(offset)
+            assert shifted.duration == pytest.approx(window.duration, abs=1e-6)
+
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_hour_bucket_consistent_with_window(self, t):
+        bucket = hour_bucket(t)
+        assert TimeWindow.hour(bucket).contains(t)
+
+    @given(windows, st.floats(min_value=1e-3, max_value=1.0))
+    def test_buckets_partition_window(self, window, width_fraction):
+        # Width proportional to the window bounds the bucket count.
+        width = max(window.duration * width_fraction, 1.0)
+        buckets = list(iter_buckets(window, width))
+        if window.duration == 0:
+            assert buckets == []
+            return
+        assert buckets[0].start == window.start
+        assert buckets[-1].end == window.end
+        total = sum(b.duration for b in buckets)
+        assert total == pytest.approx(window.duration, rel=1e-9, abs=1e-6)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_hour_windows_tile(self, index):
+        assert TimeWindow.hour(index).end == TimeWindow.hour(index + 1).start
+        assert TimeWindow.hour(index).duration == HOUR

@@ -1,0 +1,42 @@
+"""Tests for the end-to-end QoA evaluation pipeline."""
+
+import pytest
+
+from repro.analysis.paper_reference import QOA_CRITERIA
+from repro.core.qoa.evaluator import evaluate_qoa_pipeline
+
+
+@pytest.fixture(scope="module")
+def report(default_trace):
+    return evaluate_qoa_pipeline(default_trace, seed=42)
+
+
+class TestEvaluation:
+    def test_all_criteria_evaluated(self, report):
+        assert set(report.accuracy) == set(QOA_CRITERIA)
+        assert set(report.majority_baseline) == set(QOA_CRITERIA)
+
+    def test_beats_or_matches_baseline(self, report):
+        for criterion in QOA_CRITERIA:
+            assert report.accuracy[criterion] >= report.majority_baseline[criterion] - 0.03
+
+    def test_handleability_clearly_learnable(self, report):
+        # A1 leaves a strong text footprint; the model must beat the
+        # baseline by a clear margin on handleability.
+        assert report.accuracy["handleability"] > report.majority_baseline[
+            "handleability"
+        ] + 0.03
+
+    def test_antipattern_flagging_precision(self, report):
+        agreement = report.antipattern_agreement["handleability"]
+        assert agreement["precision"] >= 0.6
+        assert agreement["recall"] >= 0.6
+
+    def test_split_sizes(self, report):
+        assert report.n_train > report.n_test > 0
+
+    def test_render(self, report):
+        text = report.render()
+        assert "QoA model" in text
+        assert "majority baseline" in text
+        assert "A1" in text

@@ -1,0 +1,68 @@
+"""Tests for QoA feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.qoa.features import FEATURE_NAMES, StrategyFeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def design(default_trace):
+    return StrategyFeatureExtractor(default_trace).extract(min_alerts=5)
+
+
+class TestExtraction:
+    def test_shape(self, design):
+        ids, matrix = design
+        assert matrix.shape == (len(ids), len(FEATURE_NAMES))
+
+    def test_no_nans(self, design):
+        _, matrix = design
+        assert np.isfinite(matrix).all()
+
+    def test_channel_one_hot(self, design):
+        _, matrix = design
+        metric = FEATURE_NAMES.index("is_metric")
+        log = FEATURE_NAMES.index("is_log")
+        probe = FEATURE_NAMES.index("is_probe")
+        one_hot = matrix[:, [metric, log, probe]]
+        assert np.allclose(one_hot.sum(axis=1), 1.0)
+
+    def test_fractions_in_unit_range(self, design):
+        _, matrix = design
+        for name in ("clarity", "vagueness", "transient_share", "manual_share",
+                     "incident_overlap", "severity_impact_gap"):
+            column = matrix[:, FEATURE_NAMES.index(name)]
+            assert (column >= 0).all() and (column <= 1.0 + 1e-9).all(), name
+
+    def test_min_alerts_filters(self, default_trace):
+        ids_loose, _ = StrategyFeatureExtractor(default_trace).extract(min_alerts=1)
+        ids_tight, _ = StrategyFeatureExtractor(default_trace).extract(min_alerts=50)
+        assert len(ids_tight) < len(ids_loose)
+
+    def test_clarity_tracks_injected_a1(self, default_trace, design):
+        ids, matrix = design
+        clarity = matrix[:, FEATURE_NAMES.index("clarity")]
+        a1 = np.array([
+            "A1" in default_trace.strategies[sid].injected_antipatterns()
+            for sid in ids
+        ])
+        if a1.sum() < 3:
+            pytest.skip("too few A1 strategies in sample")
+        assert clarity[a1].mean() < clarity[~a1].mean() - 0.2
+
+    def test_transient_share_tracks_injected_a4(self, default_trace, design):
+        ids, matrix = design
+        transient = matrix[:, FEATURE_NAMES.index("transient_share")]
+        a4 = np.array([
+            "A4" in default_trace.strategies[sid].injected_antipatterns()
+            for sid in ids
+        ])
+        assert transient[a4].mean() > transient[~a4].mean()
+
+    def test_empty_trace(self):
+        from repro.workload.trace import AlertTrace
+
+        ids, matrix = StrategyFeatureExtractor(AlertTrace()).extract()
+        assert ids == []
+        assert matrix.shape == (0, len(FEATURE_NAMES))

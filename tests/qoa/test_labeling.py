@@ -1,0 +1,50 @@
+"""Tests for simulated OCE labels."""
+
+import pytest
+
+from repro.core.qoa.labeling import CRITERION_ANTIPATTERNS, simulate_oce_labels
+
+
+@pytest.fixture(scope="module")
+def labelled(default_trace):
+    ids = sorted(default_trace.strategies)
+    return ids, simulate_oce_labels(default_trace, ids, noise=0.0, seed=1)
+
+
+class TestNoiseFree:
+    def test_every_strategy_labelled(self, labelled):
+        ids, labels = labelled
+        assert set(labels) == set(ids)
+        for row in labels.values():
+            assert set(row) == {"indicativeness", "precision", "handleability"}
+
+    def test_mapping_matches_ground_truth(self, labelled, default_trace):
+        ids, labels = labelled
+        for sid in ids:
+            injected = default_trace.strategies[sid].injected_antipatterns()
+            for criterion, patterns in CRITERION_ANTIPATTERNS.items():
+                expected = 0 if any(p in injected for p in patterns) else 1
+                assert labels[sid][criterion] == expected
+
+
+class TestNoise:
+    def test_noise_flips_some_labels(self, default_trace):
+        ids = sorted(default_trace.strategies)
+        clean = simulate_oce_labels(default_trace, ids, noise=0.0, seed=1)
+        noisy = simulate_oce_labels(default_trace, ids, noise=0.3, seed=1)
+        flips = sum(
+            clean[sid][criterion] != noisy[sid][criterion]
+            for sid in ids for criterion in clean[sid]
+        )
+        total = len(ids) * 3
+        assert 0.15 < flips / total < 0.45
+
+    def test_deterministic_per_seed(self, default_trace):
+        ids = sorted(default_trace.strategies)[:50]
+        a = simulate_oce_labels(default_trace, ids, noise=0.2, seed=7)
+        b = simulate_oce_labels(default_trace, ids, noise=0.2, seed=7)
+        assert a == b
+
+    def test_bad_noise_rejected(self, default_trace):
+        with pytest.raises(Exception):
+            simulate_oce_labels(default_trace, [], noise=1.5)

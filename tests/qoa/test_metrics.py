@@ -1,0 +1,55 @@
+"""Tests for measured (learning-free) QoA."""
+
+import numpy as np
+import pytest
+
+from repro.core.qoa.metrics import measure_qoa
+
+
+@pytest.fixture(scope="module")
+def scores(default_trace):
+    return measure_qoa(default_trace)
+
+
+class TestMeasuredQoA:
+    def test_scores_in_unit_range(self, scores):
+        for qoa in scores.values():
+            for value in (qoa.indicativeness, qoa.precision, qoa.handleability):
+                assert 0.0 <= value <= 1.0
+
+    def test_overall_is_mean(self, scores):
+        qoa = next(iter(scores.values()))
+        expected = (qoa.indicativeness + qoa.precision + qoa.handleability) / 3
+        assert qoa.overall == pytest.approx(expected)
+
+    def test_handleability_tracks_a1(self, scores, default_trace):
+        a1 = [s.handleability for sid, s in scores.items()
+              if "A1" in default_trace.strategies[sid].injected_antipatterns()]
+        clean = [s.handleability for sid, s in scores.items()
+                 if not default_trace.strategies[sid].injected_antipatterns()]
+        if len(a1) < 3:
+            pytest.skip("too few A1 strategies")
+        assert np.mean(a1) < np.mean(clean)
+
+    def test_indicativeness_tracks_a4(self, scores, default_trace):
+        a4 = [s.indicativeness for sid, s in scores.items()
+              if "A4" in default_trace.strategies[sid].injected_antipatterns()]
+        clean = [s.indicativeness for sid, s in scores.items()
+                 if not default_trace.strategies[sid].injected_antipatterns()]
+        assert np.mean(a4) < np.mean(clean)
+
+    def test_min_alerts_respected(self, default_trace):
+        few = measure_qoa(default_trace, min_alerts=100)
+        many = measure_qoa(default_trace, min_alerts=5)
+        assert len(few) < len(many)
+
+    def test_empty_trace(self):
+        from repro.workload.trace import AlertTrace
+
+        assert measure_qoa(AlertTrace()) == {}
+
+    def test_validation_on_scores(self):
+        from repro.core.qoa.metrics import QoAScores
+
+        with pytest.raises(Exception):
+            QoAScores("s", indicativeness=1.4, precision=0.5, handleability=0.5)

@@ -1,0 +1,66 @@
+"""Tests for the QoA model and split helper."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.qoa.model import QoAModel, train_test_split
+
+
+@pytest.fixture()
+def synthetic():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(300, 5))
+    labels = {
+        "indicativeness": (features[:, 0] > 0).astype(float),
+        "precision": (features[:, 1] > 0).astype(float),
+        "handleability": (features[:, 2] > 0).astype(float),
+    }
+    return features, labels
+
+
+class TestQoAModel:
+    def test_fit_predict(self, synthetic):
+        features, labels = synthetic
+        model = QoAModel().fit(features, labels)
+        accuracy = model.accuracy(features, labels)
+        for criterion, value in accuracy.items():
+            assert value > 0.9, criterion
+
+    def test_predict_proba_shape(self, synthetic):
+        features, labels = synthetic
+        model = QoAModel().fit(features, labels)
+        probas = model.predict_proba(features[:10])
+        assert set(probas) == set(labels)
+        assert all(p.shape == (10,) for p in probas.values())
+
+    def test_unfitted_rejected(self, synthetic):
+        features, _ = synthetic
+        with pytest.raises(ValidationError):
+            QoAModel().predict(features)
+
+    def test_missing_criterion_rejected(self, synthetic):
+        features, labels = synthetic
+        del labels["precision"]
+        with pytest.raises(ValidationError):
+            QoAModel().fit(features, labels)
+
+
+class TestSplit:
+    def test_partition(self):
+        train, test = train_test_split(100, test_fraction=0.3, seed=1)
+        assert len(train) + len(test) == 100
+        assert set(train).isdisjoint(set(test))
+        assert len(test) == 30
+
+    def test_deterministic(self):
+        assert np.array_equal(train_test_split(50, seed=5)[0],
+                              train_test_split(50, seed=5)[0])
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            train_test_split(10, test_fraction=1.5)
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(ValidationError):
+            train_test_split(1)

@@ -1,0 +1,161 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError, ValidationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import PeriodicProcess
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(5.0, lambda t, p: seen.append(t))
+        engine.schedule(2.0, lambda t, p: seen.append(t))
+        engine.schedule(8.0, lambda t, p: seen.append(t))
+        engine.run_until(10.0)
+        assert seen == [2.0, 5.0, 8.0]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(5.0, lambda t, p: seen.append("a"))
+        engine.schedule(5.0, lambda t, p: seen.append("b"))
+        engine.run_until(10.0)
+        assert seen == ["a", "b"]
+
+    def test_payload_delivered(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda t, p: seen.append(p), payload={"k": 1})
+        engine.run_until(2.0)
+        assert seen == [{"k": 1}]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule(5.0, lambda t, p: None)
+
+    def test_schedule_at_now_allowed(self):
+        engine = SimulationEngine(start_time=10.0)
+        seen = []
+        engine.schedule(10.0, lambda t, p: seen.append(t))
+        engine.run_until(10.0)
+        assert seen == [10.0]
+
+    def test_schedule_after(self):
+        engine = SimulationEngine(start_time=10.0)
+        seen = []
+        engine.schedule_after(5.0, lambda t, p: seen.append(t))
+        engine.run_until(20.0)
+        assert seen == [15.0]
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda t, p: None)
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises(ValidationError):
+            SimulationEngine(start_time=-1.0)
+
+
+class TestRunUntil:
+    def test_now_advances_to_end(self):
+        engine = SimulationEngine()
+        engine.run_until(100.0)
+        assert engine.now == 100.0
+
+    def test_events_beyond_end_not_fired(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(50.0, lambda t, p: seen.append(t))
+        engine.run_until(10.0)
+        assert seen == []
+        engine.run_until(100.0)
+        assert seen == [50.0]
+
+    def test_backwards_run_rejected(self):
+        engine = SimulationEngine()
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_cancelled_events_skipped(self):
+        engine = SimulationEngine()
+        seen = []
+        event = engine.schedule(5.0, lambda t, p: seen.append(t))
+        event.cancel()
+        engine.run_until(10.0)
+        assert seen == []
+        assert engine.fired == 0
+
+    def test_events_scheduled_during_run_fire(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def chain(time, _):
+            seen.append(time)
+            if time < 3.0:
+                engine.schedule(time + 1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run_until(10.0)
+        assert seen == [1.0, 2.0, 3.0]
+
+
+class TestRunAll:
+    def test_drains_queue(self):
+        engine = SimulationEngine()
+        for t in (3.0, 1.0, 2.0):
+            engine.schedule(t, lambda t_, p: None)
+        engine.run_all()
+        assert engine.pending == 0
+        assert engine.fired == 3
+
+    def test_safety_limit(self):
+        engine = SimulationEngine()
+
+        def forever(time, _):
+            engine.schedule(time + 1.0, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run_all(safety_limit=100)
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_interval(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.add_periodic(PeriodicProcess(
+            interval=10.0, callback=lambda t, p: seen.append(t), start=5.0, end=40.0,
+        ))
+        engine.run_until(100.0)
+        assert seen == [5.0, 15.0, 25.0, 35.0]
+
+    def test_stop_halts_ticks(self):
+        engine = SimulationEngine()
+        seen = []
+        process = PeriodicProcess(interval=10.0, callback=lambda t, p: seen.append(t))
+        engine.add_periodic(process)
+
+        def stopper(time, _):
+            process.stop()
+
+        engine.schedule(25.0, stopper)
+        engine.run_until(100.0)
+        assert seen == [0.0, 10.0, 20.0]
+
+    def test_start_in_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.add_periodic(PeriodicProcess(interval=1.0, callback=lambda t, p: None,
+                                                start=5.0))
+
+    def test_empty_range_is_noop(self):
+        engine = SimulationEngine()
+        engine.add_periodic(PeriodicProcess(interval=1.0, callback=lambda t, p: None,
+                                            start=5.0, end=5.0))
+        assert engine.pending == 0

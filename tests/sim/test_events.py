@@ -1,0 +1,57 @@
+"""Tests for event records and periodic process bookkeeping."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.sim.events import Event, PeriodicProcess
+
+
+class TestEvent:
+    def test_ordering_by_time_then_sequence(self):
+        early = Event(time=1.0, sequence=5, callback=lambda t, p: None)
+        late = Event(time=2.0, sequence=0, callback=lambda t, p: None)
+        tie_a = Event(time=2.0, sequence=1, callback=lambda t, p: None)
+        assert early < late
+        assert late < tie_a
+
+    def test_fire_invokes_callback(self):
+        seen = []
+        event = Event(time=1.0, sequence=0,
+                      callback=lambda t, p: seen.append((t, p)), payload="x")
+        event.fire()
+        assert seen == [(1.0, "x")]
+
+    def test_cancelled_fire_is_noop(self):
+        seen = []
+        event = Event(time=1.0, sequence=0, callback=lambda t, p: seen.append(t))
+        event.cancel()
+        event.fire()
+        assert seen == []
+
+
+class TestPeriodicProcess:
+    def test_next_tick(self):
+        process = PeriodicProcess(interval=10.0, callback=lambda t, p: None)
+        assert process.next_tick_after(0.0) == 10.0
+
+    def test_next_tick_respects_end(self):
+        process = PeriodicProcess(interval=10.0, callback=lambda t, p: None, end=15.0)
+        assert process.next_tick_after(0.0) == 10.0
+        assert process.next_tick_after(10.0) is None
+
+    def test_stopped_process_has_no_tick(self):
+        process = PeriodicProcess(interval=10.0, callback=lambda t, p: None)
+        process.stop()
+        assert process.next_tick_after(0.0) is None
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodicProcess(interval=0.0, callback=lambda t, p: None)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodicProcess(interval=1.0, callback=lambda t, p: None, start=10.0, end=5.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodicProcess(interval=1.0, callback=lambda t, p: None, start=-1.0)

@@ -1,0 +1,86 @@
+"""Tests for error-log event streams."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.telemetry.logs import ERROR_TEMPLATES, LogBurst, LogEventStream
+
+
+class TestBackground:
+    def test_deterministic(self):
+        a = LogEventStream(seed=1, background_rate_per_hour=5.0)
+        b = LogEventStream(seed=1, background_rate_per_hour=5.0)
+        window = TimeWindow(0, 10 * HOUR)
+        assert np.array_equal(a.error_times(window), b.error_times(window))
+
+    def test_subwindow_consistency(self):
+        stream = LogEventStream(seed=2, background_rate_per_hour=10.0)
+        full = stream.error_times(TimeWindow(0, 4 * HOUR))
+        part = stream.error_times(TimeWindow(HOUR, 2 * HOUR))
+        expected = full[(full >= HOUR) & (full < 2 * HOUR)]
+        assert np.array_equal(part, expected)
+
+    def test_rate_scales_counts(self):
+        window = TimeWindow(0, 50 * HOUR)
+        low = LogEventStream(seed=3, background_rate_per_hour=1.0).error_count(window)
+        high = LogEventStream(seed=3, background_rate_per_hour=20.0).error_count(window)
+        assert high > low * 5
+
+    def test_zero_rate_no_events(self):
+        stream = LogEventStream(seed=4, background_rate_per_hour=0.0)
+        assert stream.error_count(TimeWindow(0, 10 * HOUR)) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            LogEventStream(seed=1, background_rate_per_hour=-1.0)
+
+    def test_events_sorted_and_in_window(self):
+        stream = LogEventStream(seed=5, background_rate_per_hour=30.0)
+        window = TimeWindow(HOUR / 2, 3 * HOUR)
+        events = stream.error_times(window)
+        assert (np.diff(events) >= 0).all()
+        assert ((events >= window.start) & (events < window.end)).all()
+
+
+class TestBursts:
+    def test_burst_elevates_count(self):
+        stream = LogEventStream(seed=6, background_rate_per_hour=0.5)
+        burst_window = TimeWindow(HOUR, 2 * HOUR)
+        stream.add_burst(LogBurst(window=burst_window, rate_per_hour=300.0))
+        inside = stream.error_count(burst_window)
+        outside = stream.error_count(TimeWindow(3 * HOUR, 4 * HOUR))
+        assert inside > 200
+        assert outside < 10
+
+    def test_rate_at(self):
+        stream = LogEventStream(seed=7, background_rate_per_hour=1.0)
+        stream.add_burst(LogBurst(window=TimeWindow(0, HOUR), rate_per_hour=99.0))
+        assert stream.rate_at(HOUR / 2) == pytest.approx(100.0)
+        assert stream.rate_at(2 * HOUR) == pytest.approx(1.0)
+
+    def test_clear_bursts(self):
+        stream = LogEventStream(seed=8, background_rate_per_hour=0.0)
+        stream.add_burst(LogBurst(window=TimeWindow(0, HOUR), rate_per_hour=100.0))
+        stream.clear_bursts()
+        assert stream.error_count(TimeWindow(0, HOUR)) == 0
+
+    def test_partial_hour_burst(self):
+        stream = LogEventStream(seed=9, background_rate_per_hour=0.0)
+        stream.add_burst(LogBurst(window=TimeWindow(0.25 * HOUR, 0.5 * HOUR),
+                                  rate_per_hour=240.0))
+        events = stream.error_times(TimeWindow(0, HOUR))
+        assert ((events >= 0.25 * HOUR) & (events < 0.5 * HOUR)).all()
+        # 240/h for a quarter hour ~ 60 expected.
+        assert 20 < events.size < 120
+
+    def test_negative_burst_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            LogBurst(window=TimeWindow(0, 1), rate_per_hour=-5.0)
+
+
+class TestTemplates:
+    def test_known_flavours_present(self):
+        for flavour in ("disk", "network", "timeout", "commit", "oom"):
+            assert "ERROR" in ERROR_TEMPLATES[flavour]

@@ -1,0 +1,146 @@
+"""Tests for metric series synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import DAY, HOUR, TimeWindow
+from repro.telemetry.metrics import (
+    MetricEffect,
+    MetricProfile,
+    MetricSeriesGenerator,
+    default_profiles,
+    scaled_profile,
+)
+
+
+@pytest.fixture()
+def cpu_series():
+    profile = MetricProfile("cpu_util", "%", base=40.0, daily_amplitude=10.0,
+                            noise_std=2.0, ceiling=100.0)
+    return MetricSeriesGenerator(profile, seed=123)
+
+
+class TestProfile:
+    def test_ceiling_below_floor_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricProfile("m", "u", base=1.0, floor=10.0, ceiling=5.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricProfile("m", "u", base=1.0, noise_std=-1.0)
+
+    def test_scaled_profile(self):
+        profile = MetricProfile("m", "u", base=10.0)
+        assert scaled_profile(profile, 2.0).base == 20.0
+
+
+class TestSampling:
+    def test_deterministic_per_seed(self, cpu_series):
+        times = np.arange(0, HOUR, 60.0)
+        assert np.array_equal(cpu_series.sample(times), cpu_series.sample(times))
+
+    def test_overlapping_queries_agree(self, cpu_series):
+        window_a = cpu_series.sample(np.arange(0, 2 * HOUR, 60.0))
+        window_b = cpu_series.sample(np.arange(HOUR, 2 * HOUR, 60.0))
+        assert np.allclose(window_a[60:], window_b)
+
+    def test_seed_changes_noise(self):
+        profile = MetricProfile("m", "u", base=40.0, noise_std=2.0)
+        a = MetricSeriesGenerator(profile, seed=1).sample(np.arange(0, HOUR, 60.0))
+        b = MetricSeriesGenerator(profile, seed=2).sample(np.arange(0, HOUR, 60.0))
+        assert not np.allclose(a, b)
+
+    def test_stays_in_physical_range(self, cpu_series):
+        values = cpu_series.sample(np.arange(0, DAY, 300.0))
+        assert (values >= 0.0).all()
+        assert (values <= 100.0).all()
+
+    def test_diurnal_pattern_present(self):
+        profile = MetricProfile("m", "u", base=100.0, daily_amplitude=50.0)
+        series = MetricSeriesGenerator(profile, seed=1)
+        times = np.arange(0, DAY, 600.0)
+        values = series.sample(times)
+        assert values.max() - values.min() > 80.0
+
+    def test_sample_window(self, cpu_series):
+        times, values = cpu_series.sample_window(TimeWindow(0, HOUR), 60.0)
+        assert times.shape == values.shape
+        assert len(times) == 60
+
+    def test_sample_window_bad_interval(self, cpu_series):
+        with pytest.raises(ValidationError):
+            cpu_series.sample_window(TimeWindow(0, HOUR), 0.0)
+
+    def test_noise_is_roughly_standard(self):
+        profile = MetricProfile("m", "u", base=0.0, noise_std=1.0, floor=None)
+        series = MetricSeriesGenerator(profile, seed=9)
+        values = series.sample(np.arange(0, 30 * DAY, 300.0))
+        assert abs(float(values.mean())) < 0.1
+        assert 0.8 < float(values.std()) < 1.2
+
+
+class TestEffects:
+    def test_add(self, cpu_series):
+        cpu_series.add_effect(MetricEffect(TimeWindow(0, HOUR), "add", 50.0))
+        inside = cpu_series.sample(np.array([HOUR / 2]))
+        outside = cpu_series.sample(np.array([2 * HOUR]))
+        assert inside[0] > outside[0] + 30.0
+
+    def test_set(self, cpu_series):
+        cpu_series.add_effect(MetricEffect(TimeWindow(0, HOUR), "set", 95.0))
+        assert cpu_series.sample(np.array([10.0]))[0] == 95.0
+
+    def test_scale(self):
+        profile = MetricProfile("m", "u", base=10.0)
+        series = MetricSeriesGenerator(profile, seed=1)
+        series.add_effect(MetricEffect(TimeWindow(0, HOUR), "scale", 3.0))
+        assert series.sample(np.array([10.0]))[0] == pytest.approx(30.0)
+
+    def test_ramp_grows_over_window(self):
+        profile = MetricProfile("m", "u", base=10.0)
+        series = MetricSeriesGenerator(profile, seed=1)
+        series.add_effect(MetricEffect(TimeWindow(0, HOUR), "ramp", 60.0))
+        early = series.sample(np.array([60.0]))[0]
+        late = series.sample(np.array([HOUR - 60.0]))[0]
+        assert early < 15.0
+        assert late > 60.0
+
+    def test_effect_outside_window_inert(self, cpu_series):
+        baseline = cpu_series.sample(np.array([3 * HOUR]))
+        cpu_series.add_effect(MetricEffect(TimeWindow(0, HOUR), "add", 100.0))
+        assert cpu_series.sample(np.array([3 * HOUR]))[0] == baseline[0]
+
+    def test_clear_effects(self, cpu_series):
+        cpu_series.add_effect(MetricEffect(TimeWindow(0, HOUR), "set", 95.0))
+        cpu_series.clear_effects()
+        assert cpu_series.effects == []
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricEffect(TimeWindow(0, 1), "explode", 1.0)
+
+    def test_effects_stack_in_order(self):
+        profile = MetricProfile("m", "u", base=10.0)
+        series = MetricSeriesGenerator(profile, seed=1)
+        series.add_effect(MetricEffect(TimeWindow(0, HOUR), "set", 50.0))
+        series.add_effect(MetricEffect(TimeWindow(0, HOUR), "scale", 2.0))
+        assert series.sample(np.array([10.0]))[0] == pytest.approx(100.0)
+
+
+class TestDefaultProfiles:
+    def test_universal_metrics_everywhere(self):
+        for archetype in ("storage", "database", "network", "frontend"):
+            profiles = default_profiles(archetype)
+            for name in ("cpu_util", "memory_util", "disk_util", "latency_ms"):
+                assert name in profiles
+
+    def test_archetype_extras(self):
+        assert "connection_count" in default_profiles("database")
+        assert "io_throughput" in default_profiles("storage")
+        assert "queue_depth" in default_profiles("middleware")
+
+    def test_unknown_archetype_gets_universal_only(self):
+        profiles = default_profiles("unknown")
+        assert "cpu_util" in profiles
+        assert "connection_count" not in profiles

@@ -1,0 +1,57 @@
+"""Tests for heartbeat probe simulation."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, MINUTE, TimeWindow
+from repro.telemetry.probes import OutageWindow, ProbeSimulator
+
+
+class TestResponding:
+    def test_healthy_target_responds(self):
+        probe = ProbeSimulator(seed=1)
+        assert probe.is_responding(100.0)
+        assert probe.response_time_ms(100.0) is not None
+
+    def test_response_time_positive_and_stable(self):
+        probe = ProbeSimulator(seed=1)
+        first = probe.response_time_ms(50.0)
+        second = probe.response_time_ms(50.0)
+        assert first == second
+        assert first > 0.0
+
+    def test_bad_base_response_rejected(self):
+        with pytest.raises(ValidationError):
+            ProbeSimulator(seed=1, base_response_ms=0.0)
+
+
+class TestOutages:
+    def test_outage_blocks_response(self):
+        probe = ProbeSimulator(seed=1)
+        probe.add_outage(OutageWindow(window=TimeWindow(HOUR, 2 * HOUR)))
+        assert not probe.is_responding(HOUR + 1)
+        assert probe.response_time_ms(HOUR + 1) is None
+        assert probe.is_responding(2 * HOUR + 1)
+
+    def test_unresponsive_duration(self):
+        probe = ProbeSimulator(seed=1)
+        probe.add_outage(OutageWindow(window=TimeWindow(HOUR, 2 * HOUR)))
+        assert probe.unresponsive_duration(HOUR + 10 * MINUTE) == pytest.approx(10 * MINUTE)
+
+    def test_unresponsive_duration_zero_when_up(self):
+        probe = ProbeSimulator(seed=1)
+        assert probe.unresponsive_duration(500.0) == 0.0
+
+    def test_adjacent_outages_merge(self):
+        probe = ProbeSimulator(seed=1)
+        probe.add_outage(OutageWindow(window=TimeWindow(HOUR, 2 * HOUR)))
+        probe.add_outage(OutageWindow(window=TimeWindow(2 * HOUR, 3 * HOUR)))
+        duration = probe.unresponsive_duration(2 * HOUR + 30 * MINUTE)
+        assert duration == pytest.approx(HOUR + 30 * MINUTE)
+
+    def test_clear_outages(self):
+        probe = ProbeSimulator(seed=1)
+        probe.add_outage(OutageWindow(window=TimeWindow(0, HOUR)))
+        probe.clear_outages()
+        assert probe.is_responding(10.0)
+        assert probe.outages == []

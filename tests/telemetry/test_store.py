@@ -1,0 +1,82 @@
+"""Tests for the telemetry hub."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.telemetry.logs import LogBurst
+from repro.telemetry.metrics import MetricEffect
+from repro.telemetry.probes import OutageWindow
+from repro.telemetry.store import TelemetryHub
+
+
+@pytest.fixture()
+def component(small_topology):
+    name = sorted(small_topology.microservices)[0]
+    region = small_topology.region_names()[0]
+    return name, region
+
+
+class TestAccessors:
+    def test_metric_generator_cached(self, hub, component):
+        micro, region = component
+        assert hub.metric(micro, region, "cpu_util") is hub.metric(micro, region, "cpu_util")
+
+    def test_metric_deterministic_across_hubs(self, small_topology, component):
+        micro, region = component
+        hub_a = TelemetryHub(small_topology, seed=7)
+        hub_b = TelemetryHub(small_topology, seed=7)
+        times = np.arange(0, HOUR, 60.0)
+        assert np.array_equal(
+            hub_a.metric(micro, region, "cpu_util").sample(times),
+            hub_b.metric(micro, region, "cpu_util").sample(times),
+        )
+
+    def test_unknown_microservice_rejected(self, hub):
+        with pytest.raises(ValidationError):
+            hub.metric("ghost", "region-A", "cpu_util")
+
+    def test_unknown_region_rejected(self, hub, component):
+        micro, _ = component
+        with pytest.raises(ValidationError):
+            hub.metric(micro, "region-Z", "cpu_util")
+
+    def test_unknown_metric_rejected(self, hub, component):
+        micro, region = component
+        with pytest.raises(ValidationError):
+            hub.metric(micro, region, "nonexistent_metric")
+
+    def test_metric_names_by_archetype(self, hub, small_topology):
+        db_micro = small_topology.microservices_of("database")[0]
+        names = hub.metric_names(db_micro)
+        assert "connection_count" in names
+        assert "cpu_util" in names
+
+    def test_logs_and_probe_cached(self, hub, component):
+        micro, region = component
+        assert hub.logs(micro, region) is hub.logs(micro, region)
+        assert hub.probe(micro, region) is hub.probe(micro, region)
+
+    def test_regions_isolated(self, hub, component, small_topology):
+        micro, region = component
+        other_region = small_topology.region_names()[1]
+        times = np.arange(0, HOUR, 60.0)
+        a = hub.metric(micro, region, "cpu_util").sample(times)
+        b = hub.metric(micro, other_region, "cpu_util").sample(times)
+        assert not np.array_equal(a, b)
+
+
+class TestResetFaults:
+    def test_reset_clears_everything(self, hub, component):
+        micro, region = component
+        window = TimeWindow(0, HOUR)
+        hub.metric(micro, region, "cpu_util").add_effect(
+            MetricEffect(window, "set", 99.0)
+        )
+        hub.logs(micro, region).add_burst(LogBurst(window=window, rate_per_hour=100.0))
+        hub.probe(micro, region).add_outage(OutageWindow(window=window))
+        hub.reset_faults()
+        assert hub.metric(micro, region, "cpu_util").effects == []
+        assert hub.logs(micro, region).bursts == []
+        assert hub.probe(micro, region).outages == []

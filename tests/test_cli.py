@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory, capsys_disabled=None):
+    directory = tmp_path_factory.mktemp("cli-trace")
+    code = main(["generate", "--out", str(directory), "--seed", "5",
+                 "--days", "7", "--strategies", "60"])
+    assert code == 0
+    return directory
+
+
+class TestGenerate:
+    def test_writes_trace(self, trace_dir):
+        assert (trace_dir / "alerts.jsonl").exists()
+        assert (trace_dir / "strategies.jsonl").exists()
+
+    def test_prints_stats(self, trace_dir, capsys):
+        main(["generate", "--out", str(trace_dir), "--seed", "5",
+              "--days", "7", "--strategies", "60"])
+        out = capsys.readouterr().out
+        assert "alerts:" in out
+        assert "saved to" in out
+
+
+class TestAnalyses:
+    def test_mine(self, trace_dir, capsys):
+        assert main(["mine", "--trace", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "individual candidates" in out
+
+    def test_mitigate(self, trace_dir, capsys):
+        assert main(["mitigate", "--trace", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "OCE-load reduction" in out
+
+    def test_qoa(self, trace_dir, capsys):
+        assert main(["qoa", "--trace", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "QoA model" in out
+
+
+class TestStandalone:
+    def test_storm(self, capsys):
+        assert main(["storm"]) == 0
+        out = capsys.readouterr().out
+        assert "HAProxy" in out
+        assert "2,751" in out or "2751" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out
+        assert "Figure 2(c)" in out
+
+    def test_lint(self, capsys):
+        assert main(["lint", "--strategies", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "checked 50 strategies" in out
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "repro-alerts" in capsys.readouterr().out

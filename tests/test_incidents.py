@@ -1,0 +1,91 @@
+"""Tests for incident escalation."""
+
+import pytest
+
+from repro.alerting.alert import Severity
+from repro.common.errors import ValidationError
+from repro.core.incidents import Incident, IncidentEscalator
+from repro.core.mitigation.correlation import AlertCluster
+from repro.common.timeutil import TimeWindow
+from tests.antipatterns.test_collective import make_alert
+
+
+def cluster_of(alerts, root=None):
+    cluster = AlertCluster(alerts=sorted(alerts, key=lambda a: a.occurred_at))
+    cluster.root_microservice = root
+    cluster.root_alert = cluster.alerts[0]
+    return cluster
+
+
+class TestEscalationRules:
+    def test_single_critical_alert_escalates(self):
+        alert = make_alert("a-1", 100.0)
+        alert.severity = Severity.CRITICAL
+        incidents = IncidentEscalator().escalate([cluster_of([alert])])
+        assert len(incidents) == 1
+        assert "Critical" in incidents[0].reason
+
+    def test_minor_singleton_does_not_escalate(self):
+        incidents = IncidentEscalator().escalate([cluster_of([make_alert("a-1", 100.0)])])
+        assert incidents == []
+
+    def test_mass_escalation_without_severity(self):
+        alerts = [make_alert(f"a-{i}", 100.0 + i) for i in range(25)]
+        incidents = IncidentEscalator(mass_threshold=20).escalate([cluster_of(alerts)])
+        assert len(incidents) == 1
+        assert "correlated group" in incidents[0].reason
+
+    def test_mass_threshold_respected(self):
+        alerts = [make_alert(f"a-{i}", 100.0 + i) for i in range(10)]
+        incidents = IncidentEscalator(mass_threshold=20).escalate([cluster_of(alerts)])
+        assert incidents == []
+
+    def test_severity_floor_configurable(self):
+        alert = make_alert("a-1", 100.0)
+        alert.severity = Severity.MAJOR
+        escalator = IncidentEscalator(severity_floor=Severity.MAJOR)
+        assert len(escalator.escalate([cluster_of([alert])])) == 1
+
+
+class TestIncidentRecord:
+    def test_fields(self):
+        alerts = [make_alert(f"a-{i}", 100.0 + i * 60.0) for i in range(25)]
+        alerts[3].severity = Severity.CRITICAL
+        incident = IncidentEscalator().escalate([cluster_of(alerts, root="m-a")])[0]
+        assert incident.size == 25
+        assert incident.severity is Severity.CRITICAL
+        assert incident.root_microservice == "m-a"
+        assert incident.window.contains(100.0)
+        assert incident.services == ("svc-a",)
+
+    def test_render_row(self):
+        alert = make_alert("a-1", 100.0)
+        alert.severity = Severity.CRITICAL
+        incident = IncidentEscalator().escalate([cluster_of([alert])])[0]
+        row = incident.render_row()
+        assert "Critical" in row
+        assert "region-A" in row
+
+    def test_empty_incident_rejected(self):
+        with pytest.raises(ValidationError):
+            Incident(
+                incident_id="i-1", region="r", window=TimeWindow(0, 1),
+                severity=Severity.CRITICAL, alert_ids=(), services=(),
+                root_microservice=None, reason="r",
+            )
+
+
+class TestOnRealClusters:
+    def test_storm_clusters_escalate(self, default_trace, topology):
+        from repro.core.antipatterns import detect_storms
+        from repro.core.mitigation import CorrelationAnalyzer
+
+        analyzer = CorrelationAnalyzer(topology.graph)
+        storm = detect_storms(default_trace)[0]
+        alerts = [a for a in default_trace.alerts_in(storm.window)
+                  if a.region == storm.region]
+        clusters = analyzer.correlate(alerts)
+        incidents = IncidentEscalator().escalate(clusters)
+        assert incidents
+        biggest = max(incidents, key=lambda i: i.size)
+        assert biggest.size >= 20

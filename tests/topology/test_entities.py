@@ -1,0 +1,68 @@
+"""Tests for topology entity records."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.topology.entities import (
+    DataCenter,
+    Deployment,
+    Instance,
+    Microservice,
+    Region,
+    Service,
+)
+
+
+class TestBasicEntities:
+    def test_region(self):
+        assert Region("region-A").name == "region-A"
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValidationError):
+            Region("")
+
+    def test_datacenter_requires_region(self):
+        with pytest.raises(ValidationError):
+            DataCenter(name="dc1", region="")
+
+    def test_service_layer_bounds(self):
+        with pytest.raises(ValidationError):
+            Service(name="s", layer=-1, archetype="storage")
+
+    def test_microservice_fields(self):
+        micro = Microservice(name="db-api-00", service="database", layer=1, role="api")
+        assert micro.role == "api"
+
+    def test_microservice_requires_service(self):
+        with pytest.raises(ValidationError):
+            Microservice(name="x", service="", layer=0)
+
+
+class TestInstance:
+    def test_location_format(self):
+        instance = Instance(
+            name="db-api-00.region-A.0", microservice="db-api-00",
+            datacenter="region-A-dc1", region="region-A",
+        )
+        location = instance.location()
+        assert location.startswith("Region=region-A;DC=region-A-dc1;")
+        assert "Instance=db-api-00.region-A.0" in location
+
+
+class TestDeployment:
+    def _instance(self, micro="m", region="r"):
+        return Instance(name=f"{micro}.{region}.0", microservice=micro,
+                        datacenter=f"{region}-dc1", region=region)
+
+    def test_size(self):
+        deployment = Deployment(microservice="m", region="r",
+                                instances=[self._instance()])
+        assert deployment.size == 1
+
+    def test_wrong_microservice_rejected(self):
+        with pytest.raises(ValidationError):
+            Deployment(microservice="other", region="r", instances=[self._instance()])
+
+    def test_wrong_region_rejected(self):
+        with pytest.raises(ValidationError):
+            Deployment(microservice="m", region="other", instances=[self._instance()])

@@ -1,0 +1,95 @@
+"""Tests for the layered topology generator."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.topology.generator import (
+    SERVICE_CATALOG,
+    TopologyConfig,
+    _allocate_budget,
+    generate_topology,
+)
+from repro.topology.graph import validate_layering
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = TopologyConfig()
+        assert config.n_microservices == 192
+        assert len(SERVICE_CATALOG) == 11
+
+    def test_too_few_microservices_rejected(self):
+        with pytest.raises(ValidationError):
+            TopologyConfig(n_microservices=5)
+
+    def test_bad_instance_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            TopologyConfig(instances_per_deployment=(3, 2))
+
+
+class TestAllocation:
+    def test_total_preserved(self):
+        allocation = _allocate_budget(192)
+        assert sum(allocation.values()) == 192
+
+    def test_every_service_covered(self):
+        allocation = _allocate_budget(20)
+        assert all(count >= 1 for count in allocation.values())
+        assert len(allocation) == len(SERVICE_CATALOG)
+
+    def test_small_budget(self):
+        allocation = _allocate_budget(11)
+        assert sum(allocation.values()) == 11
+
+
+class TestGenerateTopology:
+    def test_paper_shape(self, topology):
+        assert len(topology.services) == 11
+        assert len(topology.microservices) == 192
+        assert len(topology.regions) == 3
+
+    def test_deterministic(self):
+        a = generate_topology(TopologyConfig(seed=5, n_microservices=30))
+        b = generate_topology(TopologyConfig(seed=5, n_microservices=30))
+        assert a.graph.microservices == b.graph.microservices
+        assert a.graph.edge_count == b.graph.edge_count
+
+    def test_seed_changes_wiring(self):
+        a = generate_topology(TopologyConfig(seed=1, n_microservices=40))
+        b = generate_topology(TopologyConfig(seed=2, n_microservices=40))
+        assert a.graph.to_networkx().edges != b.graph.to_networkx().edges
+
+    def test_layering_never_violated(self, topology):
+        layers = {
+            name: micro.layer for name, micro in topology.microservices.items()
+        }
+        assert validate_layering(topology.graph, layers) == []
+
+    def test_every_microservice_deployed_everywhere(self, topology):
+        for name in list(topology.microservices)[:10]:
+            deployments = topology.deployments_of(name)
+            assert {d.region for d in deployments} == set(topology.region_names())
+
+    def test_instance_counts_in_bounds(self, topology):
+        low, high = topology.config.instances_per_deployment
+        for deployment in topology.deployments[:50]:
+            assert low <= deployment.size <= high
+
+    def test_service_of_complete(self, topology):
+        assert set(topology.service_of) == set(topology.microservices)
+
+    def test_microservices_of_unknown_service_rejected(self, topology):
+        with pytest.raises(ValidationError):
+            topology.microservices_of("nope")
+
+    def test_graph_is_connected_enough(self, topology):
+        # Frontends must reach infrastructure for cascades to exist.
+        api_gateway = topology.microservices_of("api-gateway")[0]
+        downstream = topology.graph.downstream_dependencies(api_gateway)
+        layers = {topology.microservices[m].layer for m in downstream}
+        assert 0 in layers
+
+    def test_summary_mentions_scale(self, topology):
+        summary = topology.summary()
+        assert "11 services" in summary
+        assert "192 microservices" in summary

@@ -1,0 +1,46 @@
+"""Tests for trace scale presets."""
+
+import pytest
+
+from repro.analysis import paper_reference as paper
+from repro.common.errors import ValidationError
+from repro.workload.calibration import TraceScale
+
+
+class TestPaperScale:
+    def test_matches_paper_frame(self):
+        scale = TraceScale.paper()
+        assert scale.days == 730
+        assert scale.n_strategies == paper.N_STRATEGIES
+        assert scale.target_total_alerts == paper.N_ALERTS_TOTAL
+
+    def test_per_strategy_rate(self):
+        scale = TraceScale.paper()
+        assert scale.alerts_per_strategy_per_day == pytest.approx(2.726, abs=0.01)
+
+
+class TestDefaultScale:
+    def test_rate_preserved(self):
+        # The scale-down keeps alerts/strategy/day constant.
+        assert TraceScale.default().alerts_per_strategy_per_day == pytest.approx(
+            TraceScale.paper().alerts_per_strategy_per_day, rel=0.01
+        )
+
+    def test_smaller_than_paper(self):
+        assert TraceScale.default().target_total_alerts < paper.N_ALERTS_TOTAL / 10
+
+
+class TestSmokeScale:
+    def test_tiny(self):
+        scale = TraceScale.smoke()
+        assert scale.days == 7
+        assert scale.target_total_alerts < 5000
+
+
+class TestValidation:
+    def test_bad_days_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceScale(days=0, n_strategies=10, target_total_alerts=100)
+
+    def test_span_seconds(self):
+        assert TraceScale(days=2, n_strategies=1, target_total_alerts=1).span_seconds == 2 * 86400

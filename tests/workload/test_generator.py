@@ -1,0 +1,125 @@
+"""Tests for the rate-driven trace generator."""
+
+import pytest
+
+from repro.alerting.alert import AlertState
+from repro.common.timeutil import DAY
+from repro.workload.generator import TraceConfig, TraceGenerator, generate_trace
+from repro.workload.calibration import TraceScale
+
+
+class TestVolume:
+    def test_total_close_to_target(self, default_trace):
+        target = TraceScale.default().target_total_alerts
+        assert abs(len(default_trace) - target) / target < 0.15
+
+    def test_span_within_scale(self, default_trace):
+        window = default_trace.window()
+        assert window.end <= TraceScale.default().span_seconds + DAY
+
+    def test_all_strategies_registered(self, default_trace):
+        assert len(default_trace.strategies) == TraceScale.default().n_strategies
+
+    def test_alerts_sorted(self, default_trace):
+        times = [a.occurred_at for a in default_trace.alerts]
+        assert times == sorted(times)
+
+    def test_alert_ids_unique(self, smoke_trace):
+        ids = [a.alert_id for a in smoke_trace.alerts]
+        assert len(ids) == len(set(ids))
+
+
+class TestLifecycle:
+    def test_all_alerts_cleared(self, smoke_trace):
+        assert all(a.cleared_at is not None for a in smoke_trace.alerts)
+
+    def test_manual_share_follows_true_severity(self, default_trace):
+        from repro.alerting.alert import Severity
+
+        shares = {}
+        for severity in Severity:
+            alerts = [
+                a for a in default_trace.alerts
+                if default_trace.strategies[a.strategy_id].true_severity is severity
+                and a.fault_id is None
+            ]
+            if len(alerts) < 50:
+                continue
+            manual = sum(1 for a in alerts if a.state is AlertState.CLEARED_MANUAL)
+            shares[severity] = manual / len(alerts)
+        # True severities only span CRITICAL..MINOR in the factory mix.
+        assert shares[Severity.CRITICAL] > shares[Severity.MINOR]
+
+
+class TestGroundTruth:
+    def test_storm_faults_present(self, default_trace):
+        roots = [f for f in default_trace.faults if f.is_root]
+        children = [f for f in default_trace.faults if not f.is_root]
+        assert roots
+        assert children
+
+    def test_storm_alerts_attributed(self, default_trace):
+        attributed = [a for a in default_trace.alerts if a.fault_id is not None]
+        fault_ids = {f.fault_id for f in default_trace.faults}
+        assert attributed
+        assert all(a.fault_id in fault_ids for a in attributed)
+
+    def test_child_faults_start_after_root(self, default_trace):
+        faults = {f.fault_id: f for f in default_trace.faults}
+        for fault in default_trace.faults:
+            if fault.parent_fault_id is not None:
+                parent = faults[fault.parent_fault_id]
+                assert fault.window.start >= parent.window.start
+
+    def test_outcomes_sampled_capped(self, default_trace):
+        per_strategy: dict[str, int] = {}
+        for outcome in default_trace.outcomes:
+            per_strategy[outcome.strategy_id] = per_strategy.get(outcome.strategy_id, 0) + 1
+        cap = TraceConfig().max_outcomes_per_strategy
+        assert max(per_strategy.values()) <= cap
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, topology):
+        config = TraceConfig(seed=5, scale=TraceScale.smoke())
+        a = generate_trace(config, topology)
+        b = generate_trace(config, topology)
+        assert len(a) == len(b)
+        assert [x.alert_id for x in a.alerts[:50]] == [y.alert_id for y in b.alerts[:50]]
+        assert [x.occurred_at for x in a.alerts[:50]] == [y.occurred_at for y in b.alerts[:50]]
+
+    def test_different_seed_differs(self, topology):
+        a = generate_trace(TraceConfig(seed=5, scale=TraceScale.smoke()), topology)
+        b = generate_trace(TraceConfig(seed=6, scale=TraceScale.smoke()), topology)
+        assert [x.occurred_at for x in a.alerts[:20]] != [y.occurred_at for y in b.alerts[:20]]
+
+    def test_generator_builds_topology_if_missing(self):
+        generator = TraceGenerator(TraceConfig(seed=5, scale=TraceScale.smoke()))
+        assert generator.topology is not None
+
+
+class TestAntiPatternFootprints:
+    def test_a4_strategies_emit_transients(self, default_trace):
+        for sid, strategy in default_trace.strategies.items():
+            if "A4" not in strategy.injected_antipatterns():
+                continue
+            alerts = [a for a in default_trace.alerts if a.strategy_id == sid]
+            if len(alerts) < 20:
+                continue
+            transient = sum(1 for a in alerts if a.is_transient(600.0))
+            assert transient / len(alerts) > 0.3
+            break
+        else:
+            pytest.skip("no high-volume A4 strategy in this trace")
+
+    def test_a5_strategies_emit_episodes(self, default_trace):
+        from repro.core.antipatterns.collective import RepeatingAlertsDetector
+
+        detector = RepeatingAlertsDetector()
+        findings = {f.subject for f in detector.detect(default_trace)}
+        a5_high_volume = {
+            sid for sid, s in default_trace.strategies.items()
+            if "A5" in s.injected_antipatterns()
+            and len([a for a in default_trace.alerts if a.strategy_id == sid]) >= 30
+        }
+        assert a5_high_volume & findings

@@ -1,0 +1,111 @@
+"""Tests for the representative Figure 3 storm."""
+
+import pytest
+
+from repro.analysis import paper_reference as paper
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, hour_bucket
+from repro.workload.storms import StormConfig, build_representative_storm
+
+
+@pytest.fixture(scope="module")
+def storm(topology):
+    return build_representative_storm(StormConfig(seed=42), topology)
+
+
+class TestShape:
+    def test_total_alerts_exact(self, storm):
+        assert len(storm) == paper.STORM_EXAMPLE["total_alerts"]
+
+    def test_effective_strategies(self, storm):
+        used = {a.strategy_id for a in storm.alerts}
+        assert len(used) == paper.STORM_EXAMPLE["effective_strategies"]
+
+    def test_window_is_five_hours(self, storm):
+        config = StormConfig()
+        hours = {hour_bucket(a.occurred_at) for a in storm.alerts}
+        first = config.day * 24 + config.start_hour
+        assert hours == set(range(first, first + config.n_hours))
+
+    def test_top_strategy_is_haproxy_warning(self, storm):
+        by_strategy = storm.by_strategy()
+        top = max(by_strategy, key=lambda sid: len(by_strategy[sid]))
+        assert storm.strategies[top].name == paper.STORM_EXAMPLE["top_strategy"]
+
+    def test_haproxy_share_about_30_percent(self, storm):
+        haproxy = [a for a in storm.alerts
+                   if a.strategy_name == paper.STORM_EXAMPLE["top_strategy"]]
+        share = len(haproxy) / len(storm)
+        assert share == pytest.approx(0.30, abs=0.04)
+
+    def test_haproxy_share_per_hour(self, storm):
+        config = StormConfig()
+        first = config.day * 24 + config.start_hour
+        for hour in range(first, first + config.n_hours):
+            hour_alerts = [a for a in storm.alerts if hour_bucket(a.occurred_at) == hour]
+            haproxy = [a for a in hour_alerts
+                       if a.strategy_name == paper.STORM_EXAMPLE["top_strategy"]]
+            assert len(haproxy) / len(hour_alerts) == pytest.approx(0.30, abs=0.06)
+
+    def test_haproxy_is_warning_level(self, storm):
+        # "it is only a WARNING level alert, i.e., the lowest level"
+        haproxy = next(a for a in storm.alerts
+                       if a.strategy_name == paper.STORM_EXAMPLE["top_strategy"])
+        assert haproxy.severity.name == "WARNING"
+
+    def test_kafka_is_second(self, storm):
+        by_strategy = storm.by_strategy()
+        ranked = sorted(by_strategy, key=lambda sid: -len(by_strategy[sid]))
+        assert storm.strategies[ranked[1]].name == "kafka_consumer_lag_high"
+
+    def test_ground_truth_cascade_attached(self, storm):
+        assert any(f.is_root for f in storm.faults)
+        assert any(not f.is_root for f in storm.faults)
+
+
+class TestDetectability:
+    def test_storm_detected_by_mining(self, storm):
+        from repro.core.antipatterns.mining import detect_storms
+
+        episodes = detect_storms(storm)
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert episode.n_hours == StormConfig().n_hours
+        assert episode.total_alerts == len(storm)
+
+    def test_repeating_detected_in_group(self, storm):
+        from repro.core.antipatterns.collective import RepeatingAlertsDetector
+
+        window = StormConfig().window
+        alerts = storm.alerts_in(window)
+        findings = RepeatingAlertsDetector().detect_in_group(alerts, "storm")
+        flagged = {f.subject for f in findings}
+        assert "strategy-haproxy" in flagged
+
+    def test_cascading_detected_in_group(self, storm, topology):
+        from repro.core.antipatterns.collective import CascadingAlertsDetector
+
+        alerts = storm.alerts_in(StormConfig().window)
+        verdict = CascadingAlertsDetector(topology.graph).detect_in_group(alerts, "storm")
+        assert verdict is not None
+
+
+class TestConfig:
+    def test_deterministic(self, topology):
+        a = build_representative_storm(StormConfig(seed=3), topology)
+        b = build_representative_storm(StormConfig(seed=3), topology)
+        assert len(a) == len(b)
+        assert a.alerts[0].occurred_at == b.alerts[0].occurred_at
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ValidationError):
+            StormConfig(top_share=0.7, second_share=0.4)
+
+    def test_too_few_strategies_rejected(self):
+        with pytest.raises(ValidationError):
+            StormConfig(n_strategies=2)
+
+    def test_window_property(self):
+        config = StormConfig(day=1, start_hour=7, n_hours=5)
+        assert config.window.start == 24 * HOUR + 7 * HOUR
+        assert config.window.duration == 5 * HOUR

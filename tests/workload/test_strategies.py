@@ -1,0 +1,105 @@
+"""Tests for the strategy population factory."""
+
+import pytest
+
+from repro.alerting.rules import LogKeywordRule, MetricRule, ProbeRule
+from repro.common.errors import ValidationError
+from repro.workload.strategies import StrategyFactory, StrategyMixConfig
+
+
+@pytest.fixture(scope="module")
+def population(topology):
+    factory = StrategyFactory(topology, seed=42)
+    return factory.build(400)
+
+
+class TestMixConfig:
+    def test_probe_fraction_is_remainder(self):
+        mix = StrategyMixConfig(metric_fraction=0.6, log_fraction=0.25)
+        assert mix.probe_fraction == pytest.approx(0.15)
+
+    def test_overweight_rejected(self):
+        with pytest.raises(ValidationError):
+            StrategyMixConfig(metric_fraction=0.8, log_fraction=0.3)
+
+    def test_expected_clean_fraction(self):
+        mix = StrategyMixConfig(a1_rate=0.0, a2_rate=0.0, a3_rate=0.0,
+                                a4_rate=0.0, a5_rate=0.0)
+        assert mix.expected_clean_fraction() == 1.0
+
+
+class TestBuild:
+    def test_count(self, population):
+        assert len(population) == 400
+
+    def test_unique_ids(self, population):
+        assert len({s.strategy_id for s in population}) == 400
+
+    def test_every_microservice_covered(self, population, topology):
+        covered = {s.microservice for s in population}
+        assert covered == set(topology.microservices)
+
+    def test_channel_mix_roughly_configured(self, population):
+        metric = sum(isinstance(s.rule, MetricRule) for s in population)
+        log = sum(isinstance(s.rule, LogKeywordRule) for s in population)
+        probe = sum(isinstance(s.rule, ProbeRule) for s in population)
+        assert metric > log > probe
+        assert metric / len(population) == pytest.approx(0.6, abs=0.1)
+
+    def test_injection_rates_roughly_configured(self, population):
+        injected = sum(1 for s in population if s.injected_antipatterns())
+        expected = 1.0 - StrategyMixConfig().expected_clean_fraction()
+        assert injected / len(population) == pytest.approx(expected, abs=0.12)
+
+    def test_a3_only_on_metric_strategies(self, population):
+        for strategy in population:
+            if "A3" in strategy.injected_antipatterns():
+                assert isinstance(strategy.rule, MetricRule)
+
+    def test_a3_strategies_watch_infra_metrics(self, population):
+        infra = {"cpu_util", "memory_util", "disk_util"}
+        for strategy in population:
+            if "A3" in strategy.injected_antipatterns():
+                assert strategy.rule.metric_name in infra
+
+    def test_biased_severity_differs_from_true(self, population):
+        for strategy in population:
+            if "A2" in strategy.injected_antipatterns():
+                assert strategy.severity is not strategy.true_severity
+            else:
+                assert strategy.severity is strategy.true_severity
+
+    def test_sensitive_metric_strategies_have_tight_rules(self, population):
+        for strategy in population:
+            if not isinstance(strategy.rule, MetricRule):
+                continue
+            if strategy.quality.sensitivity > 0.6:
+                assert strategy.rule.detector.min_consecutive == 1
+
+    def test_vague_titles_only_on_a1(self, population):
+        for strategy in population:
+            manifest_like = ":" in strategy.title
+            if "A1" in strategy.injected_antipatterns():
+                assert not manifest_like
+            else:
+                assert manifest_like
+
+    def test_deterministic(self, topology):
+        a = StrategyFactory(topology, seed=9).build(50)
+        b = StrategyFactory(topology, seed=9).build(50)
+        assert [s.name for s in a] == [s.name for s in b]
+
+    def test_build_for_specific_microservice(self, topology):
+        target = sorted(topology.microservices)[0]
+        strategies = StrategyFactory(topology, seed=9).build_for(target, count=3)
+        assert len(strategies) == 3
+        assert all(s.microservice == target for s in strategies)
+
+    def test_zero_count_rejected(self, topology):
+        with pytest.raises(ValidationError):
+            StrategyFactory(topology, seed=9).build(0)
+
+    def test_probe_strategies_are_critical(self, population):
+        for strategy in population:
+            if isinstance(strategy.rule, ProbeRule):
+                assert strategy.true_severity.name == "CRITICAL"

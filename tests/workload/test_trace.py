@@ -1,0 +1,113 @@
+"""Tests for the AlertTrace container."""
+
+import pytest
+
+from repro.alerting.alert import Alert, Severity
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR, TimeWindow
+from repro.workload.trace import AlertTrace
+from tests.oce.test_processing import make_strategy
+
+
+def make_alert(alert_id, occurred_at, strategy_id="s-1", region="region-A"):
+    return Alert(
+        alert_id=alert_id, strategy_id=strategy_id, strategy_name="n",
+        title="t", description="d", severity=Severity.MINOR, service="database",
+        microservice="database-api-00", region=region, datacenter="dc",
+        channel="log", occurred_at=occurred_at,
+    )
+
+
+@pytest.fixture()
+def trace():
+    trace = AlertTrace(seed=1, label="test")
+    trace.add_strategy(make_strategy())
+    trace.extend_alerts([
+        make_alert("a-2", 2 * HOUR),
+        make_alert("a-1", HOUR),
+        make_alert("a-3", 30 * HOUR, region="region-B"),
+    ])
+    return trace
+
+
+class TestBasics:
+    def test_len(self, trace):
+        assert len(trace) == 3
+
+    def test_sort(self, trace):
+        trace.sort()
+        assert [a.alert_id for a in trace.alerts] == ["a-1", "a-2", "a-3"]
+
+    def test_duplicate_strategy_rejected(self, trace):
+        with pytest.raises(ValidationError):
+            trace.add_strategy(make_strategy())
+
+    def test_strategy_of(self, trace):
+        assert trace.strategy_of(trace.alerts[0]).strategy_id == "s-1"
+
+    def test_strategy_of_unknown_rejected(self, trace):
+        orphan = make_alert("a-9", HOUR, strategy_id="ghost")
+        with pytest.raises(ValidationError):
+            trace.strategy_of(orphan)
+
+    def test_window(self, trace):
+        window = trace.window()
+        assert window.start == HOUR
+        assert window.end >= 30 * HOUR
+
+    def test_window_of_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            AlertTrace().window()
+
+
+class TestQueries:
+    def test_alerts_in(self, trace):
+        inside = trace.alerts_in(TimeWindow(0, 3 * HOUR))
+        assert {a.alert_id for a in inside} == {"a-1", "a-2"}
+
+    def test_filter_shares_strategies(self, trace):
+        filtered = trace.filter(lambda a: a.region == "region-A")
+        assert len(filtered) == 2
+        assert filtered.strategies is trace.strategies
+
+    def test_by_strategy(self, trace):
+        grouped = trace.by_strategy()
+        assert len(grouped["s-1"]) == 3
+
+    def test_counts_by_hour_region(self, trace):
+        counts = trace.counts_by_hour_region()
+        assert counts[(1, "region-A")] == 1
+        assert counts[(30, "region-B")] == 1
+
+    def test_alerts_by_hour_region(self, trace):
+        grouped = trace.alerts_by_hour_region()
+        assert [a.alert_id for a in grouped[(2, "region-A")]] == ["a-2"]
+
+
+class TestOutcomesAndMerge:
+    def test_mean_processing(self, trace):
+        from repro.oce.processing import ProcessingOutcome
+
+        trace.outcomes.extend([
+            ProcessingOutcome("a-1", "s-1", "oce", 0.0, 100.0, True),
+            ProcessingOutcome("a-2", "s-1", "oce", 0.0, 300.0, True),
+        ])
+        assert trace.mean_processing_by_strategy() == {"s-1": 200.0}
+
+    def test_merge(self, trace):
+        other = AlertTrace(seed=1)
+        other.extend_alerts([make_alert("b-1", 5 * HOUR)])
+        other.add_strategy(make_strategy())  # identical object id is fine
+        # Re-use the same strategy object to avoid conflicts.
+        other.strategies = {"s-1": trace.strategies["s-1"]}
+        merged = trace.merge(other)
+        assert len(merged) == 4
+        assert [a.occurred_at for a in merged.alerts] == sorted(
+            a.occurred_at for a in merged.alerts
+        )
+
+    def test_merge_conflicting_strategy_rejected(self, trace):
+        other = AlertTrace()
+        other.add_strategy(make_strategy())  # different object, same id
+        with pytest.raises(ValidationError):
+            trace.merge(other)
