@@ -49,6 +49,7 @@ from repro.core.mitigation import (
     MitigationPipeline,
 )
 from repro.core.governance import GuidelineChecker, PeriodicReview
+from repro.streaming import AlertGateway, GatewayStats, ShardRouter, drive_gateway
 from repro.core.incidents import Incident, IncidentEscalator
 from repro.core.qoa import QoAModel, evaluate_qoa_pipeline, measure_qoa
 from repro.faults import CascadeModel, FaultInjector, FaultKind
@@ -109,6 +110,11 @@ __all__ = [
     "CorrelationAnalyzer",
     "EmergingAlertDetector",
     "MitigationPipeline",
+    # streaming gateway
+    "AlertGateway",
+    "GatewayStats",
+    "ShardRouter",
+    "drive_gateway",
     # core: governance & incidents
     "GuidelineChecker",
     "PeriodicReview",

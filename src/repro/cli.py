@@ -5,6 +5,7 @@
     repro-alerts generate --out trace-dir --days 60
     repro-alerts mine     --trace trace-dir
     repro-alerts mitigate --trace trace-dir
+    repro-alerts stream   --trace trace-dir --shards 4 --reconcile
     repro-alerts qoa      --trace trace-dir
     repro-alerts storm
     repro-alerts survey
@@ -28,6 +29,7 @@ from repro.core.governance import GuidelineChecker
 from repro.core.mitigation import MitigationPipeline, rulebook_from_ground_truth
 from repro.core.qoa import evaluate_qoa_pipeline
 from repro.io import load_trace, save_trace
+from repro.streaming import AlertGateway
 from repro.oce.survey import (
     IMPACT_OPTIONS,
     REACTION_OPTIONS,
@@ -58,6 +60,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "mine": _cmd_mine,
         "mitigate": _cmd_mitigate,
+        "stream": _cmd_stream,
         "qoa": _cmd_qoa,
         "storm": _cmd_storm,
         "survey": _cmd_survey,
@@ -91,6 +94,18 @@ def _build_parser() -> argparse.ArgumentParser:
         command.add_argument("--trace", required=True, help="trace directory")
         command.add_argument("--seed", type=int, default=None,
                              help="topology seed (default: the trace's seed)")
+
+    stream = sub.add_parser(
+        "stream", help="replay a JSONL trace through the online alert gateway"
+    )
+    stream.add_argument("--trace", required=True, help="trace directory")
+    stream.add_argument("--seed", type=int, default=None,
+                        help="topology seed (default: the trace's seed)")
+    stream.add_argument("--shards", type=int, default=4)
+    stream.add_argument("--window", type=float, default=900.0,
+                        help="aggregation/correlation window in seconds")
+    stream.add_argument("--reconcile", action="store_true",
+                        help="also run the batch pipeline and verify exact parity")
 
     storm = sub.add_parser("storm", help="regenerate the Figure 3 storm")
     storm.add_argument("--seed", type=int, default=42)
@@ -146,6 +161,38 @@ def _cmd_mitigate(args) -> int:
     rulebook = rulebook_from_ground_truth(trace, coverage=0.6, seed=trace.seed)
     report = MitigationPipeline(topology.graph, rulebook=rulebook).run(trace)
     print(report.render())
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    trace, topology = _load(args)
+    rulebook = rulebook_from_ground_truth(trace, coverage=0.6, seed=trace.seed)
+    blocker = MitigationPipeline.derive_blocker(trace)
+    gateway = AlertGateway(
+        topology.graph,
+        blocker=blocker,
+        rulebook=rulebook,
+        n_shards=args.shards,
+        aggregation_window=args.window,
+        correlation_window=args.window,
+        retain_artifacts=False,
+    )
+    gateway.ingest_many(trace.iter_ordered())
+    stats = gateway.drain()
+    print(stats.render())
+    if args.reconcile:
+        report = MitigationPipeline(
+            topology.graph,
+            rulebook=rulebook,
+            aggregation_window=args.window,
+            correlation_window=args.window,
+        ).run(trace, blocker=blocker)
+        mismatches = stats.reconcile(report)
+        if mismatches:
+            for stage, (online, batch) in mismatches.items():
+                print(f"MISMATCH {stage}: gateway={online} batch={batch}")
+            return 1
+        print("reconciliation: gateway matches batch pipeline exactly")
     return 0
 
 

@@ -134,6 +134,22 @@ class CorrelationAnalyzer:
         return clusters
 
     # ------------------------------------------------------------------
+    # building blocks (shared with the streaming OnlineCorrelator)
+    # ------------------------------------------------------------------
+    @property
+    def time_window(self) -> float:
+        """Seconds within which two alerts may correlate."""
+        return self._window
+
+    def pair_evidence(self, first: Alert, second: Alert) -> bool:
+        """Whether rule-book or topological evidence links the two alerts."""
+        return self._evidence(first, second)
+
+    def build_cluster(self, alerts: list[Alert]) -> AlertCluster:
+        """Finalise one correlated group into an :class:`AlertCluster`."""
+        return self._finalise(alerts)
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _evidence(self, first: Alert, second: Alert) -> bool:

@@ -104,16 +104,36 @@ class MitigationPipeline:
         self._enable_emerging = enable_emerging
         self._emerging = emerging_detector or EmergingAlertDetector()
 
-    def run(self, trace: AlertTrace) -> MitigationReport:
-        """Execute the reaction chain over ``trace``."""
+    @staticmethod
+    def derive_blocker(
+        trace: AlertTrace,
+        thresholds: DetectorThresholds | None = None,
+    ) -> AlertBlocker:
+        """R1 rule derivation: noise-detector findings become blocking rules.
+
+        Exposed so online consumers (the streaming gateway, the CLI) can
+        configure the exact rule set the batch pipeline would derive.
+        """
+        thresholds = thresholds or DetectorThresholds()
+        noise_findings = []
+        noise_findings.extend(TransientTogglingDetector(thresholds).detect(trace))
+        noise_findings.extend(RepeatingAlertsDetector(thresholds).detect(trace))
+        return AlertBlocker.from_findings(noise_findings)
+
+    def run(self, trace: AlertTrace, blocker: AlertBlocker | None = None) -> MitigationReport:
+        """Execute the reaction chain over ``trace``.
+
+        ``blocker`` short-circuits R1 rule derivation when the caller
+        already holds the rules (e.g. the streaming gateway's
+        reconciliation path); by default they are derived from the noise
+        detectors as usual.
+        """
         report = MitigationReport(input_alerts=len(trace.alerts))
         report.emerging_enabled = self._enable_emerging
 
         # R1: derive blocking rules from the noise detectors, then block.
-        noise_findings = []
-        noise_findings.extend(TransientTogglingDetector(self._thresholds).detect(trace))
-        noise_findings.extend(RepeatingAlertsDetector(self._thresholds).detect(trace))
-        blocker = AlertBlocker.from_findings(noise_findings)
+        if blocker is None:
+            blocker = self.derive_blocker(trace, self._thresholds)
         passed, blocked = blocker.apply(trace)
         report.blocked_alerts = len(blocked)
 

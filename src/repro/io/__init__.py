@@ -1,6 +1,13 @@
 """Persistence: JSONL serialisation of alerts, faults, and traces."""
 
 from repro.io.jsonl import read_jsonl, write_jsonl
-from repro.io.traces import load_trace, save_trace
+from repro.io.traces import alert_from_dict, alert_to_dict, load_trace, save_trace
 
-__all__ = ["read_jsonl", "write_jsonl", "save_trace", "load_trace"]
+__all__ = [
+    "read_jsonl",
+    "write_jsonl",
+    "save_trace",
+    "load_trace",
+    "alert_to_dict",
+    "alert_from_dict",
+]

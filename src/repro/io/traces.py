@@ -23,14 +23,14 @@ from repro.io.jsonl import read_jsonl, write_jsonl
 from repro.oce.processing import ProcessingOutcome
 from repro.workload.trace import AlertTrace
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = ["save_trace", "load_trace", "alert_to_dict", "alert_from_dict"]
 
 
 def save_trace(trace: AlertTrace, directory: str | Path) -> Path:
     """Write ``trace`` into ``directory`` (created if missing)."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    write_jsonl(directory / "alerts.jsonl", (_alert_to_dict(a) for a in trace.alerts))
+    write_jsonl(directory / "alerts.jsonl", (alert_to_dict(a) for a in trace.alerts))
     write_jsonl(
         directory / "strategies.jsonl",
         (_strategy_to_dict(s) for s in trace.strategies.values()),
@@ -55,7 +55,7 @@ def load_trace(directory: str | Path) -> AlertTrace:
     for record in read_jsonl(directory / "strategies.jsonl"):
         trace.add_strategy(_strategy_from_dict(record))
     for record in read_jsonl(directory / "alerts.jsonl"):
-        trace.alerts.append(_alert_from_dict(record))
+        trace.alerts.append(alert_from_dict(record))
     for record in read_jsonl(directory / "faults.jsonl"):
         trace.faults.append(_fault_from_dict(record))
     for record in read_jsonl(directory / "outcomes.jsonl"):
@@ -66,7 +66,7 @@ def load_trace(directory: str | Path) -> AlertTrace:
 # ----------------------------------------------------------------------
 # record codecs
 # ----------------------------------------------------------------------
-def _alert_to_dict(alert: Alert) -> dict:
+def alert_to_dict(alert: Alert) -> dict:
     return {
         "alert_id": alert.alert_id,
         "strategy_id": alert.strategy_id,
@@ -87,7 +87,7 @@ def _alert_to_dict(alert: Alert) -> dict:
     }
 
 
-def _alert_from_dict(record: dict) -> Alert:
+def alert_from_dict(record: dict) -> Alert:
     alert = Alert(
         alert_id=record["alert_id"],
         strategy_id=record["strategy_id"],

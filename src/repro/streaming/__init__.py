@@ -1,0 +1,45 @@
+"""Online alert gateway: sharded ingestion + incremental mitigation.
+
+The streaming counterpart of the batch mitigation pipeline (paper
+§III-C run continuously, as the production system the paper studies
+does): alerts enter one at a time, are routed across shards on a
+consistent-hash ring, and flow through incremental versions of the
+reaction chain — R1 blocking and R2 session-window dedup per shard, R3
+windowed correlation over the merged representative stream, R4
+storm/emerging detection on ring-buffer counters.  End-of-run volume
+accounting reconciles exactly with
+:class:`~repro.core.mitigation.pipeline.MitigationReport` on the same
+in-order trace.
+"""
+
+from repro.streaming.correlator import OnlineCorrelator
+from repro.streaming.dedup import OnlineAggregator, OpenSession
+from repro.streaming.driver import drive_gateway
+from repro.streaming.gateway import AlertGateway, GatewaySnapshot
+from repro.streaming.processor import StreamProcessor
+from repro.streaming.routing import ShardRouter, shard_key, template_of
+from repro.streaming.sources import iter_jsonl_alerts, merge_ordered
+from repro.streaming.stats import GatewayStats
+from repro.streaming.storm import EmergingSignal, OnlineStormDetector, StormEpisode
+from repro.streaming.windows import LatencyReservoir, RingCounter
+
+__all__ = [
+    "AlertGateway",
+    "GatewaySnapshot",
+    "GatewayStats",
+    "StreamProcessor",
+    "ShardRouter",
+    "shard_key",
+    "template_of",
+    "OnlineAggregator",
+    "OpenSession",
+    "OnlineCorrelator",
+    "OnlineStormDetector",
+    "StormEpisode",
+    "EmergingSignal",
+    "RingCounter",
+    "LatencyReservoir",
+    "drive_gateway",
+    "iter_jsonl_alerts",
+    "merge_ordered",
+]

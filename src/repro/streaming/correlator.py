@@ -1,0 +1,165 @@
+"""Online correlation analysis — the streaming form of R3.
+
+The batch :class:`~repro.core.mitigation.correlation.CorrelationAnalyzer`
+sorts all aggregate representatives and union-finds every pair within the
+correlation window that shares evidence (rule book or topology).  The
+resulting clusters are the connected components of an *evidence graph*:
+node = representative, edge = (|Δt| ≤ window AND evidence).  Connected
+components do not depend on insertion order, so the online correlator
+reaches the identical partition incrementally: each arriving
+representative is unioned against every retained representative within
+the window, and a component is finalised — turned into an
+:class:`~repro.core.mitigation.correlation.AlertCluster` and evicted —
+only once the safety horizon proves no future representative can reach
+it.
+
+The safety horizon accounts for aggregation latency: a representative
+emitted later by a still-open session can carry a timestamp as old as
+that session's first alert, so the horizon is
+``min(watermark, earliest open-session start) - window``.  Retention is
+therefore bounded by the number of representatives inside one
+correlation+session horizon, not by stream length.
+
+Evidence and cluster finalisation are delegated to the batch analyzer
+(:meth:`pair_evidence` / :meth:`build_cluster`), which is what makes the
+gateway's end-of-run cluster accounting reconcile with
+:class:`~repro.core.mitigation.pipeline.MitigationReport` exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.alerting.alert import Alert
+from repro.core.mitigation.correlation import AlertCluster, CorrelationAnalyzer
+
+__all__ = ["OnlineCorrelator"]
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One retained representative awaiting finalisation."""
+
+    seq: int
+    alert: Alert
+
+
+class OnlineCorrelator:
+    """Incremental windowed union-find over aggregate representatives."""
+
+    def __init__(
+        self,
+        analyzer: CorrelationAnalyzer,
+        retain_finalized: bool = False,
+    ) -> None:
+        """``retain_finalized`` keeps every finalised cluster on the
+        instance — opt-in only, since on an unbounded stream that list
+        grows forever; callers that need the artefacts (the gateway with
+        ``retain_artifacts``) collect the return values instead."""
+        self._analyzer = analyzer
+        self._window = analyzer.time_window
+        self._seq = 0
+        self._entries: dict[int, _Entry] = {}
+        self._timeline: list[tuple[float, int]] = []  # sorted (occurred_at, seq)
+        self._parent: dict[int, int] = {}
+        self._members: dict[int, list[int]] = {}
+        self._max_time: dict[int, float] = {}
+        self._retain_finalized = retain_finalized
+        self.finalized: list[AlertCluster] = []
+        self.finalized_count = 0
+
+    @property
+    def active_components(self) -> int:
+        """Components still open to future merges."""
+        return len(self._members)
+
+    @property
+    def retained(self) -> int:
+        """Representatives currently held in memory."""
+        return len(self._entries)
+
+    def add(self, representative: Alert) -> None:
+        """Correlate one newly emitted representative against the window."""
+        seq = self._seq
+        self._seq += 1
+        entry = _Entry(seq=seq, alert=representative)
+        self._entries[seq] = entry
+        self._parent[seq] = seq
+        self._members[seq] = [seq]
+        self._max_time[seq] = representative.occurred_at
+        time = representative.occurred_at
+        lo = bisect.bisect_left(self._timeline, (time - self._window, -1))
+        hi = bisect.bisect_right(self._timeline, (time + self._window, self._seq))
+        # Check every retained in-window pair exactly as the batch sweep
+        # does; union-find makes repeats cheap.
+        for index in range(lo, hi):
+            other_seq = self._timeline[index][1]
+            if self._find(other_seq) == self._find(seq):
+                continue
+            if self._analyzer.pair_evidence(self._entries[other_seq].alert, representative):
+                self._union(other_seq, seq)
+        bisect.insort(self._timeline, (time, seq))
+
+    def finalize_ready(self, watermark: float, min_open_first: float | None) -> list[AlertCluster]:
+        """Close components no future representative can join.
+
+        ``watermark`` is the max event time ingested; ``min_open_first``
+        the earliest first-alert time among still-open aggregation
+        sessions (``None`` when no session is open).  Any future
+        representative must carry a timestamp ≥ the smaller of the two.
+        """
+        horizon = watermark if min_open_first is None else min(watermark, min_open_first)
+        safe_before = horizon - self._window
+        ready = [
+            root for root, max_time in self._max_time.items()
+            if max_time < safe_before
+        ]
+        return self._finalize(ready)
+
+    def drain(self) -> list[AlertCluster]:
+        """Finalise every remaining component (end of stream)."""
+        return self._finalize(list(self._members))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _find(self, seq: int) -> int:
+        root = seq
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[seq] != root:  # path compression
+            self._parent[seq], seq = root, self._parent[seq]
+        return root
+
+    def _union(self, a: int, b: int) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return
+        if len(self._members[ra]) < len(self._members[rb]):
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._members[ra].extend(self._members.pop(rb))
+        self._max_time[ra] = max(self._max_time[ra], self._max_time.pop(rb))
+
+    def _finalize(self, roots: list[int]) -> list[AlertCluster]:
+        clusters: list[AlertCluster] = []
+        evicted: set[int] = set()
+        for root in roots:
+            member_seqs = self._members.pop(root)
+            del self._max_time[root]
+            alerts = [self._entries[seq].alert for seq in member_seqs]
+            clusters.append(self._analyzer.build_cluster(alerts))
+            for seq in member_seqs:
+                del self._entries[seq]
+                del self._parent[seq]
+                evicted.add(seq)
+        if evicted:
+            self._timeline = [
+                item for item in self._timeline if item[1] not in evicted
+            ]
+        clusters.sort(key=lambda c: (c.alerts[0].occurred_at, -c.size))
+        self.finalized_count += len(clusters)
+        if self._retain_finalized:
+            self.finalized.extend(clusters)
+        return clusters

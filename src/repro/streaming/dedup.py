@@ -1,0 +1,149 @@
+"""Online duplicate suppression — the streaming form of R2 aggregation.
+
+The batch :class:`~repro.core.mitigation.aggregation.AlertAggregator`
+sorts a finished trace and sessionises per ``(strategy, region)``.  The
+online aggregator reaches the *identical* partition one event at a time:
+it keeps one open session per active key, extends it while the gap stays
+within the window, and emits the finished
+:class:`~repro.core.mitigation.aggregation.AggregatedAlert` the moment
+the watermark proves no future in-order alert can extend it.
+
+Memory is bounded by the number of keys active within one window (plus a
+lazily-compacted expiry heap), never by stream length.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.alerting.alert import Alert
+from repro.common.timeutil import TimeWindow
+from repro.common.validation import require_positive
+from repro.core.mitigation.aggregation import AggregatedAlert
+
+__all__ = ["OpenSession", "OnlineAggregator"]
+
+
+@dataclass(slots=True)
+class OpenSession:
+    """One in-flight aggregation session for a ``(strategy, region)`` key."""
+
+    strategy_id: str
+    region: str
+    first_at: float
+    last_at: float
+    count: int
+    representative: Alert
+    alert_ids: list[str] = field(default_factory=list)
+
+    def absorb(self, alert: Alert) -> None:
+        """Fold one more alert into the session.
+
+        min/max keep the window valid even for late (out-of-order)
+        events, which the gateway processes best-effort.
+        """
+        self.first_at = min(self.first_at, alert.occurred_at)
+        self.last_at = max(self.last_at, alert.occurred_at)
+        self.count += 1
+        self.alert_ids.append(alert.alert_id)
+        # Same tie-break as the batch aggregator's representative pick:
+        # most severe wins, earliest breaks ties.
+        if (alert.severity.value, alert.occurred_at) < (
+            self.representative.severity.value,
+            self.representative.occurred_at,
+        ):
+            self.representative = alert
+
+    def emit(self) -> AggregatedAlert:
+        """The finished aggregate record."""
+        return AggregatedAlert(
+            strategy_id=self.strategy_id,
+            strategy_name=self.representative.strategy_name,
+            region=self.region,
+            severity=self.representative.severity,
+            window=TimeWindow(self.first_at, self.last_at + 1e-9),
+            count=self.count,
+            representative=self.representative,
+            alert_ids=tuple(self.alert_ids),
+        )
+
+
+class OnlineAggregator:
+    """Incremental session-window aggregation over a time-ordered stream."""
+
+    def __init__(self, window_seconds: float = 900.0) -> None:
+        require_positive(window_seconds, "window_seconds")
+        self._window = float(window_seconds)
+        self._sessions: dict[tuple[str, str], OpenSession] = {}
+        # (last_at + window, tiebreak, key): lazily invalidated on extension.
+        self._expiry: list[tuple[float, int, tuple[str, str]]] = []
+        self._sequence = 0
+
+    @property
+    def window_seconds(self) -> float:
+        """Session gap: a larger gap starts a new aggregate."""
+        return self._window
+
+    @property
+    def open_sessions(self) -> int:
+        """Number of in-flight sessions (the bounded working set)."""
+        return len(self._sessions)
+
+    def min_open_first(self) -> float | None:
+        """Earliest ``first_at`` among open sessions (correlator watermark)."""
+        if not self._sessions:
+            return None
+        return min(session.first_at for session in self._sessions.values())
+
+    def ingest(self, alert: Alert) -> list[AggregatedAlert]:
+        """Feed one alert; returns the aggregates this event closed."""
+        emitted = self._expire(alert.occurred_at)
+        key = (alert.strategy_id, alert.region)
+        session = self._sessions.get(key)
+        if session is not None:
+            # _expire already closed any session with a gap beyond the
+            # window, so a surviving session is always extendable.
+            session.absorb(alert)
+            self._push_expiry(key, session)
+            return emitted
+        self._sessions[key] = session = OpenSession(
+            strategy_id=alert.strategy_id,
+            region=alert.region,
+            first_at=alert.occurred_at,
+            last_at=alert.occurred_at,
+            count=1,
+            representative=alert,
+            alert_ids=[alert.alert_id],
+        )
+        self._push_expiry(key, session)
+        return emitted
+
+    def drain(self) -> list[AggregatedAlert]:
+        """Close and emit every open session (end of stream)."""
+        emitted = [
+            session.emit()
+            for _, session in sorted(self._sessions.items())
+        ]
+        self._sessions.clear()
+        self._expiry.clear()
+        return emitted
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _push_expiry(self, key: tuple[str, str], session: OpenSession) -> None:
+        self._sequence += 1
+        heapq.heappush(self._expiry, (session.last_at + self._window, self._sequence, key))
+
+    def _expire(self, watermark: float) -> list[AggregatedAlert]:
+        """Emit sessions no in-order event at ``watermark`` can still extend."""
+        emitted: list[AggregatedAlert] = []
+        while self._expiry and self._expiry[0][0] < watermark:
+            expiry, _, key = heapq.heappop(self._expiry)
+            session = self._sessions.get(key)
+            if session is None or session.last_at + self._window != expiry:
+                continue  # stale entry: session was extended or already closed
+            emitted.append(session.emit())
+            del self._sessions[key]
+        return emitted

@@ -1,0 +1,250 @@
+"""The online alert gateway: sharded ingestion + incremental mitigation.
+
+This is the streaming counterpart of
+:class:`~repro.core.mitigation.pipeline.MitigationPipeline`: instead of
+re-running the reaction chain over a finished trace, the gateway accepts
+one alert at a time (or micro-batches), routes it across N shards on a
+consistent-hash ring keyed by ``(service, title template)``, and keeps
+every reaction's state incremental and bounded:
+
+* shards run R1 blocking, R2 session-window dedup, and the R4
+  storm/emerging ring counters (:class:`StreamProcessor`);
+* the gateway runs one :class:`OnlineCorrelator` (R3) over the merged,
+  heavily compressed stream of aggregate representatives the shards
+  emit — cascades cross services, so correlation cannot be shard-local.
+
+On an in-order stream the end-of-run volume accounting (blocked,
+aggregates, clusters) is *exactly* the batch pipeline's — the
+reconciliation invariant ``GatewayStats.reconcile`` checks.  Out-of-order
+events are processed best-effort and counted in ``late_events``.
+
+>>> gateway = AlertGateway(graph, blocker=blocker, n_shards=4)   # doctest: +SKIP
+>>> for alert in source:                                         # doctest: +SKIP
+...     gateway.ingest(alert)
+>>> stats = gateway.drain()                                      # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.alerting.alert import Alert
+from repro.common.errors import ValidationError
+from repro.common.validation import require_positive
+from repro.core.mitigation.aggregation import AggregatedAlert
+from repro.core.mitigation.blocking import AlertBlocker
+from repro.core.mitigation.correlation import (
+    AlertCluster,
+    CorrelationAnalyzer,
+    DependencyRuleBook,
+)
+from repro.streaming.correlator import OnlineCorrelator
+from repro.streaming.processor import StreamProcessor
+from repro.streaming.routing import ShardRouter
+from repro.streaming.stats import GatewayStats
+from repro.streaming.storm import OnlineStormDetector
+from repro.topology.graph import DependencyGraph
+
+__all__ = ["AlertGateway", "GatewaySnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class GatewaySnapshot:
+    """A consistent point-in-time view of gateway progress."""
+
+    watermark: float | None
+    input_alerts: int
+    blocked_alerts: int
+    aggregates_emitted: int
+    clusters_finalized: int
+    open_sessions: int
+    active_components: int
+    retained_representatives: int
+    storm_episodes: int
+    emerging_flags: int
+
+    @property
+    def outstanding_items(self) -> int:
+        """Upper bound on diagnosis items still forming."""
+        return self.open_sessions + self.active_components
+
+    @property
+    def estimated_reduction(self) -> float:
+        """Rolling volume-reduction estimate (final + in-flight items)."""
+        if self.input_alerts == 0:
+            return 0.0
+        items = self.clusters_finalized + self.outstanding_items
+        return 1.0 - items / self.input_alerts
+
+
+class AlertGateway:
+    """Facade over the sharded online mitigation pipeline."""
+
+    def __init__(
+        self,
+        graph: DependencyGraph,
+        blocker: AlertBlocker | None = None,
+        rulebook: DependencyRuleBook | None = None,
+        n_shards: int = 4,
+        aggregation_window: float = 900.0,
+        correlation_window: float = 900.0,
+        correlation_max_hops: int = 4,
+        enable_storm_detection: bool = True,
+        retain_artifacts: bool = True,
+        finalize_every: int = 256,
+    ) -> None:
+        require_positive(finalize_every, "finalize_every")
+        blocker = blocker or AlertBlocker()
+        self._router = ShardRouter(n_shards)
+        # One detector shared by every shard: ingestion is single-threaded,
+        # so it sees the global in-order stream and R4 results are
+        # independent of shard count (per-shard counters would dilute a
+        # region's rate against the flood threshold and double-count
+        # episodes that span shards).
+        self._storm_detector = (
+            OnlineStormDetector() if enable_storm_detection else None
+        )
+        self._processors = [
+            StreamProcessor(
+                shard_id=shard,
+                blocker=blocker,
+                aggregation_window=aggregation_window,
+                storm_detector=self._storm_detector,
+            )
+            for shard in range(n_shards)
+        ]
+        self._correlator = OnlineCorrelator(CorrelationAnalyzer(
+            graph,
+            rulebook=rulebook,
+            max_hops=correlation_max_hops,
+            time_window=correlation_window,
+        ))
+        self._finalize_every = int(finalize_every)
+        # R2 sessions key on (strategy, region) while the ring hashes
+        # (service, title template); the two agree because a strategy's
+        # service/title are fixed.  Pinning each strategy to the shard its
+        # first alert hashes to makes that locality structural — external
+        # JSONL feeds whose titles drift non-numerically within one
+        # strategy still keep every session on a single shard.  The pin
+        # map grows with the strategy population (configuration scale),
+        # not with events.
+        self._shard_of: dict[str, int] = {}
+        self._retain = retain_artifacts
+        self._drained = False
+        self.stats = GatewayStats(n_shards=n_shards)
+        self.aggregates: list[AggregatedAlert] = []
+        self.clusters: list[AlertCluster] = []
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, alert: Alert) -> list[AggregatedAlert]:
+        """Process one alert; returns aggregates it caused to close."""
+        if self._drained:
+            raise ValidationError("gateway already drained; create a new one")
+        started = time.perf_counter()
+        stats = self.stats
+        stats.input_alerts += 1
+        if stats.watermark is None or alert.occurred_at >= stats.watermark:
+            stats.watermark = alert.occurred_at
+        else:
+            stats.late_events += 1
+        shard = self._shard_of.get(alert.strategy_id)
+        if shard is None:
+            shard = self._router.route(alert)
+            self._shard_of[alert.strategy_id] = shard
+        blocked, emitted = self._processors[shard].ingest(alert)
+        if blocked:
+            stats.blocked_alerts += 1
+        for aggregate in emitted:
+            self._absorb_aggregate(aggregate)
+        if stats.input_alerts % self._finalize_every == 0:
+            self._finalize_ready()
+        stats.observe_latency(time.perf_counter() - started)
+        return emitted
+
+    def ingest_many(self, alerts: Iterable[Alert]) -> int:
+        """Feed a micro-batch (or a whole source); returns the count."""
+        count = 0
+        for alert in alerts:
+            self.ingest(alert)
+            count += 1
+        return count
+
+    def drain(self) -> GatewayStats:
+        """Flush every shard and finalise all clusters (end of stream)."""
+        if self._drained:
+            return self.stats
+        for processor in self._processors:
+            for aggregate in processor.drain():
+                self._absorb_aggregate(aggregate)
+        clusters = self._correlator.drain()
+        self.stats.clusters_finalized += len(clusters)
+        if self._retain:
+            self.clusters.extend(clusters)
+        if self._storm_detector is not None and self.stats.watermark is not None:
+            self._storm_detector.finish(self.stats.watermark)
+        self._refresh_signal_counts()
+        self.stats.mark_finished()
+        self._drained = True
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> GatewaySnapshot:
+        """A non-disruptive view of current progress."""
+        self._refresh_signal_counts()
+        return GatewaySnapshot(
+            watermark=self.stats.watermark,
+            input_alerts=self.stats.input_alerts,
+            blocked_alerts=self.stats.blocked_alerts,
+            aggregates_emitted=self.stats.aggregates_emitted,
+            clusters_finalized=self.stats.clusters_finalized,
+            open_sessions=sum(p.open_sessions for p in self._processors),
+            active_components=self._correlator.active_components,
+            retained_representatives=self._correlator.retained,
+            storm_episodes=self.stats.storm_episodes,
+            emerging_flags=self.stats.emerging_flags,
+        )
+
+    @property
+    def processors(self) -> list[StreamProcessor]:
+        """The per-shard processors (read-only use)."""
+        return list(self._processors)
+
+    @property
+    def router(self) -> ShardRouter:
+        """The consistent-hash router."""
+        return self._router
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _absorb_aggregate(self, aggregate: AggregatedAlert) -> None:
+        self.stats.aggregates_emitted += 1
+        if self._retain:
+            self.aggregates.append(aggregate)
+        self._correlator.add(aggregate.representative)
+
+    def _finalize_ready(self) -> None:
+        if self.stats.watermark is None:
+            return
+        opens = [
+            first for first in (p.min_open_first() for p in self._processors)
+            if first is not None
+        ]
+        min_open_first = min(opens) if opens else None
+        clusters = self._correlator.finalize_ready(self.stats.watermark, min_open_first)
+        self.stats.clusters_finalized += len(clusters)
+        if self._retain:
+            self.clusters.extend(clusters)
+
+    def _refresh_signal_counts(self) -> None:
+        detector = self._storm_detector
+        if detector is None:
+            return
+        self.stats.storm_episodes = detector.episode_count
+        self.stats.emerging_flags = detector.emerging_count

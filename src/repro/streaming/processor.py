@@ -1,0 +1,94 @@
+"""The per-shard stream processor: R1 blocking, R2 dedup, R4 signals.
+
+Each shard owns the alerts of its slice of the ``(service, title
+template)`` key space and runs the volume-reducing reactions inline:
+
+* **R1** — every event is tested against the blocking rules
+  (:class:`~repro.core.mitigation.blocking.AlertBlocker` is already an
+  O(rules-per-strategy) point lookup, so the batch component streams
+  as-is);
+* **R2** — survivors feed the :class:`OnlineAggregator`'s session
+  windows; closed sessions surface as ``AggregatedAlert`` emissions;
+* **R4** — survivors also advance the ring-buffer storm/emerging
+  detector.
+
+Correlation (R3) deliberately does *not* live here: cascades cross
+services, so shard-local clustering would split them.  The gateway runs
+one :class:`~repro.streaming.correlator.OnlineCorrelator` over the much
+smaller merged stream of shard emissions instead.
+"""
+
+from __future__ import annotations
+
+from repro.alerting.alert import Alert
+from repro.core.mitigation.aggregation import AggregatedAlert
+from repro.core.mitigation.blocking import AlertBlocker
+from repro.streaming.dedup import OnlineAggregator
+from repro.streaming.storm import OnlineStormDetector
+
+__all__ = ["StreamProcessor"]
+
+
+class StreamProcessor:
+    """One shard's incremental reaction chain."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        blocker: AlertBlocker,
+        aggregation_window: float = 900.0,
+        storm_detector: OnlineStormDetector | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self._blocker = blocker
+        self._aggregator = OnlineAggregator(aggregation_window)
+        self._storms = storm_detector
+        self.seen = 0
+        self.blocked = 0
+        self.emitted = 0
+        self.last_event_at: float | None = None
+
+    @property
+    def open_sessions(self) -> int:
+        """In-flight aggregation sessions on this shard."""
+        return self._aggregator.open_sessions
+
+    @property
+    def storm_detector(self) -> OnlineStormDetector | None:
+        """The shard's R4 detector, when enabled."""
+        return self._storms
+
+    def min_open_first(self) -> float | None:
+        """Earliest open-session start (feeds the correlator's horizon)."""
+        return self._aggregator.min_open_first()
+
+    def ingest(self, alert: Alert) -> tuple[bool, list[AggregatedAlert]]:
+        """Process one event.
+
+        Returns ``(blocked, emitted)``: whether R1 dropped the event, and
+        the aggregates whose sessions this event closed.
+        """
+        self.seen += 1
+        self.last_event_at = alert.occurred_at
+        # Detection watches the raw stream (a flood of blockable noise is
+        # still a flood); the reactions then shrink it.
+        if self._storms is not None:
+            self._storms.ingest(alert)
+        if self._blocker.is_blocked(alert):
+            self.blocked += 1
+            return True, []
+        emitted = self._aggregator.ingest(alert)
+        self.emitted += len(emitted)
+        return False, emitted
+
+    def drain(self) -> list[AggregatedAlert]:
+        """Flush all open aggregation state at end of stream.
+
+        The storm detector is *not* closed here: the gateway may share
+        one detector across shards, so its owner calls
+        :meth:`OnlineStormDetector.finish` once with the global
+        watermark.
+        """
+        emitted = self._aggregator.drain()
+        self.emitted += len(emitted)
+        return emitted

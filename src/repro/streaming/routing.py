@@ -1,0 +1,86 @@
+"""Shard routing for the online alert gateway.
+
+Alerts are partitioned by ``(service, title template)``: every alert of
+one strategy carries the strategy's service and title, so all alerts a
+session-window deduplicator must see land on the same shard, while hot
+services spread their strategies across the fleet.
+
+Routing uses a consistent-hash ring (each shard owns ``replicas``
+virtual points): growing the fleet from N to N+1 shards remaps only
+~1/(N+1) of the key space, the property every later scale-out PR
+(multi-process shards, shard rebalancing) relies on.  Hashing is
+``blake2b``-based — Python's builtin ``hash`` is salted per process and
+would break cross-run determinism.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from hashlib import blake2b
+
+from repro.alerting.alert import Alert
+from repro.common.validation import require_positive
+
+__all__ = ["template_of", "shard_key", "ShardRouter"]
+
+_NUMERIC = re.compile(r"\d+")
+
+
+def template_of(title: str) -> str:
+    """Collapse a concrete alert title to its template.
+
+    Numeric fragments (counts, thresholds, instance indices) become a
+    ``#`` placeholder so "queue depth 1042 on node-3" and "queue depth 7
+    on node-9" route identically.
+    """
+    return _NUMERIC.sub("#", title.strip().lower())
+
+
+def shard_key(alert: Alert) -> str:
+    """The routing key of one alert: ``service|title-template``."""
+    return f"{alert.service}|{template_of(alert.title)}"
+
+
+def _point(token: str) -> int:
+    return int.from_bytes(blake2b(token.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class ShardRouter:
+    """Consistent-hash ring mapping routing keys to shard ids."""
+
+    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+        require_positive(n_shards, "n_shards")
+        require_positive(replicas, "replicas")
+        self._n_shards = int(n_shards)
+        self._replicas = int(replicas)
+        ring: list[tuple[int, int]] = []
+        for shard in range(self._n_shards):
+            for replica in range(self._replicas):
+                ring.append((_point(f"shard-{shard}:{replica}"), shard))
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._shards = [shard for _, shard in ring]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards on the ring."""
+        return self._n_shards
+
+    def route_key(self, key: str) -> int:
+        """The shard owning ``key`` (first ring point at or after its hash)."""
+        index = bisect.bisect_left(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._shards[index]
+
+    def route(self, alert: Alert) -> int:
+        """The shard owning ``alert``."""
+        return self.route_key(shard_key(alert))
+
+    def distribution(self, keys: list[str]) -> dict[int, int]:
+        """Key counts per shard — load-balance introspection."""
+        counts: dict[int, int] = {shard: 0 for shard in range(self._n_shards)}
+        for key in keys:
+            counts[self.route_key(key)] += 1
+        return counts

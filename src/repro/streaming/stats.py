@@ -1,0 +1,117 @@
+"""Gateway accounting: throughput, latency, and volume reduction.
+
+:class:`GatewayStats` mirrors the stage-by-stage volume accounting of the
+batch :class:`~repro.core.mitigation.pipeline.MitigationReport` — raw in,
+blocked out, aggregates, clusters — and adds the streaming-only
+dimensions: per-event processing latency (exact mean, sampled p50/p99)
+and wall-clock throughput.  :meth:`reconcile` checks the gateway against
+a batch report on the same trace, the invariant the integration tests
+and the ``repro stream --reconcile`` CLI pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.mitigation.pipeline import MitigationReport
+from repro.streaming.windows import LatencyReservoir
+
+__all__ = ["GatewayStats"]
+
+
+@dataclass(slots=True)
+class GatewayStats:
+    """Running counters of one gateway instance."""
+
+    n_shards: int = 1
+    input_alerts: int = 0
+    blocked_alerts: int = 0
+    aggregates_emitted: int = 0
+    clusters_finalized: int = 0
+    storm_episodes: int = 0
+    emerging_flags: int = 0
+    late_events: int = 0
+    watermark: float | None = None
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    started_wall: float = field(default_factory=time.perf_counter)
+    finished_wall: float | None = None
+
+    # -- volume accounting (MitigationReport-compatible) ---------------
+    @property
+    def after_blocking(self) -> int:
+        """Alerts surviving R1."""
+        return self.input_alerts - self.blocked_alerts
+
+    @property
+    def after_aggregation(self) -> int:
+        """Aggregated groups emitted by R2."""
+        return self.aggregates_emitted
+
+    @property
+    def after_correlation(self) -> int:
+        """Clusters finalised by R3."""
+        return self.clusters_finalized
+
+    @property
+    def total_reduction(self) -> float:
+        """1 - (diagnosed items / raw alerts), as in the batch report."""
+        if self.input_alerts == 0:
+            return 0.0
+        return 1.0 - self.after_correlation / self.input_alerts
+
+    # -- streaming dimensions ------------------------------------------
+    @property
+    def elapsed_wall(self) -> float:
+        """Wall-clock seconds from construction to now (or finish)."""
+        end = self.finished_wall if self.finished_wall is not None else time.perf_counter()
+        return max(end - self.started_wall, 1e-9)
+
+    @property
+    def throughput(self) -> float:
+        """Events processed per wall-clock second."""
+        return self.input_alerts / self.elapsed_wall
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one per-event processing latency."""
+        self.latency.observe(seconds)
+
+    def mark_finished(self) -> None:
+        """Freeze the wall clock (called by ``drain``)."""
+        if self.finished_wall is None:
+            self.finished_wall = time.perf_counter()
+
+    # -- reporting ------------------------------------------------------
+    def reconcile(self, report: MitigationReport) -> dict[str, tuple[int, int]]:
+        """Stage-by-stage (gateway, batch) counts that disagree.
+
+        An empty dict means the streaming run reproduced the batch
+        pipeline's volume accounting exactly.
+        """
+        pairs = {
+            "input_alerts": (self.input_alerts, report.input_alerts),
+            "blocked_alerts": (self.blocked_alerts, report.blocked_alerts),
+            "aggregates": (self.aggregates_emitted, len(report.aggregates)),
+            "clusters": (self.clusters_finalized, len(report.clusters)),
+        }
+        return {stage: pair for stage, pair in pairs.items() if pair[0] != pair[1]}
+
+    def render(self) -> str:
+        """Human-readable gateway summary."""
+        lines = [
+            f"shards:              {self.n_shards:>8}",
+            f"input alerts:        {self.input_alerts:>8,}",
+            f"after R1 blocking:   {self.after_blocking:>8,} "
+            f"({self.blocked_alerts:,} blocked)",
+            f"after R2 aggregation:{self.after_aggregation:>8,} groups",
+            f"after R3 correlation:{self.after_correlation:>8,} clusters to diagnose",
+            f"total OCE-load reduction: {self.total_reduction:.1%}",
+            f"R4 storm episodes:   {self.storm_episodes:>8,} "
+            f"({self.emerging_flags:,} emerging flags)",
+            f"throughput:          {self.throughput:>10,.0f} alerts/s",
+            f"latency p50/p99:     {self.latency.quantile(0.50) * 1e6:>7.1f} / "
+            f"{self.latency.quantile(0.99) * 1e6:.1f} us",
+        ]
+        if self.late_events:
+            lines.append(f"late (out-of-order) events: {self.late_events:,}")
+        return "\n".join(lines)

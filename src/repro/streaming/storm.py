@@ -1,0 +1,166 @@
+"""Online storm and emerging-alert detection (streaming R4).
+
+The batch mining pipeline finds storms by bucketing a finished trace per
+(hour, region) and flagging buckets above the flood threshold; R4's
+batch form replays the whole stream through an online LDA.  The
+streaming detector keeps the same two signals live with O(1) state:
+
+* **storms** — one :class:`~repro.streaming.windows.RingCounter` per
+  region tracks the rolling hourly volume; crossing the flood threshold
+  opens a storm episode, falling below half of it closes the episode
+  (hysteresis, so one storm is not reported once per event);
+* **emerging alerts** — a ``(strategy, region)`` key alerting for the
+  first time while its region's volume is *rising* toward a storm is
+  exactly the "few alerts corresponding to a root cause appear first"
+  pattern §III-C [R4] describes.  Keys are remembered with a bounded
+  recency map, so a strategy quiet for longer than ``novelty_horizon``
+  counts as new again.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from dataclasses import dataclass
+
+from repro.alerting.alert import Alert
+from repro.common.timeutil import HOUR
+from repro.common.validation import require_positive
+from repro.streaming.windows import RingCounter
+
+__all__ = ["StormEpisode", "EmergingSignal", "OnlineStormDetector"]
+
+
+@dataclass(slots=True)
+class StormEpisode:
+    """One contiguous flood of alerts in a region."""
+
+    region: str
+    started_at: float
+    peak_rate: float
+    ended_at: float | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the episode is still open."""
+        return self.ended_at is None
+
+
+@dataclass(frozen=True, slots=True)
+class EmergingSignal:
+    """A first-seen strategy firing while its region's volume ramps up."""
+
+    alert: Alert
+    region_rate: float
+
+
+class OnlineStormDetector:
+    """Streaming detector for floods and their precursors.
+
+    Share ONE instance across all shards of a gateway (ingestion is
+    single-threaded): per-shard instances would dilute each region's
+    rate against the flood threshold and double-count episodes that
+    span shards.
+    """
+
+    def __init__(
+        self,
+        flood_hourly_threshold: int = 100,
+        bucket_seconds: float = 60.0,
+        novelty_horizon: float = 24 * HOUR,
+        warmup_alerts: int = 50,
+    ) -> None:
+        require_positive(flood_hourly_threshold, "flood_hourly_threshold")
+        require_positive(novelty_horizon, "novelty_horizon")
+        require_positive(warmup_alerts, "warmup_alerts")
+        self._threshold = int(flood_hourly_threshold)
+        self._bucket_seconds = float(bucket_seconds)
+        self._horizon = float(novelty_horizon)
+        self._warmup = int(warmup_alerts)
+        self._counters: dict[str, RingCounter] = {}
+        self._active: dict[str, StormEpisode] = {}
+        self._last_seen: dict[tuple[str, str], float] = {}
+        self._last_sweep_at: float | None = None
+        self._ingested = 0
+        # Exact lifetime counters plus bounded recent-detection windows:
+        # on an unbounded stream, full detection lists would grow forever.
+        self.episode_count = 0
+        self.emerging_count = 0
+        self.episodes: deque[StormEpisode] = deque(maxlen=256)
+        self.emerging: deque[EmergingSignal] = deque(maxlen=1024)
+
+    @property
+    def active_storms(self) -> int:
+        """Regions currently in flood."""
+        return len(self._active)
+
+    def ingest(self, alert: Alert) -> None:
+        """Advance the counters with one unblocked alert."""
+        self._ingested += 1
+        region = alert.region
+        counter = self._counters.get(region)
+        if counter is None:
+            buckets = max(int(HOUR / self._bucket_seconds), 1)
+            counter = RingCounter(self._bucket_seconds, buckets)
+            self._counters[region] = counter
+        counter.add(alert.occurred_at)
+        rate = counter.rate_per_hour(alert.occurred_at)
+
+        episode = self._active.get(region)
+        if episode is None:
+            if rate >= self._threshold:
+                episode = StormEpisode(
+                    region=region, started_at=alert.occurred_at, peak_rate=rate,
+                )
+                self._active[region] = episode
+                self.episode_count += 1
+                self.episodes.append(episode)
+        else:
+            episode.peak_rate = max(episode.peak_rate, rate)
+            if rate < self._threshold / 2:
+                episode.ended_at = alert.occurred_at
+                del self._active[region]
+
+        self._observe_novelty(alert, rate)
+
+    def finish(self, at: float) -> None:
+        """Close any episodes still open at end of stream."""
+        for episode in self._active.values():
+            episode.ended_at = at
+        self._active.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _observe_novelty(self, alert: Alert, rate: float) -> None:
+        key = (alert.strategy_id, alert.region)
+        last = self._last_seen.get(key)
+        self._last_seen[key] = alert.occurred_at
+        if self._ingested <= self._warmup:
+            return
+        is_new = last is None or alert.occurred_at - last > self._horizon
+        # "A few alerts ... appear first": novel keys while volume climbs
+        # toward flood level but before the flood is declared.
+        if is_new and self._threshold / 4 <= rate < self._threshold:
+            self.emerging_count += 1
+            self.emerging.append(EmergingSignal(alert=alert, region_rate=rate))
+        self._sweep(alert.occurred_at)
+
+    def _sweep(self, now: float) -> None:
+        """Bound the recency map: forget keys quiet past the horizon.
+
+        Time-gated: a sweep can only evict keys older than the horizon,
+        so once one ran, rerunning before a quarter-horizon has elapsed
+        cannot free anything new — without the gate, a key population
+        that stays above the size floor would make every ingest O(keys).
+        """
+        if len(self._last_seen) < 4096:
+            return
+        if self._last_sweep_at is not None and now - self._last_sweep_at < self._horizon / 4:
+            return
+        self._last_sweep_at = now
+        self._last_seen = {
+            key: seen
+            for key, seen in self._last_seen.items()
+            if now - seen <= self._horizon
+        }

@@ -71,6 +71,11 @@ class AlertTrace:
         last = max(a.occurred_at for a in self.alerts)
         return TimeWindow(first, last + 1e-9)
 
+    def iter_ordered(self) -> Iterable[Alert]:
+        """Alerts in occurrence order, as a live ingestion source would
+        deliver them — the natural input of the streaming gateway."""
+        return iter(sorted(self.alerts, key=lambda a: a.occurred_at))
+
     def alerts_in(self, window: TimeWindow) -> list[Alert]:
         """Alerts occurring within ``window``."""
         return [a for a in self.alerts if window.contains(a.occurred_at)]

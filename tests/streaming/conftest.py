@@ -1,0 +1,50 @@
+"""Shared helpers for the streaming-gateway tests."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.alerting.alert import Alert, AlertState, Severity
+
+_counter = itertools.count()
+
+
+def make_alert(
+    occurred_at: float,
+    strategy_id: str = "strategy-1",
+    region: str = "region-A",
+    microservice: str = "micro-1",
+    service: str = "service-1",
+    severity: Severity = Severity.MINOR,
+    title: str | None = None,
+    cleared_after: float | None = 120.0,
+) -> Alert:
+    """A minimal well-formed alert for streaming unit tests."""
+    alert = Alert(
+        alert_id=f"alert-{next(_counter):06d}",
+        strategy_id=strategy_id,
+        strategy_name=f"{strategy_id}-name",
+        title=title if title is not None else f"{microservice}: latency above threshold",
+        description="synthetic alert for streaming tests",
+        severity=severity,
+        service=service,
+        microservice=microservice,
+        region=region,
+        datacenter=f"{region}-dc1",
+        channel="metric",
+        occurred_at=occurred_at,
+    )
+    if cleared_after is not None:
+        alert.state = AlertState.CLEARED_AUTO
+        alert.cleared_at = occurred_at + cleared_after
+    return alert
+
+
+@pytest.fixture(scope="session")
+def storm_trace(topology):
+    """The deterministic Figure 3 storm used by the parity tests."""
+    from repro.workload import StormConfig, build_representative_storm
+
+    return build_representative_storm(StormConfig(seed=42), topology), topology

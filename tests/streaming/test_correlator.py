@@ -1,0 +1,110 @@
+"""Online correlation: exact batch parity and safe finalisation."""
+
+import pytest
+
+from repro.core.mitigation.correlation import CorrelationAnalyzer, DependencyRuleBook
+from repro.streaming.correlator import OnlineCorrelator
+from tests.streaming.conftest import make_alert
+
+
+@pytest.fixture(scope="module")
+def analyzer(small_topology):
+    rulebook = DependencyRuleBook()
+    rulebook.add("s-source", "s-derived")
+    return CorrelationAnalyzer(small_topology.graph, rulebook=rulebook,
+                               max_hops=4, time_window=900.0)
+
+
+def _cluster_signature(cluster):
+    return (
+        tuple(sorted(a.alert_id for a in cluster.alerts)),
+        cluster.root_microservice,
+    )
+
+
+def _graph_stream(topology):
+    """Representatives spread across related/unrelated nodes and times."""
+    micros = sorted(topology.graph.microservices)
+    service_of = topology.service_of
+    alerts = []
+    time = 0.0
+    for index, micro in enumerate(micros):
+        alerts.append(make_alert(
+            time,
+            strategy_id=f"s-{index}",
+            microservice=micro,
+            service=service_of[micro],
+            region="region-A" if index % 3 else "region-B",
+        ))
+        time += 200.0 if index % 4 else 2000.0  # some gaps break the window
+    # Rule-book pair in the same region, topologically unrelated or not.
+    alerts.append(make_alert(time + 10.0, strategy_id="s-source",
+                             microservice=micros[0], service=service_of[micros[0]]))
+    alerts.append(make_alert(time + 20.0, strategy_id="s-derived",
+                             microservice=micros[-1], service=service_of[micros[-1]]))
+    alerts.sort(key=lambda a: a.occurred_at)
+    return alerts
+
+
+class TestBatchParity:
+    def test_components_match_batch(self, analyzer, small_topology):
+        alerts = _graph_stream(small_topology)
+        batch = analyzer.correlate(list(alerts))
+        online = OnlineCorrelator(analyzer)
+        for alert in alerts:
+            online.add(alert)
+        clusters = online.drain()
+        assert sorted(map(_cluster_signature, clusters)) == \
+            sorted(map(_cluster_signature, batch))
+
+    def test_insertion_order_does_not_matter(self, analyzer, small_topology):
+        alerts = _graph_stream(small_topology)
+        forward = OnlineCorrelator(analyzer)
+        for alert in alerts:
+            forward.add(alert)
+        shuffled = OnlineCorrelator(analyzer)
+        for alert in reversed(alerts):
+            shuffled.add(alert)
+        assert sorted(map(_cluster_signature, forward.drain())) == \
+            sorted(map(_cluster_signature, shuffled.drain()))
+
+
+class TestFinalisation:
+    def test_safe_components_finalize_early(self, analyzer):
+        online = OnlineCorrelator(analyzer)
+        online.add(make_alert(0.0, strategy_id="s-source"))
+        online.add(make_alert(100.0, strategy_id="s-derived"))
+        # Watermark far past the window, no open sessions: safe to close.
+        closed = online.finalize_ready(watermark=10_000.0, min_open_first=None)
+        assert len(closed) == 1
+        assert closed[0].size == 2
+        assert online.retained == 0
+
+    def test_open_session_blocks_finalisation(self, analyzer):
+        online = OnlineCorrelator(analyzer)
+        online.add(make_alert(0.0, strategy_id="s-source"))
+        # An open session started at t=200 could still emit a representative
+        # within the window of the retained entry.
+        closed = online.finalize_ready(watermark=10_000.0, min_open_first=200.0)
+        assert closed == []
+        assert online.retained == 1
+
+    def test_early_finalisation_preserves_parity(self, analyzer, small_topology):
+        alerts = _graph_stream(small_topology)
+        batch = analyzer.correlate(list(alerts))
+        online = OnlineCorrelator(analyzer, retain_finalized=True)
+        for alert in alerts:
+            online.add(alert)
+            # Aggressively finalise between events, as the gateway does.
+            online.finalize_ready(watermark=alert.occurred_at, min_open_first=None)
+        online.drain()
+        assert online.finalized_count == len(online.finalized)
+        assert sorted(map(_cluster_signature, online.finalized)) == \
+            sorted(map(_cluster_signature, batch))
+
+    def test_drain_empties_state(self, analyzer):
+        online = OnlineCorrelator(analyzer)
+        online.add(make_alert(0.0))
+        online.drain()
+        assert online.retained == 0
+        assert online.active_components == 0

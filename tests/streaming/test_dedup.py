@@ -1,0 +1,95 @@
+"""Online aggregation: batch parity, eviction, and bounded state."""
+
+from repro.alerting.alert import Severity
+from repro.core.mitigation.aggregation import AlertAggregator
+from repro.streaming.dedup import OnlineAggregator
+from tests.streaming.conftest import make_alert
+
+
+def _aggregate_key(aggregate):
+    return (
+        aggregate.strategy_id,
+        aggregate.region,
+        aggregate.count,
+        round(aggregate.window.start, 6),
+        aggregate.representative.alert_id,
+        aggregate.alert_ids,
+    )
+
+
+def _mixed_stream():
+    """Interleaved strategies/regions with window-edge and burst shapes."""
+    alerts = []
+    for i in range(40):
+        alerts.append(make_alert(i * 60.0, strategy_id="s-burst", region="region-A"))
+    # Exactly-at-window gap must extend the session (<=, as in batch).
+    alerts.append(make_alert(0.0, strategy_id="s-edge", region="region-A"))
+    alerts.append(make_alert(900.0, strategy_id="s-edge", region="region-A"))
+    # Just-past-window gap must split.
+    alerts.append(make_alert(0.0, strategy_id="s-split", region="region-A"))
+    alerts.append(make_alert(900.1, strategy_id="s-split", region="region-A"))
+    # Same strategy, different region: independent sessions.
+    alerts.append(make_alert(100.0, strategy_id="s-burst", region="region-B"))
+    # Severity tie-breaking for the representative.
+    alerts.append(make_alert(50.0, strategy_id="s-sev", severity=Severity.WARNING))
+    alerts.append(make_alert(60.0, strategy_id="s-sev", severity=Severity.CRITICAL))
+    alerts.append(make_alert(70.0, strategy_id="s-sev", severity=Severity.CRITICAL))
+    alerts.sort(key=lambda a: a.occurred_at)
+    return alerts
+
+
+class TestBatchParity:
+    def test_sessions_match_batch_aggregator(self):
+        alerts = _mixed_stream()
+        batch = AlertAggregator(900.0).aggregate(alerts)
+        online = OnlineAggregator(900.0)
+        emitted = []
+        for alert in alerts:
+            emitted.extend(online.ingest(alert))
+        emitted.extend(online.drain())
+        assert sorted(map(_aggregate_key, emitted)) == sorted(map(_aggregate_key, batch))
+
+    def test_representative_prefers_severity_then_time(self):
+        online = OnlineAggregator(900.0)
+        emitted = []
+        for alert in _mixed_stream():
+            emitted.extend(online.ingest(alert))
+        emitted.extend(online.drain())
+        sev = next(a for a in emitted if a.strategy_id == "s-sev")
+        assert sev.severity is Severity.CRITICAL
+        assert sev.representative.occurred_at == 60.0  # earliest CRITICAL
+
+
+class TestEviction:
+    def test_idle_sessions_close_when_watermark_passes(self):
+        online = OnlineAggregator(900.0)
+        online.ingest(make_alert(0.0, strategy_id="s-old"))
+        # An unrelated event far later closes the idle session.
+        emitted = online.ingest(make_alert(5000.0, strategy_id="s-new"))
+        assert [a.strategy_id for a in emitted] == ["s-old"]
+        assert online.open_sessions == 1  # only s-new remains
+
+    def test_exact_window_gap_does_not_evict(self):
+        online = OnlineAggregator(900.0)
+        online.ingest(make_alert(0.0, strategy_id="s-a"))
+        emitted = online.ingest(make_alert(900.0, strategy_id="s-b"))
+        assert emitted == []  # s-a could still be extended at t=900
+        emitted = online.ingest(make_alert(900.0, strategy_id="s-a"))
+        assert emitted == []  # and indeed is
+        assert online.open_sessions == 2
+
+    def test_open_state_stays_bounded_on_long_stream(self):
+        online = OnlineAggregator(900.0)
+        for i in range(5000):
+            online.ingest(make_alert(i * 30.0, strategy_id=f"s-{i % 10}"))
+        # 10 keys all active within the window: exactly 10 open sessions.
+        assert online.open_sessions == 10
+
+    def test_min_open_first_tracks_earliest_session(self):
+        online = OnlineAggregator(900.0)
+        assert online.min_open_first() is None
+        online.ingest(make_alert(100.0, strategy_id="s-a"))
+        online.ingest(make_alert(200.0, strategy_id="s-b"))
+        assert online.min_open_first() == 100.0
+        online.drain()
+        assert online.min_open_first() is None

@@ -1,0 +1,69 @@
+"""Shard routing: templates, determinism, consistent-hashing stability."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.streaming.routing import ShardRouter, shard_key, template_of
+from tests.streaming.conftest import make_alert
+
+
+class TestTemplate:
+    def test_collapses_numbers(self):
+        assert template_of("queue depth 1042 on node-3") == "queue depth # on node-#"
+
+    def test_same_template_for_varying_instances(self):
+        first = template_of("disk 1 at 93% on host-17")
+        second = template_of("disk 2 at 41% on host-202")
+        assert first == second
+
+    def test_case_and_whitespace_normalised(self):
+        assert template_of("  CPU High  ") == "cpu high"
+
+
+class TestShardKey:
+    def test_same_strategy_same_key(self):
+        a = make_alert(0.0, strategy_id="s1", title="cpu 90% high", service="svc")
+        b = make_alert(500.0, strategy_id="s1", title="cpu 40% high", service="svc")
+        assert shard_key(a) == shard_key(b)
+
+    def test_service_disambiguates(self):
+        a = make_alert(0.0, title="cpu high", service="svc-a")
+        b = make_alert(0.0, title="cpu high", service="svc-b")
+        assert shard_key(a) != shard_key(b)
+
+
+class TestRouter:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValidationError):
+            ShardRouter(0)
+
+    def test_routing_is_stable_across_instances(self):
+        keys = [f"service-{i}|template-{i % 7}" for i in range(500)]
+        first = ShardRouter(8)
+        second = ShardRouter(8)
+        assert [first.route_key(k) for k in keys] == [second.route_key(k) for k in keys]
+
+    def test_all_shards_receive_load(self):
+        keys = [f"service-{i}|template-{i}" for i in range(2000)]
+        distribution = ShardRouter(8).distribution(keys)
+        assert set(distribution) == set(range(8))
+        assert all(count > 0 for count in distribution.values())
+        # No shard should own a wildly disproportionate slice.
+        assert max(distribution.values()) < 2000 * 0.45
+
+    def test_consistent_hashing_limits_remaps(self):
+        """Growing 4 -> 5 shards must leave most keys where they were."""
+        keys = [f"service-{i}|template-{i}" for i in range(2000)]
+        small = ShardRouter(4)
+        grown = ShardRouter(5)
+        moved = sum(
+            1 for key in keys if small.route_key(key) != grown.route_key(key)
+        )
+        # Ideal remap share is 1/5; allow generous slack for ring variance
+        # while still ruling out the mod-N behaviour (which remaps ~80 %).
+        assert moved / len(keys) < 0.45
+
+    def test_route_alert_matches_route_key(self):
+        alert = make_alert(0.0, service="svc", title="latency 12 ms high")
+        router = ShardRouter(6)
+        assert router.route(alert) == router.route_key(shard_key(alert))

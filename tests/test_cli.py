@@ -38,6 +38,17 @@ class TestAnalyses:
         out = capsys.readouterr().out
         assert "OCE-load reduction" in out
 
+    def test_stream(self, trace_dir, capsys):
+        assert main(["stream", "--trace", str(trace_dir), "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "OCE-load reduction" in out
+
+    def test_stream_reconciles_with_batch(self, trace_dir, capsys):
+        assert main(["stream", "--trace", str(trace_dir), "--reconcile"]) == 0
+        out = capsys.readouterr().out
+        assert "matches batch pipeline exactly" in out
+
     def test_qoa(self, trace_dir, capsys):
         assert main(["qoa", "--trace", str(trace_dir)]) == 0
         out = capsys.readouterr().out
