@@ -6,6 +6,7 @@
     repro-alerts mine     --trace trace-dir
     repro-alerts mitigate --trace trace-dir
     repro-alerts stream   --trace trace-dir --shards 4 --reconcile
+    repro-alerts stream   --trace trace-dir --backend thread --workers 4
     repro-alerts qoa      --trace trace-dir
     repro-alerts storm
     repro-alerts survey
@@ -29,7 +30,7 @@ from repro.core.governance import GuidelineChecker
 from repro.core.mitigation import MitigationPipeline, rulebook_from_ground_truth
 from repro.core.qoa import evaluate_qoa_pipeline
 from repro.io import load_trace, save_trace
-from repro.streaming import AlertGateway
+from repro.streaming import BACKEND_NAMES, AlertGateway
 from repro.oce.survey import (
     IMPACT_OPTIONS,
     REACTION_OPTIONS,
@@ -102,8 +103,17 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=None,
                         help="topology seed (default: the trace's seed)")
     stream.add_argument("--shards", type=int, default=4)
+    stream.add_argument("--backend", choices=BACKEND_NAMES, default="serial",
+                        help="shard execution backend (default: serial)")
+    stream.add_argument("--workers", type=int, default=None,
+                        help="worker threads/processes for pooled backends")
+    stream.add_argument("--flush-size", type=int, default=None,
+                        help="micro-batch size per flush "
+                             "(default: 1 serial, 512 pooled)")
     stream.add_argument("--window", type=float, default=900.0,
                         help="aggregation/correlation window in seconds")
+    stream.add_argument("--rebalance-to", type=int, default=None,
+                        help="re-shard to this count halfway through the stream")
     stream.add_argument("--reconcile", action="store_true",
                         help="also run the batch pipeline and verify exact parity")
 
@@ -173,11 +183,21 @@ def _cmd_stream(args) -> int:
         blocker=blocker,
         rulebook=rulebook,
         n_shards=args.shards,
+        backend=args.backend,
+        n_workers=args.workers,
+        flush_size=args.flush_size,
         aggregation_window=args.window,
         correlation_window=args.window,
         retain_artifacts=False,
     )
-    gateway.ingest_many(trace.iter_ordered())
+    if args.rebalance_to is not None:
+        alerts = list(trace.iter_ordered())
+        midpoint = len(alerts) // 2
+        gateway.ingest_batch(alerts[:midpoint])
+        gateway.rebalance(args.rebalance_to)
+        gateway.ingest_batch(alerts[midpoint:])
+    else:
+        gateway.ingest_batch(trace.iter_ordered())
     stats = gateway.drain()
     print(stats.render())
     if args.reconcile:

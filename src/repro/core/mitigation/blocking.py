@@ -94,9 +94,22 @@ class AlertBlocker:
         self._rules.append(rule)
         self._by_strategy.setdefault(rule.strategy_id, []).append(rule)
 
+    @property
+    def ruled_strategies(self) -> frozenset[str]:
+        """Strategies at least one rule targets.
+
+        The streaming hot loop tests every event against the rules; most
+        strategies have none, and membership here lets callers skip the
+        per-rule scan entirely for them.
+        """
+        return frozenset(self._by_strategy)
+
     def is_blocked(self, alert: Alert) -> bool:
         """Whether any rule blocks ``alert``."""
-        return any(rule.matches(alert) for rule in self._by_strategy.get(alert.strategy_id, ()))
+        rules = self._by_strategy.get(alert.strategy_id)
+        if not rules:
+            return False
+        return any(rule.matches(alert) for rule in rules)
 
     def apply(self, trace: AlertTrace) -> tuple[AlertTrace, list[Alert]]:
         """Split a trace into (passed, blocked)."""

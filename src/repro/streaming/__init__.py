@@ -2,16 +2,48 @@
 
 The streaming counterpart of the batch mitigation pipeline (paper
 §III-C run continuously, as the production system the paper studies
-does): alerts enter one at a time, are routed across shards on a
-consistent-hash ring, and flow through incremental versions of the
-reaction chain — R1 blocking and R2 session-window dedup per shard, R3
-windowed correlation over the merged representative stream, R4
-storm/emerging detection on ring-buffer counters.  End-of-run volume
-accounting reconciles exactly with
+does): alerts enter one at a time or in micro-batches, are routed
+across shards on a consistent-hash ring, and flow through incremental
+versions of the reaction chain — R1 blocking and R2 session-window
+dedup per shard, R3 windowed correlation over the merged representative
+stream, R4 storm/emerging detection on ring-buffer counters.  End-of-run
+volume accounting reconciles exactly with
 :class:`~repro.core.mitigation.pipeline.MitigationReport` on the same
-in-order trace.
+in-order trace — for every backend, shard count, and flush size.
+
+Choosing a backend (``AlertGateway(backend=...)``):
+
+* ``serial`` (default) — shards run inline.  Lowest latency per event,
+  zero moving parts; right for tests, simulations, and modest volumes.
+  Pair with ``ingest_batch`` + ``flush_size`` ≥ 256 to amortise
+  per-event overhead (~2-4x throughput on one core).
+* ``thread`` — shards of each flush cycle run on a worker pool.  Shard
+  state stays in-process, so rebalancing and draining stay cheap; the
+  batched path plus overlap across cores makes this the default choice
+  for sustained high-volume replay.
+* ``process`` — shards partitioned across worker processes; event
+  batches are pickled over.  Escapes the GIL entirely, so it wins when
+  per-event reaction work dominates serialisation (large windows, heavy
+  rule sets, many cores); prefer big ``flush_size`` (≥ 1024) to keep
+  the pickling amortised.
+
+Tuning ``flush_size``: bigger flushes amortise routing/hand-off but
+delay emission visibility by at most one flush (accounting is unchanged
+— ``drain`` always reconciles exactly).  ``flush_interval`` bounds that
+staleness in event time.  ``rebalance(n)`` re-shards a live gateway
+without losing window state.
 """
 
+from repro.streaming.backends import (
+    BACKEND_NAMES,
+    BatchResult,
+    ProcessBackend,
+    SerialBackend,
+    ShardBackend,
+    ShardDrainResult,
+    ThreadBackend,
+    make_backend,
+)
 from repro.streaming.correlator import OnlineCorrelator
 from repro.streaming.dedup import OnlineAggregator, OpenSession
 from repro.streaming.driver import drive_gateway
@@ -28,6 +60,14 @@ __all__ = [
     "GatewaySnapshot",
     "GatewayStats",
     "StreamProcessor",
+    "BACKEND_NAMES",
+    "BatchResult",
+    "ShardBackend",
+    "ShardDrainResult",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
     "ShardRouter",
     "shard_key",
     "template_of",

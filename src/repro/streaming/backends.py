@@ -1,0 +1,515 @@
+"""Pluggable shard execution backends for the alert gateway.
+
+The gateway routes events to shards; a *backend* decides where the
+per-shard :class:`~repro.streaming.processor.StreamProcessor` state
+lives and what executes it:
+
+* ``serial`` — all shards in the calling thread, one after another.
+  Zero coordination overhead; the PR-1 behaviour and the baseline every
+  other backend must reconcile against.
+* ``thread`` — a worker pool runs the shards of one flush cycle
+  concurrently.  Shard state stays in-process, so adoption, export and
+  draining are plain method calls; on multi-core machines the shard
+  work overlaps, on any machine the batched path amortises per-event
+  overhead.
+* ``process`` — shards are partitioned across worker processes
+  (``shard % n_workers``); event batches are pickled to the owning
+  worker and aggregate emissions are pickled back.  True parallelism
+  regardless of the GIL, at the price of serialisation per flush.
+
+Every backend speaks the same protocol — ``process_batches`` with a
+barrier per call, ``export_sessions``/``adopt`` for rebalancing,
+``drain``/``close`` for shutdown — and every backend produces *bitwise
+identical* volume accounting: a shard's reaction chain only ever sees
+its own events in arrival order, so where it runs cannot change what it
+counts.  The parity harness in ``tests/streaming/test_backends.py``
+pins that invariant down for every backend × shard count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.alerting.alert import Alert
+from repro.common.errors import ValidationError
+from repro.common.validation import require_positive
+from repro.core.mitigation.aggregation import AggregatedAlert
+from repro.core.mitigation.blocking import AlertBlocker
+from repro.streaming.dedup import OpenSession
+from repro.streaming.processor import StreamProcessor
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BatchResult",
+    "ShardDrainResult",
+    "ShardBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+]
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """What one shard reports after processing one micro-batch."""
+
+    shard_id: int
+    processed: int
+    blocked: int
+    emitted: list[AggregatedAlert]
+    min_open_first: float | None
+    open_sessions: int
+
+
+@dataclass(slots=True)
+class ShardDrainResult:
+    """One shard's final flush and lifetime counters."""
+
+    shard_id: int
+    emitted: list[AggregatedAlert]
+    seen: int = 0
+    blocked: int = 0
+    emitted_total: int = 0
+
+
+class ShardBackend(Protocol):
+    """The execution contract the gateway programs against."""
+
+    name: str
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards this backend executes."""
+        ...
+
+    def process_batches(self, batches: Sequence[tuple[int, list[Alert]]]) -> list[BatchResult]:
+        """Run one flush cycle; a barrier — returns when every batch is done.
+
+        ``batches`` holds at most one batch per shard; events within a
+        batch are in arrival order.
+        """
+        ...
+
+    def open_sessions_total(self) -> int:
+        """In-flight R2 sessions across all shards (as of the last barrier)."""
+        ...
+
+    def min_open_first(self) -> float | None:
+        """Earliest open-session start across shards (correlator horizon)."""
+        ...
+
+    def export_sessions(self) -> list[OpenSession]:
+        """Remove and return every open session (rebalancing hand-off)."""
+        ...
+
+    def adopt(self, assignments: Sequence[tuple[int, OpenSession]]) -> None:
+        """Install migrated sessions onto their new shards."""
+        ...
+
+    def drain(self) -> list[ShardDrainResult]:
+        """Flush every shard's open state; the backend stays closeable only."""
+        ...
+
+    def close(self) -> None:
+        """Release workers; idempotent."""
+        ...
+
+
+def _build_processors(
+    n_shards: int, blocker: AlertBlocker, aggregation_window: float
+) -> list[StreamProcessor]:
+    return [
+        StreamProcessor(shard, blocker, aggregation_window)
+        for shard in range(n_shards)
+    ]
+
+
+class SerialBackend:
+    """All shards execute inline in the calling thread."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        n_shards: int,
+        blocker: AlertBlocker,
+        aggregation_window: float = 900.0,
+    ) -> None:
+        require_positive(n_shards, "n_shards")
+        self.processors = _build_processors(n_shards, blocker, aggregation_window)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.processors)
+
+    def process_batches(self, batches: Sequence[tuple[int, list[Alert]]]) -> list[BatchResult]:
+        return [self._run_one(shard, alerts) for shard, alerts in batches]
+
+    def _run_one(self, shard: int, alerts: list[Alert]) -> BatchResult:
+        processor = self.processors[shard]
+        blocked, emitted = processor.ingest_batch(alerts)
+        return BatchResult(
+            shard_id=shard,
+            processed=len(alerts),
+            blocked=blocked,
+            emitted=emitted,
+            min_open_first=processor.min_open_first(),
+            open_sessions=processor.open_sessions,
+        )
+
+    def open_sessions_total(self) -> int:
+        return sum(p.open_sessions for p in self.processors)
+
+    def min_open_first(self) -> float | None:
+        opens = [
+            first for first in (p.min_open_first() for p in self.processors)
+            if first is not None
+        ]
+        return min(opens) if opens else None
+
+    def export_sessions(self) -> list[OpenSession]:
+        sessions: list[OpenSession] = []
+        for processor in self.processors:
+            sessions.extend(processor.export_sessions())
+        return sessions
+
+    def adopt(self, assignments: Sequence[tuple[int, OpenSession]]) -> None:
+        by_shard: dict[int, list[OpenSession]] = {}
+        for shard, session in assignments:
+            by_shard.setdefault(shard, []).append(session)
+        for shard, sessions in by_shard.items():
+            self.processors[shard].adopt_sessions(sessions)
+
+    def drain(self) -> list[ShardDrainResult]:
+        return [
+            ShardDrainResult(
+                shard_id=p.shard_id,
+                emitted=p.drain(),
+                seen=p.seen,
+                blocked=p.blocked,
+                emitted_total=p.emitted,
+            )
+            for p in self.processors
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadBackend(SerialBackend):
+    """Shards of one flush cycle run on a thread pool.
+
+    Shard state still lives in-process (introspection, export and drain
+    are inherited verbatim) — only ``process_batches`` fans out.  Each
+    cycle touches each shard at most once, so no two tasks ever share a
+    processor.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        n_shards: int,
+        blocker: AlertBlocker,
+        aggregation_window: float = 900.0,
+        n_workers: int = 4,
+    ) -> None:
+        super().__init__(n_shards, blocker, aggregation_window)
+        require_positive(n_workers, "n_workers")
+        self.n_workers = min(int(n_workers), n_shards)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def process_batches(self, batches: Sequence[tuple[int, list[Alert]]]) -> list[BatchResult]:
+        if len(batches) <= 1:
+            return super().process_batches(batches)
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="shard"
+            )
+        return list(self._pool.map(
+            lambda item: self._run_one(item[0], item[1]), batches
+        ))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _worker_loop(connection, shard_ids, blocker, aggregation_window) -> None:
+    """One process-backend worker: owns the processors of its shards."""
+    processors = {
+        shard: StreamProcessor(shard, blocker, aggregation_window)
+        for shard in shard_ids
+    }
+    while True:
+        try:
+            kind, payload = connection.recv()
+        except EOFError:
+            break
+        try:
+            if kind == "batch":
+                results = []
+                for shard, alerts in payload:
+                    processor = processors[shard]
+                    blocked, emitted = processor.ingest_batch(alerts)
+                    results.append(BatchResult(
+                        shard_id=shard,
+                        processed=len(alerts),
+                        blocked=blocked,
+                        emitted=emitted,
+                        min_open_first=processor.min_open_first(),
+                        open_sessions=processor.open_sessions,
+                    ))
+                connection.send(("ok", results))
+            elif kind == "export":
+                sessions = []
+                for shard in shard_ids:
+                    sessions.extend(processors[shard].export_sessions())
+                connection.send(("ok", sessions))
+            elif kind == "adopt":
+                for shard, sessions in payload:
+                    processors[shard].adopt_sessions(sessions)
+                connection.send(("ok", None))
+            elif kind == "drain":
+                connection.send(("ok", [
+                    ShardDrainResult(
+                        shard_id=p.shard_id,
+                        emitted=p.drain(),
+                        seen=p.seen,
+                        blocked=p.blocked,
+                        emitted_total=p.emitted,
+                    )
+                    for p in (processors[shard] for shard in shard_ids)
+                ]))
+            elif kind == "stop":
+                connection.send(("ok", None))
+                break
+            else:
+                connection.send(("error", f"unknown command {kind!r}"))
+        except Exception as exc:  # surface worker failures to the parent
+            connection.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class ProcessBackend:
+    """Shards are partitioned across worker processes.
+
+    Workers are spawned lazily on first use, so constructing a gateway
+    costs nothing until events flow.  Shard ``s`` lives in worker
+    ``s % n_workers`` for the backend's whole lifetime — state never
+    migrates between workers except through ``export_sessions``.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_shards: int,
+        blocker: AlertBlocker,
+        aggregation_window: float = 900.0,
+        n_workers: int = 4,
+    ) -> None:
+        require_positive(n_shards, "n_shards")
+        require_positive(n_workers, "n_workers")
+        self._n_shards = int(n_shards)
+        self.n_workers = min(int(n_workers), self._n_shards)
+        self._blocker = blocker
+        self._window = float(aggregation_window)
+        self._workers: list[multiprocessing.Process] | None = None
+        self._connections: list = []
+        self._pending_adoptions: list[tuple[int, OpenSession]] = []
+        # Last-barrier views, kept so introspection never needs a round
+        # trip: refreshed from every BatchResult.
+        self._open_sessions: dict[int, int] = {}
+        self._min_open_first: dict[int, float | None] = {}
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def _worker_of(self, shard: int) -> int:
+        return shard % self.n_workers
+
+    def _start(self) -> None:
+        context = multiprocessing.get_context()
+        self._workers = []
+        self._connections = []
+        shards_of = [
+            [s for s in range(self._n_shards) if self._worker_of(s) == w]
+            for w in range(self.n_workers)
+        ]
+        for shard_ids in shards_of:
+            parent_end, child_end = context.Pipe()
+            worker = context.Process(
+                target=_worker_loop,
+                args=(child_end, shard_ids, self._blocker, self._window),
+                daemon=True,
+            )
+            worker.start()
+            child_end.close()
+            self._workers.append(worker)
+            self._connections.append(parent_end)
+        if self._pending_adoptions:
+            self._send_adoptions(self._pending_adoptions)
+            self._pending_adoptions = []
+
+    def _roundtrip(self, worker_ids: list[int], messages: list[tuple]) -> list:
+        """Send to each worker, then gather — batches overlap in flight."""
+        for worker_id, message in zip(worker_ids, messages):
+            self._connections[worker_id].send(message)
+        replies = []
+        for worker_id in worker_ids:
+            status, payload = self._connections[worker_id].recv()
+            if status != "ok":
+                raise ValidationError(f"shard worker {worker_id} failed: {payload}")
+            replies.append(payload)
+        return replies
+
+    def process_batches(self, batches: Sequence[tuple[int, list[Alert]]]) -> list[BatchResult]:
+        if self._closed:
+            raise ValidationError("process backend already closed")
+        if self._workers is None:
+            self._start()
+        per_worker: dict[int, list[tuple[int, list[Alert]]]] = {}
+        for shard, alerts in batches:
+            per_worker.setdefault(self._worker_of(shard), []).append((shard, alerts))
+        worker_ids = sorted(per_worker)
+        replies = self._roundtrip(
+            worker_ids, [("batch", per_worker[w]) for w in worker_ids]
+        )
+        results: list[BatchResult] = []
+        for reply in replies:
+            for result in reply:
+                self._open_sessions[result.shard_id] = result.open_sessions
+                self._min_open_first[result.shard_id] = result.min_open_first
+                results.append(result)
+        return results
+
+    def open_sessions_total(self) -> int:
+        return sum(self._open_sessions.values())
+
+    def min_open_first(self) -> float | None:
+        opens = [first for first in self._min_open_first.values() if first is not None]
+        return min(opens) if opens else None
+
+    def export_sessions(self) -> list[OpenSession]:
+        if self._workers is None:
+            pending = [session for _, session in self._pending_adoptions]
+            self._pending_adoptions = []
+            self._open_sessions.clear()
+            self._min_open_first.clear()
+            return pending
+        worker_ids = list(range(self.n_workers))
+        replies = self._roundtrip(worker_ids, [("export", None)] * self.n_workers)
+        self._open_sessions.clear()
+        self._min_open_first.clear()
+        sessions: list[OpenSession] = []
+        for reply in replies:
+            sessions.extend(reply)
+        return sessions
+
+    def adopt(self, assignments: Sequence[tuple[int, OpenSession]]) -> None:
+        assignments = list(assignments)
+        # Seed the last-barrier views immediately: the correlator horizon
+        # must see adopted sessions before the next flush refreshes the
+        # owning shard, or _finalize_ready would close components their
+        # eventual aggregates could still join.
+        for shard, session in assignments:
+            self._open_sessions[shard] = self._open_sessions.get(shard, 0) + 1
+            current = self._min_open_first.get(shard)
+            if current is None or session.first_at < current:
+                self._min_open_first[shard] = session.first_at
+        if self._workers is None:
+            # Defer until the workers exist — they are spawned lazily.
+            self._pending_adoptions.extend(assignments)
+            return
+        self._send_adoptions(assignments)
+
+    def _send_adoptions(self, assignments: list[tuple[int, OpenSession]]) -> None:
+        per_worker: dict[int, dict[int, list[OpenSession]]] = {}
+        for shard, session in assignments:
+            per_worker.setdefault(self._worker_of(shard), {}).setdefault(shard, []).append(session)
+        worker_ids = sorted(per_worker)
+        self._roundtrip(worker_ids, [
+            ("adopt", list(per_worker[w].items())) for w in worker_ids
+        ])
+
+    def drain(self) -> list[ShardDrainResult]:
+        if self._workers is None:
+            if self._pending_adoptions:
+                # Adopted-but-never-flushed sessions still hold window
+                # state that must be emitted; spawn the workers so the
+                # normal drain path closes them.
+                self._start()
+            else:
+                return [
+                    ShardDrainResult(shard_id=shard, emitted=[])
+                    for shard in range(self._n_shards)
+                ]
+        worker_ids = list(range(self.n_workers))
+        replies = self._roundtrip(worker_ids, [("drain", None)] * self.n_workers)
+        self._open_sessions.clear()
+        self._min_open_first.clear()
+        results: list[ShardDrainResult] = []
+        for reply in replies:
+            results.extend(reply)
+        results.sort(key=lambda result: result.shard_id)
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._workers is None:
+            return
+        for connection in self._connections:
+            try:
+                connection.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for connection in self._connections:
+            try:
+                if connection.poll(1.0):
+                    connection.recv()
+            except (EOFError, OSError):
+                pass
+            connection.close()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                worker.terminate()
+        self._workers = None
+        self._connections = []
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_backend(
+    name: str,
+    n_shards: int,
+    blocker: AlertBlocker,
+    aggregation_window: float = 900.0,
+    n_workers: int | None = None,
+) -> ShardBackend:
+    """Build the named backend; ``n_workers`` defaults to 4 for pools."""
+    workers = 4 if n_workers is None else n_workers
+    if name == "serial":
+        return SerialBackend(n_shards, blocker, aggregation_window)
+    if name == "thread":
+        return ThreadBackend(n_shards, blocker, aggregation_window, n_workers=workers)
+    if name == "process":
+        return ProcessBackend(n_shards, blocker, aggregation_window, n_workers=workers)
+    raise ValidationError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )

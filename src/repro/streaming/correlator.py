@@ -61,7 +61,10 @@ class OnlineCorrelator:
         self._window = analyzer.time_window
         self._seq = 0
         self._entries: dict[int, _Entry] = {}
-        self._timeline: list[tuple[float, int]] = []  # sorted (occurred_at, seq)
+        # Retained representatives bucketed per region, each bucket a
+        # sorted (occurred_at, seq) list: evidence requires equal
+        # regions, so candidates in other regions need not be scanned.
+        self._timelines: dict[str, list[tuple[float, int]]] = {}
         self._parent: dict[int, int] = {}
         self._members: dict[int, list[int]] = {}
         self._max_time: dict[int, float] = {}
@@ -89,17 +92,18 @@ class OnlineCorrelator:
         self._members[seq] = [seq]
         self._max_time[seq] = representative.occurred_at
         time = representative.occurred_at
-        lo = bisect.bisect_left(self._timeline, (time - self._window, -1))
-        hi = bisect.bisect_right(self._timeline, (time + self._window, self._seq))
-        # Check every retained in-window pair exactly as the batch sweep
-        # does; union-find makes repeats cheap.
+        timeline = self._timelines.setdefault(representative.region, [])
+        lo = bisect.bisect_left(timeline, (time - self._window, -1))
+        hi = bisect.bisect_right(timeline, (time + self._window, self._seq))
+        # Check every retained in-window same-region pair exactly as the
+        # batch sweep does; union-find makes repeats cheap.
         for index in range(lo, hi):
-            other_seq = self._timeline[index][1]
+            other_seq = timeline[index][1]
             if self._find(other_seq) == self._find(seq):
                 continue
             if self._analyzer.pair_evidence(self._entries[other_seq].alert, representative):
                 self._union(other_seq, seq)
-        bisect.insort(self._timeline, (time, seq))
+        bisect.insort(timeline, (time, seq))
 
     def finalize_ready(self, watermark: float, min_open_first: float | None) -> list[AlertCluster]:
         """Close components no future representative can join.
@@ -155,9 +159,11 @@ class OnlineCorrelator:
                 del self._parent[seq]
                 evicted.add(seq)
         if evicted:
-            self._timeline = [
-                item for item in self._timeline if item[1] not in evicted
-            ]
+            self._timelines = {
+                region: kept
+                for region, timeline in self._timelines.items()
+                if (kept := [item for item in timeline if item[1] not in evicted])
+            }
         clusters.sort(key=lambda c: (c.alerts[0].occurred_at, -c.size))
         self.finalized_count += len(clusters)
         if self._retain_finalized:

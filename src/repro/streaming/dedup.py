@@ -18,6 +18,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.alerting.alert import Alert
+from repro.common.errors import ValidationError
 from repro.common.timeutil import TimeWindow
 from repro.common.validation import require_positive
 from repro.core.mitigation.aggregation import AggregatedAlert
@@ -118,6 +119,78 @@ class OnlineAggregator:
         )
         self._push_expiry(key, session)
         return emitted
+
+    def ingest_batch(self, alerts: list[Alert]) -> list[AggregatedAlert]:
+        """Feed a micro-batch; equivalent to ``ingest`` per event.
+
+        The batch path compresses *runs* — consecutive events of one
+        ``(strategy, region)`` key, the common shape inside an alert
+        storm — into a single dict lookup and a single expiry-heap push,
+        instead of one of each per event.  Session boundaries are
+        identical to the per-event path: a session closes exactly when
+        the gap to the key's next event exceeds the window, and expiry
+        of *other* keys' sessions only ever happens later than it would
+        per-event, which delays emission but never changes it.
+        """
+        emitted: list[AggregatedAlert] = []
+        window = self._window
+        index = 0
+        total = len(alerts)
+        while index < total:
+            first = alerts[index]
+            strategy, region = first.strategy_id, first.region
+            stop = index + 1
+            while (
+                stop < total
+                and alerts[stop].strategy_id == strategy
+                and alerts[stop].region == region
+            ):
+                stop += 1
+            emitted.extend(self._expire(first.occurred_at))
+            key = (strategy, region)
+            session = self._sessions.get(key)
+            for position in range(index, stop):
+                alert = alerts[position]
+                if session is not None and session.last_at + window < alert.occurred_at:
+                    emitted.append(session.emit())
+                    session = None
+                if session is None:
+                    session = OpenSession(
+                        strategy_id=strategy,
+                        region=region,
+                        first_at=alert.occurred_at,
+                        last_at=alert.occurred_at,
+                        count=1,
+                        representative=alert,
+                        alert_ids=[alert.alert_id],
+                    )
+                else:
+                    session.absorb(alert)
+            self._sessions[key] = session
+            self._push_expiry(key, session)
+            index = stop
+        return emitted
+
+    def export_sessions(self) -> list[OpenSession]:
+        """Hand over every open session (shard rebalancing).
+
+        The aggregator is left empty; the caller re-installs the
+        sessions on their new shards via :meth:`adopt`.  Deterministic
+        key order, so rebalancing is reproducible.
+        """
+        sessions = [session for _, session in sorted(self._sessions.items())]
+        self._sessions.clear()
+        self._expiry.clear()
+        return sessions
+
+    def adopt(self, sessions: list[OpenSession]) -> None:
+        """Install sessions exported from another aggregator."""
+        for session in sessions:
+            key = (session.strategy_id, session.region)
+            if key in self._sessions:
+                raise ValidationError(f"session for {key} already open")
+            self._sessions[key] = session
+            self._push_expiry(key, session)
 
     def drain(self) -> list[AggregatedAlert]:
         """Close and emit every open session (end of stream)."""

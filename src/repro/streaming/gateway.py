@@ -7,20 +7,40 @@ one alert at a time (or micro-batches), routes it across N shards on a
 consistent-hash ring keyed by ``(service, title template)``, and keeps
 every reaction's state incremental and bounded:
 
-* shards run R1 blocking, R2 session-window dedup, and the R4
-  storm/emerging ring counters (:class:`StreamProcessor`);
+* shards run R1 blocking and R2 session-window dedup inside a pluggable
+  :mod:`~repro.streaming.backends` execution backend — ``serial``
+  (inline), ``thread`` (pool per flush cycle), or ``process``
+  (shards partitioned across worker processes);
 * the gateway runs one :class:`OnlineCorrelator` (R3) over the merged,
   heavily compressed stream of aggregate representatives the shards
-  emit — cascades cross services, so correlation cannot be shard-local.
+  emit — cascades cross services, so correlation cannot be shard-local —
+  and one :class:`OnlineStormDetector` (R4) over the raw in-order
+  stream — flood rates are per region, so detection cannot be
+  shard-local either.
+
+Ingestion has two paths with identical end-of-run accounting:
+
+* :meth:`ingest` — one event, processed immediately at the default
+  ``flush_size=1``;
+* :meth:`ingest_batch` — events are routed into per-shard buffers and
+  flushed to the backend ``flush_size`` events at a time (or whenever
+  event time advances ``flush_interval`` seconds), which amortises
+  routing, accounting, and backend hand-off over the whole micro-batch.
+
+:meth:`rebalance` re-shards a live gateway: open R2 sessions are
+exported from every shard, the consistent-hash ring is rebuilt, and the
+sessions are adopted by the shards that now own their keys — no window
+state is lost, so accounting stays exact across the transition.
 
 On an in-order stream the end-of-run volume accounting (blocked,
 aggregates, clusters) is *exactly* the batch pipeline's — the
-reconciliation invariant ``GatewayStats.reconcile`` checks.  Out-of-order
-events are processed best-effort and counted in ``late_events``.
+reconciliation invariant ``GatewayStats.reconcile`` checks, for every
+backend, shard count, and flush size.  Out-of-order events are processed
+best-effort and counted in ``late_events``.
 
->>> gateway = AlertGateway(graph, blocker=blocker, n_shards=4)   # doctest: +SKIP
->>> for alert in source:                                         # doctest: +SKIP
-...     gateway.ingest(alert)
+>>> gateway = AlertGateway(graph, blocker=blocker, n_shards=4,   # doctest: +SKIP
+...                        backend="thread", n_workers=4, flush_size=512)
+>>> gateway.ingest_batch(source)                                 # doctest: +SKIP
 >>> stats = gateway.drain()                                      # doctest: +SKIP
 """
 
@@ -40,6 +60,7 @@ from repro.core.mitigation.correlation import (
     CorrelationAnalyzer,
     DependencyRuleBook,
 )
+from repro.streaming.backends import ShardBackend, make_backend
 from repro.streaming.correlator import OnlineCorrelator
 from repro.streaming.processor import StreamProcessor
 from repro.streaming.routing import ShardRouter
@@ -48,6 +69,9 @@ from repro.streaming.storm import OnlineStormDetector
 from repro.topology.graph import DependencyGraph
 
 __all__ = ["AlertGateway", "GatewaySnapshot"]
+
+#: Default per-shard micro-batch size for the buffered backends.
+DEFAULT_BATCH_FLUSH = 512
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,27 +118,36 @@ class AlertGateway:
         enable_storm_detection: bool = True,
         retain_artifacts: bool = True,
         finalize_every: int = 256,
+        backend: str = "serial",
+        n_workers: int | None = None,
+        flush_size: int | None = None,
+        flush_interval: float | None = None,
     ) -> None:
         require_positive(finalize_every, "finalize_every")
-        blocker = blocker or AlertBlocker()
+        if flush_size is not None:
+            require_positive(flush_size, "flush_size")
+        if flush_interval is not None:
+            require_positive(flush_interval, "flush_interval")
+        self._blocker = blocker or AlertBlocker()
+        self._aggregation_window = float(aggregation_window)
+        self._backend_name = backend
+        self._n_workers = n_workers
         self._router = ShardRouter(n_shards)
-        # One detector shared by every shard: ingestion is single-threaded,
-        # so it sees the global in-order stream and R4 results are
-        # independent of shard count (per-shard counters would dilute a
-        # region's rate against the flood threshold and double-count
-        # episodes that span shards).
+        self._backend: ShardBackend = make_backend(
+            backend,
+            n_shards=n_shards,
+            blocker=self._blocker,
+            aggregation_window=self._aggregation_window,
+            n_workers=n_workers,
+        )
+        # One detector for the whole gateway: it watches the raw stream
+        # in arrival order, so R4 results are independent of shard count
+        # and backend (per-shard counters would dilute a region's rate
+        # against the flood threshold and double-count episodes that
+        # span shards).
         self._storm_detector = (
             OnlineStormDetector() if enable_storm_detection else None
         )
-        self._processors = [
-            StreamProcessor(
-                shard_id=shard,
-                blocker=blocker,
-                aggregation_window=aggregation_window,
-                storm_detector=self._storm_detector,
-            )
-            for shard in range(n_shards)
-        ]
         self._correlator = OnlineCorrelator(CorrelationAnalyzer(
             graph,
             rulebook=rulebook,
@@ -122,6 +155,16 @@ class AlertGateway:
             time_window=correlation_window,
         ))
         self._finalize_every = int(finalize_every)
+        self._last_finalize_input = 0
+        # Per-event ingestion processes immediately by default; buffered
+        # backends amortise hand-off over bigger flush cycles.
+        if flush_size is None:
+            flush_size = 1 if backend == "serial" else DEFAULT_BATCH_FLUSH
+        self._flush_size = int(flush_size)
+        self._flush_interval = flush_interval
+        self._buffers: list[list[Alert]] = [[] for _ in range(n_shards)]
+        self._buffered = 0
+        self._last_flush_watermark: float | None = None
         # R2 sessions key on (strategy, region) while the ring hashes
         # (service, title template); the two agree because a strategy's
         # service/title are fixed.  Pinning each strategy to the shard its
@@ -133,7 +176,12 @@ class AlertGateway:
         self._shard_of: dict[str, int] = {}
         self._retain = retain_artifacts
         self._drained = False
-        self.stats = GatewayStats(n_shards=n_shards)
+        self.stats = GatewayStats(
+            n_shards=n_shards,
+            backend=backend,
+            n_workers=getattr(self._backend, "n_workers", 1),
+            flush_size=self._flush_size,
+        )
         self.aggregates: list[AggregatedAlert] = []
         self.clusters: list[AlertCluster] = []
 
@@ -141,7 +189,12 @@ class AlertGateway:
     # ingestion
     # ------------------------------------------------------------------
     def ingest(self, alert: Alert) -> list[AggregatedAlert]:
-        """Process one alert; returns aggregates it caused to close."""
+        """Process one alert; returns aggregates the resulting flush closed.
+
+        With the default ``flush_size=1`` the event is processed before
+        this returns; larger flush sizes buffer it and return the
+        emissions of whatever flush the event happened to trigger.
+        """
         if self._drained:
             raise ValidationError("gateway already drained; create a new one")
         started = time.perf_counter()
@@ -151,34 +204,92 @@ class AlertGateway:
             stats.watermark = alert.occurred_at
         else:
             stats.late_events += 1
+        if self._storm_detector is not None:
+            self._storm_detector.ingest(alert)
         shard = self._shard_of.get(alert.strategy_id)
         if shard is None:
             shard = self._router.route(alert)
             self._shard_of[alert.strategy_id] = shard
-        blocked, emitted = self._processors[shard].ingest(alert)
-        if blocked:
-            stats.blocked_alerts += 1
-        for aggregate in emitted:
-            self._absorb_aggregate(aggregate)
-        if stats.input_alerts % self._finalize_every == 0:
-            self._finalize_ready()
-        stats.observe_latency(time.perf_counter() - started)
-        return emitted
+        self._buffers[shard].append(alert)
+        self._buffered += 1
+        if self._last_flush_watermark is None:
+            self._last_flush_watermark = alert.occurred_at
+        if self._buffered >= self._flush_size or (
+            self._flush_interval is not None
+            and stats.watermark - self._last_flush_watermark >= self._flush_interval
+        ):
+            flushed = self._buffered
+            emitted = self._flush(observe_latency=False)
+            # Amortise over the whole flush: with flush_size=1 this is
+            # exactly one per-event observation.
+            stats.observe_flush(time.perf_counter() - started, flushed)
+            return emitted
+        return []
 
     def ingest_many(self, alerts: Iterable[Alert]) -> int:
-        """Feed a micro-batch (or a whole source); returns the count."""
+        """Feed a source one event at a time; returns the count."""
         count = 0
         for alert in alerts:
             self.ingest(alert)
             count += 1
         return count
 
+    def ingest_batch(self, alerts: Iterable[Alert]) -> int:
+        """Feed a micro-batch (or a whole source) through the batched path.
+
+        Events are routed into per-shard buffers and handed to the
+        execution backend ``flush_size`` at a time; end-of-run accounting
+        is identical to per-event :meth:`ingest`.  Returns the count.
+        Buffered events persist across calls until a flush triggers or
+        the gateway is drained.
+        """
+        if self._drained:
+            raise ValidationError("gateway already drained; create a new one")
+        stats = self.stats
+        storms = self._storm_detector
+        buffers = self._buffers
+        shard_of = self._shard_of
+        route = self._router.route
+        flush_size = self._flush_size
+        interval = self._flush_interval
+        count = 0
+        watermark = stats.watermark
+        for alert in alerts:
+            occurred_at = alert.occurred_at
+            if watermark is None or occurred_at >= watermark:
+                watermark = occurred_at
+            else:
+                stats.late_events += 1
+            if storms is not None:
+                storms.ingest(alert)
+            strategy = alert.strategy_id
+            shard = shard_of.get(strategy)
+            if shard is None:
+                shard = route(alert)
+                shard_of[strategy] = shard
+            buffers[shard].append(alert)
+            count += 1
+            self._buffered += 1
+            stats.input_alerts += 1
+            if self._last_flush_watermark is None:
+                self._last_flush_watermark = occurred_at
+            if self._buffered >= flush_size or (
+                interval is not None
+                and watermark - self._last_flush_watermark >= interval
+            ):
+                stats.watermark = watermark
+                self._flush()
+                buffers = self._buffers
+        stats.watermark = watermark
+        return count
+
     def drain(self) -> GatewayStats:
         """Flush every shard and finalise all clusters (end of stream)."""
         if self._drained:
             return self.stats
-        for processor in self._processors:
-            for aggregate in processor.drain():
+        self._flush()
+        for result in self._backend.drain():
+            for aggregate in result.emitted:
                 self._absorb_aggregate(aggregate)
         clusters = self._correlator.drain()
         self.stats.clusters_finalized += len(clusters)
@@ -189,13 +300,62 @@ class AlertGateway:
         self._refresh_signal_counts()
         self.stats.mark_finished()
         self._drained = True
+        self._backend.close()
         return self.stats
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(self, n_shards: int, n_workers: int | None = None) -> None:
+        """Re-shard the live gateway onto an ``n_shards`` consistent-hash ring.
+
+        Pending buffers are flushed, every open R2 session is exported
+        from the old shards, the ring and backend are rebuilt, and the
+        sessions are adopted by the shards that now own their strategies
+        (each migrated strategy is pinned to its session's new home, so
+        future events keep landing where the window state lives).  The
+        correlator and storm detector are gateway-level and unaffected.
+        Volume accounting is exact across the transition.
+        """
+        require_positive(n_shards, "n_shards")
+        if self._drained:
+            raise ValidationError("gateway already drained; create a new one")
+        self._flush()
+        sessions = self._backend.export_sessions()
+        self._backend.close()
+        if n_workers is not None:
+            self._n_workers = n_workers
+        self._router = self._router.with_shards(n_shards)
+        self._backend = make_backend(
+            self._backend_name,
+            n_shards=n_shards,
+            blocker=self._blocker,
+            aggregation_window=self._aggregation_window,
+            n_workers=self._n_workers,
+        )
+        self._buffers = [[] for _ in range(n_shards)]
+        self._shard_of.clear()
+        assignments = []
+        for session in sorted(
+            sessions, key=lambda s: (s.strategy_id, s.region)
+        ):
+            shard = self._shard_of.get(session.strategy_id)
+            if shard is None:
+                shard = self._router.route(session.representative)
+                self._shard_of[session.strategy_id] = shard
+            assignments.append((shard, session))
+        if assignments:
+            self._backend.adopt(assignments)
+        self.stats.n_shards = n_shards
+        self.stats.n_workers = getattr(self._backend, "n_workers", 1)
+        self.stats.rebalances += 1
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def snapshot(self) -> GatewaySnapshot:
-        """A non-disruptive view of current progress."""
+        """A consistent view of current progress (flushes pending buffers)."""
+        self._flush()
         self._refresh_signal_counts()
         return GatewaySnapshot(
             watermark=self.stats.watermark,
@@ -203,7 +363,7 @@ class AlertGateway:
             blocked_alerts=self.stats.blocked_alerts,
             aggregates_emitted=self.stats.aggregates_emitted,
             clusters_finalized=self.stats.clusters_finalized,
-            open_sessions=sum(p.open_sessions for p in self._processors),
+            open_sessions=self._backend.open_sessions_total(),
             active_components=self._correlator.active_components,
             retained_representatives=self._correlator.retained,
             storm_episodes=self.stats.storm_episodes,
@@ -211,9 +371,20 @@ class AlertGateway:
         )
 
     @property
+    def backend_name(self) -> str:
+        """The execution backend in use (``serial``/``thread``/``process``)."""
+        return self._backend.name
+
+    @property
     def processors(self) -> list[StreamProcessor]:
-        """The per-shard processors (read-only use)."""
-        return list(self._processors)
+        """The per-shard processors (read-only use; in-process backends only)."""
+        processors = getattr(self._backend, "processors", None)
+        if processors is None:
+            raise ValidationError(
+                "shard processors live in worker processes and are not "
+                "addressable from the parent; use snapshot() instead"
+            )
+        return list(processors)
 
     @property
     def router(self) -> ShardRouter:
@@ -223,6 +394,37 @@ class AlertGateway:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _flush(self, observe_latency: bool = True) -> list[AggregatedAlert]:
+        """Hand every buffered per-shard batch to the backend (a barrier)."""
+        if self._buffered == 0:
+            return []
+        started = time.perf_counter()
+        batches = [
+            (shard, batch)
+            for shard, batch in enumerate(self._buffers)
+            if batch
+        ]
+        self._buffers = [[] for _ in range(len(self._buffers))]
+        flushed = self._buffered
+        self._buffered = 0
+        results = self._backend.process_batches(batches)
+        results.sort(key=lambda result: result.shard_id)
+        stats = self.stats
+        emitted_all: list[AggregatedAlert] = []
+        for result in results:
+            stats.blocked_alerts += result.blocked
+            for aggregate in result.emitted:
+                self._absorb_aggregate(aggregate)
+                emitted_all.append(aggregate)
+        stats.flushes += 1
+        self._last_flush_watermark = stats.watermark
+        if stats.input_alerts - self._last_finalize_input >= self._finalize_every:
+            self._last_finalize_input = stats.input_alerts
+            self._finalize_ready()
+        if observe_latency:
+            stats.observe_flush(time.perf_counter() - started, flushed)
+        return emitted_all
+
     def _absorb_aggregate(self, aggregate: AggregatedAlert) -> None:
         self.stats.aggregates_emitted += 1
         if self._retain:
@@ -230,14 +432,14 @@ class AlertGateway:
         self._correlator.add(aggregate.representative)
 
     def _finalize_ready(self) -> None:
+        """Close safe correlation components.  Call only at flush barriers:
+        the horizon below assumes every ingested event has reached its
+        shard, which is only true when the buffers are empty."""
         if self.stats.watermark is None:
             return
-        opens = [
-            first for first in (p.min_open_first() for p in self._processors)
-            if first is not None
-        ]
-        min_open_first = min(opens) if opens else None
-        clusters = self._correlator.finalize_ready(self.stats.watermark, min_open_first)
+        clusters = self._correlator.finalize_ready(
+            self.stats.watermark, self._backend.min_open_first()
+        )
         self.stats.clusters_finalized += len(clusters)
         if self._retain:
             self.clusters.extend(clusters)

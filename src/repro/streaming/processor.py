@@ -1,4 +1,4 @@
-"""The per-shard stream processor: R1 blocking, R2 dedup, R4 signals.
+"""The per-shard stream processor: R1 blocking + R2 dedup.
 
 Each shard owns the alerts of its slice of the ``(service, title
 template)`` key space and runs the volume-reducing reactions inline:
@@ -8,14 +8,16 @@ template)`` key space and runs the volume-reducing reactions inline:
   O(rules-per-strategy) point lookup, so the batch component streams
   as-is);
 * **R2** — survivors feed the :class:`OnlineAggregator`'s session
-  windows; closed sessions surface as ``AggregatedAlert`` emissions;
-* **R4** — survivors also advance the ring-buffer storm/emerging
-  detector.
+  windows; closed sessions surface as ``AggregatedAlert`` emissions.
 
-Correlation (R3) deliberately does *not* live here: cascades cross
-services, so shard-local clustering would split them.  The gateway runs
-one :class:`~repro.streaming.correlator.OnlineCorrelator` over the much
-smaller merged stream of shard emissions instead.
+Correlation (R3) and storm detection (R4) deliberately do *not* live
+here: cascades cross services (so shard-local clustering would split
+them) and flood rates are per region (so per-shard counters would dilute
+them) — the gateway runs one :class:`OnlineCorrelator` over the merged
+stream of shard emissions and one ``OnlineStormDetector`` over the raw
+in-order stream instead.  Keeping shard state free of shared detectors
+is also what lets the thread and process backends run shards truly
+concurrently: a processor touches nothing outside itself.
 """
 
 from __future__ import annotations
@@ -23,8 +25,7 @@ from __future__ import annotations
 from repro.alerting.alert import Alert
 from repro.core.mitigation.aggregation import AggregatedAlert
 from repro.core.mitigation.blocking import AlertBlocker
-from repro.streaming.dedup import OnlineAggregator
-from repro.streaming.storm import OnlineStormDetector
+from repro.streaming.dedup import OnlineAggregator, OpenSession
 
 __all__ = ["StreamProcessor"]
 
@@ -37,12 +38,10 @@ class StreamProcessor:
         shard_id: int,
         blocker: AlertBlocker,
         aggregation_window: float = 900.0,
-        storm_detector: OnlineStormDetector | None = None,
     ) -> None:
         self.shard_id = shard_id
         self._blocker = blocker
         self._aggregator = OnlineAggregator(aggregation_window)
-        self._storms = storm_detector
         self.seen = 0
         self.blocked = 0
         self.emitted = 0
@@ -52,11 +51,6 @@ class StreamProcessor:
     def open_sessions(self) -> int:
         """In-flight aggregation sessions on this shard."""
         return self._aggregator.open_sessions
-
-    @property
-    def storm_detector(self) -> OnlineStormDetector | None:
-        """The shard's R4 detector, when enabled."""
-        return self._storms
 
     def min_open_first(self) -> float | None:
         """Earliest open-session start (feeds the correlator's horizon)."""
@@ -70,10 +64,6 @@ class StreamProcessor:
         """
         self.seen += 1
         self.last_event_at = alert.occurred_at
-        # Detection watches the raw stream (a flood of blockable noise is
-        # still a flood); the reactions then shrink it.
-        if self._storms is not None:
-            self._storms.ingest(alert)
         if self._blocker.is_blocked(alert):
             self.blocked += 1
             return True, []
@@ -81,14 +71,43 @@ class StreamProcessor:
         self.emitted += len(emitted)
         return False, emitted
 
-    def drain(self) -> list[AggregatedAlert]:
-        """Flush all open aggregation state at end of stream.
+    def ingest_batch(self, alerts: list[Alert]) -> tuple[int, list[AggregatedAlert]]:
+        """Process one micro-batch; equivalent to ``ingest`` per event.
 
-        The storm detector is *not* closed here: the gateway may share
-        one detector across shards, so its owner calls
-        :meth:`OnlineStormDetector.finish` once with the global
-        watermark.
+        Returns ``(blocked_count, emitted)``.  R1 skips the rule scan for
+        strategies no rule targets, and R2 takes the run-compressed path.
         """
+        ruled = self._blocker.ruled_strategies
+        is_blocked = self._blocker.is_blocked
+        blocked = 0
+        if ruled:
+            survivors = []
+            append = survivors.append
+            for alert in alerts:
+                if alert.strategy_id in ruled and is_blocked(alert):
+                    blocked += 1
+                else:
+                    append(alert)
+        else:
+            survivors = alerts
+        emitted = self._aggregator.ingest_batch(survivors)
+        self.seen += len(alerts)
+        self.blocked += blocked
+        self.emitted += len(emitted)
+        if alerts:
+            self.last_event_at = alerts[-1].occurred_at
+        return blocked, emitted
+
+    def export_sessions(self) -> list[OpenSession]:
+        """Hand over every open R2 session (shard rebalancing)."""
+        return self._aggregator.export_sessions()
+
+    def adopt_sessions(self, sessions: list[OpenSession]) -> None:
+        """Install R2 sessions migrated from another shard."""
+        self._aggregator.adopt(sessions)
+
+    def drain(self) -> list[AggregatedAlert]:
+        """Flush all open aggregation state at end of stream."""
         emitted = self._aggregator.drain()
         self.emitted += len(emitted)
         return emitted

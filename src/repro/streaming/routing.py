@@ -67,6 +67,29 @@ class ShardRouter:
         """Number of shards on the ring."""
         return self._n_shards
 
+    @property
+    def replicas(self) -> int:
+        """Virtual points per shard."""
+        return self._replicas
+
+    def with_shards(self, n_shards: int) -> "ShardRouter":
+        """A ring over ``n_shards`` with the same replica count.
+
+        This is the rebalancing constructor: consistent hashing
+        guarantees only ~|N - M| / max(N, M) of the key space moves
+        between the old ring and the new one.
+        """
+        return ShardRouter(n_shards, replicas=self._replicas)
+
+    def moved_fraction(self, other: "ShardRouter", keys: list[str]) -> float:
+        """Fraction of ``keys`` that map to a different shard on ``other``."""
+        if not keys:
+            return 0.0
+        moved = sum(
+            1 for key in keys if self.route_key(key) != other.route_key(key)
+        )
+        return moved / len(keys)
+
     def route_key(self, key: str) -> int:
         """The shard owning ``key`` (first ring point at or after its hash)."""
         index = bisect.bisect_left(self._points, _point(key))

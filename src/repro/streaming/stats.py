@@ -25,6 +25,9 @@ class GatewayStats:
     """Running counters of one gateway instance."""
 
     n_shards: int = 1
+    backend: str = "serial"
+    n_workers: int = 1
+    flush_size: int = 1
     input_alerts: int = 0
     blocked_alerts: int = 0
     aggregates_emitted: int = 0
@@ -32,6 +35,8 @@ class GatewayStats:
     storm_episodes: int = 0
     emerging_flags: int = 0
     late_events: int = 0
+    flushes: int = 0
+    rebalances: int = 0
     watermark: float | None = None
     latency: LatencyReservoir = field(default_factory=LatencyReservoir)
     started_wall: float = field(default_factory=time.perf_counter)
@@ -76,6 +81,10 @@ class GatewayStats:
         """Record one per-event processing latency."""
         self.latency.observe(seconds)
 
+    def observe_flush(self, seconds: float, events: int) -> None:
+        """Record one flush cycle's latency amortised over its events."""
+        self.latency.observe_batch(seconds, events)
+
     def mark_finished(self) -> None:
         """Freeze the wall clock (called by ``drain``)."""
         if self.finished_wall is None:
@@ -98,8 +107,12 @@ class GatewayStats:
 
     def render(self) -> str:
         """Human-readable gateway summary."""
+        backend = self.backend
+        if backend in ("thread", "process"):
+            backend += f" x{self.n_workers} workers"
         lines = [
-            f"shards:              {self.n_shards:>8}",
+            f"shards:              {self.n_shards:>8}  ({backend}, "
+            f"flush {self.flush_size})",
             f"input alerts:        {self.input_alerts:>8,}",
             f"after R1 blocking:   {self.after_blocking:>8,} "
             f"({self.blocked_alerts:,} blocked)",
@@ -114,4 +127,6 @@ class GatewayStats:
         ]
         if self.late_events:
             lines.append(f"late (out-of-order) events: {self.late_events:,}")
+        if self.rebalances:
+            lines.append(f"shard rebalances:    {self.rebalances:>8}")
         return "\n".join(lines)

@@ -103,8 +103,7 @@ class OnlineStormDetector:
             buckets = max(int(HOUR / self._bucket_seconds), 1)
             counter = RingCounter(self._bucket_seconds, buckets)
             self._counters[region] = counter
-        counter.add(alert.occurred_at)
-        rate = counter.rate_per_hour(alert.occurred_at)
+        rate = counter.add_and_rate(alert.occurred_at)
 
         episode = self._active.get(region)
         if episode is None:

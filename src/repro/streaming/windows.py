@@ -78,6 +78,16 @@ class RingCounter:
         """Current windowed count scaled to an hourly rate."""
         return self.total(now) * 3600.0 / self.window_seconds
 
+    def add_and_rate(self, time: float) -> float:
+        """``add(time)`` then ``rate_per_hour(time)`` in one bucket pass.
+
+        The R4 detector does both on every event; fusing them computes
+        the bucket index once and skips the second expiry scan (after
+        ``add``, ``time``'s bucket is the head, so no bucket is stale).
+        """
+        self.add(time)
+        return self._total * 3600.0 / self.window_seconds
+
 
 class LatencyReservoir:
     """Fixed-capacity sample of per-event latencies.
@@ -99,6 +109,23 @@ class LatencyReservoir:
         """Record one latency observation."""
         self.count += 1
         self.total += seconds
+        self._sample(seconds)
+
+    def observe_batch(self, total_seconds: float, events: int) -> None:
+        """Record a flush cycle of ``events`` taking ``total_seconds``.
+
+        The count and the exact mean cover every event; the percentile
+        sample receives one entry — the cycle's per-event mean — so
+        quantiles report amortised per-event latency rather than the
+        cycle wall time.
+        """
+        if events <= 0:
+            return
+        self.count += events
+        self.total += total_seconds
+        self._sample(total_seconds / events)
+
+    def _sample(self, seconds: float) -> None:
         if len(self._samples) < self._capacity:
             self._samples.append(seconds)
         else:

@@ -22,6 +22,7 @@ class DependencyGraph:
 
     def __init__(self) -> None:
         self._graph = nx.DiGraph()
+        self._neighbourhoods: dict[tuple[str, int | None], frozenset[str]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -43,6 +44,7 @@ class DependencyGraph:
         if not nx.is_directed_acyclic_graph(self._graph):
             self._graph.remove_edge(caller, callee)
             raise ValidationError(f"dependency {caller!r} -> {callee!r} would create a cycle")
+        self._neighbourhoods.clear()
 
     # ------------------------------------------------------------------
     # queries
@@ -104,13 +106,27 @@ class DependencyGraph:
         except nx.NetworkXNoPath:
             return None
 
+    def related_within(self, name: str, max_depth: int | None = None) -> frozenset[str]:
+        """All nodes with a dependency path to or from ``name`` within ``max_depth``.
+
+        The neighbourhood is cached per (node, depth) — the correlation
+        hot loop asks "are these two related?" for the same nodes over
+        and over, and a bounded BFS answers every such query for one node
+        at once.  Mutating the graph invalidates the cache.
+        """
+        self._require(name)
+        key = (name, max_depth)
+        cached = self._neighbourhoods.get(key)
+        if cached is None:
+            cached = frozenset(self._bfs(name, forward=True, max_depth=max_depth)) | \
+                frozenset(self._bfs(name, forward=False, max_depth=max_depth))
+            self._neighbourhoods[key] = cached
+        return cached
+
     def are_related(self, first: str, second: str, max_depth: int | None = None) -> bool:
         """Whether a dependency path exists between the two nodes (either way)."""
-        forward = self.shortest_dependency_distance(first, second)
-        if forward is not None and (max_depth is None or forward <= max_depth):
-            return True
-        backward = self.shortest_dependency_distance(second, first)
-        return backward is not None and (max_depth is None or backward <= max_depth)
+        self._require(second)
+        return first == second or second in self.related_within(first, max_depth)
 
     def subgraph_services(self, service_of: dict[str, str]) -> nx.DiGraph:
         """Collapse to a service-level graph given a microservice→service map."""

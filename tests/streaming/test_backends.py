@@ -1,0 +1,297 @@
+"""Backend parity harness: every execution backend must count identically.
+
+The core correctness invariant of the streaming subsystem is that the
+gateway's end-of-run volume accounting reproduces the batch
+``MitigationPipeline`` *exactly*.  This module pins that invariant
+across every execution backend, shard count, and flush size — including
+a consistent-hash rebalance in the middle of the stream — plus the
+mechanics the backends themselves must honour (session export/adopt,
+worker lifecycle, deterministic results).
+"""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.mitigation import MitigationPipeline
+from repro.core.mitigation.correlation import rulebook_from_ground_truth
+from repro.streaming import (
+    AlertGateway,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.core.mitigation.blocking import AlertBlocker
+from tests.streaming.conftest import make_alert
+
+
+@pytest.fixture(scope="module")
+def storm_setup(storm_trace):
+    """Trace, topology, derived blocker/rulebook, and the batch report."""
+    trace, topology = storm_trace
+    rulebook = rulebook_from_ground_truth(trace, coverage=0.6, seed=trace.seed)
+    blocker = MitigationPipeline.derive_blocker(trace)
+    report = MitigationPipeline(topology.graph, rulebook=rulebook).run(
+        trace, blocker=blocker
+    )
+    return trace, topology, blocker, rulebook, report
+
+
+def _gateway(setup, **kwargs):
+    trace, topology, blocker, rulebook, _ = setup
+    kwargs.setdefault("retain_artifacts", False)
+    return AlertGateway(
+        topology.graph, blocker=blocker, rulebook=rulebook, **kwargs
+    )
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("n_shards", [1, 4, 16])
+    @pytest.mark.parametrize("flush_size", [1, 64, 512])
+    def test_batched_ingestion_reconciles_exactly(
+        self, storm_setup, backend, n_shards, flush_size
+    ):
+        trace, _, _, _, report = storm_setup
+        gateway = _gateway(
+            storm_setup, backend=backend, n_shards=n_shards,
+            flush_size=flush_size, n_workers=4,
+        )
+        gateway.ingest_batch(trace.iter_ordered())
+        stats = gateway.drain()
+        assert stats.reconcile(report) == {}
+        assert stats.total_reduction == pytest.approx(report.total_reduction)
+
+    @pytest.mark.parametrize("n_shards,n_workers", [(2, 2), (5, 2)])
+    def test_process_backend_reconciles_exactly(
+        self, storm_setup, n_shards, n_workers
+    ):
+        trace, _, _, _, report = storm_setup
+        gateway = _gateway(
+            storm_setup, backend="process", n_shards=n_shards,
+            n_workers=n_workers, flush_size=512,
+        )
+        gateway.ingest_batch(trace.iter_ordered())
+        stats = gateway.drain()
+        assert stats.reconcile(report) == {}
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("new_shards", [2, 8])
+    def test_rebalance_mid_stream_stays_exact(
+        self, storm_setup, backend, new_shards
+    ):
+        trace, _, _, _, report = storm_setup
+        gateway = _gateway(
+            storm_setup, backend=backend, n_shards=4, flush_size=256,
+            n_workers=2,
+        )
+        alerts = list(trace.iter_ordered())
+        midpoint = len(alerts) // 2
+        gateway.ingest_batch(alerts[:midpoint])
+        gateway.rebalance(new_shards)
+        assert gateway.router.n_shards == new_shards
+        gateway.ingest_batch(alerts[midpoint:])
+        stats = gateway.drain()
+        assert stats.rebalances == 1
+        assert stats.n_shards == new_shards
+        assert stats.reconcile(report) == {}
+
+    def test_double_rebalance_stays_exact(self, storm_setup):
+        trace, _, _, _, report = storm_setup
+        gateway = _gateway(storm_setup, n_shards=1, flush_size=128)
+        alerts = list(trace.iter_ordered())
+        third = len(alerts) // 3
+        gateway.ingest_batch(alerts[:third])
+        gateway.rebalance(8)
+        gateway.ingest_batch(alerts[third:2 * third])
+        gateway.rebalance(3)
+        gateway.ingest_batch(alerts[2 * third:])
+        stats = gateway.drain()
+        assert stats.rebalances == 2
+        assert stats.reconcile(report) == {}
+
+
+class TestIngestionPaths:
+    def test_ingest_batch_matches_per_event_ingest(self, storm_setup):
+        trace = storm_setup[0]
+        per_event = _gateway(storm_setup, n_shards=4)
+        per_event.ingest_many(trace.iter_ordered())
+        batched = _gateway(storm_setup, n_shards=4, flush_size=512)
+        batched.ingest_batch(trace.iter_ordered())
+        a, b = per_event.drain(), batched.drain()
+        for field in ("input_alerts", "blocked_alerts", "aggregates_emitted",
+                      "clusters_finalized", "storm_episodes", "emerging_flags",
+                      "late_events", "watermark"):
+            assert getattr(a, field) == getattr(b, field), field
+
+    def test_ingest_honours_flush_size(self, storm_setup):
+        trace = storm_setup[0]
+        gateway = _gateway(storm_setup, n_shards=2, flush_size=100)
+        for alert in list(trace.iter_ordered())[:250]:
+            gateway.ingest(alert)
+        # 250 buffered events cross the 100-event threshold twice.
+        assert gateway.stats.flushes == 2
+        gateway.drain()
+        assert gateway.stats.input_alerts == 250
+
+    def test_per_event_ingest_latency_counts_every_event(self, small_topology):
+        """A flush of N events must add N to the latency count, not 1."""
+        gateway = AlertGateway(small_topology.graph, n_shards=2, flush_size=50)
+        for step in range(200):
+            gateway.ingest(make_alert(float(step)))
+        assert gateway.stats.latency.count == 200
+
+    def test_flush_interval_bounds_staleness(self, small_topology):
+        gateway = AlertGateway(
+            small_topology.graph, n_shards=2, flush_size=10_000,
+            flush_interval=60.0,
+        )
+        for step in range(100):
+            gateway.ingest(make_alert(float(step * 10)))
+        # Event time advances 990s; a 60s flush interval must have fired
+        # repeatedly despite the huge flush_size.
+        assert gateway.stats.flushes >= 10
+        gateway.drain()
+
+    def test_buffered_events_surface_in_snapshot(self, small_topology):
+        gateway = AlertGateway(
+            small_topology.graph, n_shards=2, flush_size=10_000,
+        )
+        gateway.ingest_batch([make_alert(float(i)) for i in range(50)])
+        snapshot = gateway.snapshot()  # snapshot flushes pending buffers
+        assert snapshot.input_alerts == 50
+        assert gateway.stats.flushes == 1
+        assert snapshot.open_sessions > 0
+
+
+class TestRebalanceMechanics:
+    def test_open_sessions_migrate(self, small_topology):
+        gateway = AlertGateway(small_topology.graph, n_shards=4)
+        for index in range(8):
+            gateway.ingest(make_alert(100.0 + index, strategy_id=f"s-{index}"))
+        before = gateway.snapshot().open_sessions
+        assert before == 8
+        gateway.rebalance(2)
+        assert gateway.snapshot().open_sessions == before
+        stats = gateway.drain()
+        assert stats.aggregates_emitted == 8
+
+    def test_sessions_keep_extending_after_rebalance(self, small_topology):
+        gateway = AlertGateway(small_topology.graph, n_shards=4,
+                               aggregation_window=900.0)
+        gateway.ingest(make_alert(100.0, strategy_id="s-x"))
+        gateway.rebalance(7)
+        gateway.ingest(make_alert(500.0, strategy_id="s-x"))  # same session
+        stats = gateway.drain()
+        assert stats.aggregates_emitted == 1
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_rebalance_then_immediate_drain_keeps_sessions(
+        self, small_topology, backend
+    ):
+        """Open sessions adopted by never-flushed workers must still emit."""
+        gateway = AlertGateway(small_topology.graph, n_shards=2,
+                               backend=backend, n_workers=2)
+        for index in range(3):
+            gateway.ingest(make_alert(100.0 + index, strategy_id=f"s-{index}"))
+        gateway.rebalance(4)
+        stats = gateway.drain()
+        assert stats.aggregates_emitted == 3
+
+    def test_snapshot_sees_adopted_sessions_before_next_flush(
+        self, small_topology
+    ):
+        """The correlator horizon must include migrated-but-unflushed state."""
+        gateway = AlertGateway(small_topology.graph, n_shards=2,
+                               backend="process", n_workers=2)
+        for index in range(3):
+            gateway.ingest(make_alert(100.0 + index, strategy_id=f"s-{index}"))
+        gateway.rebalance(4)
+        assert gateway.snapshot().open_sessions == 3
+        gateway.drain()
+
+    def test_rebalance_after_drain_rejected(self, small_topology):
+        gateway = AlertGateway(small_topology.graph, n_shards=2)
+        gateway.drain()
+        with pytest.raises(ValidationError):
+            gateway.rebalance(4)
+
+
+class TestBackendMechanics:
+    def test_factory_rejects_unknown_backend(self):
+        with pytest.raises(ValidationError, match="unknown backend"):
+            make_backend("gpu", n_shards=2, blocker=AlertBlocker())
+
+    def test_factory_builds_each_backend(self):
+        blocker = AlertBlocker()
+        assert isinstance(make_backend("serial", 2, blocker), SerialBackend)
+        assert isinstance(make_backend("thread", 2, blocker), ThreadBackend)
+        process = make_backend("process", 2, blocker)
+        assert isinstance(process, ProcessBackend)
+        process.close()
+
+    def test_worker_pools_clamp_to_shard_count(self):
+        blocker = AlertBlocker()
+        thread = make_backend("thread", 2, blocker, n_workers=8)
+        assert thread.n_workers == 2
+        process = make_backend("process", 3, blocker, n_workers=8)
+        assert process.n_workers == 3
+        process.close()
+
+    def test_process_backend_spawns_lazily_and_closes(self):
+        backend = ProcessBackend(4, AlertBlocker(), n_workers=2)
+        assert backend._workers is None  # nothing spawned yet
+        backend.process_batches([(0, [make_alert(1.0)])])
+        assert backend._workers is not None
+        assert all(worker.is_alive() for worker in backend._workers)
+        backend.close()
+        assert backend._workers is None
+        with pytest.raises(ValidationError):
+            backend.process_batches([(0, [make_alert(2.0)])])
+
+    def test_process_backend_counts_match_serial(self):
+        alerts = [
+            make_alert(float(i) * 30.0, strategy_id=f"s-{i % 5}")
+            for i in range(200)
+        ]
+        batches = [(i % 3, []) for i in range(3)]
+        for index, alert in enumerate(alerts):
+            batches[index % 3][1].append(alert)
+        serial = SerialBackend(3, AlertBlocker())
+        process = ProcessBackend(3, AlertBlocker(), n_workers=2)
+        try:
+            serial_results = {
+                r.shard_id: r for r in serial.process_batches(batches)
+            }
+            process_results = {
+                r.shard_id: r for r in process.process_batches(batches)
+            }
+            assert serial_results.keys() == process_results.keys()
+            for shard, expected in serial_results.items():
+                actual = process_results[shard]
+                assert actual.processed == expected.processed
+                assert actual.blocked == expected.blocked
+                assert len(actual.emitted) == len(expected.emitted)
+                assert actual.open_sessions == expected.open_sessions
+                assert actual.min_open_first == expected.min_open_first
+        finally:
+            process.close()
+
+    def test_thread_backend_is_deterministic(self, storm_setup):
+        trace = storm_setup[0]
+        counts = set()
+        for _ in range(2):
+            gateway = _gateway(storm_setup, backend="thread", n_shards=8,
+                               flush_size=256, n_workers=4)
+            gateway.ingest_batch(trace.iter_ordered())
+            stats = gateway.drain()
+            counts.add((stats.blocked_alerts, stats.aggregates_emitted,
+                        stats.clusters_finalized))
+        assert len(counts) == 1
+
+    def test_processors_not_addressable_for_process_backend(self, small_topology):
+        gateway = AlertGateway(small_topology.graph, n_shards=2,
+                               backend="process", n_workers=2)
+        with pytest.raises(ValidationError, match="worker processes"):
+            gateway.processors
+        gateway.drain()

@@ -1,0 +1,51 @@
+"""Fast-mode smoke test for the streaming throughput benchmark.
+
+``benchmarks/`` is outside the tier-1 test paths, so without this the
+perf scripts could bit-rot silently.  This drives the same importable
+sweep helpers the benchmark uses — every backend config, exact parity
+asserted inside — over the single-storm trace, without the timing
+assertions (those stay in the benchmark, where the machine is quiet).
+"""
+
+import pytest
+
+from repro.core.mitigation import MitigationPipeline
+from repro.core.mitigation.correlation import rulebook_from_ground_truth
+
+bench = pytest.importorskip(
+    "benchmarks.bench_streaming_throughput",
+    reason="benchmarks/ must be importable from the repo root",
+)
+
+
+@pytest.fixture(scope="module")
+def bench_setup(storm_trace):
+    trace, topology = storm_trace
+    rulebook = rulebook_from_ground_truth(trace, coverage=0.6)
+    blocker = MitigationPipeline.derive_blocker(trace)
+    report = MitigationPipeline(topology.graph, rulebook=rulebook).run(
+        trace, blocker=blocker
+    )
+    return trace, topology, blocker, rulebook, report
+
+
+def test_backend_sweep_runs_and_reports_every_config(bench_setup):
+    trace, topology, blocker, rulebook, report = bench_setup
+    measurements = bench.run_backend_sweep(
+        trace, topology, blocker, rulebook, report
+    )
+    expected_labels = {label for label, *_ in bench.BACKEND_CONFIGS}
+    assert set(measurements) == expected_labels
+    for label, metrics in measurements.items():
+        assert metrics["alerts_per_sec"] > 0, label
+        assert metrics["latency_p99_us"] >= metrics["latency_p50_us"], label
+
+
+def test_run_config_reconciles_each_shard_count(bench_setup):
+    trace, topology, blocker, rulebook, report = bench_setup
+    for n_shards in bench._SHARD_COUNTS:
+        stats = bench.run_config(
+            trace, topology, blocker, rulebook,
+            n_shards=n_shards, flush_size=256,
+        )
+        assert stats.reconcile(report) == {}

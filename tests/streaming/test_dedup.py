@@ -93,3 +93,73 @@ class TestEviction:
         assert online.min_open_first() == 100.0
         online.drain()
         assert online.min_open_first() is None
+
+
+class TestBatchIngestion:
+    def test_ingest_batch_matches_per_event_path(self):
+        alerts = _mixed_stream()
+        per_event = OnlineAggregator(900.0)
+        a = []
+        for alert in alerts:
+            a.extend(per_event.ingest(alert))
+        a.extend(per_event.drain())
+        batched = OnlineAggregator(900.0)
+        b = list(batched.ingest_batch(alerts))
+        b.extend(batched.drain())
+        assert sorted(map(_aggregate_key, a)) == sorted(map(_aggregate_key, b))
+
+    def test_ingest_batch_splits_runs_on_window_gaps(self):
+        online = OnlineAggregator(900.0)
+        run = [
+            make_alert(0.0, strategy_id="s-run"),
+            make_alert(100.0, strategy_id="s-run"),
+            make_alert(1500.0, strategy_id="s-run"),  # gap > window: new session
+        ]
+        emitted = online.ingest_batch(run)
+        assert len(emitted) == 1
+        assert emitted[0].count == 2
+        assert online.open_sessions == 1
+
+    def test_ingest_batch_arbitrary_chunking_is_equivalent(self):
+        alerts = _mixed_stream()
+        whole = OnlineAggregator(900.0)
+        a = list(whole.ingest_batch(alerts))
+        a.extend(whole.drain())
+        chunked = OnlineAggregator(900.0)
+        b = []
+        for start in range(0, len(alerts), 7):
+            b.extend(chunked.ingest_batch(alerts[start:start + 7]))
+        b.extend(chunked.drain())
+        assert sorted(map(_aggregate_key, a)) == sorted(map(_aggregate_key, b))
+
+
+class TestSessionMigration:
+    def test_export_then_adopt_round_trips(self):
+        source = OnlineAggregator(900.0)
+        source.ingest(make_alert(100.0, strategy_id="s-a"))
+        source.ingest(make_alert(200.0, strategy_id="s-b"))
+        sessions = source.export_sessions()
+        assert source.open_sessions == 0
+        assert [s.strategy_id for s in sessions] == ["s-a", "s-b"]
+        target = OnlineAggregator(900.0)
+        target.adopt(sessions)
+        assert target.open_sessions == 2
+        assert target.min_open_first() == 100.0
+        # The migrated session keeps extending as if nothing happened.
+        emitted = target.ingest(make_alert(500.0, strategy_id="s-a"))
+        assert emitted == []
+        final = target.drain()
+        assert {(a.strategy_id, a.count) for a in final} == {("s-a", 2), ("s-b", 1)}
+
+    def test_adopt_rejects_duplicate_keys(self):
+        import pytest
+
+        from repro.common.errors import ValidationError
+
+        source = OnlineAggregator(900.0)
+        source.ingest(make_alert(100.0, strategy_id="s-a"))
+        sessions = source.export_sessions()
+        target = OnlineAggregator(900.0)
+        target.ingest(make_alert(50.0, strategy_id="s-a"))
+        with pytest.raises(ValidationError):
+            target.adopt(sessions)

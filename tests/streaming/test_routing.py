@@ -67,3 +67,21 @@ class TestRouter:
         alert = make_alert(0.0, service="svc", title="latency 12 ms high")
         router = ShardRouter(6)
         assert router.route(alert) == router.route_key(shard_key(alert))
+
+
+class TestRebalanceHelpers:
+    def test_with_shards_keeps_replica_count(self):
+        router = ShardRouter(4, replicas=32)
+        grown = router.with_shards(6)
+        assert grown.n_shards == 6
+        assert grown.replicas == 32
+
+    def test_moved_fraction_is_zero_against_identical_ring(self):
+        keys = [f"service-{i}|template-{i}" for i in range(500)]
+        router = ShardRouter(4)
+        assert router.moved_fraction(ShardRouter(4), keys) == 0.0
+
+    def test_moved_fraction_small_for_one_extra_shard(self):
+        keys = [f"service-{i}|template-{i}" for i in range(2000)]
+        router = ShardRouter(4)
+        assert router.moved_fraction(router.with_shards(5), keys) < 0.45

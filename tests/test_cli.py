@@ -49,6 +49,21 @@ class TestAnalyses:
         out = capsys.readouterr().out
         assert "matches batch pipeline exactly" in out
 
+    def test_stream_thread_backend_reconciles(self, trace_dir, capsys):
+        assert main(["stream", "--trace", str(trace_dir), "--backend", "thread",
+                     "--workers", "2", "--flush-size", "256",
+                     "--reconcile"]) == 0
+        out = capsys.readouterr().out
+        assert "thread x2 workers" in out
+        assert "matches batch pipeline exactly" in out
+
+    def test_stream_rebalance_midway_reconciles(self, trace_dir, capsys):
+        assert main(["stream", "--trace", str(trace_dir), "--shards", "2",
+                     "--rebalance-to", "6", "--reconcile"]) == 0
+        out = capsys.readouterr().out
+        assert "shard rebalances" in out
+        assert "matches batch pipeline exactly" in out
+
     def test_qoa(self, trace_dir, capsys):
         assert main(["qoa", "--trace", str(trace_dir)]) == 0
         out = capsys.readouterr().out
