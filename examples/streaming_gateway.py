@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Live alert-storm mitigation through the online gateway.
+"""Live multi-region alert-storm mitigation through region-partitioned planes.
 
-Replays the paper's representative 7:00-11:59 storm (Figure 3) into the
-sharded :class:`AlertGateway` as a simulated live feed: a periodic
-process on the discrete-event kernel tails the alert stream every
-simulated minute, and every 30 simulated minutes we print the rolling
-volume-reduction numbers an operator dashboard would show.  At the end,
-the gateway's accounting is reconciled against the batch
-:class:`MitigationPipeline` — same trace, same counts, but computed one
-event at a time with bounded memory.
+Replays the paper's representative 7:00-11:59 storm (Figure 3) hitting
+TWO regions at once into the :class:`AlertGateway` as a simulated live
+feed: a periodic process on the discrete-event kernel tails the merged
+alert stream every simulated minute, the gateway routes each region to
+its own execution plane (R1-R4 run plane-locally, off the gateway loop),
+and every 30 simulated minutes we print the rolling volume-reduction
+numbers an operator dashboard would show.  At the end, the merged
+accounting is reconciled against the batch :class:`MitigationPipeline`
+— and each plane's accounting against a batch run over just its
+regions' alerts — same counts, computed one event at a time with
+bounded memory.
 
 Run:  python examples/streaming_gateway.py
 """
@@ -18,24 +21,27 @@ from repro.core.mitigation import MitigationPipeline
 from repro.core.mitigation.correlation import rulebook_from_ground_truth
 from repro.sim import SimulationEngine
 from repro.streaming import AlertGateway, drive_gateway
-from repro.workload import build_representative_storm
+from repro.workload import build_multi_region_storm
 from repro.workload.storms import StormConfig
+
+REGIONS = ("region-A", "region-B")
 
 
 def main() -> None:
     topology = generate_topology()
     config = StormConfig()
-    storm = build_representative_storm(config, topology)
+    storm = build_multi_region_storm(config, topology, regions=REGIONS)
 
     rulebook = rulebook_from_ground_truth(storm, coverage=0.6, seed=storm.seed)
     blocker = MitigationPipeline.derive_blocker(storm)
     gateway = AlertGateway(
-        topology.graph, blocker=blocker, rulebook=rulebook, n_shards=4,
+        topology.graph, blocker=blocker, rulebook=rulebook,
+        n_planes=len(REGIONS), n_shards=4,
     )
 
     # --- live ingestion on the simulation kernel ------------------------
-    print(f"streaming {len(storm)} storm alerts through "
-          f"{gateway.stats.n_shards} shards...\n")
+    print(f"streaming {len(storm)} storm alerts from {len(REGIONS)} regions "
+          f"through {gateway.n_planes} planes x {gateway.n_shards} shards...\n")
     print(f"{'sim clock':>9}  {'in':>6}  {'blocked':>7}  {'groups':>6}  "
           f"{'clusters':>8}  {'storms':>6}  {'reduction':>9}")
 
@@ -62,13 +68,41 @@ def main() -> None:
     # --- end-of-storm accounting ----------------------------------------
     print(f"\n{stats.render()}")
 
-    batch_report = MitigationPipeline(topology.graph, rulebook=rulebook).run(storm)
+    batch_report = MitigationPipeline(topology.graph, rulebook=rulebook).run(
+        storm, blocker=blocker,
+    )
     mismatches = stats.reconcile(batch_report)
     if mismatches:
         print(f"\nreconciliation FAILED: {mismatches}")
-    else:
-        print("\nreconciliation: the online gateway reproduced the batch "
-              "pipeline's volume accounting exactly, one event at a time")
+        return
+    print("\nreconciliation: the online gateway reproduced the batch "
+          "pipeline's volume accounting exactly, one event at a time")
+
+    # --- per-region (= per-plane) reconciliation ------------------------
+    # Each plane owns whole regions, so its accounting must equal a batch
+    # pipeline run over just those regions' alerts.
+    print("\nper-region reconciliation (plane vs batch pipeline on that "
+          "region's alerts):")
+    assignments = gateway.plane_assignments
+    for plane_id in sorted(set(assignments.values())):
+        regions = tuple(r for r, p in assignments.items() if p == plane_id)
+        regional = storm.filter(
+            lambda a, keep=frozenset(regions): a.region in keep,
+            label=f"plane-{plane_id}",
+        )
+        regional_report = MitigationPipeline(
+            topology.graph, rulebook=rulebook,
+        ).run(regional, blocker=blocker)
+        plane = stats.planes[plane_id]
+        pairs = [
+            ("in", plane["processed"], regional_report.input_alerts),
+            ("blocked", plane["blocked"], regional_report.blocked_alerts),
+            ("groups", plane["aggregates"], len(regional_report.aggregates)),
+            ("clusters", plane["clusters"], len(regional_report.clusters)),
+        ]
+        status = "exact" if all(a == b for _, a, b in pairs) else "MISMATCH"
+        detail = "  ".join(f"{name} {a:,}" for name, a, _ in pairs)
+        print(f"  plane {plane_id} [{','.join(regions)}]: {detail}  -> {status}")
 
 
 if __name__ == "__main__":

@@ -102,11 +102,16 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--trace", required=True, help="trace directory")
     stream.add_argument("--seed", type=int, default=None,
                         help="topology seed (default: the trace's seed)")
-    stream.add_argument("--shards", type=int, default=4)
+    stream.add_argument("--shards", type=int, default=4,
+                        help="shards per plane on the consistent-hash ring")
+    stream.add_argument("--planes", type=int, default=1,
+                        help="region-partitioned execution planes "
+                             "(parallelism unit for R3/R4)")
     stream.add_argument("--backend", choices=BACKEND_NAMES, default="serial",
-                        help="shard execution backend (default: serial)")
+                        help="plane execution backend (default: serial)")
     stream.add_argument("--workers", type=int, default=None,
-                        help="worker threads/processes for pooled backends")
+                        help="worker threads/processes for pooled backends "
+                             "(clamped to --planes)")
     stream.add_argument("--flush-size", type=int, default=None,
                         help="micro-batch size per flush "
                              "(default: 1 serial, 512 pooled)")
@@ -183,6 +188,7 @@ def _cmd_stream(args) -> int:
         blocker=blocker,
         rulebook=rulebook,
         n_shards=args.shards,
+        n_planes=args.planes,
         backend=args.backend,
         n_workers=args.workers,
         flush_size=args.flush_size,

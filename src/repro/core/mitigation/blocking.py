@@ -54,8 +54,18 @@ class AlertBlocker:
     def __init__(self, rules: Iterable[BlockingRule] = ()) -> None:
         self._rules = list(rules)
         self._by_strategy: dict[str, list[BlockingRule]] = {}
+        # Strategies blocked outright: at least one rule with no region
+        # scope and no expiry.  The common shape (every rule derived from
+        # A4/A5 findings is unconditional), and it turns the per-event
+        # hot-path test into a single set membership.
+        self._unconditional: set[str] = set()
         for rule in self._rules:
-            self._by_strategy.setdefault(rule.strategy_id, []).append(rule)
+            self._index(rule)
+
+    def _index(self, rule: BlockingRule) -> None:
+        self._by_strategy.setdefault(rule.strategy_id, []).append(rule)
+        if rule.region is None and rule.expires_at is None:
+            self._unconditional.add(rule.strategy_id)
 
     @classmethod
     def from_findings(
@@ -92,7 +102,7 @@ class AlertBlocker:
     def add(self, rule: BlockingRule) -> None:
         """Register an additional rule."""
         self._rules.append(rule)
-        self._by_strategy.setdefault(rule.strategy_id, []).append(rule)
+        self._index(rule)
 
     @property
     def ruled_strategies(self) -> frozenset[str]:
@@ -106,10 +116,16 @@ class AlertBlocker:
 
     def is_blocked(self, alert: Alert) -> bool:
         """Whether any rule blocks ``alert``."""
-        rules = self._by_strategy.get(alert.strategy_id)
+        strategy = alert.strategy_id
+        if strategy in self._unconditional:
+            return True
+        rules = self._by_strategy.get(strategy)
         if not rules:
             return False
-        return any(rule.matches(alert) for rule in rules)
+        for rule in rules:
+            if rule.matches(alert):
+                return True
+        return False
 
     def apply(self, trace: AlertTrace) -> tuple[AlertTrace, list[Alert]]:
         """Split a trace into (passed, blocked)."""

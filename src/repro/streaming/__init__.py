@@ -1,59 +1,76 @@
-"""Online alert gateway: sharded ingestion + incremental mitigation.
+"""Online alert gateway: region-partitioned planes + incremental mitigation.
 
 The streaming counterpart of the batch mitigation pipeline (paper
 §III-C run continuously, as the production system the paper studies
-does): alerts enter one at a time or in micro-batches, are routed
-across shards on a consistent-hash ring, and flow through incremental
-versions of the reaction chain — R1 blocking and R2 session-window
-dedup per shard, R3 windowed correlation over the merged representative
-stream, R4 storm/emerging detection on ring-buffer counters.  End-of-run
-volume accounting reconciles exactly with
-:class:`~repro.core.mitigation.pipeline.MitigationReport` on the same
-in-order trace — for every backend, shard count, and flush size.
+does): alerts enter one at a time or in micro-batches and flow through a
+two-level partition — regions map to execution planes, keys map to
+shards within a plane — running incremental versions of the whole
+reaction chain *inside the planes*: R1 blocking and R2 session-window
+dedup per shard, R3 windowed correlation over each plane's merged
+representative stream, R4 storm/emerging detection on each plane's
+ring-buffer counters.  End-of-run volume accounting reconciles exactly
+with :class:`~repro.core.mitigation.pipeline.MitigationReport` on the
+same in-order trace — for every backend, plane count, shard count, and
+flush size.
 
 Choosing a backend (``AlertGateway(backend=...)``):
 
-* ``serial`` (default) — shards run inline.  Lowest latency per event,
+* ``serial`` (default) — planes run inline.  Lowest latency per event,
   zero moving parts; right for tests, simulations, and modest volumes.
   Pair with ``ingest_batch`` + ``flush_size`` ≥ 256 to amortise
-  per-event overhead (~2-4x throughput on one core).
-* ``thread`` — shards of each flush cycle run on a worker pool.  Shard
-  state stays in-process, so rebalancing and draining stay cheap; the
-  batched path plus overlap across cores makes this the default choice
-  for sustained high-volume replay.
-* ``process`` — shards partitioned across worker processes; event
-  batches are pickled over.  Escapes the GIL entirely, so it wins when
-  per-event reaction work dominates serialisation (large windows, heavy
-  rule sets, many cores); prefer big ``flush_size`` (≥ 1024) to keep
-  the pickling amortised.
+  per-event overhead; on multi-region streams add planes so R4 sees
+  contiguous per-region runs instead of interleavings.
+* ``thread`` — planes of each flush cycle run on a worker pool.  Plane
+  state stays in-process, so rebalancing and draining stay cheap; R3/R4
+  execute on pool threads, off the gateway loop.
+* ``process`` — planes partitioned across worker processes; batches
+  cross the pipe in the struct-packed :mod:`~repro.streaming.wire`
+  format and flush replies are bare counters.  Escapes the GIL
+  entirely; parallelism scales with ``n_planes`` (the distribution
+  unit), so pair it with as many planes as you have busy regions and
+  prefer big ``flush_size`` (≥ 1024).
 
-Tuning ``flush_size``: bigger flushes amortise routing/hand-off but
-delay emission visibility by at most one flush (accounting is unchanged
-— ``drain`` always reconciles exactly).  ``flush_interval`` bounds that
-staleness in event time.  ``rebalance(n)`` re-shards a live gateway
-without losing window state.
+Tuning ``n_planes``: planes partition by region, shards by alert key —
+add planes to parallelise R3 correlation and R4 detection (they are
+plane-local), add shards to spread R1/R2 key skew within a plane.
+``flush_size`` trades emission staleness for amortisation exactly as
+before; ``flush_interval`` bounds staleness in event time.
+``rebalance(n)`` re-shards every live plane without losing window state.
 """
 
 from repro.streaming.backends import (
     BACKEND_NAMES,
-    BatchResult,
-    ProcessBackend,
-    SerialBackend,
-    ShardBackend,
-    ShardDrainResult,
-    ThreadBackend,
+    PlaneBackend,
+    ProcessPlaneBackend,
+    SerialPlaneBackend,
+    ThreadPlaneBackend,
     make_backend,
 )
 from repro.streaming.correlator import OnlineCorrelator
 from repro.streaming.dedup import OnlineAggregator, OpenSession
 from repro.streaming.driver import drive_gateway
 from repro.streaming.gateway import AlertGateway, GatewaySnapshot
+from repro.streaming.plane import (
+    PlaneConfig,
+    PlaneDrainResult,
+    PlaneFlushResult,
+    PlaneSnapshot,
+    RegionPlane,
+)
 from repro.streaming.processor import StreamProcessor
-from repro.streaming.routing import ShardRouter, shard_key, template_of
+from repro.streaming.routing import PlaneRouter, ShardRouter, shard_key, template_of
 from repro.streaming.sources import iter_jsonl_alerts, merge_ordered
 from repro.streaming.stats import GatewayStats
 from repro.streaming.storm import EmergingSignal, OnlineStormDetector, StormEpisode
 from repro.streaming.windows import LatencyReservoir, RingCounter
+from repro.streaming.wire import (
+    pack_aggregates,
+    pack_alerts,
+    pack_clusters,
+    unpack_aggregates,
+    unpack_alerts,
+    unpack_clusters,
+)
 
 __all__ = [
     "AlertGateway",
@@ -61,13 +78,17 @@ __all__ = [
     "GatewayStats",
     "StreamProcessor",
     "BACKEND_NAMES",
-    "BatchResult",
-    "ShardBackend",
-    "ShardDrainResult",
-    "SerialBackend",
-    "ThreadBackend",
-    "ProcessBackend",
+    "PlaneBackend",
+    "SerialPlaneBackend",
+    "ThreadPlaneBackend",
+    "ProcessPlaneBackend",
     "make_backend",
+    "PlaneConfig",
+    "PlaneFlushResult",
+    "PlaneSnapshot",
+    "PlaneDrainResult",
+    "RegionPlane",
+    "PlaneRouter",
     "ShardRouter",
     "shard_key",
     "template_of",
@@ -82,4 +103,10 @@ __all__ = [
     "drive_gateway",
     "iter_jsonl_alerts",
     "merge_ordered",
+    "pack_alerts",
+    "unpack_alerts",
+    "pack_aggregates",
+    "unpack_aggregates",
+    "pack_clusters",
+    "unpack_clusters",
 ]

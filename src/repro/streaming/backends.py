@@ -1,119 +1,108 @@
-"""Pluggable shard execution backends for the alert gateway.
+"""Pluggable plane execution backends for the alert gateway.
 
-The gateway routes events to shards; a *backend* decides where the
-per-shard :class:`~repro.streaming.processor.StreamProcessor` state
+The gateway routes events to region-partitioned execution planes; a
+*backend* decides where each :class:`~repro.streaming.plane.RegionPlane`
 lives and what executes it:
 
-* ``serial`` — all shards in the calling thread, one after another.
-  Zero coordination overhead; the PR-1 behaviour and the baseline every
-  other backend must reconcile against.
-* ``thread`` — a worker pool runs the shards of one flush cycle
-  concurrently.  Shard state stays in-process, so adoption, export and
-  draining are plain method calls; on multi-core machines the shard
-  work overlaps, on any machine the batched path amortises per-event
-  overhead.
-* ``process`` — shards are partitioned across worker processes
-  (``shard % n_workers``); event batches are pickled to the owning
-  worker and aggregate emissions are pickled back.  True parallelism
-  regardless of the GIL, at the price of serialisation per flush.
+* ``serial`` — all planes in the calling thread, one after another.
+  Zero coordination overhead; the baseline every other backend must
+  reconcile against.
+* ``thread`` — a worker pool runs the planes of one flush cycle
+  concurrently.  Plane state stays in-process, so rebalancing, draining
+  and artifact collection are plain method calls; R3 correlation and R4
+  detection execute on pool threads, off the gateway loop.
+* ``process`` — planes are partitioned across worker processes
+  (``plane % n_workers``); event batches cross the pipe in the
+  struct-packed :mod:`~repro.streaming.wire` format and flush replies
+  are fixed-size counter tuples, so the per-event serialisation tax is
+  a dictionary-encoded column write, not a pickled object graph.  True
+  parallelism regardless of the GIL.
 
-Every backend speaks the same protocol — ``process_batches`` with a
-barrier per call, ``export_sessions``/``adopt`` for rebalancing,
-``drain``/``close`` for shutdown — and every backend produces *bitwise
-identical* volume accounting: a shard's reaction chain only ever sees
-its own events in arrival order, so where it runs cannot change what it
-counts.  The parity harness in ``tests/streaming/test_backends.py``
-pins that invariant down for every backend × shard count.
+Every backend speaks the same protocol — ``flush`` with a barrier per
+call, ``snapshots`` for introspection, ``rebalance`` for live per-plane
+re-sharding, ``drain``/``close`` for shutdown — and every backend
+produces *bitwise identical* volume accounting: a plane's reaction chain
+only ever sees its own regions' events in arrival order, so where it
+runs cannot change what it counts.  The parity harness in
+``tests/streaming/test_backends.py`` pins that invariant down for every
+backend × plane count × shard count.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
 from repro.alerting.alert import Alert
 from repro.common.errors import ValidationError
 from repro.common.validation import require_positive
-from repro.core.mitigation.aggregation import AggregatedAlert
-from repro.core.mitigation.blocking import AlertBlocker
-from repro.streaming.dedup import OpenSession
+from repro.streaming.plane import (
+    PlaneConfig,
+    PlaneDrainResult,
+    PlaneFlushResult,
+    PlaneSnapshot,
+    RegionPlane,
+)
 from repro.streaming.processor import StreamProcessor
+from repro.streaming.wire import (
+    pack_aggregates,
+    pack_alerts,
+    pack_clusters,
+    unpack_aggregates,
+    unpack_alerts,
+    unpack_clusters,
+)
 
 __all__ = [
     "BACKEND_NAMES",
-    "BatchResult",
-    "ShardDrainResult",
-    "ShardBackend",
-    "SerialBackend",
-    "ThreadBackend",
-    "ProcessBackend",
+    "PlaneBatch",
+    "PlaneBackend",
+    "SerialPlaneBackend",
+    "ThreadPlaneBackend",
+    "ProcessPlaneBackend",
     "make_backend",
 ]
 
 BACKEND_NAMES = ("serial", "thread", "process")
 
-
-@dataclass(slots=True)
-class BatchResult:
-    """What one shard reports after processing one micro-batch."""
-
-    shard_id: int
-    processed: int
-    blocked: int
-    emitted: list[AggregatedAlert]
-    min_open_first: float | None
-    open_sessions: int
+#: One plane's slice of a flush cycle: (plane id, in-order alerts,
+#: number of leading events inside the gateway-global novelty warmup).
+PlaneBatch = tuple[int, list[Alert], int]
 
 
-@dataclass(slots=True)
-class ShardDrainResult:
-    """One shard's final flush and lifetime counters."""
-
-    shard_id: int
-    emitted: list[AggregatedAlert]
-    seen: int = 0
-    blocked: int = 0
-    emitted_total: int = 0
-
-
-class ShardBackend(Protocol):
+class PlaneBackend(Protocol):
     """The execution contract the gateway programs against."""
 
     name: str
 
     @property
-    def n_shards(self) -> int:
-        """Number of shards this backend executes."""
+    def n_planes(self) -> int:
+        """Number of execution planes this backend runs."""
         ...
 
-    def process_batches(self, batches: Sequence[tuple[int, list[Alert]]]) -> list[BatchResult]:
-        """Run one flush cycle; a barrier — returns when every batch is done.
+    def flush(
+        self, batches: Sequence[PlaneBatch], watermark: float | None,
+    ) -> list[PlaneFlushResult]:
+        """Run one flush cycle; a barrier — returns when every plane is done.
 
-        ``batches`` holds at most one batch per shard; events within a
-        batch are in arrival order.
+        ``batches`` holds at most one batch per plane; events within a
+        batch are in arrival order.  ``watermark`` caps each plane's R3
+        safety horizon.
         """
         ...
 
-    def open_sessions_total(self) -> int:
-        """In-flight R2 sessions across all shards (as of the last barrier)."""
+    def snapshots(self) -> list[PlaneSnapshot]:
+        """Per-plane progress views (as of the last barrier)."""
         ...
 
-    def min_open_first(self) -> float | None:
-        """Earliest open-session start across shards (correlator horizon)."""
+    def rebalance(self, n_shards: int) -> None:
+        """Re-shard every plane onto ``n_shards`` shards, live."""
         ...
 
-    def export_sessions(self) -> list[OpenSession]:
-        """Remove and return every open session (rebalancing hand-off)."""
-        ...
-
-    def adopt(self, assignments: Sequence[tuple[int, OpenSession]]) -> None:
-        """Install migrated sessions onto their new shards."""
-        ...
-
-    def drain(self) -> list[ShardDrainResult]:
-        """Flush every shard's open state; the backend stays closeable only."""
+    def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
+        """Flush all open plane state; the backend stays closeable only."""
         ...
 
     def close(self) -> None:
@@ -121,120 +110,94 @@ class ShardBackend(Protocol):
         ...
 
 
-def _build_processors(
-    n_shards: int, blocker: AlertBlocker, aggregation_window: float
-) -> list[StreamProcessor]:
-    return [
-        StreamProcessor(shard, blocker, aggregation_window)
-        for shard in range(n_shards)
-    ]
+def _build_planes(n_planes: int, config: PlaneConfig) -> list[RegionPlane]:
+    return [RegionPlane(plane, config) for plane in range(n_planes)]
 
 
-class SerialBackend:
-    """All shards execute inline in the calling thread."""
+class SerialPlaneBackend:
+    """All planes execute inline in the calling thread."""
 
     name = "serial"
 
-    def __init__(
-        self,
-        n_shards: int,
-        blocker: AlertBlocker,
-        aggregation_window: float = 900.0,
-    ) -> None:
-        require_positive(n_shards, "n_shards")
-        self.processors = _build_processors(n_shards, blocker, aggregation_window)
+    def __init__(self, n_planes: int, config: PlaneConfig) -> None:
+        require_positive(n_planes, "n_planes")
+        self.planes = _build_planes(n_planes, config)
 
     @property
-    def n_shards(self) -> int:
-        return len(self.processors)
+    def n_planes(self) -> int:
+        return len(self.planes)
 
-    def process_batches(self, batches: Sequence[tuple[int, list[Alert]]]) -> list[BatchResult]:
-        return [self._run_one(shard, alerts) for shard, alerts in batches]
+    @property
+    def processors(self) -> list[StreamProcessor]:
+        """Every shard processor across planes (read-only introspection)."""
+        return [p for plane in self.planes for p in plane.processors]
 
-    def _run_one(self, shard: int, alerts: list[Alert]) -> BatchResult:
-        processor = self.processors[shard]
-        blocked, emitted = processor.ingest_batch(alerts)
-        return BatchResult(
-            shard_id=shard,
-            processed=len(alerts),
-            blocked=blocked,
-            emitted=emitted,
-            min_open_first=processor.min_open_first(),
-            open_sessions=processor.open_sessions,
-        )
-
-    def open_sessions_total(self) -> int:
-        return sum(p.open_sessions for p in self.processors)
-
-    def min_open_first(self) -> float | None:
-        opens = [
-            first for first in (p.min_open_first() for p in self.processors)
-            if first is not None
-        ]
-        return min(opens) if opens else None
-
-    def export_sessions(self) -> list[OpenSession]:
-        sessions: list[OpenSession] = []
-        for processor in self.processors:
-            sessions.extend(processor.export_sessions())
-        return sessions
-
-    def adopt(self, assignments: Sequence[tuple[int, OpenSession]]) -> None:
-        by_shard: dict[int, list[OpenSession]] = {}
-        for shard, session in assignments:
-            by_shard.setdefault(shard, []).append(session)
-        for shard, sessions in by_shard.items():
-            self.processors[shard].adopt_sessions(sessions)
-
-    def drain(self) -> list[ShardDrainResult]:
+    def flush(
+        self, batches: Sequence[PlaneBatch], watermark: float | None,
+    ) -> list[PlaneFlushResult]:
         return [
-            ShardDrainResult(
-                shard_id=p.shard_id,
-                emitted=p.drain(),
-                seen=p.seen,
-                blocked=p.blocked,
-                emitted_total=p.emitted,
-            )
-            for p in self.processors
+            self.planes[plane].process_batch(alerts, in_warmup, watermark)
+            for plane, alerts, in_warmup in batches
         ]
+
+    def snapshots(self) -> list[PlaneSnapshot]:
+        return [plane.snapshot() for plane in self.planes]
+
+    def rebalance(self, n_shards: int) -> None:
+        require_positive(n_shards, "n_shards")
+        for plane in self.planes:
+            plane.rebalance(n_shards)
+
+    def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
+        return [plane.drain(watermark) for plane in self.planes]
 
     def close(self) -> None:
         pass
 
 
-class ThreadBackend(SerialBackend):
-    """Shards of one flush cycle run on a thread pool.
+class ThreadPlaneBackend(SerialPlaneBackend):
+    """Planes of one flush cycle run on a thread pool.
 
-    Shard state still lives in-process (introspection, export and drain
-    are inherited verbatim) — only ``process_batches`` fans out.  Each
-    cycle touches each shard at most once, so no two tasks ever share a
-    processor.
+    Plane state still lives in-process (introspection, rebalance and
+    drain are inherited verbatim) — only ``flush`` fans out.  Each cycle
+    touches each plane at most once, so no two tasks ever share a plane,
+    and the whole reaction chain — R1/R2 shard work plus R3 correlation
+    and R4 detection — executes on pool threads instead of the gateway
+    loop.
     """
 
     name = "thread"
 
     def __init__(
-        self,
-        n_shards: int,
-        blocker: AlertBlocker,
-        aggregation_window: float = 900.0,
-        n_workers: int = 4,
+        self, n_planes: int, config: PlaneConfig, n_workers: int = 4,
     ) -> None:
-        super().__init__(n_shards, blocker, aggregation_window)
+        super().__init__(n_planes, config)
         require_positive(n_workers, "n_workers")
-        self.n_workers = min(int(n_workers), n_shards)
+        self.n_workers = min(int(n_workers), n_planes)
         self._pool: ThreadPoolExecutor | None = None
 
-    def process_batches(self, batches: Sequence[tuple[int, list[Alert]]]) -> list[BatchResult]:
+    def flush(
+        self, batches: Sequence[PlaneBatch], watermark: float | None,
+    ) -> list[PlaneFlushResult]:
         if len(batches) <= 1:
-            return super().process_batches(batches)
+            return super().flush(batches, watermark)
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
-                max_workers=self.n_workers, thread_name_prefix="shard"
+                max_workers=self.n_workers, thread_name_prefix="plane"
             )
+        planes = self.planes
         return list(self._pool.map(
-            lambda item: self._run_one(item[0], item[1]), batches
+            lambda item: planes[item[0]].process_batch(item[1], item[2], watermark),
+            batches,
         ))
+
+    def resize(self, n_workers: int) -> None:
+        """Swap the pool for one with ``n_workers`` threads."""
+        require_positive(n_workers, "n_workers")
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.n_workers = min(int(n_workers), self.n_planes)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -242,52 +205,43 @@ class ThreadBackend(SerialBackend):
             self._pool = None
 
 
-def _worker_loop(connection, shard_ids, blocker, aggregation_window) -> None:
-    """One process-backend worker: owns the processors of its shards."""
-    processors = {
-        shard: StreamProcessor(shard, blocker, aggregation_window)
-        for shard in shard_ids
-    }
+def _plane_worker_loop(connection, plane_ids, config: PlaneConfig) -> None:
+    """One process-backend worker: owns the planes assigned to it."""
+    planes = {plane: RegionPlane(plane, config) for plane in plane_ids}
     while True:
         try:
             kind, payload = connection.recv()
         except EOFError:
             break
         try:
-            if kind == "batch":
+            if kind == "flush":
+                batches, watermark = payload
                 results = []
-                for shard, alerts in payload:
-                    processor = processors[shard]
-                    blocked, emitted = processor.ingest_batch(alerts)
-                    results.append(BatchResult(
-                        shard_id=shard,
-                        processed=len(alerts),
-                        blocked=blocked,
-                        emitted=emitted,
-                        min_open_first=processor.min_open_first(),
-                        open_sessions=processor.open_sessions,
-                    ))
+                for plane_id, blob, in_warmup in batches:
+                    result = planes[plane_id].process_batch(
+                        unpack_alerts(blob), in_warmup, watermark,
+                    )
+                    result.emitted = None  # artifacts stay worker-side
+                    results.append(result)
                 connection.send(("ok", results))
-            elif kind == "export":
-                sessions = []
-                for shard in shard_ids:
-                    sessions.extend(processors[shard].export_sessions())
-                connection.send(("ok", sessions))
-            elif kind == "adopt":
-                for shard, sessions in payload:
-                    processors[shard].adopt_sessions(sessions)
+            elif kind == "snapshot":
+                connection.send(("ok", [
+                    planes[plane].snapshot() for plane in plane_ids
+                ]))
+            elif kind == "rebalance":
+                for plane in planes.values():
+                    plane.rebalance(payload)
                 connection.send(("ok", None))
             elif kind == "drain":
-                connection.send(("ok", [
-                    ShardDrainResult(
-                        shard_id=p.shard_id,
-                        emitted=p.drain(),
-                        seen=p.seen,
-                        blocked=p.blocked,
-                        emitted_total=p.emitted,
-                    )
-                    for p in (processors[shard] for shard in shard_ids)
-                ]))
+                replies = []
+                for plane_id in plane_ids:
+                    result = planes[plane_id].drain(payload)
+                    aggregates = pack_aggregates(result.retained_aggregates)
+                    clusters = pack_clusters(result.retained_clusters)
+                    result.retained_aggregates = []
+                    result.retained_clusters = []
+                    replies.append((result, aggregates, clusters))
+                connection.send(("ok", replies))
             elif kind == "stop":
                 connection.send(("ok", None))
                 break
@@ -297,68 +251,61 @@ def _worker_loop(connection, shard_ids, blocker, aggregation_window) -> None:
             connection.send(("error", f"{type(exc).__name__}: {exc}"))
 
 
-class ProcessBackend:
-    """Shards are partitioned across worker processes.
+class ProcessPlaneBackend:
+    """Planes are partitioned across worker processes.
 
     Workers are spawned lazily on first use, so constructing a gateway
-    costs nothing until events flow.  Shard ``s`` lives in worker
-    ``s % n_workers`` for the backend's whole lifetime — state never
-    migrates between workers except through ``export_sessions``.
+    costs nothing until events flow.  Plane ``p`` lives in worker
+    ``p % n_workers`` for the backend's whole lifetime — the distribution
+    unit is the plane, so parallelism scales with plane count, not shard
+    count.  Ingress batches cross the pipe struct-packed
+    (:func:`~repro.streaming.wire.pack_alerts`); flush replies are
+    counter tuples; retained artifacts come back packed once, at drain.
     """
 
     name = "process"
 
     def __init__(
-        self,
-        n_shards: int,
-        blocker: AlertBlocker,
-        aggregation_window: float = 900.0,
-        n_workers: int = 4,
+        self, n_planes: int, config: PlaneConfig, n_workers: int = 4,
     ) -> None:
-        require_positive(n_shards, "n_shards")
+        require_positive(n_planes, "n_planes")
         require_positive(n_workers, "n_workers")
-        self._n_shards = int(n_shards)
-        self.n_workers = min(int(n_workers), self._n_shards)
-        self._blocker = blocker
-        self._window = float(aggregation_window)
+        self._n_planes = int(n_planes)
+        self.n_workers = min(int(n_workers), self._n_planes)
+        self._config = config
         self._workers: list[multiprocessing.Process] | None = None
         self._connections: list = []
-        self._pending_adoptions: list[tuple[int, OpenSession]] = []
-        # Last-barrier views, kept so introspection never needs a round
-        # trip: refreshed from every BatchResult.
-        self._open_sessions: dict[int, int] = {}
-        self._min_open_first: dict[int, float | None] = {}
+        # Last-barrier snapshots so idle introspection of a never-started
+        # backend needs no round trip.
+        self._n_shards = config.n_shards
         self._closed = False
 
     @property
-    def n_shards(self) -> int:
-        return self._n_shards
+    def n_planes(self) -> int:
+        return self._n_planes
 
-    def _worker_of(self, shard: int) -> int:
-        return shard % self.n_workers
+    def _worker_of(self, plane: int) -> int:
+        return plane % self.n_workers
 
     def _start(self) -> None:
         context = multiprocessing.get_context()
         self._workers = []
         self._connections = []
-        shards_of = [
-            [s for s in range(self._n_shards) if self._worker_of(s) == w]
+        planes_of = [
+            [p for p in range(self._n_planes) if self._worker_of(p) == w]
             for w in range(self.n_workers)
         ]
-        for shard_ids in shards_of:
+        for plane_ids in planes_of:
             parent_end, child_end = context.Pipe()
             worker = context.Process(
-                target=_worker_loop,
-                args=(child_end, shard_ids, self._blocker, self._window),
+                target=_plane_worker_loop,
+                args=(child_end, plane_ids, self._config),
                 daemon=True,
             )
             worker.start()
             child_end.close()
             self._workers.append(worker)
             self._connections.append(parent_end)
-        if self._pending_adoptions:
-            self._send_adoptions(self._pending_adoptions)
-            self._pending_adoptions = []
 
     def _roundtrip(self, worker_ids: list[int], messages: list[tuple]) -> list:
         """Send to each worker, then gather — batches overlap in flight."""
@@ -368,99 +315,79 @@ class ProcessBackend:
         for worker_id in worker_ids:
             status, payload = self._connections[worker_id].recv()
             if status != "ok":
-                raise ValidationError(f"shard worker {worker_id} failed: {payload}")
+                raise ValidationError(f"plane worker {worker_id} failed: {payload}")
             replies.append(payload)
         return replies
 
-    def process_batches(self, batches: Sequence[tuple[int, list[Alert]]]) -> list[BatchResult]:
+    def flush(
+        self, batches: Sequence[PlaneBatch], watermark: float | None,
+    ) -> list[PlaneFlushResult]:
         if self._closed:
             raise ValidationError("process backend already closed")
         if self._workers is None:
             self._start()
-        per_worker: dict[int, list[tuple[int, list[Alert]]]] = {}
-        for shard, alerts in batches:
-            per_worker.setdefault(self._worker_of(shard), []).append((shard, alerts))
+        per_worker: dict[int, list[tuple[int, bytes, int]]] = {}
+        for plane, alerts, in_warmup in batches:
+            per_worker.setdefault(self._worker_of(plane), []).append(
+                (plane, pack_alerts(alerts), in_warmup)
+            )
         worker_ids = sorted(per_worker)
         replies = self._roundtrip(
-            worker_ids, [("batch", per_worker[w]) for w in worker_ids]
+            worker_ids,
+            [("flush", (per_worker[w], watermark)) for w in worker_ids],
         )
-        results: list[BatchResult] = []
-        for reply in replies:
-            for result in reply:
-                self._open_sessions[result.shard_id] = result.open_sessions
-                self._min_open_first[result.shard_id] = result.min_open_first
-                results.append(result)
-        return results
-
-    def open_sessions_total(self) -> int:
-        return sum(self._open_sessions.values())
-
-    def min_open_first(self) -> float | None:
-        opens = [first for first in self._min_open_first.values() if first is not None]
-        return min(opens) if opens else None
-
-    def export_sessions(self) -> list[OpenSession]:
-        if self._workers is None:
-            pending = [session for _, session in self._pending_adoptions]
-            self._pending_adoptions = []
-            self._open_sessions.clear()
-            self._min_open_first.clear()
-            return pending
-        worker_ids = list(range(self.n_workers))
-        replies = self._roundtrip(worker_ids, [("export", None)] * self.n_workers)
-        self._open_sessions.clear()
-        self._min_open_first.clear()
-        sessions: list[OpenSession] = []
-        for reply in replies:
-            sessions.extend(reply)
-        return sessions
-
-    def adopt(self, assignments: Sequence[tuple[int, OpenSession]]) -> None:
-        assignments = list(assignments)
-        # Seed the last-barrier views immediately: the correlator horizon
-        # must see adopted sessions before the next flush refreshes the
-        # owning shard, or _finalize_ready would close components their
-        # eventual aggregates could still join.
-        for shard, session in assignments:
-            self._open_sessions[shard] = self._open_sessions.get(shard, 0) + 1
-            current = self._min_open_first.get(shard)
-            if current is None or session.first_at < current:
-                self._min_open_first[shard] = session.first_at
-        if self._workers is None:
-            # Defer until the workers exist — they are spawned lazily.
-            self._pending_adoptions.extend(assignments)
-            return
-        self._send_adoptions(assignments)
-
-    def _send_adoptions(self, assignments: list[tuple[int, OpenSession]]) -> None:
-        per_worker: dict[int, dict[int, list[OpenSession]]] = {}
-        for shard, session in assignments:
-            per_worker.setdefault(self._worker_of(shard), {}).setdefault(shard, []).append(session)
-        worker_ids = sorted(per_worker)
-        self._roundtrip(worker_ids, [
-            ("adopt", list(per_worker[w].items())) for w in worker_ids
-        ])
-
-    def drain(self) -> list[ShardDrainResult]:
-        if self._workers is None:
-            if self._pending_adoptions:
-                # Adopted-but-never-flushed sessions still hold window
-                # state that must be emitted; spawn the workers so the
-                # normal drain path closes them.
-                self._start()
-            else:
-                return [
-                    ShardDrainResult(shard_id=shard, emitted=[])
-                    for shard in range(self._n_shards)
-                ]
-        worker_ids = list(range(self.n_workers))
-        replies = self._roundtrip(worker_ids, [("drain", None)] * self.n_workers)
-        self._open_sessions.clear()
-        self._min_open_first.clear()
-        results: list[ShardDrainResult] = []
+        results: list[PlaneFlushResult] = []
         for reply in replies:
             results.extend(reply)
-        results.sort(key=lambda result: result.shard_id)
+        return results
+
+    def snapshots(self) -> list[PlaneSnapshot]:
+        if self._workers is None:
+            return [
+                PlaneSnapshot(
+                    plane_id=plane, n_shards=self._n_shards, processed=0,
+                    blocked=0, aggregates=0, clusters=0, storm_episodes=0,
+                    emerging_flags=0, open_sessions=0, active_components=0,
+                    retained_representatives=0, min_open_first=None,
+                )
+                for plane in range(self._n_planes)
+            ]
+        worker_ids = list(range(self.n_workers))
+        replies = self._roundtrip(worker_ids, [("snapshot", None)] * self.n_workers)
+        snapshots: list[PlaneSnapshot] = []
+        for reply in replies:
+            snapshots.extend(reply)
+        snapshots.sort(key=lambda snapshot: snapshot.plane_id)
+        return snapshots
+
+    def rebalance(self, n_shards: int) -> None:
+        require_positive(n_shards, "n_shards")
+        self._n_shards = int(n_shards)
+        if self._workers is None:
+            # Planes don't exist yet; they will be born on the new ring.
+            self._config = dataclasses.replace(self._config, n_shards=n_shards)
+            return
+        worker_ids = list(range(self.n_workers))
+        self._roundtrip(worker_ids, [("rebalance", n_shards)] * self.n_workers)
+
+    def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
+        if self._workers is None:
+            return [
+                PlaneDrainResult(
+                    plane_id=plane, processed=0, blocked=0, aggregates=0,
+                    clusters=0, storm_episodes=0, emerging_flags=0,
+                )
+                for plane in range(self._n_planes)
+            ]
+        worker_ids = list(range(self.n_workers))
+        replies = self._roundtrip(worker_ids, [("drain", watermark)] * self.n_workers)
+        results: list[PlaneDrainResult] = []
+        for reply in replies:
+            for result, aggregates, clusters in reply:
+                result.retained_aggregates = unpack_aggregates(aggregates)
+                result.retained_clusters = unpack_clusters(clusters)
+                results.append(result)
+        results.sort(key=lambda result: result.plane_id)
         return results
 
     def close(self) -> None:
@@ -497,19 +424,18 @@ class ProcessBackend:
 
 def make_backend(
     name: str,
-    n_shards: int,
-    blocker: AlertBlocker,
-    aggregation_window: float = 900.0,
+    n_planes: int,
+    config: PlaneConfig,
     n_workers: int | None = None,
-) -> ShardBackend:
+) -> PlaneBackend:
     """Build the named backend; ``n_workers`` defaults to 4 for pools."""
     workers = 4 if n_workers is None else n_workers
     if name == "serial":
-        return SerialBackend(n_shards, blocker, aggregation_window)
+        return SerialPlaneBackend(n_planes, config)
     if name == "thread":
-        return ThreadBackend(n_shards, blocker, aggregation_window, n_workers=workers)
+        return ThreadPlaneBackend(n_planes, config, n_workers=workers)
     if name == "process":
-        return ProcessBackend(n_shards, blocker, aggregation_window, n_workers=workers)
+        return ProcessPlaneBackend(n_planes, config, n_workers=workers)
     raise ValidationError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
     )

@@ -20,6 +20,15 @@ that session's first alert, so the horizon is
 therefore bounded by the number of representatives inside one
 correlation+session horizon, not by stream length.
 
+Correlation evidence requires equal regions, so components never span
+regions and the correlator partitions cleanly along region boundaries:
+each :class:`~repro.streaming.plane.RegionPlane` runs its own instance
+over its regions' representatives.  The horizon then tightens to
+``min(gateway watermark, *plane-local* earliest open session) - window``
+— any representative that could still reach a plane's component must
+come from that plane's own sessions — which lets planes finalise earlier
+and independently without changing what is finalised.
+
 Evidence and cluster finalisation are delegated to the batch analyzer
 (:meth:`pair_evidence` / :meth:`build_cluster`), which is what makes the
 gateway's end-of-run cluster accounting reconcile with

@@ -1,45 +1,50 @@
-"""The online alert gateway: sharded ingestion + incremental mitigation.
+"""The online alert gateway: a thin ingress over region-partitioned planes.
 
 This is the streaming counterpart of
 :class:`~repro.core.mitigation.pipeline.MitigationPipeline`: instead of
 re-running the reaction chain over a finished trace, the gateway accepts
-one alert at a time (or micro-batches), routes it across N shards on a
-consistent-hash ring keyed by ``(service, title template)``, and keeps
-every reaction's state incremental and bounded:
+one alert at a time (or micro-batches) and routes it through a two-level
+partition:
 
-* shards run R1 blocking and R2 session-window dedup inside a pluggable
-  :mod:`~repro.streaming.backends` execution backend — ``serial``
-  (inline), ``thread`` (pool per flush cycle), or ``process``
-  (shards partitioned across worker processes);
-* the gateway runs one :class:`OnlineCorrelator` (R3) over the merged,
-  heavily compressed stream of aggregate representatives the shards
-  emit — cascades cross services, so correlation cannot be shard-local —
-  and one :class:`OnlineStormDetector` (R4) over the raw in-order
-  stream — flood rates are per region, so detection cannot be
-  shard-local either.
+* **level 1 — planes**: a :class:`~repro.streaming.routing.PlaneRouter`
+  assigns each *region* to one of ``n_planes`` execution planes.  The
+  whole mitigation chain is region-local (R2 sessions key on
+  ``(strategy, region)``, R3 evidence requires equal regions, R4 flood
+  rates are per ``(hour, region)``), so each
+  :class:`~repro.streaming.plane.RegionPlane` runs R1-R4 end to end for
+  its regions with no cross-plane coordination — including its own
+  :class:`OnlineCorrelator` and :class:`OnlineStormDetector`, which
+  therefore execute inside the worker threads/processes of the pluggable
+  :mod:`~repro.streaming.backends`, not on the gateway loop;
+* **level 2 — shards**: within a plane, a consistent-hash ring on
+  ``(service, title template)`` spreads R1/R2 work across the plane's
+  shard processors.
+
+What remains on the gateway loop is deliberately thin: route to a plane
+buffer, track the watermark and the global novelty-warmup prefix, flush
+buffered batches to the backend, and merge per-plane snapshots/stats.
 
 Ingestion has two paths with identical end-of-run accounting:
 
 * :meth:`ingest` — one event, processed immediately at the default
   ``flush_size=1``;
-* :meth:`ingest_batch` — events are routed into per-shard buffers and
+* :meth:`ingest_batch` — events are routed into per-plane buffers and
   flushed to the backend ``flush_size`` events at a time (or whenever
-  event time advances ``flush_interval`` seconds), which amortises
-  routing, accounting, and backend hand-off over the whole micro-batch.
+  event time advances ``flush_interval`` seconds).
 
-:meth:`rebalance` re-shards a live gateway: open R2 sessions are
-exported from every shard, the consistent-hash ring is rebuilt, and the
-sessions are adopted by the shards that now own their keys — no window
-state is lost, so accounting stays exact across the transition.
+:meth:`rebalance` re-shards every plane live: open R2 sessions migrate
+across each plane's rebuilt consistent-hash ring without leaving the
+plane (or its worker process), so no window state is lost and no state
+crosses the wire.
 
 On an in-order stream the end-of-run volume accounting (blocked,
 aggregates, clusters) is *exactly* the batch pipeline's — the
 reconciliation invariant ``GatewayStats.reconcile`` checks, for every
-backend, shard count, and flush size.  Out-of-order events are processed
-best-effort and counted in ``late_events``.
+backend, plane count, shard count, and flush size.  Out-of-order events
+are processed best-effort and counted in ``late_events``.
 
->>> gateway = AlertGateway(graph, blocker=blocker, n_shards=4,   # doctest: +SKIP
-...                        backend="thread", n_workers=4, flush_size=512)
+>>> gateway = AlertGateway(graph, blocker=blocker, n_planes=4,   # doctest: +SKIP
+...                        backend="process", n_workers=4, flush_size=1024)
 >>> gateway.ingest_batch(source)                                 # doctest: +SKIP
 >>> stats = gateway.drain()                                      # doctest: +SKIP
 """
@@ -55,17 +60,13 @@ from repro.common.errors import ValidationError
 from repro.common.validation import require_positive
 from repro.core.mitigation.aggregation import AggregatedAlert
 from repro.core.mitigation.blocking import AlertBlocker
-from repro.core.mitigation.correlation import (
-    AlertCluster,
-    CorrelationAnalyzer,
-    DependencyRuleBook,
-)
-from repro.streaming.backends import ShardBackend, make_backend
-from repro.streaming.correlator import OnlineCorrelator
+from repro.core.mitigation.correlation import AlertCluster, DependencyRuleBook
+from repro.streaming.backends import PlaneBackend, make_backend
+from repro.streaming.plane import PlaneConfig, PlaneSnapshot
 from repro.streaming.processor import StreamProcessor
-from repro.streaming.routing import ShardRouter
+from repro.streaming.routing import PlaneRouter
 from repro.streaming.stats import GatewayStats
-from repro.streaming.storm import OnlineStormDetector
+from repro.streaming.storm import DEFAULT_WARMUP_ALERTS
 from repro.topology.graph import DependencyGraph
 
 __all__ = ["AlertGateway", "GatewaySnapshot"]
@@ -88,6 +89,7 @@ class GatewaySnapshot:
     retained_representatives: int
     storm_episodes: int
     emerging_flags: int
+    planes: tuple[PlaneSnapshot, ...] = ()
 
     @property
     def outstanding_items(self) -> int:
@@ -104,7 +106,7 @@ class GatewaySnapshot:
 
 
 class AlertGateway:
-    """Facade over the sharded online mitigation pipeline."""
+    """Facade over the plane-partitioned online mitigation pipeline."""
 
     def __init__(
         self,
@@ -112,6 +114,7 @@ class AlertGateway:
         blocker: AlertBlocker | None = None,
         rulebook: DependencyRuleBook | None = None,
         n_shards: int = 4,
+        n_planes: int = 1,
         aggregation_window: float = 900.0,
         correlation_window: float = 900.0,
         correlation_max_hops: int = 4,
@@ -123,61 +126,49 @@ class AlertGateway:
         flush_size: int | None = None,
         flush_interval: float | None = None,
     ) -> None:
+        require_positive(n_planes, "n_planes")
         require_positive(finalize_every, "finalize_every")
         if flush_size is not None:
             require_positive(flush_size, "flush_size")
         if flush_interval is not None:
             require_positive(flush_interval, "flush_interval")
         self._blocker = blocker or AlertBlocker()
-        self._aggregation_window = float(aggregation_window)
-        self._backend_name = backend
-        self._n_workers = n_workers
-        self._router = ShardRouter(n_shards)
-        self._backend: ShardBackend = make_backend(
-            backend,
-            n_shards=n_shards,
+        self._config = PlaneConfig(
+            graph=graph,
             blocker=self._blocker,
-            aggregation_window=self._aggregation_window,
-            n_workers=n_workers,
-        )
-        # One detector for the whole gateway: it watches the raw stream
-        # in arrival order, so R4 results are independent of shard count
-        # and backend (per-shard counters would dilute a region's rate
-        # against the flood threshold and double-count episodes that
-        # span shards).
-        self._storm_detector = (
-            OnlineStormDetector() if enable_storm_detection else None
-        )
-        self._correlator = OnlineCorrelator(CorrelationAnalyzer(
-            graph,
             rulebook=rulebook,
-            max_hops=correlation_max_hops,
-            time_window=correlation_window,
-        ))
-        self._finalize_every = int(finalize_every)
-        self._last_finalize_input = 0
+            n_shards=n_shards,
+            aggregation_window=float(aggregation_window),
+            correlation_window=float(correlation_window),
+            correlation_max_hops=int(correlation_max_hops),
+            enable_storm_detection=enable_storm_detection,
+            retain_artifacts=retain_artifacts,
+            finalize_every=int(finalize_every),
+        )
+        self._backend_name = backend
+        self._plane_router = PlaneRouter(n_planes)
+        self._backend: PlaneBackend = make_backend(
+            backend, n_planes=n_planes, config=self._config, n_workers=n_workers,
+        )
+        # The one stream-global piece of R4 state: the novelty warmup is
+        # defined over the first N *gateway* events, so the gateway counts
+        # the warmup prefix of every plane buffer and hands it down.
+        self._warmup_limit = DEFAULT_WARMUP_ALERTS if enable_storm_detection else 0
         # Per-event ingestion processes immediately by default; buffered
         # backends amortise hand-off over bigger flush cycles.
         if flush_size is None:
             flush_size = 1 if backend == "serial" else DEFAULT_BATCH_FLUSH
         self._flush_size = int(flush_size)
         self._flush_interval = flush_interval
-        self._buffers: list[list[Alert]] = [[] for _ in range(n_shards)]
+        self._buffers: list[list[Alert]] = [[] for _ in range(n_planes)]
+        self._warmup_pending: list[int] = [0] * n_planes
         self._buffered = 0
         self._last_flush_watermark: float | None = None
-        # R2 sessions key on (strategy, region) while the ring hashes
-        # (service, title template); the two agree because a strategy's
-        # service/title are fixed.  Pinning each strategy to the shard its
-        # first alert hashes to makes that locality structural — external
-        # JSONL feeds whose titles drift non-numerically within one
-        # strategy still keep every session on a single shard.  The pin
-        # map grows with the strategy population (configuration scale),
-        # not with events.
-        self._shard_of: dict[str, int] = {}
         self._retain = retain_artifacts
         self._drained = False
         self.stats = GatewayStats(
             n_shards=n_shards,
+            n_planes=n_planes,
             backend=backend,
             n_workers=getattr(self._backend, "n_workers", 1),
             flush_size=self._flush_size,
@@ -193,7 +184,10 @@ class AlertGateway:
 
         With the default ``flush_size=1`` the event is processed before
         this returns; larger flush sizes buffer it and return the
-        emissions of whatever flush the event happened to trigger.
+        emissions of whatever flush the event happened to trigger.  The
+        ``process`` backend keeps emissions worker-side and returns
+        ``[]`` (use ``stats``/:meth:`snapshot` for progress, or drain to
+        collect retained artifacts).
         """
         if self._drained:
             raise ValidationError("gateway already drained; create a new one")
@@ -204,13 +198,10 @@ class AlertGateway:
             stats.watermark = alert.occurred_at
         else:
             stats.late_events += 1
-        if self._storm_detector is not None:
-            self._storm_detector.ingest(alert)
-        shard = self._shard_of.get(alert.strategy_id)
-        if shard is None:
-            shard = self._router.route(alert)
-            self._shard_of[alert.strategy_id] = shard
-        self._buffers[shard].append(alert)
+        plane = self._plane_router.plane_of(alert.region)
+        self._buffers[plane].append(alert)
+        if stats.input_alerts <= self._warmup_limit:
+            self._warmup_pending[plane] += 1
         self._buffered += 1
         if self._last_flush_watermark is None:
             self._last_flush_watermark = alert.occurred_at
@@ -237,7 +228,7 @@ class AlertGateway:
     def ingest_batch(self, alerts: Iterable[Alert]) -> int:
         """Feed a micro-batch (or a whole source) through the batched path.
 
-        Events are routed into per-shard buffers and handed to the
+        Events are routed into per-plane buffers and handed to the
         execution backend ``flush_size`` at a time; end-of-run accounting
         is identical to per-event :meth:`ingest`.  Returns the count.
         Buffered events persist across calls until a flush triggers or
@@ -246,58 +237,83 @@ class AlertGateway:
         if self._drained:
             raise ValidationError("gateway already drained; create a new one")
         stats = self.stats
-        storms = self._storm_detector
         buffers = self._buffers
-        shard_of = self._shard_of
-        route = self._router.route
+        warmup_pending = self._warmup_pending
+        warmup_limit = self._warmup_limit
+        plane_cache = self._plane_router.plane_cache
+        plane_of = self._plane_router.plane_of
         flush_size = self._flush_size
         interval = self._flush_interval
         count = 0
+        inputs = stats.input_alerts
+        late = 0
+        buffered = self._buffered
         watermark = stats.watermark
-        for alert in alerts:
-            occurred_at = alert.occurred_at
-            if watermark is None or occurred_at >= watermark:
-                watermark = occurred_at
-            else:
-                stats.late_events += 1
-            if storms is not None:
-                storms.ingest(alert)
-            strategy = alert.strategy_id
-            shard = shard_of.get(strategy)
-            if shard is None:
-                shard = route(alert)
-                shard_of[strategy] = shard
-            buffers[shard].append(alert)
-            count += 1
-            self._buffered += 1
-            stats.input_alerts += 1
-            if self._last_flush_watermark is None:
-                self._last_flush_watermark = occurred_at
-            if self._buffered >= flush_size or (
-                interval is not None
-                and watermark - self._last_flush_watermark >= interval
-            ):
-                stats.watermark = watermark
-                self._flush()
-                buffers = self._buffers
-        stats.watermark = watermark
+        # The finally block writes the loop-local counters back even when
+        # the source iterable raises mid-stream: whatever was buffered
+        # stays accounted for, so a caller that catches and drains still
+        # reconciles.
+        try:
+            for alert in alerts:
+                occurred_at = alert.occurred_at
+                if watermark is None or occurred_at >= watermark:
+                    watermark = occurred_at
+                else:
+                    late += 1
+                plane = plane_cache.get(alert.region)
+                if plane is None:
+                    plane = plane_of(alert.region)
+                buffers[plane].append(alert)
+                count += 1
+                inputs += 1
+                if inputs <= warmup_limit:
+                    warmup_pending[plane] += 1
+                buffered += 1
+                if self._last_flush_watermark is None:
+                    self._last_flush_watermark = occurred_at
+                if buffered >= flush_size or (
+                    interval is not None
+                    and watermark - self._last_flush_watermark >= interval
+                ):
+                    stats.watermark = watermark
+                    stats.input_alerts = inputs
+                    stats.late_events += late
+                    late = 0
+                    self._buffered = buffered
+                    # Zero the local before flushing: if the backend
+                    # raises, _flush has already consumed the buffers and
+                    # the finally must not resurrect the stale count.
+                    buffered = 0
+                    self._flush()
+                    buffered = self._buffered
+                    buffers = self._buffers
+                    warmup_pending = self._warmup_pending
+        finally:
+            stats.watermark = watermark
+            stats.input_alerts = inputs
+            stats.late_events += late
+            self._buffered = buffered
         return count
 
     def drain(self) -> GatewayStats:
-        """Flush every shard and finalise all clusters (end of stream)."""
+        """Flush every plane and finalise all state (end of stream)."""
         if self._drained:
             return self.stats
         self._flush()
-        for result in self._backend.drain():
-            for aggregate in result.emitted:
-                self._absorb_aggregate(aggregate)
-        clusters = self._correlator.drain()
-        self.stats.clusters_finalized += len(clusters)
+        results = self._backend.drain(self.stats.watermark)
+        results.sort(key=lambda result: result.plane_id)
+        for result in results:
+            self._set_plane_counters(result.plane_id, result.counters())
+            if self._retain:
+                self.aggregates.extend(result.retained_aggregates)
+                self.clusters.extend(result.retained_clusters)
         if self._retain:
-            self.clusters.extend(clusters)
-        if self._storm_detector is not None and self.stats.watermark is not None:
-            self._storm_detector.finish(self.stats.watermark)
-        self._refresh_signal_counts()
+            # Planes finish independently; merge deterministically.
+            self.aggregates.sort(
+                key=lambda a: (a.window.start, a.strategy_id, a.region)
+            )
+            self.clusters.sort(key=lambda c: (c.alerts[0].occurred_at, -c.size))
+        self._refresh_totals()
         self.stats.mark_finished()
         self._drained = True
         self._backend.close()
@@ -307,67 +323,108 @@ class AlertGateway:
     # rebalancing
     # ------------------------------------------------------------------
     def rebalance(self, n_shards: int, n_workers: int | None = None) -> None:
-        """Re-shard the live gateway onto an ``n_shards`` consistent-hash ring.
+        """Re-shard every live plane onto an ``n_shards`` consistent-hash ring.
 
-        Pending buffers are flushed, every open R2 session is exported
-        from the old shards, the ring and backend are rebuilt, and the
-        sessions are adopted by the shards that now own their strategies
-        (each migrated strategy is pinned to its session's new home, so
-        future events keep landing where the window state lives).  The
-        correlator and storm detector are gateway-level and unaffected.
-        Volume accounting is exact across the transition.
+        Pending buffers are flushed, then each plane exports its open R2
+        sessions, rebuilds its ring, and re-adopts the sessions on the
+        shards that now own their strategies — entirely inside the plane
+        (and, for the ``process`` backend, inside its worker, so nothing
+        crosses the wire).  Correlators and storm detectors partition by
+        region, not shard, and are untouched.  Volume accounting is exact
+        across the transition.
+
+        ``n_workers`` resizes the ``thread`` pool; the ``process``
+        backend's worker fleet is fixed for its lifetime (planes own R3/R4
+        state that never migrates between processes).
         """
         require_positive(n_shards, "n_shards")
         if self._drained:
             raise ValidationError("gateway already drained; create a new one")
         self._flush()
-        sessions = self._backend.export_sessions()
-        self._backend.close()
         if n_workers is not None:
-            self._n_workers = n_workers
-        self._router = self._router.with_shards(n_shards)
-        self._backend = make_backend(
-            self._backend_name,
-            n_shards=n_shards,
-            blocker=self._blocker,
-            aggregation_window=self._aggregation_window,
-            n_workers=self._n_workers,
-        )
-        self._buffers = [[] for _ in range(n_shards)]
-        self._shard_of.clear()
-        assignments = []
-        for session in sorted(
-            sessions, key=lambda s: (s.strategy_id, s.region)
-        ):
-            shard = self._shard_of.get(session.strategy_id)
-            if shard is None:
-                shard = self._router.route(session.representative)
-                self._shard_of[session.strategy_id] = shard
-            assignments.append((shard, session))
-        if assignments:
-            self._backend.adopt(assignments)
+            resize = getattr(self._backend, "resize", None)
+            if resize is not None:
+                resize(n_workers)
+                self.stats.n_workers = self._backend.n_workers
+            elif self._backend_name == "process":
+                raise ValidationError(
+                    "the process backend's worker count is fixed: planes own "
+                    "R3/R4 state that cannot migrate between processes"
+                )
+        self._backend.rebalance(n_shards)
         self.stats.n_shards = n_shards
-        self.stats.n_workers = getattr(self._backend, "n_workers", 1)
         self.stats.rebalances += 1
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def snapshot(self) -> GatewaySnapshot:
-        """A consistent view of current progress (flushes pending buffers)."""
+        """A consistent view of current progress (flushes pending buffers).
+
+        After :meth:`drain` the backend is closed; the snapshot is then
+        rebuilt from the frozen final accounting instead of querying it.
+        """
+        if self._drained:
+            stats = self.stats
+            return GatewaySnapshot(
+                watermark=stats.watermark,
+                input_alerts=stats.input_alerts,
+                blocked_alerts=stats.blocked_alerts,
+                aggregates_emitted=stats.aggregates_emitted,
+                clusters_finalized=stats.clusters_finalized,
+                open_sessions=0,
+                active_components=0,
+                retained_representatives=0,
+                storm_episodes=stats.storm_episodes,
+                emerging_flags=stats.emerging_flags,
+                planes=tuple(
+                    PlaneSnapshot(
+                        plane_id=plane["plane_id"],
+                        n_shards=stats.n_shards,
+                        processed=plane["processed"],
+                        blocked=plane["blocked"],
+                        aggregates=plane["aggregates"],
+                        clusters=plane["clusters"],
+                        storm_episodes=plane["storm_episodes"],
+                        emerging_flags=plane["emerging_flags"],
+                        open_sessions=0,
+                        active_components=0,
+                        retained_representatives=0,
+                        min_open_first=None,
+                    )
+                    for _, plane in sorted(stats.planes.items())
+                ),
+            )
         self._flush()
-        self._refresh_signal_counts()
+        snapshots = self._backend.snapshots()
+        for snapshot in snapshots:
+            self._set_plane_counters(snapshot.plane_id, {
+                "processed": snapshot.processed,
+                "blocked": snapshot.blocked,
+                "aggregates": snapshot.aggregates,
+                "clusters": snapshot.clusters,
+                "storm_episodes": snapshot.storm_episodes,
+                "emerging_flags": snapshot.emerging_flags,
+                "open_sessions": snapshot.open_sessions,
+                "active_components": snapshot.active_components,
+                "retained_representatives": snapshot.retained_representatives,
+            })
+        self._refresh_totals()
+        stats = self.stats
         return GatewaySnapshot(
-            watermark=self.stats.watermark,
-            input_alerts=self.stats.input_alerts,
-            blocked_alerts=self.stats.blocked_alerts,
-            aggregates_emitted=self.stats.aggregates_emitted,
-            clusters_finalized=self.stats.clusters_finalized,
-            open_sessions=self._backend.open_sessions_total(),
-            active_components=self._correlator.active_components,
-            retained_representatives=self._correlator.retained,
-            storm_episodes=self.stats.storm_episodes,
-            emerging_flags=self.stats.emerging_flags,
+            watermark=stats.watermark,
+            input_alerts=stats.input_alerts,
+            blocked_alerts=stats.blocked_alerts,
+            aggregates_emitted=stats.aggregates_emitted,
+            clusters_finalized=stats.clusters_finalized,
+            open_sessions=sum(s.open_sessions for s in snapshots),
+            active_components=sum(s.active_components for s in snapshots),
+            retained_representatives=sum(
+                s.retained_representatives for s in snapshots
+            ),
+            storm_episodes=stats.storm_episodes,
+            emerging_flags=stats.emerging_flags,
+            planes=tuple(snapshots),
         )
 
     @property
@@ -376,8 +433,23 @@ class AlertGateway:
         return self._backend.name
 
     @property
+    def n_planes(self) -> int:
+        """Number of region-partitioned execution planes."""
+        return self._backend.n_planes
+
+    @property
+    def n_shards(self) -> int:
+        """Shards per plane on the current consistent-hash rings."""
+        return self.stats.n_shards
+
+    @property
+    def plane_assignments(self) -> dict[str, int]:
+        """Region → plane map observed so far."""
+        return self._plane_router.assignments
+
+    @property
     def processors(self) -> list[StreamProcessor]:
-        """The per-shard processors (read-only use; in-process backends only)."""
+        """Every shard processor (read-only use; in-process backends only)."""
         processors = getattr(self._backend, "processors", None)
         if processors is None:
             raise ValidationError(
@@ -386,67 +458,50 @@ class AlertGateway:
             )
         return list(processors)
 
-    @property
-    def router(self) -> ShardRouter:
-        """The consistent-hash router."""
-        return self._router
-
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _flush(self, observe_latency: bool = True) -> list[AggregatedAlert]:
-        """Hand every buffered per-shard batch to the backend (a barrier)."""
+        """Hand every buffered per-plane batch to the backend (a barrier)."""
         if self._buffered == 0:
             return []
         started = time.perf_counter()
         batches = [
-            (shard, batch)
-            for shard, batch in enumerate(self._buffers)
+            (plane, batch, self._warmup_pending[plane])
+            for plane, batch in enumerate(self._buffers)
             if batch
         ]
-        self._buffers = [[] for _ in range(len(self._buffers))]
+        n_planes = len(self._buffers)
+        self._buffers = [[] for _ in range(n_planes)]
+        self._warmup_pending = [0] * n_planes
         flushed = self._buffered
         self._buffered = 0
-        results = self._backend.process_batches(batches)
-        results.sort(key=lambda result: result.shard_id)
         stats = self.stats
+        results = self._backend.flush(batches, stats.watermark)
+        results.sort(key=lambda result: result.plane_id)
         emitted_all: list[AggregatedAlert] = []
         for result in results:
-            stats.blocked_alerts += result.blocked
-            for aggregate in result.emitted:
-                self._absorb_aggregate(aggregate)
-                emitted_all.append(aggregate)
+            self._set_plane_counters(result.plane_id, result.counters())
+            if result.emitted:
+                emitted_all.extend(result.emitted)
         stats.flushes += 1
         self._last_flush_watermark = stats.watermark
-        if stats.input_alerts - self._last_finalize_input >= self._finalize_every:
-            self._last_finalize_input = stats.input_alerts
-            self._finalize_ready()
+        self._refresh_totals()
         if observe_latency:
             stats.observe_flush(time.perf_counter() - started, flushed)
         return emitted_all
 
-    def _absorb_aggregate(self, aggregate: AggregatedAlert) -> None:
-        self.stats.aggregates_emitted += 1
-        if self._retain:
-            self.aggregates.append(aggregate)
-        self._correlator.add(aggregate.representative)
+    def _set_plane_counters(self, plane_id: int, counters: dict) -> None:
+        counters["plane_id"] = plane_id
+        counters["regions"] = list(self._plane_router.regions_of(plane_id))
+        self.stats.planes[plane_id] = counters
 
-    def _finalize_ready(self) -> None:
-        """Close safe correlation components.  Call only at flush barriers:
-        the horizon below assumes every ingested event has reached its
-        shard, which is only true when the buffers are empty."""
-        if self.stats.watermark is None:
-            return
-        clusters = self._correlator.finalize_ready(
-            self.stats.watermark, self._backend.min_open_first()
-        )
-        self.stats.clusters_finalized += len(clusters)
-        if self._retain:
-            self.clusters.extend(clusters)
-
-    def _refresh_signal_counts(self) -> None:
-        detector = self._storm_detector
-        if detector is None:
-            return
-        self.stats.storm_episodes = detector.episode_count
-        self.stats.emerging_flags = detector.emerging_count
+    def _refresh_totals(self) -> None:
+        """Merge per-plane lifetime counters into the gateway totals."""
+        stats = self.stats
+        counters = stats.planes.values()
+        stats.blocked_alerts = sum(c["blocked"] for c in counters)
+        stats.aggregates_emitted = sum(c["aggregates"] for c in counters)
+        stats.clusters_finalized = sum(c["clusters"] for c in counters)
+        stats.storm_episodes = sum(c["storm_episodes"] for c in counters)
+        stats.emerging_flags = sum(c["emerging_flags"] for c in counters)

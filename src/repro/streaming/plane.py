@@ -1,0 +1,392 @@
+"""Region-partitioned execution planes: one self-contained R1-R4 chain.
+
+A :class:`RegionPlane` is the unit of parallelism of the refactored
+gateway.  It owns everything needed to run the mitigation chain for a
+disjoint set of regions:
+
+* a bank of per-shard :class:`~repro.streaming.processor.StreamProcessor`
+  instances behind the plane's own consistent-hash
+  :class:`~repro.streaming.routing.ShardRouter` (R1 blocking + R2
+  session-window dedup, partitioned by ``(service, title template)``);
+* one :class:`~repro.streaming.correlator.OnlineCorrelator` over the
+  plane's merged aggregate-representative stream (R3 — exact, because
+  correlation evidence requires equal regions, so no component can span
+  planes);
+* one :class:`~repro.streaming.storm.OnlineStormDetector` over the
+  plane's raw in-order sub-stream (R4 — exact, because flood rates and
+  novelty are keyed per region; the stream-global novelty warmup is
+  threaded through as a per-batch ``in_warmup`` prefix computed by the
+  gateway).
+
+Because a plane touches nothing outside itself, the execution backends
+can run whole planes on worker threads or processes: R3 correlation and
+R4 detection execute inside the workers, off the gateway loop — the
+gateway is reduced to routing, watermark tracking, and snapshot/stat
+merging.
+
+The plane's safety horizon for R3 finalisation is plane-local: any
+future representative in this plane's regions must come from this
+plane's open sessions, so ``min(gateway watermark, plane min-open-first)
+- window`` is a valid (and tighter) horizon than the PR-2 global one.
+Finalising earlier never changes what is finalised — components are
+closed only when provably unreachable — so end-of-run accounting is
+identical to the flat gateway for in-order streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alerting.alert import Alert
+from repro.core.mitigation.aggregation import AggregatedAlert
+from repro.core.mitigation.blocking import AlertBlocker
+from repro.core.mitigation.correlation import (
+    AlertCluster,
+    CorrelationAnalyzer,
+    DependencyRuleBook,
+)
+from repro.streaming.correlator import OnlineCorrelator
+from repro.streaming.processor import StreamProcessor
+from repro.streaming.routing import ShardRouter
+from repro.streaming.storm import OnlineStormDetector
+from repro.topology.graph import DependencyGraph
+
+__all__ = [
+    "PlaneConfig",
+    "PlaneFlushResult",
+    "PlaneSnapshot",
+    "PlaneDrainResult",
+    "RegionPlane",
+]
+
+
+@dataclass(slots=True)
+class PlaneConfig:
+    """Everything a worker needs to build a plane (picklable once, at spawn)."""
+
+    graph: DependencyGraph
+    blocker: AlertBlocker
+    rulebook: DependencyRuleBook | None
+    n_shards: int
+    aggregation_window: float
+    correlation_window: float
+    correlation_max_hops: int
+    enable_storm_detection: bool
+    retain_artifacts: bool
+    finalize_every: int
+
+
+@dataclass(slots=True)
+class PlaneFlushResult:
+    """Lifetime accounting one plane reports after a flush cycle."""
+
+    plane_id: int
+    processed: int
+    blocked: int
+    aggregates: int
+    clusters: int
+    storm_episodes: int
+    emerging_flags: int
+    open_sessions: int
+    active_components: int
+    retained_representatives: int
+    #: Aggregates closed by this flush.  In-process backends hand back the
+    #: live objects; the process backend strips this to ``None`` so flush
+    #: replies stay a fixed-size tuple of counters on the wire.
+    emitted: list[AggregatedAlert] | None = None
+
+    def counters(self) -> dict[str, int]:
+        """The accounting fields as a plain dict (stats/snapshot payload)."""
+        return {
+            "processed": self.processed,
+            "blocked": self.blocked,
+            "aggregates": self.aggregates,
+            "clusters": self.clusters,
+            "storm_episodes": self.storm_episodes,
+            "emerging_flags": self.emerging_flags,
+            "open_sessions": self.open_sessions,
+            "active_components": self.active_components,
+            "retained_representatives": self.retained_representatives,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class PlaneSnapshot:
+    """A point-in-time view of one plane's progress."""
+
+    plane_id: int
+    n_shards: int
+    processed: int
+    blocked: int
+    aggregates: int
+    clusters: int
+    storm_episodes: int
+    emerging_flags: int
+    open_sessions: int
+    active_components: int
+    retained_representatives: int
+    min_open_first: float | None
+
+
+@dataclass(slots=True)
+class PlaneDrainResult:
+    """One plane's final accounting plus (optionally) retained artifacts."""
+
+    plane_id: int
+    processed: int
+    blocked: int
+    aggregates: int
+    clusters: int
+    storm_episodes: int
+    emerging_flags: int
+    retained_aggregates: list[AggregatedAlert] = field(default_factory=list)
+    retained_clusters: list[AlertCluster] = field(default_factory=list)
+
+    def counters(self) -> dict[str, int]:
+        """The accounting fields as a plain dict (stats/snapshot payload)."""
+        return {
+            "processed": self.processed,
+            "blocked": self.blocked,
+            "aggregates": self.aggregates,
+            "clusters": self.clusters,
+            "storm_episodes": self.storm_episodes,
+            "emerging_flags": self.emerging_flags,
+            "open_sessions": 0,
+            "active_components": 0,
+            "retained_representatives": 0,
+        }
+
+
+class RegionPlane:
+    """One execution plane: sharded R1/R2 plus plane-local R3/R4."""
+
+    __slots__ = (
+        "plane_id",
+        "_config",
+        "_router",
+        "_shard_of",
+        "processors",
+        "_correlator",
+        "_detector",
+        "_retain",
+        "_since_finalize",
+        "processed",
+        "blocked",
+        "aggregates_emitted",
+        "clusters_finalized",
+        "aggregates",
+        "clusters",
+    )
+
+    def __init__(self, plane_id: int, config: PlaneConfig) -> None:
+        self.plane_id = plane_id
+        self._config = config
+        self._router = ShardRouter(config.n_shards)
+        self._shard_of: dict[str, int] = {}
+        self.processors = [
+            StreamProcessor(shard, config.blocker, config.aggregation_window)
+            for shard in range(config.n_shards)
+        ]
+        self._correlator = OnlineCorrelator(CorrelationAnalyzer(
+            config.graph,
+            rulebook=config.rulebook,
+            max_hops=config.correlation_max_hops,
+            time_window=config.correlation_window,
+        ))
+        self._detector = (
+            OnlineStormDetector() if config.enable_storm_detection else None
+        )
+        self._retain = config.retain_artifacts
+        self._since_finalize = 0
+        # Lifetime counters live on the plane, not the processors, so a
+        # rebalance (which rebuilds the processor bank) cannot reset them.
+        self.processed = 0
+        self.blocked = 0
+        self.aggregates_emitted = 0
+        self.clusters_finalized = 0
+        self.aggregates: list[AggregatedAlert] = []
+        self.clusters: list[AlertCluster] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Shards on this plane's ring."""
+        return len(self.processors)
+
+    @property
+    def storm_episodes(self) -> int:
+        """Lifetime storm episodes detected on this plane's regions."""
+        return self._detector.episode_count if self._detector is not None else 0
+
+    @property
+    def emerging_flags(self) -> int:
+        """Lifetime emerging-alert flags raised on this plane's regions."""
+        return self._detector.emerging_count if self._detector is not None else 0
+
+    @property
+    def open_sessions(self) -> int:
+        """In-flight R2 sessions across this plane's shards."""
+        return sum(p.open_sessions for p in self.processors)
+
+    def min_open_first(self) -> float | None:
+        """Earliest open-session start on this plane (R3 safety horizon)."""
+        opens = [
+            first for first in (p.min_open_first() for p in self.processors)
+            if first is not None
+        ]
+        return min(opens) if opens else None
+
+    def snapshot(self) -> PlaneSnapshot:
+        """A consistent view of this plane's progress."""
+        return PlaneSnapshot(
+            plane_id=self.plane_id,
+            n_shards=self.n_shards,
+            processed=self.processed,
+            blocked=self.blocked,
+            aggregates=self.aggregates_emitted,
+            clusters=self.clusters_finalized,
+            storm_episodes=self.storm_episodes,
+            emerging_flags=self.emerging_flags,
+            open_sessions=self.open_sessions,
+            active_components=self._correlator.active_components,
+            retained_representatives=self._correlator.retained,
+            min_open_first=self.min_open_first(),
+        )
+
+    # ------------------------------------------------------------------
+    # the flush-cycle hot path
+    # ------------------------------------------------------------------
+    def process_batch(
+        self, alerts: list[Alert], in_warmup: int, watermark: float | None,
+    ) -> PlaneFlushResult:
+        """Run one micro-batch through the plane's whole reaction chain.
+
+        ``alerts`` is this plane's slice of the stream in arrival order;
+        ``in_warmup`` the leading-event count inside the gateway-global
+        novelty warmup; ``watermark`` the gateway's max event time, which
+        caps the plane-local R3 safety horizon.
+        """
+        if self._detector is not None:
+            self._detector.ingest_batch(alerts, in_warmup)
+        # Level-2 routing: partition the in-order run into per-shard
+        # batches.  Strategies are pinned to the shard their first alert
+        # hashes to, so sessions never straddle shards even when titles
+        # drift non-numerically within one strategy.
+        shard_of = self._shard_of
+        route = self._router.route
+        batches: dict[int, list[Alert]] = {}
+        for alert in alerts:
+            strategy = alert.strategy_id
+            shard = shard_of.get(strategy)
+            if shard is None:
+                shard = route(alert)
+                shard_of[strategy] = shard
+            batch = batches.get(shard)
+            if batch is None:
+                batches[shard] = [alert]
+            else:
+                batch.append(alert)
+        blocked = 0
+        emitted_all: list[AggregatedAlert] = []
+        processors = self.processors
+        for shard in sorted(batches):
+            shard_blocked, emitted = processors[shard].ingest_batch(batches[shard])
+            blocked += shard_blocked
+            if emitted:
+                emitted_all.extend(emitted)
+        correlator = self._correlator
+        for aggregate in emitted_all:
+            correlator.add(aggregate.representative)
+        if self._retain and emitted_all:
+            self.aggregates.extend(emitted_all)
+        self.processed += len(alerts)
+        self.blocked += blocked
+        self.aggregates_emitted += len(emitted_all)
+        self._since_finalize += len(alerts)
+        if self._since_finalize >= self._config.finalize_every and watermark is not None:
+            self._since_finalize = 0
+            self._finalize_ready(watermark)
+        return PlaneFlushResult(
+            plane_id=self.plane_id,
+            processed=self.processed,
+            blocked=self.blocked,
+            aggregates=self.aggregates_emitted,
+            clusters=self.clusters_finalized,
+            storm_episodes=self.storm_episodes,
+            emerging_flags=self.emerging_flags,
+            open_sessions=self.open_sessions,
+            active_components=correlator.active_components,
+            retained_representatives=correlator.retained,
+            emitted=emitted_all,
+        )
+
+    def _finalize_ready(self, watermark: float) -> None:
+        """Close correlation components no future representative can join."""
+        clusters = self._correlator.finalize_ready(watermark, self.min_open_first())
+        self.clusters_finalized += len(clusters)
+        if self._retain and clusters:
+            self.clusters.extend(clusters)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def rebalance(self, n_shards: int) -> None:
+        """Re-shard this plane onto an ``n_shards`` consistent-hash ring.
+
+        Open R2 sessions are exported from the old shards and adopted by
+        the shards that now own their strategies; each migrated strategy
+        is re-pinned to its session's new home.  The plane's correlator
+        and detector are untouched — they partition by region, not by
+        shard — so accounting is exact across the transition.
+        """
+        sessions = []
+        for processor in self.processors:
+            sessions.extend(processor.export_sessions())
+        config = self._config
+        self._router = self._router.with_shards(n_shards)
+        self._shard_of.clear()
+        self.processors = [
+            StreamProcessor(shard, config.blocker, config.aggregation_window)
+            for shard in range(n_shards)
+        ]
+        shard_of = self._shard_of
+        by_shard: dict[int, list] = {}
+        for session in sorted(sessions, key=lambda s: (s.strategy_id, s.region)):
+            shard = shard_of.get(session.strategy_id)
+            if shard is None:
+                shard = self._router.route(session.representative)
+                shard_of[session.strategy_id] = shard
+            by_shard.setdefault(shard, []).append(session)
+        for shard, adopted in by_shard.items():
+            self.processors[shard].adopt_sessions(adopted)
+
+    def drain(self, watermark: float | None) -> PlaneDrainResult:
+        """Flush all open state at end of stream and report final totals."""
+        emitted_all: list[AggregatedAlert] = []
+        for processor in self.processors:
+            emitted_all.extend(processor.drain())
+        correlator = self._correlator
+        for aggregate in emitted_all:
+            correlator.add(aggregate.representative)
+        self.aggregates_emitted += len(emitted_all)
+        if self._retain and emitted_all:
+            self.aggregates.extend(emitted_all)
+        clusters = correlator.drain()
+        self.clusters_finalized += len(clusters)
+        if self._retain and clusters:
+            self.clusters.extend(clusters)
+        if self._detector is not None and watermark is not None:
+            self._detector.finish(watermark)
+        return PlaneDrainResult(
+            plane_id=self.plane_id,
+            processed=self.processed,
+            blocked=self.blocked,
+            aggregates=self.aggregates_emitted,
+            clusters=self.clusters_finalized,
+            storm_episodes=self.storm_episodes,
+            emerging_flags=self.emerging_flags,
+            retained_aggregates=self.aggregates,
+            retained_clusters=self.clusters,
+        )

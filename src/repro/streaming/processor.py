@@ -13,10 +13,12 @@ template)`` key space and runs the volume-reducing reactions inline:
 Correlation (R3) and storm detection (R4) deliberately do *not* live
 here: cascades cross services (so shard-local clustering would split
 them) and flood rates are per region (so per-shard counters would dilute
-them) — the gateway runs one :class:`OnlineCorrelator` over the merged
-stream of shard emissions and one ``OnlineStormDetector`` over the raw
-in-order stream instead.  Keeping shard state free of shared detectors
-is also what lets the thread and process backends run shards truly
+them).  They live one level up, on the owning
+:class:`~repro.streaming.plane.RegionPlane` — regions are independent
+for both reactions, so a plane-local :class:`OnlineCorrelator` over the
+plane's merged shard emissions and a plane-local ``OnlineStormDetector``
+over its raw in-order sub-stream are exact.  Keeping shard state free of
+shared detectors is also what lets the backends run planes truly
 concurrently: a processor touches nothing outside itself.
 """
 

@@ -1,16 +1,25 @@
-"""Shard routing for the online alert gateway.
+"""Two-level routing for the online alert gateway.
 
-Alerts are partitioned by ``(service, title template)``: every alert of
-one strategy carries the strategy's service and title, so all alerts a
-session-window deduplicator must see land on the same shard, while hot
-services spread their strategies across the fleet.
+Level 1 — :class:`PlaneRouter` — partitions by **region**: the whole
+mitigation chain is region-local (R2 sessions key on ``(strategy,
+region)``, R3 evidence requires equal regions, R4 flood rates are per
+``(hour, region)``), so a region is the natural unit of an execution
+plane that can run R1-R4 end to end without coordination.  Regions are
+assigned to planes sticky round-robin in first-seen order: deterministic
+for a given stream, perfectly balanced for small region populations
+(where a hash ring would leave planes empty), and never revisited — a
+region's plane owns all of its state for the gateway's lifetime.
 
-Routing uses a consistent-hash ring (each shard owns ``replicas``
-virtual points): growing the fleet from N to N+1 shards remaps only
-~1/(N+1) of the key space, the property every later scale-out PR
-(multi-process shards, shard rebalancing) relies on.  Hashing is
-``blake2b``-based — Python's builtin ``hash`` is salted per process and
-would break cross-run determinism.
+Level 2 — :class:`ShardRouter` — partitions a plane's keys by
+``(service, title template)`` on a consistent-hash ring (each shard owns
+``replicas`` virtual points): every alert of one strategy carries the
+strategy's service and title, so all alerts a session-window
+deduplicator must see land on the same shard, while hot services spread
+their strategies across the plane's shards.  Growing a plane from N to
+N+1 shards remaps only ~1/(N+1) of its key space, the property live
+``rebalance`` relies on.  Hashing is ``blake2b``-based — Python's
+builtin ``hash`` is salted per process and would break cross-run
+determinism.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from hashlib import blake2b
 from repro.alerting.alert import Alert
 from repro.common.validation import require_positive
 
-__all__ = ["template_of", "shard_key", "ShardRouter"]
+__all__ = ["template_of", "shard_key", "PlaneRouter", "ShardRouter"]
 
 _NUMERIC = re.compile(r"\d+")
 
@@ -44,6 +53,58 @@ def shard_key(alert: Alert) -> str:
 
 def _point(token: str) -> int:
     return int.from_bytes(blake2b(token.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class PlaneRouter:
+    """Level-1 router: region → execution plane, sticky round-robin.
+
+    The first distinct region observed goes to plane 0, the next to
+    plane 1, and so on, wrapping around — an assignment is made exactly
+    once and never moves.  For the same stream the mapping is therefore
+    deterministic across runs, backends, and ingestion paths (they all
+    observe regions in the same arrival order), which is what keeps
+    plane-partitioned accounting reproducible.
+    """
+
+    def __init__(self, n_planes: int) -> None:
+        require_positive(n_planes, "n_planes")
+        self._n_planes = int(n_planes)
+        self._plane_of: dict[str, int] = {}
+
+    @property
+    def n_planes(self) -> int:
+        """Number of execution planes."""
+        return self._n_planes
+
+    @property
+    def assignments(self) -> dict[str, int]:
+        """Region → plane map so far (copy)."""
+        return dict(self._plane_of)
+
+    @property
+    def plane_cache(self) -> dict[str, int]:
+        """The *live* region → plane map, for hot ingest loops.
+
+        Contract: read-only; on a miss callers must fall back to
+        :meth:`plane_of`, which makes the assignment.  The dict object is
+        stable for the router's lifetime, so it can be bound to a local
+        once per batch.
+        """
+        return self._plane_of
+
+    def regions_of(self, plane: int) -> tuple[str, ...]:
+        """Regions assigned to ``plane``, in assignment order."""
+        return tuple(
+            region for region, owner in self._plane_of.items() if owner == plane
+        )
+
+    def plane_of(self, region: str) -> int:
+        """The plane owning ``region`` (assigning it on first sight)."""
+        plane = self._plane_of.get(region)
+        if plane is None:
+            plane = len(self._plane_of) % self._n_planes
+            self._plane_of[region] = plane
+        return plane
 
 
 class ShardRouter:

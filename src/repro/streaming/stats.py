@@ -1,12 +1,16 @@
-"""Gateway accounting: throughput, latency, and volume reduction.
+"""Gateway accounting: throughput, latency, volume reduction, plane stats.
 
 :class:`GatewayStats` mirrors the stage-by-stage volume accounting of the
 batch :class:`~repro.core.mitigation.pipeline.MitigationReport` — raw in,
 blocked out, aggregates, clusters — and adds the streaming-only
-dimensions: per-event processing latency (exact mean, sampled p50/p99)
-and wall-clock throughput.  :meth:`reconcile` checks the gateway against
-a batch report on the same trace, the invariant the integration tests
-and the ``repro stream --reconcile`` CLI pin down.
+dimensions: per-event processing latency (exact mean, sampled p50/p99),
+wall-clock throughput, and per-plane accounting for the
+region-partitioned execution planes (:attr:`planes`, refreshed by the
+gateway at every flush barrier).  :meth:`reconcile` checks the gateway
+against a batch report on the same trace, the invariant the integration
+tests and the ``repro stream --reconcile`` CLI pin down; :meth:`snapshot`
+returns the whole accounting — totals plus planes — as one plain dict
+for dashboards and the CLI report.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ class GatewayStats:
     """Running counters of one gateway instance."""
 
     n_shards: int = 1
+    n_planes: int = 1
     backend: str = "serial"
     n_workers: int = 1
     flush_size: int = 1
@@ -38,6 +43,9 @@ class GatewayStats:
     flushes: int = 0
     rebalances: int = 0
     watermark: float | None = None
+    #: Per-plane accounting as plain dicts (``plane_id`` → counters +
+    #: ``regions``), refreshed from plane flush/drain results.
+    planes: dict[int, dict] = field(default_factory=dict)
     latency: LatencyReservoir = field(default_factory=LatencyReservoir)
     started_wall: float = field(default_factory=time.perf_counter)
     finished_wall: float | None = None
@@ -105,14 +113,54 @@ class GatewayStats:
         }
         return {stage: pair for stage, pair in pairs.items() if pair[0] != pair[1]}
 
+    def snapshot(self) -> dict:
+        """The full accounting — totals plus per-plane stats — as one dict."""
+        return {
+            "backend": self.backend,
+            "n_planes": self.n_planes,
+            "n_shards": self.n_shards,
+            "n_workers": self.n_workers,
+            "flush_size": self.flush_size,
+            "input_alerts": self.input_alerts,
+            "blocked_alerts": self.blocked_alerts,
+            "aggregates": self.aggregates_emitted,
+            "clusters": self.clusters_finalized,
+            "storm_episodes": self.storm_episodes,
+            "emerging_flags": self.emerging_flags,
+            "late_events": self.late_events,
+            "flushes": self.flushes,
+            "rebalances": self.rebalances,
+            "watermark": self.watermark,
+            "total_reduction": self.total_reduction,
+            "throughput": self.throughput,
+            "planes": [
+                dict(self.planes[plane_id]) for plane_id in sorted(self.planes)
+            ],
+        }
+
+    def render_planes(self) -> str:
+        """One line per execution plane (regions and volume accounting)."""
+        lines = []
+        for plane_id in sorted(self.planes):
+            plane = self.planes[plane_id]
+            regions = ",".join(plane.get("regions", ())) or "-"
+            lines.append(
+                f"  plane {plane_id} [{regions}]: "
+                f"in {plane['processed']:>8,}  blocked {plane['blocked']:>7,}  "
+                f"groups {plane['aggregates']:>7,}  clusters {plane['clusters']:>6,}  "
+                f"storms {plane['storm_episodes']:>4,}  "
+                f"emerging {plane['emerging_flags']:>5,}"
+            )
+        return "\n".join(lines)
+
     def render(self) -> str:
         """Human-readable gateway summary."""
         backend = self.backend
         if backend in ("thread", "process"):
             backend += f" x{self.n_workers} workers"
         lines = [
-            f"shards:              {self.n_shards:>8}  ({backend}, "
-            f"flush {self.flush_size})",
+            f"planes:              {self.n_planes:>8}  x {self.n_shards} shards "
+            f"({backend}, flush {self.flush_size})",
             f"input alerts:        {self.input_alerts:>8,}",
             f"after R1 blocking:   {self.after_blocking:>8,} "
             f"({self.blocked_alerts:,} blocked)",
@@ -125,6 +173,9 @@ class GatewayStats:
             f"latency p50/p99:     {self.latency.quantile(0.50) * 1e6:>7.1f} / "
             f"{self.latency.quantile(0.99) * 1e6:.1f} us",
         ]
+        if self.n_planes > 1 and self.planes:
+            lines.append("per-plane accounting:")
+            lines.append(self.render_planes())
         if self.late_events:
             lines.append(f"late (out-of-order) events: {self.late_events:,}")
         if self.rebalances:

@@ -54,13 +54,22 @@ class EmergingSignal:
     region_rate: float
 
 
+#: Default number of leading gateway events exempt from novelty flags.
+DEFAULT_WARMUP_ALERTS = 50
+
+
 class OnlineStormDetector:
     """Streaming detector for floods and their precursors.
 
-    Share ONE instance across all shards of a gateway (ingestion is
-    single-threaded): per-shard instances would dilute each region's
-    rate against the flood threshold and double-count episodes that
-    span shards.
+    All detector state is keyed by region (rate counters, episodes) or by
+    ``(strategy, region)`` (novelty), so the detector partitions cleanly
+    along region boundaries: one instance per execution plane is exact as
+    long as every alert of a region reaches the same instance.  Per-*shard*
+    instances would still be wrong — shards split within a region and
+    would dilute its rate against the flood threshold.  The one global
+    coupling is the warmup count, which callers that partition the stream
+    thread through as an explicit ``in_warmup`` prefix (see
+    :meth:`ingest_batch`).
     """
 
     def __init__(
@@ -68,7 +77,7 @@ class OnlineStormDetector:
         flood_hourly_threshold: int = 100,
         bucket_seconds: float = 60.0,
         novelty_horizon: float = 24 * HOUR,
-        warmup_alerts: int = 50,
+        warmup_alerts: int = DEFAULT_WARMUP_ALERTS,
     ) -> None:
         require_positive(flood_hourly_threshold, "flood_hourly_threshold")
         require_positive(novelty_horizon, "novelty_horizon")
@@ -95,32 +104,91 @@ class OnlineStormDetector:
         return len(self._active)
 
     def ingest(self, alert: Alert) -> None:
-        """Advance the counters with one unblocked alert."""
-        self._ingested += 1
-        region = alert.region
-        counter = self._counters.get(region)
-        if counter is None:
-            buckets = max(int(HOUR / self._bucket_seconds), 1)
-            counter = RingCounter(self._bucket_seconds, buckets)
-            self._counters[region] = counter
-        rate = counter.add_and_rate(alert.occurred_at)
+        """Advance the counters with one unblocked alert.
 
-        episode = self._active.get(region)
-        if episode is None:
-            if rate >= self._threshold:
-                episode = StormEpisode(
-                    region=region, started_at=alert.occurred_at, peak_rate=rate,
-                )
-                self._active[region] = episode
-                self.episode_count += 1
-                self.episodes.append(episode)
-        else:
-            episode.peak_rate = max(episode.peak_rate, rate)
-            if rate < self._threshold / 2:
-                episode.ended_at = alert.occurred_at
-                del self._active[region]
+        Delegates to :meth:`ingest_batch` so the episode and novelty
+        logic exists exactly once — the batch path is event-for-event
+        equivalent, including the warmup derivation.
+        """
+        self.ingest_batch([alert])
 
-        self._observe_novelty(alert, rate)
+    def ingest_batch(self, alerts: list[Alert], in_warmup: int | None = None) -> None:
+        """Advance the counters with one in-order micro-batch.
+
+        Event-for-event equivalent to :meth:`ingest`, but run-compressed:
+        consecutive same-region events share one counter/episode lookup
+        and one :meth:`RingCounter.add_run` bucket pass — on a plane that
+        owns whole regions, a flood is one long run.
+
+        ``in_warmup`` is the number of leading events that fall inside
+        the *stream-global* warmup.  ``None`` (standalone use) derives it
+        from this instance's own ingest count; a plane-partitioned
+        gateway passes the prefix computed from its global input counter,
+        which is what keeps per-plane detectors bitwise-equal to one
+        shared instance.  The recency sweep runs once per batch instead
+        of per event — identical behaviour below the sweep's size floor.
+        """
+        n = len(alerts)
+        if n == 0:
+            return
+        if in_warmup is None:
+            in_warmup = min(max(self._warmup - self._ingested, 0), n)
+        self._ingested += n
+        threshold = self._threshold
+        half_threshold = threshold / 2
+        quarter_threshold = threshold / 4
+        horizon = self._horizon
+        counters = self._counters
+        active = self._active
+        last_seen = self._last_seen
+        times = [alert.occurred_at for alert in alerts]
+        rates: list[float] = []
+        index = 0
+        while index < n:
+            region = alerts[index].region
+            stop = index + 1
+            while stop < n and alerts[stop].region == region:
+                stop += 1
+            counter = counters.get(region)
+            if counter is None:
+                buckets = max(int(HOUR / self._bucket_seconds), 1)
+                counter = RingCounter(self._bucket_seconds, buckets)
+                counters[region] = counter
+            del rates[:]
+            counter.add_run(times, index, stop, rates)
+            episode = active.get(region)
+            for position in range(index, stop):
+                alert = alerts[position]
+                rate = rates[position - index]
+                occurred_at = times[position]
+                if episode is None:
+                    if rate >= threshold:
+                        episode = StormEpisode(
+                            region=region, started_at=occurred_at, peak_rate=rate,
+                        )
+                        active[region] = episode
+                        self.episode_count += 1
+                        self.episodes.append(episode)
+                else:
+                    if rate > episode.peak_rate:
+                        episode.peak_rate = rate
+                    if rate < half_threshold:
+                        episode.ended_at = occurred_at
+                        del active[region]
+                        episode = None
+                key = (alert.strategy_id, region)
+                last = last_seen.get(key)
+                last_seen[key] = occurred_at
+                if position < in_warmup:
+                    continue
+                if (last is None or occurred_at - last > horizon) and (
+                    quarter_threshold <= rate < threshold
+                ):
+                    self.emerging_count += 1
+                    self.emerging.append(EmergingSignal(alert=alert, region_rate=rate))
+            index = stop
+        if n > in_warmup:
+            self._sweep(times[-1])
 
     def finish(self, at: float) -> None:
         """Close any episodes still open at end of stream."""
@@ -131,20 +199,6 @@ class OnlineStormDetector:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _observe_novelty(self, alert: Alert, rate: float) -> None:
-        key = (alert.strategy_id, alert.region)
-        last = self._last_seen.get(key)
-        self._last_seen[key] = alert.occurred_at
-        if self._ingested <= self._warmup:
-            return
-        is_new = last is None or alert.occurred_at - last > self._horizon
-        # "A few alerts ... appear first": novel keys while volume climbs
-        # toward flood level but before the flood is declared.
-        if is_new and self._threshold / 4 <= rate < self._threshold:
-            self.emerging_count += 1
-            self.emerging.append(EmergingSignal(alert=alert, region_rate=rate))
-        self._sweep(alert.occurred_at)
-
     def _sweep(self, now: float) -> None:
         """Bound the recency map: forget keys quiet past the horizon.
 

@@ -1,0 +1,349 @@
+"""Struct-packed wire encoding for the process plane backend.
+
+The PR-2 process backend pickled whole :class:`~repro.alerting.alert.Alert`
+objects per event — the serialisation tax ROADMAP called out.  This
+module replaces that with a compact tuple/columnar format:
+
+* a **string table** with dictionary encoding: every distinct string
+  (region, service, strategy id, title, ...) is stored once and
+  referenced by a fixed-width index — alert streams repeat their
+  vocabulary heavily, so the table collapses most of the payload;
+* **columnar arrays** for the per-record fields: one ``array`` of u32
+  string references per attribute plus packed severity/state bytes and
+  f64 timestamps, instead of per-object pickle opcodes;
+* shared framing for the three payloads that cross the process
+  boundary: raw ``Alert`` batches (gateway → worker, every flush) and
+  the end-of-run aggregate/cluster snapshots (worker → gateway, once at
+  drain when artifacts are retained).
+
+Encoding is byte-deterministic for a given input, versioned by a magic
+header, and validated by round-trip tests in
+``tests/streaming/test_wire.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Sequence
+
+from repro.alerting.alert import Alert, AlertState, Severity
+from repro.common.errors import ValidationError
+from repro.common.timeutil import TimeWindow
+from repro.core.mitigation.aggregation import AggregatedAlert
+from repro.core.mitigation.correlation import AlertCluster
+
+__all__ = [
+    "pack_alerts",
+    "unpack_alerts",
+    "pack_aggregates",
+    "unpack_aggregates",
+    "pack_clusters",
+    "unpack_clusters",
+]
+
+_MAGIC_ALERTS = b"RWA1"
+_MAGIC_AGGREGATES = b"RWG1"
+_MAGIC_CLUSTERS = b"RWC1"
+
+#: u32 sentinel for "no string" (optional fields like ``fault_id``).
+_NONE_REF = 0xFFFFFFFF
+#: f64 sentinel for "not cleared" (real clear times are >= occurred_at >= 0).
+_NO_TIME = -1.0
+
+_STATES = tuple(AlertState)
+_STATE_INDEX = {state: index for index, state in enumerate(_STATES)}
+_SEVERITIES = tuple(sorted(Severity, key=lambda s: s.value))
+
+_HEADER = struct.Struct("<I")
+
+
+class _Writer:
+    """Accumulates length-prefixed sections plus a shared string table."""
+
+    def __init__(self, magic: bytes) -> None:
+        self._parts: list[bytes] = [magic]
+        self._strings: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def ref(self, value: str) -> int:
+        """Dictionary-encode one string; returns its table index."""
+        index = self._index.get(value)
+        if index is None:
+            index = len(self._strings)
+            self._index[value] = index
+            self._strings.append(value)
+        return index
+
+    def ref_or_none(self, value: str | None) -> int:
+        return _NONE_REF if value is None else self.ref(value)
+
+    def section(self, payload: bytes) -> None:
+        """Append one length-prefixed section."""
+        self._parts.append(_HEADER.pack(len(payload)))
+        self._parts.append(payload)
+
+    def finish(self) -> bytes:
+        """Serialise: magic, string table, then the queued sections."""
+        encoded = [value.encode("utf-8") for value in self._strings]
+        table = [_HEADER.pack(len(encoded))]
+        for raw in encoded:
+            table.append(_HEADER.pack(len(raw)))
+            table.append(raw)
+        return b"".join([self._parts[0], b"".join(table), *self._parts[1:]])
+
+
+class _Reader:
+    """Walks the sections written by :class:`_Writer`."""
+
+    def __init__(self, data: bytes, magic: bytes) -> None:
+        if data[:4] != magic:
+            raise ValidationError(
+                f"wire payload has magic {data[:4]!r}, expected {magic!r}"
+            )
+        self._data = data
+        self._offset = 4
+        count = self._u32()
+        self.strings: list[str] = []
+        for _ in range(count):
+            length = self._u32()
+            end = self._offset + length
+            self.strings.append(data[self._offset:end].decode("utf-8"))
+            self._offset = end
+
+    def _u32(self) -> int:
+        value = _HEADER.unpack_from(self._data, self._offset)[0]
+        self._offset += 4
+        return value
+
+    def section(self) -> bytes:
+        length = self._u32()
+        end = self._offset + length
+        payload = self._data[self._offset:end]
+        self._offset = end
+        return payload
+
+    def string_or_none(self, ref: int) -> str | None:
+        return None if ref == _NONE_REF else self.strings[ref]
+
+
+def _array_bytes(typecode: str, values: list) -> bytes:
+    return array(typecode, values).tobytes()
+
+
+def _read_array(typecode: str, payload: bytes) -> array:
+    values = array(typecode)
+    values.frombytes(payload)
+    return values
+
+
+# ----------------------------------------------------------------------
+# alerts
+# ----------------------------------------------------------------------
+_ALERT_STRING_FIELDS = (
+    "alert_id", "strategy_id", "strategy_name", "title", "description",
+    "service", "microservice", "region", "datacenter", "channel",
+)
+
+
+def _write_alert_block(writer: _Writer, alerts: Sequence[Alert]) -> None:
+    ref = writer.ref
+    columns: list[list[int]] = [[] for _ in _ALERT_STRING_FIELDS]
+    fault_refs: list[int] = []
+    severities = bytearray()
+    states = bytearray()
+    occurred: list[float] = []
+    cleared: list[float] = []
+    tags: list[int] = []  # flat (alert_index, key_ref, value_ref) triples
+    for index, alert in enumerate(alerts):
+        for column, name in zip(columns, _ALERT_STRING_FIELDS):
+            column.append(ref(getattr(alert, name)))
+        fault_refs.append(writer.ref_or_none(alert.fault_id))
+        severities.append(alert.severity.value)
+        states.append(_STATE_INDEX[alert.state])
+        occurred.append(alert.occurred_at)
+        cleared.append(_NO_TIME if alert.cleared_at is None else alert.cleared_at)
+        for key, value in alert.tags.items():
+            tags.extend((index, ref(key), ref(value)))
+    writer.section(_HEADER.pack(len(alerts)))
+    for column in columns:
+        writer.section(_array_bytes("I", column))
+    writer.section(_array_bytes("I", fault_refs))
+    writer.section(bytes(severities))
+    writer.section(bytes(states))
+    writer.section(_array_bytes("d", occurred))
+    writer.section(_array_bytes("d", cleared))
+    writer.section(_array_bytes("I", tags))
+
+
+def _read_alert_block(reader: _Reader) -> list[Alert]:
+    count = _HEADER.unpack(reader.section())[0]
+    strings = reader.strings
+    columns = [_read_array("I", reader.section()) for _ in _ALERT_STRING_FIELDS]
+    fault_refs = _read_array("I", reader.section())
+    severities = reader.section()
+    states = reader.section()
+    occurred = _read_array("d", reader.section())
+    cleared = _read_array("d", reader.section())
+    tag_triples = _read_array("I", reader.section())
+    tags_of: dict[int, dict[str, str]] = {}
+    for position in range(0, len(tag_triples), 3):
+        index, key_ref, value_ref = tag_triples[position:position + 3]
+        tags_of.setdefault(index, {})[strings[key_ref]] = strings[value_ref]
+    alerts: list[Alert] = []
+    append = alerts.append
+    ids, strategies, names, titles, descriptions, services, micros, \
+        regions, datacenters, channels = columns
+    tags_get = tags_of.get
+    for index in range(count):
+        cleared_at = cleared[index]
+        fault_ref = fault_refs[index]
+        # Positional in dataclass field order: the decode hot loop skips
+        # keyword-dict construction entirely.
+        append(Alert(
+            strings[ids[index]],
+            strings[strategies[index]],
+            strings[names[index]],
+            strings[titles[index]],
+            strings[descriptions[index]],
+            _SEVERITIES[severities[index]],
+            strings[services[index]],
+            strings[micros[index]],
+            strings[regions[index]],
+            strings[datacenters[index]],
+            strings[channels[index]],
+            occurred[index],
+            _STATES[states[index]],
+            None if cleared_at == _NO_TIME else cleared_at,
+            None if fault_ref == _NONE_REF else strings[fault_ref],
+            tags_get(index) or {},
+        ))
+    return alerts
+
+
+def pack_alerts(alerts: Sequence[Alert]) -> bytes:
+    """Encode one in-order alert batch for the worker pipe."""
+    writer = _Writer(_MAGIC_ALERTS)
+    _write_alert_block(writer, alerts)
+    return writer.finish()
+
+
+def unpack_alerts(data: bytes) -> list[Alert]:
+    """Decode a batch produced by :func:`pack_alerts`."""
+    return _read_alert_block(_Reader(data, _MAGIC_ALERTS))
+
+
+# ----------------------------------------------------------------------
+# aggregates (R2 snapshots shipped back at drain)
+# ----------------------------------------------------------------------
+_AGGREGATE_FIXED = struct.Struct("<IIIBddI")
+
+
+def pack_aggregates(aggregates: Sequence[AggregatedAlert]) -> bytes:
+    """Encode an aggregate snapshot; representatives share one alert block."""
+    writer = _Writer(_MAGIC_AGGREGATES)
+    _write_alert_block(writer, [a.representative for a in aggregates])
+    fixed = bytearray()
+    id_offsets: list[int] = []
+    id_refs: list[int] = []
+    for aggregate in aggregates:
+        fixed += _AGGREGATE_FIXED.pack(
+            writer.ref(aggregate.strategy_id),
+            writer.ref(aggregate.strategy_name),
+            writer.ref(aggregate.region),
+            aggregate.severity.value,
+            aggregate.window.start,
+            aggregate.window.end,
+            aggregate.count,
+        )
+        id_offsets.append(len(id_refs))
+        id_refs.extend(writer.ref(alert_id) for alert_id in aggregate.alert_ids)
+    id_offsets.append(len(id_refs))
+    writer.section(bytes(fixed))
+    writer.section(_array_bytes("I", id_offsets))
+    writer.section(_array_bytes("I", id_refs))
+    return writer.finish()
+
+
+def unpack_aggregates(data: bytes) -> list[AggregatedAlert]:
+    """Decode a snapshot produced by :func:`pack_aggregates`."""
+    reader = _Reader(data, _MAGIC_AGGREGATES)
+    representatives = _read_alert_block(reader)
+    fixed = reader.section()
+    id_offsets = _read_array("I", reader.section())
+    id_refs = _read_array("I", reader.section())
+    strings = reader.strings
+    aggregates: list[AggregatedAlert] = []
+    for index, row in enumerate(_AGGREGATE_FIXED.iter_unpack(fixed)):
+        strategy_ref, name_ref, region_ref, severity, start, end, count = row
+        ids = tuple(
+            strings[ref]
+            for ref in id_refs[id_offsets[index]:id_offsets[index + 1]]
+        )
+        aggregates.append(AggregatedAlert(
+            strategy_id=strings[strategy_ref],
+            strategy_name=strings[name_ref],
+            region=strings[region_ref],
+            severity=Severity(severity),
+            window=TimeWindow(start, end),
+            count=count,
+            representative=representatives[index],
+            alert_ids=ids,
+        ))
+    return aggregates
+
+
+# ----------------------------------------------------------------------
+# clusters (R3 snapshots shipped back at drain)
+# ----------------------------------------------------------------------
+_CLUSTER_FIXED = struct.Struct("<iId")
+
+
+def pack_clusters(clusters: Sequence[AlertCluster]) -> bytes:
+    """Encode a cluster snapshot; all member alerts share one alert block."""
+    writer = _Writer(_MAGIC_CLUSTERS)
+    members: list[Alert] = []
+    rows: list[tuple[int, str | None, float]] = []
+    offsets: list[int] = []
+    for cluster in clusters:
+        offsets.append(len(members))
+        root_index = -1
+        for position, alert in enumerate(cluster.alerts):
+            if alert is cluster.root_alert:
+                root_index = position
+        rows.append((
+            root_index,
+            cluster.root_microservice,
+            cluster.coverage,
+        ))
+        members.extend(cluster.alerts)
+    offsets.append(len(members))
+    _write_alert_block(writer, members)
+    fixed = bytearray()
+    for root_index, root_micro, coverage in rows:
+        fixed += _CLUSTER_FIXED.pack(
+            root_index, writer.ref_or_none(root_micro), coverage,
+        )
+    writer.section(bytes(fixed))
+    writer.section(_array_bytes("I", offsets))
+    return writer.finish()
+
+
+def unpack_clusters(data: bytes) -> list[AlertCluster]:
+    """Decode a snapshot produced by :func:`pack_clusters`."""
+    reader = _Reader(data, _MAGIC_CLUSTERS)
+    members = _read_alert_block(reader)
+    fixed = reader.section()
+    offsets = _read_array("I", reader.section())
+    clusters: list[AlertCluster] = []
+    for index, (root_index, micro_ref, coverage) in enumerate(
+        _CLUSTER_FIXED.iter_unpack(fixed)
+    ):
+        alerts = members[offsets[index]:offsets[index + 1]]
+        clusters.append(AlertCluster(
+            alerts=alerts,
+            root_alert=alerts[root_index] if root_index >= 0 else None,
+            root_microservice=reader.string_or_none(micro_ref),
+            coverage=coverage,
+        ))
+    return clusters

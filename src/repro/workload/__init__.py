@@ -17,7 +17,11 @@ The rate models are calibrated against the paper's aggregate numbers in
 
 from repro.workload.calibration import TraceScale
 from repro.workload.generator import TraceConfig, TraceGenerator, generate_trace
-from repro.workload.storms import StormConfig, build_representative_storm
+from repro.workload.storms import (
+    StormConfig,
+    build_multi_region_storm,
+    build_representative_storm,
+)
 from repro.workload.strategies import StrategyFactory, StrategyMixConfig
 from repro.workload.trace import AlertTrace
 
@@ -29,6 +33,7 @@ __all__ = [
     "generate_trace",
     "StormConfig",
     "build_representative_storm",
+    "build_multi_region_storm",
     "StrategyFactory",
     "StrategyMixConfig",
 ]

@@ -2,11 +2,12 @@
 
 Randomized alert traces (arbitrary strategies, regions, severities,
 bursts and gaps) must produce *identical* volume accounting no matter
-how the gateway executes: serial vs thread vs process backends, batched
-vs per-event ingestion, any flush size, and with or without a mid-stream
-rebalance.  Each property also cross-checks the batch
-``MitigationPipeline`` on the same trace — the reconciliation invariant
-under adversarial inputs rather than the curated storm fixture.
+how the gateway executes: serial vs thread vs process backends, any
+plane count (the region partition), batched vs per-event ingestion, any
+flush size, and with or without a mid-stream per-plane rebalance.  Each
+property also cross-checks the batch ``MitigationPipeline`` on the same
+trace — the reconciliation invariant under adversarial inputs rather
+than the curated storm fixture.
 """
 
 from __future__ import annotations
@@ -90,10 +91,10 @@ def _counts(stats) -> tuple:
 
 
 def _run(alerts, blocker, backend="serial", flush_size=None, n_shards=4,
-         per_event=False, rebalance_to=None, window=600.0):
+         n_planes=1, per_event=False, rebalance_to=None, window=600.0):
     gateway = AlertGateway(
-        _GRAPH, blocker=blocker, n_shards=n_shards, backend=backend,
-        n_workers=2, flush_size=flush_size,
+        _GRAPH, blocker=blocker, n_shards=n_shards, n_planes=n_planes,
+        backend=backend, n_workers=2, flush_size=flush_size,
         aggregation_window=window, correlation_window=window,
     )
     if rebalance_to is not None:
@@ -151,15 +152,77 @@ class TestBackendEquivalence:
         assert per_event.watermark == batched.watermark
         assert per_event.late_events == batched.late_events
 
-    @given(alert_traces(), blockers(), st.sampled_from([1, 3, 8]))
+    @given(alert_traces(), blockers(), st.sampled_from([1, 3, 8]),
+           st.sampled_from([1, 2]))
     @settings(max_examples=25, deadline=None)
     def test_rebalance_is_invisible_in_accounting(
-        self, alerts, blocker, new_shards
+        self, alerts, blocker, new_shards, n_planes
     ):
-        straight = _run(alerts, blocker, flush_size=16)
-        rebalanced = _run(alerts, blocker, flush_size=16,
+        straight = _run(alerts, blocker, flush_size=16, n_planes=n_planes)
+        rebalanced = _run(alerts, blocker, flush_size=16, n_planes=n_planes,
                           rebalance_to=new_shards)
         assert _counts(straight) == _counts(rebalanced)
+
+
+class TestPlaneEquivalence:
+    @given(alert_traces(), blockers(),
+           st.sampled_from([2, 4]),
+           st.sampled_from([1, 16, 128]))
+    @settings(max_examples=40, deadline=None)
+    def test_plane_split_equals_flat_gateway(
+        self, alerts, blocker, n_planes, flush_size
+    ):
+        """Any region partition must count exactly like one plane."""
+        flat = _run(alerts, blocker, flush_size=flush_size, n_planes=1)
+        split = _run(alerts, blocker, flush_size=flush_size, n_planes=n_planes)
+        assert _counts(flat) == _counts(split)
+        assert flat.watermark == split.watermark
+        assert flat.late_events == split.late_events
+
+    @given(alert_traces(), blockers(), st.sampled_from([2, 4]))
+    @settings(max_examples=30, deadline=None)
+    def test_plane_split_reconciles_with_batch_pipeline(
+        self, alerts, blocker, n_planes
+    ):
+        stats = _run(alerts, blocker, n_planes=n_planes, flush_size=32)
+        assert (
+            stats.input_alerts,
+            stats.blocked_alerts,
+            stats.aggregates_emitted,
+            stats.clusters_finalized,
+        ) == _batch_counts(alerts, blocker)
+
+    @given(alert_traces(), blockers(), st.sampled_from([2, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_planes_and_threads_count_identically(
+        self, alerts, blocker, n_planes
+    ):
+        serial = _run(alerts, blocker, "serial", flush_size=16,
+                      n_planes=n_planes)
+        threaded = _run(alerts, blocker, "thread", flush_size=16,
+                        n_planes=n_planes)
+        assert _counts(serial) == _counts(threaded)
+
+    @given(alert_traces(), blockers())
+    @settings(max_examples=5, deadline=None)
+    def test_planes_and_processes_count_identically(self, alerts, blocker):
+        serial = _run(alerts, blocker, "serial", flush_size=32, n_planes=2)
+        forked = _run(alerts, blocker, "process", flush_size=32, n_planes=2)
+        assert _counts(serial) == _counts(forked)
+
+    @given(alert_traces(), blockers(), st.sampled_from([2, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_per_plane_totals_partition_the_gateway_totals(
+        self, alerts, blocker, n_planes
+    ):
+        stats = _run(alerts, blocker, flush_size=16, n_planes=n_planes)
+        planes = stats.snapshot()["planes"]
+        assert sum(p["processed"] for p in planes) == stats.input_alerts
+        assert sum(p["blocked"] for p in planes) == stats.blocked_alerts
+        assert sum(p["aggregates"] for p in planes) == stats.aggregates_emitted
+        assert sum(p["clusters"] for p in planes) == stats.clusters_finalized
+        regions = [r for p in planes for r in p["regions"]]
+        assert len(regions) == len(set(regions))  # no region on two planes
 
 
 class TestBatchReconciliation:

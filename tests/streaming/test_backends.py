@@ -3,25 +3,27 @@
 The core correctness invariant of the streaming subsystem is that the
 gateway's end-of-run volume accounting reproduces the batch
 ``MitigationPipeline`` *exactly*.  This module pins that invariant
-across every execution backend, shard count, and flush size — including
-a consistent-hash rebalance in the middle of the stream — plus the
-mechanics the backends themselves must honour (session export/adopt,
-worker lifecycle, deterministic results).
+across every execution backend, plane count, shard count, and flush
+size — including a consistent-hash rebalance in the middle of the
+stream — plus the mechanics the plane backends themselves must honour
+(plane-local rebalance, worker lifecycle, deterministic results).
 """
 
 import pytest
 
 from repro.common.errors import ValidationError
 from repro.core.mitigation import MitigationPipeline
+from repro.core.mitigation.blocking import AlertBlocker
 from repro.core.mitigation.correlation import rulebook_from_ground_truth
 from repro.streaming import (
     AlertGateway,
-    ProcessBackend,
-    SerialBackend,
-    ThreadBackend,
+    PlaneConfig,
+    ProcessPlaneBackend,
+    SerialPlaneBackend,
+    ThreadPlaneBackend,
     make_backend,
 )
-from repro.core.mitigation.blocking import AlertBlocker
+from repro.topology.graph import DependencyGraph
 from tests.streaming.conftest import make_alert
 
 
@@ -45,31 +47,51 @@ def _gateway(setup, **kwargs):
     )
 
 
+def _plane_config(n_shards: int = 2, **overrides) -> PlaneConfig:
+    defaults = dict(
+        graph=DependencyGraph(),
+        blocker=AlertBlocker(),
+        rulebook=None,
+        n_shards=n_shards,
+        aggregation_window=900.0,
+        correlation_window=900.0,
+        correlation_max_hops=4,
+        enable_storm_detection=True,
+        retain_artifacts=False,
+        finalize_every=256,
+    )
+    defaults.update(overrides)
+    return PlaneConfig(**defaults)
+
+
 class TestBackendParity:
     @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("n_planes", [1, 2])
     @pytest.mark.parametrize("n_shards", [1, 4, 16])
     @pytest.mark.parametrize("flush_size", [1, 64, 512])
     def test_batched_ingestion_reconciles_exactly(
-        self, storm_setup, backend, n_shards, flush_size
+        self, storm_setup, backend, n_planes, n_shards, flush_size
     ):
         trace, _, _, _, report = storm_setup
         gateway = _gateway(
-            storm_setup, backend=backend, n_shards=n_shards,
-            flush_size=flush_size, n_workers=4,
+            storm_setup, backend=backend, n_planes=n_planes,
+            n_shards=n_shards, flush_size=flush_size, n_workers=4,
         )
         gateway.ingest_batch(trace.iter_ordered())
         stats = gateway.drain()
         assert stats.reconcile(report) == {}
         assert stats.total_reduction == pytest.approx(report.total_reduction)
 
-    @pytest.mark.parametrize("n_shards,n_workers", [(2, 2), (5, 2)])
+    @pytest.mark.parametrize("n_planes,n_shards,n_workers", [
+        (1, 2, 2), (2, 5, 2), (4, 2, 2),
+    ])
     def test_process_backend_reconciles_exactly(
-        self, storm_setup, n_shards, n_workers
+        self, storm_setup, n_planes, n_shards, n_workers
     ):
         trace, _, _, _, report = storm_setup
         gateway = _gateway(
-            storm_setup, backend="process", n_shards=n_shards,
-            n_workers=n_workers, flush_size=512,
+            storm_setup, backend="process", n_planes=n_planes,
+            n_shards=n_shards, n_workers=n_workers, flush_size=512,
         )
         gateway.ingest_batch(trace.iter_ordered())
         stats = gateway.drain()
@@ -77,19 +99,20 @@ class TestBackendParity:
 
     @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     @pytest.mark.parametrize("new_shards", [2, 8])
+    @pytest.mark.parametrize("n_planes", [1, 2])
     def test_rebalance_mid_stream_stays_exact(
-        self, storm_setup, backend, new_shards
+        self, storm_setup, backend, new_shards, n_planes
     ):
         trace, _, _, _, report = storm_setup
         gateway = _gateway(
-            storm_setup, backend=backend, n_shards=4, flush_size=256,
-            n_workers=2,
+            storm_setup, backend=backend, n_planes=n_planes, n_shards=4,
+            flush_size=256, n_workers=2,
         )
         alerts = list(trace.iter_ordered())
         midpoint = len(alerts) // 2
         gateway.ingest_batch(alerts[:midpoint])
         gateway.rebalance(new_shards)
-        assert gateway.router.n_shards == new_shards
+        assert gateway.n_shards == new_shards
         gateway.ingest_batch(alerts[midpoint:])
         stats = gateway.drain()
         assert stats.rebalances == 1
@@ -98,7 +121,7 @@ class TestBackendParity:
 
     def test_double_rebalance_stays_exact(self, storm_setup):
         trace, _, _, _, report = storm_setup
-        gateway = _gateway(storm_setup, n_shards=1, flush_size=128)
+        gateway = _gateway(storm_setup, n_planes=2, n_shards=1, flush_size=128)
         alerts = list(trace.iter_ordered())
         third = len(alerts) // 3
         gateway.ingest_batch(alerts[:third])
@@ -114,9 +137,9 @@ class TestBackendParity:
 class TestIngestionPaths:
     def test_ingest_batch_matches_per_event_ingest(self, storm_setup):
         trace = storm_setup[0]
-        per_event = _gateway(storm_setup, n_shards=4)
+        per_event = _gateway(storm_setup, n_planes=2, n_shards=4)
         per_event.ingest_many(trace.iter_ordered())
-        batched = _gateway(storm_setup, n_shards=4, flush_size=512)
+        batched = _gateway(storm_setup, n_planes=2, n_shards=4, flush_size=512)
         batched.ingest_batch(trace.iter_ordered())
         a, b = per_event.drain(), batched.drain()
         for field in ("input_alerts", "blocked_alerts", "aggregates_emitted",
@@ -189,25 +212,25 @@ class TestRebalanceMechanics:
     def test_rebalance_then_immediate_drain_keeps_sessions(
         self, small_topology, backend
     ):
-        """Open sessions adopted by never-flushed workers must still emit."""
-        gateway = AlertGateway(small_topology.graph, n_shards=2,
+        """Open sessions must survive a rebalance straight into a drain."""
+        gateway = AlertGateway(small_topology.graph, n_shards=2, n_planes=2,
                                backend=backend, n_workers=2)
         for index in range(3):
-            gateway.ingest(make_alert(100.0 + index, strategy_id=f"s-{index}"))
+            gateway.ingest(make_alert(100.0 + index, strategy_id=f"s-{index}",
+                                      region=f"region-{index % 2}"))
         gateway.rebalance(4)
         stats = gateway.drain()
         assert stats.aggregates_emitted == 3
 
-    def test_snapshot_sees_adopted_sessions_before_next_flush(
-        self, small_topology
-    ):
-        """The correlator horizon must include migrated-but-unflushed state."""
+    def test_rebalance_before_first_flush_takes_effect(self, small_topology):
+        """A never-started process backend re-shards its config, not workers."""
         gateway = AlertGateway(small_topology.graph, n_shards=2,
-                               backend="process", n_workers=2)
-        for index in range(3):
-            gateway.ingest(make_alert(100.0 + index, strategy_id=f"s-{index}"))
-        gateway.rebalance(4)
-        assert gateway.snapshot().open_sessions == 3
+                               backend="process", n_workers=2,
+                               flush_size=10_000)
+        gateway.rebalance(5)
+        gateway.ingest(make_alert(1.0))
+        snapshot = gateway.snapshot()
+        assert snapshot.planes[0].n_shards == 5
         gateway.drain()
 
     def test_rebalance_after_drain_rejected(self, small_topology):
@@ -216,64 +239,84 @@ class TestRebalanceMechanics:
         with pytest.raises(ValidationError):
             gateway.rebalance(4)
 
+    def test_process_backend_rejects_worker_resize(self, small_topology):
+        gateway = AlertGateway(small_topology.graph, n_planes=2, n_shards=2,
+                               backend="process", n_workers=2)
+        gateway.ingest(make_alert(1.0))
+        with pytest.raises(ValidationError, match="worker count"):
+            gateway.rebalance(4, n_workers=4)
+        gateway.drain()
+
+    def test_thread_backend_resizes_workers(self, small_topology):
+        gateway = AlertGateway(small_topology.graph, n_planes=4, n_shards=2,
+                               backend="thread", n_workers=2)
+        gateway.ingest(make_alert(1.0))
+        gateway.rebalance(2, n_workers=3)
+        assert gateway.stats.n_workers == 3
+        gateway.drain()
+
 
 class TestBackendMechanics:
     def test_factory_rejects_unknown_backend(self):
         with pytest.raises(ValidationError, match="unknown backend"):
-            make_backend("gpu", n_shards=2, blocker=AlertBlocker())
+            make_backend("gpu", n_planes=2, config=_plane_config())
 
     def test_factory_builds_each_backend(self):
-        blocker = AlertBlocker()
-        assert isinstance(make_backend("serial", 2, blocker), SerialBackend)
-        assert isinstance(make_backend("thread", 2, blocker), ThreadBackend)
-        process = make_backend("process", 2, blocker)
-        assert isinstance(process, ProcessBackend)
+        config = _plane_config()
+        assert isinstance(make_backend("serial", 2, config), SerialPlaneBackend)
+        assert isinstance(make_backend("thread", 2, config), ThreadPlaneBackend)
+        process = make_backend("process", 2, config)
+        assert isinstance(process, ProcessPlaneBackend)
         process.close()
 
-    def test_worker_pools_clamp_to_shard_count(self):
-        blocker = AlertBlocker()
-        thread = make_backend("thread", 2, blocker, n_workers=8)
+    def test_worker_pools_clamp_to_plane_count(self):
+        config = _plane_config()
+        thread = make_backend("thread", 2, config, n_workers=8)
         assert thread.n_workers == 2
-        process = make_backend("process", 3, blocker, n_workers=8)
+        process = make_backend("process", 3, config, n_workers=8)
         assert process.n_workers == 3
         process.close()
 
     def test_process_backend_spawns_lazily_and_closes(self):
-        backend = ProcessBackend(4, AlertBlocker(), n_workers=2)
+        backend = ProcessPlaneBackend(2, _plane_config(), n_workers=2)
         assert backend._workers is None  # nothing spawned yet
-        backend.process_batches([(0, [make_alert(1.0)])])
+        backend.flush([(0, [make_alert(1.0)], 1)], 1.0)
         assert backend._workers is not None
         assert all(worker.is_alive() for worker in backend._workers)
         backend.close()
         assert backend._workers is None
         with pytest.raises(ValidationError):
-            backend.process_batches([(0, [make_alert(2.0)])])
+            backend.flush([(0, [make_alert(2.0)], 0)], 2.0)
 
     def test_process_backend_counts_match_serial(self):
         alerts = [
-            make_alert(float(i) * 30.0, strategy_id=f"s-{i % 5}")
+            make_alert(float(i) * 30.0, strategy_id=f"s-{i % 5}",
+                       region=f"region-{i % 3}")
             for i in range(200)
         ]
-        batches = [(i % 3, []) for i in range(3)]
-        for index, alert in enumerate(alerts):
-            batches[index % 3][1].append(alert)
-        serial = SerialBackend(3, AlertBlocker())
-        process = ProcessBackend(3, AlertBlocker(), n_workers=2)
+        batches = [(i, [], 0) for i in range(3)]
+        for alert in alerts:
+            batches[int(alert.region[-1])][1].append(alert)
+        serial = SerialPlaneBackend(3, _plane_config())
+        process = ProcessPlaneBackend(3, _plane_config(), n_workers=2)
         try:
             serial_results = {
-                r.shard_id: r for r in serial.process_batches(batches)
+                r.plane_id: r for r in serial.flush(batches, alerts[-1].occurred_at)
             }
             process_results = {
-                r.shard_id: r for r in process.process_batches(batches)
+                r.plane_id: r for r in process.flush(batches, alerts[-1].occurred_at)
             }
             assert serial_results.keys() == process_results.keys()
-            for shard, expected in serial_results.items():
-                actual = process_results[shard]
-                assert actual.processed == expected.processed
-                assert actual.blocked == expected.blocked
-                assert len(actual.emitted) == len(expected.emitted)
-                assert actual.open_sessions == expected.open_sessions
-                assert actual.min_open_first == expected.min_open_first
+            for plane, expected in serial_results.items():
+                actual = process_results[plane]
+                for field in ("processed", "blocked", "aggregates", "clusters",
+                              "storm_episodes", "emerging_flags",
+                              "open_sessions", "active_components",
+                              "retained_representatives"):
+                    assert getattr(actual, field) == getattr(expected, field), field
+                # the wire strips emitted objects; counts already compared
+                assert actual.emitted is None
+                assert expected.emitted is not None
         finally:
             process.close()
 
@@ -281,8 +324,8 @@ class TestBackendMechanics:
         trace = storm_setup[0]
         counts = set()
         for _ in range(2):
-            gateway = _gateway(storm_setup, backend="thread", n_shards=8,
-                               flush_size=256, n_workers=4)
+            gateway = _gateway(storm_setup, backend="thread", n_planes=2,
+                               n_shards=8, flush_size=256, n_workers=4)
             gateway.ingest_batch(trace.iter_ordered())
             stats = gateway.drain()
             counts.add((stats.blocked_alerts, stats.aggregates_emitted,
@@ -294,4 +337,9 @@ class TestBackendMechanics:
                                backend="process", n_workers=2)
         with pytest.raises(ValidationError, match="worker processes"):
             gateway.processors
+        gateway.drain()
+
+    def test_processors_flatten_across_planes(self, small_topology):
+        gateway = AlertGateway(small_topology.graph, n_planes=3, n_shards=2)
+        assert len(gateway.processors) == 6
         gateway.drain()

@@ -110,6 +110,76 @@ class TestStreamingBehaviour:
         assert stats.late_events == 1
         assert stats.input_alerts == 2
 
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_snapshot_after_drain_keeps_final_accounting(
+        self, small_topology, backend
+    ):
+        """Post-drain snapshots must report the frozen totals, not zeros."""
+        gateway = AlertGateway(small_topology.graph, n_shards=2, n_planes=2,
+                               backend=backend, n_workers=2, flush_size=16)
+        gateway.ingest_batch([
+            make_alert(float(i) * 10.0, strategy_id=f"s-{i % 4}",
+                       region=("rA", "rB")[i % 2])
+            for i in range(64)
+        ])
+        stats = gateway.drain()
+        assert stats.aggregates_emitted > 0
+        snapshot = gateway.snapshot()
+        assert snapshot.input_alerts == 64
+        assert snapshot.aggregates_emitted == stats.aggregates_emitted
+        assert snapshot.clusters_finalized == stats.clusters_finalized
+        assert sum(p.processed for p in snapshot.planes) == 64
+        # and the stats object itself must not have been clobbered
+        assert stats.aggregates_emitted == snapshot.aggregates_emitted
+
+    def test_ingest_batch_stays_consistent_when_source_raises(
+        self, small_topology
+    ):
+        """A source that dies mid-iteration must not desync the accounting."""
+        gateway = AlertGateway(small_topology.graph, n_shards=2,
+                               flush_size=1000)
+
+        def flaky_source():
+            for index in range(25):
+                yield make_alert(float(index), strategy_id=f"s-{index % 3}")
+            raise IOError("malformed line")
+
+        with pytest.raises(IOError):
+            gateway.ingest_batch(flaky_source())
+        assert gateway.stats.input_alerts == 25
+        stats = gateway.drain()
+        # everything buffered before the failure is processed and counted
+        assert stats.input_alerts == 25
+        assert sum(p["processed"] for p in stats.planes.values()) == 25
+        assert sum(a.count for a in gateway.aggregates) == 25
+
+    def test_backend_failure_mid_flush_leaves_buffers_consistent(
+        self, small_topology
+    ):
+        """A backend that raises during a flush must not leave a phantom
+        buffered count behind (the next flush would record ghost events)."""
+        gateway = AlertGateway(small_topology.graph, n_shards=2, flush_size=10)
+
+        original_flush = gateway._backend.flush
+        calls = []
+
+        def failing_flush(batches, watermark):
+            if not calls:
+                calls.append(1)
+                raise RuntimeError("worker died")
+            return original_flush(batches, watermark)
+
+        gateway._backend.flush = failing_flush
+        with pytest.raises(RuntimeError):
+            gateway.ingest_batch(
+                [make_alert(float(i)) for i in range(10)]
+            )
+        assert gateway._buffered == 0
+        assert all(not buffer for buffer in gateway._buffers)
+        flushes_after_failure = gateway.stats.flushes
+        gateway.drain()  # nothing pending: must not count a phantom flush
+        assert gateway.stats.flushes == flushes_after_failure
+
 
 class TestSimulationDriver:
     def test_periodic_process_drives_gateway(self, storm_trace):

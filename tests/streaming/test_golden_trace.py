@@ -8,8 +8,9 @@ session boundaries, R3 evidence or finalisation, R4 thresholds, JSONL
 round-tripping — fails here before it can silently alter every other
 result in the repo.
 
-The expectations apply to *every* execution backend and to the batch
-pipeline, so the file also guards streaming/batch parity itself.
+The expectations apply to *every* execution backend and plane count and
+to the batch pipeline, so the file also guards streaming/batch parity —
+and plane-partitioning exactness — itself.
 
 Regenerate (after an intentional semantics change, with review):
 
@@ -101,8 +102,12 @@ class TestGoldenTrace:
     @pytest.mark.parametrize("backend,kwargs", [
         ("serial", {}),
         ("serial", {"flush_size": 64}),
+        ("serial", {"flush_size": 64, "n_planes": 2}),
+        ("serial", {"n_planes": 4}),
         ("thread", {"flush_size": 64, "n_workers": 2}),
+        ("thread", {"flush_size": 64, "n_workers": 2, "n_planes": 2}),
         ("process", {"flush_size": 64, "n_workers": 2}),
+        ("process", {"flush_size": 64, "n_workers": 2, "n_planes": 2}),
     ])
     def test_gateway_counts_are_frozen(self, expected, alerts, backend, kwargs):
         stats = _run_gateway(alerts, backend, **kwargs)

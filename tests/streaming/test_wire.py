@@ -1,0 +1,99 @@
+"""Round-trip tests for the struct-packed process-backend wire format."""
+
+import pickle
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.mitigation import MitigationPipeline
+from repro.streaming import (
+    iter_jsonl_alerts,
+    pack_aggregates,
+    pack_alerts,
+    pack_clusters,
+    unpack_aggregates,
+    unpack_alerts,
+    unpack_clusters,
+)
+from repro.workload.trace import AlertTrace
+from tests.streaming.conftest import make_alert
+from tests.streaming.test_golden_trace import (
+    TRACE_PATH,
+    WINDOW,
+    golden_blocker,
+    golden_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def golden_alerts():
+    return list(iter_jsonl_alerts(TRACE_PATH))
+
+
+class TestAlertRoundTrip:
+    def test_empty_batch(self):
+        assert unpack_alerts(pack_alerts([])) == []
+
+    def test_golden_trace_round_trips_exactly(self, golden_alerts):
+        assert unpack_alerts(pack_alerts(golden_alerts)) == golden_alerts
+
+    def test_optional_fields_survive(self):
+        active = make_alert(5.0, cleared_after=None)  # still ACTIVE
+        active.fault_id = "fault-0007"
+        active.tags = {"team": "edge", "ünïcode": "✓ value"}
+        cleared = make_alert(10.0, cleared_after=3.5)
+        batch = [active, cleared]
+        decoded = unpack_alerts(pack_alerts(batch))
+        assert decoded == batch
+        assert decoded[0].cleared_at is None
+        assert decoded[0].fault_id == "fault-0007"
+        assert decoded[0].tags["ünïcode"] == "✓ value"
+        assert decoded[1].cleared_at == pytest.approx(13.5)
+
+    def test_dictionary_encoding_beats_pickle_on_repetitive_batches(
+        self, golden_alerts
+    ):
+        packed = pack_alerts(golden_alerts)
+        assert len(packed) < len(pickle.dumps(golden_alerts))
+
+    def test_magic_mismatch_rejected(self, golden_alerts):
+        blob = pack_alerts(golden_alerts[:3])
+        with pytest.raises(ValidationError, match="magic"):
+            unpack_aggregates(blob)
+
+
+class TestSnapshotRoundTrip:
+    @pytest.fixture(scope="class")
+    def report(self, golden_alerts):
+        trace = AlertTrace(alerts=list(golden_alerts), label="wire", seed=0)
+        return MitigationPipeline(
+            golden_graph(), aggregation_window=WINDOW, correlation_window=WINDOW,
+        ).run(trace, blocker=golden_blocker())
+
+    def test_aggregates_round_trip_exactly(self, report):
+        aggregates = report.aggregates
+        assert len(aggregates) > 0
+        assert unpack_aggregates(pack_aggregates(aggregates)) == aggregates
+
+    def test_empty_aggregates(self):
+        assert unpack_aggregates(pack_aggregates([])) == []
+
+    def test_clusters_round_trip(self, report):
+        clusters = report.clusters
+        assert len(clusters) > 0
+        decoded = unpack_clusters(pack_clusters(clusters))
+        assert len(decoded) == len(clusters)
+        for restored, original in zip(decoded, clusters):
+            assert restored.alerts == original.alerts
+            assert restored.root_microservice == original.root_microservice
+            assert restored.coverage == original.coverage
+            # root identity is positional: the restored root must be the
+            # same member, not a stray copy
+            if original.root_alert is not None:
+                assert restored.root_alert == original.root_alert
+                assert restored.root_alert is restored.alerts[
+                    original.alerts.index(original.root_alert)
+                ]
+
+    def test_empty_clusters(self):
+        assert unpack_clusters(pack_clusters([])) == []

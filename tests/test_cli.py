@@ -51,10 +51,19 @@ class TestAnalyses:
 
     def test_stream_thread_backend_reconciles(self, trace_dir, capsys):
         assert main(["stream", "--trace", str(trace_dir), "--backend", "thread",
-                     "--workers", "2", "--flush-size", "256",
+                     "--planes", "2", "--workers", "2", "--flush-size", "256",
                      "--reconcile"]) == 0
         out = capsys.readouterr().out
         assert "thread x2 workers" in out
+        assert "matches batch pipeline exactly" in out
+        assert "per-plane accounting:" in out
+        assert "plane 1 [" in out
+
+    def test_stream_planes_reconcile(self, trace_dir, capsys):
+        assert main(["stream", "--trace", str(trace_dir), "--planes", "3",
+                     "--reconcile"]) == 0
+        out = capsys.readouterr().out
+        assert "planes:                     3" in out
         assert "matches batch pipeline exactly" in out
 
     def test_stream_rebalance_midway_reconciles(self, trace_dir, capsys):
