@@ -29,8 +29,9 @@ from repro.core.antipatterns import run_mining_pipeline
 from repro.core.governance import GuidelineChecker
 from repro.core.mitigation import MitigationPipeline, rulebook_from_ground_truth
 from repro.core.qoa import evaluate_qoa_pipeline
+from repro.core.mitigation.blocking import AlertBlocker
 from repro.io import load_trace, save_trace
-from repro.streaming import BACKEND_NAMES, AlertGateway
+from repro.streaming import BACKEND_NAMES, AlertGateway, rule_set_divergence
 from repro.oce.survey import (
     IMPACT_OPTIONS,
     REACTION_OPTIONS,
@@ -119,8 +120,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="aggregation/correlation window in seconds")
     stream.add_argument("--rebalance-to", type=int, default=None,
                         help="re-shard to this count halfway through the stream")
+    stream.add_argument("--learn-rules", action="store_true",
+                        help="learn R1 blocking rules online from streaming "
+                             "A4/A5 detection instead of batch derivation")
+    stream.add_argument("--qoa", action="store_true",
+                        help="score per-strategy alert quality live from "
+                             "gateway counters")
     stream.add_argument("--reconcile", action="store_true",
-                        help="also run the batch pipeline and verify exact parity")
+                        help="also run the batch pipeline and verify exact "
+                             "parity (with --learn-rules: report the "
+                             "online-vs-batch rule divergence instead)")
 
     storm = sub.add_parser("storm", help="regenerate the Figure 3 storm")
     storm.add_argument("--seed", type=int, default=42)
@@ -182,7 +191,10 @@ def _cmd_mitigate(args) -> int:
 def _cmd_stream(args) -> int:
     trace, topology = _load(args)
     rulebook = rulebook_from_ground_truth(trace, coverage=0.6, seed=trace.seed)
-    blocker = MitigationPipeline.derive_blocker(trace)
+    # With online learning the gateway starts from an *empty* rule table
+    # and derives its own; otherwise it consumes the batch-derived rules.
+    batch_blocker = MitigationPipeline.derive_blocker(trace)
+    blocker = AlertBlocker() if args.learn_rules else batch_blocker
     gateway = AlertGateway(
         topology.graph,
         blocker=blocker,
@@ -195,6 +207,8 @@ def _cmd_stream(args) -> int:
         aggregation_window=args.window,
         correlation_window=args.window,
         retain_artifacts=False,
+        learn_rules=args.learn_rules,
+        enable_qoa=args.qoa,
     )
     if args.rebalance_to is not None:
         alerts = list(trace.iter_ordered())
@@ -212,7 +226,24 @@ def _cmd_stream(args) -> int:
             rulebook=rulebook,
             aggregation_window=args.window,
             correlation_window=args.window,
-        ).run(trace, blocker=blocker)
+        ).run(trace, blocker=batch_blocker)
+        if args.learn_rules:
+            # Online-learned rules legitimately diverge from batch-derived
+            # ones; quantify instead of demanding equality.
+            divergence = rule_set_divergence(
+                gateway.learner.ever_promoted,
+                {rule.strategy_id for rule in batch_blocker.rules},
+            )
+            delta = stats.blocked_alerts - report.blocked_alerts
+            print(
+                f"divergence vs batch-derived rules: "
+                f"precision {divergence['precision']:.2f}  "
+                f"recall {divergence['recall']:.2f}  "
+                f"blocked-volume delta {delta:+,} "
+                f"({stats.blocked_alerts:,} online vs "
+                f"{report.blocked_alerts:,} batch)"
+            )
+            return 0
         mismatches = stats.reconcile(report)
         if mismatches:
             for stage, (online, batch) in mismatches.items():

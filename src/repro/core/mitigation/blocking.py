@@ -104,6 +104,48 @@ class AlertBlocker:
         self._rules.append(rule)
         self._index(rule)
 
+    def add_rules(self, rules: Iterable[BlockingRule]) -> None:
+        """Register several additional rules."""
+        for rule in rules:
+            self.add(rule)
+
+    def remove_rule(self, rule: BlockingRule) -> bool:
+        """Remove one specific rule (field equality); returns success.
+
+        The online learner retires *its own* rules this way — a
+        strategy may also carry operator-configured rules, which must
+        survive the learned rule's expiry or demotion.
+        """
+        rules = self._by_strategy.get(rule.strategy_id)
+        if not rules or rule not in rules:
+            return False
+        rules.remove(rule)
+        self._rules.remove(rule)
+        if not rules:
+            del self._by_strategy[rule.strategy_id]
+        if rule.region is None and rule.expires_at is None and not any(
+            r.region is None and r.expires_at is None for r in rules
+        ):
+            self._unconditional.discard(rule.strategy_id)
+        return True
+
+    def remove_strategy(self, strategy_id: str) -> int:
+        """Drop every rule targeting ``strategy_id``; returns the count.
+
+        This is the retirement half of the online rule life cycle: the
+        streaming learner promotes rules with a TTL and *removes* them on
+        expiry or precision decay.  Removing an already-expired rule is
+        accounting-neutral — :meth:`BlockingRule.matches` stops blocking
+        at ``expires_at`` regardless — but keeps the rule table (and the
+        per-event scan) from growing without bound.
+        """
+        dropped = self._by_strategy.pop(strategy_id, None)
+        if not dropped:
+            return 0
+        self._rules = [r for r in self._rules if r.strategy_id != strategy_id]
+        self._unconditional.discard(strategy_id)
+        return len(dropped)
+
     @property
     def ruled_strategies(self) -> frozenset[str]:
         """Strategies at least one rule targets.

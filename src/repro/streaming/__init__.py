@@ -50,6 +50,14 @@ from repro.streaming.correlator import OnlineCorrelator
 from repro.streaming.dedup import OnlineAggregator, OpenSession
 from repro.streaming.driver import drive_gateway
 from repro.streaming.gateway import AlertGateway, GatewaySnapshot
+from repro.streaming.learning import (
+    LearnerConfig,
+    OnlineRuleLearner,
+    RuleDelta,
+    RuleEvent,
+    rule_set_divergence,
+)
+from repro.streaming.qoa import StreamQoA, StreamQoAScorer, measure_stream_qoa
 from repro.streaming.plane import (
     PlaneConfig,
     PlaneDrainResult,
@@ -95,6 +103,14 @@ __all__ = [
     "OnlineAggregator",
     "OpenSession",
     "OnlineCorrelator",
+    "LearnerConfig",
+    "OnlineRuleLearner",
+    "RuleDelta",
+    "RuleEvent",
+    "rule_set_divergence",
+    "StreamQoA",
+    "StreamQoAScorer",
+    "measure_stream_qoa",
     "OnlineStormDetector",
     "StormEpisode",
     "EmergingSignal",

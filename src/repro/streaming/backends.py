@@ -45,14 +45,17 @@ from repro.streaming.plane import (
     PlaneSnapshot,
     RegionPlane,
 )
+from repro.streaming.learning import RuleDelta
 from repro.streaming.processor import StreamProcessor
 from repro.streaming.wire import (
     pack_aggregates,
     pack_alerts,
     pack_clusters,
+    pack_rules,
     unpack_aggregates,
     unpack_alerts,
     unpack_clusters,
+    unpack_rules,
 )
 
 __all__ = [
@@ -101,6 +104,15 @@ class PlaneBackend(Protocol):
         """Re-shard every plane onto ``n_shards`` shards, live."""
         ...
 
+    def apply_rules(self, delta: RuleDelta) -> None:
+        """Apply a learned R1 rule delta to every plane's blocker.
+
+        Called between flush barriers only, so the rule table every
+        plane sees is constant within a flush and changes at the same
+        stream position on every backend.
+        """
+        ...
+
     def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
         """Flush all open plane state; the backend stays closeable only."""
         ...
@@ -121,6 +133,7 @@ class SerialPlaneBackend:
 
     def __init__(self, n_planes: int, config: PlaneConfig) -> None:
         require_positive(n_planes, "n_planes")
+        self._config = config
         self.planes = _build_planes(n_planes, config)
 
     @property
@@ -147,6 +160,11 @@ class SerialPlaneBackend:
         require_positive(n_shards, "n_shards")
         for plane in self.planes:
             plane.rebalance(n_shards)
+
+    def apply_rules(self, delta: RuleDelta) -> None:
+        # Every in-process plane shares the one configured blocker, so a
+        # single application covers them all.
+        delta.apply_to(self._config.blocker)
 
     def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
         return [plane.drain(watermark) for plane in self.planes]
@@ -231,6 +249,12 @@ def _plane_worker_loop(connection, plane_ids, config: PlaneConfig) -> None:
             elif kind == "rebalance":
                 for plane in planes.values():
                     plane.rebalance(payload)
+                connection.send(("ok", None))
+            elif kind == "rules":
+                added_blob, removed_blob = payload
+                for rule in unpack_rules(removed_blob):
+                    config.blocker.remove_rule(rule)
+                config.blocker.add_rules(unpack_rules(added_blob))
                 connection.send(("ok", None))
             elif kind == "drain":
                 replies = []
@@ -369,6 +393,21 @@ class ProcessPlaneBackend:
             return
         worker_ids = list(range(self.n_workers))
         self._roundtrip(worker_ids, [("rebalance", n_shards)] * self.n_workers)
+
+    def apply_rules(self, delta: RuleDelta) -> None:
+        """Ship a learned rule delta to every worker's shared blocker.
+
+        Additions travel wire-packed (:func:`~repro.streaming.wire.pack_rules`);
+        removals are bare strategy ids.  Before the workers exist the
+        delta lands on the spawn-time config, so late-born planes start
+        with the current table.
+        """
+        if self._workers is None:
+            delta.apply_to(self._config.blocker)
+            return
+        message = ("rules", (pack_rules(delta.added), pack_rules(delta.removed)))
+        worker_ids = list(range(self.n_workers))
+        self._roundtrip(worker_ids, [message] * self.n_workers)
 
     def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
         if self._workers is None:

@@ -37,6 +37,17 @@ across each plane's rebuilt consistent-hash ring without leaving the
 plane (or its worker process), so no window state is lost and no state
 crosses the wire.
 
+With ``learn_rules=True`` the gateway also *derives* its R1 rules
+online: planes report per-flush observation digests, the
+:class:`~repro.streaming.learning.OnlineRuleLearner` promotes/renews/
+demotes TTL'd blocking rules from streaming A4/A5 detection, and rule
+deltas ship to the backend at flush barriers — identical learned
+timelines on every backend.  ``enable_qoa=True`` scores per-strategy
+alert quality incrementally from the same digests
+(:class:`~repro.streaming.qoa.StreamQoAScorer`), frozen into
+``stats.qoa`` at drain.  Both are off by default and cost nothing when
+off.
+
 On an in-order stream the end-of-run volume accounting (blocked,
 aggregates, clusters) is *exactly* the batch pipeline's — the
 reconciliation invariant ``GatewayStats.reconcile`` checks, for every
@@ -62,8 +73,10 @@ from repro.core.mitigation.aggregation import AggregatedAlert
 from repro.core.mitigation.blocking import AlertBlocker
 from repro.core.mitigation.correlation import AlertCluster, DependencyRuleBook
 from repro.streaming.backends import PlaneBackend, make_backend
+from repro.streaming.learning import LearnerConfig, OnlineRuleLearner
 from repro.streaming.plane import PlaneConfig, PlaneSnapshot
 from repro.streaming.processor import StreamProcessor
+from repro.streaming.qoa import StreamQoAScorer
 from repro.streaming.routing import PlaneRouter
 from repro.streaming.stats import GatewayStats
 from repro.streaming.storm import DEFAULT_WARMUP_ALERTS
@@ -125,6 +138,9 @@ class AlertGateway:
         n_workers: int | None = None,
         flush_size: int | None = None,
         flush_interval: float | None = None,
+        learn_rules: bool = False,
+        learner_config: LearnerConfig | None = None,
+        enable_qoa: bool = False,
     ) -> None:
         require_positive(n_planes, "n_planes")
         require_positive(finalize_every, "finalize_every")
@@ -133,6 +149,10 @@ class AlertGateway:
         if flush_interval is not None:
             require_positive(flush_interval, "flush_interval")
         self._blocker = blocker or AlertBlocker()
+        self.learner = (
+            OnlineRuleLearner(learner_config) if learn_rules else None
+        )
+        self.qoa = StreamQoAScorer() if enable_qoa else None
         self._config = PlaneConfig(
             graph=graph,
             blocker=self._blocker,
@@ -144,6 +164,7 @@ class AlertGateway:
             enable_storm_detection=enable_storm_detection,
             retain_artifacts=retain_artifacts,
             finalize_every=int(finalize_every),
+            collect_observations=learn_rules or enable_qoa,
         )
         self._backend_name = backend
         self._plane_router = PlaneRouter(n_planes)
@@ -172,6 +193,8 @@ class AlertGateway:
             backend=backend,
             n_workers=getattr(self._backend, "n_workers", 1),
             flush_size=self._flush_size,
+            learning=learn_rules,
+            qoa_enabled=enable_qoa,
         )
         self.aggregates: list[AggregatedAlert] = []
         self.clusters: list[AlertCluster] = []
@@ -313,6 +336,22 @@ class AlertGateway:
                 key=lambda a: (a.window.start, a.strategy_id, a.region)
             )
             self.clusters.sort(key=lambda c: (c.alerts[0].occurred_at, -c.size))
+        if self._config.collect_observations:
+            # The drain flush closes the last R2 sessions; their groups
+            # must land in the QoA counters before scores freeze.
+            if self.qoa is not None:
+                self.qoa.observe(self._gather_observations(results))
+            if self.learner is not None:
+                # Retiring the learned rules restores the caller's
+                # blocker to its configured rule set.
+                delta = self.learner.finish(
+                    self.stats.watermark, self.stats.input_alerts,
+                )
+                if delta:
+                    self._backend.apply_rules(delta)
+                self.stats.set_learner_counters(self.learner.counters())
+            if self.qoa is not None:
+                self.stats.qoa = self.qoa.snapshot()
         self._refresh_totals()
         self.stats.mark_finished()
         self._drained = True
@@ -484,12 +523,43 @@ class AlertGateway:
             self._set_plane_counters(result.plane_id, result.counters())
             if result.emitted:
                 emitted_all.extend(result.emitted)
+        if self._config.collect_observations:
+            self._learn(self._gather_observations(results))
         stats.flushes += 1
         self._last_flush_watermark = stats.watermark
         self._refresh_totals()
         if observe_latency:
             stats.observe_flush(time.perf_counter() - started, flushed)
         return emitted_all
+
+    @staticmethod
+    def _gather_observations(results) -> list[tuple]:
+        """Concatenate per-plane digests in plane order (deterministic)."""
+        return [
+            row
+            for result in results
+            if result.observations
+            for row in result.observations
+        ]
+
+    def _learn(self, observations: list[tuple]) -> None:
+        """One learning/scoring step at a flush boundary.
+
+        The learner's rule delta is applied to the backend *now*, before
+        any further flush — so the rules a flush taught start blocking at
+        the identical stream position on every backend.
+        """
+        if self.qoa is not None:
+            self.qoa.observe(observations)
+        learner = self.learner
+        if learner is not None:
+            stats = self.stats
+            delta = learner.observe(
+                observations, stats.watermark, stats.input_alerts,
+            )
+            if delta:
+                self._backend.apply_rules(delta)
+            stats.set_learner_counters(learner.counters())
 
     def _set_plane_counters(self, plane_id: int, counters: dict) -> None:
         counters["plane_id"] = plane_id

@@ -1,0 +1,401 @@
+"""Online R1 rule learning: streaming A4/A5 detection drives the blocker.
+
+The batch pipeline derives blocking rules once, from a finished trace
+(:meth:`~repro.core.mitigation.pipeline.MitigationPipeline.derive_blocker`).
+In production the alert population drifts: strategies turn noisy, get
+fixed, and turn noisy again — so the rules must be *learned while the
+stream runs* and retired when their evidence fades, the "when to
+invalidate these rules" problem the paper's §IV raises.
+
+:class:`OnlineRuleLearner` closes that loop at the gateway:
+
+* every flush cycle, the planes report **observation digests** — per
+  ``(strategy, region)`` counts of alerts seen, R1-blocked, and transient
+  (short-lived auto-cleared) events, computed over the *pre-blocking*
+  stream so the learner's evidence is independent of its own rules;
+* the learner folds digests into per-key sliding windows and runs the
+  streaming analogues of the A4 (transient/toggling) and A5 (repeating)
+  noise detectors over them;
+* strategies crossing a promotion threshold become live
+  :class:`~repro.core.mitigation.blocking.BlockingRule` entries with a
+  TTL (``expires_at = watermark + ttl``); every flush the evidence
+  persists, the rule is **renewed** (its expiry pushed out), so a rule
+  stays live exactly as long as its noise does, plus one TTL;
+* rules whose strategy goes *clean* while still under observation are
+  **demoted** (removed before expiry — precision decay); rules whose
+  strategy merely goes quiet age out at their ``expires_at``.
+
+The learner emits a :class:`RuleDelta` per flush; the gateway ships it
+to the execution backend, which applies it to every plane's blocker
+before the next flush — so the rule a flush learns first blocks alerts
+in the flush after it, at the identical stream position on every
+backend.  Every promotion/renewal/demotion/expiry is recorded as a
+:class:`RuleEvent` with its stream position (``at_input``), which makes
+the whole learned timeline replayable: applying the recorded deltas to a
+plain batch :class:`AlertBlocker` at the recorded positions reproduces
+the gateway's blocked count exactly (the property
+``tests/properties/test_prop_learning.py`` pins down).
+
+Renewal is unconditional (every flush with evidence), which is what
+makes rule lifetime *monotone in TTL*: a rule is live at time ``t`` iff
+some evidence flush ``d <= t`` exists with ``t < d + ttl`` and no
+demotion signal in between — so a larger TTL can only grow the set of
+blocked alerts, never shrink it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.validation import require_fraction, require_positive
+from repro.core.mitigation.blocking import AlertBlocker, BlockingRule
+
+__all__ = [
+    "LearnerConfig",
+    "Observation",
+    "RuleEvent",
+    "RuleDelta",
+    "OnlineRuleLearner",
+    "rule_set_divergence",
+]
+
+#: One plane-reported observation row:
+#: ``(strategy_id, region, seen, blocked, transient, groups)`` — counts
+#: over one flush batch, ``seen``/``transient`` measured *before* R1.
+Observation = tuple[str, str, int, int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class LearnerConfig:
+    """Thresholds of the streaming A4/A5 noise detectors.
+
+    The promotion thresholds are deliberately *stricter* than the batch
+    detectors' (:class:`~repro.core.antipatterns.base.DetectorThresholds`
+    flags transient share >= 0.30 and 8-alert repeats): the online
+    learner judges a sliding window, not a finished trace, so it trades
+    recall for precision — the differential harness holds it to >= 0.9
+    precision against the batch-derived rule set on stationary noise.
+    """
+
+    #: Sliding observation window (seconds of event time).
+    window_seconds: float = 3600.0
+    #: Minimum window volume before a strategy is judged at all.
+    min_alerts: int = 20
+    #: A4 promotion: transient share of the strategy's window volume.
+    transient_fraction: float = 0.5
+    #: A5 promotion: alerts of one (strategy, region) within the window.
+    repeat_count: int = 30
+    #: Rule time-to-live (event-time seconds past the promoting flush).
+    rule_ttl: float = 4 * 3600.0
+    #: Demotion: a live rule's strategy whose noisy-evidence score falls
+    #: below this *fraction of promotion grade* — while still producing
+    #: ``min_alerts``, so the verdict is evidence-of-clean, not absence
+    #: of data — is retired before its TTL.  A strategy still repeating
+    #: in one region scores at least ``min_alerts / repeat_count``, so
+    #: ambiguous single-region volume is left to TTL expiry instead.
+    demote_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        require_positive(self.window_seconds, "window_seconds")
+        require_positive(self.min_alerts, "min_alerts")
+        require_fraction(self.transient_fraction, "transient_fraction")
+        require_positive(self.repeat_count, "repeat_count")
+        require_positive(self.rule_ttl, "rule_ttl")
+        require_fraction(self.demote_fraction, "demote_fraction")
+
+
+@dataclass(frozen=True, slots=True)
+class RuleEvent:
+    """One entry of the learned-rule timeline (the reviewable audit log)."""
+
+    kind: str                     # promote | renew | demote | expire
+    strategy_id: str
+    at_input: int                 # gateway input_alerts when the delta applied
+    at_time: float                # watermark at the learning flush
+    expires_at: float | None      # rule expiry after this event (None = gone)
+    reason: str = ""
+
+    _KINDS = ("promote", "renew", "demote", "expire")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValidationError(f"kind must be one of {self._KINDS}, got {self.kind!r}")
+
+
+@dataclass(slots=True)
+class RuleDelta:
+    """Rule-table changes of one learning step (shipped to the planes).
+
+    ``removed`` holds the learner's *exact* retiring rule objects, not
+    strategy ids: a strategy may also carry operator-configured rules,
+    which must survive a learned rule's renewal, demotion, or expiry.
+    """
+
+    added: list[BlockingRule] = field(default_factory=list)
+    removed: list[BlockingRule] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def apply_to(self, blocker: AlertBlocker) -> None:
+        """Apply this delta to a blocker (removals first: renew = replace)."""
+        for rule in self.removed:
+            blocker.remove_rule(rule)
+        blocker.add_rules(self.added)
+
+
+@dataclass(slots=True)
+class _KeyWindow:
+    """Sliding per-(strategy, region) counters: (time, seen, transient)."""
+
+    entries: list[tuple[float, int, int]] = field(default_factory=list)
+    seen: int = 0
+    transient: int = 0
+
+    def add(self, at: float, seen: int, transient: int) -> None:
+        self.entries.append((at, seen, transient))
+        self.seen += seen
+        self.transient += transient
+
+    def prune(self, horizon: float) -> None:
+        entries = self.entries
+        drop = 0
+        for at, seen, transient in entries:
+            if at >= horizon:
+                break
+            self.seen -= seen
+            self.transient -= transient
+            drop += 1
+        if drop:
+            del entries[:drop]
+
+
+class OnlineRuleLearner:
+    """Sliding-window A4/A5 detection promoting live R1 blocking rules."""
+
+    def __init__(self, config: LearnerConfig | None = None) -> None:
+        self.config = config or LearnerConfig()
+        #: strategy -> region -> sliding window.  Strategy-major so one
+        #: strategy's evidence is an O(its regions) lookup, and emptied
+        #: windows are evicted, bounding memory to keys active within
+        #: one window on the unbounded stream.
+        self._windows: dict[str, dict[str, _KeyWindow]] = {}
+        #: Live learned rules by strategy (the learner's intended table).
+        self._live: dict[str, BlockingRule] = {}
+        self.events: list[RuleEvent] = []
+        self.promoted = 0
+        self.renewed = 0
+        self.demoted = 0
+        self.expired = 0
+        #: Every strategy ever promoted (the differential harness compares
+        #: this set against the batch-derived rule set).
+        self.ever_promoted: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_rules(self) -> list[BlockingRule]:
+        """The currently-live learned rules (deterministic order)."""
+        return [self._live[strategy] for strategy in sorted(self._live)]
+
+    @property
+    def active_rules(self) -> int:
+        """Number of live learned rules."""
+        return len(self._live)
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime learner accounting (feeds ``GatewayStats``)."""
+        return {
+            "rules_promoted": self.promoted,
+            "rules_renewed": self.renewed,
+            "rules_demoted": self.demoted,
+            "rules_expired": self.expired,
+            "rules_active": self.active_rules,
+        }
+
+    # ------------------------------------------------------------------
+    # the learning step
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        observations: list[Observation],
+        watermark: float | None,
+        at_input: int,
+    ) -> RuleDelta:
+        """Fold one flush cycle's digests and return the rule delta.
+
+        ``observations`` must arrive in a deterministic order (the
+        gateway sorts flush results by plane id; within a plane the
+        digest preserves batch order) — the learner itself iterates keys
+        sorted, so the emitted delta is identical on every backend.
+        ``at_input`` is the gateway's input count at this flush boundary,
+        recorded on every event so the timeline is replayable.
+        """
+        if watermark is None:
+            return RuleDelta()
+        config = self.config
+        windows = self._windows
+        touched: set[str] = set()
+        for strategy_id, region, seen, _blocked, transient, _groups in observations:
+            regions = windows.get(strategy_id)
+            if regions is None:
+                windows[strategy_id] = regions = {}
+            window = regions.get(region)
+            if window is None:
+                regions[region] = window = _KeyWindow()
+            window.add(watermark, seen, transient)
+            touched.add(strategy_id)
+        horizon = watermark - config.window_seconds
+        for strategy_id in list(windows):
+            regions = windows[strategy_id]
+            for region in list(regions):
+                window = regions[region]
+                window.prune(horizon)
+                if not window.entries:
+                    del regions[region]
+            if not regions:
+                del windows[strategy_id]
+
+        delta = RuleDelta()
+        # Judge every strategy with a live rule plus everything touched
+        # this flush — sorted, so event order is deterministic.
+        for strategy_id in sorted(touched | set(self._live)):
+            self._judge(strategy_id, watermark, at_input, delta)
+        return delta
+
+    def finish(self, watermark: float | None, at_input: int) -> RuleDelta:
+        """Expire every live rule at end of stream (drain bookkeeping)."""
+        delta = RuleDelta()
+        for strategy_id in sorted(self._live):
+            rule = self._live.pop(strategy_id)
+            self.expired += 1
+            delta.removed.append(rule)
+            self.events.append(RuleEvent(
+                kind="expire", strategy_id=strategy_id, at_input=at_input,
+                at_time=watermark if watermark is not None else rule.expires_at or 0.0,
+                expires_at=None, reason="stream drained",
+            ))
+        return delta
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _evidence(self, strategy_id: str) -> tuple[float, int, str]:
+        """(noisy score, window volume, evidence text) for one strategy.
+
+        The score is the max of the A4 signal (transient share) and the
+        A5 signal (peak per-region window count over the repeat
+        threshold), both in [0, ~]; >= 1.0 means a promotion threshold
+        was crossed.  Computed purely from pre-R1 observations, so it is
+        independent of the learner's own rules (and of their TTL).
+        """
+        config = self.config
+        seen = 0
+        transient = 0
+        peak_region = 0
+        for window in self._windows.get(strategy_id, {}).values():
+            seen += window.seen
+            transient += window.transient
+            if window.seen > peak_region:
+                peak_region = window.seen
+        if seen == 0:
+            return 0.0, 0, "no window volume"
+        transient_share = transient / seen
+        a4 = transient_share / config.transient_fraction
+        a5 = peak_region / config.repeat_count
+        if a4 >= a5:
+            evidence = f"A4: transient share {transient_share:.0%} of {seen} in window"
+        else:
+            evidence = f"A5: {peak_region} alerts of one region in window"
+        return max(a4, a5), seen, evidence
+
+    def _judge(
+        self, strategy_id: str, watermark: float, at_input: int, delta: RuleDelta,
+    ) -> None:
+        config = self.config
+        live = self._live.get(strategy_id)
+        score, seen, evidence = self._evidence(strategy_id)
+        noisy = seen >= config.min_alerts and score >= 1.0
+
+        if live is not None and live.expires_at is not None and (
+            live.expires_at <= watermark
+        ) and not noisy:
+            # Aged out: the strategy went quiet and the TTL ran down.
+            del self._live[strategy_id]
+            self.expired += 1
+            delta.removed.append(live)
+            self.events.append(RuleEvent(
+                kind="expire", strategy_id=strategy_id, at_input=at_input,
+                at_time=watermark, expires_at=None,
+                reason=f"TTL elapsed at {live.expires_at:.0f}",
+            ))
+            return
+
+        if noisy:
+            rule = BlockingRule(
+                strategy_id=strategy_id,
+                reason=f"learned {evidence}",
+                expires_at=watermark + config.rule_ttl,
+            )
+            if live is None:
+                self._live[strategy_id] = rule
+                self.promoted += 1
+                self.ever_promoted.add(strategy_id)
+                delta.added.append(rule)
+                self.events.append(RuleEvent(
+                    kind="promote", strategy_id=strategy_id, at_input=at_input,
+                    at_time=watermark, expires_at=rule.expires_at,
+                    reason=evidence,
+                ))
+            else:
+                # Unconditional renewal: expiry tracks the latest evidence,
+                # which is what keeps rule lifetime monotone in TTL.
+                self._live[strategy_id] = rule
+                self.renewed += 1
+                delta.removed.append(live)
+                delta.added.append(rule)
+                self.events.append(RuleEvent(
+                    kind="renew", strategy_id=strategy_id, at_input=at_input,
+                    at_time=watermark, expires_at=rule.expires_at,
+                    reason=evidence,
+                ))
+            return
+
+        if live is not None and seen >= config.min_alerts and (
+            score < config.demote_fraction
+        ):
+            # Precision decay: the strategy is alerting plenty but the
+            # noise evidence is gone — blocking it now drops real signal.
+            del self._live[strategy_id]
+            self.demoted += 1
+            delta.removed.append(live)
+            self.events.append(RuleEvent(
+                kind="demote", strategy_id=strategy_id, at_input=at_input,
+                at_time=watermark, expires_at=None,
+                reason=f"noise score {score:.2f} below "
+                       f"{config.demote_fraction} on {seen} window alerts",
+            ))
+
+
+def rule_set_divergence(
+    learned: set[str], batch: set[str],
+) -> dict[str, float]:
+    """Precision/recall of the learned strategy set against the batch set.
+
+    The differential harness's headline numbers: precision is the share
+    of online-promoted strategies the batch detectors would also flag;
+    recall is the share of batch-flagged strategies the online learner
+    found.
+    """
+    # Vacuous precision: no promotions means no false positives.
+    precision = len(learned & batch) / len(learned) if learned else 1.0
+    recall = 1.0 if not batch else len(learned & batch) / len(batch)
+    return {
+        "learned_rules": float(len(learned)),
+        "batch_rules": float(len(batch)),
+        "agreeing_rules": float(len(learned & batch)),
+        "precision": precision,
+        "recall": recall,
+    }

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.alerting.alert import Alert
+from repro.core.antipatterns.base import DetectorThresholds
 from repro.core.mitigation.aggregation import AggregatedAlert
 from repro.core.mitigation.blocking import AlertBlocker
 from repro.core.mitigation.correlation import (
@@ -74,6 +75,15 @@ class PlaneConfig:
     enable_storm_detection: bool
     retain_artifacts: bool
     finalize_every: int
+    #: When set, every flush reports per-(strategy, region) observation
+    #: digests (seen/blocked/transient/groups) for the gateway's rule
+    #: learner and QoA scorer.  Off by default: the plain gateway path
+    #: pays nothing and its accounting stays bit-identical.
+    collect_observations: bool = False
+    #: A4 transient cut-off used when digesting — defaulted from the
+    #: batch detectors' single source of truth so streaming evidence and
+    #: batch A4/QoA can never silently disagree.
+    intermittent_threshold: float = DetectorThresholds().intermittent_threshold
 
 
 @dataclass(slots=True)
@@ -94,6 +104,11 @@ class PlaneFlushResult:
     #: live objects; the process backend strips this to ``None`` so flush
     #: replies stay a fixed-size tuple of counters on the wire.
     emitted: list[AggregatedAlert] | None = None
+    #: Per-(strategy, region) observation digests of this flush batch —
+    #: ``(strategy_id, region, seen, blocked, transient, groups)`` rows,
+    #: in deterministic batch order.  ``None`` unless the plane was
+    #: configured with ``collect_observations``.
+    observations: list[tuple] | None = None
 
     def counters(self) -> dict[str, int]:
         """The accounting fields as a plain dict (stats/snapshot payload)."""
@@ -141,6 +156,9 @@ class PlaneDrainResult:
     emerging_flags: int
     retained_aggregates: list[AggregatedAlert] = field(default_factory=list)
     retained_clusters: list[AlertCluster] = field(default_factory=list)
+    #: Observation digests of the drain flush (aggregates closed by the
+    #: final session sweep, so the QoA group counts stay exact).
+    observations: list[tuple] | None = None
 
     def counters(self) -> dict[str, int]:
         """The accounting fields as a plain dict (stats/snapshot payload)."""
@@ -155,6 +173,31 @@ class PlaneDrainResult:
             "active_components": 0,
             "retained_representatives": 0,
         }
+
+
+def _count_groups(
+    digest: dict[tuple[str, str], list[int]],
+    emitted: list[AggregatedAlert],
+) -> None:
+    """Fold emitted R2 aggregates into a digest's ``groups`` column.
+
+    Aggregates may close for keys absent from the current batch (their
+    sessions opened flushes ago), so missing rows are created on demand.
+    """
+    for aggregate in emitted:
+        key = (aggregate.strategy_id, aggregate.region)
+        row = digest.get(key)
+        if row is None:
+            digest[key] = row = [0, 0, 0, 0]
+        row[3] += 1
+
+
+def _digest_rows(digest: dict[tuple[str, str], list[int]]) -> list[tuple]:
+    """Flatten a digest dict into deterministic observation rows."""
+    return [
+        (strategy, region, row[0], row[1], row[2], row[3])
+        for (strategy, region), row in digest.items()
+    ]
 
 
 class RegionPlane:
@@ -270,6 +313,7 @@ class RegionPlane:
         """
         if self._detector is not None:
             self._detector.ingest_batch(alerts, in_warmup)
+        digest = self._digest(alerts) if self._config.collect_observations else None
         # Level-2 routing: partition the in-order run into per-shard
         # batches.  Strategies are pinned to the shard their first alert
         # hashes to, so sessions never straddle shards even when titles
@@ -308,6 +352,8 @@ class RegionPlane:
         if self._since_finalize >= self._config.finalize_every and watermark is not None:
             self._since_finalize = 0
             self._finalize_ready(watermark)
+        if digest is not None:
+            _count_groups(digest, emitted_all)
         return PlaneFlushResult(
             plane_id=self.plane_id,
             processed=self.processed,
@@ -320,7 +366,35 @@ class RegionPlane:
             active_components=correlator.active_components,
             retained_representatives=correlator.retained,
             emitted=emitted_all,
+            observations=_digest_rows(digest) if digest is not None else None,
         )
+
+    def _digest(self, alerts: list[Alert]) -> dict[tuple[str, str], list[int]]:
+        """Per-(strategy, region) seen/blocked/transient over one batch.
+
+        Measured on the *pre-R1* stream: the learner's evidence must not
+        depend on its own blocking decisions.  The blocked count re-tests
+        the shared blocker — identical rules to the shard pass, because
+        rule deltas only ever land between flushes — and skips the scan
+        entirely for unruled strategies, mirroring the shard fast path.
+        """
+        blocker = self._config.blocker
+        ruled = blocker.ruled_strategies
+        is_blocked = blocker.is_blocked
+        threshold = self._config.intermittent_threshold
+        digest: dict[tuple[str, str], list[int]] = {}
+        for alert in alerts:
+            strategy = alert.strategy_id
+            key = (strategy, alert.region)
+            row = digest.get(key)
+            if row is None:
+                digest[key] = row = [0, 0, 0, 0]
+            row[0] += 1
+            if strategy in ruled and is_blocked(alert):
+                row[1] += 1
+            if alert.is_transient(threshold):
+                row[2] += 1
+        return digest
 
     def _finalize_ready(self, watermark: float) -> None:
         """Close correlation components no future representative can join."""
@@ -379,6 +453,11 @@ class RegionPlane:
             self.clusters.extend(clusters)
         if self._detector is not None and watermark is not None:
             self._detector.finish(watermark)
+        observations = None
+        if self._config.collect_observations:
+            digest: dict[tuple[str, str], list[int]] = {}
+            _count_groups(digest, emitted_all)
+            observations = _digest_rows(digest)
         return PlaneDrainResult(
             plane_id=self.plane_id,
             processed=self.processed,
@@ -389,4 +468,5 @@ class RegionPlane:
             emerging_flags=self.emerging_flags,
             retained_aggregates=self.aggregates,
             retained_clusters=self.clusters,
+            observations=observations,
         )

@@ -43,6 +43,17 @@ class GatewayStats:
     flushes: int = 0
     rebalances: int = 0
     watermark: float | None = None
+    #: Online R1 rule learning (``AlertGateway(learn_rules=True)``).
+    learning: bool = False
+    rules_promoted: int = 0
+    rules_renewed: int = 0
+    rules_demoted: int = 0
+    rules_expired: int = 0
+    rules_active: int = 0
+    #: Streaming QoA (``AlertGateway(enable_qoa=True)``): per-strategy
+    #: score dicts, frozen at drain (live scores via ``gateway.qoa``).
+    qoa_enabled: bool = False
+    qoa: dict[str, dict] | None = None
     #: Per-plane accounting as plain dicts (``plane_id`` → counters +
     #: ``regions``), refreshed from plane flush/drain results.
     planes: dict[int, dict] = field(default_factory=dict)
@@ -98,6 +109,14 @@ class GatewayStats:
         if self.finished_wall is None:
             self.finished_wall = time.perf_counter()
 
+    def set_learner_counters(self, counters: dict[str, int]) -> None:
+        """Adopt the rule learner's lifetime accounting (per flush)."""
+        self.rules_promoted = counters["rules_promoted"]
+        self.rules_renewed = counters["rules_renewed"]
+        self.rules_demoted = counters["rules_demoted"]
+        self.rules_expired = counters["rules_expired"]
+        self.rules_active = counters["rules_active"]
+
     # -- reporting ------------------------------------------------------
     def reconcile(self, report: MitigationReport) -> dict[str, tuple[int, int]]:
         """Stage-by-stage (gateway, batch) counts that disagree.
@@ -136,7 +155,36 @@ class GatewayStats:
             "planes": [
                 dict(self.planes[plane_id]) for plane_id in sorted(self.planes)
             ],
+            "learner": {
+                "enabled": self.learning,
+                "rules_promoted": self.rules_promoted,
+                "rules_renewed": self.rules_renewed,
+                "rules_demoted": self.rules_demoted,
+                "rules_expired": self.rules_expired,
+                "rules_active": self.rules_active,
+            },
+            "qoa": dict(self.qoa) if self.qoa is not None else None,
         }
+
+    def render_qoa(self, limit: int = 5, min_alerts: int = 5) -> str:
+        """The lowest-scoring strategies, one line each (drain snapshot)."""
+        if not self.qoa:
+            return "  (no QoA scores recorded)"
+        scored = [
+            (strategy_id, row) for strategy_id, row in self.qoa.items()
+            if row["seen"] >= min_alerts
+        ]
+        scored.sort(key=lambda item: (item[1]["overall"], item[0]))
+        lines = []
+        for strategy_id, row in scored[:limit]:
+            lines.append(
+                f"  {strategy_id:<24} overall {row['overall']:.2f}  "
+                f"coverage {row['coverage']:.2f}  "
+                f"actionable {row['actionability']:.2f}  "
+                f"distinct {row['distinctness']:.2f}  "
+                f"({row['seen']:,.0f} alerts)"
+            )
+        return "\n".join(lines)
 
     def render_planes(self) -> str:
         """One line per execution plane (regions and volume accounting)."""
@@ -173,6 +221,16 @@ class GatewayStats:
             f"latency p50/p99:     {self.latency.quantile(0.50) * 1e6:>7.1f} / "
             f"{self.latency.quantile(0.99) * 1e6:.1f} us",
         ]
+        if self.learning:
+            lines.append(
+                f"learned R1 rules:    {self.rules_promoted:>8,} promoted  "
+                f"({self.rules_renewed:,} renewals, {self.rules_demoted:,} "
+                f"demoted, {self.rules_expired:,} expired; "
+                f"{self.rules_active:,} live)"
+            )
+        if self.qoa:
+            lines.append("streaming QoA (worst strategies):")
+            lines.append(self.render_qoa())
         if self.n_planes > 1 and self.planes:
             lines.append("per-plane accounting:")
             lines.append(self.render_planes())

@@ -31,6 +31,7 @@ from repro.alerting.alert import Alert, AlertState, Severity
 from repro.common.errors import ValidationError
 from repro.common.timeutil import TimeWindow
 from repro.core.mitigation.aggregation import AggregatedAlert
+from repro.core.mitigation.blocking import BlockingRule
 from repro.core.mitigation.correlation import AlertCluster
 
 __all__ = [
@@ -40,11 +41,14 @@ __all__ = [
     "unpack_aggregates",
     "pack_clusters",
     "unpack_clusters",
+    "pack_rules",
+    "unpack_rules",
 ]
 
 _MAGIC_ALERTS = b"RWA1"
 _MAGIC_AGGREGATES = b"RWG1"
 _MAGIC_CLUSTERS = b"RWC1"
+_MAGIC_RULES = b"RWR1"
 
 #: u32 sentinel for "no string" (optional fields like ``fault_id``).
 _NONE_REF = 0xFFFFFFFF
@@ -347,3 +351,41 @@ def unpack_clusters(data: bytes) -> list[AlertCluster]:
             coverage=coverage,
         ))
     return clusters
+
+
+# ----------------------------------------------------------------------
+# blocking rules (R1 rule deltas shipped to plane workers)
+# ----------------------------------------------------------------------
+_RULE_FIXED = struct.Struct("<IIId")
+
+
+def pack_rules(rules: Sequence[BlockingRule]) -> bytes:
+    """Encode an R1 rule table (learner deltas crossing the worker pipe)."""
+    writer = _Writer(_MAGIC_RULES)
+    fixed = bytearray()
+    for rule in rules:
+        fixed += _RULE_FIXED.pack(
+            writer.ref(rule.strategy_id),
+            writer.ref_or_none(rule.region),
+            writer.ref(rule.reason),
+            _NO_TIME if rule.expires_at is None else rule.expires_at,
+        )
+    writer.section(bytes(fixed))
+    return writer.finish()
+
+
+def unpack_rules(data: bytes) -> list[BlockingRule]:
+    """Decode a rule table produced by :func:`pack_rules`."""
+    reader = _Reader(data, _MAGIC_RULES)
+    strings = reader.strings
+    rules: list[BlockingRule] = []
+    for strategy_ref, region_ref, reason_ref, expires_at in (
+        _RULE_FIXED.iter_unpack(reader.section())
+    ):
+        rules.append(BlockingRule(
+            strategy_id=strings[strategy_ref],
+            region=None if region_ref == _NONE_REF else strings[region_ref],
+            reason=strings[reason_ref],
+            expires_at=None if expires_at == _NO_TIME else expires_at,
+        ))
+    return rules

@@ -16,6 +16,7 @@ The rate models are calibrated against the paper's aggregate numbers in
 """
 
 from repro.workload.calibration import TraceScale
+from repro.workload.drift import DriftConfig, build_drifting_noise_trace, drift_graph
 from repro.workload.generator import TraceConfig, TraceGenerator, generate_trace
 from repro.workload.storms import (
     StormConfig,
@@ -34,6 +35,9 @@ __all__ = [
     "StormConfig",
     "build_representative_storm",
     "build_multi_region_storm",
+    "DriftConfig",
+    "build_drifting_noise_trace",
+    "drift_graph",
     "StrategyFactory",
     "StrategyMixConfig",
 ]

@@ -1,0 +1,191 @@
+"""Drifting-noise traces: the workload online rule learning exists for.
+
+The batch pipeline derives blocking rules from a finished trace, which
+silently assumes the noisy-strategy population is *stationary*.  It is
+not: strategies turn noisy, get fixed, and new ones take their place —
+the drift AlertGuardian (arXiv:2601.14912) identifies as the reason
+rule life-cycle management must be online.  This module builds
+deterministic traces with exactly that structure:
+
+* **clean** strategies: sparse, manually-cleared, long-lived alerts in
+  every region — the signal no rule must ever block;
+* **A4 flappers**: rapid-fire transient alerts (auto-cleared in
+  seconds), spread over every region;
+* **A5 repeaters**: chronic repeats of one strategy in one region at a
+  rate well past the repeat threshold but *below* the flood threshold,
+  so the batch A5 detector judges them outside storm-hour exclusions.
+
+In **stationary** mode (``drift=False``) one noisy population runs the
+whole trace — both the batch detectors and the online learner should
+converge on the same rule set, which is what the differential harness's
+precision bound checks.  In **drifting** mode the phase-A population
+goes quiet at half-time and a fresh phase-B population starts up: a
+batch pass over the full trace underweights the short-lived repeaters,
+while the online learner promotes phase-B rules as they appear and
+retires phase-A rules behind them — the divergence the harness
+quantifies.
+
+Alert rates are budgeted to stay below the 100/hour/region flood
+threshold, so R4 storms and the A5 storm-hour exclusion never trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alerting.alert import Alert, AlertState, Severity
+from repro.common.errors import ValidationError
+from repro.common.rng import derive_rng
+from repro.common.timeutil import HOUR, MINUTE
+from repro.common.validation import require_positive
+from repro.topology.graph import DependencyGraph
+from repro.workload.trace import AlertTrace
+
+__all__ = ["DriftConfig", "build_drifting_noise_trace", "drift_graph"]
+
+
+@dataclass(frozen=True, slots=True)
+class DriftConfig:
+    """Shape of a drifting-noise trace."""
+
+    seed: int = 42
+    hours: float = 8.0
+    regions: tuple[str, ...] = ("region-A", "region-B")
+    #: Steady high-quality strategies (never rule-worthy).
+    n_clean: int = 6
+    #: A4-shaped transient flappers per noisy phase.
+    n_flappers: int = 3
+    #: A5-shaped chronic repeaters per noisy phase (one region each).
+    n_repeaters: int = 2
+    #: When set, the noisy population swaps at half-time (phase A -> B).
+    drift: bool = False
+    #: Mean seconds between one clean strategy's alerts per region.
+    clean_interval: float = 1800.0
+    #: Mean seconds between one flapper's alerts per region (~12/hour).
+    flapper_interval: float = 300.0
+    #: Mean seconds between one repeater's alerts (~36/hour, sub-flood).
+    repeater_interval: float = 100.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.hours, "hours")
+        require_positive(self.n_clean, "n_clean")
+        require_positive(self.n_flappers, "n_flappers")
+        require_positive(self.n_repeaters, "n_repeaters")
+        require_positive(self.clean_interval, "clean_interval")
+        require_positive(self.flapper_interval, "flapper_interval")
+        require_positive(self.repeater_interval, "repeater_interval")
+        if not self.regions:
+            raise ValidationError("need at least one region")
+
+    @property
+    def duration(self) -> float:
+        """Trace length in seconds."""
+        return self.hours * HOUR
+
+
+def drift_graph(config: DriftConfig | None = None) -> DependencyGraph:
+    """The small fixed topology the drift traces alert on.
+
+    One microservice per strategy slot, with clean services chained so
+    R3 has something to correlate; noisy services stay isolated.
+    """
+    config = config or DriftConfig()
+    graph = DependencyGraph()
+    names = [f"m-clean-{i}" for i in range(config.n_clean)]
+    for phase in ("a", "b"):
+        names += [f"m-flap-{phase}-{i}" for i in range(config.n_flappers)]
+        names += [f"m-rep-{phase}-{i}" for i in range(config.n_repeaters)]
+    for name in names:
+        graph.add_microservice(name, service="svc-drift")
+    for caller, callee in zip(names[: config.n_clean - 1],
+                              names[1: config.n_clean]):
+        graph.add_dependency(caller, callee)
+    return graph
+
+
+def build_drifting_noise_trace(config: DriftConfig | None = None) -> AlertTrace:
+    """Build the stationary or drifting noise trace described above."""
+    config = config or DriftConfig()
+    rng = derive_rng(config.seed, "drift-noise")
+    duration = config.duration
+    half = duration / 2.0
+    label = "drifting-noise" if config.drift else "stationary-noise"
+    trace = AlertTrace(seed=config.seed, label=label)
+    alerts = trace.alerts
+    counter = 0
+
+    def emit(strategy: str, micro: str, region: str, at: float,
+             cleared_after: float | None, manual: bool,
+             severity: Severity) -> None:
+        nonlocal counter
+        alert = Alert(
+            alert_id=f"drift-{counter:06d}",
+            strategy_id=strategy,
+            strategy_name=strategy.replace("-", "_"),
+            title=f"{micro}: {strategy} signal deviation",
+            description="drifting-noise workload event",
+            severity=severity,
+            service="svc-drift",
+            microservice=micro,
+            region=region,
+            datacenter=f"{region}-dc1",
+            channel="metric",
+            occurred_at=round(at, 3),
+        )
+        counter += 1
+        if cleared_after is not None:
+            alert.state = (
+                AlertState.CLEARED_MANUAL if manual else AlertState.CLEARED_AUTO
+            )
+            alert.cleared_at = alert.occurred_at + cleared_after
+        alerts.append(alert)
+
+    def cadence(start: float, end: float, interval: float) -> list[float]:
+        times = []
+        t = start + float(rng.uniform(0.0, interval))
+        while t < end:
+            times.append(t)
+            t += interval * float(rng.uniform(0.7, 1.3))
+        return times
+
+    # Clean background: the whole trace, every region, manual clears with
+    # half-hour-scale durations — unambiguously not A4/A5 material.
+    for index in range(config.n_clean):
+        strategy = f"s-clean-{index}"
+        micro = f"m-clean-{index}"
+        for region in config.regions:
+            for at in cadence(0.0, duration, config.clean_interval):
+                emit(strategy, micro, region, at,
+                     cleared_after=float(rng.uniform(20 * MINUTE, 60 * MINUTE)),
+                     manual=True, severity=Severity.MAJOR)
+
+    def noisy_phase(phase: str, start: float, end: float) -> None:
+        # A4 flappers: transient (auto-cleared well under the 10-minute
+        # intermittent threshold) in every region.
+        for index in range(config.n_flappers):
+            strategy = f"s-flap-{phase}-{index}"
+            micro = f"m-flap-{phase}-{index}"
+            for region in config.regions:
+                for at in cadence(start, end, config.flapper_interval):
+                    emit(strategy, micro, region, at,
+                         cleared_after=float(rng.uniform(10.0, 60.0)),
+                         manual=False, severity=Severity.WARNING)
+        # A5 repeaters: chronic same-strategy repeats, pinned to one
+        # region each; long auto-clear keeps them out of A4's definition.
+        for index in range(config.n_repeaters):
+            strategy = f"s-rep-{phase}-{index}"
+            micro = f"m-rep-{phase}-{index}"
+            region = config.regions[index % len(config.regions)]
+            for at in cadence(start, end, config.repeater_interval):
+                emit(strategy, micro, region, at,
+                     cleared_after=float(rng.uniform(20 * MINUTE, 40 * MINUTE)),
+                     manual=False, severity=Severity.MINOR)
+
+    if config.drift:
+        noisy_phase("a", 0.0, half)
+        noisy_phase("b", half, duration)
+    else:
+        noisy_phase("a", 0.0, duration)
+
+    trace.sort()
+    return trace

@@ -1,24 +1,52 @@
-"""Fast-mode smoke test for the streaming throughput benchmark.
+"""Fast-mode smoke tests for the streaming benchmarks.
 
 ``benchmarks/`` is outside the tier-1 test paths, so without this the
 perf scripts could bit-rot silently.  This drives the same importable
-sweep helpers the benchmark uses — every backend and plane config,
-exact parity asserted inside — plus the plane-parallel-beats-
+sweep helpers the benchmarks use — every backend, plane, and learning
+config, exact parity asserted inside — plus the plane-parallel-beats-
 gateway-serial comparison on a multi-region storm trace, without the
-strict timing assertions (those stay in the benchmark, where the
-machine is quiet).
+strict timing assertions (those stay in the benchmarks, where the
+machine is quiet).  A sweep that yields *zero* samples skips with an
+explicit reason instead of passing vacuously.
 """
 
 import pytest
 
 from repro.core.mitigation import MitigationPipeline
 from repro.core.mitigation.correlation import rulebook_from_ground_truth
-from repro.workload import StormConfig, build_multi_region_storm
+from repro.workload import (
+    DriftConfig,
+    StormConfig,
+    build_drifting_noise_trace,
+    build_multi_region_storm,
+    drift_graph,
+)
 
 bench = pytest.importorskip(
     "benchmarks.bench_streaming_throughput",
     reason="benchmarks/ must be importable from the repo root",
 )
+learning_bench = pytest.importorskip(
+    "benchmarks.bench_online_learning",
+    reason="benchmarks/ must be importable from the repo root",
+)
+
+
+def _require_samples(measurements: dict, what: str) -> None:
+    """Refuse to vacuously pass an empty sweep.
+
+    A sweep that yields zero throughput samples means the benchmark's
+    configuration matrix collapsed (an empty config tuple, a filter that
+    matched nothing) — every downstream loop and set comparison would
+    pass without testing anything.  Skip with an explicit reason so the
+    hole is visible in the test report instead of silently green.
+    """
+    if not measurements:
+        pytest.skip(
+            f"{what} produced zero throughput samples - benchmark "
+            f"configuration matrix is empty; fix the sweep before "
+            f"trusting this smoke test"
+        )
 
 
 @pytest.fixture(scope="module")
@@ -49,6 +77,7 @@ def test_backend_sweep_runs_and_reports_every_config(bench_setup):
     measurements = bench.run_backend_sweep(
         trace, topology, blocker, rulebook, report
     )
+    _require_samples(measurements, "backend sweep")
     expected_labels = {label for label, *_ in bench.BACKEND_CONFIGS}
     assert set(measurements) == expected_labels
     for label, metrics in measurements.items():
@@ -58,6 +87,8 @@ def test_backend_sweep_runs_and_reports_every_config(bench_setup):
 
 def test_run_config_reconciles_each_shard_count(bench_setup):
     trace, topology, blocker, rulebook, report = bench_setup
+    if not bench._SHARD_COUNTS:
+        pytest.skip("shard-count sweep is empty - nothing would be verified")
     for n_shards in bench._SHARD_COUNTS:
         stats = bench.run_config(
             trace, topology, blocker, rulebook,
@@ -71,9 +102,11 @@ def test_plane_sweep_reconciles_each_plane_count(multi_region_setup):
     measurements = bench.run_plane_sweep(
         trace, topology, blocker, rulebook, report,
     )
+    _require_samples(measurements, "plane sweep")
     for backend in ("serial", "thread"):
         for n_planes in bench._PLANE_COUNTS:
             assert f"{backend}/p{n_planes}" in measurements
+            assert measurements[f"{backend}/p{n_planes}"]["alerts_per_sec"] > 0
 
 
 def test_plane_parallel_beats_gateway_serial_path(multi_region_setup):
@@ -104,3 +137,29 @@ def test_plane_parallel_beats_gateway_serial_path(multi_region_setup):
         f"plane-parallel path ran at {plane_parallel:,.0f} alerts/s "
         f"vs {gateway_serial:,.0f} for the gateway-serial path"
     )
+
+
+def test_learning_sweep_runs_every_config_on_a_small_trace():
+    """Drives the online-learning bench helpers end to end (fast mode)."""
+    config = DriftConfig(hours=4.0, drift=True)
+    trace = build_drifting_noise_trace(config)
+    graph = drift_graph(config)
+    measurements = learning_bench.run_learning_sweep(trace, graph)
+    _require_samples(measurements, "learning sweep")
+    expected_labels = {label for label, *_ in learning_bench.LEARNING_CONFIGS}
+    assert set(measurements) == expected_labels
+    for label, metrics in measurements.items():
+        assert metrics["alerts_per_sec"] > 0, label
+    # The plain config must not learn; the learning configs must.
+    assert measurements["plain"]["rules_promoted"] == 0
+    assert measurements["learn"]["rules_promoted"] > 0
+
+
+def test_learning_divergence_helper_reports_bounded_metrics():
+    config = DriftConfig(hours=4.0, drift=False)
+    trace = build_drifting_noise_trace(config)
+    graph = drift_graph(config)
+    metrics = learning_bench.run_divergence(trace, graph, flush_size=256)
+    assert 0.0 <= metrics["precision"] <= 1.0
+    assert 0.0 <= metrics["recall"] <= 1.0
+    assert metrics["online_blocked"] > 0

@@ -28,15 +28,24 @@ from repro.core.mitigation import MitigationPipeline
 from repro.core.mitigation.blocking import AlertBlocker, BlockingRule
 from repro.io.jsonl import write_jsonl
 from repro.io.traces import alert_to_dict
-from repro.streaming import AlertGateway, iter_jsonl_alerts
+from repro.streaming import AlertGateway, LearnerConfig, iter_jsonl_alerts
 from repro.topology.graph import DependencyGraph
 from repro.workload.trace import AlertTrace
 
 DATA_DIR = Path(__file__).resolve().parents[1] / "data" / "golden_stream"
 TRACE_PATH = DATA_DIR / "trace.jsonl"
 EXPECTED_PATH = DATA_DIR / "expected.json"
+LEARNED_PATH = DATA_DIR / "learned_rules.json"
 
 WINDOW = 900.0
+
+#: Frozen learner configuration for the learned-rules fixture.  The
+#: golden flood (120 alerts in 25 minutes) deliberately crosses the A5
+#: repeat threshold, so the fixture freezes promotion *and* expiry
+#: behaviour, plus the end-of-run streaming QoA scores.
+LEARN_CONFIG = LearnerConfig(
+    window_seconds=1800.0, min_alerts=10, repeat_count=15, rule_ttl=1800.0,
+)
 
 
 def golden_graph() -> DependencyGraph:
@@ -85,6 +94,47 @@ def _stats_payload(stats) -> dict:
     }
 
 
+def _run_learning_gateway(alerts, backend: str = "serial", **kwargs):
+    """The fixed learned-rules configuration (empty initial rule table)."""
+    gateway = AlertGateway(
+        golden_graph(), blocker=AlertBlocker(), backend=backend,
+        flush_size=64, aggregation_window=WINDOW, correlation_window=WINDOW,
+        learn_rules=True, enable_qoa=True, learner_config=LEARN_CONFIG,
+        retain_artifacts=False, **kwargs,
+    )
+    gateway.ingest_batch(alerts)
+    stats = gateway.drain()
+    return gateway, stats
+
+
+def _learned_payload(gateway, stats) -> dict:
+    """Rule event log + final counters + QoA scores, JSON-stable."""
+    return {
+        "events": [
+            [e.kind, e.strategy_id, e.at_input, round(e.at_time, 3),
+             None if e.expires_at is None else round(e.expires_at, 3)]
+            for e in gateway.learner.events
+        ],
+        "counters": {
+            "blocked_alerts": stats.blocked_alerts,
+            "rules_promoted": stats.rules_promoted,
+            "rules_renewed": stats.rules_renewed,
+            "rules_demoted": stats.rules_demoted,
+            "rules_expired": stats.rules_expired,
+        },
+        "qoa": {
+            strategy_id: {
+                "seen": row["seen"],
+                "blocked": row["blocked"],
+                "transient": row["transient"],
+                "groups": row["groups"],
+                "overall": round(row["overall"], 6),
+            }
+            for strategy_id, row in sorted(stats.qoa.items())
+        },
+    }
+
+
 class TestGoldenTrace:
     @pytest.fixture(scope="class")
     def expected(self):
@@ -116,6 +166,28 @@ class TestGoldenTrace:
             f"({kwargs or 'per-event'}); if the semantics change is "
             f"intentional, regenerate with --regen and justify the diff"
         )
+
+    def test_learned_rule_timeline_is_frozen(self, alerts):
+        """Any change to learner behaviour — thresholds, promotion or
+        expiry timing, QoA scoring — shows up here as a reviewable diff
+        of the committed event log, not as silent drift."""
+        expected = json.loads(LEARNED_PATH.read_text())
+        gateway, stats = _run_learning_gateway(alerts)
+        assert _learned_payload(gateway, stats) == expected, (
+            "learned-rule drift detected; if the semantics change is "
+            "intentional, regenerate with --regen and justify the diff"
+        )
+
+    @pytest.mark.parametrize("backend,kwargs", [
+        ("thread", {"n_workers": 2, "n_planes": 2}),
+        ("process", {"n_workers": 2, "n_planes": 2}),
+    ])
+    def test_learned_rule_timeline_is_backend_invariant(
+        self, alerts, backend, kwargs
+    ):
+        expected = json.loads(LEARNED_PATH.read_text())
+        gateway, stats = _run_learning_gateway(alerts, backend, **kwargs)
+        assert _learned_payload(gateway, stats) == expected
 
     def test_batch_pipeline_counts_are_frozen(self, expected, alerts):
         trace = AlertTrace(alerts=list(alerts), label="golden", seed=0)
@@ -221,6 +293,11 @@ def _regenerate() -> None:
     }, indent=2, sort_keys=True) + "\n")
     print(f"wrote {TRACE_PATH} ({len(alerts)} alerts)")
     print(f"wrote {EXPECTED_PATH}: {_stats_payload(stats)}")
+    gateway, learn_stats = _run_learning_gateway(alerts)
+    payload = _learned_payload(gateway, learn_stats)
+    LEARNED_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {LEARNED_PATH}: {len(payload['events'])} rule events, "
+          f"{payload['counters']}")
 
 
 if __name__ == "__main__":
