@@ -141,6 +141,93 @@ def run_backend_sweep(
     return measurements
 
 
+def run_scale_probe(
+    trace,
+    topology,
+    blocker,
+    rulebook,
+    report,
+    backend: str = "thread",
+    n_planes: int = 4,
+    flush_size: int = 512,
+    rounds: int = 3,
+) -> dict[str, float]:
+    """Measure live plane scale-out against the fixed-topology run.
+
+    Replays the trace twice per round: once on ``n_planes`` from the
+    start, once starting on one plane and calling
+    ``gateway.scale_planes(n_planes)`` at the midpoint — migrating every
+    region's whole plane state mid-stream.  Both runs must reconcile
+    exactly with the batch pipeline (scale invisibility).  The headline
+    comparison times the *second half* of each run — the segment where
+    both gateways run ``n_planes`` planes — so the number isolates what
+    scaling *to* a topology costs versus having started on it, instead
+    of blending in the deliberately-slower one-plane warm-up half.
+    Best-of-``rounds`` everywhere; also returns the best observed wall
+    cost of the ``scale_planes`` barrier itself and of one ordinary
+    flush cycle, the budget the smoke test holds the migration to.
+    """
+    import time
+
+    alerts = list(trace.iter_ordered())
+    # Scale at a flush boundary so the timed barrier cost is the
+    # migration itself, not the ordinary processing of a half-full
+    # buffer the barrier would have flushed anyway.
+    midpoint = max((len(alerts) // 2) // flush_size * flush_size, flush_size)
+    second_half = len(alerts) - midpoint
+    fixed_best = 0.0
+    scaled_best = 0.0
+    scale_wall_best = float("inf")
+    flush_wall_best = float("inf")
+    for _ in range(rounds):
+        fixed = AlertGateway(
+            topology.graph, blocker=blocker, rulebook=rulebook,
+            n_shards=4, n_planes=n_planes, backend=backend,
+            n_workers=_N_WORKERS, flush_size=flush_size,
+            retain_artifacts=False,
+        )
+        fixed.ingest_batch(alerts[:midpoint])
+        started = time.perf_counter()
+        fixed.ingest_batch(alerts[midpoint:])
+        fixed_stats = fixed.drain()
+        fixed_best = max(
+            fixed_best, second_half / (time.perf_counter() - started)
+        )
+        assert fixed_stats.reconcile(report) == {}, (
+            "fixed-topology run must stay exact"
+        )
+
+        gateway = AlertGateway(
+            topology.graph, blocker=blocker, rulebook=rulebook,
+            n_shards=4, n_planes=1, backend=backend, n_workers=_N_WORKERS,
+            flush_size=flush_size, retain_artifacts=False,
+        )
+        gateway.ingest_batch(alerts[:midpoint])
+        started = time.perf_counter()
+        gateway.scale_planes(n_planes)
+        scale_wall = time.perf_counter() - started
+        # One full flush cycle, timed the same way the scale was.
+        started = time.perf_counter()
+        gateway.ingest_batch(alerts[midpoint:midpoint + flush_size])
+        flush_wall = time.perf_counter() - started
+        started = time.perf_counter() - flush_wall  # fold the cycle back in
+        gateway.ingest_batch(alerts[midpoint + flush_size:])
+        scaled_stats = gateway.drain()
+        scaled_best = max(
+            scaled_best, second_half / (time.perf_counter() - started)
+        )
+        assert scaled_stats.reconcile(report) == {}, "scaled run must stay exact"
+        scale_wall_best = min(scale_wall_best, scale_wall)
+        flush_wall_best = min(flush_wall_best, flush_wall)
+    return {
+        "fixed_alerts_per_sec": fixed_best,
+        "scaled_alerts_per_sec": scaled_best,
+        "scaled_vs_fixed": scaled_best / fixed_best if fixed_best else 0.0,
+        "scale_wall_s": scale_wall_best,
+        "flush_wall_s": flush_wall_best,
+    }
+
+
 def run_plane_sweep(
     trace, topology, blocker, rulebook, report,
     plane_counts=_PLANE_COUNTS, n_shards: int = 4, flush_size: int = 512,
@@ -228,6 +315,20 @@ def test_streaming_throughput_scaling(
         f"4-plane execution reached only {best_planes / gateway_serial:.2f}x "
         f"the one-plane (PR-2 gateway-serial) path on the multi-region trace"
     )
+
+    # Live plane scale-out: a gateway that starts on one plane and
+    # scales to 4 mid-stream (migrating every region's plane state) must
+    # land within 10% of the planes=4-from-the-start throughput — the
+    # elasticity acceptance bar.  Best-of-3 on both sides: noise only
+    # ever slows a run down.
+    scale_probe = run_scale_probe(
+        mr_trace, topology, mr_blocker, mr_rulebook, mr_report,
+    )
+    assert scale_probe["scaled_vs_fixed"] >= 0.9, (
+        f"planes=4-after-scale reached only "
+        f"{scale_probe['scaled_vs_fixed']:.2f}x the planes=4-from-start "
+        f"throughput on the multi-region trace"
+    )
     locality = (
         by_planes["serial/p4"]["alerts_per_sec"]
         / by_planes["serial/p1"]["alerts_per_sec"]
@@ -261,6 +362,12 @@ def test_streaming_throughput_scaling(
             f"{m['alerts_per_sec']:>9,.0f} alerts/s  "
             f"p50 {m['latency_p50_us']:.1f} us  p99 {m['latency_p99_us']:.1f} us",
         ))
+    rows.append(ComparisonRow(
+        "scale 1->4 mid-stream", "(vs planes=4 fixed)",
+        f"{scale_probe['scaled_vs_fixed']:.2f}x throughput  "
+        f"scale {scale_probe['scale_wall_s'] * 1e3:.2f} ms  "
+        f"(one flush {scale_probe['flush_wall_s'] * 1e3:.2f} ms)",
+    ))
     record_report("streaming_throughput", render_comparison(
         f"Streaming gateway over {len(trace):,} storm alerts "
         f"(+{len(mr_trace):,} multi-region)", rows,
@@ -279,4 +386,5 @@ def test_streaming_throughput_scaling(
             best_pooled / by_backend["serial/batch"]["alerts_per_sec"],
         "plane_speedup_vs_gateway_serial": best_planes / gateway_serial,
         "plane_locality_speedup": locality,
+        "scale_probe": scale_probe,
     }, indent=2, sort_keys=True))

@@ -120,6 +120,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="aggregation/correlation window in seconds")
     stream.add_argument("--rebalance-to", type=int, default=None,
                         help="re-shard to this count halfway through the stream")
+    stream.add_argument("--scale-at", action="append", default=None,
+                        metavar="EVENTIDX:PLANES",
+                        help="scale the live gateway to PLANES execution "
+                             "planes once EVENTIDX events have been ingested, "
+                             "migrating moved regions' whole plane state "
+                             "(repeatable for a multi-step schedule)")
     stream.add_argument("--learn-rules", action="store_true",
                         help="learn R1 blocking rules online from streaming "
                              "A4/A5 detection instead of batch derivation")
@@ -210,12 +216,32 @@ def _cmd_stream(args) -> int:
         learn_rules=args.learn_rules,
         enable_qoa=args.qoa,
     )
-    if args.rebalance_to is not None:
+    schedule: list[tuple[str, int, int]] = []
+    if args.scale_at:
+        for spec in args.scale_at:
+            try:
+                event_index, planes = spec.split(":", 1)
+                schedule.append(("scale", int(event_index), int(planes)))
+            except ValueError:
+                print(f"invalid --scale-at {spec!r}; expected EVENTIDX:PLANES")
+                return 2
+    if args.rebalance_to is not None or schedule:
         alerts = list(trace.iter_ordered())
-        midpoint = len(alerts) // 2
-        gateway.ingest_batch(alerts[:midpoint])
-        gateway.rebalance(args.rebalance_to)
-        gateway.ingest_batch(alerts[midpoint:])
+        if args.rebalance_to is not None:
+            schedule.append(("rebalance", len(alerts) // 2, args.rebalance_to))
+        schedule.sort(key=lambda item: item[1])
+        cursor = 0
+        for action, event_index, target in schedule:
+            cut = min(max(event_index, cursor), len(alerts))
+            gateway.ingest_batch(alerts[cursor:cut])
+            cursor = cut
+            if action == "scale":
+                moved = gateway.scale_planes(target)
+                print(f"scaled to {target} plane(s) at event {cut}: "
+                      f"{len(moved)} region(s) migrated")
+            else:
+                gateway.rebalance(target)
+        gateway.ingest_batch(alerts[cursor:])
     else:
         gateway.ingest_batch(trace.iter_ordered())
     stats = gateway.drain()

@@ -62,6 +62,7 @@ from repro.streaming.plane import (
     PlaneConfig,
     PlaneDrainResult,
     PlaneFlushResult,
+    PlaneRegionState,
     PlaneSnapshot,
     RegionPlane,
 )
@@ -69,15 +70,22 @@ from repro.streaming.processor import StreamProcessor
 from repro.streaming.routing import PlaneRouter, ShardRouter, shard_key, template_of
 from repro.streaming.sources import iter_jsonl_alerts, merge_ordered
 from repro.streaming.stats import GatewayStats
-from repro.streaming.storm import EmergingSignal, OnlineStormDetector, StormEpisode
+from repro.streaming.storm import (
+    EmergingSignal,
+    OnlineStormDetector,
+    RegionStormState,
+    StormEpisode,
+)
 from repro.streaming.windows import LatencyReservoir, RingCounter
 from repro.streaming.wire import (
     pack_aggregates,
     pack_alerts,
     pack_clusters,
+    pack_plane_state,
     unpack_aggregates,
     unpack_alerts,
     unpack_clusters,
+    unpack_plane_state,
 )
 
 __all__ = [
@@ -95,6 +103,7 @@ __all__ = [
     "PlaneFlushResult",
     "PlaneSnapshot",
     "PlaneDrainResult",
+    "PlaneRegionState",
     "RegionPlane",
     "PlaneRouter",
     "ShardRouter",
@@ -114,6 +123,7 @@ __all__ = [
     "OnlineStormDetector",
     "StormEpisode",
     "EmergingSignal",
+    "RegionStormState",
     "RingCounter",
     "LatencyReservoir",
     "drive_gateway",
@@ -125,4 +135,6 @@ __all__ = [
     "unpack_aggregates",
     "pack_clusters",
     "unpack_clusters",
+    "pack_plane_state",
+    "unpack_plane_state",
 ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Protocol, Sequence
 
@@ -51,10 +52,12 @@ from repro.streaming.wire import (
     pack_aggregates,
     pack_alerts,
     pack_clusters,
+    pack_plane_state,
     pack_rules,
     unpack_aggregates,
     unpack_alerts,
     unpack_clusters,
+    unpack_plane_state,
     unpack_rules,
 )
 
@@ -102,6 +105,28 @@ class PlaneBackend(Protocol):
 
     def rebalance(self, n_shards: int) -> None:
         """Re-shard every plane onto ``n_shards`` shards, live."""
+        ...
+
+    def scale(
+        self,
+        n_planes: int,
+        moved: dict[str, tuple[int, int]],
+        n_shards: int,
+    ) -> list[PlaneSnapshot]:
+        """Re-plane to ``n_planes``, migrating each moved region's state.
+
+        A barrier (the gateway flushes first, so no batch is in flight):
+        every region in ``moved`` (``region -> (old plane, new plane)``)
+        has its *entire* plane state — open R2 sessions, R3 window +
+        union-find, R4 counters and novelty state, lifetime counter
+        slice, retained artifacts — detached from its old plane and
+        installed on its new one.  New planes are born on ``n_shards``
+        (the gateway's current ring size, which may differ from the
+        spawn-time config after live rebalances); dropped planes must
+        have had all their regions exported, which the round-robin
+        rescale guarantees.  Returns post-migration snapshots of every
+        plane, the gateway's new per-plane accounting baseline.
+        """
         ...
 
     def apply_rules(self, delta: RuleDelta) -> None:
@@ -161,6 +186,48 @@ class SerialPlaneBackend:
         for plane in self.planes:
             plane.rebalance(n_shards)
 
+    def scale(
+        self,
+        n_planes: int,
+        moved: dict[str, tuple[int, int]],
+        n_shards: int,
+    ) -> list[PlaneSnapshot]:
+        require_positive(n_planes, "n_planes")
+        require_positive(n_shards, "n_shards")
+        planes = self.planes
+        # Export everything first, then adopt: the round-robin rescale
+        # can swap regions between two surviving planes.
+        states = [
+            planes[source].export_region(region)
+            for region, (source, _) in moved.items()
+        ]
+        for state in states:
+            # Every in-process plane shares the one configured blocker,
+            # so the carried rule snapshot has nothing to verify or
+            # repair here; it exists for payloads that cross a process
+            # boundary (or a future fresh-worker spawn).
+            state.rules = []
+        if n_planes > len(planes):
+            config = dataclasses.replace(self._config, n_shards=n_shards)
+            planes.extend(
+                RegionPlane(plane, config)
+                for plane in range(len(planes), n_planes)
+            )
+        dropped = planes[n_planes:]
+        del planes[n_planes:]
+        # Adopt before the dropped-plane emptiness check: if the check
+        # ever fires, every exported region already lives on its
+        # destination, so the failure is loud but non-destructive.
+        for state, (_, destination) in zip(states, moved.values()):
+            planes[destination].adopt_region(state)
+        for plane in dropped:
+            if plane.processed or plane.open_sessions:
+                raise ValidationError(
+                    f"plane {plane.plane_id} still owned state after its "
+                    f"regions were exported; its history was not migrated"
+                )
+        return [plane.snapshot() for plane in planes]
+
     def apply_rules(self, delta: RuleDelta) -> None:
         # Every in-process plane shares the one configured blocker, so a
         # single application covers them all.
@@ -191,7 +258,8 @@ class ThreadPlaneBackend(SerialPlaneBackend):
     ) -> None:
         super().__init__(n_planes, config)
         require_positive(n_workers, "n_workers")
-        self.n_workers = min(int(n_workers), n_planes)
+        self._requested_workers = int(n_workers)
+        self.n_workers = min(self._requested_workers, n_planes)
         self._pool: ThreadPoolExecutor | None = None
 
     def flush(
@@ -215,7 +283,38 @@ class ThreadPlaneBackend(SerialPlaneBackend):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        self.n_workers = min(int(n_workers), self.n_planes)
+        self._requested_workers = int(n_workers)
+        self.n_workers = min(self._requested_workers, self.n_planes)
+
+    def scale(
+        self,
+        n_planes: int,
+        moved: dict[str, tuple[int, int]],
+        n_shards: int,
+    ) -> list[PlaneSnapshot]:
+        snapshots = super().scale(n_planes, moved, n_shards)
+        # Re-clamp the pool to the new plane count: a scale-out can use
+        # the workers the construction-time clamp withheld.
+        workers = min(self._requested_workers, n_planes)
+        if workers != self.n_workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            self.n_workers = workers
+        if self.n_workers > 1 and n_planes > 1 and self._pool is None:
+            # Spawn the pool threads inside the scale barrier: the cost
+            # of growing the worker fleet is part of the scale event,
+            # not of the first post-scale flush cycle.
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="plane"
+            )
+            barrier = threading.Barrier(self.n_workers)
+            for future in [
+                self._pool.submit(barrier.wait, timeout=5.0)
+                for _ in range(self.n_workers)
+            ]:
+                future.result()
+        return snapshots
 
     def close(self) -> None:
         if self._pool is not None:
@@ -244,12 +343,45 @@ def _plane_worker_loop(connection, plane_ids, config: PlaneConfig) -> None:
                 connection.send(("ok", results))
             elif kind == "snapshot":
                 connection.send(("ok", [
-                    planes[plane].snapshot() for plane in plane_ids
+                    planes[plane].snapshot() for plane in sorted(planes)
                 ]))
             elif kind == "rebalance":
                 for plane in planes.values():
                     plane.rebalance(payload)
                 connection.send(("ok", None))
+            elif kind == "export_regions":
+                # One packed blob per (plane, region), request order —
+                # state crosses the pipe wire-packed, never pickled.
+                connection.send(("ok", [
+                    pack_plane_state(planes[plane].export_region(region))
+                    for plane, region in payload
+                ]))
+            elif kind == "scale":
+                n_shards, create, drop, adopt = payload
+                dropped = [(plane_id, planes.pop(plane_id)) for plane_id in drop]
+                if create:
+                    # Born on the *current* ring size, which live
+                    # rebalances may have moved off the spawn-time
+                    # config; the blocker object is shared, so new
+                    # planes see every rule delta this worker applied.
+                    born_config = dataclasses.replace(config, n_shards=n_shards)
+                    for plane_id in create:
+                        planes[plane_id] = RegionPlane(plane_id, born_config)
+                for plane_id, blob in adopt:
+                    planes[plane_id].adopt_region(unpack_plane_state(blob))
+                # Checked only after adoption: a failure here is loud
+                # but non-destructive — migrated state already lives on
+                # its destination planes (possibly in other workers).
+                for plane_id, plane in dropped:
+                    if plane.processed or plane.open_sessions:
+                        raise ValueError(
+                            f"plane {plane_id} still owned state after its "
+                            f"regions were exported; its history was not "
+                            f"migrated"
+                        )
+                connection.send(("ok", [
+                    planes[plane].snapshot() for plane in sorted(planes)
+                ]))
             elif kind == "rules":
                 added_blob, removed_blob = payload
                 for rule in unpack_rules(removed_blob):
@@ -258,7 +390,7 @@ def _plane_worker_loop(connection, plane_ids, config: PlaneConfig) -> None:
                 connection.send(("ok", None))
             elif kind == "drain":
                 replies = []
-                for plane_id in plane_ids:
+                for plane_id in sorted(planes):
                     result = planes[plane_id].drain(payload)
                     aggregates = pack_aggregates(result.retained_aggregates)
                     clusters = pack_clusters(result.retained_clusters)
@@ -295,7 +427,8 @@ class ProcessPlaneBackend:
         require_positive(n_planes, "n_planes")
         require_positive(n_workers, "n_workers")
         self._n_planes = int(n_planes)
-        self.n_workers = min(int(n_workers), self._n_planes)
+        self._requested_workers = int(n_workers)
+        self.n_workers = min(self._requested_workers, self._n_planes)
         self._config = config
         self._workers: list[multiprocessing.Process] | None = None
         self._connections: list = []
@@ -393,6 +526,70 @@ class ProcessPlaneBackend:
             return
         worker_ids = list(range(self.n_workers))
         self._roundtrip(worker_ids, [("rebalance", n_shards)] * self.n_workers)
+
+    def scale(
+        self,
+        n_planes: int,
+        moved: dict[str, tuple[int, int]],
+        n_shards: int,
+    ) -> list[PlaneSnapshot]:
+        require_positive(n_planes, "n_planes")
+        require_positive(n_shards, "n_shards")
+        if self._closed:
+            raise ValidationError("process backend already closed")
+        self._n_shards = int(n_shards)
+        old_planes = self._n_planes
+        self._n_planes = int(n_planes)
+        if self._workers is None:
+            # Nothing has flowed, so there is no state to migrate; the
+            # planes will be born on the new topology at first flush —
+            # and since the fleet hasn't spawned yet, the worker clamp
+            # can still follow the new plane count.
+            self.n_workers = min(self._requested_workers, self._n_planes)
+            self._config = dataclasses.replace(self._config, n_shards=n_shards)
+            return self.snapshots()
+        # Round 1 — export: each source worker detaches its moved
+        # regions' plane state and hands it back as packed bytes.
+        exports: dict[int, list[tuple[int, str]]] = {}
+        for region, (source, _) in moved.items():
+            exports.setdefault(self._worker_of(source), []).append(
+                (source, region)
+            )
+        blobs: dict[str, bytes] = {}
+        if exports:
+            worker_ids = sorted(exports)
+            replies = self._roundtrip(
+                worker_ids,
+                [("export_regions", exports[w]) for w in worker_ids],
+            )
+            for worker_id, reply in zip(worker_ids, replies):
+                for (_, region), blob in zip(exports[worker_id], reply):
+                    blobs[region] = blob
+        # Round 2 — apply: every worker drops dead planes, creates its
+        # share of new ones, and adopts the packed states routed to it.
+        creates: dict[int, list[int]] = {w: [] for w in range(self.n_workers)}
+        drops: dict[int, list[int]] = {w: [] for w in range(self.n_workers)}
+        adopts: dict[int, list[tuple[int, bytes]]] = {
+            w: [] for w in range(self.n_workers)
+        }
+        for plane in range(old_planes, n_planes):
+            creates[self._worker_of(plane)].append(plane)
+        for plane in range(n_planes, old_planes):
+            drops[self._worker_of(plane)].append(plane)
+        for region, (_, destination) in moved.items():
+            adopts[self._worker_of(destination)].append(
+                (destination, blobs[region])
+            )
+        worker_ids = list(range(self.n_workers))
+        replies = self._roundtrip(worker_ids, [
+            ("scale", (self._n_shards, creates[w], drops[w], adopts[w]))
+            for w in worker_ids
+        ])
+        snapshots: list[PlaneSnapshot] = []
+        for reply in replies:
+            snapshots.extend(reply)
+        snapshots.sort(key=lambda snapshot: snapshot.plane_id)
+        return snapshots
 
     def apply_rules(self, delta: RuleDelta) -> None:
         """Ship a learned rule delta to every worker's shared blocker.

@@ -114,6 +114,66 @@ class OnlineCorrelator:
                 self._union(other_seq, seq)
         bisect.insort(timeline, (time, seq))
 
+    def export_region(self, region: str) -> list[tuple[list[Alert], float]]:
+        """Extract one region's open components (plane migration).
+
+        Correlation evidence requires equal regions, so a component
+        never spans regions and a region's slice of the correlator —
+        its timeline plus every component rooted in it — detaches
+        cleanly.  Returns ``(member representatives, component max
+        event time)`` pairs, components in first-retained order and
+        members in union order; :meth:`adopt_region` reconstructs the
+        identical union-find state under fresh sequence numbers.  The
+        exported state is removed from this instance.
+        """
+        timeline = self._timelines.pop(region, None)
+        if not timeline:
+            return []
+        roots: list[int] = []
+        seen_roots: set[int] = set()
+        for _, seq in timeline:
+            root = self._find(seq)
+            if root not in seen_roots:
+                seen_roots.add(root)
+                roots.append(root)
+        exported: list[tuple[list[Alert], float]] = []
+        for root in roots:
+            member_seqs = self._members.pop(root)
+            max_time = self._max_time.pop(root)
+            alerts = [self._entries[seq].alert for seq in member_seqs]
+            for seq in member_seqs:
+                del self._entries[seq]
+                del self._parent[seq]
+            exported.append((alerts, max_time))
+        return exported
+
+    def adopt_region(
+        self, region: str, components: list[tuple[list[Alert], float]],
+    ) -> None:
+        """Install components exported from another correlator.
+
+        Members keep their exported (union) order under fresh sequence
+        numbers; future merges behave exactly as if every member had
+        been :meth:`add`-ed here, because connected components — and the
+        batch analyzer's cluster finalisation — do not depend on
+        insertion order.
+        """
+        timeline = self._timelines.setdefault(region, [])
+        for alerts, max_time in components:
+            root_seq: int | None = None
+            for alert in alerts:
+                seq = self._seq
+                self._seq += 1
+                self._entries[seq] = _Entry(seq=seq, alert=alert)
+                if root_seq is None:
+                    root_seq = seq
+                    self._members[seq] = [seq]
+                    self._max_time[seq] = max_time
+                else:
+                    self._members[root_seq].append(seq)
+                self._parent[seq] = root_seq
+                bisect.insort(timeline, (alert.occurred_at, seq))
+
     def finalize_ready(self, watermark: float, min_open_first: float | None) -> list[AlertCluster]:
         """Close components no future representative can join.
 

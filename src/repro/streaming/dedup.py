@@ -183,6 +183,19 @@ class OnlineAggregator:
         self._expiry.clear()
         return sessions
 
+    def export_region(self, region: str) -> list[OpenSession]:
+        """Hand over the open sessions of one region (plane migration).
+
+        Sessions key on ``(strategy, region)``, so a region's slice is
+        exact.  Their expiry-heap entries are left behind as stale
+        tombstones — :meth:`_expire` already skips entries whose session
+        is gone, so no heap rebuild is needed.  Deterministic key order.
+        """
+        keys = sorted(
+            key for key in self._sessions if key[1] == region
+        )
+        return [self._sessions.pop(key) for key in keys]
+
     def adopt(self, sessions: list[OpenSession]) -> None:
         """Install sessions exported from another aggregator."""
         for session in sessions:

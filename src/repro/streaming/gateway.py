@@ -394,6 +394,72 @@ class AlertGateway:
         self.stats.n_shards = n_shards
         self.stats.rebalances += 1
 
+    def scale_planes(self, n_planes: int) -> dict[str, tuple[int, int]]:
+        """Re-plane the live gateway to ``n_planes``, migrating state.
+
+        A barrier: pending buffers flush first, then the
+        :class:`~repro.streaming.routing.PlaneRouter` reassigns every
+        known region to the plane a fresh ``n_planes`` ring would have
+        given it (``first_seen_index % n_planes``), and each moved
+        region's *entire* plane state — open R2 sessions, the R3
+        correlator window + union-find, R4 ring counters and novelty
+        state, its lifetime counter slice, and retained artifacts —
+        migrates to its new plane (wire-packed across process
+        boundaries on the ``process`` backend).  Scale-out and scale-in
+        are both supported; either way the run drains bit-identical to
+        a gateway built with the final plane count from the start
+        (given the same flush barriers — with rule learning on, the
+        learner's judgment positions follow the flush schedule, and
+        ``scale_planes`` is itself a flush barrier).
+
+        Returns the migration plan ``{region: (old_plane, new_plane)}``.
+        Calling with the current plane count is a plain barrier: it
+        flushes, moves nothing, and still counts as a scale event.
+        """
+        require_positive(n_planes, "n_planes")
+        if self._drained:
+            raise ValidationError("gateway already drained; create a new one")
+        self._flush()
+        stats = self.stats
+        from_planes = stats.n_planes
+        moved = self._plane_router.rescale(n_planes)
+        try:
+            snapshots = self._backend.scale(n_planes, moved, stats.n_shards)
+        except BaseException:
+            # The router already routes to the new topology and the
+            # backend may have migrated some regions but not others;
+            # further ingestion would silently split open sessions
+            # across planes.  Poison the gateway so the failure stays
+            # loud, then re-raise.
+            self._drained = True
+            try:
+                self._backend.close()
+            except Exception:
+                pass
+            raise
+        self._buffers = [[] for _ in range(n_planes)]
+        self._warmup_pending = [0] * n_planes
+        stats.n_planes = n_planes
+        stats.n_workers = getattr(self._backend, "n_workers", 1)
+        stats.plane_scales += 1
+        stats.scales.append({
+            "at_input": stats.input_alerts,
+            "from_planes": from_planes,
+            "to_planes": n_planes,
+            "moved_regions": len(moved),
+        })
+        if self.learner is not None:
+            self.learner.note_topology_change(stats.input_alerts)
+        # Rebuild the per-plane accounting from the post-migration
+        # snapshots: rows keyed by dead plane ids must not linger (the
+        # totals merge would double-count their migrated history), and
+        # surviving rows must reflect the counter slices that moved.
+        stats.planes = {}
+        for snapshot in snapshots:
+            self._set_plane_counters(snapshot.plane_id, snapshot.counters())
+        self._refresh_totals()
+        return moved
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -437,17 +503,7 @@ class AlertGateway:
         self._flush()
         snapshots = self._backend.snapshots()
         for snapshot in snapshots:
-            self._set_plane_counters(snapshot.plane_id, {
-                "processed": snapshot.processed,
-                "blocked": snapshot.blocked,
-                "aggregates": snapshot.aggregates,
-                "clusters": snapshot.clusters,
-                "storm_episodes": snapshot.storm_episodes,
-                "emerging_flags": snapshot.emerging_flags,
-                "open_sessions": snapshot.open_sessions,
-                "active_components": snapshot.active_components,
-                "retained_representatives": snapshot.retained_representatives,
-            })
+            self._set_plane_counters(snapshot.plane_id, snapshot.counters())
         self._refresh_totals()
         stats = self.stats
         return GatewaySnapshot(

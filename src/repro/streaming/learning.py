@@ -191,6 +191,9 @@ class OnlineRuleLearner:
         #: Every strategy ever promoted (the differential harness compares
         #: this set against the batch-derived rule set).
         self.ever_promoted: set[str] = set()
+        #: Stream positions (``input_alerts``) of plane-topology changes
+        #: (:meth:`note_topology_change`), for timeline alignment.
+        self.scale_positions: list[int] = []
 
     # ------------------------------------------------------------------
     # introspection
@@ -264,6 +267,22 @@ class OnlineRuleLearner:
         for strategy_id in sorted(touched | set(self._live)):
             self._judge(strategy_id, watermark, at_input, delta)
         return delta
+
+    def note_topology_change(self, at_input: int) -> None:
+        """Record a plane scale event (``gateway.scale_planes``).
+
+        Evidence digests are keyed by ``(strategy, region)`` — plane-
+        agnostic by construction — so a region's migration re-homes its
+        digests implicitly: every future flush contributes exactly one
+        row per key regardless of which plane reports it, which is what
+        makes rule evidence impossible to lose *or* double-count across
+        a migration (``tests/streaming/test_scale.py`` pins this down by
+        re-attributing the same digest rows across plane splits).  The
+        learner therefore only records the stream position, so replay
+        and differential harnesses can align learned timelines with the
+        scale schedule.
+        """
+        self.scale_positions.append(int(at_input))
 
     def finish(self, watermark: float | None, at_input: int) -> RuleDelta:
         """Expire every live rule at end of stream (drain bookkeeping)."""

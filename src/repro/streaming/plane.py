@@ -35,21 +35,23 @@ identical to the flat gateway for in-order streams.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.alerting.alert import Alert
 from repro.core.antipatterns.base import DetectorThresholds
 from repro.core.mitigation.aggregation import AggregatedAlert
-from repro.core.mitigation.blocking import AlertBlocker
+from repro.core.mitigation.blocking import AlertBlocker, BlockingRule
 from repro.core.mitigation.correlation import (
     AlertCluster,
     CorrelationAnalyzer,
     DependencyRuleBook,
 )
 from repro.streaming.correlator import OnlineCorrelator
+from repro.streaming.dedup import OpenSession
 from repro.streaming.processor import StreamProcessor
 from repro.streaming.routing import ShardRouter
-from repro.streaming.storm import OnlineStormDetector
+from repro.streaming.storm import OnlineStormDetector, RegionStormState
 from repro.topology.graph import DependencyGraph
 
 __all__ = [
@@ -57,6 +59,7 @@ __all__ = [
     "PlaneFlushResult",
     "PlaneSnapshot",
     "PlaneDrainResult",
+    "PlaneRegionState",
     "RegionPlane",
 ]
 
@@ -125,6 +128,43 @@ class PlaneFlushResult:
         }
 
 
+@dataclass(slots=True)
+class PlaneRegionState:
+    """One region's complete slice of a plane — the migration unit.
+
+    Live plane scale-out (``gateway.scale_planes``) detaches this from
+    the region's old plane and installs it on the new one, in-process or
+    across a worker pipe (wire-packed by
+    :func:`~repro.streaming.wire.pack_plane_state`).  It carries
+    *everything* plane-resident the region's events ever touched: open
+    R2 sessions, open R3 components (window + union-find), the R4 state
+    (:class:`~repro.streaming.storm.RegionStormState`), the region's
+    lifetime counter slice, any retained artifacts, and a snapshot of
+    the live blocking-rule table (TTLs included) so the payload is
+    self-contained — rule tables are already synchronised across
+    backends at flush barriers, so adoption only verifies/repairs,
+    never double-applies.
+    """
+
+    region: str
+    #: [processed, blocked, aggregates, clusters] lifetime counts.
+    counters: list[int]
+    sessions: list[OpenSession]
+    #: R3 components: (member representatives in union order, max time).
+    components: list[tuple[list[Alert], float]]
+    storm: RegionStormState | None
+    retained_aggregates: list[AggregatedAlert] = field(default_factory=list)
+    retained_clusters: list[AlertCluster] = field(default_factory=list)
+    #: Live R1 rules at export time (learned TTL'd ones included).
+    rules: list[BlockingRule] = field(default_factory=list)
+    #: The source plane's sticky strategy → shard pins.  Rings are
+    #: content-identical across planes for one shard count, so carried
+    #: pins stay valid on the destination; adopting them (never
+    #: overwriting existing ones) spares the new plane a blake2b
+    #: re-route per strategy after a migration.
+    shard_pins: dict[str, int] = field(default_factory=dict)
+
+
 @dataclass(frozen=True, slots=True)
 class PlaneSnapshot:
     """A point-in-time view of one plane's progress."""
@@ -141,6 +181,20 @@ class PlaneSnapshot:
     active_components: int
     retained_representatives: int
     min_open_first: float | None
+
+    def counters(self) -> dict[str, int]:
+        """The accounting fields as a plain dict (stats/snapshot payload)."""
+        return {
+            "processed": self.processed,
+            "blocked": self.blocked,
+            "aggregates": self.aggregates,
+            "clusters": self.clusters,
+            "storm_episodes": self.storm_episodes,
+            "emerging_flags": self.emerging_flags,
+            "open_sessions": self.open_sessions,
+            "active_components": self.active_components,
+            "retained_representatives": self.retained_representatives,
+        }
 
 
 @dataclass(slots=True)
@@ -173,6 +227,11 @@ class PlaneDrainResult:
             "active_components": 0,
             "retained_representatives": 0,
         }
+
+
+def _new_region_row() -> list[int]:
+    """A fresh [processed, blocked, aggregates, clusters] counter row."""
+    return [0, 0, 0, 0]
 
 
 def _count_groups(
@@ -219,6 +278,7 @@ class RegionPlane:
         "clusters_finalized",
         "aggregates",
         "clusters",
+        "_region_counts",
     )
 
     def __init__(self, plane_id: int, config: PlaneConfig) -> None:
@@ -249,6 +309,11 @@ class RegionPlane:
         self.clusters_finalized = 0
         self.aggregates: list[AggregatedAlert] = []
         self.clusters: list[AlertCluster] = []
+        # Per-region slices of the four lifetime counters above
+        # ([processed, blocked, aggregates, clusters]): what lets a
+        # region's whole accounting history migrate with it when the
+        # gateway scales its plane topology.
+        self._region_counts: dict[str, list[int]] = defaultdict(_new_region_row)
 
     # ------------------------------------------------------------------
     # introspection
@@ -314,6 +379,18 @@ class RegionPlane:
         if self._detector is not None:
             self._detector.ingest_batch(alerts, in_warmup)
         digest = self._digest(alerts) if self._config.collect_observations else None
+        # Per-region processed counts, run-compressed (one dict touch
+        # per contiguous same-region run, not per event).
+        region_counts = self._region_counts
+        n = len(alerts)
+        index = 0
+        while index < n:
+            region = alerts[index].region
+            stop = index + 1
+            while stop < n and alerts[stop].region == region:
+                stop += 1
+            region_counts[region][0] += stop - index
+            index = stop
         # Level-2 routing: partition the in-order run into per-shard
         # batches.  Strategies are pinned to the shard their first alert
         # hashes to, so sessions never straddle shards even when titles
@@ -333,16 +410,24 @@ class RegionPlane:
             else:
                 batch.append(alert)
         blocked = 0
+        blocked_by_region: dict[str, int] = {}
         emitted_all: list[AggregatedAlert] = []
         processors = self.processors
         for shard in sorted(batches):
-            shard_blocked, emitted = processors[shard].ingest_batch(batches[shard])
+            shard_blocked, emitted = processors[shard].ingest_batch(
+                batches[shard], blocked_by_region,
+            )
             blocked += shard_blocked
             if emitted:
                 emitted_all.extend(emitted)
+        for region, count in blocked_by_region.items():
+            region_counts[region][1] += count
         correlator = self._correlator
         for aggregate in emitted_all:
             correlator.add(aggregate.representative)
+            # Aggregates may close for regions whose sessions opened
+            # flushes (or migrations) ago, so rows appear on demand.
+            region_counts[aggregate.region][2] += 1
         if self._retain and emitted_all:
             self.aggregates.extend(emitted_all)
         self.processed += len(alerts)
@@ -399,9 +484,18 @@ class RegionPlane:
     def _finalize_ready(self, watermark: float) -> None:
         """Close correlation components no future representative can join."""
         clusters = self._correlator.finalize_ready(watermark, self.min_open_first())
-        self.clusters_finalized += len(clusters)
+        self._count_clusters(clusters)
         if self._retain and clusters:
             self.clusters.extend(clusters)
+
+    def _count_clusters(self, clusters: list[AlertCluster]) -> None:
+        """Fold finalised clusters into plane and per-region counters."""
+        self.clusters_finalized += len(clusters)
+        region_counts = self._region_counts
+        for cluster in clusters:
+            # Evidence requires equal regions, so one member names the
+            # whole cluster's region.
+            region_counts[cluster.alerts[0].region][3] += 1
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -436,19 +530,122 @@ class RegionPlane:
         for shard, adopted in by_shard.items():
             self.processors[shard].adopt_sessions(adopted)
 
+    def export_region(self, region: str) -> PlaneRegionState:
+        """Detach one region's entire slice of this plane (scale-out).
+
+        Open R2 sessions leave their shards, open R3 components leave
+        the correlator, the R4 region state leaves the detector, and the
+        region's lifetime counter slice (plus its retained artifacts,
+        when artifacts are retained) is subtracted from this plane's
+        totals — so after the export this plane accounts only for the
+        regions it still owns, and the adopting plane continues the
+        region's stream exactly where it left off.
+        """
+        sessions: list[OpenSession] = []
+        for processor in self.processors:
+            sessions.extend(processor.export_region(region))
+        sessions.sort(key=lambda session: (session.strategy_id, session.region))
+        components = self._correlator.export_region(region)
+        storm = (
+            self._detector.export_region(region)
+            if self._detector is not None else None
+        )
+        counters = self._region_counts.pop(region, None) or _new_region_row()
+        self.processed -= counters[0]
+        self.blocked -= counters[1]
+        self.aggregates_emitted -= counters[2]
+        self.clusters_finalized -= counters[3]
+        retained_aggregates: list[AggregatedAlert] = []
+        retained_clusters: list[AlertCluster] = []
+        if self._retain:
+            retained_aggregates = [
+                a for a in self.aggregates if a.region == region
+            ]
+            self.aggregates = [
+                a for a in self.aggregates if a.region != region
+            ]
+            retained_clusters = [
+                c for c in self.clusters if c.alerts[0].region == region
+            ]
+            self.clusters = [
+                c for c in self.clusters if c.alerts[0].region != region
+            ]
+        return PlaneRegionState(
+            region=region,
+            counters=counters,
+            sessions=sessions,
+            components=components,
+            storm=storm,
+            retained_aggregates=retained_aggregates,
+            retained_clusters=retained_clusters,
+            rules=self._config.blocker.rules,
+            shard_pins=dict(self._shard_of),
+        )
+
+    def adopt_region(self, state: PlaneRegionState) -> None:
+        """Install a region's slice exported from another plane.
+
+        Sessions land on the shards this plane's ring assigns their
+        strategies (pinning them exactly as a first alert would have);
+        components and R4 state are re-installed verbatim; the counter
+        slice joins this plane's totals.  The carried rule snapshot is
+        only *verified* against this plane's blocker — rule tables are
+        synchronised across backends at flush barriers, so any rule the
+        snapshot carries and the blocker lacks is repaired (added once),
+        and nothing is ever double-applied.
+        """
+        region = state.region
+        shard_of = self._shard_of
+        n_shards = self.n_shards
+        # Carried pins first (never overwriting): an existing pin may
+        # anchor an open session of a region this plane already owns,
+        # and sessions must stay co-located with their strategy's pin.
+        for strategy, shard in state.shard_pins.items():
+            if strategy not in shard_of and shard < n_shards:
+                shard_of[strategy] = shard
+        by_shard: dict[int, list[OpenSession]] = {}
+        for session in state.sessions:
+            shard = shard_of.get(session.strategy_id)
+            if shard is None:
+                shard = self._router.route(session.representative)
+                shard_of[session.strategy_id] = shard
+            by_shard.setdefault(shard, []).append(session)
+        for shard, adopted in by_shard.items():
+            self.processors[shard].adopt_sessions(adopted)
+        self._correlator.adopt_region(region, state.components)
+        if self._detector is not None and state.storm is not None:
+            self._detector.adopt_region(state.storm)
+        counters = state.counters
+        row = self._region_counts[region]
+        for slot in range(4):
+            row[slot] += counters[slot]
+        self.processed += counters[0]
+        self.blocked += counters[1]
+        self.aggregates_emitted += counters[2]
+        self.clusters_finalized += counters[3]
+        if self._retain:
+            self.aggregates.extend(state.retained_aggregates)
+            self.clusters.extend(state.retained_clusters)
+        blocker = self._config.blocker
+        for rule in state.rules:
+            if not blocker.has_rule(rule):
+                blocker.add(rule)
+
     def drain(self, watermark: float | None) -> PlaneDrainResult:
         """Flush all open state at end of stream and report final totals."""
         emitted_all: list[AggregatedAlert] = []
         for processor in self.processors:
             emitted_all.extend(processor.drain())
         correlator = self._correlator
+        region_counts = self._region_counts
         for aggregate in emitted_all:
             correlator.add(aggregate.representative)
+            region_counts[aggregate.region][2] += 1
         self.aggregates_emitted += len(emitted_all)
         if self._retain and emitted_all:
             self.aggregates.extend(emitted_all)
         clusters = correlator.drain()
-        self.clusters_finalized += len(clusters)
+        self._count_clusters(clusters)
         if self._retain and clusters:
             self.clusters.extend(clusters)
         if self._detector is not None and watermark is not None:

@@ -73,11 +73,18 @@ class StreamProcessor:
         self.emitted += len(emitted)
         return False, emitted
 
-    def ingest_batch(self, alerts: list[Alert]) -> tuple[int, list[AggregatedAlert]]:
+    def ingest_batch(
+        self,
+        alerts: list[Alert],
+        blocked_by_region: dict[str, int] | None = None,
+    ) -> tuple[int, list[AggregatedAlert]]:
         """Process one micro-batch; equivalent to ``ingest`` per event.
 
         Returns ``(blocked_count, emitted)``.  R1 skips the rule scan for
         strategies no rule targets, and R2 takes the run-compressed path.
+        ``blocked_by_region``, when given, accumulates the per-region
+        blocked counts (one dict increment per *blocked* alert only) —
+        the owning plane's migration-grade accounting.
         """
         ruled = self._blocker.ruled_strategies
         is_blocked = self._blocker.is_blocked
@@ -88,6 +95,11 @@ class StreamProcessor:
             for alert in alerts:
                 if alert.strategy_id in ruled and is_blocked(alert):
                     blocked += 1
+                    if blocked_by_region is not None:
+                        region = alert.region
+                        blocked_by_region[region] = (
+                            blocked_by_region.get(region, 0) + 1
+                        )
                 else:
                     append(alert)
         else:
@@ -103,6 +115,10 @@ class StreamProcessor:
     def export_sessions(self) -> list[OpenSession]:
         """Hand over every open R2 session (shard rebalancing)."""
         return self._aggregator.export_sessions()
+
+    def export_region(self, region: str) -> list[OpenSession]:
+        """Hand over one region's open R2 sessions (plane migration)."""
+        return self._aggregator.export_region(region)
 
     def adopt_sessions(self, sessions: list[OpenSession]) -> None:
         """Install R2 sessions migrated from another shard."""

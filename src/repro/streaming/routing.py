@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import re
+from functools import lru_cache
 from hashlib import blake2b
 
 from repro.alerting.alert import Alert
@@ -53,6 +54,27 @@ def shard_key(alert: Alert) -> str:
 
 def _point(token: str) -> int:
     return int.from_bytes(blake2b(token.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+@lru_cache(maxsize=64)
+def _build_ring(
+    n_shards: int, replicas: int,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """The sorted ring for one (shard count, replica count) shape.
+
+    Rings are pure functions of their shape, so every plane's router —
+    and every plane born during a live scale-out — shares one immutable
+    instance instead of re-hashing ``n_shards * replicas`` points.
+    """
+    ring: list[tuple[int, int]] = []
+    for shard in range(n_shards):
+        for replica in range(replicas):
+            ring.append((_point(f"shard-{shard}:{replica}"), shard))
+    ring.sort()
+    return (
+        tuple(point for point, _ in ring),
+        tuple(shard for _, shard in ring),
+    )
 
 
 class PlaneRouter:
@@ -106,6 +128,31 @@ class PlaneRouter:
             self._plane_of[region] = plane
         return plane
 
+    def rescale(self, n_planes: int) -> dict[str, tuple[int, int]]:
+        """Regrow the ring to ``n_planes``; returns the migration plan.
+
+        Every known region is reassigned to ``first_seen_index %
+        n_planes`` — exactly the plane a fresh ``PlaneRouter(n_planes)``
+        would have picked for the same first-seen sequence, which is the
+        property live scale-out's *invisibility* rests on: after the
+        final scale event, the region → plane map is indistinguishable
+        from a gateway built with that plane count from the start.
+        Returns ``{region: (old_plane, new_plane)}`` for the regions
+        whose owner changed (``moved_regions``), in first-seen order;
+        regions first seen later keep extending the same round-robin.
+        """
+        require_positive(n_planes, "n_planes")
+        n = int(n_planes)
+        moved: dict[str, tuple[int, int]] = {}
+        for index, region in enumerate(self._plane_of):
+            new_plane = index % n
+            old_plane = self._plane_of[region]
+            if old_plane != new_plane:
+                moved[region] = (old_plane, new_plane)
+                self._plane_of[region] = new_plane
+        self._n_planes = n
+        return moved
+
 
 class ShardRouter:
     """Consistent-hash ring mapping routing keys to shard ids."""
@@ -115,13 +162,7 @@ class ShardRouter:
         require_positive(replicas, "replicas")
         self._n_shards = int(n_shards)
         self._replicas = int(replicas)
-        ring: list[tuple[int, int]] = []
-        for shard in range(self._n_shards):
-            for replica in range(self._replicas):
-                ring.append((_point(f"shard-{shard}:{replica}"), shard))
-        ring.sort()
-        self._points = [point for point, _ in ring]
-        self._shards = [shard for _, shard in ring]
+        self._points, self._shards = _build_ring(self._n_shards, self._replicas)
 
     @property
     def n_shards(self) -> int:

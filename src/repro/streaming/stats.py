@@ -42,6 +42,10 @@ class GatewayStats:
     late_events: int = 0
     flushes: int = 0
     rebalances: int = 0
+    #: Live plane scale events (``gateway.scale_planes``): count plus a
+    #: log of ``{at_input, from_planes, to_planes, moved_regions}`` rows.
+    plane_scales: int = 0
+    scales: list = field(default_factory=list)
     watermark: float | None = None
     #: Online R1 rule learning (``AlertGateway(learn_rules=True)``).
     learning: bool = False
@@ -149,6 +153,8 @@ class GatewayStats:
             "late_events": self.late_events,
             "flushes": self.flushes,
             "rebalances": self.rebalances,
+            "plane_scales": self.plane_scales,
+            "scales": [dict(scale) for scale in self.scales],
             "watermark": self.watermark,
             "total_reduction": self.total_reduction,
             "throughput": self.throughput,
@@ -238,4 +244,10 @@ class GatewayStats:
             lines.append(f"late (out-of-order) events: {self.late_events:,}")
         if self.rebalances:
             lines.append(f"shard rebalances:    {self.rebalances:>8}")
+        if self.plane_scales:
+            moved = sum(scale["moved_regions"] for scale in self.scales)
+            lines.append(
+                f"plane scale events:  {self.plane_scales:>8}  "
+                f"({moved} region migrations)"
+            )
         return "\n".join(lines)

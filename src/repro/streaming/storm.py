@@ -28,7 +28,12 @@ from repro.common.timeutil import HOUR
 from repro.common.validation import require_positive
 from repro.streaming.windows import RingCounter
 
-__all__ = ["StormEpisode", "EmergingSignal", "OnlineStormDetector"]
+__all__ = [
+    "StormEpisode",
+    "EmergingSignal",
+    "RegionStormState",
+    "OnlineStormDetector",
+]
 
 
 @dataclass(slots=True)
@@ -52,6 +57,33 @@ class EmergingSignal:
 
     alert: Alert
     region_rate: float
+
+
+@dataclass(slots=True)
+class RegionStormState:
+    """One region's complete R4 state, detached for plane migration.
+
+    Everything the detector keys by this region (or by ``(strategy,
+    region)``): the ring-counter rate window, the open storm episode if
+    one is in flight, the novelty recency map, the region's lifetime
+    episode/emerging counts, and its ingested-event count (the novelty
+    warmup position a standalone detector derives ``in_warmup`` from).
+    """
+
+    region: str
+    bucket_seconds: float
+    #: Ring-counter state (``None`` when the region never built one).
+    counts: list[int] | None
+    total: int
+    head: int | None
+    #: Open episode, if the region is mid-flood at export time.
+    episode_started_at: float | None
+    episode_peak_rate: float
+    #: strategy → last event time in this region (novelty state).
+    last_seen: dict[str, float]
+    episode_count: int
+    emerging_count: int
+    ingested: int
 
 
 #: Default number of leading gateway events exempt from novelty flags.
@@ -91,6 +123,11 @@ class OnlineStormDetector:
         self._last_seen: dict[tuple[str, str], float] = {}
         self._last_sweep_at: float | None = None
         self._ingested = 0
+        # Per-region slices of the lifetime counters, so a region's
+        # whole detection history can migrate with it (plane scale-out).
+        self._episodes_by_region: dict[str, int] = {}
+        self._emerging_by_region: dict[str, int] = {}
+        self._ingested_by_region: dict[str, int] = {}
         # Exact lifetime counters plus bounded recent-detection windows:
         # on an unbounded stream, full detection lists would grow forever.
         self.episode_count = 0
@@ -143,12 +180,18 @@ class OnlineStormDetector:
         last_seen = self._last_seen
         times = [alert.occurred_at for alert in alerts]
         rates: list[float] = []
+        ingested_by_region = self._ingested_by_region
+        episodes_by_region = self._episodes_by_region
+        emerging_by_region = self._emerging_by_region
         index = 0
         while index < n:
             region = alerts[index].region
             stop = index + 1
             while stop < n and alerts[stop].region == region:
                 stop += 1
+            ingested_by_region[region] = (
+                ingested_by_region.get(region, 0) + stop - index
+            )
             counter = counters.get(region)
             if counter is None:
                 buckets = max(int(HOUR / self._bucket_seconds), 1)
@@ -168,6 +211,9 @@ class OnlineStormDetector:
                         )
                         active[region] = episode
                         self.episode_count += 1
+                        episodes_by_region[region] = (
+                            episodes_by_region.get(region, 0) + 1
+                        )
                         self.episodes.append(episode)
                 else:
                     if rate > episode.peak_rate:
@@ -185,6 +231,9 @@ class OnlineStormDetector:
                     quarter_threshold <= rate < threshold
                 ):
                     self.emerging_count += 1
+                    emerging_by_region[region] = (
+                        emerging_by_region.get(region, 0) + 1
+                    )
                     self.emerging.append(EmergingSignal(alert=alert, region_rate=rate))
             index = stop
         if n > in_warmup:
@@ -195,6 +244,81 @@ class OnlineStormDetector:
         for episode in self._active.values():
             episode.ended_at = at
         self._active.clear()
+
+    # ------------------------------------------------------------------
+    # plane migration
+    # ------------------------------------------------------------------
+    def export_region(self, region: str) -> RegionStormState:
+        """Detach one region's whole R4 state (plane migration).
+
+        All of it is removed from this instance: the rate window, the
+        open episode, the novelty recency entries, and the region's
+        slice of the lifetime episode/emerging/ingested counts — so the
+        exporting detector's counts reflect only the regions it still
+        owns, and :meth:`adopt_region` restores them on the new owner
+        without loss or double counting.  The bounded ``episodes``/
+        ``emerging`` recency deques are observability extras interleaved
+        across regions and do not migrate; the exact counters do.
+        """
+        counter = self._counters.pop(region, None)
+        if counter is not None:
+            bucket_seconds, counts, total, head = counter.export_state()
+        else:
+            bucket_seconds = self._bucket_seconds
+            counts, total, head = None, 0, None
+        episode = self._active.pop(region, None)
+        last_seen: dict[str, float] = {}
+        for key in [k for k in self._last_seen if k[1] == region]:
+            last_seen[key[0]] = self._last_seen.pop(key)
+        episode_count = self._episodes_by_region.pop(region, 0)
+        emerging_count = self._emerging_by_region.pop(region, 0)
+        ingested = self._ingested_by_region.pop(region, 0)
+        self.episode_count -= episode_count
+        self.emerging_count -= emerging_count
+        self._ingested -= ingested
+        return RegionStormState(
+            region=region,
+            bucket_seconds=bucket_seconds,
+            counts=counts,
+            total=total,
+            head=head,
+            episode_started_at=episode.started_at if episode is not None else None,
+            episode_peak_rate=episode.peak_rate if episode is not None else 0.0,
+            last_seen=last_seen,
+            episode_count=episode_count,
+            emerging_count=emerging_count,
+            ingested=ingested,
+        )
+
+    def adopt_region(self, state: RegionStormState) -> None:
+        """Install a region's R4 state exported from another detector."""
+        region = state.region
+        if region in self._counters or region in self._active:
+            raise ValueError(f"region {region!r} already owned by this detector")
+        if state.counts is not None:
+            self._counters[region] = RingCounter.restore(
+                state.bucket_seconds, state.counts, state.total, state.head,
+            )
+        if state.episode_started_at is not None:
+            # The episode continues on the new owner; it was already
+            # counted (and its count migrated), so only the live object
+            # is rebuilt — not re-counted, not re-appended to the deque.
+            self._active[region] = StormEpisode(
+                region=region,
+                started_at=state.episode_started_at,
+                peak_rate=state.episode_peak_rate,
+            )
+        for strategy, seen_at in state.last_seen.items():
+            self._last_seen[(strategy, region)] = seen_at
+        if state.episode_count:
+            self._episodes_by_region[region] = state.episode_count
+            self.episode_count += state.episode_count
+        if state.emerging_count:
+            self._emerging_by_region[region] = state.emerging_count
+            self.emerging_count += state.emerging_count
+        if state.ingested:
+            self._ingested_by_region[region] = state.ingested
+            self._ingested += state.ingested
 
     # ------------------------------------------------------------------
     # internals

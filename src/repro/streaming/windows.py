@@ -41,6 +41,31 @@ class RingCounter:
     def _bucket_of(self, time: float) -> int:
         return int(math.floor(time / self._bucket_seconds))
 
+    def export_state(self) -> tuple[float, list[int], int, int | None]:
+        """The counter's full state: (bucket_seconds, counts, total, head).
+
+        Together with :meth:`restore` this is what lets a plane
+        migration move a region's rate window intact — the counts list
+        is copied, so the exported state is immune to further ingestion
+        on this instance.
+        """
+        return self._bucket_seconds, list(self._counts), self._total, self._head
+
+    @classmethod
+    def restore(
+        cls,
+        bucket_seconds: float,
+        counts: list[int],
+        total: int,
+        head: int | None,
+    ) -> "RingCounter":
+        """Rebuild a counter from :meth:`export_state` output."""
+        counter = cls(bucket_seconds, len(counts))
+        counter._counts = list(counts)
+        counter._total = int(total)
+        counter._head = head
+        return counter
+
     def add(self, time: float, count: int = 1) -> None:
         """Count ``count`` events at ``time`` (non-decreasing times)."""
         bucket = self._bucket_of(time)

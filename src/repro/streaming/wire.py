@@ -43,12 +43,15 @@ __all__ = [
     "unpack_clusters",
     "pack_rules",
     "unpack_rules",
+    "pack_plane_state",
+    "unpack_plane_state",
 ]
 
 _MAGIC_ALERTS = b"RWA1"
 _MAGIC_AGGREGATES = b"RWG1"
 _MAGIC_CLUSTERS = b"RWC1"
 _MAGIC_RULES = b"RWR1"
+_MAGIC_PLANE = b"RWP1"
 
 #: u32 sentinel for "no string" (optional fields like ``fault_id``).
 _NONE_REF = 0xFFFFFFFF
@@ -389,3 +392,195 @@ def unpack_rules(data: bytes) -> list[BlockingRule]:
             expires_at=None if expires_at == _NO_TIME else expires_at,
         ))
     return rules
+
+
+# ----------------------------------------------------------------------
+# plane-state snapshots (whole-region migration for live plane scale-out)
+# ----------------------------------------------------------------------
+_SESSION_FIXED = struct.Struct("<IIddI")
+#: bucket_seconds, head, total, episode_started_at, episode_peak_rate,
+#: episode_count, emerging_count, ingested.
+_STORM_FIXED = struct.Struct("<dqqddqqq")
+
+_PLANE_FLAG_STORM = 1
+_PLANE_FLAG_COUNTER = 2
+_PLANE_FLAG_EPISODE = 4
+_PLANE_FLAG_HEAD = 8
+
+
+def pack_plane_state(state) -> bytes:
+    """Encode one region's whole plane state (a migration snapshot).
+
+    ``state`` is a :class:`~repro.streaming.plane.PlaneRegionState`:
+    open R2 sessions, open R3 components (member representatives plus
+    union-find grouping), the R4 region state, the region's lifetime
+    counter slice, retained artifacts, and the live R1 rule table (TTLs
+    included).  Sessions and components share the outer string table;
+    the artifact and rule payloads are embedded as their own framed
+    blobs so the battle-tested aggregate/cluster/rule codecs are reused
+    verbatim.  Byte-deterministic for a given input, like every wire
+    payload.
+    """
+    storm = state.storm
+    writer = _Writer(_MAGIC_PLANE)
+    flags = 0
+    if storm is not None:
+        flags |= _PLANE_FLAG_STORM
+        if storm.counts is not None:
+            flags |= _PLANE_FLAG_COUNTER
+        if storm.episode_started_at is not None:
+            flags |= _PLANE_FLAG_EPISODE
+        if storm.head is not None:
+            flags |= _PLANE_FLAG_HEAD
+    writer.section(struct.pack(
+        "<IBqqqq",
+        writer.ref(state.region),
+        flags,
+        *state.counters,
+    ))
+    # -- open R2 sessions ------------------------------------------------
+    _write_alert_block(writer, [s.representative for s in state.sessions])
+    fixed = bytearray()
+    id_offsets: list[int] = []
+    id_refs: list[int] = []
+    for session in state.sessions:
+        fixed += _SESSION_FIXED.pack(
+            writer.ref(session.strategy_id),
+            writer.ref(session.region),
+            session.first_at,
+            session.last_at,
+            session.count,
+        )
+        id_offsets.append(len(id_refs))
+        id_refs.extend(writer.ref(alert_id) for alert_id in session.alert_ids)
+    id_offsets.append(len(id_refs))
+    writer.section(bytes(fixed))
+    writer.section(_array_bytes("I", id_offsets))
+    writer.section(_array_bytes("I", id_refs))
+    # -- open R3 components ---------------------------------------------
+    members: list[Alert] = []
+    offsets: list[int] = []
+    max_times: list[float] = []
+    for alerts, max_time in state.components:
+        offsets.append(len(members))
+        members.extend(alerts)
+        max_times.append(max_time)
+    offsets.append(len(members))
+    _write_alert_block(writer, members)
+    writer.section(_array_bytes("I", offsets))
+    writer.section(_array_bytes("d", max_times))
+    # -- R4 region state -------------------------------------------------
+    if storm is not None:
+        writer.section(_STORM_FIXED.pack(
+            storm.bucket_seconds,
+            storm.head if storm.head is not None else 0,
+            storm.total,
+            storm.episode_started_at
+            if storm.episode_started_at is not None else 0.0,
+            storm.episode_peak_rate,
+            storm.episode_count,
+            storm.emerging_count,
+            storm.ingested,
+        ))
+        writer.section(_array_bytes("q", storm.counts or []))
+        strategies = sorted(storm.last_seen)
+        writer.section(_array_bytes(
+            "I", [writer.ref(strategy) for strategy in strategies]
+        ))
+        writer.section(_array_bytes(
+            "d", [storm.last_seen[strategy] for strategy in strategies]
+        ))
+    # -- embedded artifact/rule blobs ------------------------------------
+    writer.section(pack_aggregates(state.retained_aggregates))
+    writer.section(pack_clusters(state.retained_clusters))
+    writer.section(pack_rules(state.rules))
+    # -- sticky strategy -> shard pins -----------------------------------
+    pins = sorted(state.shard_pins.items())
+    writer.section(_array_bytes(
+        "I", [writer.ref(strategy) for strategy, _ in pins]
+    ))
+    writer.section(_array_bytes("I", [shard for _, shard in pins]))
+    return writer.finish()
+
+
+def unpack_plane_state(data: bytes):
+    """Decode a snapshot produced by :func:`pack_plane_state`."""
+    from repro.streaming.dedup import OpenSession
+    from repro.streaming.plane import PlaneRegionState
+    from repro.streaming.storm import RegionStormState
+
+    reader = _Reader(data, _MAGIC_PLANE)
+    strings = reader.strings
+    region_ref, flags, *counters = struct.unpack("<IBqqqq", reader.section())
+    representatives = _read_alert_block(reader)
+    session_fixed = reader.section()
+    id_offsets = _read_array("I", reader.section())
+    id_refs = _read_array("I", reader.section())
+    sessions: list = []
+    for index, row in enumerate(_SESSION_FIXED.iter_unpack(session_fixed)):
+        strategy_ref, session_region_ref, first_at, last_at, count = row
+        sessions.append(OpenSession(
+            strategy_id=strings[strategy_ref],
+            region=strings[session_region_ref],
+            first_at=first_at,
+            last_at=last_at,
+            count=count,
+            representative=representatives[index],
+            alert_ids=[
+                strings[ref]
+                for ref in id_refs[id_offsets[index]:id_offsets[index + 1]]
+            ],
+        ))
+    members = _read_alert_block(reader)
+    offsets = _read_array("I", reader.section())
+    max_times = _read_array("d", reader.section())
+    components = [
+        (members[offsets[index]:offsets[index + 1]], max_times[index])
+        for index in range(len(max_times))
+    ]
+    storm = None
+    if flags & _PLANE_FLAG_STORM:
+        (bucket_seconds, head, total, episode_started_at, episode_peak_rate,
+         episode_count, emerging_count, ingested) = _STORM_FIXED.unpack(
+            reader.section()
+        )
+        counts = list(_read_array("q", reader.section()))
+        strategy_refs = _read_array("I", reader.section())
+        times = _read_array("d", reader.section())
+        storm = RegionStormState(
+            region=strings[region_ref],
+            bucket_seconds=bucket_seconds,
+            counts=counts if flags & _PLANE_FLAG_COUNTER else None,
+            total=total,
+            head=head if flags & _PLANE_FLAG_HEAD else None,
+            episode_started_at=(
+                episode_started_at if flags & _PLANE_FLAG_EPISODE else None
+            ),
+            episode_peak_rate=episode_peak_rate,
+            last_seen={
+                strings[ref]: times[index]
+                for index, ref in enumerate(strategy_refs)
+            },
+            episode_count=episode_count,
+            emerging_count=emerging_count,
+            ingested=ingested,
+        )
+    retained_aggregates = unpack_aggregates(reader.section())
+    retained_clusters = unpack_clusters(reader.section())
+    rules = unpack_rules(reader.section())
+    pin_refs = _read_array("I", reader.section())
+    pin_shards = _read_array("I", reader.section())
+    return PlaneRegionState(
+        region=strings[region_ref],
+        counters=list(counters),
+        sessions=sessions,
+        components=components,
+        storm=storm,
+        retained_aggregates=retained_aggregates,
+        retained_clusters=retained_clusters,
+        rules=rules,
+        shard_pins={
+            strings[ref]: pin_shards[index]
+            for index, ref in enumerate(pin_refs)
+        },
+    )

@@ -1,12 +1,28 @@
-"""Shared fixtures: one topology, hub, and small trace per session."""
+"""Shared fixtures: one topology, hub, and small trace per session.
+
+Also registers the ``scale_chaos`` hypothesis profile: a seeded,
+derandomized, higher-example run of the plane scale-out chaos harness,
+selected in CI with ``HYPOTHESIS_PROFILE=scale_chaos`` so the dedicated
+job explores a fixed, reproducible schedule corpus instead of a fresh
+random one per run.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.telemetry import TelemetryHub
 from repro.topology import TopologyConfig, generate_topology
 from repro.workload import TraceConfig, TraceScale, generate_trace
+
+settings.register_profile(
+    "scale_chaos", max_examples=100, deadline=None, derandomize=True,
+)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 @pytest.fixture(scope="session")

@@ -36,8 +36,16 @@ DATA_DIR = Path(__file__).resolve().parents[1] / "data" / "golden_stream"
 TRACE_PATH = DATA_DIR / "trace.jsonl"
 EXPECTED_PATH = DATA_DIR / "expected.json"
 LEARNED_PATH = DATA_DIR / "learned_rules.json"
+SCALED_PATH = DATA_DIR / "scaled_trace.json"
 
 WINDOW = 900.0
+
+#: Frozen scale-event schedule for the scaled-trace fixture: the golden
+#: trace replayed from one plane, scaled out to 3 mid-flood, then back
+#: in to 2 — so the fixture freezes migration bookkeeping (who moved,
+#: which plane owns which history) on top of the already-frozen counts.
+SCALE_SCHEDULE = ((90, 3), (200, 2))
+SCALE_INITIAL_PLANES = 1
 
 #: Frozen learner configuration for the learned-rules fixture.  The
 #: golden flood (120 alerts in 25 minutes) deliberately crosses the A5
@@ -91,6 +99,49 @@ def _stats_payload(stats) -> dict:
         "emerging_flags": stats.emerging_flags,
         "late_events": stats.late_events,
         "watermark": stats.watermark,
+    }
+
+
+def _run_scaled_gateway(alerts, backend: str = "serial", **kwargs):
+    """The frozen scale schedule over the golden trace."""
+    gateway = AlertGateway(
+        golden_graph(), blocker=golden_blocker(), backend=backend,
+        n_planes=SCALE_INITIAL_PLANES, flush_size=64,
+        aggregation_window=WINDOW, correlation_window=WINDOW,
+        retain_artifacts=False, **kwargs,
+    )
+    moved_log = []
+    cursor = 0
+    for position, n_planes in SCALE_SCHEDULE:
+        gateway.ingest_batch(alerts[cursor:position])
+        cursor = position
+        moved = gateway.scale_planes(n_planes)
+        moved_log.append({
+            region: list(planes) for region, planes in sorted(moved.items())
+        })
+    gateway.ingest_batch(alerts[cursor:])
+    return gateway, gateway.drain(), moved_log
+
+
+def _scaled_payload(stats, moved_log) -> dict:
+    """Counts + migration bookkeeping, JSON-stable."""
+    return {
+        "counts": _stats_payload(stats),
+        "planes": [
+            {
+                "plane_id": plane_id,
+                "regions": sorted(row["regions"]),
+                "processed": row["processed"],
+                "blocked": row["blocked"],
+                "aggregates": row["aggregates"],
+                "clusters": row["clusters"],
+                "storm_episodes": row["storm_episodes"],
+                "emerging_flags": row["emerging_flags"],
+            }
+            for plane_id, row in sorted(stats.planes.items())
+        ],
+        "scales": [dict(scale) for scale in stats.scales],
+        "moved": moved_log,
     }
 
 
@@ -188,6 +239,31 @@ class TestGoldenTrace:
         expected = json.loads(LEARNED_PATH.read_text())
         gateway, stats = _run_learning_gateway(alerts, backend, **kwargs)
         assert _learned_payload(gateway, stats) == expected
+
+    def test_scaled_trace_counts_match_unscaled_golden(self, expected, alerts):
+        """Scale invisibility against the original fixture: the frozen
+        scale schedule must reproduce the *unscaled* golden counts bit
+        for bit — the strongest drift guard there is for migration."""
+        _, stats, _ = _run_scaled_gateway(alerts)
+        assert _stats_payload(stats) == expected["counts"]
+
+    @pytest.mark.parametrize("backend,kwargs", [
+        ("serial", {}),
+        ("thread", {"n_workers": 2}),
+        ("process", {"n_workers": 2}),
+    ])
+    def test_scaled_trace_bookkeeping_is_frozen(self, alerts, backend, kwargs):
+        """The migration bookkeeping — per-plane ownership and counter
+        history after two scale events, the moved-region plans, the
+        scale log — is frozen for every backend.  Drift here means a
+        migration silently re-homed, lost, or double-counted state."""
+        expected = json.loads(SCALED_PATH.read_text())
+        _, stats, moved_log = _run_scaled_gateway(alerts, backend, **kwargs)
+        assert _scaled_payload(stats, moved_log) == expected, (
+            f"scaled-trace drift detected on the {backend} backend; if the "
+            f"semantics change is intentional, regenerate with --regen and "
+            f"justify the diff"
+        )
 
     def test_batch_pipeline_counts_are_frozen(self, expected, alerts):
         trace = AlertTrace(alerts=list(alerts), label="golden", seed=0)
@@ -298,6 +374,11 @@ def _regenerate() -> None:
     LEARNED_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {LEARNED_PATH}: {len(payload['events'])} rule events, "
           f"{payload['counters']}")
+    _, scaled_stats, moved_log = _run_scaled_gateway(alerts)
+    scaled = _scaled_payload(scaled_stats, moved_log)
+    SCALED_PATH.write_text(json.dumps(scaled, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {SCALED_PATH}: {len(scaled['scales'])} scale events, "
+          f"{sum(len(m) for m in scaled['moved'])} region migrations")
 
 
 if __name__ == "__main__":

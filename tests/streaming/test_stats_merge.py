@@ -117,6 +117,90 @@ class TestPlaneMergePartitionsTotals:
         _assert_snapshot_agrees(stats)
 
 
+@pytest.mark.parametrize("backend,kwargs", [
+    ("serial", {"n_planes": 1}),
+    ("serial", {"n_planes": 4}),
+    ("thread", {"n_planes": 2, "n_workers": 2}),
+    ("process", {"n_planes": 2, "n_workers": 2}),
+])
+class TestPlaneMergeSurvivesMigration:
+    """The satellite fix: per-plane rows must reconcile to gateway totals
+    even though a scale event re-homes counter history — the old merge
+    assumed plane identity was stable, so scale-in left stale rows for
+    dead planes (double counting) and scale-out left moved history on
+    the wrong plane."""
+
+    def test_merge_after_scale_out(self, backend, kwargs):
+        gateway = AlertGateway(
+            _graph(), backend=backend, flush_size=32,
+            retain_artifacts=False, **kwargs,
+        )
+        alerts = _alerts()
+        gateway.ingest_batch(alerts[:150])
+        gateway.scale_planes(4)
+        # Immediately after the migration — before any further flush —
+        # the rebuilt rows must already partition the totals.
+        _assert_planes_partition_totals(gateway.stats)
+        assert set(gateway.stats.planes) == set(range(4))
+        gateway.ingest_batch(alerts[150:])
+        stats = gateway.drain()
+        _assert_planes_partition_totals(stats)
+        _assert_snapshot_agrees(stats)
+
+    def test_merge_after_scale_in(self, backend, kwargs):
+        gateway = AlertGateway(
+            _graph(), backend=backend, flush_size=32,
+            retain_artifacts=False, **kwargs,
+        )
+        alerts = _alerts()
+        gateway.ingest_batch(alerts[:150])
+        gateway.scale_planes(1)
+        # Rows keyed by dead plane ids must be gone, not lingering as
+        # stale duplicates of the migrated history.
+        assert set(gateway.stats.planes) == {0}
+        _assert_planes_partition_totals(gateway.stats)
+        gateway.ingest_batch(alerts[150:])
+        stats = gateway.drain()
+        assert set(stats.planes) == {0}
+        _assert_planes_partition_totals(stats)
+        _assert_snapshot_agrees(stats)
+
+    def test_merge_after_scale_then_rebalance(self, backend, kwargs):
+        gateway = AlertGateway(
+            _graph(), backend=backend, flush_size=32, n_shards=2,
+            retain_artifacts=False, **kwargs,
+        )
+        alerts = _alerts()
+        gateway.ingest_batch(alerts[:100])
+        gateway.scale_planes(3)
+        gateway.rebalance(5)
+        gateway.snapshot()
+        _assert_planes_partition_totals(gateway.stats)
+        gateway.ingest_batch(alerts[100:])
+        stats = gateway.drain()
+        assert stats.plane_scales == 1
+        assert stats.rebalances == 1
+        _assert_planes_partition_totals(stats)
+        _assert_snapshot_agrees(stats)
+
+
+def test_scale_events_land_in_the_snapshot_payload():
+    gateway = AlertGateway(_graph(), n_planes=1, flush_size=16,
+                           retain_artifacts=False)
+    alerts = _alerts(120)
+    gateway.ingest_batch(alerts[:60])
+    gateway.scale_planes(3)
+    gateway.ingest_batch(alerts[60:])
+    stats = gateway.drain()
+    payload = stats.snapshot()
+    assert payload["plane_scales"] == 1
+    assert payload["scales"] == [{
+        "at_input": 60, "from_planes": 1, "to_planes": 3,
+        "moved_regions": stats.scales[0]["moved_regions"],
+    }]
+    assert payload["scales"][0]["moved_regions"] > 0
+
+
 def test_post_drain_snapshot_is_rebuilt_from_frozen_totals():
     gateway = AlertGateway(_graph(), n_planes=2, flush_size=16,
                            retain_artifacts=False)

@@ -3,17 +3,24 @@
 import pickle
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import ValidationError
 from repro.core.mitigation import MitigationPipeline
+from repro.core.mitigation.blocking import BlockingRule
 from repro.streaming import (
+    OpenSession,
+    PlaneRegionState,
+    RegionStormState,
     iter_jsonl_alerts,
     pack_aggregates,
     pack_alerts,
     pack_clusters,
+    pack_plane_state,
     unpack_aggregates,
     unpack_alerts,
     unpack_clusters,
+    unpack_plane_state,
 )
 from repro.workload.trace import AlertTrace
 from tests.streaming.conftest import make_alert
@@ -97,3 +104,218 @@ class TestSnapshotRoundTrip:
 
     def test_empty_clusters(self):
         assert unpack_clusters(pack_clusters([])) == []
+
+
+# ----------------------------------------------------------------------
+# plane-state snapshots (live plane scale-out migration payloads)
+# ----------------------------------------------------------------------
+_TEXT = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    min_size=1, max_size=12,
+)
+
+
+def _session(index: int, region: str, strategy: str, title: str,
+             n_ids: int) -> OpenSession:
+    representative = make_alert(
+        occurred_at=100.0 * index,
+        strategy_id=strategy,
+        region=region,
+        title=title,
+    )
+    return OpenSession(
+        strategy_id=strategy,
+        region=region,
+        first_at=100.0 * index,
+        last_at=100.0 * index + 42.0,
+        count=n_ids + 1,
+        representative=representative,
+        alert_ids=[representative.alert_id] + [
+            f"id-{index}-{position}" for position in range(n_ids)
+        ],
+    )
+
+
+@st.composite
+def plane_states(draw):
+    """Randomized region slices: unicode vocab, deep components, rules."""
+    region = draw(_TEXT)
+    strategies = draw(st.lists(_TEXT, min_size=1, max_size=4, unique=True))
+    sessions = [
+        _session(index, region, draw(st.sampled_from(strategies)),
+                 draw(_TEXT), draw(st.integers(min_value=0, max_value=6)))
+        for index in range(draw(st.integers(min_value=0, max_value=4)))
+    ]
+    components = []
+    for component in range(draw(st.integers(min_value=0, max_value=3))):
+        # "Deep union-find chains": up to a few dozen members per
+        # component, all travelling as one contiguous alert block.
+        size = draw(st.integers(min_value=1, max_value=24))
+        members = [
+            make_alert(
+                occurred_at=1000.0 * component + 10.0 * position,
+                strategy_id=draw(st.sampled_from(strategies)),
+                region=region,
+                title=draw(_TEXT),
+            )
+            for position in range(size)
+        ]
+        components.append((members, members[-1].occurred_at))
+    storm = None
+    if draw(st.booleans()):
+        has_counter = draw(st.booleans())
+        counts = (
+            draw(st.lists(st.integers(min_value=0, max_value=10_000),
+                          min_size=1, max_size=60))
+            if has_counter else None
+        )
+        storm = RegionStormState(
+            region=region,
+            bucket_seconds=60.0,
+            counts=counts,
+            total=sum(counts) if counts else 0,
+            head=draw(st.integers(min_value=0, max_value=10**9))
+            if has_counter and draw(st.booleans()) else None,
+            episode_started_at=draw(st.one_of(
+                st.none(),
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            )),
+            episode_peak_rate=draw(st.floats(
+                min_value=0, max_value=1e6, allow_nan=False,
+            )),
+            last_seen={
+                strategy: draw(st.floats(
+                    min_value=0, max_value=1e6, allow_nan=False,
+                ))
+                for strategy in draw(st.lists(
+                    _TEXT, max_size=4, unique=True,
+                ))
+            },
+            episode_count=draw(st.integers(min_value=0, max_value=50)),
+            emerging_count=draw(st.integers(min_value=0, max_value=50)),
+            ingested=draw(st.integers(min_value=0, max_value=10**6)),
+        )
+    rules = [
+        BlockingRule(
+            strategy_id=draw(st.sampled_from(strategies)),
+            region=draw(st.one_of(st.none(), st.just(region))),
+            reason=draw(_TEXT),
+            expires_at=draw(st.one_of(
+                st.none(),
+                st.floats(min_value=0, max_value=1e7, allow_nan=False),
+            )),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=3)))
+    ]
+    return PlaneRegionState(
+        region=region,
+        counters=[
+            draw(st.integers(min_value=0, max_value=10**9)) for _ in range(4)
+        ],
+        sessions=sessions,
+        components=components,
+        storm=storm,
+        rules=rules,
+        shard_pins={
+            strategy: draw(st.integers(min_value=0, max_value=63))
+            for strategy in draw(st.lists(_TEXT, max_size=4, unique=True))
+        },
+    )
+
+
+class TestPlaneStateRoundTrip:
+    def test_empty_plane_state(self):
+        state = PlaneRegionState(
+            region="region-∅", counters=[0, 0, 0, 0], sessions=[],
+            components=[], storm=None,
+        )
+        assert unpack_plane_state(pack_plane_state(state)) == state
+
+    def test_unicode_titles_and_regions_survive(self):
+        session = _session(0, "région-α", "stratégie-β", "queue ∞ saturée", 3)
+        state = PlaneRegionState(
+            region="région-α", counters=[7, 1, 2, 1], sessions=[session],
+            components=[([session.representative], 100.0)],
+            storm=None,
+            rules=[BlockingRule(strategy_id="stratégie-β",
+                                reason="ünïcode ✓", expires_at=1234.5)],
+        )
+        decoded = unpack_plane_state(pack_plane_state(state))
+        assert decoded == state
+        assert decoded.rules[0].expires_at == 1234.5
+
+    def test_live_learner_rules_with_ttls_survive(self):
+        rules = [
+            BlockingRule(strategy_id="s-noise",
+                         reason="learned A5: 31 alerts of one region",
+                         expires_at=7200.0),
+            BlockingRule(strategy_id="s-flaky", region="region-B",
+                         reason="operator", expires_at=None),
+        ]
+        state = PlaneRegionState(
+            region="region-B", counters=[1, 0, 0, 0], sessions=[],
+            components=[], storm=None, rules=rules,
+        )
+        decoded = unpack_plane_state(pack_plane_state(state))
+        assert decoded.rules == rules
+
+    def test_magic_mismatch_rejected(self):
+        state = PlaneRegionState(
+            region="r", counters=[0, 0, 0, 0], sessions=[], components=[],
+            storm=None,
+        )
+        with pytest.raises(ValidationError, match="magic"):
+            unpack_alerts(pack_plane_state(state))
+
+    def test_deterministic_bytes(self):
+        state = PlaneRegionState(
+            region="region-A", counters=[5, 1, 1, 0],
+            sessions=[_session(0, "region-A", "s-api", "latency 42 ms", 2)],
+            components=[], storm=None,
+        )
+        assert pack_plane_state(state) == pack_plane_state(state)
+
+    @settings(max_examples=50, deadline=None)
+    @given(state=plane_states())
+    def test_fuzz_round_trip_exactly(self, state):
+        assert unpack_plane_state(pack_plane_state(state)) == state
+
+    def test_exported_state_round_trips_through_a_live_plane(self):
+        """End to end: export a region from a real plane, pack, unpack,
+        adopt into a fresh plane, and drain both plane sets to the same
+        accounting (the exact path a process-backend migration takes)."""
+        from repro.streaming import PlaneConfig, RegionPlane
+
+        def build_plane(plane_id=0):
+            return RegionPlane(plane_id, PlaneConfig(
+                graph=golden_graph(), blocker=golden_blocker(),
+                rulebook=None, n_shards=2, aggregation_window=WINDOW,
+                correlation_window=WINDOW, correlation_max_hops=4,
+                enable_storm_detection=True, retain_artifacts=True,
+                finalize_every=256,
+            ))
+
+        alerts = sorted(
+            [
+                make_alert(occurred_at=60.0 * index,
+                           strategy_id=f"s-{index % 3}",
+                           region=("region-A", "region-B")[index % 2],
+                           microservice=("m-1", "m-2")[index % 2])
+                for index in range(80)
+            ],
+            key=lambda alert: alert.occurred_at,
+        )
+        source = build_plane()
+        source.process_batch(alerts, in_warmup=0, watermark=alerts[-1].occurred_at)
+        exported = source.export_region("region-B")
+        restored = unpack_plane_state(pack_plane_state(exported))
+        assert restored == exported
+        target = build_plane(plane_id=1)
+        target.adopt_region(restored)
+        total = (
+            source.drain(alerts[-1].occurred_at).counters()["aggregates"]
+            + target.drain(alerts[-1].occurred_at).counters()["aggregates"]
+        )
+        whole = build_plane(plane_id=2)
+        whole.process_batch(alerts, in_warmup=0, watermark=alerts[-1].occurred_at)
+        assert total == whole.drain(alerts[-1].occurred_at).counters()["aggregates"]
