@@ -7,6 +7,8 @@
     repro-alerts mitigate --trace trace-dir
     repro-alerts stream   --trace trace-dir --shards 4 --reconcile
     repro-alerts stream   --trace trace-dir --backend thread --workers 4
+    repro-alerts serve    --trace trace-dir --data-dir svc-dir
+    repro-alerts ops      --data-dir svc-dir
     repro-alerts qoa      --trace trace-dir
     repro-alerts storm
     repro-alerts survey
@@ -19,7 +21,9 @@ reports the benchmark harness records.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import compute_trace_stats, paper_reference as paper
@@ -63,12 +67,72 @@ def main(argv: Sequence[str] | None = None) -> int:
         "mine": _cmd_mine,
         "mitigate": _cmd_mitigate,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
+        "ops": _cmd_ops,
         "qoa": _cmd_qoa,
         "storm": _cmd_storm,
         "survey": _cmd_survey,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)
+
+
+def _parse_scale_spec(spec: str) -> tuple[int, int]:
+    """Validate one ``--scale-at EVENTIDX:PLANES`` token at parse time.
+
+    Argparse surfaces :class:`argparse.ArgumentTypeError` as a usage
+    error naming the offending token, so a malformed schedule fails
+    before any trace is loaded or gateway constructed.
+    """
+    head, sep, tail = spec.partition(":")
+    if not sep or ":" in tail:
+        raise argparse.ArgumentTypeError(
+            f"invalid --scale-at value {spec!r}: expected exactly one "
+            f"colon separating EVENTIDX:PLANES"
+        )
+    try:
+        event_index = int(head)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --scale-at value {spec!r}: EVENTIDX {head!r} is not "
+            f"an integer"
+        ) from None
+    try:
+        planes = int(tail)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --scale-at value {spec!r}: PLANES {tail!r} is not "
+            f"an integer"
+        ) from None
+    if event_index < 0:
+        raise argparse.ArgumentTypeError(
+            f"invalid --scale-at value {spec!r}: EVENTIDX must be >= 0"
+        )
+    if planes < 1:
+        raise argparse.ArgumentTypeError(
+            f"invalid --scale-at value {spec!r}: PLANES must be >= 1"
+        )
+    return event_index, planes
+
+
+def _parse_endpoint(spec: str) -> tuple[str, int]:
+    """Validate one ``HOST:PORT`` endpoint token at parse time."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"invalid endpoint {spec!r}: expected HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid endpoint {spec!r}: port {port_text!r} is not an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"invalid endpoint {spec!r}: port must be 0-65535"
+        )
+    return host, port
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -121,6 +185,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--rebalance-to", type=int, default=None,
                         help="re-shard to this count halfway through the stream")
     stream.add_argument("--scale-at", action="append", default=None,
+                        type=_parse_scale_spec,
                         metavar="EVENTIDX:PLANES",
                         help="scale the live gateway to PLANES execution "
                              "planes once EVENTIDX events have been ingested, "
@@ -136,6 +201,74 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also run the batch pipeline and verify exact "
                              "parity (with --learn-rules: report the "
                              "online-vs-batch rule divergence instead)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a durable, restartable alert-gateway service "
+             "(checkpoints + write-ahead journal in --data-dir)",
+    )
+    serve.add_argument("--trace", required=True,
+                       help="trace directory (topology + rulebook source; "
+                            "also the replay source unless --listen/--stdin)")
+    serve.add_argument("--data-dir", required=True,
+                       help="service directory for checkpoints, journal, "
+                            "and stats.json (restores automatically when "
+                            "it already holds state)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="topology seed (default: the trace's seed)")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--planes", type=int, default=1)
+    serve.add_argument("--backend", choices=BACKEND_NAMES, default="serial")
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--flush-size", type=int, default=None)
+    serve.add_argument("--window", type=float, default=900.0)
+    serve.add_argument("--learn-rules", action="store_true")
+    serve.add_argument("--qoa", action="store_true")
+    serve.add_argument("--checkpoint-every", type=int, default=4096,
+                       help="snapshot cadence in ingested events (written at "
+                            "the next natural flush barrier)")
+    serve.add_argument("--retain", type=int, default=3,
+                       help="checkpoints kept on disk")
+    serve.add_argument("--journal-mode", choices=("lazy", "batch", "sync"),
+                       default="lazy",
+                       help="journal durability tier: lazy (snapshot-anchored,"
+                            " re-feed the tail from the source after a hard "
+                            "kill), batch (write-ahead per batch, survives "
+                            "process death), sync (fsync everything, survives "
+                            "host death)")
+    serve.add_argument("--sync-journal", action="store_true",
+                       help="shorthand for --journal-mode sync")
+    serve.add_argument("--batch-size", type=int, default=256,
+                       help="ingest batch size for replay/stdin sources")
+    serve.add_argument("--limit", type=int, default=None,
+                       help="replay at most this many events then stop "
+                            "gracefully (kill/restore drills)")
+    serve.add_argument("--stdin", action="store_true",
+                       help="ingest JSON alerts from stdin (one per line) "
+                            "instead of replaying the trace")
+    serve.add_argument("--listen", type=_parse_endpoint, default=None,
+                       metavar="HOST:PORT",
+                       help="ingest JSON alerts over a line-protocol socket "
+                            "instead of replaying the trace "
+                            "(the line STATS queries live status)")
+    serve.add_argument("--no-drain", action="store_true",
+                       help="on a clean end of input, snapshot and stop "
+                            "instead of draining (keeps the stream "
+                            "resumable)")
+
+    ops = sub.add_parser(
+        "ops",
+        help="operator analytics over a service directory "
+             "(stats.json or the newest checkpoint)",
+    )
+    ops.add_argument("--data-dir", required=True, help="service directory")
+    ops.add_argument("--view", default="report",
+                     choices=("report", "qoa", "storms", "rules", "planes"),
+                     help="which operator view to render (default: report)")
+    ops.add_argument("--from-checkpoint", action="store_true",
+                     help="read the newest snapshot instead of stats.json")
+    ops.add_argument("--json", action="store_true",
+                     help="emit the raw status payload as JSON")
 
     storm = sub.add_parser("storm", help="regenerate the Figure 3 storm")
     storm.add_argument("--seed", type=int, default=42)
@@ -218,13 +351,9 @@ def _cmd_stream(args) -> int:
     )
     schedule: list[tuple[str, int, int]] = []
     if args.scale_at:
-        for spec in args.scale_at:
-            try:
-                event_index, planes = spec.split(":", 1)
-                schedule.append(("scale", int(event_index), int(planes)))
-            except ValueError:
-                print(f"invalid --scale-at {spec!r}; expected EVENTIDX:PLANES")
-                return 2
+        # Specs are validated (and parsed to tuples) by argparse.
+        for event_index, planes in args.scale_at:
+            schedule.append(("scale", event_index, planes))
     if args.rebalance_to is not None or schedule:
         alerts = list(trace.iter_ordered())
         if args.rebalance_to is not None:
@@ -276,6 +405,119 @@ def _cmd_stream(args) -> int:
                 print(f"MISMATCH {stage}: gateway={online} batch={batch}")
             return 1
         print("reconciliation: gateway matches batch pipeline exactly")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import AlertGatewayService
+
+    trace, topology = _load(args)
+    rulebook = rulebook_from_ground_truth(trace, coverage=0.6, seed=trace.seed)
+    blocker = (
+        AlertBlocker() if args.learn_rules
+        else MitigationPipeline.derive_blocker(trace)
+    )
+    service = AlertGatewayService(
+        topology.graph,
+        args.data_dir,
+        blocker=blocker,
+        rulebook=rulebook,
+        checkpoint_every=args.checkpoint_every,
+        retain_checkpoints=args.retain,
+        journal_mode=args.journal_mode,
+        sync_journal=args.sync_journal,
+        n_shards=args.shards,
+        n_planes=args.planes,
+        backend=args.backend,
+        n_workers=args.workers,
+        flush_size=args.flush_size,
+        aggregation_window=args.window,
+        correlation_window=args.window,
+        retain_artifacts=False,
+        learn_rules=args.learn_rules,
+        enable_qoa=args.qoa,
+    )
+    outcome = service.start()
+    position = service.input_alerts
+    print(f"service {outcome} at {args.data_dir} "
+          f"(epoch {service.recovered_from if outcome == 'restored' else 0}, "
+          f"{position:,} events already ingested)")
+    service.install_signal_handlers()
+    try:
+        if args.listen is not None:
+            host, port = service.serve_socket(*args.listen)
+            print(f"listening on {host}:{port} "
+                  f"(JSON alert per line; STATS for status) — "
+                  f"SIGTERM/SIGINT to stop")
+            import time as _time
+            while not service.stop_requested:
+                _time.sleep(0.2)
+            end = "stopped"
+        elif args.stdin:
+            end = service.run_lines(sys.stdin, batch_size=args.batch_size)
+        else:
+            alerts = list(trace.iter_ordered())
+            if position:
+                alerts = alerts[position:]
+                print(f"resuming replay at event {position:,}")
+            if args.limit is not None and args.limit < len(alerts):
+                alerts = alerts[:args.limit]
+                truncated = True
+            else:
+                truncated = False
+            end = service.run_stream(alerts, batch_size=args.batch_size)
+            if truncated and end == "exhausted":
+                # --limit cut the replay short: the *stream* is not over,
+                # only this drill leg — keep it resumable.
+                end = "paused"
+    except KeyboardInterrupt:
+        end = "stopped"
+    if end == "exhausted" and not args.no_drain:
+        stats = service.stop(drain=True)
+        print(stats.render())
+        print(f"stream drained; final stats in "
+              f"{Path(args.data_dir) / 'stats.json'}")
+    else:
+        service.stop()
+        print(f"service stopped ({end}); snapshot written — rerun to resume")
+    return 0
+
+
+def _cmd_ops(args) -> int:
+    from repro.serving import (
+        CheckpointLoader,
+        render_ops_report,
+        render_plane_health,
+        render_qoa_scoreboard,
+        render_rule_history,
+        render_storm_timeline,
+        status_of_checkpoint,
+    )
+
+    data_dir = Path(args.data_dir)
+    status_path = data_dir / "stats.json"
+    if not args.from_checkpoint and status_path.exists():
+        status = json.loads(status_path.read_text())
+        source = str(status_path)
+    else:
+        checkpoint = CheckpointLoader(data_dir).latest()
+        if checkpoint is None:
+            print(f"no stats.json or checkpoint found in {data_dir}")
+            return 2
+        status = status_of_checkpoint(checkpoint)
+        source = f"checkpoint epoch {checkpoint.seq}"
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    view = {
+        "report": render_ops_report,
+        "qoa": render_qoa_scoreboard,
+        "storms": render_storm_timeline,
+        "rules": render_rule_history,
+        "planes": render_plane_health,
+    }[args.view]
+    print(f"[{source}]")
+    print(view(status))
     return 0
 
 

@@ -21,7 +21,27 @@ from repro.common.errors import ValidationError
 from repro.core.antipatterns.base import AntiPatternFinding
 from repro.workload.trace import AlertTrace
 
-__all__ = ["BlockingRule", "AlertBlocker"]
+__all__ = ["BlockingRule", "AlertBlocker", "rule_to_dict", "rule_from_dict"]
+
+
+def rule_to_dict(rule: "BlockingRule") -> dict:
+    """A JSON-safe row for one rule (checkpoint/journal serialisation)."""
+    return {
+        "strategy_id": rule.strategy_id,
+        "region": rule.region,
+        "reason": rule.reason,
+        "expires_at": rule.expires_at,
+    }
+
+
+def rule_from_dict(row: dict) -> "BlockingRule":
+    """Rebuild a rule from :func:`rule_to_dict` output (exact round trip)."""
+    return BlockingRule(
+        strategy_id=row["strategy_id"],
+        region=row.get("region"),
+        reason=row.get("reason", ""),
+        expires_at=row.get("expires_at"),
+    )
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,272 @@
+"""The operator analytics surface: render service state for humans.
+
+Everything here consumes *plain dicts* — either the live status payload
+from :meth:`AlertGatewayService.status()
+<repro.serving.service.AlertGatewayService.status>` (also persisted as
+``stats.json``), or a status synthesised from a checkpoint on disk via
+:func:`status_of_checkpoint` — so ``repro ops`` can inspect a running
+service, a stopped one, or a bare snapshot with the same code path and
+no live gateway required.
+
+The views map onto the paper's operator concerns: the QoA scoreboard
+surfaces the lowest-quality alert strategies (the anti-pattern ranking
+of §V), the storm timeline shows R4 episode pressure over the
+checkpoint history, the rule history explains every R1
+promotion/demotion the online learner made, and plane health shows how
+the region-partitioned execution planes share the load.
+"""
+
+from __future__ import annotations
+
+from repro.serving.checkpoint import GatewayCheckpoint
+from repro.streaming.qoa import StreamQoAScorer
+
+__all__ = [
+    "status_of_checkpoint",
+    "render_qoa_scoreboard",
+    "render_storm_timeline",
+    "render_rule_history",
+    "render_plane_health",
+    "render_ops_report",
+]
+
+
+def status_of_checkpoint(checkpoint: GatewayCheckpoint) -> dict:
+    """A status-shaped dict from a snapshot — no gateway boot needed.
+
+    Checkpoints record the gateway's restorable accounting, the QoA
+    scores as of the barrier, and the learner's full event timeline, so
+    the operator views render from a cold snapshot exactly as from a
+    live service (minus live-only fields: runtime metrics, journal
+    position, history ring).
+    """
+    stats = checkpoint.state["stats"]
+    learner = checkpoint.state.get("learner")
+    config = checkpoint.config
+    # stats.qoa freezes only at drain; a checkpoint carries the live
+    # scorer's counters instead — rebuild it to score without a gateway.
+    qoa_state = checkpoint.state.get("qoa")
+    if qoa_state is not None:
+        scorer = StreamQoAScorer()
+        scorer.restore_state(qoa_state)
+        qoa_scores = scorer.snapshot()
+    else:
+        qoa_scores = stats["qoa"]
+    gateway = {
+        "backend": config["backend"],
+        "n_planes": config["n_planes"],
+        "n_shards": config["n_shards"],
+        "n_workers": config["n_workers"],
+        "flush_size": config["flush_size"],
+        "input_alerts": stats["input_alerts"],
+        "blocked_alerts": stats["blocked_alerts"],
+        "aggregates": stats["aggregates_emitted"],
+        "clusters": stats["clusters_finalized"],
+        "storm_episodes": stats["storm_episodes"],
+        "emerging_flags": stats["emerging_flags"],
+        "late_events": stats["late_events"],
+        "flushes": stats["flushes"],
+        "rebalances": stats["rebalances"],
+        "plane_scales": stats["plane_scales"],
+        "scales": stats["scales"],
+        "watermark": stats["watermark"],
+        "total_reduction": (
+            1.0 - stats["clusters_finalized"] / stats["input_alerts"]
+            if stats["input_alerts"] else 0.0
+        ),
+        "throughput": None,  # wall-clock does not survive a snapshot
+        "planes": [
+            dict(stats["planes"][key])
+            for key in sorted(stats["planes"], key=int)
+        ],
+        "learner": {
+            "enabled": learner is not None,
+            "rules_promoted": stats["rules_promoted"],
+            "rules_renewed": stats["rules_renewed"],
+            "rules_demoted": stats["rules_demoted"],
+            "rules_expired": stats["rules_expired"],
+            "rules_active": stats["rules_active"],
+        },
+        "qoa": qoa_scores,
+    }
+    return {
+        "service": {
+            "source": "checkpoint",
+            "epoch": checkpoint.seq,
+            "created_at": checkpoint.created_at,
+        },
+        "gateway": gateway,
+        "qoa_live": qoa_scores,
+        "rule_events": learner["events"] if learner is not None else None,
+        "history": [],
+        "metrics": None,
+    }
+
+
+def render_qoa_scoreboard(
+    status: dict, limit: int = 10, min_alerts: int = 5,
+) -> str:
+    """Worst alert strategies by streaming QoA, one line each."""
+    scores = status.get("qoa_live") or status["gateway"].get("qoa")
+    if not scores:
+        return "  (QoA scoring disabled or no scores yet)"
+    scored = [
+        (strategy_id, row) for strategy_id, row in scores.items()
+        if row["seen"] >= min_alerts
+    ]
+    scored.sort(key=lambda item: (item[1]["overall"], item[0]))
+    lines = [
+        f"  {'strategy':<24} {'overall':>7} {'coverage':>8} "
+        f"{'action':>7} {'distinct':>8} {'alerts':>8}"
+    ]
+    for strategy_id, row in scored[:limit]:
+        lines.append(
+            f"  {strategy_id:<24} {row['overall']:>7.2f} "
+            f"{row['coverage']:>8.2f} {row['actionability']:>7.2f} "
+            f"{row['distinctness']:>8.2f} {row['seen']:>8,.0f}"
+        )
+    if len(scored) > limit:
+        lines.append(f"  ... and {len(scored) - limit} more strategies")
+    return "\n".join(lines)
+
+
+def render_storm_timeline(status: dict, limit: int = 12) -> str:
+    """R4 storm pressure across the checkpoint history ring.
+
+    Each row is one checkpoint tick; the deltas between rows show where
+    in the stream storm episodes and emerging-storm flags landed.
+    """
+    history = status.get("history") or []
+    gateway = status["gateway"]
+    if not history:
+        return (
+            f"  (no checkpoint history; totals: "
+            f"{gateway['storm_episodes']} storm episodes, "
+            f"{gateway['emerging_flags']} emerging flags)"
+        )
+    lines = [
+        f"  {'at input':>10} {'watermark':>12} {'storms':>7} "
+        f"{'+new':>5} {'emerging':>9} {'rules':>6}"
+    ]
+    window = list(history)[-limit:]
+    previous = None
+    for tick in window:
+        new = (
+            tick["storm_episodes"] - previous["storm_episodes"]
+            if previous is not None else tick["storm_episodes"]
+        )
+        watermark = tick["watermark"]
+        watermark_text = f"{watermark:,.0f}" if watermark is not None else "-"
+        lines.append(
+            f"  {tick['at_input']:>10,} {watermark_text:>12} "
+            f"{tick['storm_episodes']:>7,} {new:>5,} "
+            f"{tick['emerging_flags']:>9,} {tick['rules_active']:>6,}"
+        )
+        previous = tick
+    if len(history) > limit:
+        lines.append(f"  ... {len(history) - limit} older ticks elided")
+    return "\n".join(lines)
+
+
+def render_rule_history(status: dict, limit: int = 20) -> str:
+    """The online learner's R1 rule event tail, newest last."""
+    events = status.get("rule_events")
+    if events is None:
+        return "  (rule learning disabled)"
+    if not events:
+        return "  (no rule events yet)"
+    lines = []
+    for kind, strategy_id, at_input, at_time, expires_at, reason in events[-limit:]:
+        expiry = f" until {expires_at:,.0f}" if expires_at is not None else ""
+        lines.append(
+            f"  @{at_input:>9,} {kind:<9} {strategy_id:<24}"
+            f"{expiry}  {reason}"
+        )
+    if len(events) > limit:
+        lines.append(f"  ... {len(events) - limit} older events elided")
+    return "\n".join(lines)
+
+
+def render_plane_health(status: dict) -> str:
+    """Per-plane load share and volume accounting, one line per plane."""
+    gateway = status["gateway"]
+    planes = gateway.get("planes") or []
+    if not planes:
+        return "  (no per-plane accounting yet — nothing flushed)"
+    total = sum(plane["processed"] for plane in planes) or 1
+    lines = []
+    for plane in planes:
+        regions = ",".join(plane.get("regions", ())) or "-"
+        share = plane["processed"] / total
+        lines.append(
+            f"  plane {plane['plane_id']} [{regions}]: "
+            f"in {plane['processed']:>8,} ({share:>5.1%})  "
+            f"blocked {plane['blocked']:>7,}  "
+            f"groups {plane['aggregates']:>6,}  "
+            f"clusters {plane['clusters']:>5,}  "
+            f"storms {plane['storm_episodes']:>4,}"
+        )
+    return "\n".join(lines)
+
+
+def render_ops_report(status: dict) -> str:
+    """The full operator report: service, volumes, QoA, storms, rules."""
+    service = status.get("service", {})
+    gateway = status["gateway"]
+    lines = ["service"]
+    if service.get("source") == "checkpoint":
+        lines.append(
+            f"  checkpoint epoch {service['epoch']} "
+            f"(created_at {service['created_at']:.0f})"
+        )
+    else:
+        journal = service.get("journal") or {}
+        lines.append(
+            f"  epoch {service.get('epoch', 0)}  "
+            f"checkpoints {service.get('checkpoints_written', 0)}  "
+            f"since last {service.get('since_checkpoint', 0):,} events"
+        )
+        if service.get("recovered_from") is not None:
+            lines.append(
+                f"  recovered from snapshot {service['recovered_from']} "
+                f"(+{service.get('replayed_events', 0):,} journal events)"
+            )
+        if journal.get("path"):
+            lines.append(
+                f"  journal {journal['path']} ({journal['records']:,} records)"
+            )
+    backend = gateway["backend"]
+    if backend in ("thread", "process"):
+        backend += f" x{gateway['n_workers']} workers"
+    throughput = gateway.get("throughput")
+    lines += [
+        "gateway",
+        f"  planes {gateway['n_planes']} x {gateway['n_shards']} shards "
+        f"({backend}, flush {gateway['flush_size']})",
+        f"  input {gateway['input_alerts']:,}  "
+        f"blocked {gateway['blocked_alerts']:,}  "
+        f"groups {gateway['aggregates']:,}  "
+        f"clusters {gateway['clusters']:,}  "
+        f"reduction {gateway['total_reduction']:.1%}"
+        + (f"  ({throughput:,.0f}/s)" if throughput else ""),
+        "QoA scoreboard (worst strategies)",
+        render_qoa_scoreboard(status),
+        "storm timeline",
+        render_storm_timeline(status),
+        "rule history",
+        render_rule_history(status),
+        "plane health",
+        render_plane_health(status),
+    ]
+    metrics = status.get("metrics")
+    if metrics:
+        lines.append("runtime metrics")
+        for name in sorted(metrics.get("counters", {})):
+            lines.append(f"  {name:<32} {metrics['counters'][name]:>12,}")
+        for name in sorted(metrics.get("timers", {})):
+            row = metrics["timers"][name]
+            lines.append(
+                f"  {name:<32} n={row['count']:<5,} "
+                f"mean {row['mean'] * 1e3:.2f}ms  max {row['max'] * 1e3:.2f}ms"
+            )
+    return "\n".join(lines)

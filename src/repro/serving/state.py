@@ -1,0 +1,103 @@
+"""Capture/restore glue between checkpoints and live gateways.
+
+A checkpoint stores *dynamic* state only.  The static inputs — the
+dependency graph and the correlation rulebook — are code-and-config,
+supplied by the caller at restore time exactly as at first boot; the
+checkpoint records the gateway's construction parameters
+(:meth:`~repro.streaming.gateway.AlertGateway.checkpoint_config`) so
+:func:`restore_gateway` can rebuild an identically-configured gateway
+and verify the caller did not silently change topology-shaped knobs the
+wire blobs depend on.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.core.mitigation.blocking import AlertBlocker
+from repro.core.mitigation.correlation import DependencyRuleBook
+from repro.serving.checkpoint import GatewayCheckpoint
+from repro.streaming import AlertGateway, LearnerConfig
+from repro.topology.graph import DependencyGraph
+
+__all__ = ["build_gateway", "restore_gateway"]
+
+#: Construction knobs a restore must reproduce exactly: they shape the
+#: wire blobs (shard rings, windows), the flush schedule (learner
+#: judgment positions), or the accounting the checkpoint carries.
+_STRICT_CONFIG = (
+    "backend", "n_planes", "n_shards", "flush_size", "flush_interval",
+    "aggregation_window", "correlation_window", "correlation_max_hops",
+    "enable_storm_detection", "retain_artifacts", "finalize_every",
+    "learn_rules", "enable_qoa",
+)
+
+
+def build_gateway(
+    graph: DependencyGraph,
+    config: dict,
+    blocker: AlertBlocker | None = None,
+    rulebook: DependencyRuleBook | None = None,
+) -> AlertGateway:
+    """Construct a gateway from a recorded configuration dict."""
+    learner_config = config.get("learner_config")
+    return AlertGateway(
+        graph,
+        blocker=blocker,
+        rulebook=rulebook,
+        n_shards=config["n_shards"],
+        n_planes=config["n_planes"],
+        aggregation_window=config["aggregation_window"],
+        correlation_window=config["correlation_window"],
+        correlation_max_hops=config["correlation_max_hops"],
+        enable_storm_detection=config["enable_storm_detection"],
+        retain_artifacts=config["retain_artifacts"],
+        finalize_every=config["finalize_every"],
+        backend=config["backend"],
+        n_workers=config["n_workers"],
+        flush_size=config["flush_size"],
+        flush_interval=config["flush_interval"],
+        learn_rules=config["learn_rules"],
+        learner_config=(
+            LearnerConfig(**learner_config) if learner_config else None
+        ),
+        enable_qoa=config["enable_qoa"],
+    )
+
+
+def restore_gateway(
+    checkpoint: GatewayCheckpoint,
+    graph: DependencyGraph,
+    rulebook: DependencyRuleBook | None = None,
+    expected_config: dict | None = None,
+) -> AlertGateway:
+    """Rebuild a live gateway from a checkpoint (bit-identical continue).
+
+    ``expected_config`` is the configuration the caller *would* use for
+    a fresh boot; when given, any strict-knob drift against the
+    checkpoint fails loudly instead of resuming a stream whose flush
+    schedule or shard rings no longer match its own history.
+    """
+    config = checkpoint.config
+    if expected_config is not None:
+        drift = {
+            key: (config.get(key), expected_config.get(key))
+            for key in _STRICT_CONFIG
+            if config.get(key) != expected_config.get(key)
+        }
+        if drift:
+            details = ", ".join(
+                f"{key}: checkpoint={have!r} requested={want!r}"
+                for key, (have, want) in sorted(drift.items())
+            )
+            raise ValidationError(
+                f"checkpoint configuration drift — restore would not "
+                f"continue the same stream ({details}); restore with the "
+                f"recorded configuration or start a fresh service directory"
+            )
+    # The blocker starts empty on purpose: adopt_checkpoint rebuilds the
+    # table to exactly the checkpointed rules (configured + learned).
+    gateway = build_gateway(
+        graph, config, blocker=AlertBlocker(), rulebook=rulebook,
+    )
+    gateway.adopt_checkpoint(checkpoint.restore_state())
+    return gateway

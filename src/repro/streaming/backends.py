@@ -138,6 +138,31 @@ class PlaneBackend(Protocol):
         """
         ...
 
+    def checkpoint(self, pairs: Sequence[tuple[int, str]]) -> list[bytes]:
+        """Wire-pack every (plane, region) slice, *non-destructively*.
+
+        A barrier (the gateway flushes first).  Each pair's region state
+        is exported, packed, and immediately re-adopted on the same
+        plane — the same export/adopt round trip live scale-out performs
+        cross-plane, whose invisibility the scale parity harness already
+        pins down — so after the call the backend is exactly as it was,
+        and the returned blobs (in ``pairs`` order) are a complete
+        durable image of all plane-resident state.  Rule tables are
+        blanked in the blobs: the checkpoint records the blocker table
+        once, gateway-level, not once per region.
+        """
+        ...
+
+    def restore(self, adopts: Sequence[tuple[int, bytes]]) -> None:
+        """Install checkpointed region blobs onto a *fresh* backend.
+
+        ``adopts`` rows are ``(plane, packed state)`` in the checkpoint's
+        first-seen region order.  Only valid before any event has
+        flowed; the process backend spawns its workers here so the
+        state lands in the processes that will run it.
+        """
+        ...
+
     def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
         """Flush all open plane state; the backend stays closeable only."""
         ...
@@ -149,6 +174,25 @@ class PlaneBackend(Protocol):
 
 def _build_planes(n_planes: int, config: PlaneConfig) -> list[RegionPlane]:
     return [RegionPlane(plane, config) for plane in range(n_planes)]
+
+
+def _checkpoint_region(plane: RegionPlane, region: str) -> bytes:
+    """Pack one region's plane state without disturbing the plane.
+
+    ``export_region`` is destructive by design (it is the migration
+    primitive), so a durable capture is export → pack → re-adopt on the
+    same plane.  The rule snapshot is blanked in the packed bytes only —
+    the checkpoint stores the blocker table once at gateway level — and
+    restored on the state object before re-adoption, which is then a
+    pure no-op repair against the same shared blocker.
+    """
+    state = plane.export_region(region)
+    rules = state.rules
+    state.rules = []
+    blob = pack_plane_state(state)
+    state.rules = rules
+    plane.adopt_region(state)
+    return blob
 
 
 class SerialPlaneBackend:
@@ -232,6 +276,16 @@ class SerialPlaneBackend:
         # Every in-process plane shares the one configured blocker, so a
         # single application covers them all.
         delta.apply_to(self._config.blocker)
+
+    def checkpoint(self, pairs: Sequence[tuple[int, str]]) -> list[bytes]:
+        return [
+            _checkpoint_region(self.planes[plane], region)
+            for plane, region in pairs
+        ]
+
+    def restore(self, adopts: Sequence[tuple[int, bytes]]) -> None:
+        for plane, blob in adopts:
+            self.planes[plane].adopt_region(unpack_plane_state(blob))
 
     def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
         return [plane.drain(watermark) for plane in self.planes]
@@ -382,6 +436,20 @@ def _plane_worker_loop(connection, plane_ids, config: PlaneConfig) -> None:
                 connection.send(("ok", [
                     planes[plane].snapshot() for plane in sorted(planes)
                 ]))
+            elif kind == "checkpoint":
+                # Non-destructive capture: export → pack → re-adopt on
+                # the same plane, one blob per (plane, region) pair in
+                # request order.
+                connection.send(("ok", [
+                    _checkpoint_region(planes[plane], region)
+                    for plane, region in payload
+                ]))
+            elif kind == "adopt":
+                # Checkpoint restore: install packed region states on
+                # this worker's freshly-built planes.
+                for plane, blob in payload:
+                    planes[plane].adopt_region(unpack_plane_state(blob))
+                connection.send(("ok", None))
             elif kind == "rules":
                 added_blob, removed_blob = payload
                 for rule in unpack_rules(removed_blob):
@@ -595,16 +663,69 @@ class ProcessPlaneBackend:
         """Ship a learned rule delta to every worker's shared blocker.
 
         Additions travel wire-packed (:func:`~repro.streaming.wire.pack_rules`);
-        removals are bare strategy ids.  Before the workers exist the
-        delta lands on the spawn-time config, so late-born planes start
-        with the current table.
+        removals are bare strategy ids.  The parent-side blocker is kept
+        as an always-current mirror: before the workers exist it *is*
+        the spawn-time table (late-born planes start from it), and after
+        they exist it is what ``checkpoint_state`` records as the
+        authoritative rule table — the workers never read it again, so
+        the double application cannot double-block.
         """
+        delta.apply_to(self._config.blocker)
         if self._workers is None:
-            delta.apply_to(self._config.blocker)
             return
         message = ("rules", (pack_rules(delta.added), pack_rules(delta.removed)))
         worker_ids = list(range(self.n_workers))
         self._roundtrip(worker_ids, [message] * self.n_workers)
+
+    def checkpoint(self, pairs: Sequence[tuple[int, str]]) -> list[bytes]:
+        if self._closed:
+            raise ValidationError("process backend already closed")
+        if not pairs:
+            return []
+        if self._workers is None:
+            # No events have flowed, so no plane owns state yet — but a
+            # region pair implies the gateway routed something, which
+            # means a flush must have spawned the fleet first.
+            raise ValidationError(
+                "checkpoint requested for regions but no worker has run; "
+                "flush before checkpointing"
+            )
+        per_worker: dict[int, list[tuple[int, str]]] = {}
+        for plane, region in pairs:
+            per_worker.setdefault(self._worker_of(plane), []).append(
+                (plane, region)
+            )
+        worker_ids = sorted(per_worker)
+        replies = self._roundtrip(
+            worker_ids,
+            [("checkpoint", per_worker[w]) for w in worker_ids],
+        )
+        blob_of: dict[tuple[int, str], bytes] = {}
+        for worker_id, reply in zip(worker_ids, replies):
+            for pair, blob in zip(per_worker[worker_id], reply):
+                blob_of[pair] = blob
+        return [blob_of[(plane, region)] for plane, region in pairs]
+
+    def restore(self, adopts: Sequence[tuple[int, bytes]]) -> None:
+        if self._closed:
+            raise ValidationError("process backend already closed")
+        if not adopts:
+            return
+        if self._workers is None:
+            # Spawn now so the restored state lands in the worker
+            # processes that will execute it; the spawn-time config
+            # already carries the restored blocker table.
+            self._start()
+        per_worker: dict[int, list[tuple[int, bytes]]] = {}
+        for plane, blob in adopts:
+            per_worker.setdefault(self._worker_of(plane), []).append(
+                (plane, blob)
+            )
+        worker_ids = sorted(per_worker)
+        self._roundtrip(
+            worker_ids,
+            [("adopt", per_worker[w]) for w in worker_ids],
+        )
 
     def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
         if self._workers is None:

@@ -66,11 +66,13 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
+import dataclasses
+
 from repro.alerting.alert import Alert
 from repro.common.errors import ValidationError
 from repro.common.validation import require_positive
 from repro.core.mitigation.aggregation import AggregatedAlert
-from repro.core.mitigation.blocking import AlertBlocker
+from repro.core.mitigation.blocking import AlertBlocker, rule_from_dict, rule_to_dict
 from repro.core.mitigation.correlation import AlertCluster, DependencyRuleBook
 from repro.streaming.backends import PlaneBackend, make_backend
 from repro.streaming.learning import LearnerConfig, OnlineRuleLearner
@@ -358,6 +360,20 @@ class AlertGateway:
         self._backend.close()
         return self.stats
 
+    def close(self) -> None:
+        """Release backend resources *without* draining (service shutdown).
+
+        The checkpointed service path: open window state is already
+        durable in the snapshot + journal, so finalising it here (as
+        :meth:`drain` would) is not just unnecessary — it would emit
+        end-of-stream artifacts for a stream that has not ended.  The
+        gateway is unusable afterwards; idempotent.
+        """
+        if self._drained:
+            return
+        self._drained = True
+        self._backend.close()
+
     # ------------------------------------------------------------------
     # rebalancing
     # ------------------------------------------------------------------
@@ -459,6 +475,147 @@ class AlertGateway:
             self._set_plane_counters(snapshot.plane_id, snapshot.counters())
         self._refresh_totals()
         return moved
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    @property
+    def at_flush_barrier(self) -> bool:
+        """Whether no events are buffered (checkpoints require this).
+
+        At a barrier every ingested event has been processed by its
+        plane, so the backend's state plus the gateway's counters are a
+        complete, consistent image of the stream so far.
+        """
+        return self._buffered == 0
+
+    def flush(self) -> list[AggregatedAlert]:
+        """Force a flush barrier, processing everything buffered.
+
+        Note this is itself an observable event with rule learning on:
+        every flush is a learner judgment round, so a forced flush — like
+        ``scale_planes`` — changes the judgment schedule relative to a
+        run that never forced one.
+        """
+        if self._drained:
+            raise ValidationError("gateway already drained; create a new one")
+        return self._flush()
+
+    def checkpoint_config(self) -> dict:
+        """The construction-time configuration, JSON-safe.
+
+        Recorded in every checkpoint so a restore can rebuild an
+        identically-configured gateway (the topology graph and rulebook
+        are the caller's static inputs and stay outside the snapshot).
+        """
+        config = self._config
+        stats = self.stats
+        return {
+            "backend": self._backend_name,
+            "n_planes": stats.n_planes,
+            "n_shards": stats.n_shards,
+            "n_workers": stats.n_workers,
+            "flush_size": self._flush_size,
+            "flush_interval": self._flush_interval,
+            "aggregation_window": config.aggregation_window,
+            "correlation_window": config.correlation_window,
+            "correlation_max_hops": config.correlation_max_hops,
+            "enable_storm_detection": config.enable_storm_detection,
+            "retain_artifacts": config.retain_artifacts,
+            "finalize_every": config.finalize_every,
+            "learn_rules": self.learner is not None,
+            "enable_qoa": self.qoa is not None,
+            "learner_config": (
+                dataclasses.asdict(self.learner.config)
+                if self.learner is not None else None
+            ),
+        }
+
+    def checkpoint_state(self) -> dict:
+        """Capture the gateway's complete dynamic state (non-destructive).
+
+        Only valid at a flush barrier (:attr:`at_flush_barrier`): the
+        capture is then a consistent cut — every counter, the router
+        map, the blocker table, learner/QoA state, and one wire-packed
+        blob per (plane, region) — from which :meth:`adopt_checkpoint`
+        on a fresh, identically-configured gateway continues the stream
+        bit-identically.  ``blobs`` holds raw bytes; everything else is
+        JSON-safe (the serving layer writes the two parts separately).
+        """
+        if self._drained:
+            raise ValidationError("gateway already drained; nothing to checkpoint")
+        if self._buffered:
+            raise ValidationError(
+                f"checkpoint requires a flush barrier; {self._buffered} "
+                f"event(s) still buffered (flush first or checkpoint "
+                f"between batches)"
+            )
+        assignments = self._plane_router.assignments
+        pairs = [(plane, region) for region, plane in assignments.items()]
+        blobs = self._backend.checkpoint(pairs)
+        return {
+            "assignments": [[region, plane] for region, plane in assignments.items()],
+            "rules": [rule_to_dict(rule) for rule in self._blocker.rules],
+            "regions": [[plane, region] for plane, region in pairs],
+            "blobs": blobs,
+            "stats": self.stats.export_state(),
+            "learner": (
+                self.learner.export_state() if self.learner is not None else None
+            ),
+            "qoa": self.qoa.export_state() if self.qoa is not None else None,
+            "last_flush_watermark": self._last_flush_watermark,
+        }
+
+    def adopt_checkpoint(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint_state` capture into this gateway.
+
+        Only valid on a *fresh* gateway (nothing ingested) built with
+        the checkpoint's recorded configuration.  Order matters: the
+        blocker table is rebuilt first, so the process backend's workers
+        — spawned during the backend restore — inherit it; then the
+        router map, counters, learner/QoA state, and finally every
+        plane's packed region state.
+        """
+        if self._drained:
+            raise ValidationError("gateway already drained; create a new one")
+        if self.stats.input_alerts or self._buffered:
+            raise ValidationError(
+                "checkpoints restore into a fresh gateway only; this one "
+                "already ingested events"
+            )
+        if (state["learner"] is not None) != (self.learner is not None):
+            raise ValidationError(
+                "learner configuration mismatch: the checkpoint and this "
+                "gateway disagree on learn_rules"
+            )
+        if (state["qoa"] is not None) != (self.qoa is not None):
+            raise ValidationError(
+                "QoA configuration mismatch: the checkpoint and this "
+                "gateway disagree on enable_qoa"
+            )
+        # Rebuild the blocker to exactly the checkpointed table (the
+        # caller's configured rules are a subset of it unless they were
+        # learned away — the checkpoint is authoritative either way).
+        blocker = self._blocker
+        for rule in blocker.rules:
+            blocker.remove_rule(rule)
+        blocker.add_rules(rule_from_dict(row) for row in state["rules"])
+        self._plane_router.restore(
+            [(region, plane) for region, plane in state["assignments"]]
+        )
+        self.stats.restore_state(state["stats"])
+        if self.learner is not None:
+            self.learner.restore_state(state["learner"])
+        if self.qoa is not None:
+            self.qoa.restore_state(state["qoa"])
+        watermark = state["last_flush_watermark"]
+        self._last_flush_watermark = (
+            float(watermark) if watermark is not None else None
+        )
+        self._backend.restore([
+            (plane, blob)
+            for (plane, _region), blob in zip(state["regions"], state["blobs"])
+        ])
 
     # ------------------------------------------------------------------
     # introspection

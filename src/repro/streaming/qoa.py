@@ -115,6 +115,22 @@ class StreamQoAScorer:
         """Number of strategies observed so far."""
         return len(self._counters)
 
+    def export_state(self) -> dict:
+        """The lifetime counters as a JSON-safe dict (checkpointing)."""
+        return {
+            "counters": {
+                strategy_id: list(row)
+                for strategy_id, row in self._counters.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt counters captured by :meth:`export_state` (exact)."""
+        self._counters = {
+            str(strategy_id): [int(value) for value in row]
+            for strategy_id, row in state["counters"].items()
+        }
+
     def score(self, strategy_id: str) -> StreamQoA | None:
         """The current scores of one strategy (``None`` if unseen)."""
         row = self._counters.get(strategy_id)

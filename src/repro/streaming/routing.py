@@ -30,6 +30,7 @@ from functools import lru_cache
 from hashlib import blake2b
 
 from repro.alerting.alert import Alert
+from repro.common.errors import ValidationError
 from repro.common.validation import require_positive
 
 __all__ = ["template_of", "shard_key", "PlaneRouter", "ShardRouter"]
@@ -127,6 +128,33 @@ class PlaneRouter:
             plane = len(self._plane_of) % self._n_planes
             self._plane_of[region] = plane
         return plane
+
+    def restore(self, assignments: "list[tuple[str, int]] | dict[str, int]") -> None:
+        """Adopt a previously-captured region → plane map (checkpoint restore).
+
+        ``assignments`` must be in **first-seen order** — round-robin
+        continuation for regions first seen after the restore, and any
+        later :meth:`rescale`, both derive a region's plane from its
+        insertion index, so order is part of the state.  Only valid on a
+        fresh router (no assignments made yet), and every plane id must
+        fit the current plane count.
+        """
+        if self._plane_of:
+            raise ValidationError(
+                "cannot restore assignments onto a router that already "
+                "routed regions; restore into a fresh gateway instead"
+            )
+        items = assignments.items() if isinstance(assignments, dict) else assignments
+        restored: dict[str, int] = {}
+        for region, plane in items:
+            plane = int(plane)
+            if not 0 <= plane < self._n_planes:
+                raise ValidationError(
+                    f"restored assignment {region!r} -> plane {plane} does "
+                    f"not fit {self._n_planes} plane(s)"
+                )
+            restored[str(region)] = plane
+        self._plane_of = restored
 
     def rescale(self, n_planes: int) -> dict[str, tuple[int, int]]:
         """Regrow the ring to ``n_planes``; returns the migration plan.

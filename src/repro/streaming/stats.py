@@ -121,6 +121,54 @@ class GatewayStats:
         self.rules_expired = counters["rules_expired"]
         self.rules_active = counters["rules_active"]
 
+    # -- checkpointing --------------------------------------------------
+    #: Counter fields that survive a checkpoint/restore cycle.  The
+    #: construction-time topology fields (backend, plane/shard/worker
+    #: counts, flush size, learning/qoa flags) are deliberately absent:
+    #: a restored gateway is *built* with them and the serving layer
+    #: verifies they match the checkpoint's recorded configuration.
+    _RESTORABLE = (
+        "input_alerts", "blocked_alerts", "aggregates_emitted",
+        "clusters_finalized", "storm_episodes", "emerging_flags",
+        "late_events", "flushes", "rebalances", "plane_scales",
+        "watermark", "rules_promoted", "rules_renewed", "rules_demoted",
+        "rules_expired", "rules_active",
+    )
+
+    def export_state(self) -> dict:
+        """The restorable accounting as a JSON-safe dict (checkpointing).
+
+        Wall-clock fields (throughput, latency reservoir) are excluded:
+        a restored gateway starts a fresh wall clock — elapsed real time
+        does not survive a process death, and pretending it does would
+        corrupt every rate it feeds.
+        """
+        state = {name: getattr(self, name) for name in self._RESTORABLE}
+        state["scales"] = [dict(scale) for scale in self.scales]
+        state["qoa"] = (
+            {k: dict(v) for k, v in self.qoa.items()}
+            if self.qoa is not None else None
+        )
+        # JSON object keys are strings; plane ids are re-int'd on restore.
+        state["planes"] = {
+            str(plane_id): dict(row) for plane_id, row in self.planes.items()
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt accounting captured by :meth:`export_state` (exact)."""
+        for name in self._RESTORABLE:
+            setattr(self, name, state[name])
+        self.scales = [dict(scale) for scale in state["scales"]]
+        self.qoa = (
+            {k: dict(v) for k, v in state["qoa"].items()}
+            if state["qoa"] is not None else None
+        )
+        self.planes = {
+            int(plane_id): dict(row)
+            for plane_id, row in state["planes"].items()
+        }
+
     # -- reporting ------------------------------------------------------
     def reconcile(self, report: MitigationReport) -> dict[str, tuple[int, int]]:
         """Stage-by-stage (gateway, batch) counts that disagree.

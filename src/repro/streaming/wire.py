@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import struct
 from array import array
+from operator import attrgetter
 from typing import Sequence
 
 from repro.alerting.alert import Alert, AlertState, Severity
@@ -92,11 +93,12 @@ class _Writer:
 
     def finish(self) -> bytes:
         """Serialise: magic, string table, then the queued sections."""
-        encoded = [value.encode("utf-8") for value in self._strings]
-        table = [_HEADER.pack(len(encoded))]
-        for raw in encoded:
-            table.append(_HEADER.pack(len(raw)))
-            table.append(raw)
+        pack = _HEADER.pack
+        table = [pack(len(self._strings))]
+        extend = table.extend
+        for value in self._strings:
+            raw = value.encode("utf-8")
+            extend((pack(len(raw)), raw))
         return b"".join([self._parts[0], b"".join(table), *self._parts[1:]])
 
 
@@ -151,11 +153,19 @@ _ALERT_STRING_FIELDS = (
     "alert_id", "strategy_id", "strategy_name", "title", "description",
     "service", "microservice", "region", "datacenter", "channel",
 )
+#: One C-level tuple fetch per alert instead of ten Python getattrs —
+#: this block is the serialisation hot path for both the journal and
+#: plane-state snapshots.
+_ALERT_STRINGS = attrgetter(*_ALERT_STRING_FIELDS)
 
 
 def _write_alert_block(writer: _Writer, alerts: Sequence[Alert]) -> None:
-    ref = writer.ref
+    # The string interning is inlined (vs calling writer.ref) because it
+    # runs ten times per alert; output stays byte-identical.
+    index_of = writer._index
+    strings = writer._strings
     columns: list[list[int]] = [[] for _ in _ALERT_STRING_FIELDS]
+    appends = [column.append for column in columns]
     fault_refs: list[int] = []
     severities = bytearray()
     states = bytearray()
@@ -163,15 +173,21 @@ def _write_alert_block(writer: _Writer, alerts: Sequence[Alert]) -> None:
     cleared: list[float] = []
     tags: list[int] = []  # flat (alert_index, key_ref, value_ref) triples
     for index, alert in enumerate(alerts):
-        for column, name in zip(columns, _ALERT_STRING_FIELDS):
-            column.append(ref(getattr(alert, name)))
+        for append, value in zip(appends, _ALERT_STRINGS(alert)):
+            ref = index_of.get(value)
+            if ref is None:
+                ref = index_of[value] = len(strings)
+                strings.append(value)
+            append(ref)
         fault_refs.append(writer.ref_or_none(alert.fault_id))
         severities.append(alert.severity.value)
         states.append(_STATE_INDEX[alert.state])
         occurred.append(alert.occurred_at)
         cleared.append(_NO_TIME if alert.cleared_at is None else alert.cleared_at)
-        for key, value in alert.tags.items():
-            tags.extend((index, ref(key), ref(value)))
+        if alert.tags:
+            ref_of = writer.ref
+            for key, value in alert.tags.items():
+                tags.extend((index, ref_of(key), ref_of(value)))
     writer.section(_HEADER.pack(len(alerts)))
     for column in columns:
         writer.section(_array_bytes("I", column))
@@ -443,6 +459,9 @@ def pack_plane_state(state) -> bytes:
     fixed = bytearray()
     id_offsets: list[int] = []
     id_refs: list[int] = []
+    id_refs_append = id_refs.append
+    index_of = writer._index
+    strings = writer._strings
     for session in state.sessions:
         fixed += _SESSION_FIXED.pack(
             writer.ref(session.strategy_id),
@@ -452,7 +471,13 @@ def pack_plane_state(state) -> bytes:
             session.count,
         )
         id_offsets.append(len(id_refs))
-        id_refs.extend(writer.ref(alert_id) for alert_id in session.alert_ids)
+        # Inlined interning: alert-id lists dominate the session payload.
+        for alert_id in session.alert_ids:
+            ref = index_of.get(alert_id)
+            if ref is None:
+                ref = index_of[alert_id] = len(strings)
+                strings.append(alert_id)
+            id_refs_append(ref)
     id_offsets.append(len(id_refs))
     writer.section(bytes(fixed))
     writer.section(_array_bytes("I", id_offsets))

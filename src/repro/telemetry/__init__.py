@@ -10,7 +10,9 @@ for the simulated cloud:
   burst overlays;
 * :mod:`repro.telemetry.probes` — heartbeat probes with outage windows;
 * :mod:`repro.telemetry.store` — a hub mapping (microservice, region,
-  channel) to its generators, which the monitoring engine polls.
+  channel) to its generators, which the monitoring engine polls;
+* :mod:`repro.telemetry.runtime` — the opposite direction: runtime
+  metrics *about* the repro serving processes themselves.
 """
 
 from repro.telemetry.logs import LogBurst, LogEventStream
@@ -21,6 +23,7 @@ from repro.telemetry.metrics import (
     default_profiles,
 )
 from repro.telemetry.probes import OutageWindow, ProbeSimulator
+from repro.telemetry.runtime import RuntimeMetrics
 from repro.telemetry.store import TelemetryHub
 
 __all__ = [
@@ -33,4 +36,5 @@ __all__ = [
     "ProbeSimulator",
     "OutageWindow",
     "TelemetryHub",
+    "RuntimeMetrics",
 ]

@@ -1,0 +1,90 @@
+"""Runtime metrics for long-running repro processes.
+
+The rest of :mod:`repro.telemetry` *synthesises* monitoring data for the
+simulated cloud; this module is the opposite direction — lightweight
+counters, gauges, and duration summaries for the repro serving processes
+themselves (checkpoint write latency, journal record counts, restore
+times).  Deliberately tiny: a thread-safe dict of scalars, no exporters,
+rendered into ``stats.json`` and the ops CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["RuntimeMetrics"]
+
+
+class RuntimeMetrics:
+    """Thread-safe counters / gauges / duration summaries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, total, min, max, last]
+        self._timers: dict[str, list[float]] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to a monotone counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration sample into a summary."""
+        seconds = float(seconds)
+        with self._lock:
+            summary = self._timers.get(name)
+            if summary is None:
+                self._timers[name] = [1, seconds, seconds, seconds, seconds]
+            else:
+                summary[0] += 1
+                summary[1] += seconds
+                summary[2] = min(summary[2], seconds)
+                summary[3] = max(summary[3], seconds)
+                summary[4] = seconds
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """Everything as one JSON-safe dict."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: {
+                        "count": int(summary[0]),
+                        "total": summary[1],
+                        "mean": summary[1] / summary[0],
+                        "min": summary[2],
+                        "max": summary[3],
+                        "last": summary[4],
+                    }
+                    for name, summary in self._timers.items()
+                },
+            }
+
+    def render(self) -> str:
+        """Human-readable one-line-per-metric summary."""
+        snapshot = self.snapshot()
+        lines = []
+        for name in sorted(snapshot["counters"]):
+            lines.append(f"  {name:<32} {snapshot['counters'][name]:>12,}")
+        for name in sorted(snapshot["gauges"]):
+            lines.append(f"  {name:<32} {snapshot['gauges'][name]:>12,.3f}")
+        for name in sorted(snapshot["timers"]):
+            row = snapshot["timers"][name]
+            lines.append(
+                f"  {name:<32} n={row['count']:<6,} "
+                f"mean {row['mean'] * 1e3:.2f}ms  max {row['max'] * 1e3:.2f}ms"
+            )
+        return "\n".join(lines) if lines else "  (no runtime metrics recorded)"

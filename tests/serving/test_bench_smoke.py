@@ -1,0 +1,84 @@
+"""Fast-mode smoke for the serving-checkpoint benchmark.
+
+``benchmarks/`` is outside the tier-1 test paths, so this drives the
+same importable ``run_checkpoint_probe`` the benchmark uses — real
+service, real journal and snapshots, exactness asserted inside — on the
+multi-region storm trace, and holds the durability overhead to the same
+floor the benchmark enforces: checkpointed steady-state throughput must
+stay >= 0.85x checkpoint-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mitigation import MitigationPipeline
+from repro.core.mitigation.correlation import rulebook_from_ground_truth
+from repro.workload import StormConfig, build_multi_region_storm
+
+bench = pytest.importorskip(
+    "benchmarks.bench_serving_checkpoint",
+    reason="benchmarks/ must be importable from the repo root",
+)
+
+
+@pytest.fixture(scope="module")
+def probe_setup(topology):
+    trace = build_multi_region_storm(StormConfig(seed=42), topology)
+    rulebook = rulebook_from_ground_truth(trace, coverage=0.6)
+    blocker = MitigationPipeline.derive_blocker(trace)
+    return trace, topology, blocker, rulebook
+
+
+def test_checkpointed_throughput_holds_the_floor(probe_setup):
+    trace, topology, blocker, rulebook = probe_setup
+    measurements = bench.run_checkpoint_probe(
+        trace, topology, blocker, rulebook,
+        # Smoke shape: smaller flushes than the bench (so the barrier
+        # math is exercised on a different grid), same snapshot cadence.
+        flush_size=256,
+    )
+    assert measurements["checkpoints_written"] >= 1
+    assert measurements["checkpoint_write_ms_mean"] > 0.0
+    assert measurements["restore_ms"] > 0.0
+    assert measurements["overhead_ratio"] >= bench.OVERHEAD_FLOOR, (
+        f"durable serving overhead regressed: checkpointed throughput is "
+        f"{measurements['overhead_ratio']:.1%} of checkpoint-free "
+        f"(floor {bench.OVERHEAD_FLOOR:.0%})"
+    )
+
+
+def test_bench_artifact_merges_trajectory(tmp_path):
+    path = tmp_path / "BENCH_streaming.json"
+    first = bench.write_bench_artifact(
+        {
+            "alerts": 1000.0, "free_alerts_per_sec": 100_000.0,
+            "checkpointed_alerts_per_sec": 95_000.0, "overhead_ratio": 0.95,
+            "checkpoints_written": 3.0, "checkpoint_write_ms_mean": 1.5,
+            "checkpoint_write_ms_max": 2.5, "restore_ms": 40.0,
+        },
+        pr=6, path=path,
+    )
+    assert [row["pr"] for row in first["trajectory"]] == [6]
+    second = bench.write_bench_artifact(
+        {
+            "alerts": 1000.0, "free_alerts_per_sec": 110_000.0,
+            "checkpointed_alerts_per_sec": 104_000.0, "overhead_ratio": 0.945,
+            "checkpoints_written": 3.0, "checkpoint_write_ms_mean": 1.2,
+            "checkpoint_write_ms_max": 2.0, "restore_ms": 35.0,
+        },
+        pr=7, path=path,
+    )
+    assert [row["pr"] for row in second["trajectory"]] == [6, 7]
+    # Re-running the same PR replaces its entry instead of duplicating.
+    third = bench.write_bench_artifact(
+        {
+            "alerts": 1000.0, "free_alerts_per_sec": 120_000.0,
+            "checkpointed_alerts_per_sec": 118_000.0, "overhead_ratio": 0.983,
+            "checkpoints_written": 3.0, "checkpoint_write_ms_mean": 1.0,
+            "checkpoint_write_ms_max": 1.8, "restore_ms": 30.0,
+        },
+        pr=7, path=path,
+    )
+    assert [row["pr"] for row in third["trajectory"]] == [6, 7]
+    assert third["trajectory"][-1]["overhead_ratio"] == 0.983

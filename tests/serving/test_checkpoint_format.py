@@ -1,0 +1,129 @@
+"""The RCK1 checkpoint format: round-trip, corruption, retention.
+
+The durability contract under test: a checkpoint either decodes to
+exactly what was written, or fails loudly — a damaged file must never
+yield partial state, because a gateway restored from partial state
+would silently diverge from its own history forever after.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    CheckpointLoader,
+    CheckpointWriter,
+    ChecksumError,
+    GatewayCheckpoint,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+
+
+def _sample_checkpoint(seq: int = 1) -> GatewayCheckpoint:
+    return GatewayCheckpoint(
+        seq=seq,
+        created_at=1_700_000_000.0 + seq,
+        config={"backend": "serial", "n_planes": 2, "flush_size": 64},
+        state={
+            "assignments": [["region-A", 0], ["région-β", 1]],
+            "rules": [{"strategy_id": "s-noise", "region": None,
+                       "reason": "r", "expires_at": None}],
+            "stats": {"input_alerts": 128, "watermark": 2560.0},
+            "learner": None,
+            "qoa": None,
+            "last_flush_watermark": 2560.0,
+        },
+        blobs=[(0, "region-A", b"\x00\x01plane-zero"),
+               (1, "r\xc3\xa9gion-\xce\xb2", b"")],
+    )
+
+
+class TestEncodeDecode:
+    def test_round_trip_is_exact(self):
+        original = _sample_checkpoint()
+        decoded = decode_checkpoint(encode_checkpoint(original))
+        assert decoded.seq == original.seq
+        assert decoded.created_at == original.created_at
+        assert decoded.config == original.config
+        assert decoded.state == original.state
+        assert decoded.blobs == original.blobs
+
+    def test_restore_state_reattaches_blobs(self):
+        decoded = decode_checkpoint(encode_checkpoint(_sample_checkpoint()))
+        state = decoded.restore_state()
+        assert state["regions"] == [[0, "region-A"],
+                                    [1, "r\xc3\xa9gion-\xce\xb2"]]
+        assert state["blobs"] == [b"\x00\x01plane-zero", b""]
+
+    def test_properties(self):
+        checkpoint = _sample_checkpoint()
+        assert checkpoint.input_alerts == 128
+        assert checkpoint.watermark == 2560.0
+
+    def test_bad_magic_is_not_a_checkpoint(self):
+        data = encode_checkpoint(_sample_checkpoint())
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(b"NOPE" + data[4:])
+        assert data.startswith(CHECKPOINT_MAGIC)
+
+    def test_every_bit_flip_fails_the_checksum(self):
+        """Flip one bit at a spread of offsets: decode must always raise,
+        never return an object built from damaged bytes."""
+        data = bytearray(encode_checkpoint(_sample_checkpoint()))
+        for offset in range(4, len(data), max(len(data) // 40, 1)):
+            corrupt = bytearray(data)
+            corrupt[offset] ^= 0x40
+            with pytest.raises((ChecksumError, CheckpointError)):
+                decode_checkpoint(bytes(corrupt))
+
+    def test_every_truncation_fails_loudly(self):
+        data = encode_checkpoint(_sample_checkpoint())
+        for cut in range(0, len(data), max(len(data) // 25, 1)):
+            with pytest.raises((ChecksumError, CheckpointError)):
+                decode_checkpoint(data[:cut])
+
+    def test_appended_garbage_fails_the_checksum(self):
+        data = encode_checkpoint(_sample_checkpoint())
+        with pytest.raises(ChecksumError):
+            decode_checkpoint(data + b"\x00")
+
+
+class TestWriterLoader:
+    def test_write_then_latest(self, tmp_path):
+        writer = CheckpointWriter(tmp_path)
+        path = writer.write(_sample_checkpoint(seq=1))
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp")), "temp file left behind"
+        loaded = CheckpointLoader(tmp_path).latest()
+        assert loaded is not None and loaded.seq == 1
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        writer = CheckpointWriter(tmp_path, retain=2)
+        for seq in (1, 2, 3, 4):
+            writer.write(_sample_checkpoint(seq=seq))
+        names = sorted(p.name for p in CheckpointLoader(tmp_path).paths())
+        assert names == ["checkpoint-00000003.rck", "checkpoint-00000004.rck"]
+
+    def test_latest_skips_corrupt_newer_snapshot(self, tmp_path):
+        writer = CheckpointWriter(tmp_path)
+        writer.write(_sample_checkpoint(seq=1))
+        newest = writer.write(_sample_checkpoint(seq=2))
+        data = bytearray(newest.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        newest.write_bytes(bytes(data))
+        loaded = CheckpointLoader(tmp_path).latest()
+        assert loaded is not None and loaded.seq == 1
+
+    def test_latest_raises_when_all_snapshots_corrupt(self, tmp_path):
+        writer = CheckpointWriter(tmp_path)
+        path = writer.write(_sample_checkpoint(seq=1))
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises((ChecksumError, CheckpointError)):
+            CheckpointLoader(tmp_path).latest()
+
+    def test_latest_on_empty_directory_is_none(self, tmp_path):
+        assert CheckpointLoader(tmp_path).latest() is None
+        assert CheckpointLoader(tmp_path / "missing").latest() is None

@@ -1,0 +1,189 @@
+"""Property fuzz: checkpoint round-trips survive hostile state shapes.
+
+Hypothesis drives gateway state into the corners the deterministic
+matrix does not reach — unicode region names (the wire format and the
+file format must agree on encodings), live TTL'd blocking rules
+(expiry state must continue ticking identically after restore), and
+deep correlator components built over multi-hop dependency chains —
+then asserts the continued run is indistinguishable from one that was
+never checkpointed.  A second property fuzzes corruption positions:
+no damaged snapshot may ever decode.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mitigation.blocking import AlertBlocker, BlockingRule
+from repro.serving import decode_checkpoint, encode_checkpoint, restore_gateway
+from repro.serving.checkpoint import (
+    CheckpointError,
+    ChecksumError,
+    checkpoint_of_gateway,
+)
+from repro.streaming import AlertGateway
+
+from tests.streaming.conftest import make_alert
+from tests.streaming.test_golden_trace import golden_graph
+
+pytestmark = pytest.mark.scale_chaos
+
+#: Region names exercising every encoding hazard at once: combining
+#: characters, non-BMP, RTL, plain ASCII.
+REGIONS = ("region-A", "région-β", "東京-1",
+           "zone-Ώ", "\U0001f30d-west")
+
+#: The golden graph's two call chains; walking them builds multi-hop
+#: correlator components.
+MICROS = ("m-1", "m-2", "m-3", "m-4", "m-5", "m-6")
+STRATEGIES = ("s-api", "s-cache", "s-db", "s-noise", "s-flaky")
+
+
+def _trace(shape: list[tuple[int, int, int]]) -> list:
+    """Ordered alerts from (strategy, region, gap-seconds) triples."""
+    alerts = []
+    t = 0.0
+    for index, (strategy, region, gap) in enumerate(shape):
+        t += gap
+        alerts.append(make_alert(
+            occurred_at=t,
+            strategy_id=STRATEGIES[strategy % len(STRATEGIES)],
+            region=REGIONS[region % len(REGIONS)],
+            microservice=MICROS[index % len(MICROS)],
+            cleared_after=30.0 if index % 3 == 0 else 900.0,
+        ))
+    return alerts
+
+
+def _ttl_blocker() -> AlertBlocker:
+    """Rules with live TTLs: one expires mid-trace, one never does."""
+    return AlertBlocker([
+        BlockingRule(strategy_id="s-noise", reason="fuzz: permanent"),
+        BlockingRule(strategy_id="s-flaky", region=REGIONS[1],
+                     reason="fuzz: expiring", expires_at=400.0),
+        BlockingRule(strategy_id="s-cache", reason="fuzz: expiring late",
+                     expires_at=100_000.0),
+    ])
+
+
+def _fingerprint(gateway: AlertGateway) -> tuple:
+    stats = gateway.stats
+    return (
+        stats.input_alerts, stats.blocked_alerts, stats.aggregates_emitted,
+        stats.clusters_finalized, stats.storm_episodes, stats.emerging_flags,
+        stats.late_events, stats.watermark,
+    )
+
+
+shape_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(STRATEGIES) - 1),
+        st.integers(min_value=0, max_value=len(REGIONS) - 1),
+        st.integers(min_value=0, max_value=120),
+    ),
+    min_size=8, max_size=80,
+)
+
+
+class TestRoundTripFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shape_strategy, tail=shape_strategy, n_planes=st.sampled_from([1, 3]))
+    def test_restored_continuation_is_indistinguishable(
+        self, shape, tail, n_planes,
+    ):
+        head = _trace(shape)
+        continuation = _trace(
+            [(s, r, g) for s, r, g in tail]
+        )
+        # Continuation times must not go backwards relative to the head.
+        offset = head[-1].occurred_at
+        for alert in continuation:
+            alert.occurred_at += offset
+            if alert.cleared_at is not None:
+                alert.cleared_at += offset
+
+        def build():
+            return AlertGateway(
+                golden_graph(), blocker=_ttl_blocker(), n_planes=n_planes,
+                n_shards=2, flush_size=1,
+            )
+
+        # Reference: the uninterrupted run.
+        reference = build()
+        reference.ingest_batch(head)
+        reference.ingest_batch(continuation)
+        reference.drain()
+        want = _fingerprint(reference)
+
+        # Checkpointed run: snapshot after the head (flush_size=1 means
+        # every batch boundary is a barrier), wire-encode, decode,
+        # restore, continue.
+        subject = build()
+        subject.ingest_batch(head)
+        snapshot = checkpoint_of_gateway(subject, seq=1, created_at=0.0)
+        decoded = decode_checkpoint(encode_checkpoint(snapshot))
+        subject.close()
+        assert decoded.config == snapshot.config
+        assert decoded.state == snapshot.state
+        assert decoded.blobs == snapshot.blobs
+
+        restored = restore_gateway(decoded, golden_graph())
+        assert _fingerprint(restored)[:1] == (len(head),)
+        restored.ingest_batch(continuation)
+        restored.drain()
+        assert _fingerprint(restored) == want
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shape_strategy)
+    def test_unicode_rules_and_assignments_survive_exactly(self, shape):
+        gateway = AlertGateway(
+            golden_graph(), blocker=_ttl_blocker(), n_planes=2, flush_size=1,
+        )
+        gateway.ingest_batch(_trace(shape))
+        snapshot = checkpoint_of_gateway(gateway, seq=1, created_at=0.0)
+        decoded = decode_checkpoint(encode_checkpoint(snapshot))
+        gateway.close()
+        restored = restore_gateway(decoded, golden_graph())
+        assert restored._blocker.rules == _ttl_blocker().rules
+        assert [r for _, r in decoded.state["assignments"]] == \
+               [r for _, r in snapshot.state["assignments"]]
+        restored.close()
+
+
+class TestCorruptionFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        position=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def test_no_bit_flip_ever_decodes(self, position, bit):
+        snapshot = _CORRUPTION_SNAPSHOT
+        encoded = bytearray(_CORRUPTION_ENCODED)
+        offset = 4 + int(position * (len(encoded) - 4))  # keep the magic
+        encoded[offset] ^= 1 << bit
+        with pytest.raises((ChecksumError, CheckpointError)):
+            decoded = decode_checkpoint(bytes(encoded))
+            # Belt and braces: even if a flip cancelled out (it cannot,
+            # with a keyed blake2b digest), state must be unchanged.
+            assert decoded.state == snapshot.state
+
+    @settings(max_examples=40, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    def test_no_truncation_ever_decodes(self, fraction):
+        encoded = _CORRUPTION_ENCODED
+        with pytest.raises((ChecksumError, CheckpointError)):
+            decode_checkpoint(encoded[:int(fraction * len(encoded))])
+
+
+def _build_corruption_fixture():
+    gateway = AlertGateway(
+        golden_graph(), blocker=_ttl_blocker(), n_planes=2, flush_size=1,
+    )
+    gateway.ingest_batch(_trace([(i % 5, i % 5, 30) for i in range(40)]))
+    snapshot = checkpoint_of_gateway(gateway, seq=1, created_at=0.0)
+    gateway.close()
+    return snapshot, encode_checkpoint(snapshot)
+
+
+_CORRUPTION_SNAPSHOT, _CORRUPTION_ENCODED = _build_corruption_fixture()

@@ -1,0 +1,162 @@
+"""The RCJ1 event journal: round-trip and asymmetric corruption handling.
+
+The write-ahead log's contract is asymmetric on purpose: a torn tail is
+the normal signature of a crash mid-append and must be tolerated (every
+complete record returned); damage to a *complete* record means
+acknowledged events would be lost, so the reader must raise instead of
+silently dropping them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.journal import (
+    JournalError,
+    JournalWriter,
+    journal_files,
+    journal_path,
+    read_journal,
+)
+
+from tests.streaming.conftest import make_alert
+
+
+def _batch(start: float, count: int, region: str = "region-A"):
+    return [
+        make_alert(occurred_at=start + index * 5.0, region=region,
+                   strategy_id=f"s-{index % 3}")
+        for index in range(count)
+    ]
+
+
+class TestRoundTrip:
+    def test_multi_record_round_trip(self, tmp_path):
+        batches = [(0, _batch(0.0, 4)), (4, _batch(20.0, 3)),
+                   (7, _batch(35.0, 5, region="région-β"))]
+        with JournalWriter(tmp_path, epoch=3, part=1) as writer:
+            for start_index, alerts in batches:
+                writer.append(start_index, alerts)
+        header, records = read_journal(journal_path(tmp_path, 3, 1))
+        assert header == {"version": 1, "epoch": 3, "part": 1}
+        assert [(start, [a.alert_id for a in alerts])
+                for start, alerts in records] == \
+               [(start, [a.alert_id for a in alerts])
+                for start, alerts in batches]
+
+    def test_empty_journal_is_valid(self, tmp_path):
+        JournalWriter(tmp_path, epoch=0).close()
+        header, records = read_journal(journal_path(tmp_path, 0, 0))
+        assert header["epoch"] == 0
+        assert records == []
+
+    def test_writer_refuses_to_overwrite(self, tmp_path):
+        JournalWriter(tmp_path, epoch=0).close()
+        with pytest.raises(FileExistsError):
+            JournalWriter(tmp_path, epoch=0)
+
+    def test_journal_files_sorted_by_epoch_then_part(self, tmp_path):
+        for epoch, part in ((2, 0), (0, 1), (0, 0), (1, 0)):
+            JournalWriter(tmp_path, epoch=epoch, part=part).close()
+        assert [(e, p) for e, p, _ in journal_files(tmp_path)] == \
+               [(0, 0), (0, 1), (1, 0), (2, 0)]
+
+
+class TestLazyCommit:
+    def test_lazy_appends_stay_in_memory_until_commit(self, tmp_path):
+        writer = JournalWriter(tmp_path, epoch=0, lazy=True)
+        header_size = writer.path.stat().st_size
+        writer.append(0, _batch(0.0, 4))
+        writer.append(4, _batch(20.0, 3))
+        assert writer.pending_events == 7
+        assert writer.records == 2 and writer.records_written == 0
+        assert writer.path.stat().st_size == header_size, (
+            "lazy appends must not serialise or touch the file"
+        )
+        assert writer.commit() == 2
+        assert writer.pending_events == 0 and writer.records_written == 2
+        writer.close()
+        _, records = read_journal(writer.path)
+        assert [(start, len(alerts)) for start, alerts in records] == \
+               [(0, 4), (4, 3)]
+
+    def test_close_commits_the_tail(self, tmp_path):
+        with JournalWriter(tmp_path, epoch=0, lazy=True) as writer:
+            writer.append(0, _batch(0.0, 5))
+        _, records = read_journal(journal_path(tmp_path, 0, 0))
+        assert [(start, len(alerts)) for start, alerts in records] == [(0, 5)]
+
+    def test_abandon_loses_the_uncommitted_tail_only(self, tmp_path):
+        writer = JournalWriter(tmp_path, epoch=0, lazy=True)
+        writer.append(0, _batch(0.0, 4))
+        writer.commit()
+        writer.append(4, _batch(20.0, 3))  # never committed
+        writer.abandon()
+        _, records = read_journal(writer.path)
+        assert [(start, len(alerts)) for start, alerts in records] == [(0, 4)]
+
+    def test_discard_pending_drops_covered_records(self, tmp_path):
+        writer = JournalWriter(tmp_path, epoch=0, lazy=True)
+        writer.append(0, _batch(0.0, 4))
+        assert writer.discard_pending() == 1
+        writer.close()
+        _, records = read_journal(writer.path)
+        assert records == []
+
+    def test_pending_bound_forces_a_commit(self, tmp_path):
+        writer = JournalWriter(
+            tmp_path, epoch=0, lazy=True, max_pending_events=6,
+        )
+        writer.append(0, _batch(0.0, 4))
+        assert writer.records_written == 0
+        writer.append(4, _batch(20.0, 4))  # 8 >= 6: loss window bounded
+        assert writer.records_written == 2 and writer.pending_events == 0
+        writer.abandon()
+        _, records = read_journal(writer.path)
+        assert len(records) == 2
+
+
+class TestCorruption:
+    def _written(self, tmp_path):
+        with JournalWriter(tmp_path, epoch=0) as writer:
+            writer.append(0, _batch(0.0, 4))
+            writer.append(4, _batch(20.0, 4))
+        return journal_path(tmp_path, 0, 0)
+
+    def test_torn_tail_returns_complete_prefix(self, tmp_path):
+        path = self._written(tmp_path)
+        data = path.read_bytes()
+        # Cut into the middle of the second record: one complete record
+        # plus a torn one — the torn one is dropped, cleanly.
+        for cut in (len(data) - 1, len(data) - 10, len(data) - 50):
+            path.write_bytes(data[:cut])
+            _, records = read_journal(path)
+            assert len(records) in (1, 2)
+            assert records[0][0] == 0 and len(records[0][1]) == 4
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = self._written(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Flip a byte inside the FIRST record's payload: it is complete,
+        # so a CRC mismatch is damage, not truncation.
+        header_len = int.from_bytes(data[4:8], "big")
+        first_payload = 4 + 4 + header_len + 8  # magic+len+header+record hdr
+        data[first_payload + 10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalError, match="CRC mismatch"):
+            read_journal(path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = self._written(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(b"JUNK" + data[4:])
+        with pytest.raises(JournalError, match="not a journal"):
+            read_journal(path)
+
+    def test_damaged_header_raises(self, tmp_path):
+        path = self._written(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[9] ^= 0xFF  # inside the header JSON
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalError):
+            read_journal(path)

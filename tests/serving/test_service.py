@@ -1,0 +1,247 @@
+"""AlertGatewayService life cycle: ticks, recovery, status, transports."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.io.traces import alert_to_dict
+from repro.serving import AlertGatewayService, CheckpointLoader
+from repro.serving.journal import journal_files
+
+from tests.serving.conftest import serving_blocker
+
+
+def _service(graph, data_dir, **kwargs):
+    kwargs.setdefault("blocker", serving_blocker())
+    kwargs.setdefault("checkpoint_every", 100)
+    kwargs.setdefault("n_planes", 2)
+    kwargs.setdefault("flush_size", 64)
+    return AlertGatewayService(graph, data_dir, **kwargs)
+
+
+class TestLifecycle:
+    def test_fresh_start_and_auto_checkpoint(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        assert service.start() == "fresh"
+        # 64 events: past no barrier-aligned cadence yet (64 < 100).
+        service.ingest(storm_alerts[:64])
+        assert service.checkpoints_written == 0
+        # 128: cadence reached but 128 is a barrier (2 x 64) -> snapshot.
+        service.ingest(storm_alerts[64:128])
+        assert service.checkpoints_written == 1
+        snapshots = CheckpointLoader(tmp_path).paths()
+        assert len(snapshots) == 1
+        service.stop()
+        assert service.gateway is None
+
+    def test_due_checkpoint_waits_for_barrier(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        # 150 events: cadence (100) is due but 150 is mid-buffer — the
+        # tick must wait rather than force a schedule-visible flush.
+        service.ingest(storm_alerts[:150])
+        assert service.checkpoints_written == 0
+        assert service.checkpoint(force=False) is None
+        # The next barrier-landing batch triggers the overdue snapshot.
+        service.ingest(storm_alerts[150:192])
+        assert service.checkpoints_written == 1
+        service.stop()
+
+    def test_stop_snapshots_and_resume_continues(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        service.ingest(storm_alerts[:130])
+        service.stop()
+        assert (tmp_path / "stats.json").exists()
+        revived = _service(serving_graph, tmp_path)
+        assert revived.start() == "restored"
+        assert revived.input_alerts == 130
+        revived.stop()
+
+    def test_crash_before_first_checkpoint_recovers_from_journal(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        # "batch" journalling: the write-ahead tier is the one that
+        # must survive a kill with no snapshot on disk at all.
+        service = _service(serving_graph, tmp_path, journal_mode="batch")
+        service.start()
+        service.ingest(storm_alerts[:90])  # below cadence: journal only
+        service.abort()
+        assert CheckpointLoader(tmp_path).latest() is None
+        revived = _service(serving_graph, tmp_path, journal_mode="batch")
+        assert revived.start() == "restored"
+        assert revived.input_alerts == 90
+        assert revived.replayed_events == 90
+        revived.stop()
+
+    def test_unknown_journal_mode_raises(self, serving_graph, tmp_path):
+        with pytest.raises(ValidationError, match="journal_mode"):
+            _service(serving_graph, tmp_path, journal_mode="eventually")
+
+    def test_start_twice_raises(self, serving_graph, tmp_path):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        with pytest.raises(ValidationError):
+            service.start()
+        service.stop()
+
+    def test_ingest_before_start_raises(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        with pytest.raises(ValidationError, match="not started"):
+            service.ingest(storm_alerts[:1])
+
+    def test_drain_ends_the_stream(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        service.ingest(storm_alerts)
+        stats = service.stop(drain=True)
+        assert stats is not None
+        assert stats.input_alerts == len(storm_alerts)
+        payload = json.loads((tmp_path / "stats.json").read_text())
+        assert payload["service"]["drained"] is True
+        assert payload["gateway"]["input_alerts"] == len(storm_alerts)
+
+    def test_journal_rotation_and_pruning(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(
+            serving_graph, tmp_path, checkpoint_every=64,
+            retain_checkpoints=2,
+        )
+        service.start()
+        for start in range(0, 448, 64):
+            service.ingest(storm_alerts[start:start + 64])
+        # 7 barrier batches at cadence 64 -> 7 snapshots, retention 2.
+        assert service.checkpoints_written == 7
+        snapshots = CheckpointLoader(tmp_path).paths()
+        assert len(snapshots) == 2
+        oldest_kept = min(int(p.stem.split("-")[1]) for p in snapshots)
+        epochs = {epoch for epoch, _, _ in journal_files(tmp_path)}
+        assert min(epochs) >= oldest_kept, (
+            "journals older than every retained snapshot must be pruned"
+        )
+        service.stop()
+
+
+class TestStatus:
+    def test_status_payload_shape(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path, enable_qoa=True)
+        service.start()
+        service.ingest(storm_alerts[:128])
+        status = service.status()
+        assert status["gateway"]["input_alerts"] == 128
+        assert status["service"]["checkpoints_written"] == 1
+        assert status["service"]["journal"]["records"] >= 0
+        assert status["qoa_live"], "live QoA scores expected"
+        assert status["history"], "checkpoint ticks recorded"
+        assert status["metrics"]["counters"]["checkpoints"] == 1
+        assert "checkpoint_write_seconds" in status["metrics"]["timers"]
+        json.dumps(status)  # JSON-safe end to end
+        path = service.write_status()
+        assert json.loads(path.read_text())["gateway"]["input_alerts"] == 128
+        service.stop()
+
+    def test_history_records_storm_progression(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path, checkpoint_every=64)
+        service.start()
+        for start in range(0, 448, 64):
+            service.ingest(storm_alerts[start:start + 64])
+        ticks = list(service.history)
+        assert len(ticks) == 7
+        assert [t["at_input"] for t in ticks] == \
+               [64, 128, 192, 256, 320, 384, 448]
+        assert ticks[-1]["storm_episodes"] >= 1, (
+            "the storm trace's flood must appear in the history ring"
+        )
+        service.stop()
+
+
+class TestTransports:
+    def test_run_stream_honours_stop_request(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+
+        def source():
+            for index, alert in enumerate(storm_alerts):
+                if index == 100:
+                    service.request_stop()
+                yield alert
+
+        assert service.run_stream(source(), batch_size=32) == "stopped"
+        assert 100 <= service.input_alerts < len(storm_alerts)
+        service.stop()
+
+    def test_run_lines_parses_json_alerts(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        lines = [json.dumps(alert_to_dict(a)) + "\n" for a in storm_alerts[:50]]
+        lines.insert(10, "\n")  # blank lines are skipped
+        assert service.run_lines(lines) == "exhausted"
+        assert service.input_alerts == 50
+        service.stop()
+
+    def test_socket_ingest_and_stats_query(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        host, port = service.serve_socket()
+        payload = b"".join(
+            (json.dumps(alert_to_dict(a)) + "\n").encode()
+            for a in storm_alerts[:128]
+        )
+        with socket.create_connection((host, port), timeout=10) as conn:
+            conn.sendall(payload + b"STATS\n")
+            reply = b""
+            while not reply.endswith(b"\n"):
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                reply += chunk
+        status = json.loads(reply)
+        assert status["gateway"]["input_alerts"] == 128
+        service.stop()
+        # The socket is closed with the service.
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+
+    def test_signal_handler_requests_stop(self, serving_graph, tmp_path):
+        import os
+        import signal as signal_module
+
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        previous_term = signal_module.getsignal(signal_module.SIGTERM)
+        previous_int = signal_module.getsignal(signal_module.SIGINT)
+        try:
+            service.install_signal_handlers()
+            assert not service.stop_requested
+            os.kill(os.getpid(), signal_module.SIGTERM)
+            assert service.stop_requested
+            assert service.metrics.counter("signal_SIGTERM") == 1
+        finally:
+            signal_module.signal(signal_module.SIGTERM, previous_term)
+            signal_module.signal(signal_module.SIGINT, previous_int)
+        service.stop()
