@@ -1,0 +1,250 @@
+"""Ingress lane scaling: partitioned ingest lanes vs the classic path.
+
+Before this bench's PR the gateway ingress was a single-threaded
+ceiling: one caller thread routed, buffered, encoded, *and* fed every
+plane, so plane parallelism stopped paying once the ingress loop
+saturated a core.  With ``ingress_lanes=N`` the caller thread does only
+the cheap partition pass (route + buffer + watermark accounting) and N
+lane threads carry the heavy half — batch encode via the reusable
+:class:`~repro.streaming.wire.AlertBatchBuilder` plus the worker
+round-trip — concurrently, one lane per plane-group.
+
+This bench measures, on the multi-region storm trace (four concurrent
+Figure 3 storms — every region active at once, the best case *and* the
+honest case for region-partitioned ingest):
+
+* **single-lane throughput** — ``ingress_lanes=1``, the classic path;
+* **lane-scaled throughput** — the same trace, same planes, with 2 and
+  4 ingress lanes;
+* **exact parity** — every lane count must drain to bit-identical
+  accounting; a lane config that is fast but wrong fails here, not in
+  a downstream dashboard.
+
+The scaling floor (``SCALING_FLOOR``x single-lane at 4 lanes) is only
+meaningful with real cores under the lane threads, so that assertion
+is gated on ``os.cpu_count() >= MIN_CORES_FOR_SCALING`` and skips with
+an explicit reason on smaller boxes — the parity assertions always run.
+
+``run_lane_config`` / ``run_lane_sweep`` are importable — the fast
+smoke test under ``tests/streaming/`` drives them with a small trace so
+this script cannot silently bit-rot.  Results land in
+``benchmarks/results/ingress_lanes.json`` *and* in the standing
+repo-root artifact ``BENCH_streaming.json`` (the per-PR performance
+trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.core.mitigation import MitigationPipeline
+from repro.core.mitigation.blocking import AlertBlocker
+from repro.core.mitigation.correlation import rulebook_from_ground_truth
+from repro.streaming import AlertGateway
+from repro.workload import StormConfig, build_multi_region_storm
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_ARTIFACT = _REPO_ROOT / "BENCH_streaming.json"
+
+#: Lane counts swept by the bench; 1 is the classic-path baseline.
+LANE_COUNTS = (1, 2, 4)
+
+#: The multi-core bar: four lanes over four planes must reach at least
+#: this multiple of the single-lane rate — but only where four real
+#: cores exist to run the lanes on.
+SCALING_FLOOR = 2.5
+MIN_CORES_FOR_SCALING = 4
+
+
+def _counts(stats) -> tuple:
+    """The drained accounting a lane count must never change."""
+    return (stats.input_alerts, stats.blocked_alerts,
+            stats.aggregates_emitted, stats.clusters_finalized,
+            stats.storm_episodes, stats.emerging_flags,
+            stats.late_events)
+
+
+def run_lane_config(
+    alerts,
+    topology,
+    blocker,
+    rulebook,
+    *,
+    ingress_lanes: int,
+    backend: str = "process",
+    n_planes: int = 4,
+    n_workers: int = 4,
+    flush_size: int = 512,
+    chunk_size: int = 2048,
+    rounds: int = 3,
+) -> tuple[float, tuple]:
+    """Best-of-``rounds`` throughput for one lane count.
+
+    The timed window covers ingest *and* drain: lane work is
+    asynchronous, so stopping the clock before the drain barrier would
+    credit lanes for work still in flight.  Best-of because scheduler
+    noise only ever slows a run down.  Returns
+    ``(alerts_per_sec, counts)`` where ``counts`` is the drained
+    accounting tuple for the parity assertions.
+    """
+    chunks = [alerts[cursor:cursor + chunk_size]
+              for cursor in range(0, len(alerts), chunk_size)]
+    best = 0.0
+    final_counts = None
+    for _ in range(rounds):
+        gateway = AlertGateway(
+            topology.graph, blocker=AlertBlocker(blocker.rules),
+            rulebook=rulebook, n_shards=4, n_planes=n_planes,
+            backend=backend, n_workers=n_workers, flush_size=flush_size,
+            ingress_lanes=ingress_lanes, retain_artifacts=False,
+        )
+        started = time.perf_counter()
+        for chunk in chunks:
+            gateway.ingest_batch(chunk)
+        stats = gateway.drain()
+        elapsed = time.perf_counter() - started
+        best = max(best, len(alerts) / elapsed)
+        final_counts = _counts(stats)
+    return best, final_counts
+
+
+def run_lane_sweep(
+    trace,
+    topology,
+    blocker,
+    rulebook,
+    lane_counts=LANE_COUNTS,
+    **config,
+) -> dict[str, float]:
+    """Sweep lane counts; assert exact parity against the single lane.
+
+    Every lane count drains the identical trace and must produce the
+    identical accounting — the bench refuses to report a throughput
+    number for a configuration that changed what was counted.
+    """
+    alerts = list(trace.iter_ordered())
+    measurements: dict[str, float] = {}
+    baseline_counts = None
+    for lanes in lane_counts:
+        rate, counts = run_lane_config(
+            alerts, topology, blocker, rulebook,
+            ingress_lanes=lanes, **config,
+        )
+        if baseline_counts is None:
+            baseline_counts = counts
+        assert counts == baseline_counts, (
+            f"ingress_lanes={lanes} changed the drained accounting: "
+            f"{counts} != {baseline_counts}"
+        )
+        measurements[f"lanes{lanes}"] = rate
+    measurements["alerts"] = float(len(alerts))
+    if "lanes1" in measurements:
+        top = max(lane_counts)
+        measurements["scaling_x"] = (
+            measurements[f"lanes{top}"] / measurements["lanes1"]
+        )
+    return measurements
+
+
+def write_bench_artifact(measurements: dict[str, float], pr: int = 7,
+                         path: Path = BENCH_ARTIFACT) -> dict:
+    """Append this run's scaling row to the standing trajectory.
+
+    The artifact is shared with the serving-checkpoint bench: that one
+    owns the ``current`` block, this one adds an ``ingress_lanes``
+    block plus one per-PR ``trajectory`` row (newest measurement wins),
+    so review can see the scaling history without digging through CI
+    logs.
+    """
+    payload = {"schema": 1, "trajectory": []}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    entry = {
+        "pr": pr,
+        "throughput_alerts_per_sec": round(
+            max(value for key, value in measurements.items()
+                if key.startswith("lanes"))
+        ),
+        "single_lane_alerts_per_sec": round(measurements["lanes1"]),
+        "lane_scaling_x": round(measurements.get("scaling_x", 1.0), 3),
+        "cores": float(os.cpu_count() or 1),
+    }
+    trajectory = [row for row in payload.get("trajectory", [])
+                  if row.get("pr") != pr]
+    trajectory.append(entry)
+    trajectory.sort(key=lambda row: row["pr"])
+    payload["schema"] = 1
+    payload["ingress_lanes"] = {
+        key: round(value, 4) for key, value in sorted(measurements.items())
+    }
+    payload["trajectory"] = trajectory
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+@pytest.fixture(scope="module")
+def multi_region_storm(topology):
+    """Four concurrent single-region storms merged into one ~11k trace."""
+    return build_multi_region_storm(StormConfig(seed=42), topology)
+
+
+@pytest.fixture(scope="module")
+def lane_measurements(multi_region_storm, topology):
+    """One sweep shared by the reporting and the scaling assertion."""
+    trace = multi_region_storm
+    rulebook = rulebook_from_ground_truth(trace, coverage=0.6)
+    blocker = MitigationPipeline.derive_blocker(trace)
+    return run_lane_sweep(trace, topology, blocker, rulebook)
+
+
+class TestIngressLaneBench:
+    def test_lane_parity_and_artifact(self, lane_measurements):
+        """Parity is asserted inside the sweep; this records the row."""
+        measurements = lane_measurements
+        cores = os.cpu_count() or 1
+        lines = [
+            f"trace: multi-region storm, {measurements['alerts']:,.0f} alerts "
+            f"({cores} cores)",
+        ]
+        for lanes in LANE_COUNTS:
+            lines.append(
+                f"ingress_lanes={lanes}:  "
+                f"{measurements[f'lanes{lanes}']:>12,.0f} alerts/s"
+            )
+        lines.append(
+            f"scaling ({max(LANE_COUNTS)} lanes / 1 lane): "
+            f"{measurements['scaling_x']:.2f}x"
+        )
+        record_report("ingress_lanes", "\n".join(lines))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / "ingress_lanes.json").write_text(
+            json.dumps(measurements, indent=2, sort_keys=True) + "\n"
+        )
+        write_bench_artifact(measurements)
+        for lanes in LANE_COUNTS:
+            assert measurements[f"lanes{lanes}"] > 0
+
+    def test_multicore_scaling_floor(self, lane_measurements):
+        """The issue's bar: >= 2.5x single-lane at 4 lanes on >= 4 cores."""
+        cores = os.cpu_count() or 1
+        if cores < MIN_CORES_FOR_SCALING:
+            pytest.skip(
+                f"lane scaling floor needs >= {MIN_CORES_FOR_SCALING} cores "
+                f"to be meaningful; this box has {cores} — parity was still "
+                f"asserted for every lane count"
+            )
+        assert lane_measurements["scaling_x"] >= SCALING_FLOOR, (
+            f"4 ingress lanes reached only "
+            f"{lane_measurements['scaling_x']:.2f}x the single-lane rate "
+            f"on {cores} cores (floor {SCALING_FLOOR}x)"
+        )

@@ -180,6 +180,10 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--flush-size", type=int, default=None,
                         help="micro-batch size per flush "
                              "(default: 1 serial, 512 pooled)")
+    stream.add_argument("--ingress-lanes", type=int, default=1,
+                        help="partitioned ingest lane threads feeding planes "
+                             "directly (clamped to --planes; 1 = classic "
+                             "single-threaded ingress)")
     stream.add_argument("--window", type=float, default=900.0,
                         help="aggregation/correlation window in seconds")
     stream.add_argument("--rebalance-to", type=int, default=None,
@@ -221,6 +225,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", choices=BACKEND_NAMES, default="serial")
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument("--flush-size", type=int, default=None)
+    serve.add_argument("--ingress-lanes", type=int, default=1,
+                       help="partitioned ingest lane threads (clamped to "
+                            "--planes; 1 = classic single-threaded ingress)")
     serve.add_argument("--window", type=float, default=900.0)
     serve.add_argument("--learn-rules", action="store_true")
     serve.add_argument("--qoa", action="store_true")
@@ -343,6 +350,7 @@ def _cmd_stream(args) -> int:
         backend=args.backend,
         n_workers=args.workers,
         flush_size=args.flush_size,
+        ingress_lanes=args.ingress_lanes,
         aggregation_window=args.window,
         correlation_window=args.window,
         retain_artifacts=False,
@@ -431,6 +439,7 @@ def _cmd_serve(args) -> int:
         backend=args.backend,
         n_workers=args.workers,
         flush_size=args.flush_size,
+        ingress_lanes=args.ingress_lanes,
         aggregation_window=args.window,
         correlation_window=args.window,
         retain_artifacts=False,

@@ -127,9 +127,14 @@ class AlertGatewayService:
         self.history: deque[dict] = deque(maxlen=history_limit)
         self._lock = threading.RLock()
         self._stop_requested = False
+        self._draining = False
         self._server: socketserver.ThreadingTCPServer | None = None
         self._server_thread: threading.Thread | None = None
+        # Wall clock is an informational stamp only — NTP steps make it
+        # non-monotonic, so every *duration* derives from the monotonic
+        # anchor instead.
         self._started_at = time.time()
+        self._started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # life cycle
@@ -189,6 +194,7 @@ class AlertGatewayService:
                 outcome = "restored"
             self._open_journal()
             self._since_checkpoint = 0
+            self._draining = False
             return outcome
 
     def _fresh_config(self) -> dict:
@@ -240,6 +246,10 @@ class AlertGatewayService:
         release the backend so a later :meth:`start` resumes exactly
         here.
         """
+        # Raised *before* taking the lock: socket handler threads already
+        # queued on the lock re-check it inside ingest(), so no event can
+        # slip in between the drain/flush and the snapshot/close.
+        self._draining = True
         with self._lock:
             gateway = self.gateway
             if gateway is None:
@@ -274,6 +284,7 @@ class AlertGatewayService:
         possibly ahead of it, any *uncommitted* lazy-mode buffer lost),
         which is what :meth:`start` recovery is specified against.
         """
+        self._draining = True
         with self._lock:
             self.close_socket()
             if self._journal is not None:
@@ -298,8 +309,19 @@ class AlertGatewayService:
         return gateway.stats.input_alerts if gateway is not None else 0
 
     def ingest(self, alerts: Iterable[Alert]) -> int:
-        """Accept one batch: journal first, then process, then maybe snap."""
+        """Accept one batch: journal first, then process, then maybe snap.
+
+        Raises :class:`~repro.common.errors.ValidationError` once a stop
+        or abort is in flight: a batch accepted concurrently with the
+        drain-and-snapshot would be journalled into an epoch the final
+        snapshot never covers (or silently dropped after the gateway is
+        released), so late callers get a refusal they can ack instead.
+        """
+        if self._draining:
+            raise ValidationError("service is draining; ingest refused")
         with self._lock:
+            if self._draining:
+                raise ValidationError("service is draining; ingest refused")
             gateway = self._require_gateway()
             batch = list(alerts)
             if not batch:
@@ -409,7 +431,8 @@ class AlertGatewayService:
             "storm_episodes": stats.storm_episodes,
             "emerging_flags": stats.emerging_flags,
             "rules_active": stats.rules_active,
-            "wall_time": time.time(),
+            "wall_time": time.time(),  # informational stamp only
+            "uptime": time.monotonic() - self._started_monotonic,
         }
         tick.update(extra)
         self.history.append(tick)
@@ -426,6 +449,7 @@ class AlertGatewayService:
                 "service": {
                     "data_dir": str(self.data_dir),
                     "started_at": self._started_at,
+                    "uptime_seconds": time.monotonic() - self._started_monotonic,
                     "epoch": self._epoch,
                     "checkpoints_written": self.checkpoints_written,
                     "checkpoint_every": self.checkpoint_every,
@@ -515,13 +539,30 @@ class AlertGatewayService:
         (:func:`~repro.io.traces.alert_from_dict` fields); the literal
         line ``STATS`` answers with one JSON status line.  Connections
         are handled on daemon threads; ingest is serialised through the
-        service lock, so accounting stays exact under concurrency.
+        service lock, so accounting stays exact under concurrency.  Once
+        a stop/abort is in flight the connection gets one ``REFUSED
+        <reason>`` line and closes — the sender knows its tail was not
+        accepted and can replay it after the restart.
         """
         if self._server is not None:
             raise ValidationError("socket server already running")
         service = self
 
         class Handler(socketserver.StreamRequestHandler):
+            def _ingest(self, batch: list[Alert]) -> bool:
+                try:
+                    service.ingest(batch)
+                except ValidationError as exc:
+                    # Draining (or already stopped): refuse loudly
+                    # instead of racing the shutdown snapshot.
+                    try:
+                        self.wfile.write(f"REFUSED {exc}\n".encode("utf-8"))
+                        self.wfile.flush()
+                    except OSError:
+                        pass  # peer already gone; refusal is best-effort
+                    return False
+                return True
+
             def handle(self) -> None:
                 batch: list[Alert] = []
                 for raw in self.rfile:
@@ -530,7 +571,8 @@ class AlertGatewayService:
                         continue
                     if line == "STATS":
                         if batch:
-                            service.ingest(batch)
+                            if not self._ingest(batch):
+                                return
                             batch = []
                         reply = json.dumps(service.status()) + "\n"
                         self.wfile.write(reply.encode("utf-8"))
@@ -538,10 +580,11 @@ class AlertGatewayService:
                         continue
                     batch.append(alert_from_dict(json.loads(line)))
                     if len(batch) >= 256:
-                        service.ingest(batch)
+                        if not self._ingest(batch):
+                            return
                         batch = []
                 if batch:
-                    service.ingest(batch)
+                    self._ingest(batch)
 
         class Server(socketserver.ThreadingTCPServer):
             daemon_threads = True

@@ -61,6 +61,10 @@ def build_gateway(
             LearnerConfig(**learner_config) if learner_config else None
         ),
         enable_qoa=config["enable_qoa"],
+        # Not strict: lanes change where work runs, never what is
+        # counted (the lane parity harness pins that down), so a restore
+        # may use a different lane count than the checkpoint recorded.
+        ingress_lanes=config.get("ingress_lanes", 1),
     )
 
 

@@ -36,6 +36,10 @@ plane-local), add shards to spread R1/R2 key skew within a plane.
 ``flush_size`` trades emission staleness for amortisation exactly as
 before; ``flush_interval`` bounds staleness in event time.
 ``rebalance(n)`` re-shards every live plane without losing window state.
+``ingress_lanes=N`` (with ``n_planes >= N``) moves the buffered ingest
+path onto partitioned lane threads (:mod:`~repro.streaming.lanes`) so
+the feed itself stops being the bottleneck — identical end-of-run
+accounting, near-linear multi-core scaling on the ``process`` backend.
 """
 
 from repro.streaming.backends import (
@@ -50,6 +54,7 @@ from repro.streaming.correlator import OnlineCorrelator
 from repro.streaming.dedup import OnlineAggregator, OpenSession
 from repro.streaming.driver import drive_gateway
 from repro.streaming.gateway import AlertGateway, GatewaySnapshot
+from repro.streaming.lanes import LaneIngress
 from repro.streaming.learning import (
     LearnerConfig,
     OnlineRuleLearner,
@@ -68,7 +73,12 @@ from repro.streaming.plane import (
 )
 from repro.streaming.processor import StreamProcessor
 from repro.streaming.routing import PlaneRouter, ShardRouter, shard_key, template_of
-from repro.streaming.sources import iter_jsonl_alerts, merge_ordered
+from repro.streaming.sources import (
+    iter_jsonl_alerts,
+    merge_ordered,
+    partition_by_region,
+    partition_jsonl_by_region,
+)
 from repro.streaming.stats import GatewayStats
 from repro.streaming.storm import (
     EmergingSignal,
@@ -78,6 +88,7 @@ from repro.streaming.storm import (
 )
 from repro.streaming.windows import LatencyReservoir, RingCounter
 from repro.streaming.wire import (
+    AlertBatchBuilder,
     pack_aggregates,
     pack_alerts,
     pack_clusters,
@@ -127,8 +138,12 @@ __all__ = [
     "RingCounter",
     "LatencyReservoir",
     "drive_gateway",
+    "LaneIngress",
     "iter_jsonl_alerts",
     "merge_ordered",
+    "partition_by_region",
+    "partition_jsonl_by_region",
+    "AlertBatchBuilder",
     "pack_alerts",
     "unpack_alerts",
     "pack_aggregates",

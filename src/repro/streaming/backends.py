@@ -287,6 +287,26 @@ class SerialPlaneBackend:
         for plane, blob in adopts:
             self.planes[plane].adopt_region(unpack_plane_state(blob))
 
+    def lane_feed(
+        self,
+        plane: int,
+        alerts: list[Alert],
+        in_warmup: int,
+        watermark: float | None,
+    ) -> PlaneFlushResult:
+        """One lane-dispatched batch, run inline on the calling thread.
+
+        The ingress-lane path: the lane thread *is* the plane's worker,
+        so there is no pool hand-off and no barrier — just this plane's
+        reaction chain.  Safe under concurrent lanes because lanes own
+        disjoint planes and in-process planes share only read-only
+        structures (the blocker table is frozen while lanes are active —
+        the gateway rejects lanes + rule learning).
+        """
+        return self.planes[plane].process_batch(
+            alerts, in_warmup, watermark, collect_emitted=False,
+        )
+
     def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
         return [plane.drain(watermark) for plane in self.planes]
 
@@ -387,13 +407,15 @@ def _plane_worker_loop(connection, plane_ids, config: PlaneConfig) -> None:
         try:
             if kind == "flush":
                 batches, watermark = payload
-                results = []
-                for plane_id, blob, in_warmup in batches:
-                    result = planes[plane_id].process_batch(
+                results = [
+                    # Artifacts stay worker-side until drain, so the
+                    # reply is counters only (collect_emitted=False).
+                    planes[plane_id].process_batch(
                         unpack_alerts(blob), in_warmup, watermark,
+                        collect_emitted=False,
                     )
-                    result.emitted = None  # artifacts stay worker-side
-                    results.append(result)
+                    for plane_id, blob, in_warmup in batches
+                ]
                 connection.send(("ok", results))
             elif kind == "snapshot":
                 connection.send(("ok", [
@@ -500,6 +522,11 @@ class ProcessPlaneBackend:
         self._config = config
         self._workers: list[multiprocessing.Process] | None = None
         self._connections: list = []
+        # One lock per worker pipe, held across a send/recv round trip:
+        # ingress lanes feed workers concurrently, and a pipe is only a
+        # sane transport if exactly one request is in flight on it.
+        self._locks: list[threading.Lock] = []
+        self._start_lock = threading.Lock()
         # Last-barrier snapshots so idle introspection of a never-started
         # backend needs no round trip.
         self._n_shards = config.n_shards
@@ -514,8 +541,9 @@ class ProcessPlaneBackend:
 
     def _start(self) -> None:
         context = multiprocessing.get_context()
-        self._workers = []
-        self._connections = []
+        workers = []
+        connections = []
+        locks = []
         planes_of = [
             [p for p in range(self._n_planes) if self._worker_of(p) == w]
             for w in range(self.n_workers)
@@ -529,28 +557,81 @@ class ProcessPlaneBackend:
             )
             worker.start()
             child_end.close()
-            self._workers.append(worker)
-            self._connections.append(parent_end)
+            workers.append(worker)
+            connections.append(parent_end)
+            locks.append(threading.Lock())
+        # Publish complete lists only: lane threads race through
+        # _ensure_started's fast path as soon as _workers is non-None.
+        self._connections = connections
+        self._locks = locks
+        self._workers = workers
+
+    def _ensure_started(self) -> None:
+        if self._workers is not None:
+            return
+        with self._start_lock:
+            if self._workers is None:
+                self._start()
 
     def _roundtrip(self, worker_ids: list[int], messages: list[tuple]) -> list:
-        """Send to each worker, then gather — batches overlap in flight."""
-        for worker_id, message in zip(worker_ids, messages):
-            self._connections[worker_id].send(message)
-        replies = []
-        for worker_id in worker_ids:
-            status, payload = self._connections[worker_id].recv()
-            if status != "ok":
-                raise ValidationError(f"plane worker {worker_id} failed: {payload}")
-            replies.append(payload)
-        return replies
+        """Send to each worker, then gather — batches overlap in flight.
+
+        Every involved pipe lock is taken up front, in worker order, so
+        a barrier-style command can never interleave with an in-flight
+        lane feed on the same pipe.  Deadlock-free: lane threads only
+        ever hold a single lock, and multi-lock acquisition happens on
+        the gateway thread alone.
+        """
+        locks = [self._locks[worker_id] for worker_id in sorted(set(worker_ids))]
+        for lock in locks:
+            lock.acquire()
+        try:
+            for worker_id, message in zip(worker_ids, messages):
+                self._connections[worker_id].send(message)
+            replies = []
+            for worker_id in worker_ids:
+                status, payload = self._connections[worker_id].recv()
+                if status != "ok":
+                    raise ValidationError(f"plane worker {worker_id} failed: {payload}")
+                replies.append(payload)
+            return replies
+        finally:
+            for lock in locks:
+                lock.release()
+
+    def lane_feed_encoded(
+        self,
+        plane: int,
+        blob: bytes,
+        in_warmup: int,
+        watermark: float | None,
+    ) -> PlaneFlushResult:
+        """One lane-dispatched, pre-encoded batch straight to its worker.
+
+        The ingress-lane fast path: ``blob`` arrives already wire-packed
+        (encoded once, at the lane), so the gateway side ships bytes and
+        reads back a counter tuple — no re-encode anywhere.  Lanes
+        feeding different workers run fully in parallel; lanes sharing a
+        worker serialise only on that worker's pipe lock.
+        """
+        if self._closed:
+            raise ValidationError("process backend already closed")
+        self._ensure_started()
+        worker_id = self._worker_of(plane)
+        connection = self._connections[worker_id]
+        with self._locks[worker_id]:
+            connection.send(("flush", ([(plane, blob, in_warmup)], watermark)))
+            status, payload = connection.recv()
+        if status != "ok":
+            raise ValidationError(f"plane worker {worker_id} failed: {payload}")
+        return payload[0]
 
     def flush(
         self, batches: Sequence[PlaneBatch], watermark: float | None,
     ) -> list[PlaneFlushResult]:
         if self._closed:
             raise ValidationError("process backend already closed")
-        if self._workers is None:
-            self._start()
+        self._ensure_started()
         per_worker: dict[int, list[tuple[int, bytes, int]]] = {}
         for plane, alerts, in_warmup in batches:
             per_worker.setdefault(self._worker_of(plane), []).append(
@@ -715,7 +796,7 @@ class ProcessPlaneBackend:
             # Spawn now so the restored state lands in the worker
             # processes that will execute it; the spawn-time config
             # already carries the restored blocker table.
-            self._start()
+            self._ensure_started()
         per_worker: dict[int, list[tuple[int, bytes]]] = {}
         for plane, blob in adopts:
             per_worker.setdefault(self._worker_of(plane), []).append(

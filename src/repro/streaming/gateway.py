@@ -32,6 +32,13 @@ Ingestion has two paths with identical end-of-run accounting:
   flushed to the backend ``flush_size`` events at a time (or whenever
   event time advances ``flush_interval`` seconds).
 
+With ``ingress_lanes > 1`` both paths hand over to partitioned ingest
+lanes (:mod:`~repro.streaming.lanes`): the caller's thread keeps only
+routing and stream-global accounting, while lane threads run (or
+wire-encode and ship) per-plane flushes concurrently — same end-of-run
+accounting, N planes on N cores without the single-threaded ingress
+ceiling.
+
 :meth:`rebalance` re-shards every plane live: open R2 sessions migrate
 across each plane's rebuilt consistent-hash ring without leaving the
 plane (or its worker process), so no window state is lost and no state
@@ -75,6 +82,7 @@ from repro.core.mitigation.aggregation import AggregatedAlert
 from repro.core.mitigation.blocking import AlertBlocker, rule_from_dict, rule_to_dict
 from repro.core.mitigation.correlation import AlertCluster, DependencyRuleBook
 from repro.streaming.backends import PlaneBackend, make_backend
+from repro.streaming.lanes import LaneIngress
 from repro.streaming.learning import LearnerConfig, OnlineRuleLearner
 from repro.streaming.plane import PlaneConfig, PlaneSnapshot
 from repro.streaming.processor import StreamProcessor
@@ -143,13 +151,22 @@ class AlertGateway:
         learn_rules: bool = False,
         learner_config: LearnerConfig | None = None,
         enable_qoa: bool = False,
+        ingress_lanes: int = 1,
     ) -> None:
         require_positive(n_planes, "n_planes")
         require_positive(finalize_every, "finalize_every")
+        require_positive(ingress_lanes, "ingress_lanes")
         if flush_size is not None:
             require_positive(flush_size, "flush_size")
         if flush_interval is not None:
             require_positive(flush_interval, "flush_interval")
+        if int(ingress_lanes) > 1 and (learn_rules or enable_qoa):
+            raise ValidationError(
+                "ingress_lanes > 1 is incompatible with learn_rules/"
+                "enable_qoa: both consume gateway-global flush barriers as "
+                "their judgment schedule, which per-plane lane flushes do "
+                "not provide"
+            )
         self._blocker = blocker or AlertBlocker()
         self.learner = (
             OnlineRuleLearner(learner_config) if learn_rules else None
@@ -187,6 +204,22 @@ class AlertGateway:
         self._warmup_pending: list[int] = [0] * n_planes
         self._buffered = 0
         self._last_flush_watermark: float | None = None
+        # Partitioned ingress: with more than one (effective) lane the
+        # buffered path moves off this thread entirely — see
+        # :mod:`repro.streaming.lanes`.  One lane degenerates to the
+        # classic path (same thread, same flush schedule), so lane-count
+        # parity tests compare against it directly.
+        self._lanes: LaneIngress | None = None
+        if min(int(ingress_lanes), int(n_planes)) > 1:
+            self._lanes = LaneIngress(
+                self._backend,
+                self._plane_router,
+                n_planes=n_planes,
+                n_lanes=ingress_lanes,
+                flush_size=self._flush_size,
+                flush_interval=flush_interval,
+                warmup_limit=self._warmup_limit,
+            )
         self._retain = retain_artifacts
         self._drained = False
         self.stats = GatewayStats(
@@ -216,6 +249,11 @@ class AlertGateway:
         """
         if self._drained:
             raise ValidationError("gateway already drained; create a new one")
+        if self._lanes is not None:
+            # Lane emissions stay plane-side (counters only); the return
+            # contract matches the process backend's.
+            self._lanes.ingest((alert,), self.stats)
+            return []
         started = time.perf_counter()
         stats = self.stats
         stats.input_alerts += 1
@@ -223,6 +261,17 @@ class AlertGateway:
             stats.watermark = alert.occurred_at
         else:
             stats.late_events += 1
+            if (
+                self._flush_interval is not None
+                and self._last_flush_watermark is not None
+                and alert.occurred_at < self._last_flush_watermark
+            ):
+                # Late events must count against the interval trigger:
+                # after a forward watermark jump, an all-late tail keeps
+                # `watermark - last_flush` at zero and would stall
+                # interval flushes indefinitely.  Clamping the anchor to
+                # the late event's time re-arms the trigger.
+                self._last_flush_watermark = alert.occurred_at
         plane = self._plane_router.plane_of(alert.region)
         self._buffers[plane].append(alert)
         if stats.input_alerts <= self._warmup_limit:
@@ -261,6 +310,8 @@ class AlertGateway:
         """
         if self._drained:
             raise ValidationError("gateway already drained; create a new one")
+        if self._lanes is not None:
+            return self._lanes.ingest(alerts, self.stats)
         stats = self.stats
         buffers = self._buffers
         warmup_pending = self._warmup_pending
@@ -285,6 +336,15 @@ class AlertGateway:
                     watermark = occurred_at
                 else:
                     late += 1
+                    if (
+                        interval is not None
+                        and self._last_flush_watermark is not None
+                        and occurred_at < self._last_flush_watermark
+                    ):
+                        # Same stall fix as the per-event path: a late
+                        # tail after a watermark jump must still be able
+                        # to fire the interval trigger.
+                        self._last_flush_watermark = occurred_at
                 plane = plane_cache.get(alert.region)
                 if plane is None:
                     plane = plane_of(alert.region)
@@ -325,6 +385,8 @@ class AlertGateway:
         if self._drained:
             return self.stats
         self._flush()
+        if self._lanes is not None:
+            self._lanes.close()
         results = self._backend.drain(self.stats.watermark)
         results.sort(key=lambda result: result.plane_id)
         for result in results:
@@ -372,6 +434,8 @@ class AlertGateway:
         if self._drained:
             return
         self._drained = True
+        if self._lanes is not None:
+            self._lanes.close()
         self._backend.close()
 
     # ------------------------------------------------------------------
@@ -455,6 +519,8 @@ class AlertGateway:
             raise
         self._buffers = [[] for _ in range(n_planes)]
         self._warmup_pending = [0] * n_planes
+        if self._lanes is not None:
+            self._lanes.rescale(n_planes)
         stats.n_planes = n_planes
         stats.n_workers = getattr(self._backend, "n_workers", 1)
         stats.plane_scales += 1
@@ -487,6 +553,8 @@ class AlertGateway:
         plane, so the backend's state plus the gateway's counters are a
         complete, consistent image of the stream so far.
         """
+        if self._lanes is not None:
+            return self._lanes.pending == 0
         return self._buffered == 0
 
     def flush(self) -> list[AggregatedAlert]:
@@ -517,6 +585,7 @@ class AlertGateway:
             "n_workers": stats.n_workers,
             "flush_size": self._flush_size,
             "flush_interval": self._flush_interval,
+            "ingress_lanes": self.ingress_lanes,
             "aggregation_window": config.aggregation_window,
             "correlation_window": config.correlation_window,
             "correlation_max_hops": config.correlation_max_hops,
@@ -544,9 +613,12 @@ class AlertGateway:
         """
         if self._drained:
             raise ValidationError("gateway already drained; nothing to checkpoint")
-        if self._buffered:
+        if not self.at_flush_barrier:
+            pending = (
+                self._lanes.pending if self._lanes is not None else self._buffered
+            )
             raise ValidationError(
-                f"checkpoint requires a flush barrier; {self._buffered} "
+                f"checkpoint requires a flush barrier; {pending} "
                 f"event(s) still buffered (flush first or checkpoint "
                 f"between batches)"
             )
@@ -695,6 +767,11 @@ class AlertGateway:
         return self.stats.n_shards
 
     @property
+    def ingress_lanes(self) -> int:
+        """Effective ingest lane count (1 = classic single-threaded path)."""
+        return self._lanes.n_lanes if self._lanes is not None else 1
+
+    @property
     def plane_assignments(self) -> dict[str, int]:
         """Region → plane map observed so far."""
         return self._plane_router.assignments
@@ -715,6 +792,8 @@ class AlertGateway:
     # ------------------------------------------------------------------
     def _flush(self, observe_latency: bool = True) -> list[AggregatedAlert]:
         """Hand every buffered per-plane batch to the backend (a barrier)."""
+        if self._lanes is not None:
+            return self._lane_barrier()
         if self._buffered == 0:
             return []
         started = time.perf_counter()
@@ -744,6 +823,27 @@ class AlertGateway:
         if observe_latency:
             stats.observe_flush(time.perf_counter() - started, flushed)
         return emitted_all
+
+    def _lane_barrier(self) -> list[AggregatedAlert]:
+        """Barrier the ingress lanes and fold their telemetry into stats.
+
+        Lane threads flush to planes on their own schedule; the gateway
+        only learns about it here — last per-plane lifetime counters,
+        plus the flush count/latency accumulated since the previous
+        barrier (observed as one amortised batch, like the classic
+        path's per-flush observation).
+        """
+        stats = self.stats
+        results, flushes, seconds, events = self._lanes.barrier(stats.watermark)
+        for result in results:
+            self._set_plane_counters(result.plane_id, result.counters())
+        if flushes:
+            stats.flushes += flushes
+            stats.observe_flush(seconds, events)
+            self._last_flush_watermark = stats.watermark
+        if results:
+            self._refresh_totals()
+        return []
 
     @staticmethod
     def _gather_observations(results) -> list[tuple]:

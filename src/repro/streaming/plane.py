@@ -367,14 +367,21 @@ class RegionPlane:
     # the flush-cycle hot path
     # ------------------------------------------------------------------
     def process_batch(
-        self, alerts: list[Alert], in_warmup: int, watermark: float | None,
+        self,
+        alerts: list[Alert],
+        in_warmup: int,
+        watermark: float | None,
+        collect_emitted: bool = True,
     ) -> PlaneFlushResult:
         """Run one micro-batch through the plane's whole reaction chain.
 
         ``alerts`` is this plane's slice of the stream in arrival order;
         ``in_warmup`` the leading-event count inside the gateway-global
         novelty warmup; ``watermark`` the gateway's max event time, which
-        caps the plane-local R3 safety horizon.
+        caps the plane-local R3 safety horizon.  ``collect_emitted=False``
+        returns the result with ``emitted=None`` — callers that only fold
+        counters (process workers, ingress lanes) skip materialising the
+        aggregate list in the result.
         """
         if self._detector is not None:
             self._detector.ingest_batch(alerts, in_warmup)
@@ -450,7 +457,7 @@ class RegionPlane:
             open_sessions=self.open_sessions,
             active_components=correlator.active_components,
             retained_representatives=correlator.retained,
-            emitted=emitted_all,
+            emitted=emitted_all if collect_emitted else None,
             observations=_digest_rows(digest) if digest is not None else None,
         )
 

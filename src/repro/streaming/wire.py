@@ -36,6 +36,7 @@ from repro.core.mitigation.blocking import BlockingRule
 from repro.core.mitigation.correlation import AlertCluster
 
 __all__ = [
+    "AlertBatchBuilder",
     "pack_alerts",
     "unpack_alerts",
     "pack_aggregates",
@@ -242,6 +243,110 @@ def _read_alert_block(reader: _Reader) -> list[Alert]:
             tags_get(index) or {},
         ))
     return alerts
+
+
+class AlertBatchBuilder:
+    """Reusable append-only encoder for one alert batch.
+
+    The partitioned ingest lanes encode their per-plane batches *at the
+    lane* — one column write per event as it is routed — so the gateway
+    never re-walks the batch and the ``process`` backend ships the
+    finished bytes straight to its worker.  :meth:`finish` emits exactly
+    the bytes :func:`pack_alerts` would produce for the same alerts
+    (``unpack_alerts``-compatible, pinned by a byte-identity test) and
+    resets the builder for the next batch, so one instance serves a
+    lane's whole lifetime without reallocating its interning tables.
+    """
+
+    __slots__ = (
+        "_strings", "_index", "_columns", "_fault_refs", "_severities",
+        "_states", "_occurred", "_cleared", "_tags", "_count",
+    )
+
+    def __init__(self) -> None:
+        self._reset()
+
+    def _reset(self) -> None:
+        self._strings: list[str] = []
+        self._index: dict[str, int] = {}
+        self._columns: list[list[int]] = [[] for _ in _ALERT_STRING_FIELDS]
+        self._fault_refs: list[int] = []
+        self._severities = bytearray()
+        self._states = bytearray()
+        self._occurred: list[float] = []
+        self._cleared: list[float] = []
+        self._tags: list[int] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _ref(self, value: str) -> int:
+        ref = self._index.get(value)
+        if ref is None:
+            ref = self._index[value] = len(self._strings)
+            self._strings.append(value)
+        return ref
+
+    def append(self, alert: Alert) -> None:
+        """Encode one alert into the open batch (column writes only)."""
+        # Interning order matches _write_alert_block exactly — the ten
+        # string fields, then fault_id, then tags, per alert — so the
+        # string table (and therefore every byte) comes out identical.
+        index_of = self._index
+        strings = self._strings
+        for column, value in zip(self._columns, _ALERT_STRINGS(alert)):
+            ref = index_of.get(value)
+            if ref is None:
+                ref = index_of[value] = len(strings)
+                strings.append(value)
+            column.append(ref)
+        fault_id = alert.fault_id
+        self._fault_refs.append(
+            _NONE_REF if fault_id is None else self._ref(fault_id)
+        )
+        self._severities.append(alert.severity.value)
+        self._states.append(_STATE_INDEX[alert.state])
+        self._occurred.append(alert.occurred_at)
+        cleared_at = alert.cleared_at
+        self._cleared.append(_NO_TIME if cleared_at is None else cleared_at)
+        if alert.tags:
+            ref = self._ref
+            for key, value in alert.tags.items():
+                self._tags.extend((self._count, ref(key), ref(value)))
+        self._count += 1
+
+    def extend(self, alerts: Sequence[Alert]) -> None:
+        """Encode a run of alerts in order."""
+        append = self.append
+        for alert in alerts:
+            append(alert)
+
+    def finish(self) -> bytes:
+        """Emit the batch (``pack_alerts``-identical bytes) and reset."""
+        pack = _HEADER.pack
+        table = [pack(len(self._strings))]
+        extend = table.extend
+        for value in self._strings:
+            raw = value.encode("utf-8")
+            extend((pack(len(raw)), raw))
+        parts = [_MAGIC_ALERTS, b"".join(table)]
+        append = parts.append
+        sections = [
+            pack(self._count),
+            *(_array_bytes("I", column) for column in self._columns),
+            _array_bytes("I", self._fault_refs),
+            bytes(self._severities),
+            bytes(self._states),
+            _array_bytes("d", self._occurred),
+            _array_bytes("d", self._cleared),
+            _array_bytes("I", self._tags),
+        ]
+        for payload in sections:
+            append(pack(len(payload)))
+            append(payload)
+        self._reset()
+        return b"".join(parts)
 
 
 def pack_alerts(alerts: Sequence[Alert]) -> bytes:

@@ -245,3 +245,134 @@ class TestTransports:
             signal_module.signal(signal_module.SIGTERM, previous_term)
             signal_module.signal(signal_module.SIGINT, previous_int)
         service.stop()
+
+
+class TestClockDiscipline:
+    """Durations must come from the monotonic clock: an NTP step of the
+    wall clock cannot make uptime (or tick spacing) go negative."""
+
+    def test_uptime_immune_to_backward_wall_clock_step(
+        self, serving_graph, storm_alerts, tmp_path, monkeypatch,
+    ):
+        import repro.serving.service as service_module
+        wall = {"now": 1_000_000.0}
+        mono = {"now": 50.0}
+        monkeypatch.setattr(service_module.time, "time", lambda: wall["now"])
+        monkeypatch.setattr(
+            service_module.time, "monotonic", lambda: mono["now"],
+        )
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        # The wall clock steps back a full hour; real time advances 5s.
+        wall["now"] -= 3600.0
+        mono["now"] += 5.0
+        status = service.status()["service"]
+        assert status["uptime_seconds"] == pytest.approx(5.0)
+        assert status["started_at"] == pytest.approx(1_000_000.0)
+        # Ticks carry the same discipline: wall_time is a stamp, uptime
+        # is the duration.
+        service.ingest(storm_alerts[:128])  # lands on a checkpoint tick
+        tick = service.history[-1]
+        assert tick["uptime"] == pytest.approx(5.0)
+        assert tick["uptime"] >= 0.0
+        service.stop()
+
+
+class TestDrainGate:
+    """Ingest racing a drain-and-snapshot must be refused, not dropped."""
+
+    def test_ingest_after_stop_is_refused_loudly(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        service.ingest(storm_alerts[:64])
+        service.stop()
+        with pytest.raises(ValidationError, match="draining"):
+            service.ingest(storm_alerts[64:128])
+        # A restart re-opens the gate.
+        assert service.start() == "restored"
+        assert service.ingest(storm_alerts[64:128]) == 64
+        service.stop()
+
+    def test_ingest_refused_while_drain_in_flight(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        """The exact race: a handler thread that loses the lock race to
+        stop() must see the gate, not a half-shut-down service."""
+        import threading
+
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        service.ingest(storm_alerts[:64])
+        release = threading.Event()
+        entered = threading.Event()
+
+        original_checkpoint = service.checkpoint
+
+        def slow_checkpoint(force=False):
+            entered.set()
+            release.wait(timeout=10)
+            return original_checkpoint(force=force)
+
+        service.checkpoint = slow_checkpoint
+        stopper = threading.Thread(target=service.stop)
+        stopper.start()
+        assert entered.wait(timeout=10)
+        # stop() holds the lock mid-snapshot; a late ingest must be
+        # refused by the pre-lock gate instead of queueing on the lock.
+        with pytest.raises(ValidationError, match="draining"):
+            service.ingest(storm_alerts[64:65])
+        release.set()
+        stopper.join(timeout=10)
+        assert not stopper.is_alive()
+        assert service.gateway is None
+
+    def test_socket_lines_get_refused_ack_when_draining(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path)
+        service.start()
+        host, port = service.serve_socket()
+        service._draining = True  # a stop is in flight
+        payload = b"".join(
+            (json.dumps(alert_to_dict(a)) + "\n").encode()
+            for a in storm_alerts[:8]
+        )
+        with socket.create_connection((host, port), timeout=10) as conn:
+            conn.sendall(payload)
+            conn.shutdown(socket.SHUT_WR)
+            reply = conn.makefile().readline()
+        assert reply.startswith("REFUSED")
+        assert "draining" in reply
+        # Nothing slipped past the gate.
+        assert service.input_alerts == 0
+        service._draining = False
+        service.stop()
+
+
+class TestIngressLanes:
+    def test_service_runs_and_restores_with_lanes(
+        self, serving_graph, storm_alerts, tmp_path,
+    ):
+        service = _service(serving_graph, tmp_path, ingress_lanes=2)
+        service.start()
+        assert service.gateway.ingress_lanes == 2
+        service.ingest(storm_alerts[:128])
+        service.stop()
+        # Lane count is not strict config: a restore may choose another.
+        revived = _service(serving_graph, tmp_path, ingress_lanes=1)
+        assert revived.start() == "restored"
+        assert revived.input_alerts == 128
+        revived.ingest(storm_alerts[128:192])
+        stats = revived.stop(drain=True)
+        # Same accounting as one uninterrupted classic run.
+        clean_dir = tmp_path / "clean"
+        clean = _service(serving_graph, clean_dir)
+        clean.start()
+        clean.ingest(storm_alerts[:192])
+        clean_stats = clean.stop(drain=True)
+        assert stats.input_alerts == clean_stats.input_alerts
+        assert stats.blocked_alerts == clean_stats.blocked_alerts
+        assert stats.aggregates_emitted == clean_stats.aggregates_emitted
+        assert stats.clusters_finalized == clean_stats.clusters_finalized

@@ -30,6 +30,10 @@ learning_bench = pytest.importorskip(
     "benchmarks.bench_online_learning",
     reason="benchmarks/ must be importable from the repo root",
 )
+lanes_bench = pytest.importorskip(
+    "benchmarks.bench_ingress_lanes",
+    reason="benchmarks/ must be importable from the repo root",
+)
 
 
 def _require_samples(measurements: dict, what: str) -> None:
@@ -163,6 +167,24 @@ def test_scale_probe_reconciles_and_stays_under_one_flush(multi_region_setup):
         f"scale_planes took {probe['scale_wall_s'] * 1e3:.2f} ms, over the "
         f"one-flush budget of {probe['flush_wall_s'] * 1e3:.2f} ms"
     )
+
+
+def test_lane_sweep_holds_parity_for_every_lane_count(multi_region_setup):
+    """Drives the ingress-lane bench helpers end to end (fast mode).
+
+    The exact-parity assertion — every lane count drains to identical
+    accounting — lives *inside* ``run_lane_sweep``, so this smoke run
+    exercises it on the serial backend (no worker processes to spawn)
+    with a single round per config."""
+    trace, topology, blocker, rulebook, _ = multi_region_setup
+    measurements = lanes_bench.run_lane_sweep(
+        trace, topology, blocker, rulebook,
+        backend="serial", rounds=1,
+    )
+    _require_samples(measurements, "ingress-lane sweep")
+    for lanes in lanes_bench.LANE_COUNTS:
+        assert measurements[f"lanes{lanes}"] > 0
+    assert measurements["scaling_x"] > 0
 
 
 def test_learning_sweep_runs_every_config_on_a_small_trace():

@@ -110,6 +110,31 @@ class TestStreamingBehaviour:
         assert stats.late_events == 1
         assert stats.input_alerts == 2
 
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_interval_flush_not_stalled_by_late_tail(
+        self, small_topology, batched
+    ):
+        """Regression: a forward watermark jump followed by an all-late
+        tail kept ``watermark - last_flush_watermark`` at ~0 forever, so
+        the interval trigger never fired and events piled up until drain.
+        The late-event clamp re-arms the trigger."""
+        gateway = AlertGateway(small_topology.graph, n_shards=2,
+                               flush_size=10**6, flush_interval=60.0)
+        late = [make_alert(100.0 + i) for i in range(5)]
+        if batched:
+            gateway.ingest_batch([make_alert(10_000.0)])
+            gateway.ingest_batch(late)
+        else:
+            gateway.ingest(make_alert(10_000.0))
+            for alert in late:
+                gateway.ingest(alert)
+        assert gateway.stats.late_events == 5
+        # Every late arrival re-armed and fired the interval trigger;
+        # without the clamp nothing flushes before drain.
+        assert gateway.stats.flushes >= 5
+        assert gateway.at_flush_barrier
+        gateway.drain()
+
     @pytest.mark.parametrize("backend", ["serial", "process"])
     def test_snapshot_after_drain_keeps_final_accounting(
         self, small_topology, backend
