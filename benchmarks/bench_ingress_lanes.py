@@ -25,17 +25,33 @@ meaningful with real cores under the lane threads, so that assertion
 is gated on ``os.cpu_count() >= MIN_CORES_FOR_SCALING`` and skips with
 an explicit reason on smaller boxes — the parity assertions always run.
 
-``run_lane_config`` / ``run_lane_sweep`` are importable — the fast
-smoke test under ``tests/streaming/`` drives them with a small trace so
-this script cannot silently bit-rot.  Results land in
-``benchmarks/results/ingress_lanes.json`` *and* in the standing
-repo-root artifact ``BENCH_streaming.json`` (the per-PR performance
-trajectory).
+Since the zero-copy ring transport the bench also measures the **lane →
+worker hand-off** in isolation (``run_transport_handoff``): the same
+builder-encoded batch crosses either the shared-memory ring (one copy
+into the slot, a tiny control message, a ``memoryview`` on the far
+side) or the classic pipe (join + pickle + kernel copy + rebuild), and
+the child acknowledges each delivery so both paths pay the identical
+synchronous round-trip.  End-to-end transport **parity is asserted
+before any hand-off number is reported**
+(``run_transport_parity``): ring lanes, pipe lanes, and the unlaned
+path must drain the identical trace to identical accounting.  The
+hand-off floor (``HANDOFF_FLOOR``x at the largest swept batch) holds on
+a single core — below the kernel's socket buffer the two transports
+tie on round-trip latency, so the floor is asserted where the payload
+copies dominate, which is exactly the regime the ring exists for.
+
+``run_lane_config`` / ``run_lane_sweep`` / ``run_transport_handoff``
+are importable — the fast smoke test under ``tests/streaming/`` drives
+them with a small trace so this script cannot silently bit-rot.
+Results land in ``benchmarks/results/ingress_lanes.json`` *and* in the
+standing repo-root artifact ``BENCH_streaming.json`` (the per-PR
+performance trajectory; every row records the ``cores`` it ran on).
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import time
 from pathlib import Path
@@ -46,7 +62,7 @@ from benchmarks.conftest import record_report
 from repro.core.mitigation import MitigationPipeline
 from repro.core.mitigation.blocking import AlertBlocker
 from repro.core.mitigation.correlation import rulebook_from_ground_truth
-from repro.streaming import AlertGateway
+from repro.streaming import AlertBatchBuilder, AlertGateway, SpscRing
 from repro.workload import StormConfig, build_multi_region_storm
 
 _RESULTS_DIR = Path(__file__).parent / "results"
@@ -61,6 +77,18 @@ LANE_COUNTS = (1, 2, 4)
 #: cores exist to run the lanes on.
 SCALING_FLOOR = 2.5
 MIN_CORES_FOR_SCALING = 4
+
+#: Batch sizes (in alerts) swept by the transport hand-off bench.  512
+#: is the gateway's default pooled flush; the larger batches are where
+#: the pipe's extra copies cross the kernel socket buffer and the
+#: zero-copy win compounds.
+HANDOFF_BATCH_SIZES = (512, 1024, 2048)
+#: The single-core bar: at the largest swept batch the ring hand-off
+#: must beat the pipe hand-off by at least this factor.
+HANDOFF_FLOOR = 1.1
+#: Slot capacity for the hand-off ring; holds the largest swept batch
+#: (~210 KB encoded) without spilling.
+HANDOFF_SLOT_SIZE = 1 << 19
 
 
 def _counts(stats) -> tuple:
@@ -79,6 +107,7 @@ def run_lane_config(
     *,
     ingress_lanes: int,
     backend: str = "process",
+    lane_transport: str = "ring",
     n_planes: int = 4,
     n_workers: int = 4,
     flush_size: int = 512,
@@ -103,7 +132,8 @@ def run_lane_config(
             topology.graph, blocker=AlertBlocker(blocker.rules),
             rulebook=rulebook, n_shards=4, n_planes=n_planes,
             backend=backend, n_workers=n_workers, flush_size=flush_size,
-            ingress_lanes=ingress_lanes, retain_artifacts=False,
+            ingress_lanes=ingress_lanes, lane_transport=lane_transport,
+            retain_artifacts=False,
         )
         started = time.perf_counter()
         for chunk in chunks:
@@ -153,15 +183,161 @@ def run_lane_sweep(
     return measurements
 
 
-def write_bench_artifact(measurements: dict[str, float], pr: int = 7,
+def run_transport_parity(
+    alerts,
+    topology,
+    blocker,
+    rulebook,
+    **config,
+) -> tuple:
+    """Assert ring lanes, pipe lanes, and the unlaned path agree exactly.
+
+    The hand-off microbench below deliberately strips the transports
+    down to raw byte movement, so *this* is where correctness is
+    pinned: the identical trace drained through every transport must
+    produce bit-identical accounting before a single hand-off number
+    is reported.  Returns the agreed counts tuple.
+    """
+    config.setdefault("rounds", 1)
+    config.setdefault("ingress_lanes", 4)
+    baseline = None
+    for label, overrides in (
+        ("ingress_lanes=1", {"ingress_lanes": 1}),
+        ("lane_transport=ring", {"lane_transport": "ring"}),
+        ("lane_transport=pipe", {"lane_transport": "pipe"}),
+    ):
+        _, counts = run_lane_config(
+            alerts, topology, blocker, rulebook, **{**config, **overrides},
+        )
+        if baseline is None:
+            baseline = counts
+        assert counts == baseline, (
+            f"{label} changed the drained accounting: {counts} != {baseline}"
+        )
+    return baseline
+
+
+def _handoff_child(conn, ring_name: str) -> None:
+    """Worker side of the hand-off microbench: consume and acknowledge.
+
+    A ``"ring"`` control message means one batch awaits in the shared
+    ring — map it, note its length, release the slot.  Raw bytes *are*
+    the batch (the pipe path).  Either way the observed length goes
+    back up the pipe so both transports pay the same synchronous
+    round-trip the production lane protocol pays.
+    """
+    ring = SpscRing.attach(ring_name)
+    try:
+        while True:
+            message = conn.recv()
+            if message == "ring":
+                view = ring.peek()
+                length = len(view)
+                view.release()
+                ring.consume()
+                conn.send(length)
+            elif message == "stop":
+                return
+            else:
+                conn.send(len(message))
+    finally:
+        ring.close()
+        conn.close()
+
+
+def run_transport_handoff(
+    alerts,
+    *,
+    batch_sizes=HANDOFF_BATCH_SIZES,
+    iterations: int = 200,
+    rounds: int = 3,
+    slot_size: int = HANDOFF_SLOT_SIZE,
+) -> dict:
+    """Ring-vs-pipe hand-off rates over builder-realistic payloads.
+
+    One child process plays the plane worker; the parent plays the lane
+    thread.  Per batch size the identical encoded parts cross either
+    the ring (``try_write`` + control message + far-side ``memoryview``)
+    or the pipe (join + ``Connection.send`` of the blob), warmup then
+    best-of-``rounds``.  Returns per-batch rows plus the headline
+    ``ratio`` measured at the largest batch, where payload copies —
+    the thing the ring removes — dominate the round-trip.
+    """
+    ring = SpscRing.create(slot_size=slot_size, slot_count=4)
+    parent_conn, child_conn = multiprocessing.Pipe()
+    worker = multiprocessing.get_context().Process(
+        target=_handoff_child, args=(child_conn, ring.name), daemon=True,
+    )
+    worker.start()
+    child_conn.close()
+    rows = []
+    try:
+        builder = AlertBatchBuilder()
+        for batch in batch_sizes:
+            builder.extend(alerts[i % len(alerts)] for i in range(batch))
+            parts = [bytes(part) for part in builder.finish_parts()]
+            payload = sum(len(part) for part in parts)
+            if payload > slot_size:
+                continue  # would spill every write; nothing to compare
+
+            def ring_pass(n: int) -> None:
+                for _ in range(n):
+                    assert ring.try_write(parts) is not None
+                    parent_conn.send("ring")
+                    assert parent_conn.recv() == payload
+
+            def pipe_pass(n: int) -> None:
+                for _ in range(n):
+                    parent_conn.send(b"".join(parts))
+                    assert parent_conn.recv() == payload
+
+            rates = {}
+            for label, one_pass in (("ring", ring_pass), ("pipe", pipe_pass)):
+                one_pass(max(1, iterations // 10))  # warmup
+                best = 0.0
+                for _ in range(rounds):
+                    started = time.perf_counter()
+                    one_pass(iterations)
+                    elapsed = time.perf_counter() - started
+                    best = max(best, iterations / elapsed)
+                rates[label] = best
+            rows.append({
+                "batch_alerts": batch,
+                "payload_bytes": payload,
+                "ring_handoffs_per_sec": round(rates["ring"], 1),
+                "pipe_handoffs_per_sec": round(rates["pipe"], 1),
+                "ratio": round(rates["ring"] / rates["pipe"], 3),
+            })
+    finally:
+        try:
+            parent_conn.send("stop")
+        except (BrokenPipeError, OSError):
+            pass
+        worker.join(timeout=10)
+        parent_conn.close()
+        ring.unlink()
+    return {
+        "cores": float(os.cpu_count() or 1),
+        "slot_size": slot_size,
+        "handoff": rows,
+        "ring_vs_pipe_handoff_x": rows[-1]["ratio"] if rows else 0.0,
+    }
+
+
+def write_bench_artifact(measurements: dict[str, float],
+                         handoff: dict | None = None, pr: int = 8,
                          path: Path = BENCH_ARTIFACT) -> dict:
     """Append this run's scaling row to the standing trajectory.
 
     The artifact is shared with the serving-checkpoint bench: that one
-    owns the ``current`` block, this one adds an ``ingress_lanes``
-    block plus one per-PR ``trajectory`` row (newest measurement wins),
-    so review can see the scaling history without digging through CI
-    logs.
+    owns the ``current`` block, this one adds the ``ingress_lanes`` and
+    ``ring_transport`` blocks plus one per-PR ``trajectory`` row
+    (newest measurement wins), so review can see the scaling history
+    without digging through CI logs.  Every trajectory row carries the
+    ``cores`` it was measured on — rows written before the field
+    existed are backfilled with this box's count (the trajectory has
+    only ever been recorded on one container), so the floors guard in
+    CI can gate multi-core floors on the cores a row actually had.
     """
     payload = {"schema": 1, "trajectory": []}
     if path.exists():
@@ -169,6 +345,7 @@ def write_bench_artifact(measurements: dict[str, float], pr: int = 7,
             payload = json.loads(path.read_text())
         except (json.JSONDecodeError, OSError):
             pass
+    cores = float(os.cpu_count() or 1)
     entry = {
         "pr": pr,
         "throughput_alerts_per_sec": round(
@@ -177,16 +354,23 @@ def write_bench_artifact(measurements: dict[str, float], pr: int = 7,
         ),
         "single_lane_alerts_per_sec": round(measurements["lanes1"]),
         "lane_scaling_x": round(measurements.get("scaling_x", 1.0), 3),
-        "cores": float(os.cpu_count() or 1),
+        "cores": cores,
     }
+    if handoff is not None:
+        entry["ring_vs_pipe_handoff_x"] = handoff["ring_vs_pipe_handoff_x"]
     trajectory = [row for row in payload.get("trajectory", [])
                   if row.get("pr") != pr]
     trajectory.append(entry)
+    for row in trajectory:
+        row.setdefault("cores", cores)
     trajectory.sort(key=lambda row: row["pr"])
     payload["schema"] = 1
     payload["ingress_lanes"] = {
         key: round(value, 4) for key, value in sorted(measurements.items())
     }
+    payload["ingress_lanes"]["cores"] = cores
+    if handoff is not None:
+        payload["ring_transport"] = handoff
     payload["trajectory"] = trajectory
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
@@ -207,10 +391,23 @@ def lane_measurements(multi_region_storm, topology):
     return run_lane_sweep(trace, topology, blocker, rulebook)
 
 
+@pytest.fixture(scope="module")
+def handoff_measurements(multi_region_storm, topology):
+    """Transport parity asserted end to end, then the hand-off sweep."""
+    trace = multi_region_storm
+    rulebook = rulebook_from_ground_truth(trace, coverage=0.6)
+    blocker = MitigationPipeline.derive_blocker(trace)
+    alerts = list(trace.iter_ordered())
+    run_transport_parity(alerts, topology, blocker, rulebook)
+    return run_transport_handoff(alerts)
+
+
 class TestIngressLaneBench:
-    def test_lane_parity_and_artifact(self, lane_measurements):
-        """Parity is asserted inside the sweep; this records the row."""
+    def test_lane_parity_and_artifact(self, lane_measurements,
+                                      handoff_measurements):
+        """Parity is asserted inside the sweeps; this records the rows."""
         measurements = lane_measurements
+        handoff = handoff_measurements
         cores = os.cpu_count() or 1
         lines = [
             f"trace: multi-region storm, {measurements['alerts']:,.0f} alerts "
@@ -225,14 +422,32 @@ class TestIngressLaneBench:
             f"scaling ({max(LANE_COUNTS)} lanes / 1 lane): "
             f"{measurements['scaling_x']:.2f}x"
         )
+        for row in handoff["handoff"]:
+            lines.append(
+                f"hand-off {row['payload_bytes'] / 1024:>5.0f} KB:  "
+                f"ring {row['ring_handoffs_per_sec']:>9,.0f}/s  "
+                f"pipe {row['pipe_handoffs_per_sec']:>9,.0f}/s  "
+                f"ratio {row['ratio']:.2f}x"
+            )
         record_report("ingress_lanes", "\n".join(lines))
         _RESULTS_DIR.mkdir(exist_ok=True)
         (_RESULTS_DIR / "ingress_lanes.json").write_text(
             json.dumps(measurements, indent=2, sort_keys=True) + "\n"
         )
-        write_bench_artifact(measurements)
+        write_bench_artifact(measurements, handoff)
         for lanes in LANE_COUNTS:
             assert measurements[f"lanes{lanes}"] > 0
+
+    def test_ring_handoff_floor(self, handoff_measurements):
+        """The single-core bar: the ring must beat the pipe hand-off by
+        ``HANDOFF_FLOOR``x at the largest swept batch — no core gate,
+        because the win there comes from removing copies, not from
+        parallelism."""
+        ratio = handoff_measurements["ring_vs_pipe_handoff_x"]
+        assert ratio >= HANDOFF_FLOOR, (
+            f"ring hand-off reached only {ratio:.2f}x the pipe hand-off "
+            f"(floor {HANDOFF_FLOOR}x) at the largest swept batch"
+        )
 
     def test_multicore_scaling_floor(self, lane_measurements):
         """The issue's bar: >= 2.5x single-lane at 4 lanes on >= 4 cores."""

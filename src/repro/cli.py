@@ -184,6 +184,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="partitioned ingest lane threads feeding planes "
                              "directly (clamped to --planes; 1 = classic "
                              "single-threaded ingress)")
+    stream.add_argument("--lane-transport", choices=("ring", "pipe"),
+                        default="ring",
+                        help="lane->worker hand-off on the process backend: "
+                             "zero-copy shared-memory rings (default) or the "
+                             "classic pickled pipe")
     stream.add_argument("--window", type=float, default=900.0,
                         help="aggregation/correlation window in seconds")
     stream.add_argument("--rebalance-to", type=int, default=None,
@@ -228,6 +233,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ingress-lanes", type=int, default=1,
                        help="partitioned ingest lane threads (clamped to "
                             "--planes; 1 = classic single-threaded ingress)")
+    serve.add_argument("--lane-transport", choices=("ring", "pipe"),
+                       default="ring",
+                       help="lane->worker hand-off on the process backend: "
+                            "zero-copy shared-memory rings (default) or the "
+                            "classic pickled pipe")
     serve.add_argument("--window", type=float, default=900.0)
     serve.add_argument("--learn-rules", action="store_true")
     serve.add_argument("--qoa", action="store_true")
@@ -351,6 +361,7 @@ def _cmd_stream(args) -> int:
         n_workers=args.workers,
         flush_size=args.flush_size,
         ingress_lanes=args.ingress_lanes,
+        lane_transport=args.lane_transport,
         aggregation_window=args.window,
         correlation_window=args.window,
         retain_artifacts=False,
@@ -440,6 +451,7 @@ def _cmd_serve(args) -> int:
         n_workers=args.workers,
         flush_size=args.flush_size,
         ingress_lanes=args.ingress_lanes,
+        lane_transport=args.lane_transport,
         aggregation_window=args.window,
         correlation_window=args.window,
         retain_artifacts=False,

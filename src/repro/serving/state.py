@@ -64,7 +64,13 @@ def build_gateway(
         # Not strict: lanes change where work runs, never what is
         # counted (the lane parity harness pins that down), so a restore
         # may use a different lane count than the checkpoint recorded.
+        # Likewise the lane transport and ring geometry: ring vs pipe
+        # (and slot sizing) only moves bytes differently, so pre-ring
+        # checkpoints restore with the defaults.
         ingress_lanes=config.get("ingress_lanes", 1),
+        lane_transport=config.get("lane_transport", "ring"),
+        ring_slot_size=config.get("ring_slot_size"),
+        ring_slots=config.get("ring_slots"),
     )
 
 

@@ -40,10 +40,16 @@ before; ``flush_interval`` bounds staleness in event time.
 path onto partitioned lane threads (:mod:`~repro.streaming.lanes`) so
 the feed itself stops being the bottleneck — identical end-of-run
 accounting, near-linear multi-core scaling on the ``process`` backend.
+On the ``process`` backend lanes hand encoded batches to workers over
+zero-copy shared-memory rings (:mod:`~repro.streaming.rings`;
+``lane_transport="pipe"`` restores the classic pickled hand-off), and
+rule learning / streaming QoA compose with lanes through the gateway's
+lane-aware flush barrier — identical learned timelines to one lane.
 """
 
 from repro.streaming.backends import (
     BACKEND_NAMES,
+    LANE_TRANSPORTS,
     PlaneBackend,
     ProcessPlaneBackend,
     SerialPlaneBackend,
@@ -72,6 +78,7 @@ from repro.streaming.plane import (
     RegionPlane,
 )
 from repro.streaming.processor import StreamProcessor
+from repro.streaming.rings import RingError, SpscRing
 from repro.streaming.routing import PlaneRouter, ShardRouter, shard_key, template_of
 from repro.streaming.sources import (
     iter_jsonl_alerts,
@@ -139,6 +146,9 @@ __all__ = [
     "LatencyReservoir",
     "drive_gateway",
     "LaneIngress",
+    "LANE_TRANSPORTS",
+    "SpscRing",
+    "RingError",
     "iter_jsonl_alerts",
     "merge_ordered",
     "partition_by_region",

@@ -48,6 +48,11 @@ from repro.streaming.plane import (
 )
 from repro.streaming.learning import RuleDelta
 from repro.streaming.processor import StreamProcessor
+from repro.streaming.rings import (
+    DEFAULT_SLOT_COUNT,
+    DEFAULT_SLOT_SIZE,
+    SpscRing,
+)
 from repro.streaming.wire import (
     pack_aggregates,
     pack_alerts,
@@ -63,6 +68,7 @@ from repro.streaming.wire import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "LANE_TRANSPORTS",
     "PlaneBatch",
     "PlaneBackend",
     "SerialPlaneBackend",
@@ -72,6 +78,12 @@ __all__ = [
 ]
 
 BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Ingress-lane hand-off transports for the ``process`` backend:
+#: ``ring`` writes encoded batches into per-(lane, worker) shared-memory
+#: rings (zero-copy, the default); ``pipe`` ships them pickled over the
+#: worker pipe (the PR-7 path, kept for comparison and as a fallback).
+LANE_TRANSPORTS = ("ring", "pipe")
 
 #: One plane's slice of a flush cycle: (plane id, in-order alerts,
 #: number of leading events inside the gateway-global novelty warmup).
@@ -299,9 +311,10 @@ class SerialPlaneBackend:
         The ingress-lane path: the lane thread *is* the plane's worker,
         so there is no pool hand-off and no barrier — just this plane's
         reaction chain.  Safe under concurrent lanes because lanes own
-        disjoint planes and in-process planes share only read-only
-        structures (the blocker table is frozen while lanes are active —
-        the gateway rejects lanes + rule learning).
+        disjoint planes and in-process planes share only structures that
+        are read-only while lanes are in flight: with rule learning on,
+        the gateway mutates the shared blocker table exclusively at lane
+        barriers (every lane joined), never mid-feed.
         """
         return self.planes[plane].process_batch(
             alerts, in_warmup, watermark, collect_emitted=False,
@@ -397,15 +410,52 @@ class ThreadPlaneBackend(SerialPlaneBackend):
 
 
 def _plane_worker_loop(connection, plane_ids, config: PlaneConfig) -> None:
-    """One process-backend worker: owns the planes assigned to it."""
+    """One process-backend worker: owns the planes assigned to it.
+
+    Data-plane batches arrive either inline on the pipe (``flush``) or
+    through a per-lane shared-memory ring announced by ``attach_ring``
+    and signalled by ``ring_flush`` — the pipe then carries only the
+    control message and the counter reply while the payload is decoded
+    straight out of the ring slot via :class:`memoryview`, with zero
+    copies between the lane thread's encode and this worker's decode.
+    """
     planes = {plane: RegionPlane(plane, config) for plane in plane_ids}
+    rings: dict[int, SpscRing] = {}
+    try:
+        _plane_worker_commands(connection, planes, rings, config)
+    finally:
+        for ring in rings.values():
+            ring.close()
+
+
+def _plane_worker_commands(connection, planes, rings, config) -> None:
     while True:
         try:
             kind, payload = connection.recv()
         except EOFError:
             break
         try:
-            if kind == "flush":
+            if kind == "ring_flush":
+                # The hot lane path: the payload is already in shared
+                # memory; peek validates seq/len/CRC and exposes the
+                # slot as a memoryview the wire decoder reads in place.
+                lane, plane_id, in_warmup, watermark = payload
+                ring = rings[lane]
+                view = ring.peek()
+                try:
+                    alerts = unpack_alerts(view)
+                finally:
+                    view.release()
+                    ring.consume()
+                result = planes[plane_id].process_batch(
+                    alerts, in_warmup, watermark, collect_emitted=False,
+                )
+                connection.send(("ok", result))
+            elif kind == "attach_ring":
+                lane, name = payload
+                rings[lane] = SpscRing.attach(name)
+                connection.send(("ok", None))
+            elif kind == "flush":
                 batches, watermark = payload
                 results = [
                     # Artifacts stay worker-side until drain, so the
@@ -512,10 +562,21 @@ class ProcessPlaneBackend:
     name = "process"
 
     def __init__(
-        self, n_planes: int, config: PlaneConfig, n_workers: int = 4,
+        self,
+        n_planes: int,
+        config: PlaneConfig,
+        n_workers: int = 4,
+        lane_transport: str = "ring",
+        ring_slot_size: int | None = None,
+        ring_slots: int | None = None,
     ) -> None:
         require_positive(n_planes, "n_planes")
         require_positive(n_workers, "n_workers")
+        if lane_transport not in LANE_TRANSPORTS:
+            raise ValidationError(
+                f"unknown lane transport {lane_transport!r}; expected one "
+                f"of {', '.join(LANE_TRANSPORTS)}"
+            )
         self._n_planes = int(n_planes)
         self._requested_workers = int(n_workers)
         self.n_workers = min(self._requested_workers, self._n_planes)
@@ -531,6 +592,25 @@ class ProcessPlaneBackend:
         # backend needs no round trip.
         self._n_shards = config.n_shards
         self._closed = False
+        # Zero-copy lane hand-off: one SPSC shared-memory ring per
+        # (lane, worker) pair, created lazily on a lane's first feed to
+        # that worker (under the worker's pipe lock) and unlinked at
+        # close.  ``ring_spills`` counts batches that fell back to the
+        # pipe (oversized for a slot, or no free slot).
+        self.lane_transport = lane_transport
+        self._ring_slot_size = (
+            int(ring_slot_size) if ring_slot_size is not None
+            else DEFAULT_SLOT_SIZE
+        )
+        self._ring_slots = (
+            int(ring_slots) if ring_slots is not None else DEFAULT_SLOT_COUNT
+        )
+        require_positive(self._ring_slot_size, "ring_slot_size")
+        require_positive(self._ring_slots, "ring_slots")
+        self._rings: dict[tuple[int, int], SpscRing] = {}
+        #: Per-(lane, worker) spill counts; each key is written by
+        #: exactly one lane thread, so no lock is needed to sum them.
+        self._spills: dict[tuple[int, int], int] = {}
 
     @property
     def n_planes(self) -> int:
@@ -625,6 +705,84 @@ class ProcessPlaneBackend:
         if status != "ok":
             raise ValidationError(f"plane worker {worker_id} failed: {payload}")
         return payload[0]
+
+    @property
+    def ring_spills(self) -> int:
+        """Lane batches that fell back to the pipe (full ring/oversize)."""
+        return sum(self._spills.values())
+
+    def _ring_for(self, lane: int, worker_id: int, connection) -> SpscRing:
+        """The (lane, worker) ring, created and announced on first use.
+
+        Called under the worker's pipe lock: the attach round trip can
+        never interleave with another request on the same pipe, and the
+        ring is fully attached worker-side before any ``ring_flush``
+        references it.
+        """
+        ring = self._rings.get((lane, worker_id))
+        if ring is None:
+            ring = SpscRing.create(self._ring_slot_size, self._ring_slots)
+            try:
+                connection.send(("attach_ring", (lane, ring.name)))
+                status, payload = connection.recv()
+                if status != "ok":
+                    raise ValidationError(
+                        f"plane worker {worker_id} failed to attach ring: "
+                        f"{payload}"
+                    )
+            except BaseException:
+                ring.unlink()
+                raise
+            self._rings[(lane, worker_id)] = ring
+        return ring
+
+    def lane_feed_parts(
+        self,
+        lane: int,
+        plane: int,
+        parts: list[bytes],
+        in_warmup: int,
+        watermark: float | None,
+    ) -> PlaneFlushResult:
+        """One lane batch as encoder output parts — the zero-copy path.
+
+        ``parts`` is :meth:`~repro.streaming.wire.AlertBatchBuilder.
+        finish_parts` output: buffers whose concatenation is the
+        ``pack_alerts`` payload.  With the ``ring`` transport they are
+        written in place into the (lane, worker) shared-memory ring and
+        only a control message crosses the pipe; the worker decodes the
+        slot via memoryview and replies with counters.  Batches that
+        exceed the slot size (or find no free slot) spill to the classic
+        pipe path, counted in :attr:`ring_spills` — slower, never wrong.
+        With the ``pipe`` transport every batch takes the classic path.
+        """
+        if self._closed:
+            raise ValidationError("process backend already closed")
+        self._ensure_started()
+        worker_id = self._worker_of(plane)
+        connection = self._connections[worker_id]
+        use_ring = self.lane_transport == "ring"
+        with self._locks[worker_id]:
+            seq = None
+            if use_ring:
+                ring = self._ring_for(lane, worker_id, connection)
+                seq = ring.try_write(parts)
+            if seq is None:
+                if use_ring:
+                    key = (lane, worker_id)
+                    self._spills[key] = self._spills.get(key, 0) + 1
+                blob = b"".join(parts)
+                connection.send(
+                    ("flush", ([(plane, blob, in_warmup)], watermark))
+                )
+            else:
+                connection.send(
+                    ("ring_flush", (lane, plane, in_warmup, watermark))
+                )
+            status, payload = connection.recv()
+        if status != "ok":
+            raise ValidationError(f"plane worker {worker_id} failed: {payload}")
+        return payload[0] if seq is None else payload
 
     def flush(
         self, batches: Sequence[PlaneBatch], watermark: float | None,
@@ -852,6 +1010,12 @@ class ProcessPlaneBackend:
                 worker.terminate()
         self._workers = None
         self._connections = []
+        # Rings outlive the workers by design (a crashed worker must not
+        # take the segment down with it); the creator retires them here,
+        # exactly once, after every attacher is gone.
+        for ring in self._rings.values():
+            ring.unlink()
+        self._rings = {}
 
     def __del__(self) -> None:
         try:
@@ -865,15 +1029,27 @@ def make_backend(
     n_planes: int,
     config: PlaneConfig,
     n_workers: int | None = None,
+    lane_transport: str = "ring",
+    ring_slot_size: int | None = None,
+    ring_slots: int | None = None,
 ) -> PlaneBackend:
-    """Build the named backend; ``n_workers`` defaults to 4 for pools."""
+    """Build the named backend; ``n_workers`` defaults to 4 for pools.
+
+    The lane-transport knobs shape only the ``process`` backend's
+    ingress-lane hand-off (shared-memory rings vs the classic pipe);
+    in-process backends have no hand-off to configure and ignore them.
+    """
     workers = 4 if n_workers is None else n_workers
     if name == "serial":
         return SerialPlaneBackend(n_planes, config)
     if name == "thread":
         return ThreadPlaneBackend(n_planes, config, n_workers=workers)
     if name == "process":
-        return ProcessPlaneBackend(n_planes, config, n_workers=workers)
+        return ProcessPlaneBackend(
+            n_planes, config, n_workers=workers,
+            lane_transport=lane_transport,
+            ring_slot_size=ring_slot_size, ring_slots=ring_slots,
+        )
     raise ValidationError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
     )

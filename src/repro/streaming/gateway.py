@@ -37,7 +37,15 @@ lanes (:mod:`~repro.streaming.lanes`): the caller's thread keeps only
 routing and stream-global accounting, while lane threads run (or
 wire-encode and ship) per-plane flushes concurrently — same end-of-run
 accounting, N planes on N cores without the single-threaded ingress
-ceiling.
+ceiling.  On the ``process`` backend the encoded batches cross via
+per-(lane, worker) shared-memory rings (:mod:`~repro.streaming.rings`)
+by default — zero payload copies between the lane's encoder and the
+worker's decoder — with ``lane_transport="pipe"`` as the classic
+fallback.  Rule learning and streaming QoA compose with lanes via
+**barrier mode**: the gateway keeps its classic gateway-global flush
+trigger (so the learner's judgment schedule is identical to one lane)
+and the lanes parallelise each flush cycle's execution, quiescing
+before observations reach the learner.
 
 :meth:`rebalance` re-shards every plane live: open R2 sessions migrate
 across each plane's rebuilt consistent-hash ring without leaving the
@@ -81,7 +89,7 @@ from repro.common.validation import require_positive
 from repro.core.mitigation.aggregation import AggregatedAlert
 from repro.core.mitigation.blocking import AlertBlocker, rule_from_dict, rule_to_dict
 from repro.core.mitigation.correlation import AlertCluster, DependencyRuleBook
-from repro.streaming.backends import PlaneBackend, make_backend
+from repro.streaming.backends import LANE_TRANSPORTS, PlaneBackend, make_backend
 from repro.streaming.lanes import LaneIngress
 from repro.streaming.learning import LearnerConfig, OnlineRuleLearner
 from repro.streaming.plane import PlaneConfig, PlaneSnapshot
@@ -152,6 +160,9 @@ class AlertGateway:
         learner_config: LearnerConfig | None = None,
         enable_qoa: bool = False,
         ingress_lanes: int = 1,
+        lane_transport: str = "ring",
+        ring_slot_size: int | None = None,
+        ring_slots: int | None = None,
     ) -> None:
         require_positive(n_planes, "n_planes")
         require_positive(finalize_every, "finalize_every")
@@ -160,12 +171,10 @@ class AlertGateway:
             require_positive(flush_size, "flush_size")
         if flush_interval is not None:
             require_positive(flush_interval, "flush_interval")
-        if int(ingress_lanes) > 1 and (learn_rules or enable_qoa):
+        if lane_transport not in LANE_TRANSPORTS:
             raise ValidationError(
-                "ingress_lanes > 1 is incompatible with learn_rules/"
-                "enable_qoa: both consume gateway-global flush barriers as "
-                "their judgment schedule, which per-plane lane flushes do "
-                "not provide"
+                f"unknown lane transport {lane_transport!r}; "
+                f"choose from {', '.join(LANE_TRANSPORTS)}"
             )
         self._blocker = blocker or AlertBlocker()
         self.learner = (
@@ -186,9 +195,14 @@ class AlertGateway:
             collect_observations=learn_rules or enable_qoa,
         )
         self._backend_name = backend
+        self._lane_transport = lane_transport
+        self._ring_slot_size = ring_slot_size
+        self._ring_slots = ring_slots
         self._plane_router = PlaneRouter(n_planes)
         self._backend: PlaneBackend = make_backend(
             backend, n_planes=n_planes, config=self._config, n_workers=n_workers,
+            lane_transport=lane_transport, ring_slot_size=ring_slot_size,
+            ring_slots=ring_slots,
         )
         # The one stream-global piece of R4 state: the novelty warmup is
         # defined over the first N *gateway* events, so the gateway counts
@@ -208,7 +222,11 @@ class AlertGateway:
         # buffered path moves off this thread entirely — see
         # :mod:`repro.streaming.lanes`.  One lane degenerates to the
         # classic path (same thread, same flush schedule), so lane-count
-        # parity tests compare against it directly.
+        # parity tests compare against it directly.  With rule learning
+        # or streaming QoA on, the lanes run in barrier mode: the
+        # gateway keeps its classic global flush trigger (identical
+        # judgment schedule to one lane) and the lanes only parallelise
+        # each flush cycle's execution via ``flush_batches``.
         self._lanes: LaneIngress | None = None
         if min(int(ingress_lanes), int(n_planes)) > 1:
             self._lanes = LaneIngress(
@@ -219,6 +237,7 @@ class AlertGateway:
                 flush_size=self._flush_size,
                 flush_interval=flush_interval,
                 warmup_limit=self._warmup_limit,
+                barrier_mode=learn_rules or enable_qoa,
             )
         self._retain = retain_artifacts
         self._drained = False
@@ -249,7 +268,7 @@ class AlertGateway:
         """
         if self._drained:
             raise ValidationError("gateway already drained; create a new one")
-        if self._lanes is not None:
+        if self._lanes is not None and not self._lanes.barrier_mode:
             # Lane emissions stay plane-side (counters only); the return
             # contract matches the process backend's.
             self._lanes.ingest((alert,), self.stats)
@@ -310,7 +329,7 @@ class AlertGateway:
         """
         if self._drained:
             raise ValidationError("gateway already drained; create a new one")
-        if self._lanes is not None:
+        if self._lanes is not None and not self._lanes.barrier_mode:
             return self._lanes.ingest(alerts, self.stats)
         stats = self.stats
         buffers = self._buffers
@@ -553,8 +572,10 @@ class AlertGateway:
         plane, so the backend's state plus the gateway's counters are a
         complete, consistent image of the stream so far.
         """
-        if self._lanes is not None:
+        if self._lanes is not None and not self._lanes.barrier_mode:
             return self._lanes.pending == 0
+        # Barrier mode buffers on the gateway; ``flush_batches`` joins
+        # every lane before returning, so nothing is ever in flight here.
         return self._buffered == 0
 
     def flush(self) -> list[AggregatedAlert]:
@@ -586,6 +607,9 @@ class AlertGateway:
             "flush_size": self._flush_size,
             "flush_interval": self._flush_interval,
             "ingress_lanes": self.ingress_lanes,
+            "lane_transport": self._lane_transport,
+            "ring_slot_size": self._ring_slot_size,
+            "ring_slots": self._ring_slots,
             "aggregation_window": config.aggregation_window,
             "correlation_window": config.correlation_window,
             "correlation_max_hops": config.correlation_max_hops,
@@ -792,7 +816,8 @@ class AlertGateway:
     # ------------------------------------------------------------------
     def _flush(self, observe_latency: bool = True) -> list[AggregatedAlert]:
         """Hand every buffered per-plane batch to the backend (a barrier)."""
-        if self._lanes is not None:
+        lanes = self._lanes
+        if lanes is not None and not lanes.barrier_mode:
             return self._lane_barrier()
         if self._buffered == 0:
             return []
@@ -808,7 +833,15 @@ class AlertGateway:
         flushed = self._buffered
         self._buffered = 0
         stats = self.stats
-        results = self._backend.flush(batches, stats.watermark)
+        if lanes is not None:
+            # Barrier mode: the lanes execute this cycle's batches
+            # concurrently and quiesce before returning, so everything
+            # below — counters, observation order, learner judgments —
+            # is identical to the single-lane path by construction.
+            results = lanes.flush_batches(batches, stats.watermark)
+            stats.lane_stalls = lanes.stalls
+        else:
+            results = self._backend.flush(batches, stats.watermark)
         results.sort(key=lambda result: result.plane_id)
         emitted_all: list[AggregatedAlert] = []
         for result in results:
@@ -835,6 +868,7 @@ class AlertGateway:
         """
         stats = self.stats
         results, flushes, seconds, events = self._lanes.barrier(stats.watermark)
+        stats.lane_stalls = self._lanes.stalls
         for result in results:
             self._set_plane_counters(result.plane_id, result.counters())
         if flushes:

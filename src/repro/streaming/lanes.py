@@ -20,10 +20,13 @@ expensive part off the ingress thread:
   the plane's worker;
 * the ``process`` backend: the lane thread wire-encodes the batch with a
   reusable :class:`~repro.streaming.wire.AlertBatchBuilder` (encode once
-  at the lane, zero re-encode downstream) and ships the finished bytes
-  over the owning worker's pipe via ``backend.lane_feed_encoded`` —
-  lanes drive disjoint worker processes concurrently, so N planes on N
-  cores scale without a gateway-side encode pass in the way.
+  at the lane, zero re-encode downstream) and hands the encoder's output
+  parts to ``backend.lane_feed_parts``, which writes them *in place*
+  into the (lane, worker) shared-memory ring (:mod:`~repro.streaming.
+  rings`) — or, on the ``pipe`` transport, joins and ships them over the
+  worker's pipe via the classic path — so lanes drive disjoint worker
+  processes concurrently and N planes on N cores scale without a
+  gateway-side encode pass (or a per-batch payload copy) in the way.
 
 Lanes own disjoint planes (``plane % n_lanes``), so no plane state is
 ever touched by two lanes.  Exact parity with the classic path is a
@@ -38,15 +41,27 @@ hard invariant, and it follows from two existing frozen properties:
   ``backend.flush`` — so the R3 safety horizon advances through the
   identical sequence of cut points per plane substream.
 
-``ingress_lanes > 1`` is therefore rejected when rule learning or
-streaming QoA is on: both consume gateway-global flush barriers as
-their judgment schedule, which per-plane lane flushes deliberately no
-longer provide.
+With rule learning or streaming QoA on, the lanes run in **barrier
+mode** instead: the gateway keeps its classic gateway-global flush
+trigger (so the learner's judgment schedule is *identical* to
+``ingress_lanes=1``) and hands each full flush cycle's per-plane
+batches to the lanes via :meth:`LaneIngress.flush_batches`, which
+dispatches them all, joins every lane (quiesce), and returns the
+cycle's per-plane observation digests in plane order — the same
+gateway-global evidence, encoded and executed in parallel on the lane
+threads.  Rule deltas are applied only inside that barrier, while
+every lane is idle.
+
+Dispatch is backpressured: lane queues are bounded at
+:data:`LANE_QUEUE_DEPTH` batches, so a slow worker stalls the ingest
+thread (counted in :attr:`LaneIngress.stalls`, surfaced as
+``GatewayStats.lane_stalls``) instead of ballooning gateway memory.
 
 Thread contract: one ingest caller at a time (the gateway's existing
 contract — the serving layer already serialises ingest under its
 lock); lane threads never touch ``GatewayStats``; results and flush
-telemetry cross back to the caller only at :meth:`barrier`.
+telemetry cross back to the caller only at :meth:`barrier` /
+:meth:`flush_batches`.
 """
 
 from __future__ import annotations
@@ -54,7 +69,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.alerting.alert import Alert
 from repro.streaming.plane import PlaneFlushResult
@@ -62,7 +77,12 @@ from repro.streaming.routing import PlaneRouter
 from repro.streaming.stats import GatewayStats
 from repro.streaming.wire import AlertBatchBuilder
 
-__all__ = ["LaneIngress"]
+__all__ = ["LaneIngress", "LANE_QUEUE_DEPTH"]
+
+#: Bound on each lane's dispatch queue, in batches.  Deep enough that a
+#: lane briefly behind its feed never stalls ingest, shallow enough
+#: that a wedged worker caps buffered memory at a few flushes per lane.
+LANE_QUEUE_DEPTH = 8
 
 
 class LaneIngress:
@@ -77,6 +97,7 @@ class LaneIngress:
         flush_size: int,
         flush_interval: float | None,
         warmup_limit: int,
+        barrier_mode: bool = False,
     ) -> None:
         self._backend = backend
         self._router = router
@@ -84,7 +105,12 @@ class LaneIngress:
         self._flush_size = int(flush_size)
         self._flush_interval = flush_interval
         self._warmup_limit = int(warmup_limit)
+        #: Barrier mode (rule learning / QoA): the gateway owns the
+        #: buffers and the classic global flush trigger; lanes only run
+        #: :meth:`flush_batches` cycles.  See the module docstring.
+        self.barrier_mode = bool(barrier_mode)
         self._encoded = hasattr(backend, "lane_feed_encoded")
+        self._parts_feed = getattr(backend, "lane_feed_parts", None)
         self._buffers: list[list[Alert]] = [[] for _ in range(n_planes)]
         self._warmup_pending: list[int] = [0] * n_planes
         #: Per-plane interval anchor; clamped backwards by late events so
@@ -98,6 +124,12 @@ class LaneIngress:
         #: Last flush result per plane (lifetime counters; lane threads
         #: write disjoint keys, the barrier reads after joining).
         self._last_results: dict[int, PlaneFlushResult] = {}
+        #: This cycle's results (barrier mode): popped by
+        #: :meth:`flush_batches` after the join, keyed by plane.
+        self._cycle_results: dict[int, PlaneFlushResult] = {}
+        #: Blocking puts against the bounded lane queues (backpressure
+        #: events); mutated on the ingest thread only.
+        self.stalls = 0
         self._flush_counts: list[int] = [0] * self._n_lanes
         self._flush_seconds: list[float] = [0.0] * self._n_lanes
         self._flush_events: list[int] = [0] * self._n_lanes
@@ -185,15 +217,30 @@ class LaneIngress:
             self._warmup_pending[plane] = 0
         if self._flush_interval is not None:
             self._interval_anchor[plane] = watermark
-        self._queues[plane % self._n_lanes].put(
-            (plane, batch, in_warmup, watermark)
-        )
+        self._put(plane % self._n_lanes, (plane, batch, in_warmup, watermark))
+
+    def _put(self, lane: int, item) -> None:
+        """Enqueue onto a bounded lane queue, counting backpressure stalls.
+
+        The fast path never blocks; a full queue falls back to a
+        blocking put, so a slow worker throttles ingest (bounded memory)
+        instead of the queue growing without limit.  Only the ingest
+        thread calls this, so the stall counter needs no lock.
+        """
+        work = self._queues[lane]
+        try:
+            work.put_nowait(item)
+        except queue.Full:
+            self.stalls += 1
+            work.put(item)
 
     # ------------------------------------------------------------------
     # lane workers
     # ------------------------------------------------------------------
     def _start(self) -> None:
-        queues = [queue.Queue() for _ in range(self._n_lanes)]
+        queues = [
+            queue.Queue(maxsize=LANE_QUEUE_DEPTH) for _ in range(self._n_lanes)
+        ]
         self._queues = queues
         for lane in range(self._n_lanes):
             thread = threading.Thread(
@@ -206,9 +253,11 @@ class LaneIngress:
     def _lane_loop(self, lane: int) -> None:
         backend = self._backend
         encoded = self._encoded
+        feed_parts = self._parts_feed
         builder = AlertBatchBuilder() if encoded else None
         work = self._queues[lane]
         results = self._last_results
+        cycle = self._cycle_results
         while True:
             item = work.get()
             if item is None:
@@ -217,7 +266,16 @@ class LaneIngress:
             plane, batch, in_warmup, watermark = item
             started = time.perf_counter()
             try:
-                if encoded:
+                if feed_parts is not None:
+                    # Zero-copy hand-off: the encoder's output parts go
+                    # straight into the (lane, worker) shared-memory
+                    # ring (or the pipe, on the ``pipe`` transport).
+                    builder.extend(batch)
+                    result = feed_parts(
+                        lane, plane, builder.finish_parts(),
+                        in_warmup, watermark,
+                    )
+                elif encoded:
                     builder.extend(batch)
                     result = backend.lane_feed_encoded(
                         plane, builder.finish(), in_warmup, watermark,
@@ -227,10 +285,15 @@ class LaneIngress:
                         plane, batch, in_warmup, watermark,
                     )
                 results[plane] = result
+                cycle[plane] = result
                 self._flush_counts[lane] += 1
                 self._flush_seconds[lane] += time.perf_counter() - started
                 self._flush_events[lane] += len(batch)
             except BaseException as exc:  # surfaced at the next barrier
+                if builder is not None:
+                    # A failed feed must not leak half a batch into the
+                    # next one's encoding.
+                    builder.reset()
                 self._errors.append(exc)
             finally:
                 work.task_done()
@@ -273,6 +336,39 @@ class LaneIngress:
             self._flush_events = [0] * self._n_lanes
         return results, flushes, seconds, events
 
+    def flush_batches(
+        self,
+        batches: Sequence[tuple[int, list[Alert], int]],
+        watermark: float | None,
+    ) -> list[PlaneFlushResult]:
+        """Run one gateway flush cycle across the lanes (barrier mode).
+
+        ``batches`` is exactly what the classic path would hand
+        ``backend.flush`` — at most one ``(plane, alerts, in_warmup)``
+        row per plane — and the return contract matches it too: one
+        result per batch, in ``batches`` order.  The lanes encode and
+        feed the rows concurrently, then this call joins every lane
+        before returning, so the caller observes a full quiesce: by the
+        time the cycle's observation digests reach the learner, no lane
+        holds in-flight work and a rule delta can be applied without a
+        lane ever seeing a mid-feed table change.
+        """
+        if self._queues is None:
+            self._start()
+        n_lanes = self._n_lanes
+        for plane, batch, in_warmup in batches:
+            self._put(plane % n_lanes, (plane, batch, in_warmup, watermark))
+        for work in self._queues:
+            work.join()
+        if self._errors:
+            error = self._errors[0]
+            self._errors = []
+            self._cycle_results.clear()
+            raise error
+        cycle = self._cycle_results
+        results = [cycle.pop(plane) for plane, _, _ in batches]
+        return results
+
     def rescale(self, n_planes: int) -> None:
         """Adopt a new plane topology (call only at a barrier).
 
@@ -285,6 +381,7 @@ class LaneIngress:
         self._warmup_pending = [0] * n_planes
         self._interval_anchor = [None] * n_planes
         self._last_results.clear()
+        self._cycle_results.clear()
 
     def close(self) -> None:
         """Stop the lane threads (queued work drains first); idempotent."""

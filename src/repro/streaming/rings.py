@@ -1,0 +1,305 @@
+"""Shared-memory SPSC rings: the zero-copy ingress-lane transport.
+
+PR 7's ingress lanes moved wire-encode off the caller thread, but the
+encoded batch still crossed a ``multiprocessing.Pipe``: pickled on the
+lane thread, copied through the kernel, re-materialised in the worker —
+at least three full copies of every payload byte before
+:func:`~repro.streaming.wire.unpack_alerts` even starts.  This module
+removes those copies.  Each (lane, worker) pair shares one
+:class:`multiprocessing.shared_memory.SharedMemory` segment laid out as
+a fixed-slot ring:
+
+* a 32-byte control header — magic, slot geometry, and the ``head``
+  (producer) / ``tail`` (consumer) sequence cursors;
+* ``slot_count`` slots of ``16 + slot_size`` bytes each.  Batch ``seq``
+  lives in slot ``seq % slot_count`` (wraparound is just the modulo);
+  the 16-byte slot header carries ``(seq u64, length u32, crc u32)`` so
+  the consumer can detect a torn or stale slot before trusting a byte
+  (the CRC covers the payload's guard windows — full payload when
+  small — at a cost that stays far below the copy it protects).
+
+The lane thread writes :class:`~repro.streaming.wire.AlertBatchBuilder`
+output *in place* into the next free slot (:meth:`SpscRing.try_write`)
+and sends only a tiny control message down the pipe; the worker maps
+the slot as a :class:`memoryview` (:meth:`SpscRing.peek`) and decodes
+straight out of shared memory — zero payload copies on either side of
+the hand-off.  When a batch exceeds ``slot_size``, or every slot is
+still unconsumed, ``try_write`` returns ``None`` and the caller spills
+to the classic pipe path (slow, but always correct).
+
+Synchronisation contract (strict SPSC): exactly one producer advances
+``head`` and one consumer advances ``tail``.  The ingress protocol is
+synchronous — the lane sends a control message after writing and waits
+for the worker's counter reply before writing again — so the pipe
+round-trip is the memory barrier; the in-slot CRC exists to make any
+violation of that contract loud, not silent.
+
+The creating side owns the segment's lifetime (``close`` + ``unlink``);
+attachers only ever ``close`` their mapping.  Workers share the
+creator's ``multiprocessing`` resource tracker (see :meth:`SpscRing.
+attach`), so the creator's single ``unlink`` retires each name exactly
+once.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from multiprocessing import shared_memory
+from typing import Sequence
+
+from repro.common.errors import ValidationError
+
+__all__ = ["RingError", "SpscRing", "DEFAULT_SLOT_SIZE", "DEFAULT_SLOT_COUNT"]
+
+#: Default payload capacity per slot.  Sized for the default pooled
+#: flush (512 alerts at ~100-200 encoded bytes each) with generous
+#: headroom; oversized batches spill to the pipe rather than fail.
+DEFAULT_SLOT_SIZE = 1 << 18
+#: Default slots per ring.  The synchronous lane protocol keeps at most
+#: one batch in flight, so depth buys wraparound coverage and future
+#: pipelining, not throughput.
+DEFAULT_SLOT_COUNT = 4
+
+_MAGIC = b"RRG1"
+#: magic, slot_size, slot_count, pad, head cursor, tail cursor.
+_CTRL = struct.Struct("<4sII4xQQ")
+_HEAD_OFFSET = 16
+_TAIL_OFFSET = 24
+_CURSOR = struct.Struct("<Q")
+#: Per-slot header: seq, payload length, CRC32 of the payload's guard
+#: windows (see :data:`_CRC_GUARD`).
+_SLOT = struct.Struct("<QII")
+#: Bytes of payload covered by the slot CRC at each end.  Payloads up
+#: to twice this are CRC'd in full; larger ones CRC the first and last
+#: window.  Full-payload CRC would cost two extra passes over every
+#: byte (producer + consumer) — more than the single copy the ring
+#: saves — and the commit order (payload, then header, then ``head``)
+#: already keeps uncommitted payloads invisible, so the CRC is
+#: defense-in-depth: any torn or stale slot reuse changes the framing
+#: at the slot's ends, which the guard windows always cover.
+_CRC_GUARD = 1024
+
+
+class RingError(ValidationError):
+    """A ring invariant was violated (torn slot, bad magic, stale seq)."""
+
+
+class SpscRing:
+    """One fixed-slot SPSC ring over a shared-memory segment.
+
+    Build with :meth:`create` (producer side, owns the segment) or
+    :meth:`attach` (consumer side, geometry read from the header).  The
+    object is not thread-safe; the SPSC contract is the caller's.
+    """
+
+    __slots__ = ("_shm", "_buf", "_owner", "slot_size", "slot_count")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        slot_size: int,
+        slot_count: int,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._buf = shm.buf
+        self._owner = owner
+        self.slot_size = slot_size
+        self.slot_count = slot_count
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        slot_size: int = DEFAULT_SLOT_SIZE,
+        slot_count: int = DEFAULT_SLOT_COUNT,
+    ) -> "SpscRing":
+        """Allocate a fresh ring segment (auto-named, caller owns it)."""
+        if slot_size <= 0:
+            raise ValidationError(f"slot_size must be positive, got {slot_size}")
+        if slot_count <= 0:
+            raise ValidationError(f"slot_count must be positive, got {slot_count}")
+        total = _CTRL.size + slot_count * (_SLOT.size + slot_size)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        _CTRL.pack_into(shm.buf, 0, _MAGIC, slot_size, slot_count, 0, 0)
+        return cls(shm, slot_size, slot_count, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SpscRing":
+        """Map an existing ring by name; geometry comes from its header.
+
+        Python 3.11's ``SharedMemory`` registers with the
+        ``multiprocessing`` resource tracker on *attach*, not just
+        create — and which tracker that is depends on fork timing (a
+        worker forked before the parent's tracker started lazily spawns
+        its own).  A second tracker tracking the same segment would
+        unlink it at worker exit (or warn about a "leak" it does not
+        own), so the attach is done with registration suppressed: only
+        the creator's tracker ever knows the name, and the creator's
+        single :meth:`unlink` retires it exactly once.  (3.13's
+        ``track=False`` does this officially.)
+        """
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        magic, slot_size, slot_count, _, _ = _CTRL.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            shm.close()
+            raise RingError(
+                f"shared-memory segment {name!r} has magic {magic!r}, "
+                f"expected {_MAGIC!r} — not an ingress ring"
+            )
+        return cls(shm, slot_size, slot_count, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The segment name attachers pass to :meth:`attach`."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Unmap this side's view; idempotent."""
+        buf = self._buf
+        if buf is None:
+            return
+        self._buf = None
+        try:
+            buf.release()
+        except Exception:
+            pass
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator side only); idempotent."""
+        if not self._owner:
+            return
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        self._owner = False
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+            self.unlink()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # cursors
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> int:
+        """Next sequence number the producer will write."""
+        return _CURSOR.unpack_from(self._buf, _HEAD_OFFSET)[0]
+
+    @property
+    def tail(self) -> int:
+        """Next sequence number the consumer will read."""
+        return _CURSOR.unpack_from(self._buf, _TAIL_OFFSET)[0]
+
+    @property
+    def readable(self) -> bool:
+        """Whether at least one committed batch awaits the consumer."""
+        return self.head > self.tail
+
+    def _slot_offset(self, seq: int) -> int:
+        return _CTRL.size + (seq % self.slot_count) * (_SLOT.size + self.slot_size)
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def try_write(self, parts: Sequence[bytes]) -> int | None:
+        """Write one batch (concatenated ``parts``) into the next slot.
+
+        Returns the batch's sequence number, or ``None`` when the batch
+        exceeds ``slot_size`` or every slot is still unconsumed — the
+        caller's cue to spill to the pipe.  The payload is copied part
+        by part straight into shared memory (the only copy the ring
+        transport makes), CRC'd as it goes, and committed by writing the
+        slot header and then advancing ``head``.
+        """
+        buf = self._buf
+        length = 0
+        for part in parts:
+            length += len(part)
+        if length > self.slot_size:
+            return None
+        head = _CURSOR.unpack_from(buf, _HEAD_OFFSET)[0]
+        tail = _CURSOR.unpack_from(buf, _TAIL_OFFSET)[0]
+        if head - tail >= self.slot_count:
+            return None
+        slot = self._slot_offset(head)
+        offset = slot + _SLOT.size
+        for part in parts:
+            n = len(part)
+            buf[offset:offset + n] = part
+            offset += n
+        crc = self._guard_crc(slot + _SLOT.size, length)
+        _SLOT.pack_into(buf, slot, head, length, crc)
+        _CURSOR.pack_into(buf, _HEAD_OFFSET, head + 1)
+        return head
+
+    def _guard_crc(self, start: int, length: int) -> int:
+        """CRC32 of the payload's guard windows, read back from the slot."""
+        buf = self._buf
+        if length <= 2 * _CRC_GUARD:
+            return zlib.crc32(buf[start:start + length])
+        crc = zlib.crc32(buf[start:start + _CRC_GUARD])
+        return zlib.crc32(
+            buf[start + length - _CRC_GUARD:start + length], crc,
+        )
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def peek(self) -> memoryview:
+        """A zero-copy view of the oldest unconsumed batch's payload.
+
+        Validates the slot header before exposing a byte: the recorded
+        sequence must match ``tail`` exactly (a stale or skipped slot
+        means the producer and consumer disagree about the protocol) and
+        the payload's guard windows must CRC-match the header (a torn
+        or corrupted write).  Either failure raises :class:`RingError`.
+        The caller
+        must release the view before :meth:`close` and should
+        :meth:`consume` once the payload is decoded.
+        """
+        buf = self._buf
+        tail = _CURSOR.unpack_from(buf, _TAIL_OFFSET)[0]
+        head = _CURSOR.unpack_from(buf, _HEAD_OFFSET)[0]
+        if head <= tail:
+            raise RingError(f"ring is empty at seq {tail} (head {head})")
+        slot = self._slot_offset(tail)
+        seq, length, crc = _SLOT.unpack_from(buf, slot)
+        if seq != tail:
+            raise RingError(
+                f"torn slot: expected seq {tail}, slot holds seq {seq}"
+            )
+        if length > self.slot_size:
+            raise RingError(
+                f"torn slot: seq {tail} claims {length} bytes, slot "
+                f"capacity is {self.slot_size}"
+            )
+        start = slot + _SLOT.size
+        if self._guard_crc(start, length) != crc:
+            raise RingError(f"torn slot: seq {tail} failed its CRC check")
+        return memoryview(buf)[start:start + length]
+
+    def consume(self) -> None:
+        """Mark the oldest batch consumed, freeing its slot for reuse."""
+        buf = self._buf
+        tail = _CURSOR.unpack_from(buf, _TAIL_OFFSET)[0]
+        _CURSOR.pack_into(buf, _TAIL_OFFSET, tail + 1)

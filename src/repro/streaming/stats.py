@@ -46,6 +46,10 @@ class GatewayStats:
     #: log of ``{at_input, from_planes, to_planes, moved_regions}`` rows.
     plane_scales: int = 0
     scales: list = field(default_factory=list)
+    #: Ingress-lane backpressure: blocking puts against a full bounded
+    #: lane queue (a slow worker throttling ingest instead of buffering
+    #: without limit).  Zero on the classic single-lane path.
+    lane_stalls: int = 0
     watermark: float | None = None
     #: Online R1 rule learning (``AlertGateway(learn_rules=True)``).
     learning: bool = False
@@ -144,6 +148,7 @@ class GatewayStats:
         corrupt every rate it feeds.
         """
         state = {name: getattr(self, name) for name in self._RESTORABLE}
+        state["lane_stalls"] = self.lane_stalls
         state["scales"] = [dict(scale) for scale in self.scales]
         state["qoa"] = (
             {k: dict(v) for k, v in self.qoa.items()}
@@ -159,6 +164,8 @@ class GatewayStats:
         """Adopt accounting captured by :meth:`export_state` (exact)."""
         for name in self._RESTORABLE:
             setattr(self, name, state[name])
+        # Outside the strict tuple: absent from pre-ring checkpoints.
+        self.lane_stalls = state.get("lane_stalls", 0)
         self.scales = [dict(scale) for scale in state["scales"]]
         self.qoa = (
             {k: dict(v) for k, v in state["qoa"].items()}
@@ -202,6 +209,7 @@ class GatewayStats:
             "flushes": self.flushes,
             "rebalances": self.rebalances,
             "plane_scales": self.plane_scales,
+            "lane_stalls": self.lane_stalls,
             "scales": [dict(scale) for scale in self.scales],
             "watermark": self.watermark,
             "total_reduction": self.total_reduction,
@@ -290,6 +298,8 @@ class GatewayStats:
             lines.append(self.render_planes())
         if self.late_events:
             lines.append(f"late (out-of-order) events: {self.late_events:,}")
+        if self.lane_stalls:
+            lines.append(f"ingress lane stalls: {self.lane_stalls:>8,}")
         if self.rebalances:
             lines.append(f"shard rebalances:    {self.rebalances:>8}")
         if self.plane_scales:

@@ -104,12 +104,19 @@ class _Writer:
 
 
 class _Reader:
-    """Walks the sections written by :class:`_Writer`."""
+    """Walks the sections written by :class:`_Writer`.
 
-    def __init__(self, data: bytes, magic: bytes) -> None:
+    ``data`` may be any bytes-like buffer — ``bytes`` off a pipe or a
+    ``memoryview`` over a shared-memory ring slot.  Sections come back
+    as slices of the input, so a memoryview input decodes zero-copy:
+    nothing here materialises the payload as ``bytes``.
+    """
+
+    def __init__(self, data, magic: bytes) -> None:
         if data[:4] != magic:
             raise ValidationError(
-                f"wire payload has magic {data[:4]!r}, expected {magic!r}"
+                f"wire payload has magic {bytes(data[:4])!r}, "
+                f"expected {magic!r}"
             )
         self._data = data
         self._offset = 4
@@ -118,7 +125,7 @@ class _Reader:
         for _ in range(count):
             length = self._u32()
             end = self._offset + length
-            self.strings.append(data[self._offset:end].decode("utf-8"))
+            self.strings.append(str(data[self._offset:end], "utf-8"))
             self._offset = end
 
     def _u32(self) -> int:
@@ -322,8 +329,19 @@ class AlertBatchBuilder:
         for alert in alerts:
             append(alert)
 
-    def finish(self) -> bytes:
-        """Emit the batch (``pack_alerts``-identical bytes) and reset."""
+    def reset(self) -> None:
+        """Discard the open batch without emitting it (crash recovery)."""
+        self._reset()
+
+    def finish_parts(self) -> list[bytes]:
+        """Emit the batch as an ordered list of buffers, then reset.
+
+        The concatenation of the returned parts is byte-identical to
+        :meth:`finish` (and therefore to :func:`pack_alerts`).  The
+        shared-memory ring transport writes these parts straight into a
+        ring slot — skipping the ``b"".join`` that :meth:`finish` pays —
+        so the encoded batch is materialised exactly once, in place.
+        """
         pack = _HEADER.pack
         table = [pack(len(self._strings))]
         extend = table.extend
@@ -346,7 +364,11 @@ class AlertBatchBuilder:
             append(pack(len(payload)))
             append(payload)
         self._reset()
-        return b"".join(parts)
+        return parts
+
+    def finish(self) -> bytes:
+        """Emit the batch (``pack_alerts``-identical bytes) and reset."""
+        return b"".join(self.finish_parts())
 
 
 def pack_alerts(alerts: Sequence[Alert]) -> bytes:
@@ -356,8 +378,12 @@ def pack_alerts(alerts: Sequence[Alert]) -> bytes:
     return writer.finish()
 
 
-def unpack_alerts(data: bytes) -> list[Alert]:
-    """Decode a batch produced by :func:`pack_alerts`."""
+def unpack_alerts(data) -> list[Alert]:
+    """Decode a batch produced by :func:`pack_alerts`.
+
+    ``data`` is any bytes-like buffer; a ``memoryview`` over a
+    shared-memory ring slot decodes without copying the payload.
+    """
     return _read_alert_block(_Reader(data, _MAGIC_ALERTS))
 
 

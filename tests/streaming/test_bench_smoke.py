@@ -187,6 +187,75 @@ def test_lane_sweep_holds_parity_for_every_lane_count(multi_region_setup):
     assert measurements["scaling_x"] > 0
 
 
+def test_transport_parity_and_handoff_smoke(multi_region_setup):
+    """Drives the ring-transport bench helpers end to end (fast mode).
+
+    Parity first, exactly as the bench orders it: the identical trace
+    drained through ring lanes, pipe lanes, and the unlaned path on a
+    real process-backend worker fleet must agree bit-for-bit
+    (``run_transport_parity`` asserts internally).  Then the hand-off
+    microbench runs with a small batch and iteration budget — the
+    smoke checks it produces sane rows, not that it hits the perf
+    floor (that stays in the bench, where the machine is quiet)."""
+    trace, topology, blocker, rulebook, _ = multi_region_setup
+    alerts = list(trace.iter_ordered())[:2000]
+    counts = lanes_bench.run_transport_parity(
+        alerts, topology, blocker, rulebook, n_planes=2, n_workers=2,
+    )
+    assert counts[0] == len(alerts)
+    handoff = lanes_bench.run_transport_handoff(
+        alerts, batch_sizes=(64, 256), iterations=20, rounds=1,
+    )
+    _require_samples(handoff["handoff"], "transport hand-off sweep")
+    for row in handoff["handoff"]:
+        assert row["payload_bytes"] > 0
+        assert row["ring_handoffs_per_sec"] > 0
+        assert row["pipe_handoffs_per_sec"] > 0
+    assert handoff["ring_vs_pipe_handoff_x"] == handoff["handoff"][-1]["ratio"]
+    assert handoff["cores"] >= 1.0
+
+
+def test_bench_floors_guard_accepts_committed_artifact():
+    """The committed ``BENCH_streaming.json`` must hold every floor the
+    CI guard enforces — a PR that records a regressing ratio fails here
+    (and in the dedicated CI step) inside the diff that caused it."""
+    floors = pytest.importorskip(
+        "benchmarks.check_bench_floors",
+        reason="benchmarks/ must be importable from the repo root",
+    )
+    if not floors.BENCH_ARTIFACT.exists():
+        pytest.skip("no standing BENCH_streaming.json artifact to check")
+    import json
+
+    payload = json.loads(floors.BENCH_ARTIFACT.read_text())
+    assert floors.check_floors(payload) == []
+
+
+def test_bench_floors_guard_flags_regressions():
+    """Each floor actually trips: feed the guard an artifact with every
+    ratio just under its floor and every violation must surface."""
+    floors = pytest.importorskip(
+        "benchmarks.check_bench_floors",
+        reason="benchmarks/ must be importable from the repo root",
+    )
+    bad = {
+        "current": {"overhead_ratio": floors.OVERHEAD_FLOOR - 0.01},
+        "ring_transport": {
+            "ring_vs_pipe_handoff_x": floors.HANDOFF_FLOOR - 0.01,
+        },
+        "ingress_lanes": {
+            "scaling_x": floors.SCALING_FLOOR - 0.1,
+            "cores": float(floors.MIN_CORES_FOR_SCALING),
+        },
+        "trajectory": [{"pr": 99}],
+    }
+    violations = floors.check_floors(bad)
+    assert len(violations) == 4
+    # A box without the cores for lane scaling must not trip that floor.
+    bad["ingress_lanes"]["cores"] = 1.0
+    assert len(floors.check_floors(bad)) == 3
+
+
 def test_learning_sweep_runs_every_config_on_a_small_trace():
     """Drives the online-learning bench helpers end to end (fast mode)."""
     config = DriftConfig(hours=4.0, drift=True)

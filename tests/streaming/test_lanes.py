@@ -122,6 +122,58 @@ class TestAlertBatchBuilder:
         builder.append(make_alert(2.0))
         assert len(builder) == 2
 
+    def test_finish_parts_concatenates_to_pack_alerts(self, golden_alerts):
+        builder = AlertBatchBuilder()
+        builder.extend(golden_alerts[:80])
+        parts = builder.finish_parts()
+        assert b"".join(parts) == pack_alerts(golden_alerts[:80])
+        # finish_parts resets like finish: the next batch starts clean.
+        builder.extend(golden_alerts[80:120])
+        assert builder.finish() == pack_alerts(golden_alerts[80:120])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batches=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(0, 3),
+                    st.floats(0.0, 1000.0),
+                    st.booleans(),
+                ),
+                max_size=12,
+            ),
+            min_size=1, max_size=6,
+        ),
+        abort_prefix=st.integers(0, 5),
+    )
+    def test_interleaved_reuse_matches_one_shot(self, batches, abort_prefix):
+        """One long-lived builder, arbitrary append/extend interleavings,
+        and mid-build resets: every finish is byte-identical to a
+        one-shot ``pack_alerts`` of just that batch."""
+        builder = AlertBatchBuilder()
+        for i, spec in enumerate(batches):
+            alerts = [
+                make_alert(
+                    t, region=f"region-{r}", strategy_id=f"strategy-{r}",
+                    cleared_after=3.0 if cleared else None,
+                )
+                for r, t, cleared in spec
+            ]
+            if i % 2 == 0 and alerts:
+                # Poison with a half-built batch, then reset: nothing of
+                # it — bytes or string-table entries — may leak through.
+                builder.extend(alerts[:abort_prefix])
+                builder.reset()
+            for j, alert in enumerate(alerts):
+                if j % 2:
+                    builder.append(alert)
+                else:
+                    builder.extend([alert])
+            produced = (
+                b"".join(builder.finish_parts()) if i % 2 else builder.finish()
+            )
+            assert produced == pack_alerts(alerts)
+
 
 # ---------------------------------------------------------------------------
 # Region partitioning + up-front plane assignment
@@ -192,6 +244,29 @@ class TestLaneParity:
         # same deterministic order.
         assert _artifacts(gateway) == artifacts
 
+    @pytest.mark.parametrize("transport_kwargs,expect_spills", [
+        # The classic pickled-pipe hand-off, kept as an explicit knob.
+        ({"lane_transport": "pipe"}, None),
+        # Slots far too small for any golden batch: every hand-off takes
+        # the spill path, which must stay parity-exact with the ring.
+        ({"ring_slot_size": 32}, True),
+        # A single slot: every write reuses it (continuous wraparound).
+        ({"ring_slots": 1}, None),
+    ])
+    def test_process_transport_parity(
+        self, golden_alerts, baseline, transport_kwargs, expect_spills,
+    ):
+        """Ring, spill, and pipe hand-offs all drain bit-identically."""
+        gateway, stats = _run(
+            golden_alerts, backend="process", n_planes=4,
+            ingress_lanes=4, flush_size=64, **transport_kwargs,
+        )
+        accounting, artifacts = baseline
+        assert _accounting(stats) == accounting
+        assert _artifacts(gateway) == artifacts
+        if expect_spills:
+            assert gateway._backend.ring_spills > 0
+
     def test_per_event_ingest_path_parity(self, golden_alerts, baseline):
         gateway = AlertGateway(
             golden_graph(), blocker=golden_blocker(), backend="serial",
@@ -258,18 +333,40 @@ class TestLaneParity:
 # Configuration surface
 # ---------------------------------------------------------------------------
 class TestLaneConfig:
-    def test_lanes_reject_rule_learning(self):
-        with pytest.raises(ValidationError, match="ingress_lanes"):
-            AlertGateway(
-                golden_graph(), blocker=golden_blocker(),
-                n_planes=4, ingress_lanes=2, learn_rules=True,
+    def test_lanes_compose_with_rule_learning(self, golden_alerts):
+        """Exact learner parity: barrier mode keeps the classic global
+        flush trigger, so the judgment schedule — and every promotion,
+        renewal, demotion, and expiry — matches ``ingress_lanes=1``."""
+        def learned(n_lanes):
+            gateway, stats = _run(
+                golden_alerts, backend="serial", n_planes=4,
+                ingress_lanes=n_lanes, flush_size=64, learn_rules=True,
             )
+            learner = {
+                "promoted": stats.rules_promoted,
+                "renewed": stats.rules_renewed,
+                "demoted": stats.rules_demoted,
+                "expired": stats.rules_expired,
+                "active": stats.rules_active,
+                "flushes": stats.flushes,
+            }
+            return _accounting(stats), learner, _artifacts(gateway)
+        assert learned(4) == learned(1)
 
-    def test_lanes_reject_streaming_qoa(self):
-        with pytest.raises(ValidationError, match="ingress_lanes"):
+    def test_lanes_compose_with_streaming_qoa(self, golden_alerts):
+        def scored(n_lanes):
+            _, stats = _run(
+                golden_alerts, backend="serial", n_planes=4,
+                ingress_lanes=n_lanes, flush_size=64, enable_qoa=True,
+            )
+            return _accounting(stats), stats.qoa
+        assert scored(2) == scored(1)
+
+    def test_unknown_lane_transport_rejected(self):
+        with pytest.raises(ValidationError, match="lane transport"):
             AlertGateway(
                 golden_graph(), blocker=golden_blocker(),
-                n_planes=4, ingress_lanes=2, enable_qoa=True,
+                n_planes=4, ingress_lanes=2, lane_transport="carrier-pigeon",
             )
 
     def test_nonpositive_lanes_rejected(self):
@@ -285,6 +382,40 @@ class TestLaneConfig:
         )
         assert gateway.checkpoint_config()["ingress_lanes"] == 2
         gateway.close()
+
+    def test_checkpoint_config_records_ring_knobs(self):
+        gateway = AlertGateway(
+            golden_graph(), blocker=golden_blocker(),
+            n_planes=4, ingress_lanes=2,
+            lane_transport="pipe", ring_slot_size=4096, ring_slots=2,
+        )
+        config = gateway.checkpoint_config()
+        assert config["lane_transport"] == "pipe"
+        assert config["ring_slot_size"] == 4096
+        assert config["ring_slots"] == 2
+        gateway.close()
+
+    def test_backpressure_stalls_are_counted(self, monkeypatch):
+        """A full bounded lane queue blocks ingest and counts the stall."""
+        import time as _time
+        monkeypatch.setattr("repro.streaming.lanes.LANE_QUEUE_DEPTH", 1)
+        gateway = AlertGateway(
+            golden_graph(), blocker=golden_blocker(), backend="serial",
+            n_planes=2, ingress_lanes=2, flush_size=1,
+        )
+        inner = gateway._backend.lane_feed
+
+        def slow(plane, batch, in_warmup, watermark):
+            _time.sleep(0.002)
+            return inner(plane, batch, in_warmup, watermark)
+
+        gateway._backend.lane_feed = slow
+        gateway.ingest_batch([
+            make_alert(float(i), region="region-0") for i in range(40)
+        ])
+        stats = gateway.drain()
+        assert stats.lane_stalls > 0
+        assert stats.snapshot()["lane_stalls"] == stats.lane_stalls
 
 
 # ---------------------------------------------------------------------------

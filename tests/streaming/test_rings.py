@@ -1,0 +1,218 @@
+"""SPSC ring invariants: framing, wraparound, spill cues, torn slots.
+
+The ring is the one piece of the lane transport with hand-rolled
+synchronisation, so these tests attack its contract directly — no
+gateway, no workers: payloads round-trip byte-identical through every
+slot-reuse pattern, capacity/oversize cues come back as ``None`` (the
+spill signal, never an exception), and any header/payload corruption
+raises :class:`~repro.streaming.rings.RingError` before a byte of the
+payload is trusted.  Cross-process behaviour rides the backend parity
+suite (``test_lanes.py``); decode-from-memoryview parity rides here.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.streaming import AlertBatchBuilder, SpscRing, pack_alerts, unpack_alerts
+from repro.streaming.rings import RingError
+from tests.streaming.conftest import make_alert
+
+
+@pytest.fixture
+def ring():
+    ring = SpscRing.create(slot_size=256, slot_count=2)
+    yield ring
+    ring.unlink()
+
+
+def _read(ring: SpscRing) -> bytes:
+    view = ring.peek()
+    try:
+        return bytes(view)
+    finally:
+        view.release()
+        ring.consume()
+
+
+class TestFraming:
+    def test_roundtrip_single_payload(self, ring):
+        assert ring.try_write([b"hello ", b"world"]) == 0
+        assert ring.readable
+        assert _read(ring) == b"hello world"
+        assert not ring.readable
+
+    def test_empty_parts_roundtrip(self, ring):
+        assert ring.try_write([]) == 0
+        assert _read(ring) == b""
+
+    def test_oversize_payload_returns_none(self, ring):
+        assert ring.try_write([b"x" * 257]) is None
+        assert ring.try_write([b"x" * 128, b"y" * 129]) is None
+        # The ring is untouched: a fitting write still lands at seq 0.
+        assert ring.try_write([b"x" * 256]) == 0
+
+    def test_full_ring_returns_none(self, ring):
+        assert ring.try_write([b"a"]) == 0
+        assert ring.try_write([b"b"]) == 1
+        assert ring.try_write([b"c"]) is None  # both slots unconsumed
+        assert _read(ring) == b"a"
+        assert ring.try_write([b"c"]) == 2  # slot 0 reclaimed
+
+    def test_peek_on_empty_ring_raises(self, ring):
+        with pytest.raises(RingError, match="empty"):
+            ring.peek()
+
+    def test_wraparound_reuses_slots_in_order(self, ring):
+        for seq in range(7):
+            payload = f"batch-{seq}".encode()
+            assert ring.try_write([payload]) == seq
+            assert _read(ring) == payload
+        assert ring.head == 7
+        assert ring.tail == 7
+
+
+class TestTornSlots:
+    def test_corrupted_payload_fails_crc(self, ring):
+        ring.try_write([b"payload-bytes"])
+        # Flip one payload byte behind the producer's back.
+        offset = ring._slot_offset(0) + struct.calcsize("<QII")
+        ring._buf[offset] ^= 0xFF
+        with pytest.raises(RingError, match="CRC"):
+            ring.peek()
+
+    def test_guard_windows_cover_both_payload_ends(self):
+        """Above the guard threshold the CRC covers the first and last
+        window — where every torn or stale-reuse failure of the SPSC
+        contract shows up."""
+        header = struct.calcsize("<QII")
+        for corrupt_at in (0, 4095):
+            ring = SpscRing.create(slot_size=8192, slot_count=1)
+            try:
+                ring.try_write([bytes(range(256)) * 16])  # 4 KiB payload
+                ring._buf[ring._slot_offset(0) + header + corrupt_at] ^= 0xFF
+                with pytest.raises(RingError, match="CRC"):
+                    ring.peek()
+            finally:
+                ring.unlink()
+
+    def test_stale_sequence_detected(self, ring):
+        ring.try_write([b"first"])
+        # Rewrite the slot header with the wrong sequence number.
+        struct.pack_into("<QII", ring._buf, ring._slot_offset(0), 7, 5, 0)
+        with pytest.raises(RingError, match="expected seq 0"):
+            ring.peek()
+
+    def test_impossible_length_detected(self, ring):
+        ring.try_write([b"first"])
+        struct.pack_into("<QII", ring._buf, ring._slot_offset(0), 0, 9999, 0)
+        with pytest.raises(RingError, match="capacity"):
+            ring.peek()
+
+
+class TestLifecycle:
+    def test_attach_reads_geometry_from_header(self, ring):
+        attached = SpscRing.attach(ring.name)
+        try:
+            assert (attached.slot_size, attached.slot_count) == (256, 2)
+            ring.try_write([b"cross-mapping"])
+            assert _read(attached) == b"cross-mapping"
+        finally:
+            attached.close()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            with pytest.raises(RingError, match="magic"):
+                SpscRing.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_create_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValidationError):
+            SpscRing.create(slot_size=0)
+        with pytest.raises(ValidationError):
+            SpscRing.create(slot_count=0)
+
+    def test_unlink_is_idempotent_and_owner_only(self, ring):
+        attached = SpscRing.attach(ring.name)
+        attached.unlink()  # not the owner: a no-op
+        attached.close()
+        ring.unlink()
+        ring.unlink()  # second unlink is a no-op
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(max_size=96), min_size=1, max_size=30),
+        slot_count=st.integers(1, 4),
+        burst=st.integers(1, 4),
+    )
+    def test_fifo_integrity_through_arbitrary_reuse(
+        self, payloads, slot_count, burst,
+    ):
+        """Whatever fits comes back FIFO and byte-identical; whatever
+        doesn't signals a spill — interleaving writes and reads in
+        arbitrary bursts never tears, skips, or reorders a payload."""
+        ring = SpscRing.create(slot_size=96, slot_count=slot_count)
+        try:
+            expected = []
+            pending = list(payloads)
+            while pending or expected:
+                wrote = 0
+                while pending and wrote < burst:
+                    payload = pending[0]
+                    # Split into parts to exercise multi-part writes.
+                    mid = len(payload) // 2
+                    seq = ring.try_write([payload[:mid], payload[mid:]])
+                    if seq is None:
+                        assert len(expected) == slot_count  # full, not torn
+                        break
+                    pending.pop(0)
+                    expected.append(payload)
+                    wrote += 1
+                assert _read(ring) == expected.pop(0)
+        finally:
+            ring.unlink()
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_alerts=st.integers(0, 12))
+    def test_encoded_batches_decode_from_ring_memoryview(self, n_alerts):
+        """The production framing end to end, minus the processes: the
+        builder's parts go in, ``unpack_alerts`` decodes the slot's
+        memoryview with zero copies, and the result matches a decode of
+        the contiguous ``pack_alerts`` bytes."""
+        alerts = [
+            make_alert(float(i), region=f"region-{i % 3}") for i in range(n_alerts)
+        ]
+        builder = AlertBatchBuilder()
+        builder.extend(alerts)
+        parts = builder.finish_parts()
+        ring = SpscRing.create(slot_size=1 << 16, slot_count=2)
+        try:
+            assert ring.try_write(parts) == 0
+            view = ring.peek()
+            try:
+                decoded = unpack_alerts(view)
+            finally:
+                view.release()
+                ring.consume()
+        finally:
+            ring.unlink()
+        reference = unpack_alerts(pack_alerts(alerts))
+        assert [a.alert_id for a in decoded] == [a.alert_id for a in reference]
+        assert [
+            (a.strategy_id, a.region, a.occurred_at, a.state, a.tags)
+            for a in decoded
+        ] == [
+            (a.strategy_id, a.region, a.occurred_at, a.state, a.tags)
+            for a in reference
+        ]
