@@ -19,7 +19,10 @@ one place each number lives:
 * ``ingress_lanes.scaling_x`` — 4-lane scaling over single-lane
   (``bench_ingress_lanes.SCALING_FLOOR``), gated on the ``cores`` the
   row was *recorded* on, because lane scaling needs real cores under
-  the lane threads.
+  the lane threads;
+* ``worker_recovery.recovery_overhead_ratio`` — throughput retained
+  with fleet recovery (journal + snapshot cadence) on
+  (``bench_worker_recovery.RECOVERY_OVERHEAD_FLOOR``).
 
 Blocks a PR has not recorded yet are skipped, not failed — the guard
 polices regressions, it does not demand every bench has run on every
@@ -39,6 +42,7 @@ from benchmarks.bench_ingress_lanes import (
     SCALING_FLOOR,
 )
 from benchmarks.bench_serving_checkpoint import OVERHEAD_FLOOR
+from benchmarks.bench_worker_recovery import RECOVERY_OVERHEAD_FLOOR
 
 BENCH_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_streaming.json"
 
@@ -79,6 +83,15 @@ def check_floors(payload: dict) -> list[str]:
             f"{SCALING_FLOOR} floor despite {cores:.0f} recorded cores"
         )
 
+    recovery = payload.get("worker_recovery", {})
+    retained = recovery.get("recovery_overhead_ratio")
+    if retained is not None and retained < RECOVERY_OVERHEAD_FLOOR:
+        violations.append(
+            f"worker_recovery.recovery_overhead_ratio {retained:.3f} is "
+            f"below the {RECOVERY_OVERHEAD_FLOOR} floor: fleet recovery "
+            f"costs more than {1 - RECOVERY_OVERHEAD_FLOOR:.0%} of throughput"
+        )
+
     for row in payload.get("trajectory", []):
         if "cores" not in row:
             violations.append(
@@ -103,7 +116,8 @@ def main(path: Path = BENCH_ARTIFACT) -> int:
     print(
         f"floors guard: {path.name} holds every floor "
         f"(overhead >= {OVERHEAD_FLOOR}, ring hand-off >= {HANDOFF_FLOOR}x, "
-        f"lane scaling >= {SCALING_FLOOR}x on >= {MIN_CORES_FOR_SCALING} cores)"
+        f"lane scaling >= {SCALING_FLOOR}x on >= {MIN_CORES_FOR_SCALING} "
+        f"cores, recovery retention >= {RECOVERY_OVERHEAD_FLOOR})"
     )
     return 0
 

@@ -189,6 +189,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="lane->worker hand-off on the process backend: "
                              "zero-copy shared-memory rings (default) or the "
                              "classic pickled pipe")
+    stream.add_argument("--worker-recovery", action="store_true",
+                        help="on the process backend, detect dead workers, "
+                             "respawn them, and replay their planes from "
+                             "snapshot+journal (identical accounting)")
+    stream.add_argument("--worker-checkpoint-every", type=int, default=64,
+                        help="journaled batches between per-worker plane "
+                             "snapshots when --worker-recovery is on")
+    stream.add_argument("--worker-timeout", type=float, default=30.0,
+                        help="seconds to wait on a live-but-silent worker "
+                             "before raising WorkerTimeoutError")
     stream.add_argument("--window", type=float, default=900.0,
                         help="aggregation/correlation window in seconds")
     stream.add_argument("--rebalance-to", type=int, default=None,
@@ -238,6 +248,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="lane->worker hand-off on the process backend: "
                             "zero-copy shared-memory rings (default) or the "
                             "classic pickled pipe")
+    serve.add_argument("--worker-recovery", action="store_true",
+                       help="on the process backend, respawn dead workers "
+                            "and replay their planes from snapshot+journal")
+    serve.add_argument("--worker-checkpoint-every", type=int, default=64)
+    serve.add_argument("--worker-timeout", type=float, default=30.0)
     serve.add_argument("--window", type=float, default=900.0)
     serve.add_argument("--learn-rules", action="store_true")
     serve.add_argument("--qoa", action="store_true")
@@ -362,6 +377,9 @@ def _cmd_stream(args) -> int:
         flush_size=args.flush_size,
         ingress_lanes=args.ingress_lanes,
         lane_transport=args.lane_transport,
+        worker_recovery=args.worker_recovery,
+        worker_checkpoint_every=args.worker_checkpoint_every,
+        worker_timeout=args.worker_timeout,
         aggregation_window=args.window,
         correlation_window=args.window,
         retain_artifacts=False,
@@ -452,6 +470,9 @@ def _cmd_serve(args) -> int:
         flush_size=args.flush_size,
         ingress_lanes=args.ingress_lanes,
         lane_transport=args.lane_transport,
+        worker_recovery=args.worker_recovery,
+        worker_checkpoint_every=args.worker_checkpoint_every,
+        worker_timeout=args.worker_timeout,
         aggregation_window=args.window,
         correlation_window=args.window,
         retain_artifacts=False,

@@ -71,6 +71,12 @@ def build_gateway(
         lane_transport=config.get("lane_transport", "ring"),
         ring_slot_size=config.get("ring_slot_size"),
         ring_slots=config.get("ring_slots"),
+        # Worker recovery is likewise non-strict: snapshot/journal replay
+        # reproduces the exact same accounting, so pre-fleet checkpoints
+        # restore with recovery off and current services may opt in.
+        worker_recovery=config.get("worker_recovery", False),
+        worker_checkpoint_every=config.get("worker_checkpoint_every", 64),
+        worker_timeout=config.get("worker_timeout", 30.0),
     )
 
 

@@ -59,8 +59,14 @@ from repro.streaming.backends import (
 from repro.streaming.correlator import OnlineCorrelator
 from repro.streaming.dedup import OnlineAggregator, OpenSession
 from repro.streaming.driver import drive_gateway
+from repro.streaming.fleet import (
+    CircuitBreaker,
+    FleetError,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
 from repro.streaming.gateway import AlertGateway, GatewaySnapshot
-from repro.streaming.lanes import LaneIngress
+from repro.streaming.lanes import LANE_JOIN_TIMEOUT, LaneIngress
 from repro.streaming.learning import (
     LearnerConfig,
     OnlineRuleLearner,
@@ -145,7 +151,12 @@ __all__ = [
     "RingCounter",
     "LatencyReservoir",
     "drive_gateway",
+    "FleetError",
+    "WorkerDiedError",
+    "WorkerTimeoutError",
+    "CircuitBreaker",
     "LaneIngress",
+    "LANE_JOIN_TIMEOUT",
     "LANE_TRANSPORTS",
     "SpscRing",
     "RingError",

@@ -33,12 +33,18 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Protocol, Sequence
 
 from repro.alerting.alert import Alert
 from repro.common.errors import ValidationError
 from repro.common.validation import require_positive
+from repro.streaming.fleet import (
+    CircuitBreaker,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
 from repro.streaming.plane import (
     PlaneConfig,
     PlaneDrainResult,
@@ -69,6 +75,8 @@ from repro.streaming.wire import (
 __all__ = [
     "BACKEND_NAMES",
     "LANE_TRANSPORTS",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_WORKER_TIMEOUT",
     "PlaneBatch",
     "PlaneBackend",
     "SerialPlaneBackend",
@@ -78,6 +86,25 @@ __all__ = [
 ]
 
 BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Poll slice for bounded worker-pipe waits: short enough that a dead
+#: worker is noticed within a slice or two, long enough that the liveness
+#: check is amortised away on the hot path.
+_POLL_SLICE = 0.05
+
+#: Parent-side wait for a worker reply before declaring a wedge.
+DEFAULT_WORKER_TIMEOUT = 30.0
+
+#: Journaled data batches per worker between full-plane recovery
+#: snapshots (the replay-tail bound when a worker dies).
+DEFAULT_CHECKPOINT_EVERY = 64
+
+#: Revive attempts per request: a batch that reliably kills its worker
+#: must surface as a death, not respawn forever.
+_MAX_REVIVES = 2
+
+#: Transient pipe-error retries per request (worker still alive).
+_MAX_TRANSIENT_RETRIES = 3
 
 #: Ingress-lane hand-off transports for the ``process`` backend:
 #: ``ring`` writes encoded batches into per-(lane, worker) shared-memory
@@ -450,9 +477,18 @@ def _plane_worker_commands(connection, planes, rings, config) -> None:
                 result = planes[plane_id].process_batch(
                     alerts, in_warmup, watermark, collect_emitted=False,
                 )
-                connection.send(("ok", result))
+                # List-shaped like a one-batch ``flush`` reply, so the
+                # parent reads the same shape whichever transport (or
+                # post-death re-send) carried the batch.
+                connection.send(("ok", [result]))
             elif kind == "attach_ring":
                 lane, name = payload
+                stale = rings.pop(lane, None)
+                if stale is not None:
+                    # The parent retired this lane's ring (worker-fleet
+                    # resize); drop the attachment before adopting the
+                    # replacement segment.
+                    stale.close()
                 rings[lane] = SpscRing.attach(name)
                 connection.send(("ok", None))
             elif kind == "flush":
@@ -522,6 +558,49 @@ def _plane_worker_commands(connection, planes, rings, config) -> None:
                 for plane, blob in payload:
                     planes[plane].adopt_region(unpack_plane_state(blob))
                 connection.send(("ok", None))
+            elif kind == "snapshot_planes":
+                # Full-plane recovery snapshot: one non-destructive blob
+                # per (plane, region), every region with history, in
+                # deterministic order — the respawn baseline a journal
+                # tail replays on top of.
+                connection.send(("ok", [
+                    (plane_id, region, _checkpoint_region(planes[plane_id], region))
+                    for plane_id in sorted(planes)
+                    for region in planes[plane_id].regions()
+                ]))
+            elif kind == "eject_planes":
+                # Worker-fleet resize, round 1: the listed planes leave
+                # this worker wholesale, every region as packed state
+                # (rules included — the destination repairs against its
+                # own inherited table, a no-op for a live fleet).
+                rows = []
+                ejected = [(plane_id, planes.pop(plane_id)) for plane_id in payload]
+                for plane_id, plane in ejected:
+                    for region in plane.regions():
+                        rows.append((
+                            plane_id, region,
+                            pack_plane_state(plane.export_region(region)),
+                        ))
+                for plane_id, plane in ejected:
+                    if plane.processed or plane.open_sessions:
+                        raise ValueError(
+                            f"plane {plane_id} still owned state after its "
+                            f"regions were exported; its history was not "
+                            f"migrated"
+                        )
+                connection.send(("ok", rows))
+            elif kind == "install_planes":
+                # Worker-fleet resize, round 2: create the planes this
+                # worker now homes (born on the current ring size) and
+                # adopt their migrated region state.
+                n_shards, create, adopt = payload
+                if create:
+                    born_config = dataclasses.replace(config, n_shards=n_shards)
+                    for plane_id in create:
+                        planes[plane_id] = RegionPlane(plane_id, born_config)
+                for plane_id, blob in adopt:
+                    planes[plane_id].adopt_region(unpack_plane_state(blob))
+                connection.send(("ok", None))
             elif kind == "rules":
                 added_blob, removed_blob = payload
                 for rule in unpack_rules(removed_blob):
@@ -569,9 +648,14 @@ class ProcessPlaneBackend:
         lane_transport: str = "ring",
         ring_slot_size: int | None = None,
         ring_slots: int | None = None,
+        worker_recovery: bool = False,
+        worker_checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
     ) -> None:
         require_positive(n_planes, "n_planes")
         require_positive(n_workers, "n_workers")
+        require_positive(worker_checkpoint_every, "worker_checkpoint_every")
+        require_positive(worker_timeout, "worker_timeout")
         if lane_transport not in LANE_TRANSPORTS:
             raise ValidationError(
                 f"unknown lane transport {lane_transport!r}; expected one "
@@ -583,6 +667,24 @@ class ProcessPlaneBackend:
         self._config = config
         self._workers: list[multiprocessing.Process] | None = None
         self._connections: list = []
+        # Worker-fleet supervision: every pipe wait is bounded (a dead
+        # worker raises WorkerDiedError instead of hanging recv), and
+        # with recovery on the supervisor respawns the worker from its
+        # last full-plane snapshot plus the journal of mutating messages
+        # since.  All per-worker supervision state — snapshot, journal,
+        # breaker — is accessed only under that worker's pipe lock.
+        self.worker_recovery = bool(worker_recovery)
+        self._checkpoint_every = int(worker_checkpoint_every)
+        self._worker_timeout = float(worker_timeout)
+        self._breakers: list[CircuitBreaker] = []
+        #: Per-worker ``(snapshot rows, rule table at capture)``; rows
+        #: are ``(plane, region, blob)`` in deterministic order.
+        self._snapshots: list[tuple[list, list]] = []
+        #: Per-worker mutating messages since the last snapshot.
+        self._journals: list[list[tuple]] = []
+        self._telemetry_lock = threading.Lock()
+        self.worker_deaths = 0
+        self.worker_recoveries = 0
         # One lock per worker pipe, held across a send/recv round trip:
         # ingress lanes feed workers concurrently, and a pipe is only a
         # sane transport if exactly one request is in flight on it.
@@ -619,27 +721,58 @@ class ProcessPlaneBackend:
     def _worker_of(self, plane: int) -> int:
         return plane % self.n_workers
 
-    def _start(self) -> None:
+    def _planes_of(self, worker_id: int) -> list[int]:
+        return [
+            p for p in range(self._n_planes) if self._worker_of(p) == worker_id
+        ]
+
+    @property
+    def breaker_open(self) -> int:
+        """Workers whose circuit breaker is currently open (gauge)."""
+        return sum(1 for breaker in self._breakers if breaker.is_open)
+
+    @property
+    def breaker_trips(self) -> int:
+        """Lifetime breaker open transitions across the fleet."""
+        return sum(breaker.trips for breaker in self._breakers)
+
+    def _spawn_worker(self, worker_id: int):
+        """Fork one worker for its current plane set; returns (proc, pipe).
+
+        Planes are born on the *current* ring size (live rebalances may
+        have moved it off the spawn-time config), and the fork inherits
+        the parent-side blocker mirror — the always-current rule table.
+        """
         context = multiprocessing.get_context()
+        parent_end, child_end = context.Pipe()
+        config = self._config
+        if config.n_shards != self._n_shards:
+            config = dataclasses.replace(config, n_shards=self._n_shards)
+        worker = context.Process(
+            target=_plane_worker_loop,
+            args=(child_end, self._planes_of(worker_id), config),
+            daemon=True,
+        )
+        worker.start()
+        child_end.close()
+        return worker, parent_end
+
+    def _start(self) -> None:
         workers = []
         connections = []
         locks = []
-        planes_of = [
-            [p for p in range(self._n_planes) if self._worker_of(p) == w]
-            for w in range(self.n_workers)
-        ]
-        for plane_ids in planes_of:
-            parent_end, child_end = context.Pipe()
-            worker = context.Process(
-                target=_plane_worker_loop,
-                args=(child_end, plane_ids, self._config),
-                daemon=True,
-            )
-            worker.start()
-            child_end.close()
+        for worker_id in range(self.n_workers):
+            worker, parent_end = self._spawn_worker(worker_id)
             workers.append(worker)
             connections.append(parent_end)
             locks.append(threading.Lock())
+        self._breakers = [CircuitBreaker() for _ in workers]
+        # The initial recovery baseline: empty planes plus the rule
+        # table as of spawn — everything after it is journaled.
+        self._snapshots = [
+            ([], list(self._config.blocker.rules)) for _ in workers
+        ]
+        self._journals = [[] for _ in workers]
         # Publish complete lists only: lane threads race through
         # _ensure_started's fast path as soon as _workers is non-None.
         self._connections = connections
@@ -653,28 +786,246 @@ class ProcessPlaneBackend:
             if self._workers is None:
                 self._start()
 
-    def _roundtrip(self, worker_ids: list[int], messages: list[tuple]) -> list:
+    # ------------------------------------------------------------------
+    # supervised pipe exchanges
+    # ------------------------------------------------------------------
+    def _recv_reply(self, worker_id: int) -> tuple:
+        """Bounded reply wait — never a bare ``recv`` on a worker pipe.
+
+        Polls in short slices, checking worker liveness between them: a
+        dead worker raises :class:`WorkerDiedError` (corpse joined, exit
+        code attached) within a slice or two instead of blocking the
+        gateway forever, and a live-but-silent worker raises
+        :class:`WorkerTimeoutError` at ``worker_timeout`` — a wedge is
+        never auto-recovered, because the wedged process still owns its
+        planes (and possibly a ring slot mid-consume).
+        """
+        connection = self._connections[worker_id]
+        worker = self._workers[worker_id]
+        deadline = time.monotonic() + self._worker_timeout
+        while True:
+            try:
+                if connection.poll(_POLL_SLICE):
+                    return connection.recv()
+            except (EOFError, OSError):
+                break  # the pipe closed under us: the worker is gone
+            if not worker.is_alive():
+                # The worker may have replied and exited (a stop racing
+                # its own reply): drain the pipe before declaring death.
+                try:
+                    if connection.poll(0):
+                        return connection.recv()
+                except (EOFError, OSError):
+                    pass
+                break
+            if time.monotonic() >= deadline:
+                raise WorkerTimeoutError(worker_id, self._worker_timeout)
+        worker.join()
+        raise WorkerDiedError(
+            worker_id, worker.exitcode, tuple(self._planes_of(worker_id)),
+        )
+
+    def _exchange(
+        self,
+        worker_id: int,
+        message: tuple,
+        journal: bool = False,
+        recoverable: bool = True,
+        sent: bool = False,
+        wire: tuple | None = None,
+    ) -> object:
+        """One supervised request/reply (caller holds the worker's lock).
+
+        Transient pipe errors (worker alive) retry with backoff under
+        the breaker; a worker death either respawns-and-replays the
+        worker and re-sends ``message`` (recovery on, ``recoverable``)
+        or surfaces the typed error.  ``wire`` is an alternate
+        first-attempt encoding of ``message`` — the ring control form —
+        used once: any re-send after a death uses ``message`` itself,
+        because the respawned worker's fresh ring no longer holds the
+        payload slot.  On success, mutating messages are journaled and
+        the journal cadence may refresh the worker's plane snapshot.
+        """
+        breaker = self._breakers[worker_id]
+        first = wire if wire is not None else message
+        revives = 0
+        transient = 0
+        while True:
+            try:
+                if not sent:
+                    try:
+                        self._connections[worker_id].send(first)
+                    except (BrokenPipeError, OSError) as exc:
+                        worker = self._workers[worker_id]
+                        if worker.is_alive():
+                            breaker.record_failure()
+                            transient += 1
+                            if transient > _MAX_TRANSIENT_RETRIES:
+                                raise
+                            time.sleep(0.01 * transient)
+                            continue
+                        worker.join()
+                        raise WorkerDiedError(
+                            worker_id, worker.exitcode,
+                            tuple(self._planes_of(worker_id)),
+                        ) from exc
+                    sent = True
+                status, payload = self._recv_reply(worker_id)
+            except WorkerDiedError:
+                with self._telemetry_lock:
+                    self.worker_deaths += 1
+                breaker.record_death()
+                if (
+                    not self.worker_recovery
+                    or not recoverable
+                    or revives >= _MAX_REVIVES
+                ):
+                    raise
+                self._revive_worker(worker_id)
+                revives += 1
+                sent = False
+                first = message
+                continue
+            if status != "ok":
+                raise ValidationError(
+                    f"plane worker {worker_id} failed: {payload}"
+                )
+            breaker.record_success()
+            if journal and self.worker_recovery:
+                entries = self._journals[worker_id]
+                entries.append(message)
+                if len(entries) >= self._checkpoint_every:
+                    self._snapshot_worker(worker_id)
+            return payload
+
+    def _snapshot_worker(self, worker_id: int) -> None:
+        """Refresh one worker's recovery snapshot; truncates its journal.
+
+        The rows are a complete non-destructive image of every region on
+        the worker's planes (the same export → pack → re-adopt round
+        trip gateway checkpoints use); the rule table is captured from
+        the always-current parent-side mirror at the same instant, so
+        snapshot + journal replay reproduces the exact interleaving of
+        batches and rule deltas the worker saw.  Caller holds the lock.
+        """
+        rows = self._exchange(worker_id, ("snapshot_planes", None))
+        self._snapshots[worker_id] = (rows, list(self._config.blocker.rules))
+        self._journals[worker_id] = []
+
+    def _refresh_snapshots(self) -> None:
+        """Re-baseline every worker after a structural change (scale/resize).
+
+        Structural operations change the plane → worker mapping, so the
+        per-worker snapshots and journals recorded under the old mapping
+        can no longer revive anything; capture fresh full-plane images.
+        """
+        if not self.worker_recovery or self._workers is None:
+            return
+        for worker_id in range(self.n_workers):
+            with self._locks[worker_id]:
+                self._snapshot_worker(worker_id)
+
+    def _replay(self, worker_id: int, message: tuple) -> None:
+        """One replay exchange during a revive (no recursion, no journal)."""
+        self._connections[worker_id].send(message)
+        status, payload = self._recv_reply(worker_id)
+        if status != "ok":
+            raise ValidationError(
+                f"plane worker {worker_id} failed during recovery replay: "
+                f"{payload}"
+            )
+
+    def _revive_worker(self, worker_id: int) -> None:
+        """Respawn a dead worker and replay it back to the present.
+
+        Caller holds the worker's pipe lock and has already joined the
+        corpse.  The dead process's partial state is discarded
+        wholesale: the fresh worker adopts the last full-plane snapshot,
+        has its rule table rewound to that snapshot's capture, and then
+        replays the journaled messages since — the same batches, rule
+        deltas and rebalances, in the same order, under the same rule
+        tables — so its accounting lands exactly where an unkilled
+        worker's would.  (Shard placement and finalize cadence are
+        accounting-invariant, which the backend/shard parity harness
+        pins down; per-batch warmup prefixes and watermarks ride in the
+        journaled messages themselves.)  The in-flight message that
+        observed the death is deliberately NOT in the journal: the
+        caller re-sends it after this returns, so it is applied exactly
+        once.
+        """
+        try:
+            self._connections[worker_id].close()
+        except OSError:
+            pass
+        # The dead consumer may have died mid-slot; retire its rings and
+        # let the next lane feed create fresh segments the respawned
+        # worker attaches cleanly.
+        for key in [k for k in self._rings if k[1] == worker_id]:
+            self._rings.pop(key).unlink()
+        worker, parent_end = self._spawn_worker(worker_id)
+        self._workers[worker_id] = worker
+        self._connections[worker_id] = parent_end
+        rows, snapshot_rules = self._snapshots[worker_id]
+        # The fresh worker forked off the *current* blocker mirror;
+        # rewind its table to the snapshot's capture so journal replay
+        # applies every rule delta at the stream position the dead
+        # worker saw it (R1 decisions during replay depend on it).
+        current = self._config.blocker.rules
+        removed = [rule for rule in current if rule not in snapshot_rules]
+        added = [rule for rule in snapshot_rules if rule not in current]
+        if added or removed:
+            self._replay(
+                worker_id, ("rules", (pack_rules(added), pack_rules(removed))),
+            )
+        if rows:
+            self._replay(
+                worker_id,
+                ("adopt", [(plane, blob) for plane, _region, blob in rows]),
+            )
+        for message in self._journals[worker_id]:
+            self._replay(worker_id, message)
+        with self._telemetry_lock:
+            self.worker_recoveries += 1
+
+    def _roundtrip(
+        self,
+        worker_ids: list[int],
+        messages: list[tuple],
+        journal: bool = False,
+        recoverable: bool = True,
+    ) -> list:
         """Send to each worker, then gather — batches overlap in flight.
 
         Every involved pipe lock is taken up front, in worker order, so
         a barrier-style command can never interleave with an in-flight
         lane feed on the same pipe.  Deadlock-free: lane threads only
         ever hold a single lock, and multi-lock acquisition happens on
-        the gateway thread alone.
+        the gateway thread alone.  The gather runs through
+        :meth:`_exchange`, so every reply wait is bounded and, with
+        recovery on, a death mid-barrier revives the worker and re-sends
+        only its message.
         """
         locks = [self._locks[worker_id] for worker_id in sorted(set(worker_ids))]
         for lock in locks:
             lock.acquire()
         try:
+            dispatched = []
             for worker_id, message in zip(worker_ids, messages):
-                self._connections[worker_id].send(message)
-            replies = []
-            for worker_id in worker_ids:
-                status, payload = self._connections[worker_id].recv()
-                if status != "ok":
-                    raise ValidationError(f"plane worker {worker_id} failed: {payload}")
-                replies.append(payload)
-            return replies
+                try:
+                    self._connections[worker_id].send(message)
+                    dispatched.append(True)
+                except (BrokenPipeError, OSError):
+                    # A dead or flaky pipe: settle it in the gather,
+                    # where the death/retry machinery lives.
+                    dispatched.append(False)
+            return [
+                self._exchange(
+                    worker_id, message, journal=journal,
+                    recoverable=recoverable, sent=sent,
+                )
+                for (worker_id, message), sent
+                in zip(zip(worker_ids, messages), dispatched)
+            ]
         finally:
             for lock in locks:
                 lock.release()
@@ -698,12 +1049,9 @@ class ProcessPlaneBackend:
             raise ValidationError("process backend already closed")
         self._ensure_started()
         worker_id = self._worker_of(plane)
-        connection = self._connections[worker_id]
+        message = ("flush", ([(plane, blob, in_warmup)], watermark))
         with self._locks[worker_id]:
-            connection.send(("flush", ([(plane, blob, in_warmup)], watermark)))
-            status, payload = connection.recv()
-        if status != "ok":
-            raise ValidationError(f"plane worker {worker_id} failed: {payload}")
+            payload = self._exchange(worker_id, message, journal=True)
         return payload[0]
 
     @property
@@ -711,7 +1059,7 @@ class ProcessPlaneBackend:
         """Lane batches that fell back to the pipe (full ring/oversize)."""
         return sum(self._spills.values())
 
-    def _ring_for(self, lane: int, worker_id: int, connection) -> SpscRing:
+    def _ring_for(self, lane: int, worker_id: int) -> SpscRing:
         """The (lane, worker) ring, created and announced on first use.
 
         Called under the worker's pipe lock: the attach round trip can
@@ -723,13 +1071,10 @@ class ProcessPlaneBackend:
         if ring is None:
             ring = SpscRing.create(self._ring_slot_size, self._ring_slots)
             try:
-                connection.send(("attach_ring", (lane, ring.name)))
-                status, payload = connection.recv()
-                if status != "ok":
-                    raise ValidationError(
-                        f"plane worker {worker_id} failed to attach ring: "
-                        f"{payload}"
-                    )
+                # Supervised attach: a worker death here revives (with
+                # recovery on) and re-announces this same segment to the
+                # respawned worker before the first ring_flush names it.
+                self._exchange(worker_id, ("attach_ring", (lane, ring.name)))
             except BaseException:
                 ring.unlink()
                 raise
@@ -755,34 +1100,47 @@ class ProcessPlaneBackend:
         exceed the slot size (or find no free slot) spill to the classic
         pipe path, counted in :attr:`ring_spills` — slower, never wrong.
         With the ``pipe`` transport every batch takes the classic path.
+
+        While a worker's circuit breaker is open (it recently died, or
+        its pipe has been flaking) batches bypass the ring and take the
+        pipe path until the breaker's probation closes it.  With
+        recovery on, every ring batch also materialises its pipe form
+        for the journal — one extra payload copy per batch, the measured
+        recovery overhead — because a respawned worker's fresh ring no
+        longer holds the slot a dead one left behind.
         """
         if self._closed:
             raise ValidationError("process backend already closed")
         self._ensure_started()
         worker_id = self._worker_of(plane)
-        connection = self._connections[worker_id]
-        use_ring = self.lane_transport == "ring"
         with self._locks[worker_id]:
+            use_ring = (
+                self.lane_transport == "ring"
+                and self._breakers[worker_id].allow_ring
+            )
             seq = None
             if use_ring:
-                ring = self._ring_for(lane, worker_id, connection)
+                ring = self._ring_for(lane, worker_id)
                 seq = ring.try_write(parts)
-            if seq is None:
-                if use_ring:
+                if seq is None:
                     key = (lane, worker_id)
                     self._spills[key] = self._spills.get(key, 0) + 1
-                blob = b"".join(parts)
-                connection.send(
-                    ("flush", ([(plane, blob, in_warmup)], watermark))
-                )
+            wire = None
+            if seq is not None and not self.worker_recovery:
+                # Pure zero-copy: no pipe-form payload is materialised.
+                message = ("ring_flush", (lane, plane, in_warmup, watermark))
             else:
-                connection.send(
-                    ("ring_flush", (lane, plane, in_warmup, watermark))
+                message = (
+                    "flush", ([(plane, b"".join(parts), in_warmup)], watermark)
                 )
-            status, payload = connection.recv()
-        if status != "ok":
-            raise ValidationError(f"plane worker {worker_id} failed: {payload}")
-        return payload[0] if seq is None else payload
+                if seq is not None:
+                    # Ring carries the payload; the canonical pipe form
+                    # exists only for the journal and any death re-send.
+                    wire = ("ring_flush", (lane, plane, in_warmup, watermark))
+            payload = self._exchange(
+                worker_id, message, journal=True, wire=wire,
+            )
+        return payload[0]
 
     def flush(
         self, batches: Sequence[PlaneBatch], watermark: float | None,
@@ -799,6 +1157,7 @@ class ProcessPlaneBackend:
         replies = self._roundtrip(
             worker_ids,
             [("flush", (per_worker[w], watermark)) for w in worker_ids],
+            journal=True,
         )
         results: list[PlaneFlushResult] = []
         for reply in replies:
@@ -832,7 +1191,10 @@ class ProcessPlaneBackend:
             self._config = dataclasses.replace(self._config, n_shards=n_shards)
             return
         worker_ids = list(range(self.n_workers))
-        self._roundtrip(worker_ids, [("rebalance", n_shards)] * self.n_workers)
+        self._roundtrip(
+            worker_ids, [("rebalance", n_shards)] * self.n_workers,
+            journal=True,
+        )
 
     def scale(
         self,
@@ -865,9 +1227,13 @@ class ProcessPlaneBackend:
         blobs: dict[str, bytes] = {}
         if exports:
             worker_ids = sorted(exports)
+            # Not recoverable: an export is destructive, and a death
+            # mid-migration loses detached state a respawn cannot
+            # reconstruct — the gateway poisons itself on this failure.
             replies = self._roundtrip(
                 worker_ids,
                 [("export_regions", exports[w]) for w in worker_ids],
+                recoverable=False,
             )
             for worker_id, reply in zip(worker_ids, replies):
                 for (_, region), blob in zip(exports[worker_id], reply):
@@ -891,12 +1257,131 @@ class ProcessPlaneBackend:
         replies = self._roundtrip(worker_ids, [
             ("scale", (self._n_shards, creates[w], drops[w], adopts[w]))
             for w in worker_ids
-        ])
+        ], recoverable=False)
         snapshots: list[PlaneSnapshot] = []
         for reply in replies:
             snapshots.extend(reply)
         snapshots.sort(key=lambda snapshot: snapshot.plane_id)
+        # The plane → worker mapping changed: old snapshots/journals
+        # cannot revive anything any more.  Re-baseline the fleet.
+        self._refresh_snapshots()
         return snapshots
+
+    def resize_workers(self, n_workers: int) -> None:
+        """Grow or shrink the live worker fleet, re-homing planes.
+
+        A barrier operation (the gateway flushes first, so nothing is in
+        flight).  Plane ``p`` moves from worker ``p % old`` to
+        ``p % new`` whenever those differ, as packed plane state — the
+        same ``pack_plane_state`` migration live plane scale-out uses —
+        so volume accounting is exact across the transition.  Shrinking
+        ejects the surplus workers' planes first, then stops and joins
+        them; growing forks fresh workers (inheriting the current rule
+        table) and installs their migrated planes.  All shared-memory
+        rings are retired wholesale — every (lane, worker) key is void
+        under the new mapping — and lazily recreated on the next lane
+        feed.  Not recoverable mid-flight: a worker death during the
+        migration surfaces as :class:`WorkerDiedError` with detached
+        state at risk, and the gateway poisons itself.
+        """
+        require_positive(n_workers, "n_workers")
+        if self._closed:
+            raise ValidationError("process backend already closed")
+        self._requested_workers = int(n_workers)
+        new = min(self._requested_workers, self._n_planes)
+        if self._workers is None:
+            # Nothing has flowed; the fleet will be born at the new size.
+            self.n_workers = new
+            return
+        old = self.n_workers
+        if new == old:
+            return
+        held = list(self._locks)
+        for lock in held:
+            lock.acquire()
+        try:
+            # Round 1 — eject: every plane whose home changes leaves its
+            # old worker as packed (plane, region, blob) rows.
+            rows: list[tuple[int, str, bytes]] = []
+            for worker_id in range(old):
+                moving = [
+                    p for p in self._planes_of(worker_id) if p % new != worker_id
+                ]
+                if moving:
+                    rows.extend(self._exchange(
+                        worker_id, ("eject_planes", moving), recoverable=False,
+                    ))
+            adopts: dict[int, list[tuple[int, bytes]]] = {
+                w: [] for w in range(new)
+            }
+            for plane, _region, blob in rows:
+                adopts[plane % new].append((plane, blob))
+            # Round 2a — surviving workers create their newly homed
+            # planes and adopt the migrated state.
+            for worker_id in range(min(old, new)):
+                create = [
+                    p for p in range(self._n_planes)
+                    if p % new == worker_id and p % old != worker_id
+                ]
+                if create or adopts[worker_id]:
+                    self._exchange(
+                        worker_id,
+                        ("install_planes",
+                         (self._n_shards, create, adopts[worker_id])),
+                        recoverable=False,
+                    )
+            # Round 2b — shrink: surplus workers own nothing now; stop
+            # and join them (terminate → kill escalation, never a
+            # zombie) and retire their pipes.
+            if new < old:
+                for worker_id in range(new, old):
+                    try:
+                        self._exchange(
+                            worker_id, ("stop", None), recoverable=False,
+                        )
+                    except (WorkerDiedError, WorkerTimeoutError):
+                        pass  # dying on the way out; it holds nothing
+                for worker_id in range(new, old):
+                    self._join_worker(self._workers[worker_id])
+                    self._connections[worker_id].close()
+                del self._workers[new:]
+                del self._connections[new:]
+                del self._locks[new:]
+                del self._breakers[new:]
+                del self._snapshots[new:]
+                del self._journals[new:]
+            self.n_workers = new
+            # Round 2c — grow: fresh workers fork with their full plane
+            # lists (empty planes, current rule table) and adopt the
+            # state migrating in.
+            if new > old:
+                for worker_id in range(old, new):
+                    worker, parent_end = self._spawn_worker(worker_id)
+                    self._workers.append(worker)
+                    self._connections.append(parent_end)
+                    self._locks.append(threading.Lock())
+                    self._breakers.append(CircuitBreaker())
+                    self._snapshots.append(([], []))
+                    self._journals.append([])
+                    if adopts[worker_id]:
+                        self._exchange(
+                            worker_id, ("adopt", adopts[worker_id]),
+                            recoverable=False,
+                        )
+            # Every (lane, worker) ring key is void under the new
+            # mapping; surviving workers close their stale attachments
+            # when the replacement segment is announced.
+            for ring in self._rings.values():
+                ring.unlink()
+            self._rings = {}
+        finally:
+            for lock in held:
+                lock.release()
+        self._refresh_snapshots()
+
+    #: ``rebalance(n_workers=...)``-compatible alias (the thread backend
+    #: spells pool resizing ``resize``).
+    resize = resize_workers
 
     def apply_rules(self, delta: RuleDelta) -> None:
         """Ship a learned rule delta to every worker's shared blocker.
@@ -914,7 +1399,7 @@ class ProcessPlaneBackend:
             return
         message = ("rules", (pack_rules(delta.added), pack_rules(delta.removed)))
         worker_ids = list(range(self.n_workers))
-        self._roundtrip(worker_ids, [message] * self.n_workers)
+        self._roundtrip(worker_ids, [message] * self.n_workers, journal=True)
 
     def checkpoint(self, pairs: Sequence[tuple[int, str]]) -> list[bytes]:
         if self._closed:
@@ -964,6 +1449,7 @@ class ProcessPlaneBackend:
         self._roundtrip(
             worker_ids,
             [("adopt", per_worker[w]) for w in worker_ids],
+            journal=True,
         )
 
     def drain(self, watermark: float | None) -> list[PlaneDrainResult]:
@@ -986,6 +1472,23 @@ class ProcessPlaneBackend:
         results.sort(key=lambda result: result.plane_id)
         return results
 
+    @staticmethod
+    def _join_worker(worker, grace: float = 5.0, term_grace: float = 2.0) -> None:
+        """Join one worker, escalating terminate → kill; never a zombie.
+
+        A worker that ignores its stop gets SIGTERM and a grace period;
+        one that survives *that* gets SIGKILL, which cannot be ignored.
+        Every path ends in a join, so no exit status is ever left
+        unreaped for the kernel to hold as a zombie.
+        """
+        worker.join(timeout=grace)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=term_grace)
+        if worker.is_alive():
+            worker.kill()
+            worker.join()
+
     def close(self) -> None:
         if self._closed:
             return
@@ -1005,14 +1508,14 @@ class ProcessPlaneBackend:
                 pass
             connection.close()
         for worker in self._workers:
-            worker.join(timeout=5.0)
-            if worker.is_alive():
-                worker.terminate()
+            self._join_worker(worker)
         self._workers = None
         self._connections = []
         # Rings outlive the workers by design (a crashed worker must not
         # take the segment down with it); the creator retires them here,
-        # exactly once, after every attacher is gone.
+        # exactly once, strictly after every worker is joined — never
+        # before, so no attacher can still hold a slot mid-consume when
+        # the segment goes away.
         for ring in self._rings.values():
             ring.unlink()
         self._rings = {}
@@ -1032,12 +1535,17 @@ def make_backend(
     lane_transport: str = "ring",
     ring_slot_size: int | None = None,
     ring_slots: int | None = None,
+    worker_recovery: bool = False,
+    worker_checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
 ) -> PlaneBackend:
     """Build the named backend; ``n_workers`` defaults to 4 for pools.
 
     The lane-transport knobs shape only the ``process`` backend's
-    ingress-lane hand-off (shared-memory rings vs the classic pipe);
-    in-process backends have no hand-off to configure and ignore them.
+    ingress-lane hand-off (shared-memory rings vs the classic pipe), and
+    the worker-fleet supervision knobs (recovery, snapshot cadence,
+    reply timeout) only its pipes; in-process backends have neither a
+    hand-off nor a fleet to supervise and ignore them.
     """
     workers = 4 if n_workers is None else n_workers
     if name == "serial":
@@ -1049,6 +1557,9 @@ def make_backend(
             n_planes, config, n_workers=workers,
             lane_transport=lane_transport,
             ring_slot_size=ring_slot_size, ring_slots=ring_slots,
+            worker_recovery=worker_recovery,
+            worker_checkpoint_every=worker_checkpoint_every,
+            worker_timeout=worker_timeout,
         )
     raise ValidationError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"

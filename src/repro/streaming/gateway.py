@@ -89,7 +89,13 @@ from repro.common.validation import require_positive
 from repro.core.mitigation.aggregation import AggregatedAlert
 from repro.core.mitigation.blocking import AlertBlocker, rule_from_dict, rule_to_dict
 from repro.core.mitigation.correlation import AlertCluster, DependencyRuleBook
-from repro.streaming.backends import LANE_TRANSPORTS, PlaneBackend, make_backend
+from repro.streaming.backends import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_WORKER_TIMEOUT,
+    LANE_TRANSPORTS,
+    PlaneBackend,
+    make_backend,
+)
 from repro.streaming.lanes import LaneIngress
 from repro.streaming.learning import LearnerConfig, OnlineRuleLearner
 from repro.streaming.plane import PlaneConfig, PlaneSnapshot
@@ -163,6 +169,9 @@ class AlertGateway:
         lane_transport: str = "ring",
         ring_slot_size: int | None = None,
         ring_slots: int | None = None,
+        worker_recovery: bool = False,
+        worker_checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
     ) -> None:
         require_positive(n_planes, "n_planes")
         require_positive(finalize_every, "finalize_every")
@@ -198,11 +207,20 @@ class AlertGateway:
         self._lane_transport = lane_transport
         self._ring_slot_size = ring_slot_size
         self._ring_slots = ring_slots
+        self._worker_recovery = bool(worker_recovery)
+        self._worker_checkpoint_every = int(worker_checkpoint_every)
+        self._worker_timeout = float(worker_timeout)
+        # Fleet counters restored from a checkpoint: the rebuilt
+        # backend's own counters restart at zero, so the totals fold
+        # adds this baseline to stay monotone across restores.
+        self._fleet_baseline = (0, 0)
         self._plane_router = PlaneRouter(n_planes)
         self._backend: PlaneBackend = make_backend(
             backend, n_planes=n_planes, config=self._config, n_workers=n_workers,
             lane_transport=lane_transport, ring_slot_size=ring_slot_size,
-            ring_slots=ring_slots,
+            ring_slots=ring_slots, worker_recovery=worker_recovery,
+            worker_checkpoint_every=worker_checkpoint_every,
+            worker_timeout=worker_timeout,
         )
         # The one stream-global piece of R4 state: the novelty warmup is
         # defined over the first N *gateway* events, so the gateway counts
@@ -471,9 +489,9 @@ class AlertGateway:
         region, not shard, and are untouched.  Volume accounting is exact
         across the transition.
 
-        ``n_workers`` resizes the ``thread`` pool; the ``process``
-        backend's worker fleet is fixed for its lifetime (planes own R3/R4
-        state that never migrates between processes).
+        ``n_workers`` resizes the ``thread`` pool, or — since the worker
+        fleet became elastic — live-resizes the ``process`` fleet by
+        re-homing planes as packed state (see :meth:`resize_workers`).
         """
         require_positive(n_shards, "n_shards")
         if self._drained:
@@ -481,17 +499,49 @@ class AlertGateway:
         self._flush()
         if n_workers is not None:
             resize = getattr(self._backend, "resize", None)
-            if resize is not None:
-                resize(n_workers)
-                self.stats.n_workers = self._backend.n_workers
-            elif self._backend_name == "process":
+            if resize is None:
                 raise ValidationError(
-                    "the process backend's worker count is fixed: planes own "
-                    "R3/R4 state that cannot migrate between processes"
+                    f"the {self._backend_name} backend has no worker pool "
+                    f"to resize"
                 )
+            resize(n_workers)
+            self.stats.n_workers = self._backend.n_workers
         self._backend.rebalance(n_shards)
         self.stats.n_shards = n_shards
         self.stats.rebalances += 1
+
+    def resize_workers(self, n_workers: int) -> None:
+        """Grow or shrink the execution worker pool, live.
+
+        A barrier (pending buffers flush first).  On the ``thread``
+        backend this swaps the pool; on the ``process`` backend it
+        re-homes every plane whose ``plane % n_workers`` assignment
+        changes, migrating whole-plane state between worker processes
+        with the same ``pack_plane_state`` round trip ``scale_planes``
+        uses — volume accounting is exact across the transition.  A
+        failure mid-migration poisons the gateway (like a failed plane
+        scale): detached state may not have reached its destination, so
+        further ingestion would be silently wrong.
+        """
+        require_positive(n_workers, "n_workers")
+        if self._drained:
+            raise ValidationError("gateway already drained; create a new one")
+        resize = getattr(self._backend, "resize", None)
+        if resize is None:
+            raise ValidationError(
+                f"the {self._backend_name} backend has no worker pool to resize"
+            )
+        self._flush()
+        try:
+            resize(n_workers)
+        except BaseException:
+            self._drained = True
+            try:
+                self._backend.close()
+            except Exception:
+                pass
+            raise
+        self.stats.n_workers = self._backend.n_workers
 
     def scale_planes(self, n_planes: int) -> dict[str, tuple[int, int]]:
         """Re-plane the live gateway to ``n_planes``, migrating state.
@@ -610,6 +660,9 @@ class AlertGateway:
             "lane_transport": self._lane_transport,
             "ring_slot_size": self._ring_slot_size,
             "ring_slots": self._ring_slots,
+            "worker_recovery": self._worker_recovery,
+            "worker_checkpoint_every": self._worker_checkpoint_every,
+            "worker_timeout": self._worker_timeout,
             "aggregation_window": config.aggregation_window,
             "correlation_window": config.correlation_window,
             "correlation_max_hops": config.correlation_max_hops,
@@ -700,6 +753,12 @@ class AlertGateway:
             [(region, plane) for region, plane in state["assignments"]]
         )
         self.stats.restore_state(state["stats"])
+        # Fleet counters in the checkpoint describe a fleet that no longer
+        # exists; fold them in as a baseline so totals stay monotone while
+        # the fresh backend counts from zero.
+        self._fleet_baseline = (
+            self.stats.worker_deaths, self.stats.worker_recoveries,
+        )
         if self.learner is not None:
             self.learner.restore_state(state["learner"])
         if self.qoa is not None:
@@ -922,3 +981,11 @@ class AlertGateway:
         stats.clusters_finalized = sum(c["clusters"] for c in counters)
         stats.storm_episodes = sum(c["storm_episodes"] for c in counters)
         stats.emerging_flags = sum(c["emerging_flags"] for c in counters)
+        backend = self._backend
+        stats.worker_deaths = (
+            self._fleet_baseline[0] + getattr(backend, "worker_deaths", 0)
+        )
+        stats.worker_recoveries = (
+            self._fleet_baseline[1] + getattr(backend, "worker_recoveries", 0)
+        )
+        stats.breaker_open = getattr(backend, "breaker_open", 0)

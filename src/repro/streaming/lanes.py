@@ -77,12 +77,18 @@ from repro.streaming.routing import PlaneRouter
 from repro.streaming.stats import GatewayStats
 from repro.streaming.wire import AlertBatchBuilder
 
-__all__ = ["LaneIngress", "LANE_QUEUE_DEPTH"]
+__all__ = ["LaneIngress", "LANE_QUEUE_DEPTH", "LANE_JOIN_TIMEOUT"]
 
 #: Bound on each lane's dispatch queue, in batches.  Deep enough that a
 #: lane briefly behind its feed never stalls ingest, shallow enough
 #: that a wedged worker caps buffered memory at a few flushes per lane.
 LANE_QUEUE_DEPTH = 8
+
+#: Per-thread join budget at :meth:`LaneIngress.close`.  A lane thread
+#: still alive past this is surfaced as a hard error, not silently
+#: leaked — a running lane holds a backend reference and may be blocked
+#: inside a worker pipe exchange.
+LANE_JOIN_TIMEOUT = 10.0
 
 
 class LaneIngress:
@@ -384,7 +390,14 @@ class LaneIngress:
         self._cycle_results.clear()
 
     def close(self) -> None:
-        """Stop the lane threads (queued work drains first); idempotent."""
+        """Stop the lane threads (queued work drains first); idempotent.
+
+        A lane thread still alive after its join budget is surfaced as a
+        ``RuntimeError`` naming the stuck lanes, never silently leaked:
+        a running lane still holds the backend and may be mid-exchange
+        on a worker pipe, so pretending it is gone would let the caller
+        tear down resources the thread is actively using.
+        """
         if self._closed:
             return
         self._closed = True
@@ -393,5 +406,13 @@ class LaneIngress:
         for work in self._queues:
             work.put(None)
         for thread in self._threads:
-            thread.join(timeout=10.0)
+            thread.join(timeout=LANE_JOIN_TIMEOUT)
+        stuck = [thread.name for thread in self._threads if thread.is_alive()]
         self._threads = []
+        if stuck:
+            raise RuntimeError(
+                f"ingress lane thread(s) still running after "
+                f"{LANE_JOIN_TIMEOUT:.0f}s shutdown join: {', '.join(stuck)}; "
+                f"a plane worker is likely wedged (see worker_timeout) and "
+                f"the lane is blocked on its pipe"
+            )

@@ -346,6 +346,15 @@ class RegionPlane:
         ]
         return min(opens) if opens else None
 
+    def regions(self) -> list[str]:
+        """Regions with recorded history on this plane, sorted.
+
+        The keys of the per-region counter slices — exactly the regions
+        whose state (and accounting) would migrate in a plane scale, and
+        therefore exactly what a full-plane snapshot must capture.
+        """
+        return sorted(self._region_counts)
+
     def snapshot(self) -> PlaneSnapshot:
         """A consistent view of this plane's progress."""
         return PlaneSnapshot(

@@ -50,6 +50,14 @@ class GatewayStats:
     #: lane queue (a slow worker throttling ingest instead of buffering
     #: without limit).  Zero on the classic single-lane path.
     lane_stalls: int = 0
+    #: Worker-fleet supervision (``process`` backend): lifetime worker
+    #: deaths observed mid-request, lifetime snapshot+journal respawns
+    #: (``worker_recovery=True``), and the number of workers whose
+    #: circuit breaker is currently open (a gauge — open breakers steer
+    #: lane traffic off the shared-memory ring onto the journaled pipe).
+    worker_deaths: int = 0
+    worker_recoveries: int = 0
+    breaker_open: int = 0
     watermark: float | None = None
     #: Online R1 rule learning (``AlertGateway(learn_rules=True)``).
     learning: bool = False
@@ -149,6 +157,8 @@ class GatewayStats:
         """
         state = {name: getattr(self, name) for name in self._RESTORABLE}
         state["lane_stalls"] = self.lane_stalls
+        state["worker_deaths"] = self.worker_deaths
+        state["worker_recoveries"] = self.worker_recoveries
         state["scales"] = [dict(scale) for scale in self.scales]
         state["qoa"] = (
             {k: dict(v) for k, v in self.qoa.items()}
@@ -166,6 +176,12 @@ class GatewayStats:
             setattr(self, name, state[name])
         # Outside the strict tuple: absent from pre-ring checkpoints.
         self.lane_stalls = state.get("lane_stalls", 0)
+        # Likewise absent from pre-fleet-supervision checkpoints.  The
+        # breaker gauge is deliberately not restored: a restored gateway
+        # starts a fresh fleet with every breaker closed.
+        self.worker_deaths = state.get("worker_deaths", 0)
+        self.worker_recoveries = state.get("worker_recoveries", 0)
+        self.breaker_open = 0
         self.scales = [dict(scale) for scale in state["scales"]]
         self.qoa = (
             {k: dict(v) for k, v in state["qoa"].items()}
@@ -210,6 +226,9 @@ class GatewayStats:
             "rebalances": self.rebalances,
             "plane_scales": self.plane_scales,
             "lane_stalls": self.lane_stalls,
+            "worker_deaths": self.worker_deaths,
+            "worker_recoveries": self.worker_recoveries,
+            "breaker_open": self.breaker_open,
             "scales": [dict(scale) for scale in self.scales],
             "watermark": self.watermark,
             "total_reduction": self.total_reduction,
@@ -300,6 +319,14 @@ class GatewayStats:
             lines.append(f"late (out-of-order) events: {self.late_events:,}")
         if self.lane_stalls:
             lines.append(f"ingress lane stalls: {self.lane_stalls:>8,}")
+        if self.worker_deaths or self.worker_recoveries:
+            lines.append(
+                f"worker deaths:       {self.worker_deaths:>8,}  "
+                f"({self.worker_recoveries:,} recovered"
+                + (f", {self.breaker_open} breaker(s) open"
+                   if self.breaker_open else "")
+                + ")"
+            )
         if self.rebalances:
             lines.append(f"shard rebalances:    {self.rebalances:>8}")
         if self.plane_scales:

@@ -239,12 +239,14 @@ class TestRebalanceMechanics:
         with pytest.raises(ValidationError):
             gateway.rebalance(4)
 
-    def test_process_backend_rejects_worker_resize(self, small_topology):
+    def test_process_backend_resizes_workers_live(self, small_topology):
+        # Pinned the old "fixed at construction" limitation until PR 9
+        # taught the fleet to resize live via plane-state migration.
         gateway = AlertGateway(small_topology.graph, n_planes=2, n_shards=2,
                                backend="process", n_workers=2)
         gateway.ingest(make_alert(1.0))
-        with pytest.raises(ValidationError, match="worker count"):
-            gateway.rebalance(4, n_workers=4)
+        gateway.rebalance(4, n_workers=1)
+        assert gateway.stats.n_workers == 1
         gateway.drain()
 
     def test_thread_backend_resizes_workers(self, small_topology):
