@@ -22,7 +22,11 @@ one place each number lives:
   the lane threads;
 * ``worker_recovery.recovery_overhead_ratio`` — throughput retained
   with fleet recovery (journal + snapshot cadence) on
-  (``bench_worker_recovery.RECOVERY_OVERHEAD_FLOOR``).
+  (``bench_worker_recovery.RECOVERY_OVERHEAD_FLOOR``);
+* ``online_detection.detection_overhead_ratio`` — throughput retained
+  with the online A1-A3 detectors + R4 sketch on, relative to the
+  learner-only gateway
+  (``bench_online_detection.DETECTION_OVERHEAD_FLOOR``).
 
 Blocks a PR has not recorded yet are skipped, not failed — the guard
 polices regressions, it does not demand every bench has run on every
@@ -36,11 +40,20 @@ import json
 import sys
 from pathlib import Path
 
+# CI invokes this as a plain script (`python benchmarks/check_bench_floors.py`),
+# which puts benchmarks/ — not the repo root — on sys.path; src/ covers
+# running from a checkout where `repro` is not pip-installed.
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+for _entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
 from benchmarks.bench_ingress_lanes import (
     HANDOFF_FLOOR,
     MIN_CORES_FOR_SCALING,
     SCALING_FLOOR,
 )
+from benchmarks.bench_online_detection import DETECTION_OVERHEAD_FLOOR
 from benchmarks.bench_serving_checkpoint import OVERHEAD_FLOOR
 from benchmarks.bench_worker_recovery import RECOVERY_OVERHEAD_FLOOR
 
@@ -92,6 +105,15 @@ def check_floors(payload: dict) -> list[str]:
             f"costs more than {1 - RECOVERY_OVERHEAD_FLOOR:.0%} of throughput"
         )
 
+    detection = payload.get("online_detection", {})
+    detect_ratio = detection.get("detection_overhead_ratio")
+    if detect_ratio is not None and detect_ratio < DETECTION_OVERHEAD_FLOOR:
+        violations.append(
+            f"online_detection.detection_overhead_ratio {detect_ratio:.4f} "
+            f"is below the {DETECTION_OVERHEAD_FLOOR:.4f} floor: the "
+            f"detector+sketch pass costs more than its 1.3x budget"
+        )
+
     for row in payload.get("trajectory", []):
         if "cores" not in row:
             violations.append(
@@ -117,7 +139,8 @@ def main(path: Path = BENCH_ARTIFACT) -> int:
         f"floors guard: {path.name} holds every floor "
         f"(overhead >= {OVERHEAD_FLOOR}, ring hand-off >= {HANDOFF_FLOOR}x, "
         f"lane scaling >= {SCALING_FLOOR}x on >= {MIN_CORES_FOR_SCALING} "
-        f"cores, recovery retention >= {RECOVERY_OVERHEAD_FLOOR})"
+        f"cores, recovery retention >= {RECOVERY_OVERHEAD_FLOOR}, "
+        f"detection retention >= {DETECTION_OVERHEAD_FLOOR:.4f})"
     )
     return 0
 

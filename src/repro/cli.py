@@ -35,7 +35,12 @@ from repro.core.mitigation import MitigationPipeline, rulebook_from_ground_truth
 from repro.core.qoa import evaluate_qoa_pipeline
 from repro.core.mitigation.blocking import AlertBlocker
 from repro.io import load_trace, save_trace
-from repro.streaming import BACKEND_NAMES, AlertGateway, rule_set_divergence
+from repro.streaming import (
+    BACKEND_NAMES,
+    AlertGateway,
+    LearnerConfig,
+    rule_set_divergence,
+)
 from repro.oce.survey import (
     IMPACT_OPTIONS,
     REACTION_OPTIONS,
@@ -216,6 +221,14 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--qoa", action="store_true",
                         help="score per-strategy alert quality live from "
                              "gateway counters")
+    stream.add_argument("--detect", action="store_true",
+                        help="run the online anti-pattern detectors "
+                             "(A1-A3 + sketch-R4) from per-plane detection "
+                             "digests at flush barriers")
+    stream.add_argument("--adaptive-thresholds", action="store_true",
+                        help="with --learn-rules: judge noisiness against "
+                             "per-(service, region) EWMA baselines instead "
+                             "of the global static cut-offs")
     stream.add_argument("--reconcile", action="store_true",
                         help="also run the batch pipeline and verify exact "
                              "parity (with --learn-rules: report the "
@@ -256,6 +269,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window", type=float, default=900.0)
     serve.add_argument("--learn-rules", action="store_true")
     serve.add_argument("--qoa", action="store_true")
+    serve.add_argument("--detect", action="store_true",
+                       help="run the online anti-pattern detectors "
+                            "(state survives checkpoint/restore)")
+    serve.add_argument("--adaptive-thresholds", action="store_true",
+                       help="with --learn-rules: per-(service, region) "
+                            "adaptive noisiness baselines")
     serve.add_argument("--checkpoint-every", type=int, default=4096,
                        help="snapshot cadence in ingested events (written at "
                             "the next natural flush barrier)")
@@ -295,7 +314,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ops.add_argument("--data-dir", required=True, help="service directory")
     ops.add_argument("--view", default="report",
-                     choices=("report", "qoa", "storms", "rules", "planes"),
+                     choices=("report", "qoa", "storms", "rules", "planes",
+                              "detection"),
                      help="which operator view to render (default: report)")
     ops.add_argument("--from-checkpoint", action="store_true",
                      help="read the newest snapshot instead of stats.json")
@@ -359,6 +379,15 @@ def _cmd_mitigate(args) -> int:
     return 0
 
 
+def _learner_config_for(args) -> LearnerConfig | None:
+    """Adaptive-threshold learner config, or ``None`` for the defaults."""
+    if not getattr(args, "adaptive_thresholds", False):
+        return None
+    if not args.learn_rules:
+        raise SystemExit("--adaptive-thresholds requires --learn-rules")
+    return LearnerConfig(adaptive=True)
+
+
 def _cmd_stream(args) -> int:
     trace, topology = _load(args)
     rulebook = rulebook_from_ground_truth(trace, coverage=0.6, seed=trace.seed)
@@ -384,7 +413,9 @@ def _cmd_stream(args) -> int:
         correlation_window=args.window,
         retain_artifacts=False,
         learn_rules=args.learn_rules,
+        learner_config=_learner_config_for(args),
         enable_qoa=args.qoa,
+        detect_antipatterns=args.detect,
     )
     schedule: list[tuple[str, int, int]] = []
     if args.scale_at:
@@ -477,7 +508,9 @@ def _cmd_serve(args) -> int:
         correlation_window=args.window,
         retain_artifacts=False,
         learn_rules=args.learn_rules,
+        learner_config=_learner_config_for(args),
         enable_qoa=args.qoa,
+        detect_antipatterns=args.detect,
     )
     outcome = service.start()
     position = service.input_alerts
@@ -528,6 +561,7 @@ def _cmd_serve(args) -> int:
 def _cmd_ops(args) -> int:
     from repro.serving import (
         CheckpointLoader,
+        render_detection,
         render_ops_report,
         render_plane_health,
         render_qoa_scoreboard,
@@ -557,6 +591,7 @@ def _cmd_ops(args) -> int:
         "storms": render_storm_timeline,
         "rules": render_rule_history,
         "planes": render_plane_health,
+        "detection": render_detection,
     }[args.view]
     print(f"[{source}]")
     print(view(status))

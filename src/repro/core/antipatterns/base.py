@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ValidationError
-from repro.common.timeutil import HOUR, MINUTE
+from repro.common.timeutil import DAY, HOUR, MINUTE
 from repro.common.validation import require_fraction, require_positive
 from repro.workload.trace import AlertTrace
 
@@ -84,6 +84,8 @@ class DetectorThresholds:
     cascade_min_services: int = 3
     cascade_max_hops: int = 6
     unclear_title_cutoff: float = 0.5
+    stale_after: float = 7 * DAY
+    duplicate_min_strategies: int = 2
 
     def __post_init__(self) -> None:
         require_positive(self.intermittent_threshold, "intermittent_threshold")
@@ -105,3 +107,5 @@ class DetectorThresholds:
         require_positive(self.cascade_min_services, "cascade_min_services")
         require_positive(self.cascade_max_hops, "cascade_max_hops")
         require_fraction(self.unclear_title_cutoff, "unclear_title_cutoff")
+        require_positive(self.stale_after, "stale_after")
+        require_positive(self.duplicate_min_strategies, "duplicate_min_strategies")

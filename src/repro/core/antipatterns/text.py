@@ -26,6 +26,12 @@ _CONCRETE_MARKERS: frozenset[str] = frozenset({
 _COMPONENT_RE = re.compile(r"[a-z0-9]+(?:-[a-z0-9]+){2,}")  # e.g. database-api-00
 _NUMBER_RE = re.compile(r"\d")
 
+#: The title dominates the clarity verdict: OCEs triage from the alert
+#: list, where only the title is visible — a rich description is a
+#: secondary signal that cannot rescue an A1-vague title on its own.
+_TITLE_WEIGHT = 0.9
+_DESCRIPTION_WEIGHT = 0.1
+
 
 class TitleQualityScorer:
     """Estimates title clarity from text alone.
@@ -42,15 +48,30 @@ class TitleQualityScorer:
         self._structure_weight = structure_weight / total
 
     def clarity(self, title: str, description: str = "") -> float:
-        """Estimated clarity in [0, 1]; higher means more informative."""
-        text = f"{title} {description}".strip()
-        lexical = 1.0 - vagueness_score(text)
-        structural = self._structure_score(text)
-        return self._vagueness_weight * lexical + self._structure_weight * structural
+        """Estimated clarity in [0, 1]; higher means more informative.
+
+        The title is scored on its own; the description contributes only
+        a small secondary term.  Scoring the concatenated blob let a
+        detailed description mask an A1-vague title ("Instance x is
+        abnormal") — exactly the anti-pattern A1 exists to flag.
+        """
+        title_score = self._text_score(title)
+        if not description.strip():
+            return title_score
+        return (
+            _TITLE_WEIGHT * title_score
+            + _DESCRIPTION_WEIGHT * self._text_score(description)
+        )
 
     def is_unclear(self, title: str, description: str = "", cutoff: float = 0.5) -> bool:
         """Whether the text falls below the clarity cutoff (A1)."""
         return self.clarity(title, description) < cutoff
+
+    def _text_score(self, text: str) -> float:
+        """Lexical + structural clarity of one piece of text."""
+        lexical = 1.0 - vagueness_score(text)
+        structural = self._structure_score(text)
+        return self._vagueness_weight * lexical + self._structure_weight * structural
 
     @staticmethod
     def _structure_score(text: str) -> float:
@@ -60,7 +81,15 @@ class TitleQualityScorer:
         has_component = bool(_COMPONENT_RE.search(lowered))
         has_marker = bool(words & _CONCRETE_MARKERS)
         # Digits count as detail only outside component names; long text
-        # with many distinct words also counts.
-        without_components = _COMPONENT_RE.sub(" ", lowered)
-        has_detail = bool(_NUMBER_RE.search(without_components)) or len(words) >= 9
+        # with many distinct words also counts.  The component-stripping
+        # pass is the expensive step, so take it only when the verdict
+        # actually hinges on where the digits sit.
+        if len(words) >= 9:
+            has_detail = True
+        elif not _NUMBER_RE.search(lowered):
+            has_detail = False
+        else:
+            has_detail = bool(
+                _NUMBER_RE.search(_COMPONENT_RE.sub(" ", lowered))
+            )
         return 0.25 * has_component + 0.55 * has_marker + 0.20 * has_detail

@@ -29,7 +29,7 @@ from repro.alerting.alert import Alert
 from repro.common.timeutil import HOUR
 from repro.common.validation import require_fraction, require_positive
 from repro.ml.lda import OnlineLDA
-from repro.ml.tokenize import tokenize
+from repro.ml.sketch import alert_document
 from repro.ml.vocab import Vocabulary
 
 __all__ = ["EmergingAlert", "EmergingAlertDetector"]
@@ -69,15 +69,14 @@ class EmergingAlertDetector:
 
     @staticmethod
     def document_of(alert: Alert) -> list[str]:
-        """The bag-of-words document representing one alert."""
-        text = " ".join([
-            alert.strategy_name,
-            alert.title,
-            alert.description,
-            alert.microservice,
-            alert.service,
-        ])
-        return tokenize(text)
+        """The bag-of-words document representing one alert.
+
+        Delegates to :func:`repro.ml.sketch.alert_document` so the LDA
+        path and the streaming hashing-sketch path score the *same*
+        document — the differential harness compares models, not
+        tokenisation recipes.
+        """
+        return alert_document(alert)
 
     def run(self, alerts: list[Alert]) -> list[EmergingAlert]:
         """Process the stream; returns flagged alerts in time order."""

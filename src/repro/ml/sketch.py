@@ -1,0 +1,437 @@
+"""LDA-free R4 scoring: a hashing-trick topic sketch.
+
+:class:`~repro.core.mitigation.emerging.EmergingAlertDetector` scores
+novelty with an online LDA — exact, but it carries a vocabulary, topic
+matrices, and a variational inference loop that cannot run incrementally
+inside the gateway's flush barriers at stream rates.  This module is the
+streaming replacement:
+
+* **stable hashing** — every token maps to one of ``n_buckets`` counter
+  buckets via ``blake2b`` (never the salted builtin ``hash``), so the
+  same document hashes identically across processes, restarts, and
+  checkpoint round trips;
+* **integer counts** — the sketch is a plain bucket histogram, so
+  folding documents is order-independent and byte-deterministic (no
+  float accumulation drift between backends);
+* **novelty = surprise** — a document's score is the mean smoothed
+  log-probability of its token buckets under the histogram; alerts
+  whose word combinations the sketch has not absorbed score low, the
+  same "matches no known topic" signal the LDA bound gives;
+* **the identical window discipline** — :class:`SketchWindowScorer`
+  reproduces the LDA detector's loop exactly (fixed windows from the
+  first document, warm-up, 0.99-quantile + gap threshold, 5000-entry
+  history) but runs *incrementally*: the streaming detector suite feeds
+  it watermark by watermark, and :class:`SketchEmergingDetector` wraps
+  the same scorer for one-shot batch runs, so the two paths share every
+  line of verdict logic and the differential harness compares data
+  paths, not re-implementations.
+
+The sketch-vs-LDA agreement bound lives in
+``tests/streaming/test_differential.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from hashlib import blake2b
+
+import numpy as np
+
+from repro.common.timeutil import HOUR
+from repro.common.validation import require_fraction, require_positive
+from repro.ml.tokenize import tokenize
+
+__all__ = [
+    "DEFAULT_SKETCH_BUCKETS",
+    "alert_document",
+    "hash_document",
+    "HashingTopicSketch",
+    "SketchWindowScorer",
+    "SketchEmergingDetector",
+]
+
+DEFAULT_SKETCH_BUCKETS = 4096
+
+#: One document ready for the sketch: event time, the subject strategy,
+#: and the hashed bag-of-buckets (parallel id/count tuples, ids sorted).
+SketchDoc = tuple[float, str, tuple[int, ...], tuple[int, ...]]
+
+
+def alert_document(alert) -> list[str]:
+    """The bag-of-words document representing one alert.
+
+    The exact recipe of
+    :meth:`~repro.core.mitigation.emerging.EmergingAlertDetector.document_of`
+    (which delegates here): strategy name, title, description, and the
+    component names, so sketch topics align with the LDA topics they
+    replace.
+    """
+    text = " ".join([
+        alert.strategy_name,
+        alert.title,
+        alert.description,
+        alert.microservice,
+        alert.service,
+    ])
+    return tokenize(text)
+
+
+def _bucket_of(token: str, n_buckets: int) -> int:
+    """Stable token -> bucket assignment (process/restart invariant)."""
+    raw = blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(raw, "big") % n_buckets
+
+
+def hash_document(
+    tokens: list[str], n_buckets: int = DEFAULT_SKETCH_BUCKETS,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Hash a token list into sorted ``(bucket ids, counts)`` tuples."""
+    counts: dict[int, int] = {}
+    for token in tokens:
+        bucket = _bucket_of(token, n_buckets)
+        counts[bucket] = counts.get(bucket, 0) + 1
+    ids = tuple(sorted(counts))
+    return ids, tuple(counts[bucket] for bucket in ids)
+
+
+class HashingTopicSketch:
+    """A fixed-width bucket histogram scoring token-bucket surprise."""
+
+    __slots__ = ("n_buckets", "smoothing", "_counts", "_total")
+
+    def __init__(
+        self,
+        n_buckets: int = DEFAULT_SKETCH_BUCKETS,
+        smoothing: float = 0.5,
+    ) -> None:
+        require_positive(n_buckets, "n_buckets")
+        require_positive(smoothing, "smoothing")
+        self.n_buckets = int(n_buckets)
+        self.smoothing = float(smoothing)
+        #: Sparse integer bucket counts — fold order never matters.
+        self._counts: dict[int, int] = {}
+        self._total = 0
+
+    def score(self, ids: tuple[int, ...], counts: tuple[int, ...]) -> float:
+        """Mean smoothed log-probability per token occurrence.
+
+        The sketch analogue of the LDA per-word bound: higher means the
+        document's buckets are well explained by what the sketch has
+        absorbed; novelty is the negation.
+        """
+        alpha = self.smoothing
+        denominator = math.log(self._total + alpha * self.n_buckets)
+        log_likelihood = 0.0
+        total = 0
+        bucket_counts = self._counts
+        for bucket, count in zip(ids, counts):
+            log_likelihood += count * (
+                math.log(bucket_counts.get(bucket, 0) + alpha) - denominator
+            )
+            total += count
+        if total == 0:
+            return 0.0
+        return log_likelihood / total
+
+    def frozen_scorer(self):
+        """A memoizing :meth:`score` for a histogram that is not moving.
+
+        Valid only between folds (the window-close invariant): the
+        per-bucket log term and the denominator are fixed, so they are
+        computed once per distinct bucket instead of once per document.
+        Every returned float is bitwise identical to :meth:`score`.
+        """
+        alpha = self.smoothing
+        denominator = math.log(self._total + alpha * self.n_buckets)
+        bucket_counts = self._counts
+        log_of: dict[int, float] = {}
+        log = math.log
+
+        def score(ids, counts):
+            log_likelihood = 0.0
+            total = 0
+            for bucket, count in zip(ids, counts):
+                term = log_of.get(bucket)
+                if term is None:
+                    term = log_of[bucket] = log(
+                        bucket_counts.get(bucket, 0) + alpha
+                    )
+                log_likelihood += count * (term - denominator)
+                total += count
+            if total == 0:
+                return 0.0
+            return log_likelihood / total
+
+        return score
+
+    def partial_fit(
+        self, docs: list[tuple[tuple[int, ...], tuple[int, ...]]],
+    ) -> None:
+        """Fold documents into the histogram (commutative, integral)."""
+        bucket_counts = self._counts
+        for ids, counts in docs:
+            for bucket, count in zip(ids, counts):
+                bucket_counts[bucket] = bucket_counts.get(bucket, 0) + count
+                self._total += count
+
+    def fold_weighted(
+        self, weights: dict[tuple[tuple[int, ...], tuple[int, ...]], int],
+    ) -> None:
+        """Fold ``{document: multiplicity}`` into the histogram.
+
+        Identical to :meth:`partial_fit` over the expanded multiset —
+        the counts are integers, so ``count * multiplicity`` is exactly
+        the repeated addition — at cost proportional to *unique*
+        documents.  Alert streams are dominated by repeats (the floods
+        the paper characterizes), so this is the hot-path entry point.
+        """
+        bucket_counts = self._counts
+        total = 0
+        for (ids, counts), multiplicity in weights.items():
+            for bucket, count in zip(ids, counts):
+                increment = count * multiplicity
+                bucket_counts[bucket] = bucket_counts.get(bucket, 0) + increment
+                total += increment
+        self._total += total
+
+    def export_state(self) -> dict:
+        """The histogram as a JSON-safe dict (checkpointing)."""
+        return {
+            "counts": [
+                [bucket, self._counts[bucket]] for bucket in sorted(self._counts)
+            ],
+            "total": self._total,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a histogram captured by :meth:`export_state` (exact)."""
+        self._counts = {int(bucket): int(count) for bucket, count in state["counts"]}
+        self._total = int(state["total"])
+
+
+@dataclass(frozen=True, slots=True)
+class SketchFlag:
+    """One emerging-alert flag raised by the sketch scorer."""
+
+    strategy_id: str
+    occurred_at: float
+    novelty: float
+    window_index: int
+
+
+class SketchWindowScorer:
+    """The LDA detector's window loop, runnable incrementally.
+
+    Documents accumulate in a buffer; :meth:`advance` closes every
+    window the watermark has passed (any in-order future document must
+    land beyond it), scoring each window's documents against the sketch
+    *before* folding them in — exactly the order the batch LDA detector
+    uses.  Windows are canonically sorted before processing, so the
+    verdicts are independent of plane count, backend, and flush
+    schedule; :meth:`finish` closes the final partial window at drain.
+    """
+
+    def __init__(
+        self,
+        n_buckets: int = DEFAULT_SKETCH_BUCKETS,
+        smoothing: float = 0.5,
+        window_seconds: float = 1 * HOUR,
+        warmup_windows: int = 6,
+        novelty_quantile: float = 0.99,
+        min_novelty_gap: float = 1.0,
+        history_limit: int = 5000,
+    ) -> None:
+        require_positive(window_seconds, "window_seconds")
+        require_positive(warmup_windows, "warmup_windows")
+        require_fraction(novelty_quantile, "novelty_quantile")
+        require_positive(history_limit, "history_limit")
+        self.sketch = HashingTopicSketch(n_buckets, smoothing)
+        self._window = float(window_seconds)
+        self._warmup_windows = int(warmup_windows)
+        self._novelty_quantile = float(novelty_quantile)
+        self._min_novelty_gap = float(min_novelty_gap)
+        self._history_limit = int(history_limit)
+        self._start: float | None = None
+        self._window_index = 0
+        #: (occurred_at, strategy_id, (ids, counts)) — the content pair
+        #: is shared with the digest's docs table, so window close can
+        #: dedup repeats by object identity before falling back to
+        #: value equality.
+        self._buffer: list[tuple[float, str, tuple]] = []
+        self._history: list[float] = []
+        self.flags: list[SketchFlag] = []
+
+    @property
+    def emerging_count(self) -> int:
+        """Lifetime emerging flags raised."""
+        return len(self.flags)
+
+    def add(self, doc: SketchDoc) -> None:
+        """Buffer one hashed document (empty documents are no-ops)."""
+        if not doc[2]:
+            return
+        if self._start is None:
+            self._start = doc[0]
+        self._buffer.append((doc[0], doc[1], (doc[2], doc[3])))
+
+    def add_rows(self, docs, doc_rows) -> None:
+        """Buffer ``(occurred_at, strategy_id, doc_index)`` rows.
+
+        Equivalent to :meth:`add` over each referenced document from the
+        shared ``docs`` table — the per-flush digest fast path.  Buffer
+        entries alias the table's content pairs, so a document repeated
+        within one digest stays one object.
+        """
+        buffer = self._buffer
+        start = self._start
+        for occurred_at, strategy_id, index in doc_rows:
+            content = docs[index]
+            if not content[0]:
+                continue
+            if start is None:
+                start = occurred_at
+            buffer.append((occurred_at, strategy_id, content))
+        self._start = start
+
+    def advance(self, watermark: float | None) -> None:
+        """Close and score every window the watermark has passed."""
+        if watermark is None or self._start is None:
+            return
+        while self._start + (self._window_index + 1) * self._window <= watermark:
+            self._close_window(
+                self._start + (self._window_index + 1) * self._window
+            )
+
+    def finish(self) -> None:
+        """Close the final partial window (end of stream)."""
+        if self._buffer:
+            self._close_window(None)
+
+    def _close_window(self, window_end: float | None) -> None:
+        if window_end is None:
+            batch, rest = self._buffer, []
+        else:
+            batch = [doc for doc in self._buffer if doc[0] < window_end]
+            rest = [doc for doc in self._buffer if doc[0] >= window_end]
+        self._buffer = rest
+        if not batch:
+            self._window_index += 1
+            return
+        # Canonical within-window order: verdicts are order-independent
+        # (one threshold per window, scored pre-fit), but the flag list
+        # and the history-cap tail are not — sort so every backend and
+        # flush schedule produces identical state.
+        batch.sort()
+        sketch = self.sketch
+        threshold: float | None = None
+        if self._window_index >= self._warmup_windows and self._history:
+            threshold = float(
+                np.quantile(self._history, self._novelty_quantile)
+            ) + self._min_novelty_gap
+        # Alert streams repeat: score each distinct document once (the
+        # sketch is frozen until the post-window fit, so every repeat
+        # would produce the identical float) and fold with multiplicity.
+        score = sketch.frozen_scorer()
+        # Two-level memo: object identity first (repeats within one
+        # digest share the docs-table tuple, so most occurrences skip
+        # even the content hash), value equality second (equal contents
+        # arriving via different digests).
+        by_id: dict[int, list] = {}
+        entries: dict[tuple, list] = {}
+        novelties = []
+        for doc in batch:
+            content = doc[2]
+            rec = by_id.get(id(content))
+            if rec is None:
+                rec = entries.get(content)
+                if rec is None:
+                    entries[content] = rec = [-score(content[0], content[1]), 0]
+                by_id[id(content)] = rec
+            rec[1] += 1
+            novelties.append(rec[0])
+        if threshold is not None:
+            for doc, novelty in zip(batch, novelties):
+                if novelty > threshold:
+                    self.flags.append(SketchFlag(
+                        strategy_id=doc[1],
+                        occurred_at=doc[0],
+                        novelty=novelty,
+                        window_index=self._window_index,
+                    ))
+        self._history.extend(novelties)
+        # Bound the reference history so the threshold adapts to drift.
+        if len(self._history) > self._history_limit:
+            self._history = self._history[-self._history_limit:]
+        sketch.fold_weighted(
+            {content: rec[1] for content, rec in entries.items()}
+        )
+        self._window_index += 1
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Complete dynamic state, JSON-safe (checkpointing)."""
+        return {
+            "sketch": self.sketch.export_state(),
+            "start": self._start,
+            "window_index": self._window_index,
+            "buffer": [
+                [at, strategy_id, list(content[0]), list(content[1])]
+                for at, strategy_id, content in self._buffer
+            ],
+            "history": list(self._history),
+            "flags": [
+                [f.strategy_id, f.occurred_at, f.novelty, f.window_index]
+                for f in self.flags
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt state captured by :meth:`export_state` (exact)."""
+        self.sketch.restore_state(state["sketch"])
+        self._start = (
+            None if state["start"] is None else float(state["start"])
+        )
+        self._window_index = int(state["window_index"])
+        self._buffer = [
+            (float(at), str(strategy_id), (tuple(ids), tuple(counts)))
+            for at, strategy_id, ids, counts in state["buffer"]
+        ]
+        self._history = [float(value) for value in state["history"]]
+        self.flags = [
+            SketchFlag(
+                strategy_id=str(strategy_id),
+                occurred_at=float(at),
+                novelty=float(novelty),
+                window_index=int(index),
+            )
+            for strategy_id, at, novelty, index in state["flags"]
+        ]
+
+
+class SketchEmergingDetector:
+    """Batch wrapper: the sketch scorer run over a finished alert list.
+
+    The one-shot counterpart of the streaming path — same scorer, same
+    windows, same thresholds — used by the differential harness to
+    compare the sketch verdicts against the LDA detector's on the same
+    trace, and by anyone who wants LDA-free R4 scoring offline.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+
+    def run(self, alerts: list) -> list[SketchFlag]:
+        """Process the finished stream; returns flags in window order."""
+        scorer = SketchWindowScorer(**self._kwargs)
+        n_buckets = scorer.sketch.n_buckets
+        ordered = sorted(alerts, key=lambda a: a.occurred_at)
+        for alert in ordered:
+            ids, counts = hash_document(alert_document(alert), n_buckets)
+            doc = (alert.occurred_at, alert.strategy_id, ids, counts)
+            scorer.add(doc)
+            scorer.advance(alert.occurred_at)
+        scorer.finish()
+        return scorer.flags

@@ -22,6 +22,7 @@ Layering:
 """
 
 from repro.serving.analytics import (
+    render_detection,
     render_ops_report,
     render_plane_health,
     render_qoa_scoreboard,
@@ -73,4 +74,5 @@ __all__ = [
     "render_storm_timeline",
     "render_rule_history",
     "render_plane_health",
+    "render_detection",
 ]

@@ -19,6 +19,7 @@ the region-partitioned execution planes share the load.
 from __future__ import annotations
 
 from repro.serving.checkpoint import GatewayCheckpoint
+from repro.streaming.detectors import StreamingDetectorSuite
 from repro.streaming.qoa import StreamQoAScorer
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "render_storm_timeline",
     "render_rule_history",
     "render_plane_health",
+    "render_detection",
     "render_ops_report",
 ]
 
@@ -52,6 +54,25 @@ def status_of_checkpoint(checkpoint: GatewayCheckpoint) -> dict:
         qoa_scores = scorer.snapshot()
     else:
         qoa_scores = stats["qoa"]
+    # Likewise detection: stats.detection freezes only at drain, but a
+    # checkpoint carries the suite's full folded state — rebuild it to
+    # answer "what would the detectors say right now" from a cold
+    # snapshot, findings included.
+    detectors_state = checkpoint.state.get("detectors")
+    if detectors_state is not None:
+        suite = StreamingDetectorSuite(
+            sketch_buckets=config.get("sketch_buckets", 4096),
+        )
+        suite.restore_state(detectors_state)
+        detection = suite.summary()
+        detection_detail = [
+            [finding.pattern, finding.subject, finding.score, finding.evidence]
+            for items in suite.findings().values()
+            for finding in items
+        ]
+    else:
+        detection = stats.get("detection")
+        detection_detail = None
     gateway = {
         "backend": config["backend"],
         "n_planes": config["n_planes"],
@@ -88,6 +109,7 @@ def status_of_checkpoint(checkpoint: GatewayCheckpoint) -> dict:
             "rules_active": stats["rules_active"],
         },
         "qoa": qoa_scores,
+        "detection": detection,
     }
     return {
         "service": {
@@ -97,6 +119,7 @@ def status_of_checkpoint(checkpoint: GatewayCheckpoint) -> dict:
         },
         "gateway": gateway,
         "qoa_live": qoa_scores,
+        "detection_detail": detection_detail,
         "rule_events": learner["events"] if learner is not None else None,
         "history": [],
         "metrics": None,
@@ -209,6 +232,36 @@ def render_plane_health(status: dict) -> str:
     return "\n".join(lines)
 
 
+def render_detection(status: dict, limit: int = 15) -> str:
+    """Online anti-pattern verdicts (A1-A3 + sketch-R4), with detail.
+
+    Counts come from the detector suite's summary (live: frozen at
+    drain; checkpoint: recomputed from the folded state); the per-
+    finding detail rows exist only on the checkpoint path.
+    """
+    detection = (
+        status["gateway"].get("detection") or status.get("detection_live")
+    )
+    if not detection:
+        return "  (online detection disabled or no digests folded yet)"
+    found = detection.get("findings", {})
+    lines = [
+        f"  strategies observed {detection.get('strategies', 0):,}  "
+        f"stat rows {detection.get('stat_rows', 0):,}  "
+        f"sketch-R4 flags {detection.get('emerging', 0):,}",
+        f"  A1 unclear titles {found.get('A1', 0):,}   "
+        f"A2 misconfigured severity {found.get('A2', 0):,}   "
+        f"A3 stale/duplicate definitions {found.get('A3', 0):,}",
+    ]
+    detail = status.get("detection_detail")
+    if detail:
+        for pattern, subject, score, evidence in detail[:limit]:
+            lines.append(f"  {pattern} {subject:<24} {score:>4.2f}  {evidence}")
+        if len(detail) > limit:
+            lines.append(f"  ... and {len(detail) - limit} more findings")
+    return "\n".join(lines)
+
+
 def render_ops_report(status: dict) -> str:
     """The full operator report: service, volumes, QoA, storms, rules."""
     service = status.get("service", {})
@@ -255,6 +308,8 @@ def render_ops_report(status: dict) -> str:
         render_storm_timeline(status),
         "rule history",
         render_rule_history(status),
+        "online detection",
+        render_detection(status),
         "plane health",
         render_plane_health(status),
     ]

@@ -191,6 +191,23 @@ def _snapshot_path(directory: Path, seq: int) -> Path:
     return directory / f"checkpoint-{seq:08d}.rck"
 
 
+def _snapshot_seq(path: Path) -> int:
+    """The sequence number a snapshot filename encodes.
+
+    Ordering snapshots by *name* silently breaks once a sequence number
+    outgrows its zero padding (``checkpoint-100000000`` sorts before
+    ``checkpoint-99999999``), and the header's ``created_at`` wall stamp
+    is no better — a backward clock step can make a newer snapshot look
+    older.  The sequence number is the only monotone truth; filenames a
+    foreign process dropped into the directory sort oldest (and a real
+    load would reject them anyway).
+    """
+    try:
+        return int(path.stem.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return -1
+
+
 class CheckpointWriter:
     """Writes snapshots atomically and prunes history.
 
@@ -232,7 +249,10 @@ class CheckpointWriter:
         return final
 
     def _prune(self) -> None:
-        snapshots = sorted(self.directory.glob("checkpoint-*.rck"))
+        snapshots = sorted(
+            self.directory.glob("checkpoint-*.rck"),
+            key=lambda path: (_snapshot_seq(path), path.name),
+        )
         for stale in snapshots[:-self.retain]:
             stale.unlink(missing_ok=True)
 
@@ -244,8 +264,15 @@ class CheckpointLoader:
         self.directory = Path(directory)
 
     def paths(self) -> list[Path]:
-        """Snapshot files, oldest first (name order == seq order)."""
-        return sorted(self.directory.glob("checkpoint-*.rck"))
+        """Snapshot files, oldest first by *sequence number*.
+
+        The ``created_at`` wall stamp is informational only — sequence
+        numbers are the monotone ordering a restore must trust.
+        """
+        return sorted(
+            self.directory.glob("checkpoint-*.rck"),
+            key=lambda path: (_snapshot_seq(path), path.name),
+        )
 
     def load(self, path: str | Path) -> GatewayCheckpoint:
         """Strictly load one snapshot (raises on any integrity failure)."""

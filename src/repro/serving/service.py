@@ -470,6 +470,10 @@ class AlertGatewayService:
                 "qoa_live": (
                     gateway.qoa.snapshot() if gateway.qoa is not None else None
                 ),
+                "detection_live": (
+                    gateway.detectors.summary()
+                    if gateway.detectors is not None else None
+                ),
                 "rule_events": (
                     [
                         [e.kind, e.strategy_id, e.at_input, e.at_time,

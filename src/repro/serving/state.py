@@ -28,8 +28,13 @@ _STRICT_CONFIG = (
     "backend", "n_planes", "n_shards", "flush_size", "flush_interval",
     "aggregation_window", "correlation_window", "correlation_max_hops",
     "enable_storm_detection", "retain_artifacts", "finalize_every",
-    "learn_rules", "enable_qoa",
+    "learn_rules", "enable_qoa", "detect_antipatterns",
 )
+
+#: Strict knobs that gained existence after the first release: absent
+#: from older checkpoints, which could only have been written with the
+#: feature off — so absence compares equal to the off value.
+_STRICT_DEFAULTS = {"detect_antipatterns": False}
 
 
 def build_gateway(
@@ -61,6 +66,12 @@ def build_gateway(
             LearnerConfig(**learner_config) if learner_config else None
         ),
         enable_qoa=config["enable_qoa"],
+        # ``get``: absent from pre-online-detection checkpoints, which
+        # could only have been written with detection off.  Strictness
+        # still holds — the _STRICT_CONFIG check compares the *recorded*
+        # values, and adopt_checkpoint re-verifies against the state.
+        detect_antipatterns=config.get("detect_antipatterns", False),
+        sketch_buckets=config.get("sketch_buckets", 4096),
         # Not strict: lanes change where work runs, never what is
         # counted (the lane parity harness pins that down), so a restore
         # may use a different lane count than the checkpoint recorded.
@@ -96,9 +107,13 @@ def restore_gateway(
     config = checkpoint.config
     if expected_config is not None:
         drift = {
-            key: (config.get(key), expected_config.get(key))
+            key: (
+                config.get(key, _STRICT_DEFAULTS.get(key)),
+                expected_config.get(key, _STRICT_DEFAULTS.get(key)),
+            )
             for key in _STRICT_CONFIG
-            if config.get(key) != expected_config.get(key)
+            if config.get(key, _STRICT_DEFAULTS.get(key))
+            != expected_config.get(key, _STRICT_DEFAULTS.get(key))
         }
         if drift:
             details = ", ".join(

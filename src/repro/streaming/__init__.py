@@ -58,6 +58,7 @@ from repro.streaming.backends import (
 )
 from repro.streaming.correlator import OnlineCorrelator
 from repro.streaming.dedup import OnlineAggregator, OpenSession
+from repro.streaming.detectors import STORM_HOUR_THRESHOLD, StreamingDetectorSuite
 from repro.streaming.driver import drive_gateway
 from repro.streaming.fleet import (
     CircuitBreaker,
@@ -105,10 +106,12 @@ from repro.streaming.wire import (
     pack_aggregates,
     pack_alerts,
     pack_clusters,
+    pack_detection,
     pack_plane_state,
     unpack_aggregates,
     unpack_alerts,
     unpack_clusters,
+    unpack_detection,
     unpack_plane_state,
 )
 
@@ -136,6 +139,8 @@ __all__ = [
     "OnlineAggregator",
     "OpenSession",
     "OnlineCorrelator",
+    "StreamingDetectorSuite",
+    "STORM_HOUR_THRESHOLD",
     "LearnerConfig",
     "OnlineRuleLearner",
     "RuleDelta",
@@ -171,6 +176,8 @@ __all__ = [
     "unpack_aggregates",
     "pack_clusters",
     "unpack_clusters",
+    "pack_detection",
+    "unpack_detection",
     "pack_plane_state",
     "unpack_plane_state",
 ]

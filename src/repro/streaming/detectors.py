@@ -1,0 +1,372 @@
+"""Online anti-pattern detection: A1-A3 and sketch-R4 at the barriers.
+
+The batch detectors (:mod:`repro.core.antipatterns`) need a *finished*
+trace.  This module closes that gap for the definition-level
+anti-patterns the stream itself reveals: every plane ships a compact
+**detection digest** at each flush barrier (strategy catalog rows, A2
+lifecycle statistics, hashed R4 documents —
+:func:`~repro.streaming.wire.pack_detection`), and the gateway folds the
+digests into one :class:`StreamingDetectorSuite` that can answer at any
+barrier:
+
+* **A1 (unclear title)** — the :class:`~repro.core.antipatterns.text.
+  TitleQualityScorer` over the catalog's title/description, the same
+  scorer and cutoff the batch detector applies to strategy metadata;
+* **A2 (misconfigured severity)** — the batch detector's impact-proxy
+  pipeline reconstructed from per-(strategy, region, hour) counters:
+  storm hours excluded by the same >100 volume rule, transient- and
+  repeat-dominated strategies excluded by the same gates, class centers
+  from the same medians.  The repeat-window check stays *exact* because
+  each hour bucket either retains every raw event time (when it holds
+  fewer than ``repeat_window_count``) or is itself proof of a
+  repeat-sized run (``repeat_window_count`` events within one hour
+  always fit inside ``repeat_window``; the suite requires
+  ``repeat_window >= 1h`` for this argument to hold);
+* **A3 (stale/duplicate definition)** — the shared
+  :func:`~repro.core.antipatterns.definitions.definition_findings`
+  rule over catalog-derived records;
+* **R4 (emerging alerts)** — the LDA-free
+  :class:`~repro.ml.sketch.SketchWindowScorer`, advanced by the
+  gateway's event-time watermark and closed at drain.
+
+Because A1/A3 funnel through the exact batch code and A2 reconstructs
+the batch statistics (float summation order is the only difference),
+``tests/streaming/test_differential.py`` can assert online-vs-batch
+verdict parity on golden traces; the suite's full dynamic state exports
+JSON-safe for the serving checkpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alerting.alert import Severity
+from repro.common.errors import ValidationError
+from repro.common.timeutil import HOUR
+from repro.core.antipatterns.base import AntiPatternFinding, DetectorThresholds
+from repro.core.antipatterns.definitions import DefinitionRecord, definition_findings
+from repro.core.antipatterns.text import TitleQualityScorer
+from repro.ml.sketch import DEFAULT_SKETCH_BUCKETS, SketchWindowScorer
+
+__all__ = ["STORM_HOUR_THRESHOLD", "StreamingDetectorSuite"]
+
+#: Same flood-volume cut as :func:`~repro.core.antipatterns.base.
+#: storm_hour_keys` — an (hour, region) bucket above this is a storm.
+STORM_HOUR_THRESHOLD = 100
+
+
+class StreamingDetectorSuite:
+    """Folds per-plane detection digests into online A1-A3/R4 verdicts."""
+
+    def __init__(
+        self,
+        thresholds: DetectorThresholds | None = None,
+        sketch_buckets: int = DEFAULT_SKETCH_BUCKETS,
+        sketch_smoothing: float = 0.5,
+        window_seconds: float = 1 * HOUR,
+        warmup_windows: int = 6,
+        novelty_quantile: float = 0.99,
+        min_novelty_gap: float = 1.0,
+    ) -> None:
+        self._thresholds = thresholds or DetectorThresholds()
+        if self._thresholds.repeat_window < HOUR:
+            raise ValidationError(
+                "streaming A2 needs repeat_window >= one hour: a full "
+                "hour bucket is its proof of a repeat-sized run"
+            )
+        self._scorer = TitleQualityScorer()
+        #: sid -> [first_at, first_alert_id, title, description,
+        #: severity_int, service, last_at]
+        self._catalog: dict[str, list] = {}
+        #: (sid, region, hour bucket) -> [count, transient,
+        #: steady_manual, steady_cleared, steady_duration_sum, times]
+        self._stats: dict[tuple[str, str, int], list] = {}
+        self.sketch = SketchWindowScorer(
+            n_buckets=sketch_buckets,
+            smoothing=sketch_smoothing,
+            window_seconds=window_seconds,
+            warmup_windows=warmup_windows,
+            novelty_quantile=novelty_quantile,
+            min_novelty_gap=min_novelty_gap,
+        )
+
+    # ------------------------------------------------------------------
+    # ingestion (flush/drain barriers)
+    # ------------------------------------------------------------------
+    def observe(self, digest, watermark: float | None = None) -> None:
+        """Fold one plane's unpacked digest; advance the R4 watermark.
+
+        ``digest`` is the ``(catalog, stats, docs, doc_rows)`` tuple
+        :func:`~repro.streaming.wire.unpack_detection` returns.
+        """
+        catalog_rows, stat_rows, docs, doc_rows = digest
+        catalog = self._catalog
+        for sid, first_at, first_id, title, description, severity, service, last_at in catalog_rows:
+            row = catalog.get(sid)
+            if row is None:
+                catalog[sid] = [
+                    first_at, first_id, title, description,
+                    severity, service, last_at,
+                ]
+            else:
+                # First-seen metadata wins deterministically: smallest
+                # (event time, alert id) across every plane and flush.
+                if (first_at, first_id) < (row[0], row[1]):
+                    row[0], row[1] = first_at, first_id
+                    row[2], row[3] = title, description
+                    row[4], row[5] = severity, service
+                row[6] = max(row[6], last_at)
+        stats = self._stats
+        cap = self._thresholds.repeat_window_count
+        for sid, region, bucket, count, transient, manual, cleared, duration_sum, times in stat_rows:
+            key = (sid, region, bucket)
+            row = stats.get(key)
+            if row is None:
+                stats[key] = [
+                    count, transient, manual, cleared, duration_sum,
+                    list(times[:cap]),
+                ]
+            else:
+                row[0] += count
+                row[1] += transient
+                row[2] += manual
+                row[3] += cleared
+                row[4] += duration_sum
+                # Below the cap every contribution is complete, so the
+                # merged list holds *all* of the bucket's event times;
+                # at the cap the count alone settles the repeat check.
+                if len(row[5]) < cap:
+                    row[5].extend(times)
+                    del row[5][cap:]
+        self.sketch.add_rows(docs, doc_rows)
+        self.sketch.advance(watermark)
+
+    def finish(self, watermark: float | None = None) -> None:
+        """End of stream: close the R4 sketch's final partial window."""
+        self.sketch.advance(watermark)
+        self.sketch.finish()
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    @property
+    def strategies(self) -> int:
+        """Number of distinct strategies the stream has revealed."""
+        return len(self._catalog)
+
+    @property
+    def stream_end(self) -> float:
+        """Latest alert event time any digest carried."""
+        if not self._catalog:
+            return 0.0
+        return max(row[6] for row in self._catalog.values())
+
+    def findings(self) -> dict[str, list[AntiPatternFinding]]:
+        """Current A1-A3 findings, recomputed from the folded state."""
+        return {
+            "A1": self._title_findings(),
+            "A2": self._severity_findings(),
+            "A3": self._definition_findings(),
+        }
+
+    def _title_findings(self) -> list[AntiPatternFinding]:
+        """A1 over the catalog — the batch detector's exact rule."""
+        cutoff = self._thresholds.unclear_title_cutoff
+        findings = []
+        for sid in sorted(self._catalog):
+            row = self._catalog[sid]
+            clarity = self._scorer.clarity(row[2], row[3])
+            if clarity < cutoff:
+                findings.append(AntiPatternFinding(
+                    pattern="A1",
+                    subject=sid,
+                    score=min(1.0, (cutoff - clarity) / cutoff + 0.2),
+                    evidence=f"estimated clarity {clarity:.2f} < {cutoff} "
+                             f"for title {row[2]!r}",
+                    details={"clarity": clarity},
+                ))
+        return findings
+
+    def _definition_findings(self) -> list[AntiPatternFinding]:
+        """A3 over catalog-derived records — the shared batch rule."""
+        records = [
+            DefinitionRecord(
+                strategy_id=sid,
+                service=row[5],
+                title=row[2],
+                description=row[3],
+                last_seen=row[6],
+            )
+            for sid, row in sorted(self._catalog.items())
+        ]
+        return definition_findings(records, self.stream_end, self._thresholds)
+
+    def _storm_hours(self) -> set[tuple[int, str]]:
+        """(hour bucket, region) keys carrying flood-level volume."""
+        totals: dict[tuple[int, str], int] = {}
+        for (_sid, region, bucket), row in self._stats.items():
+            key = (bucket, region)
+            totals[key] = totals.get(key, 0) + row[0]
+        return {
+            key for key, count in totals.items()
+            if count > STORM_HOUR_THRESHOLD
+        }
+
+    def _severity_findings(self) -> list[AntiPatternFinding]:
+        """A2 reconstructed from the lifecycle statistics."""
+        thresholds = self._thresholds
+        storm_hours = self._storm_hours()
+        # Per sid over non-storm buckets: totals plus the per-region
+        # bucket evidence the repeat check needs.
+        folded: dict[str, list] = {}
+        regions_of: dict[str, dict[str, list[tuple[int, list[float]]]]] = {}
+        for (sid, region, bucket), row in sorted(self._stats.items()):
+            if (bucket, region) in storm_hours:
+                continue
+            totals = folded.get(sid)
+            if totals is None:
+                totals = folded[sid] = [0, 0, 0, 0, 0.0]
+            totals[0] += row[0]
+            totals[1] += row[1]
+            totals[2] += row[2]
+            totals[3] += row[3]
+            totals[4] += row[4]
+            regions_of.setdefault(sid, {}).setdefault(region, []).append(
+                (row[0], row[5])
+            )
+        proxies: dict[str, float] = {}
+        for sid, totals in folded.items():
+            total, transient, manual, cleared, duration_sum = totals
+            if not total:
+                continue
+            if transient / total >= thresholds.transient_fraction:
+                continue
+            if self._is_repeat_dominated(regions_of[sid]):
+                continue
+            steady = total - transient
+            if steady < thresholds.severity_min_alerts:
+                continue
+            manual_share = manual / steady
+            mean_duration = duration_sum / cleared if cleared else 0.0
+            proxies[sid] = (
+                0.60 * manual_share + 0.40 * min(mean_duration / 7200.0, 1.0)
+            )
+        if not proxies:
+            return []
+        by_class: dict[Severity, list[float]] = {}
+        for sid, proxy in proxies.items():
+            severity = Severity(self._catalog[sid][4])
+            by_class.setdefault(severity, []).append(proxy)
+        centers = {
+            severity: float(np.median(values))
+            for severity, values in by_class.items()
+            if len(values) >= 3
+        }
+        if len(centers) < 2:
+            return []
+        findings = []
+        for sid, proxy in proxies.items():
+            configured = Severity(self._catalog[sid][4])
+            if configured not in centers:
+                continue
+            own_distance = abs(proxy - centers[configured])
+            nearest = min(centers, key=lambda sev: abs(proxy - centers[sev]))
+            if nearest is configured:
+                continue
+            margin = own_distance - abs(proxy - centers[nearest])
+            if margin <= thresholds.severity_class_margin:
+                continue
+            if own_distance < thresholds.severity_min_distance:
+                continue
+            direction = (
+                "overstated" if nearest.value > configured.value
+                else "understated"
+            )
+            findings.append(AntiPatternFinding(
+                pattern="A2",
+                subject=sid,
+                score=min(1.0, 0.5 + margin),
+                evidence=(
+                    f"configured {configured.label} but impact proxy "
+                    f"{proxy:.2f} matches {nearest.label} "
+                    f"(center {centers[nearest]:.2f}); "
+                    f"severity {direction}"
+                ),
+                details={
+                    "proxy": proxy,
+                    "nearest": nearest.label,
+                    "margin": margin,
+                },
+            ))
+        return findings
+
+    def _is_repeat_dominated(
+        self, by_region: dict[str, list[tuple[int, list[float]]]],
+    ) -> bool:
+        """Exact repeat-window check from the bucketed evidence."""
+        thresholds = self._thresholds
+        cap = thresholds.repeat_window_count
+        for buckets in by_region.values():
+            # A bucket at the cap is itself a repeat-sized run (the cap
+            # many events inside one hour <= repeat_window).
+            if any(count >= cap for count, _ in buckets):
+                return True
+            times = sorted(
+                at for _, bucket_times in buckets for at in bucket_times
+            )
+            left = 0
+            for right in range(len(times)):
+                while times[right] - times[left] > thresholds.repeat_window:
+                    left += 1
+                if right - left + 1 >= cap:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # snapshots and checkpointing
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Compact counters plus current finding counts (ops views)."""
+        findings = self.findings()
+        return {
+            "strategies": self.strategies,
+            "stat_rows": len(self._stats),
+            "emerging": self.sketch.emerging_count,
+            "findings": {
+                pattern: len(items) for pattern, items in findings.items()
+            },
+        }
+
+    def export_state(self) -> dict:
+        """Complete dynamic state, JSON-safe (checkpointing)."""
+        return {
+            "catalog": [
+                [sid, *row] for sid, row in sorted(self._catalog.items())
+            ],
+            "stats": [
+                [sid, region, bucket, *row[:5], list(row[5])]
+                for (sid, region, bucket), row in sorted(self._stats.items())
+            ],
+            "sketch": self.sketch.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt state captured by :meth:`export_state` (exact)."""
+        self._catalog = {
+            str(sid): [
+                float(first_at), str(first_id), str(title),
+                str(description), int(severity), str(service),
+                float(last_at),
+            ]
+            for sid, first_at, first_id, title, description, severity,
+                service, last_at in state["catalog"]
+        }
+        self._stats = {
+            (str(sid), str(region), int(bucket)): [
+                int(count), int(transient), int(manual), int(cleared),
+                float(duration_sum), [float(at) for at in times],
+            ]
+            for sid, region, bucket, count, transient, manual, cleared,
+                duration_sum, times in state["stats"]
+        }
+        self.sketch.restore_state(state["sketch"])

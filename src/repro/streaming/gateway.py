@@ -96,6 +96,9 @@ from repro.streaming.backends import (
     PlaneBackend,
     make_backend,
 )
+from repro.core.antipatterns.base import DetectorThresholds
+from repro.ml.sketch import DEFAULT_SKETCH_BUCKETS
+from repro.streaming.detectors import StreamingDetectorSuite
 from repro.streaming.lanes import LaneIngress
 from repro.streaming.learning import LearnerConfig, OnlineRuleLearner
 from repro.streaming.plane import PlaneConfig, PlaneSnapshot
@@ -103,6 +106,7 @@ from repro.streaming.processor import StreamProcessor
 from repro.streaming.qoa import StreamQoAScorer
 from repro.streaming.routing import PlaneRouter
 from repro.streaming.stats import GatewayStats
+from repro.streaming.wire import unpack_detection
 from repro.streaming.storm import DEFAULT_WARMUP_ALERTS
 from repro.topology.graph import DependencyGraph
 
@@ -165,6 +169,9 @@ class AlertGateway:
         learn_rules: bool = False,
         learner_config: LearnerConfig | None = None,
         enable_qoa: bool = False,
+        detect_antipatterns: bool = False,
+        detector_thresholds: DetectorThresholds | None = None,
+        sketch_buckets: int = DEFAULT_SKETCH_BUCKETS,
         ingress_lanes: int = 1,
         lane_transport: str = "ring",
         ring_slot_size: int | None = None,
@@ -190,6 +197,15 @@ class AlertGateway:
             OnlineRuleLearner(learner_config) if learn_rules else None
         )
         self.qoa = StreamQoAScorer() if enable_qoa else None
+        detector_thresholds = detector_thresholds or DetectorThresholds()
+        self.detectors = (
+            StreamingDetectorSuite(
+                thresholds=detector_thresholds,
+                sketch_buckets=sketch_buckets,
+            )
+            if detect_antipatterns else None
+        )
+        self._sketch_buckets = int(sketch_buckets)
         self._config = PlaneConfig(
             graph=graph,
             blocker=self._blocker,
@@ -202,6 +218,13 @@ class AlertGateway:
             retain_artifacts=retain_artifacts,
             finalize_every=int(finalize_every),
             collect_observations=learn_rules or enable_qoa,
+            collect_detection=detect_antipatterns,
+            # No process boundary, no wire round trip: the in-process
+            # backends hand the digest tuple straight to the suite.
+            detection_inline=backend in ("serial", "thread"),
+            sketch_buckets=int(sketch_buckets),
+            detection_times_cap=detector_thresholds.repeat_window_count,
+            intermittent_threshold=detector_thresholds.intermittent_threshold,
         )
         self._backend_name = backend
         self._lane_transport = lane_transport
@@ -255,7 +278,7 @@ class AlertGateway:
                 flush_size=self._flush_size,
                 flush_interval=flush_interval,
                 warmup_limit=self._warmup_limit,
-                barrier_mode=learn_rules or enable_qoa,
+                barrier_mode=learn_rules or enable_qoa or detect_antipatterns,
             )
         self._retain = retain_artifacts
         self._drained = False
@@ -267,6 +290,7 @@ class AlertGateway:
             flush_size=self._flush_size,
             learning=learn_rules,
             qoa_enabled=enable_qoa,
+            detect_enabled=detect_antipatterns,
         )
         self.aggregates: list[AggregatedAlert] = []
         self.clusters: list[AlertCluster] = []
@@ -453,6 +477,11 @@ class AlertGateway:
                 self.stats.set_learner_counters(self.learner.counters())
             if self.qoa is not None:
                 self.stats.qoa = self.qoa.snapshot()
+        if self.detectors is not None:
+            # End of stream: close the R4 sketch's final partial window,
+            # then freeze the online verdict summary into the stats.
+            self.detectors.finish(self.stats.watermark)
+            self.stats.detection = self.detectors.summary()
         self._refresh_totals()
         self.stats.mark_finished()
         self._drained = True
@@ -671,6 +700,8 @@ class AlertGateway:
             "finalize_every": config.finalize_every,
             "learn_rules": self.learner is not None,
             "enable_qoa": self.qoa is not None,
+            "detect_antipatterns": self.detectors is not None,
+            "sketch_buckets": self._sketch_buckets,
             "learner_config": (
                 dataclasses.asdict(self.learner.config)
                 if self.learner is not None else None
@@ -712,6 +743,10 @@ class AlertGateway:
                 self.learner.export_state() if self.learner is not None else None
             ),
             "qoa": self.qoa.export_state() if self.qoa is not None else None,
+            "detectors": (
+                self.detectors.export_state()
+                if self.detectors is not None else None
+            ),
             "last_flush_watermark": self._last_flush_watermark,
         }
 
@@ -742,6 +777,14 @@ class AlertGateway:
                 "QoA configuration mismatch: the checkpoint and this "
                 "gateway disagree on enable_qoa"
             )
+        # ``get``: absent from pre-online-detection checkpoints, which
+        # could only have been written with detection off.
+        detector_state = state.get("detectors")
+        if (detector_state is not None) != (self.detectors is not None):
+            raise ValidationError(
+                "detector configuration mismatch: the checkpoint and this "
+                "gateway disagree on detect_antipatterns"
+            )
         # Rebuild the blocker to exactly the checkpointed table (the
         # caller's configured rules are a subset of it unless they were
         # learned away — the checkpoint is authoritative either way).
@@ -763,6 +806,8 @@ class AlertGateway:
             self.learner.restore_state(state["learner"])
         if self.qoa is not None:
             self.qoa.restore_state(state["qoa"])
+        if self.detectors is not None:
+            self.detectors.restore_state(detector_state)
         watermark = state["last_flush_watermark"]
         self._last_flush_watermark = (
             float(watermark) if watermark is not None else None
@@ -909,6 +954,8 @@ class AlertGateway:
                 emitted_all.extend(result.emitted)
         if self._config.collect_observations:
             self._learn(self._gather_observations(results))
+        if self.detectors is not None:
+            self._observe_detection(results)
         stats.flushes += 1
         self._last_flush_watermark = stats.watermark
         self._refresh_totals()
@@ -966,6 +1013,22 @@ class AlertGateway:
             if delta:
                 self._backend.apply_rules(delta)
             stats.set_learner_counters(learner.counters())
+
+    def _observe_detection(self, results) -> None:
+        """Fold this flush's per-plane detection digests into the suite.
+
+        Results arrive sorted by plane id, so the fold order — and with
+        it the sketch's within-window document order before its
+        canonical sort — is deterministic for any backend or lane count.
+        """
+        detectors = self.detectors
+        watermark = self.stats.watermark
+        for result in results:
+            digest = result.detection
+            if digest:
+                if isinstance(digest, bytes):
+                    digest = unpack_detection(digest)
+                detectors.observe(digest, watermark)
 
     def _set_plane_counters(self, plane_id: int, counters: dict) -> None:
         counters["plane_id"] = plane_id

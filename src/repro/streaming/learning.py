@@ -66,9 +66,11 @@ __all__ = [
 ]
 
 #: One plane-reported observation row:
-#: ``(strategy_id, region, seen, blocked, transient, groups)`` — counts
-#: over one flush batch, ``seen``/``transient`` measured *before* R1.
-Observation = tuple[str, str, int, int, int, int]
+#: ``(strategy_id, region, service, seen, blocked, transient, groups)``
+#: — counts over one flush batch, ``seen``/``transient`` measured
+#: *before* R1; ``service`` keys the adaptive per-(service, region)
+#: threshold baselines.
+Observation = tuple[str, str, str, int, int, int, int]
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +102,24 @@ class LearnerConfig:
     #: in one region scores at least ``min_alerts / repeat_count``, so
     #: ambiguous single-region volume is left to TTL expiry instead.
     demote_fraction: float = 0.2
+    #: Per-(service, region) adaptive promotion thresholds.  When on,
+    #: the learner tracks an EWMA baseline of each cell's transient
+    #: share and repeat rate; cells whose baseline noise is high get
+    #: their effective ``min_alerts`` / ``transient_fraction`` /
+    #: ``repeat_count`` interpolated from the global values down toward
+    #: the floors below, so chronic noise promotes earlier while quiet
+    #: cells keep the strict global thresholds.  Off by default: the
+    #: static judgment (and its golden timelines) is bit-unchanged.
+    adaptive: bool = False
+    #: EWMA step applied to a cell baseline per observing flush.
+    baseline_decay: float = 0.5
+    #: Hard floors the adaptive interpolation can never cross — the
+    #: global-config guardrails that keep low-volume strategies in a
+    #: noisy cell (a clean service sharing a region with a flapper)
+    #: from being promoted on ambient evidence alone.
+    min_alerts_floor: int = 8
+    transient_fraction_floor: float = 0.3
+    repeat_count_floor: int = 12
 
     def __post_init__(self) -> None:
         require_positive(self.window_seconds, "window_seconds")
@@ -108,6 +128,21 @@ class LearnerConfig:
         require_positive(self.repeat_count, "repeat_count")
         require_positive(self.rule_ttl, "rule_ttl")
         require_fraction(self.demote_fraction, "demote_fraction")
+        require_fraction(self.baseline_decay, "baseline_decay")
+        require_positive(self.min_alerts_floor, "min_alerts_floor")
+        require_fraction(self.transient_fraction_floor, "transient_fraction_floor")
+        require_positive(self.repeat_count_floor, "repeat_count_floor")
+        if self.adaptive:
+            if self.min_alerts_floor > self.min_alerts:
+                raise ValidationError("min_alerts_floor must not exceed min_alerts")
+            if self.transient_fraction_floor > self.transient_fraction:
+                raise ValidationError(
+                    "transient_fraction_floor must not exceed transient_fraction"
+                )
+            if self.repeat_count_floor > self.repeat_count:
+                raise ValidationError(
+                    "repeat_count_floor must not exceed repeat_count"
+                )
 
 
 @dataclass(frozen=True, slots=True)
@@ -164,16 +199,21 @@ class _KeyWindow:
         self.transient += transient
 
     def prune(self, horizon: float) -> None:
+        """Drop every entry before ``horizon``, wherever it sits.
+
+        Entries arrive in watermark order on the live flush path, but
+        nothing guarantees that in general (late out-of-order folds,
+        hand-built windows in tests) — a positional cutoff that stops at
+        the first in-window entry would strand stale pre-horizon counts
+        forever, silently inflating A4/A5 evidence.
+        """
         entries = self.entries
-        drop = 0
-        for at, seen, transient in entries:
-            if at >= horizon:
-                break
-            self.seen -= seen
-            self.transient -= transient
-            drop += 1
-        if drop:
-            del entries[:drop]
+        if not any(entry[0] < horizon for entry in entries):
+            return
+        kept = [entry for entry in entries if entry[0] >= horizon]
+        self.seen = sum(entry[1] for entry in kept)
+        self.transient = sum(entry[2] for entry in kept)
+        self.entries = kept
 
 
 class OnlineRuleLearner:
@@ -199,6 +239,11 @@ class OnlineRuleLearner:
         #: Stream positions (``input_alerts``) of plane-topology changes
         #: (:meth:`note_topology_change`), for timeline alignment.
         self.scale_positions: list[int] = []
+        #: Adaptive-threshold state (``config.adaptive``): per-(service,
+        #: region) EWMA baselines ``[transient_share, repeat_rate]`` and
+        #: the service each strategy last reported under.
+        self._baselines: dict[tuple[str, str], list[float]] = {}
+        self._service_of: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # introspection
@@ -259,6 +304,14 @@ class OnlineRuleLearner:
             "expired": self.expired,
             "ever_promoted": sorted(self.ever_promoted),
             "scale_positions": list(self.scale_positions),
+            "baselines": [
+                [service, region, values[0], values[1]]
+                for (service, region), values in sorted(self._baselines.items())
+            ],
+            "service_of": [
+                [strategy_id, self._service_of[strategy_id]]
+                for strategy_id in sorted(self._service_of)
+            ],
         }
 
     def restore_state(self, state: dict) -> None:
@@ -293,6 +346,15 @@ class OnlineRuleLearner:
         self.expired = int(state["expired"])
         self.ever_promoted = set(state["ever_promoted"])
         self.scale_positions = [int(at) for at in state["scale_positions"]]
+        # Absent from pre-adaptive checkpoints.
+        self._baselines = {
+            (str(service), str(region)): [float(share), float(rate)]
+            for service, region, share, rate in state.get("baselines", [])
+        }
+        self._service_of = {
+            str(strategy_id): str(service)
+            for strategy_id, service in state.get("service_of", [])
+        }
 
     # ------------------------------------------------------------------
     # the learning step
@@ -315,9 +377,11 @@ class OnlineRuleLearner:
         if watermark is None:
             return RuleDelta()
         config = self.config
+        adaptive = config.adaptive
         windows = self._windows
         touched: set[str] = set()
-        for strategy_id, region, seen, _blocked, transient, _groups in observations:
+        cells: dict[tuple[str, str], list] = {}
+        for strategy_id, region, service, seen, _blocked, transient, _groups in observations:
             regions = windows.get(strategy_id)
             if regions is None:
                 windows[strategy_id] = regions = {}
@@ -326,6 +390,18 @@ class OnlineRuleLearner:
                 regions[region] = window = _KeyWindow()
             window.add(watermark, seen, transient)
             touched.add(strategy_id)
+            if adaptive and seen:
+                self._service_of[strategy_id] = service
+                cell = cells.get((service, region))
+                if cell is None:
+                    cells[(service, region)] = [seen, transient, seen]
+                else:
+                    cell[0] += seen
+                    cell[1] += transient
+                    if seen > cell[2]:
+                        cell[2] = seen
+        if cells:
+            self._update_baselines(cells)
         horizon = watermark - config.window_seconds
         for strategy_id in list(windows):
             regions = windows[strategy_id]
@@ -377,42 +453,111 @@ class OnlineRuleLearner:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _evidence(self, strategy_id: str) -> tuple[float, int, str]:
-        """(noisy score, window volume, evidence text) for one strategy.
+    def _update_baselines(self, cells: dict[tuple[str, str], list]) -> None:
+        """Fold one flush's per-(service, region) totals into the EWMAs.
+
+        ``cells`` maps a cell to ``[seen, transient, peak strategy
+        seen]`` over the flush batch.  The first observation seeds the
+        baseline directly (no zero-warmup lag); later flushes move it by
+        ``baseline_decay`` — deterministic because each cell's sequence
+        of folds is fixed by the flush schedule, not by dict order.
+        """
+        decay = self.config.baseline_decay
+        repeat_count = self.config.repeat_count
+        baselines = self._baselines
+        for cell, (seen, transient, peak) in cells.items():
+            share = transient / seen
+            rate = min(1.0, peak / repeat_count)
+            values = baselines.get(cell)
+            if values is None:
+                baselines[cell] = [share, rate]
+            else:
+                values[0] += decay * (share - values[0])
+                values[1] += decay * (rate - values[1])
+
+    def _cell_thresholds(self, cell: tuple[str, str]) -> tuple[float, float, float]:
+        """Effective (min_alerts, transient_fraction, repeat_count).
+
+        The cell's baseline noise — its EWMA transient share over the
+        global A4 fraction, or its EWMA repeat rate, whichever is louder,
+        capped at 1 — interpolates each threshold from the global value
+        (noise 0) down to its floor (noise 1).  Unseen cells judge with
+        the global thresholds exactly.
+        """
+        config = self.config
+        values = self._baselines.get(cell)
+        if values is None:
+            return (
+                float(config.min_alerts),
+                config.transient_fraction,
+                float(config.repeat_count),
+            )
+        noise = min(1.0, max(values[0] / config.transient_fraction, values[1]))
+        return (
+            config.min_alerts - noise * (config.min_alerts - config.min_alerts_floor),
+            config.transient_fraction
+            - noise * (config.transient_fraction - config.transient_fraction_floor),
+            config.repeat_count
+            - noise * (config.repeat_count - config.repeat_count_floor),
+        )
+
+    def _evidence(self, strategy_id: str) -> tuple[float, int, str, float]:
+        """(noisy score, window volume, evidence text, volume gate).
 
         The score is the max of the A4 signal (transient share) and the
         A5 signal (peak per-region window count over the repeat
         threshold), both in [0, ~]; >= 1.0 means a promotion threshold
         was crossed.  Computed purely from pre-R1 observations, so it is
         independent of the learner's own rules (and of their TTL).
+
+        With ``config.adaptive`` the thresholds come from the strategy's
+        dominant (service, region) cell — global values scaled toward
+        the configured floors by the cell's EWMA noise baseline — and
+        the returned volume gate is the cell's effective ``min_alerts``
+        (the static global otherwise).
         """
         config = self.config
         seen = 0
         transient = 0
         peak_region = 0
-        for window in self._windows.get(strategy_id, {}).values():
+        dominant_region: str | None = None
+        for region in sorted(self._windows.get(strategy_id, ())):
+            window = self._windows[strategy_id][region]
             seen += window.seen
             transient += window.transient
             if window.seen > peak_region:
                 peak_region = window.seen
+                dominant_region = region
         if seen == 0:
-            return 0.0, 0, "no window volume"
+            return 0.0, 0, "no window volume", float(config.min_alerts)
+        if config.adaptive and dominant_region is not None:
+            cell = (self._service_of.get(strategy_id, ""), dominant_region)
+            min_alerts, transient_fraction, repeat_count = (
+                self._cell_thresholds(cell)
+            )
+        else:
+            min_alerts = float(config.min_alerts)
+            transient_fraction = config.transient_fraction
+            repeat_count = float(config.repeat_count)
         transient_share = transient / seen
-        a4 = transient_share / config.transient_fraction
-        a5 = peak_region / config.repeat_count
+        a4 = transient_share / transient_fraction
+        a5 = peak_region / repeat_count
         if a4 >= a5:
             evidence = f"A4: transient share {transient_share:.0%} of {seen} in window"
         else:
             evidence = f"A5: {peak_region} alerts of one region in window"
-        return max(a4, a5), seen, evidence
+        return max(a4, a5), seen, evidence, min_alerts
 
     def _judge(
         self, strategy_id: str, watermark: float, at_input: int, delta: RuleDelta,
     ) -> None:
         config = self.config
         live = self._live.get(strategy_id)
-        score, seen, evidence = self._evidence(strategy_id)
-        noisy = seen >= config.min_alerts and score >= 1.0
+        score, seen, evidence, volume_gate = self._evidence(strategy_id)
+        # The demotion gate below stays at the global ``min_alerts``
+        # regardless of adaptation: retiring a rule needs evidence-of-
+        # clean at full volume, not a noise-scaled shortcut.
+        noisy = seen >= volume_gate and score >= 1.0
 
         if live is not None and live.expires_at is not None and (
             live.expires_at <= watermark

@@ -38,8 +38,10 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-from repro.alerting.alert import Alert
+from repro.alerting.alert import Alert, AlertState
+from repro.common.timeutil import HOUR
 from repro.core.antipatterns.base import DetectorThresholds
+from repro.ml.sketch import DEFAULT_SKETCH_BUCKETS, alert_document, hash_document
 from repro.core.mitigation.aggregation import AggregatedAlert
 from repro.core.mitigation.blocking import AlertBlocker, BlockingRule
 from repro.core.mitigation.correlation import (
@@ -52,6 +54,7 @@ from repro.streaming.dedup import OpenSession
 from repro.streaming.processor import StreamProcessor
 from repro.streaming.routing import ShardRouter
 from repro.streaming.storm import OnlineStormDetector, RegionStormState
+from repro.streaming.wire import pack_detection
 from repro.topology.graph import DependencyGraph
 
 __all__ = [
@@ -87,6 +90,26 @@ class PlaneConfig:
     #: batch detectors' single source of truth so streaming evidence and
     #: batch A4/QoA can never silently disagree.
     intermittent_threshold: float = DetectorThresholds().intermittent_threshold
+    #: When set, every flush also ships a wire-packed detection digest
+    #: (strategy catalog, A2 lifecycle statistics, hashed R4 documents)
+    #: for the gateway's online detector suite.  Off by default.
+    collect_detection: bool = False
+    #: When set (in-process backends only), the detection digest is
+    #: handed over as the plain ``(catalog, stats, docs, doc_rows)``
+    #: tuple instead of wire bytes — the structures are built exactly as
+    #: :func:`~repro.streaming.wire.unpack_detection` would decode them,
+    #: so the detector suite folds identical values either way; skipping
+    #: the pack/unpack round trip just removes pure overhead when no
+    #: process boundary needs crossing.
+    detection_inline: bool = False
+    #: Bucket count of the R4 hashing sketch documents — must match the
+    #: gateway suite's sketch width or the hashed ids are meaningless.
+    sketch_buckets: int = DEFAULT_SKETCH_BUCKETS
+    #: Raw event times kept per (strategy, region, hour) stat row.  A
+    #: bucket that reaches this cap is by itself proof of a repeat-sized
+    #: run, so nothing beyond it ever needs shipping; defaulted from the
+    #: batch thresholds' single source of truth.
+    detection_times_cap: int = DetectorThresholds().repeat_window_count
 
 
 @dataclass(slots=True)
@@ -108,10 +131,18 @@ class PlaneFlushResult:
     #: replies stay a fixed-size tuple of counters on the wire.
     emitted: list[AggregatedAlert] | None = None
     #: Per-(strategy, region) observation digests of this flush batch —
-    #: ``(strategy_id, region, seen, blocked, transient, groups)`` rows,
-    #: in deterministic batch order.  ``None`` unless the plane was
+    #: ``(strategy_id, region, service, seen, blocked, transient, groups)``
+    #: rows, in deterministic batch order.  ``None`` unless the plane was
     #: configured with ``collect_observations``.
     observations: list[tuple] | None = None
+    #: Detection digest of this flush batch (strategy metadata catalog,
+    #: per-hour severity statistics, hashed topic-sketch documents).
+    #: Wire-packed bytes (:func:`repro.streaming.wire.pack_detection`)
+    #: normally; the plain ``(catalog, stats, docs, doc_rows)`` tuple
+    #: when the plane runs with ``detection_inline`` (in-process
+    #: backends).  ``None`` unless configured with
+    #: ``collect_detection``.
+    detection: bytes | tuple | None = None
 
     def counters(self) -> dict[str, int]:
         """The accounting fields as a plain dict (stats/snapshot payload)."""
@@ -235,26 +266,27 @@ def _new_region_row() -> list[int]:
 
 
 def _count_groups(
-    digest: dict[tuple[str, str], list[int]],
+    digest: dict[tuple[str, str], list],
     emitted: list[AggregatedAlert],
 ) -> None:
     """Fold emitted R2 aggregates into a digest's ``groups`` column.
 
     Aggregates may close for keys absent from the current batch (their
-    sessions opened flushes ago), so missing rows are created on demand.
+    sessions opened flushes ago), so missing rows are created on demand
+    (the representative carries the service the row needs).
     """
     for aggregate in emitted:
         key = (aggregate.strategy_id, aggregate.region)
         row = digest.get(key)
         if row is None:
-            digest[key] = row = [0, 0, 0, 0]
+            digest[key] = row = [0, 0, 0, 0, aggregate.representative.service]
         row[3] += 1
 
 
-def _digest_rows(digest: dict[tuple[str, str], list[int]]) -> list[tuple]:
+def _digest_rows(digest: dict[tuple[str, str], list]) -> list[tuple]:
     """Flatten a digest dict into deterministic observation rows."""
     return [
-        (strategy, region, row[0], row[1], row[2], row[3])
+        (strategy, region, row[4], row[0], row[1], row[2], row[3])
         for (strategy, region), row in digest.items()
     ]
 
@@ -279,6 +311,7 @@ class RegionPlane:
         "aggregates",
         "clusters",
         "_region_counts",
+        "_doc_cache",
     )
 
     def __init__(self, plane_id: int, config: PlaneConfig) -> None:
@@ -314,6 +347,10 @@ class RegionPlane:
         # region's whole accounting history migrate with it when the
         # gateway scales its plane topology.
         self._region_counts: dict[str, list[int]] = defaultdict(_new_region_row)
+        # strategy -> (name, title, description, microservice, service,
+        # hashed ids, counts): re-tokenising every alert would dominate
+        # the detection digest; text changes invalidate per-field.
+        self._doc_cache: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # introspection
@@ -394,7 +431,18 @@ class RegionPlane:
         """
         if self._detector is not None:
             self._detector.ingest_batch(alerts, in_warmup)
-        digest = self._digest(alerts) if self._config.collect_observations else None
+        if self._config.collect_detection and alerts:
+            # One pass builds both digests: the detection scan already
+            # touches every alert, so the learner's rows ride along.
+            detection, digest = self._detection_digest(
+                alerts, with_observations=self._config.collect_observations,
+            )
+        else:
+            detection = None
+            digest = (
+                self._digest(alerts)
+                if self._config.collect_observations else None
+            )
         # Per-region processed counts, run-compressed (one dict touch
         # per contiguous same-region run, not per event).
         region_counts = self._region_counts
@@ -468,9 +516,10 @@ class RegionPlane:
             retained_representatives=correlator.retained,
             emitted=emitted_all if collect_emitted else None,
             observations=_digest_rows(digest) if digest is not None else None,
+            detection=detection,
         )
 
-    def _digest(self, alerts: list[Alert]) -> dict[tuple[str, str], list[int]]:
+    def _digest(self, alerts: list[Alert]) -> dict[tuple[str, str], list]:
         """Per-(strategy, region) seen/blocked/transient over one batch.
 
         Measured on the *pre-R1* stream: the learner's evidence must not
@@ -478,24 +527,169 @@ class RegionPlane:
         the shared blocker — identical rules to the shard pass, because
         rule deltas only ever land between flushes — and skips the scan
         entirely for unruled strategies, mirroring the shard fast path.
+        Each row also records the strategy's service (from its first
+        alert of the batch), the key the learner's adaptive per-
+        (service, region) baselines aggregate by.
         """
         blocker = self._config.blocker
         ruled = blocker.ruled_strategies
         is_blocked = blocker.is_blocked
         threshold = self._config.intermittent_threshold
-        digest: dict[tuple[str, str], list[int]] = {}
+        digest: dict[tuple[str, str], list] = {}
         for alert in alerts:
             strategy = alert.strategy_id
             key = (strategy, alert.region)
             row = digest.get(key)
             if row is None:
-                digest[key] = row = [0, 0, 0, 0]
+                digest[key] = row = [0, 0, 0, 0, alert.service]
             row[0] += 1
             if strategy in ruled and is_blocked(alert):
                 row[1] += 1
             if alert.is_transient(threshold):
                 row[2] += 1
         return digest
+
+    def _detection_digest(
+        self, alerts: list[Alert], with_observations: bool = False,
+    ):
+        """Build this batch's detection digest (pre-R1 stream).
+
+        Catalog rows carry each strategy's deterministic first-seen
+        metadata (smallest ``(occurred_at, alert_id)`` of the batch) and
+        its latest event time; stat rows bucket the A2 lifecycle
+        evidence per (strategy, region, hour); doc rows hash each
+        alert's R4 document against the configured sketch width, with
+        repeats of a strategy's unchanged document deduplicated into
+        one shared table entry.
+        Returns ``(detection, observations)`` — the digest wire-packed
+        (or, with ``detection_inline``, as the tuple
+        :func:`~repro.streaming.wire.unpack_detection` would produce)
+        plus, with ``with_observations``, the learner digest
+        :meth:`_digest` builds, folded in the same pass.
+        """
+        config = self._config
+        cap = config.detection_times_cap
+        threshold = config.intermittent_threshold
+        n_buckets = config.sketch_buckets
+        cache = self._doc_cache
+        hour = HOUR
+        manual_state = AlertState.CLEARED_MANUAL
+        auto_state = AlertState.CLEARED_AUTO
+        with_obs = with_observations
+        ruled = is_blocked = None
+        if with_obs:
+            blocker = config.blocker
+            ruled = blocker.ruled_strategies
+            is_blocked = blocker.is_blocked
+        # One dict probe per alert: sid -> [first-seen alert, latest
+        # occurred_at, cached doc, doc-table entry,
+        # {region: observation row}, {(region, bucket): stat row}].
+        # The inner keys drop the shared sid, so their hashes are cheap.
+        per_sid: dict[str, list] = {}
+        docs: list[tuple] = []
+        doc_rows: list[tuple] = []
+        for alert in alerts:
+            sid = alert.strategy_id
+            at = alert.occurred_at
+            region = alert.region
+            state = alert.state
+            cleared = alert.cleared_at
+            # ``Alert.is_transient``, inlined for the hot loop.
+            transient = (
+                state is auto_state
+                and cleared is not None
+                and cleared - at < threshold
+            )
+            srec = per_sid.get(sid)
+            if srec is None:
+                per_sid[sid] = srec = [
+                    alert, at, cache.get(sid), None, {}, {},
+                ]
+            else:
+                # First-seen metadata: smallest (event time, id) wins.
+                held = srec[0]
+                if at < held.occurred_at or (
+                    at == held.occurred_at and alert.alert_id < held.alert_id
+                ):
+                    srec[0] = alert
+                if at > srec[1]:
+                    srec[1] = at
+            if with_obs:
+                orow = srec[4].get(region)
+                if orow is None:
+                    srec[4][region] = orow = [0, 0, 0, 0, alert.service]
+                orow[0] += 1
+                if sid in ruled and is_blocked(alert):
+                    orow[1] += 1
+                if transient:
+                    orow[2] += 1
+            skey = (region, int(at // hour))
+            row = srec[5].get(skey)
+            if row is None:
+                srec[5][skey] = row = [0, 0, 0, 0, 0.0, []]
+            row[0] += 1
+            if transient:
+                row[1] += 1
+            else:
+                # Steady-alert lifecycle evidence (the A2 impact proxy).
+                if state is manual_state:
+                    row[2] += 1
+                if cleared is not None:
+                    row[3] += 1
+                    row[4] += cleared - at
+            if len(row[5]) < cap:
+                row[5].append(at)
+            cached = srec[2]
+            if (
+                cached is None
+                or cached[0] != alert.strategy_name
+                or cached[1] != alert.title
+                or cached[2] != alert.description
+                or cached[3] != alert.microservice
+                or cached[4] != alert.service
+            ):
+                ids, counts = hash_document(alert_document(alert), n_buckets)
+                cached = (
+                    alert.strategy_name, alert.title, alert.description,
+                    alert.microservice, alert.service, (ids, counts),
+                )
+                cache[sid] = cached
+                srec[2] = cached
+            content = cached[5]
+            if not content[0]:
+                continue
+            entry = srec[3]
+            if entry is None or entry[0] is not content:
+                srec[3] = entry = (content, len(docs))
+                docs.append(content)
+            doc_rows.append((at, sid, entry[1]))
+        ordered = sorted(per_sid.items())
+        observations = None
+        if with_obs:
+            observations = {
+                (sid, region): orow
+                for sid, srec in ordered
+                for region, orow in srec[4].items()
+            }
+        catalog = [
+            (
+                sid, alert.occurred_at, alert.alert_id, alert.title,
+                alert.description, alert.severity.value, alert.service,
+                srec[1],
+            )
+            for sid, srec in ordered
+            for alert in (srec[0],)
+        ]
+        stat_rows = [
+            (sid, region, bucket, *row[:5], tuple(row[5]))
+            for sid, srec in ordered
+            for (region, bucket), row in sorted(srec[5].items())
+        ]
+        if config.detection_inline:
+            detection = (catalog, stat_rows, docs, doc_rows)
+        else:
+            detection = pack_detection(catalog, stat_rows, docs, doc_rows)
+        return detection, observations
 
     def _finalize_ready(self, watermark: float) -> None:
         """Close correlation components no future representative can join."""
@@ -668,7 +862,7 @@ class RegionPlane:
             self._detector.finish(watermark)
         observations = None
         if self._config.collect_observations:
-            digest: dict[tuple[str, str], list[int]] = {}
+            digest: dict[tuple[str, str], list] = {}
             _count_groups(digest, emitted_all)
             observations = _digest_rows(digest)
         return PlaneDrainResult(

@@ -100,7 +100,7 @@ class StreamQoAScorer:
     def observe(self, observations: list[tuple]) -> None:
         """Fold one flush cycle's observation digests."""
         counters = self._counters
-        for strategy_id, _region, seen, blocked, transient, groups in observations:
+        for strategy_id, _region, _service, seen, blocked, transient, groups in observations:
             row = counters.get(strategy_id)
             if row is None:
                 counters[strategy_id] = [seen, blocked, transient, groups]

@@ -24,6 +24,15 @@ from repro.streaming.windows import LatencyReservoir
 __all__ = ["GatewayStats"]
 
 
+def _deep_copy_jsonish(value):
+    """Deep-copy a JSON-shaped value (dicts/lists/scalars only)."""
+    if isinstance(value, dict):
+        return {key: _deep_copy_jsonish(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_deep_copy_jsonish(item) for item in value]
+    return value
+
+
 @dataclass(slots=True)
 class GatewayStats:
     """Running counters of one gateway instance."""
@@ -70,6 +79,12 @@ class GatewayStats:
     #: score dicts, frozen at drain (live scores via ``gateway.qoa``).
     qoa_enabled: bool = False
     qoa: dict[str, dict] | None = None
+    #: Online anti-pattern detection (``AlertGateway(detect_antipatterns=
+    #: True)``): the detector suite's summary — strategies observed, A1/
+    #: A2/A3 finding counts, R4 sketch flags — frozen at drain (live
+    #: access via ``gateway.detectors``).
+    detect_enabled: bool = False
+    detection: dict | None = None
     #: Per-plane accounting as plain dicts (``plane_id`` → counters +
     #: ``regions``), refreshed from plane flush/drain results.
     planes: dict[int, dict] = field(default_factory=dict)
@@ -164,6 +179,10 @@ class GatewayStats:
             {k: dict(v) for k, v in self.qoa.items()}
             if self.qoa is not None else None
         )
+        state["detection"] = (
+            _deep_copy_jsonish(self.detection)
+            if self.detection is not None else None
+        )
         # JSON object keys are strings; plane ids are re-int'd on restore.
         state["planes"] = {
             str(plane_id): dict(row) for plane_id, row in self.planes.items()
@@ -186,6 +205,11 @@ class GatewayStats:
         self.qoa = (
             {k: dict(v) for k, v in state["qoa"].items()}
             if state["qoa"] is not None else None
+        )
+        # Absent from pre-online-detection checkpoints.
+        detection = state.get("detection")
+        self.detection = (
+            _deep_copy_jsonish(detection) if detection is not None else None
         )
         self.planes = {
             int(plane_id): dict(row)
@@ -245,6 +269,10 @@ class GatewayStats:
                 "rules_active": self.rules_active,
             },
             "qoa": dict(self.qoa) if self.qoa is not None else None,
+            "detection": (
+                _deep_copy_jsonish(self.detection)
+                if self.detection is not None else None
+            ),
         }
 
     def render_qoa(self, limit: int = 5, min_alerts: int = 5) -> str:
@@ -312,6 +340,15 @@ class GatewayStats:
         if self.qoa:
             lines.append("streaming QoA (worst strategies):")
             lines.append(self.render_qoa())
+        if self.detect_enabled and self.detection:
+            found = self.detection.get("findings", {})
+            lines.append(
+                f"online anti-patterns: "
+                f"A1 {found.get('A1', 0):>4,}  A2 {found.get('A2', 0):>4,}  "
+                f"A3 {found.get('A3', 0):>4,}  "
+                f"(over {self.detection.get('strategies', 0):,} strategies; "
+                f"{self.detection.get('emerging', 0):,} sketch-R4 flags)"
+            )
         if self.n_planes > 1 and self.planes:
             lines.append("per-plane accounting:")
             lines.append(self.render_planes())

@@ -1,0 +1,116 @@
+"""Tests for A3 definition hygiene (stale / duplicate definitions)."""
+
+from __future__ import annotations
+
+from repro.common.timeutil import DAY
+from repro.core.antipatterns.base import DetectorThresholds
+from repro.core.antipatterns.definitions import (
+    DefinitionRecord,
+    definition_findings,
+)
+
+
+def _record(sid, service="svc", title="disk full on node",
+            description="usage over threshold", last_seen=0.0):
+    return DefinitionRecord(
+        strategy_id=sid, service=service, title=title,
+        description=description, last_seen=last_seen,
+    )
+
+
+THRESHOLDS = DetectorThresholds()
+STALE = THRESHOLDS.stale_after
+
+
+class TestStale:
+    def test_gap_at_threshold_is_not_stale(self):
+        records = [_record("s-1", last_seen=10 * DAY)]
+        assert definition_findings(records, 10 * DAY + STALE) == []
+
+    def test_gap_beyond_threshold_is_stale(self):
+        records = [_record("s-1", last_seen=0.0)]
+        findings = definition_findings(records, STALE + 1.0)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.pattern == "A3"
+        assert finding.subject == "s-1"
+        assert finding.details["kind"] == "stale"
+        assert finding.details["gap_seconds"] == STALE + 1.0
+
+    def test_score_grows_with_gap_and_saturates(self):
+        small = definition_findings(
+            [_record("s-1", last_seen=0.0)], STALE + DAY)[0].score
+        large = definition_findings(
+            [_record("s-1", last_seen=0.0)], 10 * STALE)[0].score
+        assert 0.5 < small < large <= 1.0
+        assert definition_findings(
+            [_record("s-1", last_seen=0.0)], 100 * STALE)[0].score == 1.0
+
+
+class TestDuplicates:
+    def test_identical_text_in_one_service_is_flagged(self):
+        records = [_record("s-1"), _record("s-2")]
+        findings = definition_findings(records, 0.0)
+        assert [f.subject for f in findings] == ["s-1", "s-2"]
+        assert findings[0].details == {"kind": "duplicate", "peers": ["s-2"]}
+        assert findings[1].details == {"kind": "duplicate", "peers": ["s-1"]}
+
+    def test_matching_is_case_and_whitespace_insensitive(self):
+        records = [
+            _record("s-1", title="Disk Full on node",
+                    description="usage  over THRESHOLD"),
+            _record("s-2", title="disk full ON   node",
+                    description="Usage over threshold"),
+        ]
+        assert len(definition_findings(records, 0.0)) == 2
+
+    def test_same_text_across_services_is_not_a_duplicate(self):
+        records = [_record("s-1", service="svc-a"),
+                   _record("s-2", service="svc-b")]
+        assert definition_findings(records, 0.0) == []
+
+    def test_min_group_size_is_respected(self):
+        thresholds = DetectorThresholds(duplicate_min_strategies=3)
+        records = [_record("s-1"), _record("s-2")]
+        assert definition_findings(records, 0.0, thresholds) == []
+        records.append(_record("s-3"))
+        assert len(definition_findings(records, 0.0, thresholds)) == 3
+
+    def test_score_grows_with_group_size(self):
+        pair = definition_findings([_record("s-1"), _record("s-2")], 0.0)
+        trio = definition_findings(
+            [_record("s-1"), _record("s-2"), _record("s-3")], 0.0)
+        assert pair[0].score < trio[0].score <= 1.0
+
+
+class TestDeterminism:
+    def test_output_is_input_order_invariant(self):
+        records = [
+            _record("s-3", last_seen=0.0),
+            _record("s-1", title="other title", last_seen=2 * STALE),
+            _record("s-2", last_seen=2 * STALE),
+            _record("s-4", last_seen=2 * STALE),
+        ]
+        forward = definition_findings(records, 2 * STALE + 1.0)
+        backward = definition_findings(list(reversed(records)), 2 * STALE + 1.0)
+        assert forward == backward
+        # Stale findings first, then duplicate groups by strategy id.
+        assert [(f.details["kind"], f.subject) for f in forward] == [
+            ("stale", "s-3"),
+            ("duplicate", "s-2"), ("duplicate", "s-3"), ("duplicate", "s-4"),
+        ]
+
+
+class TestBatchDetector:
+    def test_detect_covers_only_firing_strategies(self, smoke_trace):
+        from repro.core.antipatterns.definitions import DefinitionHygieneDetector
+
+        detector = DefinitionHygieneDetector()
+        records, trace_end = detector.records_of(smoke_trace)
+        fired = {alert.strategy_id for alert in smoke_trace.alerts}
+        assert {record.strategy_id for record in records} == fired
+        assert trace_end == max(a.occurred_at for a in smoke_trace.alerts)
+        findings = detector.detect(smoke_trace)
+        assert all(f.subject in fired for f in findings)
+        assert findings == definition_findings(records, trace_end,
+                                               DetectorThresholds())

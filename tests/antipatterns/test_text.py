@@ -57,3 +57,39 @@ class TestAgainstSynthesiser:
     def test_component_alone_is_not_enough(self, scorer):
         # Naming the component without a manifestation stays unclear.
         assert scorer.is_unclear("Instance block-storage-api-10 is abnormal")
+
+
+class TestTitlePrimaryWeighting:
+    """Regression: clarity scored the concatenated title+description blob,
+    so a detailed description masked an A1-vague title — the exact
+    anti-pattern A1 exists to flag."""
+
+    RICH_DESCRIPTION = (
+        "database-api-01: failed to commit changes to backend storage, "
+        "disk usage over 95% threshold, p99 latency regression since 14:02"
+    )
+
+    def test_rich_description_cannot_rescue_a_vague_title(self, scorer):
+        assert scorer.is_unclear("Instance x is abnormal",
+                                 self.RICH_DESCRIPTION)
+
+    def test_title_dominates_the_blend(self, scorer):
+        vague_title = "Computing cluster has risks"
+        blended = scorer.clarity(vague_title, self.RICH_DESCRIPTION)
+        alone = scorer.clarity(vague_title)
+        description_alone = scorer.clarity(self.RICH_DESCRIPTION)
+        # The description moves the score, but only by its small weight —
+        # never past the midpoint between title and description scores.
+        assert alone <= blended < (alone + description_alone) / 2
+
+    def test_empty_description_equals_title_only(self, scorer):
+        for title in ("Instance x is abnormal",
+                      "nginx instance CPU usage continuously over 80%"):
+            assert scorer.clarity(title) == scorer.clarity(title, "")
+            assert scorer.clarity(title) == scorer.clarity(title, "   ")
+
+    def test_clear_title_with_description_stays_clear(self, scorer):
+        assert not scorer.is_unclear(
+            "block-storage-api-00: failed to allocate new blocks, disk full",
+            "further detail: allocation backlog growing",
+        )

@@ -1,0 +1,188 @@
+"""Unit tests for the hashing-trick topic sketch (LDA-free R4 scoring).
+
+The differential harness compares sketch-vs-LDA verdicts end to end;
+these tests pin the component contracts: stable hashing, commutative
+folding, the window/threshold discipline, and exact checkpoint
+round-trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ml.sketch import (
+    DEFAULT_SKETCH_BUCKETS,
+    HashingTopicSketch,
+    SketchEmergingDetector,
+    SketchWindowScorer,
+    alert_document,
+    hash_document,
+)
+from repro.ml.tokenize import tokenize
+
+from tests.streaming.conftest import make_alert
+
+
+class TestHashing:
+    def test_hashing_is_stable_and_sorted(self):
+        tokens = tokenize("disk full on database-api-00 commit failed disk")
+        ids, counts = hash_document(tokens)
+        assert ids == tuple(sorted(ids))
+        assert hash_document(tokens) == (ids, counts)
+        assert sum(counts) == len(tokens)
+
+    def test_buckets_respect_the_modulus(self):
+        ids, _ = hash_document(tokenize("alpha beta gamma delta"), n_buckets=7)
+        assert all(0 <= bucket < 7 for bucket in ids)
+
+    def test_alert_document_covers_the_lda_fields(self):
+        alert = make_alert(0.0, title="disk usage over threshold")
+        document = alert_document(alert)
+        for piece in (alert.strategy_name, "disk", alert.microservice,
+                      alert.service):
+            assert any(piece.split("-")[0] in token for token in document)
+
+    def test_document_recipe_matches_the_batch_detector(self):
+        from repro.core.mitigation.emerging import EmergingAlertDetector
+
+        alert = make_alert(0.0)
+        assert EmergingAlertDetector.document_of(alert) == alert_document(alert)
+
+
+class TestHashingTopicSketch:
+    def test_empty_document_scores_zero(self):
+        assert HashingTopicSketch().score((), ()) == 0.0
+
+    def test_absorbed_documents_score_higher_than_novel_ones(self):
+        sketch = HashingTopicSketch(n_buckets=512)
+        familiar = hash_document(tokenize("disk full on storage node"), 512)
+        sketch.partial_fit([familiar] * 50)
+        novel = hash_document(
+            tokenize("entirely unprecedented quantum flux anomaly"), 512,
+        )
+        assert sketch.score(*familiar) > sketch.score(*novel)
+
+    def test_folding_is_commutative(self):
+        docs = [
+            hash_document(tokenize(text), 256)
+            for text in ("a b c", "c d e", "e f a", "b b b")
+        ]
+        forward, backward = HashingTopicSketch(256), HashingTopicSketch(256)
+        forward.partial_fit(docs)
+        backward.partial_fit(list(reversed(docs)))
+        assert forward.export_state() == backward.export_state()
+        probe = hash_document(tokenize("a c e"), 256)
+        assert forward.score(*probe) == backward.score(*probe)
+
+    def test_state_round_trip_is_exact(self):
+        sketch = HashingTopicSketch(n_buckets=64)
+        sketch.partial_fit([hash_document(tokenize("x y z x"), 64)])
+        clone = HashingTopicSketch(n_buckets=64)
+        clone.restore_state(sketch.export_state())
+        probe = hash_document(tokenize("x q"), 64)
+        assert clone.score(*probe) == sketch.score(*probe)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValidationError):
+            HashingTopicSketch(n_buckets=0)
+        with pytest.raises(ValidationError):
+            HashingTopicSketch(smoothing=0.0)
+
+
+def _doc(at: float, strategy: str, text: str, n_buckets=DEFAULT_SKETCH_BUCKETS):
+    ids, counts = hash_document(tokenize(text), n_buckets)
+    return (at, strategy, ids, counts)
+
+
+class TestSketchWindowScorer:
+    def test_no_flags_during_warmup(self):
+        scorer = SketchWindowScorer(window_seconds=100.0, warmup_windows=3)
+        for index in range(3):
+            scorer.add(_doc(index * 100.0 + 1.0, "s-1", "routine latency alert"))
+        scorer.advance(301.0)
+        scorer.finish()
+        assert scorer.flags == []
+
+    def test_novel_document_after_warmup_is_flagged(self):
+        # Small history cap: the cold-start windows (where everything is
+        # maximally novel) must age out of the threshold quantile before
+        # a genuinely novel late document can clear quantile + gap.
+        scorer = SketchWindowScorer(
+            window_seconds=100.0, warmup_windows=2, min_novelty_gap=0.5,
+            history_limit=30,
+        )
+        for index in range(100):
+            scorer.add(_doc(index * 10.0, "s-routine",
+                            "disk usage over threshold on storage node"))
+        scorer.add(_doc(1005.0, "s-novel",
+                        "unprecedented quantum flux catastrophic anomaly"))
+        scorer.advance(1200.0)
+        scorer.finish()
+        assert any(flag.strategy_id == "s-novel" for flag in scorer.flags)
+        assert all(flag.strategy_id != "s-routine" for flag in scorer.flags)
+
+    def test_incremental_advance_matches_one_shot(self):
+        docs = [
+            _doc(at, f"s-{int(at) % 3}", f"alert text variant {int(at) % 5}")
+            for at in [float(x) for x in range(0, 1000, 7)]
+        ]
+        one_shot = SketchWindowScorer(window_seconds=100.0, warmup_windows=2)
+        for doc in docs:
+            one_shot.add(doc)
+        one_shot.advance(docs[-1][0])
+        one_shot.finish()
+        incremental = SketchWindowScorer(window_seconds=100.0, warmup_windows=2)
+        for doc in docs:
+            incremental.add(doc)
+            incremental.advance(doc[0])
+        incremental.finish()
+        assert incremental.flags == one_shot.flags
+        assert incremental.export_state() == one_shot.export_state()
+
+    def test_empty_documents_are_dropped(self):
+        scorer = SketchWindowScorer(window_seconds=100.0)
+        scorer.add((5.0, "s-1", (), ()))
+        scorer.finish()
+        assert scorer.export_state()["start"] is None
+
+    def test_state_round_trip_continues_identically(self):
+        docs = [
+            _doc(at, "s-1", f"alert variant {int(at) % 4}")
+            for at in [float(x) for x in range(0, 800, 11)]
+        ]
+        cut = len(docs) // 2
+        straight = SketchWindowScorer(window_seconds=100.0, warmup_windows=2)
+        for doc in docs:
+            straight.add(doc)
+            straight.advance(doc[0])
+        straight.finish()
+        first = SketchWindowScorer(window_seconds=100.0, warmup_windows=2)
+        for doc in docs[:cut]:
+            first.add(doc)
+            first.advance(doc[0])
+        resumed = SketchWindowScorer(window_seconds=100.0, warmup_windows=2)
+        resumed.restore_state(first.export_state())
+        for doc in docs[cut:]:
+            resumed.add(doc)
+            resumed.advance(doc[0])
+        resumed.finish()
+        assert resumed.export_state() == straight.export_state()
+
+
+class TestSketchEmergingDetector:
+    def test_batch_run_flags_a_novel_burst(self):
+        alerts = [
+            make_alert(at, strategy_id="s-routine",
+                       title="disk usage over threshold")
+            for at in [float(x) for x in range(0, 30_000, 60)]
+        ] + [
+            make_alert(28_000.0 + i, strategy_id="s-novel",
+                       title="unprecedented catastrophic quantum anomaly")
+            for i in range(3)
+        ]
+        flags = SketchEmergingDetector(
+            window_seconds=3600.0, warmup_windows=2, min_novelty_gap=0.5,
+            history_limit=60,
+        ).run(alerts)
+        assert any(flag.strategy_id == "s-novel" for flag in flags)

@@ -219,3 +219,40 @@ class TestBackendInvariance:
         )
         assert _counts(flat) == _counts(split)
         assert _event_log(flat_gw) == _event_log(split_gw)
+
+
+class TestKeyWindowPrune:
+    """Regression for the positional-cutoff prune bug: an early ``break``
+    on the first in-window entry stranded stale pre-horizon counts
+    whenever entries were not time-sorted (late out-of-order folds)."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5000.0,
+                          allow_nan=False, allow_infinity=False),
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=30,
+        ),
+        st.floats(min_value=0.0, max_value=5000.0,
+                  allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_prune_drops_every_pre_horizon_entry(self, entries, horizon):
+        from repro.streaming.learning import _KeyWindow
+
+        window = _KeyWindow()
+        for at, seen, transient in entries:
+            # seen >= transient, as real digests guarantee.
+            window.add(at, seen + transient, transient)
+        window.prune(horizon)
+        assert all(at >= horizon for at, _, _ in window.entries)
+        survivors = [e for e in entries if e[0] >= horizon]
+        assert window.seen == sum(s + t for _, s, t in survivors)
+        assert window.transient == sum(t for _, _, t in survivors)
+        # Pruning is idempotent once the horizon has passed.
+        before = (list(window.entries), window.seen, window.transient)
+        window.prune(horizon)
+        assert (window.entries, window.seen, window.transient) == before

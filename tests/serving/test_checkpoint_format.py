@@ -127,3 +127,30 @@ class TestWriterLoader:
     def test_latest_on_empty_directory_is_none(self, tmp_path):
         assert CheckpointLoader(tmp_path).latest() is None
         assert CheckpointLoader(tmp_path / "missing").latest() is None
+
+    def test_ordering_is_numeric_not_lexicographic(self, tmp_path):
+        """Regression: snapshots were ordered by filename, so once the
+        sequence outgrew the zero-padding width (seq 100000000 sorts
+        before 99999999 as a string), ``latest`` restored a stale
+        snapshot and retention pruned the newest one."""
+        writer = CheckpointWriter(tmp_path, retain=2)
+        for seq in (99_999_999, 100_000_000, 100_000_001):
+            writer.write(_sample_checkpoint(seq=seq))
+        loaded = CheckpointLoader(tmp_path).latest()
+        assert loaded is not None and loaded.seq == 100_000_001
+        kept = sorted(
+            int(p.stem.rsplit("-", 1)[1])
+            for p in CheckpointLoader(tmp_path).paths()
+        )
+        assert kept == [100_000_000, 100_000_001]
+
+    def test_retention_and_latest_agree_across_the_padding_edge(self, tmp_path):
+        writer = CheckpointWriter(tmp_path, retain=3)
+        for seq in (9, 10, 11, 12):
+            writer.write(_sample_checkpoint(seq=seq))
+        assert CheckpointLoader(tmp_path).latest().seq == 12
+        kept = sorted(
+            int(p.stem.rsplit("-", 1)[1])
+            for p in CheckpointLoader(tmp_path).paths()
+        )
+        assert kept == [10, 11, 12]

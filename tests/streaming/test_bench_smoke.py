@@ -38,6 +38,10 @@ recovery_bench = pytest.importorskip(
     "benchmarks.bench_worker_recovery",
     reason="benchmarks/ must be importable from the repo root",
 )
+detection_bench = pytest.importorskip(
+    "benchmarks.bench_online_detection",
+    reason="benchmarks/ must be importable from the repo root",
+)
 
 
 def _require_samples(measurements: dict, what: str) -> None:
@@ -284,13 +288,16 @@ def test_bench_floors_guard_flags_regressions():
         "worker_recovery": {
             "recovery_overhead_ratio": floors.RECOVERY_OVERHEAD_FLOOR - 0.01,
         },
+        "online_detection": {
+            "detection_overhead_ratio": floors.DETECTION_OVERHEAD_FLOOR - 0.01,
+        },
         "trajectory": [{"pr": 99}],
     }
     violations = floors.check_floors(bad)
-    assert len(violations) == 5
+    assert len(violations) == 6
     # A box without the cores for lane scaling must not trip that floor.
     bad["ingress_lanes"]["cores"] = 1.0
-    assert len(floors.check_floors(bad)) == 4
+    assert len(floors.check_floors(bad)) == 5
 
 
 def test_learning_sweep_runs_every_config_on_a_small_trace():
@@ -307,6 +314,23 @@ def test_learning_sweep_runs_every_config_on_a_small_trace():
     # The plain config must not learn; the learning configs must.
     assert measurements["plain"]["rules_promoted"] == 0
     assert measurements["learn"]["rules_promoted"] > 0
+
+
+def test_detection_sweep_runs_every_config_on_a_small_trace():
+    """Drives the online-detection bench helpers end to end (fast mode)."""
+    config = DriftConfig(hours=4.0, drift=True)
+    trace = build_drifting_noise_trace(config)
+    graph = drift_graph(config)
+    measurements = detection_bench.run_detection_sweep(trace, graph)
+    _require_samples(measurements, "detection sweep")
+    expected_labels = {label for label, *_ in detection_bench.DETECTION_CONFIGS}
+    assert set(measurements) == expected_labels
+    for label, metrics in measurements.items():
+        assert metrics["alerts_per_sec"] > 0, label
+    # Only the detecting config reports verdict volume, and it must have
+    # actually folded the trace's strategies into the online catalog.
+    assert "strategies" not in measurements["learn"]
+    assert measurements["learn+detect"]["strategies"] > 0
 
 
 def test_learning_divergence_helper_reports_bounded_metrics():

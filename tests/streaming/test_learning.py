@@ -26,8 +26,9 @@ CONFIG = LearnerConfig(
 )
 
 
-def obs(strategy, region="region-A", seen=0, blocked=0, transient=0, groups=0):
-    return (strategy, region, seen, blocked, transient, groups)
+def obs(strategy, region="region-A", seen=0, blocked=0, transient=0, groups=0,
+        service="svc"):
+    return (strategy, region, service, seen, blocked, transient, groups)
 
 
 class TestLearnerLifecycle:

@@ -394,9 +394,9 @@ def test_learner_evidence_is_plane_attribution_invariant():
     config = LearnerConfig(window_seconds=600.0, min_alerts=5,
                            repeat_count=8, rule_ttl=600.0)
     rows = [
-        ("s-noise", "region-A", 6, 0, 4, 1),
-        ("s-noise", "region-B", 5, 0, 3, 1),
-        ("s-api", "region-A", 3, 0, 0, 1),
+        ("s-noise", "region-A", "svc", 6, 0, 4, 1),
+        ("s-noise", "region-B", "svc", 5, 0, 3, 1),
+        ("s-api", "region-A", "svc", 3, 0, 0, 1),
     ]
     one_plane = OnlineRuleLearner(config)
     for step in range(4):
